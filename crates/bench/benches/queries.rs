@@ -1,0 +1,154 @@
+//! Criterion micro/meso-benchmarks: one group per query type per dataset
+//! (the per-figure sweeps live in the `figures` binary, which measures the
+//! same code paths over full parameter grids).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use inflow_bench::{analytics, base_cph, base_synthetic, poi_subset, Scale};
+use inflow_core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
+use inflow_workload::{generate_cph, generate_synthetic};
+use std::hint::black_box;
+
+fn bench_scale() -> Scale {
+    Scale { objects: 150, passengers: 120, duration: 1800.0, repeats: 1, ..Scale::default() }
+}
+
+fn synthetic_analytics() -> FlowAnalytics {
+    let scale = bench_scale();
+    analytics(generate_synthetic(&base_synthetic(&scale)), &scale)
+}
+
+fn cph_analytics() -> FlowAnalytics {
+    let scale = bench_scale();
+    analytics(generate_cph(&base_cph(&scale)), &scale)
+}
+
+fn snapshot_queries(c: &mut Criterion) {
+    let fa = synthetic_analytics();
+    let q = SnapshotQuery::new(900.0, poi_subset(&fa, 60, 0), 10);
+    let mut group = c.benchmark_group("snapshot_synthetic");
+    group.sample_size(10);
+    group.bench_function("iterative", |b| {
+        b.iter(|| black_box(fa.snapshot_topk_iterative(black_box(&q))))
+    });
+    group.bench_function("join", |b| {
+        b.iter(|| black_box(fa.snapshot_topk_join(black_box(&q))))
+    });
+    group.finish();
+}
+
+fn interval_queries(c: &mut Criterion) {
+    let fa = synthetic_analytics();
+    let q = IntervalQuery::new(300.0, 900.0, poi_subset(&fa, 60, 0), 10);
+    let mut group = c.benchmark_group("interval_synthetic");
+    group.sample_size(10);
+    group.bench_function("iterative", |b| {
+        b.iter(|| black_box(fa.interval_topk_iterative(black_box(&q))))
+    });
+    group.bench_function("join", |b| {
+        b.iter(|| black_box(fa.interval_topk_join(black_box(&q))))
+    });
+    group.finish();
+}
+
+fn cph_queries(c: &mut Criterion) {
+    let fa = cph_analytics();
+    let snap = SnapshotQuery::new(5400.0, poi_subset(&fa, 60, 0), 10);
+    let int = IntervalQuery::new(3600.0, 4800.0, poi_subset(&fa, 60, 0), 10);
+    let mut group = c.benchmark_group("cph_like");
+    group.sample_size(10);
+    group.bench_function("snapshot_iterative", |b| {
+        b.iter(|| black_box(fa.snapshot_topk_iterative(black_box(&snap))))
+    });
+    group.bench_function("snapshot_join", |b| {
+        b.iter(|| black_box(fa.snapshot_topk_join(black_box(&snap))))
+    });
+    group.bench_function("interval_iterative", |b| {
+        b.iter(|| black_box(fa.interval_topk_iterative(black_box(&int))))
+    });
+    group.bench_function("interval_join", |b| {
+        b.iter(|| black_box(fa.interval_topk_join(black_box(&int))))
+    });
+    group.finish();
+}
+
+fn substrate(c: &mut Criterion) {
+    use inflow_geometry::{
+        area_in_polygon, circle_polygon_area, Circle, GridResolution, Mbr, Point, Polygon,
+    };
+    use inflow_rtree::RTree;
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+
+    let circle = Circle::new(Point::new(1.0, 1.5), 2.0);
+    let poly = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 3.0));
+    group.bench_function("circle_polygon_area_exact", |b| {
+        b.iter(|| black_box(circle_polygon_area(black_box(&circle), black_box(&poly))))
+    });
+    group.bench_function("area_in_polygon_coarse", |b| {
+        b.iter(|| {
+            black_box(area_in_polygon(
+                black_box(&circle),
+                black_box(&poly),
+                GridResolution::COARSE,
+            ))
+        })
+    });
+    group.bench_function("area_in_polygon_default", |b| {
+        b.iter(|| {
+            black_box(area_in_polygon(
+                black_box(&circle),
+                black_box(&poly),
+                GridResolution::DEFAULT,
+            ))
+        })
+    });
+
+    // R-tree build + query over a realistic POI-count set.
+    let rects: Vec<(Mbr, usize)> = (0..1000)
+        .map(|i| {
+            let x = (i % 40) as f64 * 3.0;
+            let y = (i / 40) as f64 * 4.0;
+            (Mbr::new(Point::new(x, y), Point::new(x + 2.5, y + 3.0)), i)
+        })
+        .collect();
+    group.bench_function("rtree_bulk_load_1k", |b| {
+        b.iter_batched(|| rects.clone(), |r| black_box(RTree::bulk_load(r)), BatchSize::SmallInput)
+    });
+    let tree = RTree::bulk_load(rects);
+    let query = Mbr::new(Point::new(20.0, 20.0), Point::new(60.0, 60.0));
+    group.bench_function("rtree_query_1k", |b| {
+        b.iter(|| black_box(tree.query_intersecting(black_box(&query))))
+    });
+
+    group.finish();
+}
+
+fn tracking_index(c: &mut Criterion) {
+    use inflow_tracking::ArTree;
+    let scale = bench_scale();
+    let w = generate_synthetic(&base_synthetic(&scale));
+    let mut group = c.benchmark_group("artree");
+    group.sample_size(20);
+    group.bench_function("build", |b| {
+        b.iter(|| black_box(ArTree::build(black_box(&w.ott))))
+    });
+    let tree = ArTree::build(&w.ott);
+    group.bench_function("point_query", |b| {
+        b.iter(|| black_box(tree.point_query(black_box(900.0))))
+    });
+    group.bench_function("range_query_10min", |b| {
+        b.iter(|| black_box(tree.range_query(black_box(600.0), black_box(1200.0))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    snapshot_queries,
+    interval_queries,
+    cph_queries,
+    substrate,
+    tracking_index
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! The figure-regeneration harness.
+//!
+//! Reruns the paper's evaluation experiments (DESIGN.md per-experiment
+//! index) and prints one CSV series per figure:
+//!
+//! ```text
+//! figures [EXPERIMENT ...] [--objects N] [--passengers N] [--duration S]
+//!         [--repeats N] [--smoke]
+//! ```
+//!
+//! With no experiment ids, the whole suite runs (`all`). Scales default to
+//! the reduced sizes documented in DESIGN.md; raise `--objects` /
+//! `--passengers` towards paper scale as your time budget allows.
+
+use inflow_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => scale.objects = parse(args.next(), "--objects"),
+            "--passengers" => scale.passengers = parse(args.next(), "--passengers"),
+            "--duration" => scale.duration = parse(args.next(), "--duration"),
+            "--repeats" => scale.repeats = parse(args.next(), "--repeats"),
+            "--smoke" => scale = Scale::smoke(),
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                print_help();
+                std::process::exit(2);
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "# scale: objects={} passengers={} duration={}s repeats={}",
+        scale.objects, scale.passengers, scale.duration, scale.repeats
+    );
+    for exp in &experiments {
+        let t0 = Instant::now();
+        match run_experiment(exp, &scale) {
+            Some(series) => {
+                series.print_csv();
+                eprintln!("# {exp} done in {:.1}s", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id {exp}; known: {ALL_EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn print_help() {
+    println!(
+        "figures — regenerate the EDBT 2016 evaluation figures\n\n\
+         usage: figures [EXPERIMENT ...] [--objects N] [--passengers N]\n\
+                [--duration SECONDS] [--repeats N] [--smoke]\n\n\
+         experiments: {}\n\
+         (default: all)",
+        ALL_EXPERIMENTS.join(", ")
+    );
+}

@@ -1,0 +1,796 @@
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (§5), plus ablations.
+//!
+//! Each experiment id (`f10a` … `f14c`, see DESIGN.md's per-experiment
+//! index) produces a series of rows `x, iterative_ms, join_ms` mirroring
+//! the corresponding figure's axes: query time (ms) as a function of one
+//! swept parameter, for the iterative and join algorithms.
+//!
+//! Scales are reduced from paper scale by default (hundreds rather than
+//! tens of thousands of objects) so the full suite regenerates in minutes;
+//! `Scale` exposes every knob, and the `figures` binary accepts
+//! `--objects`, `--passengers`, `--duration` and `--repeats` overrides for
+//! paper-scale runs.
+
+use inflow_core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
+use inflow_geometry::GridResolution;
+use inflow_indoor::PoiId;
+use inflow_uncertainty::UrConfig;
+use inflow_workload::{generate_cph, generate_synthetic, CphConfig, SyntheticConfig, Workload};
+use std::time::Instant;
+
+/// Global scale knobs for an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Synthetic moving objects (paper default: 10 K–50 K).
+    pub objects: usize,
+    /// CPH-like passengers (paper: ~21 K over 7 months).
+    pub passengers: usize,
+    /// Simulated seconds for the synthetic dataset.
+    pub duration: f64,
+    /// Query repetitions per measured point (median is reported).
+    pub repeats: usize,
+    /// Presence-integration resolution.
+    pub resolution: GridResolution,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            objects: 400,
+            passengers: 300,
+            duration: 3600.0,
+            repeats: 3,
+            resolution: GridResolution::COARSE,
+        }
+    }
+}
+
+impl Scale {
+    /// A very small scale for smoke tests of the harness itself.
+    pub fn smoke() -> Scale {
+        Scale { objects: 60, passengers: 60, duration: 900.0, repeats: 1, ..Scale::default() }
+    }
+}
+
+/// Default experiment parameters (Table 4 defaults).
+pub mod defaults {
+    /// Default result size `k`.
+    pub const K: usize = 10;
+    /// Default query POI percentage.
+    pub const POI_PERCENT: usize = 60;
+    /// Default detection range (synthetic), metres.
+    pub const DETECTION_RANGE: f64 = 1.0;
+    /// Default interval length, seconds (20 minutes).
+    pub const INTERVAL_LEN: f64 = 1200.0;
+    /// The swept `k` values (Figures 10a, 12a, 13a, 14a).
+    pub const K_SWEEP: [usize; 6] = [1, 10, 20, 30, 40, 50];
+    /// The swept POI percentages (Figures 10b, 12b, 13b, 14b).
+    pub const POI_SWEEP: [usize; 5] = [20, 40, 60, 80, 100];
+    /// The swept detection ranges (Figure 11).
+    pub const RANGE_SWEEP: [f64; 4] = [1.0, 1.5, 2.0, 2.5];
+    /// The swept interval lengths in minutes (Figures 12d, 14c).
+    pub const INTERVAL_SWEEP_MIN: [usize; 6] = [10, 20, 30, 40, 50, 60];
+}
+
+/// One measured point of a series.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The swept parameter's value, formatted.
+    pub x: String,
+    /// Median iterative query time (ms).
+    pub iterative_ms: f64,
+    /// Median join query time (ms).
+    pub join_ms: f64,
+}
+
+/// A completed experiment: id, axis label, and the measured series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub experiment: String,
+    pub x_label: String,
+    pub rows: Vec<Row>,
+}
+
+impl Series {
+    /// Prints the series as CSV (`experiment, x, iterative_ms, join_ms`).
+    pub fn print_csv(&self) {
+        println!("# {} — x = {}", self.experiment, self.x_label);
+        println!("experiment,x,iterative_ms,join_ms");
+        for row in &self.rows {
+            println!("{},{},{:.2},{:.2}", self.experiment, row.x, row.iterative_ms, row.join_ms);
+        }
+        println!();
+    }
+}
+
+/// The base synthetic configuration at a given scale.
+pub fn base_synthetic(scale: &Scale) -> SyntheticConfig {
+    SyntheticConfig {
+        num_objects: scale.objects,
+        duration: scale.duration,
+        detection_range: defaults::DETECTION_RANGE,
+        ..SyntheticConfig::default()
+    }
+}
+
+/// The base CPH-like configuration at a given scale.
+pub fn base_cph(scale: &Scale) -> CphConfig {
+    CphConfig { num_passengers: scale.passengers, ..CphConfig::default() }
+}
+
+/// Builds the analytics stack for a workload.
+pub fn analytics(w: Workload, scale: &Scale) -> FlowAnalytics {
+    let cfg = UrConfig {
+        vmax: w.vmax,
+        topology_check: true,
+        resolution: scale.resolution,
+        ..UrConfig::default()
+    };
+    FlowAnalytics::new(w.ctx.clone(), w.ott, cfg)
+}
+
+/// A deterministic pseudo-random `percent`% subset of the plan's POIs.
+pub fn poi_subset(fa: &FlowAnalytics, percent: usize, salt: usize) -> Vec<PoiId> {
+    let all = fa.engine().context().plan().pois();
+    let take = (all.len() * percent / 100).max(1);
+    let mut ids: Vec<PoiId> = (0..take)
+        .map(|i| all[(i * 13 + salt * 7 + 3) % all.len()].id)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+/// Times both algorithms on a set of snapshot queries; returns median ms.
+pub fn time_snapshot(fa: &FlowAnalytics, queries: &[SnapshotQuery]) -> (f64, f64) {
+    let mut it = Vec::new();
+    let mut jn = Vec::new();
+    for q in queries {
+        let t0 = Instant::now();
+        std::hint::black_box(fa.snapshot_topk_iterative(q));
+        it.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        std::hint::black_box(fa.snapshot_topk_join(q));
+        jn.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(it), median(jn))
+}
+
+/// Times both algorithms on a set of interval queries; returns median ms.
+pub fn time_interval(fa: &FlowAnalytics, queries: &[IntervalQuery]) -> (f64, f64) {
+    let mut it = Vec::new();
+    let mut jn = Vec::new();
+    for q in queries {
+        let t0 = Instant::now();
+        std::hint::black_box(fa.interval_topk_iterative(q));
+        it.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        std::hint::black_box(fa.interval_topk_join(q));
+        jn.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(it), median(jn))
+}
+
+/// Query time points spread over the simulation's busy middle.
+fn snapshot_times(scale: &Scale) -> Vec<f64> {
+    (0..scale.repeats)
+        .map(|i| scale.duration * (0.35 + 0.1 * i as f64))
+        .collect()
+}
+
+fn snapshot_queries(
+    fa: &FlowAnalytics,
+    scale: &Scale,
+    k: usize,
+    percent: usize,
+) -> Vec<SnapshotQuery> {
+    snapshot_times(scale)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| SnapshotQuery::new(t, poi_subset(fa, percent, i), k))
+        .collect()
+}
+
+fn interval_queries(
+    fa: &FlowAnalytics,
+    scale: &Scale,
+    k: usize,
+    percent: usize,
+    len: f64,
+) -> Vec<IntervalQuery> {
+    (0..scale.repeats)
+        .map(|i| {
+            let ts = (scale.duration * (0.15 + 0.1 * i as f64)).max(0.0);
+            let te = (ts + len).min(scale.duration);
+            IntervalQuery::new(ts, te, poi_subset(fa, percent, i), k)
+        })
+        .collect()
+}
+
+// ───────────────────────── experiments ─────────────────────────────────
+
+/// Figure 10(a): snapshot query vs `k`, synthetic data.
+pub fn f10a(scale: &Scale) -> Series {
+    let fa = analytics(generate_synthetic(&base_synthetic(scale)), scale);
+    let rows = defaults::K_SWEEP
+        .iter()
+        .map(|&k| {
+            let qs = snapshot_queries(&fa, scale, k, defaults::POI_PERCENT);
+            let (i, j) = time_snapshot(&fa, &qs);
+            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f10a".into(), x_label: "k".into(), rows }
+}
+
+/// Figure 10(b): snapshot query vs `|P|`, synthetic data.
+pub fn f10b(scale: &Scale) -> Series {
+    let fa = analytics(generate_synthetic(&base_synthetic(scale)), scale);
+    let rows = defaults::POI_SWEEP
+        .iter()
+        .map(|&p| {
+            let qs = snapshot_queries(&fa, scale, defaults::K, p);
+            let (i, j) = time_snapshot(&fa, &qs);
+            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f10b".into(), x_label: "|P| (% of POIs)".into(), rows }
+}
+
+/// Figure 11(a): snapshot query vs detection range, synthetic data.
+pub fn f11a(scale: &Scale) -> Series {
+    let rows = defaults::RANGE_SWEEP
+        .iter()
+        .map(|&r| {
+            let cfg = SyntheticConfig { detection_range: r, ..base_synthetic(scale) };
+            let fa = analytics(generate_synthetic(&cfg), scale);
+            let qs = snapshot_queries(&fa, scale, defaults::K, defaults::POI_PERCENT);
+            let (i, j) = time_snapshot(&fa, &qs);
+            Row { x: format!("{r}m"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f11a".into(), x_label: "detection range".into(), rows }
+}
+
+/// Figure 11(b): interval query vs detection range, synthetic data.
+pub fn f11b(scale: &Scale) -> Series {
+    let rows = defaults::RANGE_SWEEP
+        .iter()
+        .map(|&r| {
+            let cfg = SyntheticConfig { detection_range: r, ..base_synthetic(scale) };
+            let fa = analytics(generate_synthetic(&cfg), scale);
+            let qs = interval_queries(
+                &fa,
+                scale,
+                defaults::K,
+                defaults::POI_PERCENT,
+                defaults::INTERVAL_LEN,
+            );
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: format!("{r}m"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f11b".into(), x_label: "detection range".into(), rows }
+}
+
+/// Figure 12(a): interval query vs `k`, synthetic data.
+pub fn f12a(scale: &Scale) -> Series {
+    let fa = analytics(generate_synthetic(&base_synthetic(scale)), scale);
+    let rows = defaults::K_SWEEP
+        .iter()
+        .map(|&k| {
+            let qs =
+                interval_queries(&fa, scale, k, defaults::POI_PERCENT, defaults::INTERVAL_LEN);
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f12a".into(), x_label: "k".into(), rows }
+}
+
+/// Figure 12(b): interval query vs `|P|`, synthetic data.
+pub fn f12b(scale: &Scale) -> Series {
+    let fa = analytics(generate_synthetic(&base_synthetic(scale)), scale);
+    let rows = defaults::POI_SWEEP
+        .iter()
+        .map(|&p| {
+            let qs = interval_queries(&fa, scale, defaults::K, p, defaults::INTERVAL_LEN);
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f12b".into(), x_label: "|P| (% of POIs)".into(), rows }
+}
+
+/// Figure 12(c): interval query vs `|O|`, synthetic data.
+pub fn f12c(scale: &Scale) -> Series {
+    let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let rows = fractions
+        .iter()
+        .map(|&f| {
+            let n = ((scale.objects as f64 * f) as usize).max(10);
+            let cfg = SyntheticConfig { num_objects: n, ..base_synthetic(scale) };
+            let fa = analytics(generate_synthetic(&cfg), scale);
+            let qs = interval_queries(
+                &fa,
+                scale,
+                defaults::K,
+                defaults::POI_PERCENT,
+                defaults::INTERVAL_LEN,
+            );
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: n.to_string(), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f12c".into(), x_label: "|O|".into(), rows }
+}
+
+/// Figure 12(d): interval query vs `t_e − t_s`, synthetic data.
+pub fn f12d(scale: &Scale) -> Series {
+    let fa = analytics(generate_synthetic(&base_synthetic(scale)), scale);
+    let rows = defaults::INTERVAL_SWEEP_MIN
+        .iter()
+        .map(|&mins| {
+            let len = (mins * 60) as f64;
+            let qs = interval_queries(&fa, scale, defaults::K, defaults::POI_PERCENT, len);
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: format!("{mins}min"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f12d".into(), x_label: "t_e − t_s".into(), rows }
+}
+
+/// Figure 13(a): snapshot query vs `k`, CPH-like data.
+pub fn f13a(scale: &Scale) -> Series {
+    let cfg = base_cph(scale);
+    let fa = analytics(generate_cph(&cfg), scale);
+    let rows = defaults::K_SWEEP
+        .iter()
+        .map(|&k| {
+            let qs: Vec<SnapshotQuery> = (0..scale.repeats)
+                .map(|i| {
+                    SnapshotQuery::new(
+                        cfg.duration * (0.35 + 0.1 * i as f64),
+                        poi_subset(&fa, defaults::POI_PERCENT, i),
+                        k,
+                    )
+                })
+                .collect();
+            let (i, j) = time_snapshot(&fa, &qs);
+            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f13a".into(), x_label: "k".into(), rows }
+}
+
+/// Figure 13(b): snapshot query vs `|P|`, CPH-like data.
+pub fn f13b(scale: &Scale) -> Series {
+    let cfg = base_cph(scale);
+    let fa = analytics(generate_cph(&cfg), scale);
+    let rows = defaults::POI_SWEEP
+        .iter()
+        .map(|&p| {
+            let qs: Vec<SnapshotQuery> = (0..scale.repeats)
+                .map(|i| {
+                    SnapshotQuery::new(
+                        cfg.duration * (0.35 + 0.1 * i as f64),
+                        poi_subset(&fa, p, i),
+                        defaults::K,
+                    )
+                })
+                .collect();
+            let (i, j) = time_snapshot(&fa, &qs);
+            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f13b".into(), x_label: "|P| (% of POIs)".into(), rows }
+}
+
+fn cph_interval_queries(
+    fa: &FlowAnalytics,
+    scale: &Scale,
+    duration: f64,
+    k: usize,
+    percent: usize,
+    len: f64,
+) -> Vec<IntervalQuery> {
+    (0..scale.repeats)
+        .map(|i| {
+            let ts = duration * (0.2 + 0.1 * i as f64);
+            IntervalQuery::new(ts, (ts + len).min(duration), poi_subset(fa, percent, i), k)
+        })
+        .collect()
+}
+
+/// Figure 14(a): interval query vs `k`, CPH-like data.
+pub fn f14a(scale: &Scale) -> Series {
+    let cfg = base_cph(scale);
+    let fa = analytics(generate_cph(&cfg), scale);
+    let rows = defaults::K_SWEEP
+        .iter()
+        .map(|&k| {
+            let qs = cph_interval_queries(
+                &fa,
+                scale,
+                cfg.duration,
+                k,
+                defaults::POI_PERCENT,
+                defaults::INTERVAL_LEN,
+            );
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f14a".into(), x_label: "k".into(), rows }
+}
+
+/// Figure 14(b): interval query vs `|P|`, CPH-like data.
+pub fn f14b(scale: &Scale) -> Series {
+    let cfg = base_cph(scale);
+    let fa = analytics(generate_cph(&cfg), scale);
+    let rows = defaults::POI_SWEEP
+        .iter()
+        .map(|&p| {
+            let qs = cph_interval_queries(
+                &fa,
+                scale,
+                cfg.duration,
+                defaults::K,
+                p,
+                defaults::INTERVAL_LEN,
+            );
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f14b".into(), x_label: "|P| (% of POIs)".into(), rows }
+}
+
+/// Figure 14(c): interval query vs `t_e − t_s`, CPH-like data.
+pub fn f14c(scale: &Scale) -> Series {
+    let cfg = base_cph(scale);
+    let fa = analytics(generate_cph(&cfg), scale);
+    let rows = defaults::INTERVAL_SWEEP_MIN
+        .iter()
+        .map(|&mins| {
+            let len = (mins * 60) as f64;
+            let qs = cph_interval_queries(
+                &fa,
+                scale,
+                cfg.duration,
+                defaults::K,
+                defaults::POI_PERCENT,
+                len,
+            );
+            let (i, j) = time_interval(&fa, &qs);
+            Row { x: format!("{mins}min"), iterative_ms: i, join_ms: j }
+        })
+        .collect();
+    Series { experiment: "f14c".into(), x_label: "t_e − t_s".into(), rows }
+}
+
+// ───────────────────────── ablations ────────────────────────────────────
+
+/// Ablation: topology check on/off. Column semantics differ from the
+/// figures: `iterative_ms` = topology OFF, `join_ms` = topology ON (both
+/// via the join algorithm).
+pub fn abl_topo(scale: &Scale) -> Series {
+    let mk = |topo: bool| {
+        let w = generate_synthetic(&base_synthetic(scale));
+        let cfg = UrConfig {
+            vmax: w.vmax,
+            topology_check: topo,
+            resolution: scale.resolution,
+            ..UrConfig::default()
+        };
+        FlowAnalytics::new(w.ctx.clone(), w.ott, cfg)
+    };
+    let fa_on = mk(true);
+    let fa_off = mk(false);
+    let mut rows = Vec::new();
+
+    let snaps = snapshot_queries(&fa_on, scale, defaults::K, defaults::POI_PERCENT);
+    let time_snap = |fa: &FlowAnalytics| {
+        let t0 = Instant::now();
+        for q in &snaps {
+            std::hint::black_box(fa.snapshot_topk_join(q));
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / snaps.len() as f64
+    };
+    rows.push(Row {
+        x: "snapshot".into(),
+        iterative_ms: time_snap(&fa_off),
+        join_ms: time_snap(&fa_on),
+    });
+
+    let ints =
+        interval_queries(&fa_on, scale, defaults::K, defaults::POI_PERCENT, defaults::INTERVAL_LEN);
+    let time_int = |fa: &FlowAnalytics| {
+        let t0 = Instant::now();
+        for q in &ints {
+            std::hint::black_box(fa.interval_topk_join(q));
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / ints.len() as f64
+    };
+    rows.push(Row {
+        x: "interval-20min".into(),
+        iterative_ms: time_int(&fa_off),
+        join_ms: time_int(&fa_on),
+    });
+
+    Series {
+        experiment: "abl-topo".into(),
+        x_label: "query type (iterative_ms column = topology OFF, join_ms = ON)".into(),
+        rows,
+    }
+}
+
+/// Ablation: the §4.3.2 small-MBR improvement on the interval join
+/// (`iterative_ms` column = single large MBR, `join_ms` = per-segment).
+pub fn abl_mbr(scale: &Scale) -> Series {
+    use inflow_core::JoinConfig;
+    let mk = |seg: bool| {
+        let w = generate_synthetic(&base_synthetic(scale));
+        let cfg = UrConfig {
+            vmax: w.vmax,
+            topology_check: true,
+            resolution: scale.resolution,
+            ..UrConfig::default()
+        };
+        FlowAnalytics::new(w.ctx.clone(), w.ott, cfg)
+            .with_join_config(JoinConfig { use_segment_mbrs: seg })
+    };
+    let fa_seg = mk(true);
+    let fa_big = mk(false);
+    let rows = defaults::INTERVAL_SWEEP_MIN[..3]
+        .iter()
+        .map(|&mins| {
+            let len = (mins * 60) as f64;
+            let qs = interval_queries(&fa_seg, scale, defaults::K, defaults::POI_PERCENT, len);
+            let time = |fa: &FlowAnalytics| {
+                let t0 = Instant::now();
+                for q in &qs {
+                    std::hint::black_box(fa.interval_topk_join(q));
+                }
+                t0.elapsed().as_secs_f64() * 1e3 / qs.len() as f64
+            };
+            Row { x: format!("{mins}min"), iterative_ms: time(&fa_big), join_ms: time(&fa_seg) }
+        })
+        .collect();
+    Series {
+        experiment: "abl-mbr".into(),
+        x_label: "t_e − t_s (iterative_ms column = large MBR, join_ms = small MBRs)".into(),
+        rows,
+    }
+}
+
+/// Ablation: the paper's coarse snapshot-MBR estimation (Algorithm 2,
+/// line 8 merges the two extended device MBRs) vs the tighter
+/// intersection. Column semantics: `iterative_ms` = paper merge (union),
+/// `join_ms` = tight intersection; both run the snapshot join.
+pub fn abl_snapmbr(scale: &Scale) -> Series {
+    let mk = |paper: bool| {
+        let w = generate_synthetic(&base_synthetic(scale));
+        let cfg = UrConfig {
+            vmax: w.vmax,
+            topology_check: true,
+            resolution: scale.resolution,
+            paper_coarse_mbr: paper,
+        };
+        FlowAnalytics::new(w.ctx.clone(), w.ott, cfg)
+    };
+    let fa_paper = mk(true);
+    let fa_tight = mk(false);
+    let rows = [1usize, 10, 50]
+        .iter()
+        .map(|&k| {
+            let qs = snapshot_queries(&fa_paper, scale, k, defaults::POI_PERCENT);
+            let time = |fa: &FlowAnalytics| {
+                let t0 = Instant::now();
+                for q in &qs {
+                    std::hint::black_box(fa.snapshot_topk_join(q));
+                }
+                t0.elapsed().as_secs_f64() * 1e3 / qs.len() as f64
+            };
+            Row { x: format!("k={k}"), iterative_ms: time(&fa_paper), join_ms: time(&fa_tight) }
+        })
+        .collect();
+    Series {
+        experiment: "abl-snapmbr".into(),
+        x_label: "k (iterative_ms column = paper merge MBR, join_ms = tight MBR)".into(),
+        rows,
+    }
+}
+
+/// Ablation: presence-integration resolution vs accuracy and cost.
+/// `iterative_ms` column = mean relative error vs the FINE reference
+/// (×1e-3), `join_ms` = mean presence time in microseconds.
+pub fn abl_grid(scale: &Scale) -> Series {
+    use inflow_geometry::Region;
+    let w = generate_synthetic(&SyntheticConfig { num_objects: 40, ..base_synthetic(scale) });
+    let engine_for = |res: GridResolution| {
+        inflow_uncertainty::UrEngine::new(
+            w.ctx.clone(),
+            UrConfig {
+                vmax: w.vmax,
+                topology_check: true,
+                resolution: res,
+                ..UrConfig::default()
+            },
+        )
+    };
+    let fine = engine_for(GridResolution::FINE);
+    let (ts, te) = (scale.duration * 0.3, scale.duration * 0.3 + 600.0);
+
+    // Reference presences on the FINE grid.
+    let plan = w.ctx.plan();
+    let mut cases = Vec::new();
+    for o in 0..30u32 {
+        if let Some(ur) = fine.interval_ur(&w.ott, inflow_tracking::ObjectId(o), ts, te) {
+            if ur.is_empty() {
+                continue;
+            }
+            for poi in plan.pois().iter().take(20) {
+                if ur.mbr().intersects(&poi.mbr()) {
+                    let reference = fine.presence(&ur, poi);
+                    if reference > 1e-3 {
+                        cases.push((o, poi.id, reference));
+                    }
+                }
+            }
+        }
+    }
+
+    let rows = [
+        ("16x2", GridResolution::new(16, 2)),
+        ("32x2", GridResolution::COARSE),
+        ("64x4", GridResolution::DEFAULT),
+        ("96x4", GridResolution::new(96, 4)),
+    ]
+    .iter()
+    .map(|(label, res)| {
+        let eng = engine_for(*res);
+        let mut err_sum = 0.0;
+        let mut time_sum = 0.0;
+        let mut n = 0usize;
+        for &(o, poi, reference) in &cases {
+            let Some(ur) = eng.interval_ur(&w.ott, inflow_tracking::ObjectId(o), ts, te) else {
+                continue;
+            };
+            let t0 = Instant::now();
+            let p = eng.presence(&ur, plan.poi(poi));
+            time_sum += t0.elapsed().as_secs_f64() * 1e6;
+            err_sum += (p - reference).abs() / reference;
+            n += 1;
+        }
+        Row {
+            x: label.to_string(),
+            iterative_ms: err_sum / n.max(1) as f64 * 1e3,
+            join_ms: time_sum / n.max(1) as f64,
+        }
+    })
+    .collect();
+    Series {
+        experiment: "abl-grid".into(),
+        x_label: "resolution (iterative_ms column = rel. error ×1e-3, join_ms = µs/presence)"
+            .into(),
+        rows,
+    }
+}
+
+/// Ablation: answer quality against simulated ground truth. Column
+/// semantics: `iterative_ms` = precision@5, `join_ms` = precision@10 of
+/// the estimated top-k vs the true visit-count ranking (1.0 = identical
+/// membership).
+pub fn abl_accuracy(scale: &Scale) -> Series {
+    use inflow_workload::{ranking_overlap, true_interval_ranking, true_snapshot_ranking};
+    let w = generate_synthetic(&base_synthetic(scale));
+    let plan_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+    let ctx = w.ctx.clone();
+    let ground_truth = w.ground_truth.clone();
+    let fa = analytics(w, scale);
+
+    let mut rows = Vec::new();
+
+    // Snapshot accuracy at the busy middle of the simulation.
+    let t = scale.duration * 0.5;
+    let est = fa
+        .snapshot_topk_iterative(&SnapshotQuery::new(t, plan_pois.clone(), plan_pois.len()))
+        .poi_ids();
+    let truth: Vec<PoiId> = true_snapshot_ranking(ctx.plan(), &ground_truth, t)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    rows.push(Row {
+        x: "snapshot".into(),
+        iterative_ms: ranking_overlap(&est, &truth, 5),
+        join_ms: ranking_overlap(&est, &truth, 10),
+    });
+
+    // Interval accuracy over the default window.
+    let (ts, te) = (scale.duration * 0.3, scale.duration * 0.3 + defaults::INTERVAL_LEN);
+    let est = fa
+        .interval_topk_iterative(&IntervalQuery::new(ts, te, plan_pois.clone(), plan_pois.len()))
+        .poi_ids();
+    let truth: Vec<PoiId> = true_interval_ranking(ctx.plan(), &ground_truth, ts, te, 5.0)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    rows.push(Row {
+        x: "interval-20min".into(),
+        iterative_ms: ranking_overlap(&est, &truth, 5),
+        join_ms: ranking_overlap(&est, &truth, 10),
+    });
+
+    Series {
+        experiment: "abl-accuracy".into(),
+        x_label: "query type (iterative_ms column = precision@5, join_ms = precision@10)".into(),
+        rows,
+    }
+}
+
+/// All experiment ids in suite order.
+pub const ALL_EXPERIMENTS: [&str; 18] = [
+    "f10a", "f10b", "f11a", "f11b", "f12a", "f12b", "f12c", "f12d", "f13a", "f13b", "f14a",
+    "f14b", "f14c", "abl-topo", "abl-mbr", "abl-snapmbr", "abl-grid", "abl-accuracy",
+];
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str, scale: &Scale) -> Option<Series> {
+    Some(match id {
+        "f10a" => f10a(scale),
+        "f10b" => f10b(scale),
+        "f11a" => f11a(scale),
+        "f11b" => f11b(scale),
+        "f12a" => f12a(scale),
+        "f12b" => f12b(scale),
+        "f12c" => f12c(scale),
+        "f12d" => f12d(scale),
+        "f13a" => f13a(scale),
+        "f13b" => f13b(scale),
+        "f14a" => f14a(scale),
+        "f14b" => f14b(scale),
+        "f14c" => f14c(scale),
+        "abl-topo" => abl_topo(scale),
+        "abl-mbr" => abl_mbr(scale),
+        "abl-snapmbr" => abl_snapmbr(scale),
+        "abl-grid" => abl_grid(scale),
+        "abl-accuracy" => abl_accuracy(scale),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poi_subset_is_deterministic_and_sized() {
+        let scale = Scale::smoke();
+        let fa = analytics(generate_synthetic(&base_synthetic(&scale)), &scale);
+        let a = poi_subset(&fa, 60, 0);
+        let b = poi_subset(&fa, 60, 0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let larger = poi_subset(&fa, 100, 0);
+        assert!(larger.len() >= a.len());
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("nope", &Scale::smoke()).is_none());
+    }
+
+    #[test]
+    fn smoke_run_f10a() {
+        let s = run_experiment("f10a", &Scale::smoke()).unwrap();
+        assert_eq!(s.rows.len(), defaults::K_SWEEP.len());
+        assert!(s.rows.iter().all(|r| r.iterative_ms >= 0.0 && r.join_ms >= 0.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! The top-level query façade.
+
+use crate::iterative;
+use crate::join::{self, JoinConfig};
+use crate::query::{IntervalQuery, QueryResult, SnapshotQuery};
+use inflow_indoor::PoiId;
+use inflow_rtree::RTree;
+use inflow_tracking::{ArTree, ObjectTrackingTable};
+use inflow_uncertainty::{IndoorContext, UrConfig, UrEngine};
+use std::sync::Arc;
+
+/// Flow analytics over one floor plan and one Object Tracking Table.
+///
+/// Owns the uncertainty engine and the AR-tree, and executes the paper's
+/// four top-k algorithms. The POI R-tree `R_P` is built per query, since
+/// the query POI set `P` is a query parameter (§5.1 varies `|P|`).
+///
+/// ```
+/// # use inflow_core::{FlowAnalytics, SnapshotQuery};
+/// # use inflow_geometry::{Point, Polygon};
+/// # use inflow_indoor::{CellKind, FloorPlanBuilder};
+/// # use inflow_tracking::{ObjectId, ObjectTrackingTable, OttRow};
+/// # use inflow_uncertainty::{IndoorContext, UrConfig};
+/// # use std::sync::Arc;
+/// let mut b = FloorPlanBuilder::new();
+/// b.add_cell("hall", CellKind::Hallway,
+///     Polygon::rectangle(Point::new(0.0, 0.0), Point::new(20.0, 4.0)));
+/// let dev = b.add_device("dev0", Point::new(2.0, 2.0), 1.0);
+/// let poi = b.add_poi("shop", Polygon::rectangle(Point::new(1.0, 0.0), Point::new(4.0, 4.0)));
+/// let ctx = Arc::new(IndoorContext::new(b.build().unwrap()));
+/// let ott = ObjectTrackingTable::from_rows(vec![OttRow {
+///     object: ObjectId(0), device: dev, ts: 0.0, te: 10.0,
+/// }]).unwrap();
+/// let analytics = FlowAnalytics::new(ctx, ott, UrConfig { vmax: 1.1, ..Default::default() });
+/// let result = analytics.snapshot_topk_join(&SnapshotQuery::new(5.0, vec![poi], 1));
+/// assert_eq!(result.ranked[0].0, poi);
+/// assert!(result.ranked[0].1 > 0.0);
+/// ```
+pub struct FlowAnalytics {
+    engine: UrEngine,
+    ott: ObjectTrackingTable,
+    artree: ArTree,
+    join_cfg: JoinConfig,
+}
+
+impl FlowAnalytics {
+    /// Builds the analytics stack: uncertainty engine plus AR-tree.
+    pub fn new(ctx: Arc<IndoorContext>, ott: ObjectTrackingTable, cfg: UrConfig) -> FlowAnalytics {
+        let artree = ArTree::build(&ott);
+        FlowAnalytics {
+            engine: UrEngine::new(ctx, cfg),
+            ott,
+            artree,
+            join_cfg: JoinConfig::default(),
+        }
+    }
+
+    /// Overrides the join-algorithm configuration (ablation switches).
+    pub fn with_join_config(mut self, join_cfg: JoinConfig) -> FlowAnalytics {
+        self.join_cfg = join_cfg;
+        self
+    }
+
+    /// The uncertainty engine.
+    pub fn engine(&self) -> &UrEngine {
+        &self.engine
+    }
+
+    /// The Object Tracking Table.
+    pub fn ott(&self) -> &ObjectTrackingTable {
+        &self.ott
+    }
+
+    /// The AR-tree over the OTT.
+    pub fn artree(&self) -> &ArTree {
+        &self.artree
+    }
+
+    /// Builds the POI R-tree `R_P` over the query POI set.
+    pub(crate) fn build_poi_rtree(&self, pois: &[PoiId]) -> RTree<PoiId> {
+        let plan = self.engine.context().plan();
+        RTree::bulk_load(pois.iter().map(|&p| (plan.poi(p).mbr(), p)).collect())
+    }
+
+    /// Snapshot top-k via the iterative Algorithm 1.
+    pub fn snapshot_topk_iterative(&self, q: &SnapshotQuery) -> QueryResult {
+        iterative::snapshot(self, q)
+    }
+
+    /// Snapshot top-k via the join Algorithm 2 (+ expandList, Algorithm 3).
+    pub fn snapshot_topk_join(&self, q: &SnapshotQuery) -> QueryResult {
+        join::snapshot(self, q, &self.join_cfg)
+    }
+
+    /// Interval top-k via the iterative Algorithm 4.
+    pub fn interval_topk_iterative(&self, q: &IntervalQuery) -> QueryResult {
+        iterative::interval(self, q)
+    }
+
+    /// Interval top-k via the improved join Algorithm 5.
+    pub fn interval_topk_join(&self, q: &IntervalQuery) -> QueryResult {
+        join::interval(self, q, &self.join_cfg)
+    }
+
+    /// All snapshot flows (unranked), mainly for tests and inspection.
+    pub fn snapshot_flows(&self, q: &SnapshotQuery) -> Vec<(PoiId, f64)> {
+        iterative::snapshot_flows(self, q)
+    }
+
+    /// All interval flows (unranked), mainly for tests and inspection.
+    pub fn interval_flows(&self, q: &IntervalQuery) -> Vec<(PoiId, f64)> {
+        iterative::interval_flows(self, q)
+    }
+}

@@ -1,0 +1,198 @@
+//! Probabilistic snapshot density analysis.
+//!
+//! The paper's related-work discussion (§6.2) contrasts its POI flows
+//! with outdoor *density queries* — finding dense regions rather than
+//! ranking fixed POIs. This module brings that query type indoors: under
+//! the standard uniform-within-UR assumption, an object contributes
+//! `area(UR ∩ cell) / area(UR)` expected presence to each grid cell, and
+//! the densest cells at a time point fall out of a single pass over the
+//! snapshot uncertainty regions.
+//!
+//! Note the different normalization from POI flow (Definition 1): flow
+//! divides by the *POI's* area (a coverage measure), density divides by
+//! the *UR's* area (a probability measure), so per-cell expectations sum
+//! to the population size.
+
+use crate::analytics::FlowAnalytics;
+use inflow_geometry::{area_in_window, area_of_region, GridResolution, Mbr, Point, Region};
+use inflow_tracking::{ArTree, Timestamp};
+
+/// Expected object counts on a uniform grid at one time point.
+#[derive(Debug, Clone)]
+pub struct DensityGrid {
+    origin: Point,
+    cell_size: f64,
+    nx: usize,
+    ny: usize,
+    expected: Vec<f64>,
+}
+
+impl DensityGrid {
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Edge length of a cell in metres.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// The world rectangle of cell `(i, j)`.
+    pub fn cell_mbr(&self, i: usize, j: usize) -> Mbr {
+        let lo = Point::new(
+            self.origin.x + i as f64 * self.cell_size,
+            self.origin.y + j as f64 * self.cell_size,
+        );
+        Mbr::new(lo, Point::new(lo.x + self.cell_size, lo.y + self.cell_size))
+    }
+
+    /// Expected object count in cell `(i, j)`.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.expected[j * self.nx + i]
+    }
+
+    /// Total expected count across the grid — approximately the number of
+    /// tracked objects whose uncertainty region lies within the grid.
+    pub fn total(&self) -> f64 {
+        self.expected.iter().sum()
+    }
+
+    /// The `k` densest cells, as `(i, j, expected)` sorted descending.
+    pub fn hottest(&self, k: usize) -> Vec<(usize, usize, f64)> {
+        let mut cells: Vec<(usize, usize, f64)> = (0..self.ny)
+            .flat_map(|j| (0..self.nx).map(move |i| (i, j)))
+            .map(|(i, j)| (i, j, self.value(i, j)))
+            .collect();
+        cells.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("densities are never NaN")
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        cells.truncate(k);
+        cells
+    }
+}
+
+/// Computes the expected-count density grid at time `t` with square cells
+/// of `cell_size` metres covering the floor plan.
+pub fn snapshot_density(fa: &FlowAnalytics, t: Timestamp, cell_size: f64) -> DensityGrid {
+    assert!(cell_size > 0.0, "cell size must be positive");
+    let plan = fa.engine().context().plan();
+    let window = plan.mbr();
+    let origin = window.lo;
+    let nx = (window.width() / cell_size).ceil().max(1.0) as usize;
+    let ny = (window.height() / cell_size).ceil().max(1.0) as usize;
+    let mut grid =
+        DensityGrid { origin, cell_size, nx, ny, expected: vec![0.0; nx * ny] };
+
+    // Cheaper integration than presence: density is an aggregate view, so
+    // coarse cells tolerate coarse grids.
+    let res = GridResolution::COARSE;
+    for entry in fa.artree().point_query(t) {
+        let Some(state) = ArTree::resolve_state(fa.ott(), entry, t) else { continue };
+        let ur = fa.engine().snapshot_ur(fa.ott(), state, t);
+        if ur.is_empty() {
+            continue;
+        }
+        let total_area = area_of_region(&ur, res);
+        if total_area <= f64::EPSILON {
+            continue;
+        }
+        // Only cells overlapping the UR's MBR can receive mass.
+        let m = ur.mbr();
+        let i0 = (((m.lo.x - origin.x) / cell_size).floor().max(0.0)) as usize;
+        let j0 = (((m.lo.y - origin.y) / cell_size).floor().max(0.0)) as usize;
+        let i1 = ((((m.hi.x - origin.x) / cell_size).ceil()) as usize).min(nx);
+        let j1 = ((((m.hi.y - origin.y) / cell_size).ceil()) as usize).min(ny);
+        for j in j0..j1 {
+            for i in i0..i1 {
+                let cell = grid.cell_mbr(i, j);
+                let inter = area_in_window(&ur, cell, res);
+                if inter > 0.0 {
+                    grid.expected[j * nx + i] += inter / total_area;
+                }
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::Polygon;
+    use inflow_indoor::{CellKind, FloorPlanBuilder};
+    use inflow_tracking::{ObjectId, ObjectTrackingTable, OttRow};
+    use inflow_uncertainty::{IndoorContext, UrConfig};
+    use std::sync::Arc;
+
+    /// One 40×40 hall with a reader near the south-west corner.
+    fn setup(object_count: u32) -> FlowAnalytics {
+        let mut b = FloorPlanBuilder::new();
+        b.add_cell(
+            "hall",
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(40.0, 40.0)),
+        );
+        let dev = b.add_device("dev", Point::new(5.0, 5.0), 2.0);
+        b.add_poi("poi", Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
+        let ctx = Arc::new(IndoorContext::new(b.build().unwrap()));
+        let rows = (0..object_count)
+            .map(|o| OttRow { object: ObjectId(o), device: dev, ts: 0.0, te: 100.0 })
+            .collect();
+        let ott = ObjectTrackingTable::from_rows(rows).unwrap();
+        FlowAnalytics::new(ctx, ott, UrConfig { vmax: 1.1, ..UrConfig::default() })
+    }
+
+    #[test]
+    fn mass_concentrates_at_the_detection_disk() {
+        let fa = setup(3);
+        let grid = snapshot_density(&fa, 50.0, 10.0);
+        assert_eq!(grid.dims(), (4, 4));
+        // All three objects are inside the r=2 disk around (5,5): cell (0,0).
+        let hottest = grid.hottest(1)[0];
+        assert_eq!((hottest.0, hottest.1), (0, 0));
+        assert!((hottest.2 - 3.0).abs() < 0.05, "expected ≈3, got {}", hottest.2);
+        // Far cells see nothing.
+        assert!(grid.value(3, 3) < 1e-9);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let fa = setup(5);
+        let grid = snapshot_density(&fa, 50.0, 8.0);
+        assert!((grid.total() - 5.0).abs() < 0.1, "total {}", grid.total());
+    }
+
+    #[test]
+    fn untracked_time_gives_empty_grid() {
+        let fa = setup(2);
+        let grid = snapshot_density(&fa, 1000.0, 10.0);
+        assert!(grid.total() < 1e-9);
+    }
+
+    #[test]
+    fn cell_mbrs_tile_the_plan() {
+        let fa = setup(1);
+        let grid = snapshot_density(&fa, 50.0, 10.0);
+        let (nx, ny) = grid.dims();
+        let mut area = 0.0;
+        for j in 0..ny {
+            for i in 0..nx {
+                area += grid.cell_mbr(i, j).area();
+            }
+        }
+        assert!((area - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hottest_is_sorted_descending() {
+        let fa = setup(4);
+        let grid = snapshot_density(&fa, 50.0, 10.0);
+        let hot = grid.hottest(5);
+        for w in hot.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The iterative query algorithms (Algorithms 1 and 4).
+//!
+//! Straightforward processing: derive the uncertainty region of *every*
+//! object relevant to the query time parameter, find the POIs it
+//! intersects via `R_P`, and accumulate presences into per-POI flow
+//! values. Serves as the baseline the join algorithms are compared
+//! against throughout §5.
+
+use crate::analytics::FlowAnalytics;
+use crate::query::{rank_topk, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
+use inflow_geometry::Region;
+use inflow_indoor::PoiId;
+use inflow_tracking::{ArTree, ObjectId};
+use std::collections::HashMap;
+
+/// Algorithm 1: iterative snapshot top-k.
+pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery) -> QueryResult {
+    let (flows, stats) = snapshot_flows_with_stats(fa, q);
+    QueryResult { ranked: rank_topk(flows, q.k), stats }
+}
+
+/// Algorithm 4: iterative interval top-k.
+pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery) -> QueryResult {
+    let (flows, stats) = interval_flows_with_stats(fa, q);
+    QueryResult { ranked: rank_topk(flows, q.k), stats }
+}
+
+/// All snapshot flows, unranked.
+pub fn snapshot_flows(fa: &FlowAnalytics, q: &SnapshotQuery) -> Vec<(PoiId, f64)> {
+    snapshot_flows_with_stats(fa, q).0
+}
+
+/// All interval flows, unranked.
+pub fn interval_flows(fa: &FlowAnalytics, q: &IntervalQuery) -> Vec<(PoiId, f64)> {
+    interval_flows_with_stats(fa, q).0
+}
+
+fn snapshot_flows_with_stats(
+    fa: &FlowAnalytics,
+    q: &SnapshotQuery,
+) -> (Vec<(PoiId, f64)>, QueryStats) {
+    let rp = fa.build_poi_rtree(&q.pois);
+    let plan = fa.engine().context().plan();
+    let mut flows: HashMap<PoiId, f64> = q.pois.iter().map(|&p| (p, 0.0)).collect();
+    let mut stats = QueryStats::default();
+
+    // Point query on the AR-tree: all objects with an augmented tracking
+    // interval covering t (Algorithm 1, line 3).
+    for entry in fa.artree().point_query(q.t) {
+        let Some(state) = ArTree::resolve_state(fa.ott(), entry, q.t) else { continue };
+        stats.objects_considered += 1;
+        let ur = fa.engine().snapshot_ur(fa.ott(), state, q.t);
+        stats.urs_built += 1;
+        if ur.is_empty() {
+            continue;
+        }
+        for &poi_id in rp.query_intersecting(&ur.mbr()) {
+            let poi = plan.poi(poi_id);
+            stats.presence_evaluations += 1;
+            let presence = fa.engine().presence(&ur, poi);
+            if presence > 0.0 {
+                *flows.get_mut(&poi_id).expect("query POI") += presence;
+            }
+        }
+    }
+    (flows.into_iter().collect(), stats)
+}
+
+fn interval_flows_with_stats(
+    fa: &FlowAnalytics,
+    q: &IntervalQuery,
+) -> (Vec<(PoiId, f64)>, QueryStats) {
+    let rp = fa.build_poi_rtree(&q.pois);
+    let plan = fa.engine().context().plan();
+    let mut flows: HashMap<PoiId, f64> = q.pois.iter().map(|&p| (p, 0.0)).collect();
+    let mut stats = QueryStats::default();
+
+    // Range query on the AR-tree; the distinct objects form the relevant
+    // population (Algorithm 4, lines 3–6).
+    let mut objects: Vec<ObjectId> =
+        fa.artree().range_query(q.ts, q.te).iter().map(|e| e.object).collect();
+    objects.sort_unstable();
+    objects.dedup();
+
+    for object in objects {
+        stats.objects_considered += 1;
+        let Some(ur) = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te) else { continue };
+        stats.urs_built += 1;
+        if ur.is_empty() {
+            continue;
+        }
+        for &poi_id in rp.query_intersecting(&ur.mbr()) {
+            let poi = plan.poi(poi_id);
+            stats.presence_evaluations += 1;
+            let presence = fa.engine().presence(&ur, poi);
+            if presence > 0.0 {
+                *flows.get_mut(&poi_id).expect("query POI") += presence;
+            }
+        }
+    }
+    (flows.into_iter().collect(), stats)
+}

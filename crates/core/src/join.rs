@@ -1,0 +1,443 @@
+//! The join query algorithms (Algorithms 2, 3 and 5).
+//!
+//! Three phases (§4.2.2, §4.3.2):
+//!
+//! 1. build an in-memory **aggregate R-tree** `R_I` over the MBRs of the
+//!    objects relevant to the query, each node entry augmented with the
+//!    count of objects in its subtree;
+//! 2. initialize a max-priority queue pairing POI R-tree (`R_P`) entries
+//!    with *join lists* of `R_I` entries whose MBRs overlap, prioritized by
+//!    the count-based **upper-bound flow** (an object's presence never
+//!    exceeds 1, so the object count bounds the flow from above);
+//! 3. drain the queue: descend whichever side is coarser
+//!    (`expandList`, Algorithm 3, descends the `R_I` side), compute exact
+//!    flows only when a POI leaf meets object leaves, and emit a POI as
+//!    soon as its exact flow outranks every remaining upper bound.
+//!
+//! The interval variant implements the §4.3.2 improvement: each object
+//! entry carries the per-segment small MBRs of its trajectory (Figure 9),
+//! and a leaf object is admitted to a join list only if at least one small
+//! MBR intersects the POI entry — eliminating the dead space of the single
+//! large trajectory MBR.
+
+use crate::analytics::FlowAnalytics;
+use crate::query::{IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
+use inflow_geometry::{Mbr, Region};
+use inflow_indoor::PoiId;
+use inflow_rtree::{EntryRef, RTree};
+use inflow_tracking::{ArTree, ObjectId, ObjectState};
+use inflow_uncertainty::UncertaintyRegion;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Configuration switches for the join algorithms (ablation knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct JoinConfig {
+    /// Apply the §4.3.2 per-segment small-MBR checks in the interval join
+    /// (`true` = the paper's improved algorithm, which is the variant it
+    /// evaluates; `false` = the single-large-MBR basic framework).
+    pub use_segment_mbrs: bool,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig { use_segment_mbrs: true }
+    }
+}
+
+/// A priority-queue item: an `R_P` entry with its join list and
+/// upper-bound flow, or a resolved POI with its exact flow.
+struct Item {
+    ub: f64,
+    /// `true` once the flow is exact (the join list has been consumed).
+    exact: bool,
+    e_p: EntryRef,
+    list: Vec<EntryRef>,
+    poi: Option<PoiId>,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Item {}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the upper bound; exact flows win ties so a resolved
+        // POI is emitted before equal-bound unresolved entries.
+        self.ub
+            .partial_cmp(&other.ub)
+            .expect("flows are never NaN")
+            .then_with(|| self.exact.cmp(&other.exact))
+            .then_with(|| other.e_p.cmp(&self.e_p))
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Algorithm 2 (+ 3): join-based snapshot top-k.
+pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, _cfg: &JoinConfig) -> QueryResult {
+    let mut stats = QueryStats::default();
+
+    // Phase 1: aggregate R-tree over coarse object MBRs (lines 1–11).
+    let mut states: Vec<ObjectState> = Vec::new();
+    let mut data: Vec<(Mbr, u32)> = Vec::new();
+    for entry in fa.artree().point_query(q.t) {
+        let Some(state) = ArTree::resolve_state(fa.ott(), entry, q.t) else { continue };
+        stats.objects_considered += 1;
+        let mbr = fa.engine().snapshot_mbr_coarse(fa.ott(), state, q.t);
+        if mbr.is_empty() {
+            continue;
+        }
+        let slot = states.len() as u32;
+        states.push(state);
+        data.push((mbr, slot));
+    }
+    let ri: RTree<u32> = RTree::bulk_load(data);
+    let rp = fa.build_poi_rtree(&q.pois);
+
+    // H_U: lazily derived uncertainty regions, shared across join lists
+    // (lines 29–31).
+    let mut h_u: Vec<Option<UncertaintyRegion>> = (0..states.len()).map(|_| None).collect();
+    let plan = fa.engine().context().plan();
+    let engine = fa.engine();
+    let ott = fa.ott();
+    let t = q.t;
+
+    let mut urs_built = 0usize;
+    let mut presence_evals = 0usize;
+    let ranked = {
+        let mut fine_check = |_slot: u32, _mbr: &Mbr| true;
+        let mut presence = |slot: u32, poi_id: PoiId| {
+            let slot = slot as usize;
+            if h_u[slot].is_none() {
+                h_u[slot] = Some(engine.snapshot_ur(ott, states[slot], t));
+                urs_built += 1;
+            }
+            let ur = h_u[slot].as_ref().expect("just built");
+            let poi = plan.poi(poi_id);
+            // Cheap MBR reject mirrors the iterative algorithm's R_P
+            // filtering; only genuine integrations are counted.
+            if !ur.mbr().intersects(&poi.mbr()) {
+                return 0.0;
+            }
+            presence_evals += 1;
+            engine.presence(ur, poi)
+        };
+        run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence)
+    };
+    // Normalize tie order to match the iterative ranking (flow desc,
+    // POI id asc); flows are unchanged.
+    let ranked = crate::query::rank_topk(ranked, q.k);
+    stats.urs_built = urs_built;
+    stats.presence_evaluations = presence_evals;
+    QueryResult { ranked, stats }
+}
+
+/// Algorithm 5 (improved): join-based interval top-k.
+pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> QueryResult {
+    let mut stats = QueryStats::default();
+
+    // Phase 1 (lines 1–9): group the range query's entries by object and
+    // derive each object's trajectory MBRs. The full region construction is
+    // cheap; the expensive presence integrations stay lazy.
+    let mut objects: Vec<ObjectId> =
+        fa.artree().range_query(q.ts, q.te).iter().map(|e| e.object).collect();
+    objects.sort_unstable();
+    objects.dedup();
+
+    let mut urs: Vec<UncertaintyRegion> = Vec::new();
+    let mut data: Vec<(Mbr, u32)> = Vec::new();
+    for object in objects {
+        stats.objects_considered += 1;
+        let Some(ur) = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te) else { continue };
+        stats.urs_built += 1;
+        if ur.is_empty() {
+            continue;
+        }
+        let slot = urs.len() as u32;
+        data.push((ur.mbr(), slot));
+        urs.push(ur);
+    }
+    let ri: RTree<u32> = RTree::bulk_load(data);
+    let rp = fa.build_poi_rtree(&q.pois);
+
+    let plan = fa.engine().context().plan();
+    let engine = fa.engine();
+    let use_segments = cfg.use_segment_mbrs;
+
+    let mut presence_evals = 0usize;
+    let ranked = {
+        // Figure 9: admit a leaf object only if one of its small MBRs
+        // intersects the POI entry's MBR.
+        let mut fine_check = |slot: u32, mbr: &Mbr| {
+            !use_segments || urs[slot as usize].any_segment_intersects(mbr)
+        };
+        let mut presence = |slot: u32, poi_id: PoiId| {
+            let ur = &urs[slot as usize];
+            let poi = plan.poi(poi_id);
+            if !ur.mbr().intersects(&poi.mbr()) {
+                return 0.0;
+            }
+            presence_evals += 1;
+            engine.presence(ur, poi)
+        };
+        run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence)
+    };
+    let ranked = crate::query::rank_topk(ranked, q.k);
+    stats.presence_evaluations = presence_evals;
+    QueryResult { ranked, stats }
+}
+
+/// The shared priority-queue join driver (Algorithm 2 lines 12–48 /
+/// Algorithm 5 lines 10–46).
+fn run_join(
+    rp: &RTree<PoiId>,
+    ri: &RTree<u32>,
+    query_pois: &[PoiId],
+    k: usize,
+    fine_check: &mut dyn FnMut(u32, &Mbr) -> bool,
+    presence: &mut dyn FnMut(u32, PoiId) -> f64,
+) -> Vec<(PoiId, f64)> {
+    let mut result: Vec<(PoiId, f64)> = Vec::new();
+    if !ri.is_empty() && !rp.is_empty() {
+        let mut queue: BinaryHeap<Item> = BinaryHeap::new();
+        let ri_roots = ri.root_entries();
+        for e_p in rp.root_entries() {
+            push_filtered(&mut queue, rp, ri, e_p, &ri_roots, fine_check);
+        }
+        while let Some(item) = queue.pop() {
+            if item.exact {
+                // The exact flow dominates every remaining upper bound:
+                // emit (lines 22–25).
+                result.push((item.poi.expect("exact items carry their POI"), item.ub));
+                if result.len() == k {
+                    break;
+                }
+                continue;
+            }
+            let list_is_leaf = ri.is_leaf_entry(item.list[0]);
+            if rp.is_leaf_entry(item.e_p) {
+                let poi = *rp.item(item.e_p);
+                if list_is_leaf {
+                    // Exact flow: integrate every object in the join list
+                    // (lines 27–33).
+                    let mut flow = 0.0;
+                    for &e_i in &item.list {
+                        flow += presence(*ri.item(e_i), poi);
+                    }
+                    if flow > 0.0 {
+                        queue.push(Item {
+                            ub: flow,
+                            exact: true,
+                            e_p: item.e_p,
+                            list: Vec::new(),
+                            poi: Some(poi),
+                        });
+                    }
+                } else {
+                    // expandList (Algorithm 3): descend the R_I side.
+                    let children: Vec<EntryRef> =
+                        item.list.iter().flat_map(|&e| ri.children(e)).collect();
+                    push_filtered(&mut queue, rp, ri, item.e_p, &children, fine_check);
+                }
+            } else if list_is_leaf {
+                // Descend the POI side against the resolved object leaves
+                // (lines 36–45).
+                for e_p2 in rp.children(item.e_p) {
+                    push_filtered(&mut queue, rp, ri, e_p2, &item.list, fine_check);
+                }
+            } else {
+                // Both sides coarse: descend both (lines 46–48).
+                let children: Vec<EntryRef> =
+                    item.list.iter().flat_map(|&e| ri.children(e)).collect();
+                for e_p2 in rp.children(item.e_p) {
+                    push_filtered(&mut queue, rp, ri, e_p2, &children, fine_check);
+                }
+            }
+        }
+    }
+    // Queries can legitimately have fewer than k POIs with positive flow;
+    // pad deterministically with zero-flow POIs in id order, mirroring the
+    // iterative algorithms' ranking.
+    if result.len() < k {
+        let mut rest: Vec<PoiId> = query_pois
+            .iter()
+            .copied()
+            .filter(|p| !result.iter().any(|&(rp_id, _)| rp_id == *p))
+            .collect();
+        rest.sort_unstable();
+        for p in rest {
+            if result.len() == k {
+                break;
+            }
+            result.push((p, 0.0));
+        }
+    }
+    result
+}
+
+/// Filters `candidates` down to those overlapping `e_p`'s MBR (with the
+/// finer small-MBR check for leaf entries), sums their counts into the
+/// upper-bound flow, and enqueues the pairing when non-empty.
+fn push_filtered(
+    queue: &mut BinaryHeap<Item>,
+    rp: &RTree<PoiId>,
+    ri: &RTree<u32>,
+    e_p: EntryRef,
+    candidates: &[EntryRef],
+    fine_check: &mut dyn FnMut(u32, &Mbr) -> bool,
+) {
+    let mbr_p = rp.entry_mbr(e_p);
+    let mut ub = 0.0;
+    let mut list = Vec::new();
+    for &e_i in candidates {
+        if !ri.entry_mbr(e_i).intersects(&mbr_p) {
+            continue;
+        }
+        if ri.is_leaf_entry(e_i) && !fine_check(*ri.item(e_i), &mbr_p) {
+            continue;
+        }
+        ub += ri.entry_count(e_i) as f64;
+        list.push(e_i);
+    }
+    if !list.is_empty() {
+        queue.push(Item { ub, exact: false, e_p, list, poi: None });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::FlowAnalytics;
+    use crate::query::SnapshotQuery;
+    use inflow_geometry::{Point, Polygon};
+    use inflow_indoor::{CellKind, FloorPlanBuilder};
+    use inflow_tracking::{ObjectTrackingTable, OttRow};
+    use inflow_uncertainty::{IndoorContext, UrConfig};
+    use std::sync::Arc;
+
+    /// A 100×100 hall with a 5×5 grid of POIs and one reader per POI;
+    /// big enough that both R-trees have internal levels (25 POIs,
+    /// up to 60 objects) so the join exercises every descent branch.
+    fn grid_world(objects_per_device: &[(u32, usize)]) -> (FlowAnalytics, Vec<PoiId>) {
+        let mut b = FloorPlanBuilder::new();
+        b.add_cell(
+            "hall",
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+        );
+        let mut pois = Vec::new();
+        let mut devices = Vec::new();
+        for j in 0..5 {
+            for i in 0..5 {
+                let cx = 10.0 + i as f64 * 20.0;
+                let cy = 10.0 + j as f64 * 20.0;
+                devices.push(b.add_device(
+                    format!("dev-{i}-{j}"),
+                    Point::new(cx, cy),
+                    2.0,
+                ));
+                pois.push(b.add_poi(
+                    format!("poi-{i}-{j}"),
+                    Polygon::rectangle(
+                        Point::new(cx - 5.0, cy - 5.0),
+                        Point::new(cx + 5.0, cy + 5.0),
+                    ),
+                ));
+            }
+        }
+        let mut rows = Vec::new();
+        let mut next_object = 0u32;
+        for &(dev_idx, count) in objects_per_device {
+            for _ in 0..count {
+                rows.push(OttRow {
+                    object: inflow_tracking::ObjectId(next_object),
+                    device: devices[dev_idx as usize],
+                    ts: 0.0,
+                    te: 100.0,
+                });
+                next_object += 1;
+            }
+        }
+        let ott = ObjectTrackingTable::from_rows(rows).unwrap();
+        let ctx = Arc::new(IndoorContext::new(b.build().unwrap()));
+        let fa = FlowAnalytics::new(ctx, ott, UrConfig { vmax: 1.1, ..UrConfig::default() });
+        (fa, pois)
+    }
+
+    #[test]
+    fn join_finds_the_dominant_poi_with_deep_trees() {
+        // 40 objects at device 12 (the centre POI), a few elsewhere.
+        let (fa, pois) = grid_world(&[(12, 40), (0, 3), (24, 2)]);
+        let q = SnapshotQuery::new(50.0, pois.clone(), 3);
+        let result = snapshot(&fa, &q, &JoinConfig::default());
+        assert_eq!(result.ranked[0].0, pois[12]);
+        assert!(result.ranked[0].1 > result.ranked[1].1);
+        // Matches the iterative computation exactly.
+        let iterative = crate::iterative::snapshot(&fa, &q);
+        assert_eq!(result.poi_ids(), iterative.poi_ids());
+        for (a, b) in result.ranked.iter().zip(&iterative.ranked) {
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn early_termination_skips_low_bound_pois() {
+        // One hot POI and k=1: the join should resolve far fewer POIs than
+        // the iterative pass, which integrates every object-POI pair.
+        let (fa, pois) = grid_world(&[(12, 30), (0, 1), (6, 1), (18, 1), (24, 1)]);
+        let q = SnapshotQuery::new(50.0, pois, 1);
+        let join = snapshot(&fa, &q, &JoinConfig::default());
+        let iterative = crate::iterative::snapshot(&fa, &q);
+        assert_eq!(join.ranked[0].0, iterative.ranked[0].0);
+        assert!(
+            join.stats.presence_evaluations < iterative.stats.presence_evaluations,
+            "join {} should beat iterative {}",
+            join.stats.presence_evaluations,
+            iterative.stats.presence_evaluations
+        );
+    }
+
+    #[test]
+    fn padding_fills_result_when_flows_are_scarce() {
+        // Only two devices see anyone; k=5 forces three zero-flow pads in
+        // ascending POI-id order.
+        let (fa, pois) = grid_world(&[(3, 2), (7, 1)]);
+        let q = SnapshotQuery::new(50.0, pois.clone(), 5);
+        let result = snapshot(&fa, &q, &JoinConfig::default());
+        assert_eq!(result.ranked.len(), 5);
+        let positive = result.ranked.iter().filter(|&&(_, f)| f > 0.0).count();
+        assert_eq!(positive, 2, "{:?}", result.ranked);
+        // Pads are sorted by id among the zero flows.
+        let zero_ids: Vec<PoiId> =
+            result.ranked.iter().filter(|&&(_, f)| f == 0.0).map(|&(p, _)| p).collect();
+        let mut sorted = zero_ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(zero_ids, sorted);
+    }
+
+    #[test]
+    fn empty_object_population_pads_everything() {
+        let (fa, pois) = grid_world(&[]);
+        let q = SnapshotQuery::new(50.0, pois, 4);
+        let result = snapshot(&fa, &q, &JoinConfig::default());
+        assert_eq!(result.ranked.len(), 4);
+        assert!(result.ranked.iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn k_equals_poi_count_resolves_all() {
+        let (fa, pois) = grid_world(&[(12, 5), (0, 5), (24, 5)]);
+        let n = pois.len();
+        let q = SnapshotQuery::new(50.0, pois, n);
+        let result = snapshot(&fa, &q, &JoinConfig::default());
+        assert_eq!(result.ranked.len(), n);
+        let iterative = crate::iterative::snapshot(&fa, &q);
+        assert_eq!(result.poi_ids(), iterative.poi_ids());
+    }
+}

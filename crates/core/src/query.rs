@@ -1,0 +1,126 @@
+//! Query types, results, and execution statistics.
+
+use inflow_indoor::PoiId;
+use inflow_tracking::Timestamp;
+
+/// A snapshot top-k indoor POIs query (Problem 1): return the `k` POIs of
+/// `pois` with the highest flow `Φ_t(p)` at time point `t`.
+#[derive(Debug, Clone)]
+pub struct SnapshotQuery {
+    /// The query time point.
+    pub t: Timestamp,
+    /// The query POI set `P` (a subset of the plan's POIs).
+    pub pois: Vec<PoiId>,
+    /// Result size `k` (`0 < k ≤ |P|`).
+    pub k: usize,
+}
+
+impl SnapshotQuery {
+    /// Creates a snapshot query; `k` is clamped to `[1, |pois|]`.
+    pub fn new(t: Timestamp, pois: Vec<PoiId>, k: usize) -> SnapshotQuery {
+        assert!(!pois.is_empty(), "query POI set must be non-empty");
+        let k = k.clamp(1, pois.len());
+        SnapshotQuery { t, pois, k }
+    }
+}
+
+/// An interval top-k indoor POIs query (Problem 2): return the `k` POIs of
+/// `pois` with the highest flow `Φ_{[ts,te]}(p)`.
+#[derive(Debug, Clone)]
+pub struct IntervalQuery {
+    /// Query interval start.
+    pub ts: Timestamp,
+    /// Query interval end (`ts ≤ te`).
+    pub te: Timestamp,
+    /// The query POI set `P`.
+    pub pois: Vec<PoiId>,
+    /// Result size `k` (`0 < k ≤ |P|`).
+    pub k: usize,
+}
+
+impl IntervalQuery {
+    /// Creates an interval query; `k` is clamped to `[1, |pois|]`.
+    pub fn new(ts: Timestamp, te: Timestamp, pois: Vec<PoiId>, k: usize) -> IntervalQuery {
+        assert!(!pois.is_empty(), "query POI set must be non-empty");
+        assert!(ts <= te, "query interval must be ordered");
+        let k = k.clamp(1, pois.len());
+        IntervalQuery { ts, te, pois, k }
+    }
+}
+
+/// Execution statistics, for analysis and the paper's ablation studies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Objects whose tracking data overlapped the query time parameter.
+    pub objects_considered: usize,
+    /// Uncertainty regions actually derived.
+    pub urs_built: usize,
+    /// Presence integrations performed (the dominant cost).
+    pub presence_evaluations: usize,
+}
+
+/// A ranked top-k result: `(poi, flow)` pairs in descending flow order
+/// (ties broken by ascending POI id), plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The top-k POIs with their flow values.
+    pub ranked: Vec<(PoiId, f64)>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The POI ids of the result, in rank order.
+    pub fn poi_ids(&self) -> Vec<PoiId> {
+        self.ranked.iter().map(|&(p, _)| p).collect()
+    }
+}
+
+/// Ranks flows in descending order with deterministic tie-breaking
+/// (ascending POI id) and truncates to `k`.
+pub(crate) fn rank_topk(mut flows: Vec<(PoiId, f64)>, k: usize) -> Vec<(PoiId, f64)> {
+    flows.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("flows are never NaN")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    flows.truncate(k);
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_orders_and_breaks_ties_by_id() {
+        let flows = vec![
+            (PoiId(3), 1.0),
+            (PoiId(1), 2.0),
+            (PoiId(2), 1.0),
+            (PoiId(0), 0.5),
+        ];
+        let ranked = rank_topk(flows, 3);
+        assert_eq!(ranked, vec![(PoiId(1), 2.0), (PoiId(2), 1.0), (PoiId(3), 1.0)]);
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let q = SnapshotQuery::new(0.0, vec![PoiId(0), PoiId(1)], 10);
+        assert_eq!(q.k, 2);
+        let q = SnapshotQuery::new(0.0, vec![PoiId(0)], 0);
+        assert_eq!(q.k, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_poi_set_rejected() {
+        let _ = IntervalQuery::new(0.0, 1.0, Vec::new(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn reversed_interval_rejected() {
+        let _ = IntervalQuery::new(2.0, 1.0, vec![PoiId(0)], 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Inverse queries: from POIs back to the objects that likely visited
+//! them.
+//!
+//! Flow aggregates presences over objects; the motivating scenarios also
+//! need the other direction — the museum recommender of §1 ("behavior of
+//! past visitors … used for making recommendations") wants *who* likely
+//! visited an exhibition and *what else* those visitors saw. Presences
+//! are probabilities (Definition 1), so visitor sets are inherently
+//! weighted.
+
+use crate::analytics::FlowAnalytics;
+use inflow_indoor::PoiId;
+use inflow_tracking::{ObjectId, Timestamp};
+
+/// Objects whose interval presence in `poi` over `[ts, te]` is at least
+/// `min_presence`, sorted by presence descending (ties by object id).
+///
+/// `min_presence` filters out the long tail of objects whose saturated
+/// uncertainty regions graze every POI; `0.3`–`0.5` works well in
+/// practice.
+pub fn likely_visitors(
+    fa: &FlowAnalytics,
+    poi: PoiId,
+    ts: Timestamp,
+    te: Timestamp,
+    min_presence: f64,
+) -> Vec<(ObjectId, f64)> {
+    assert!((0.0..=1.0).contains(&min_presence), "presence threshold must be in [0, 1]");
+    let plan = fa.engine().context().plan();
+    let poi = plan.poi(poi);
+    let mut objects: Vec<ObjectId> =
+        fa.artree().range_query(ts, te).iter().map(|e| e.object).collect();
+    objects.sort_unstable();
+    objects.dedup();
+
+    let mut visitors = Vec::new();
+    for object in objects {
+        let Some(ur) = fa.engine().interval_ur(fa.ott(), object, ts, te) else { continue };
+        if ur.is_empty() {
+            continue;
+        }
+        let presence = fa.engine().presence(&ur, poi);
+        if presence >= min_presence {
+            visitors.push((object, presence));
+        }
+    }
+    visitors.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).expect("presence is never NaN").then_with(|| a.0.cmp(&b.0))
+    });
+    visitors
+}
+
+/// For the likely visitors of `anchor`, scores every other POI in `pois`
+/// by the summed presence of those visitors — "visitors of X also
+/// visited …". Returns `(poi, score)` sorted descending, excluding the
+/// anchor itself.
+pub fn also_visited(
+    fa: &FlowAnalytics,
+    anchor: PoiId,
+    pois: &[PoiId],
+    ts: Timestamp,
+    te: Timestamp,
+    min_presence: f64,
+) -> Vec<(PoiId, f64)> {
+    let visitors = likely_visitors(fa, anchor, ts, te, min_presence);
+    let plan = fa.engine().context().plan();
+    let mut scores: Vec<(PoiId, f64)> = Vec::new();
+    for &poi_id in pois {
+        if poi_id == anchor {
+            continue;
+        }
+        let poi = plan.poi(poi_id);
+        let mut score = 0.0;
+        for &(object, _) in &visitors {
+            if let Some(ur) = fa.engine().interval_ur(fa.ott(), object, ts, te) {
+                if !ur.is_empty() {
+                    score += fa.engine().presence(&ur, poi);
+                }
+            }
+        }
+        scores.push((poi_id, score));
+    }
+    scores.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).expect("scores are never NaN").then_with(|| a.0.cmp(&b.0))
+    });
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::{Point, Polygon};
+    use inflow_indoor::{CellKind, FloorPlanBuilder};
+    use inflow_tracking::{ObjectTrackingTable, OttRow};
+    use inflow_uncertainty::{IndoorContext, UrConfig};
+    use std::sync::Arc;
+
+    /// A corridor with two readers far apart; objects 0 and 1 dwell at
+    /// reader A, object 2 dwells at reader B.
+    fn setup() -> (FlowAnalytics, Vec<PoiId>) {
+        let mut b = FloorPlanBuilder::new();
+        b.add_cell(
+            "hall",
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(60.0, 4.0)),
+        );
+        let dev_a = b.add_device("dev-a", Point::new(5.0, 2.0), 1.5);
+        let dev_b = b.add_device("dev-b", Point::new(55.0, 2.0), 1.5);
+        let poi_a =
+            b.add_poi("poi-a", Polygon::rectangle(Point::new(3.0, 0.0), Point::new(7.0, 4.0)));
+        let poi_b =
+            b.add_poi("poi-b", Polygon::rectangle(Point::new(53.0, 0.0), Point::new(57.0, 4.0)));
+        let ctx = Arc::new(IndoorContext::new(b.build().unwrap()));
+
+        let row = |o: u32, d, ts: f64, te: f64| OttRow { object: ObjectId(o), device: d, ts, te };
+        let ott = ObjectTrackingTable::from_rows(vec![
+            row(0, dev_a, 0.0, 30.0),
+            row(1, dev_a, 5.0, 28.0),
+            row(2, dev_b, 0.0, 30.0),
+        ])
+        .unwrap();
+        let fa = FlowAnalytics::new(ctx, ott, UrConfig { vmax: 1.1, ..UrConfig::default() });
+        (fa, vec![poi_a, poi_b])
+    }
+
+    #[test]
+    fn visitors_are_ranked_and_filtered() {
+        let (fa, pois) = setup();
+        let visitors = likely_visitors(&fa, pois[0], 0.0, 30.0, 0.3);
+        let ids: Vec<ObjectId> = visitors.iter().map(|&(o, _)| o).collect();
+        assert_eq!(ids, vec![ObjectId(0), ObjectId(1)], "only A-dwellers qualify: {visitors:?}");
+        for &(_, p) in &visitors {
+            assert!((0.3..=1.0).contains(&p));
+        }
+        // Object 2 shows up for poi-b instead.
+        let visitors_b = likely_visitors(&fa, pois[1], 0.0, 30.0, 0.3);
+        assert_eq!(visitors_b.iter().map(|&(o, _)| o).collect::<Vec<_>>(), vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn presence_is_poi_area_normalized() {
+        let (fa, pois) = setup();
+        // A dweller's UR is its detection disk (r = 1.5, area ≈ 7.07),
+        // fully inside the 16 m² POI, so presence ≈ 7.07/16 ≈ 0.44
+        // (Definition 1 normalizes by POI area, not UR area).
+        let visitors = likely_visitors(&fa, pois[0], 0.0, 30.0, 0.40);
+        assert_eq!(visitors.len(), 2, "{visitors:?}");
+        for &(_, p) in &visitors {
+            assert!((0.40..0.50).contains(&p), "presence {p} outside the expected band");
+        }
+        // A stricter threshold than the disk/POI ratio admits nobody.
+        assert!(likely_visitors(&fa, pois[0], 0.0, 30.0, 0.9).is_empty());
+    }
+
+    #[test]
+    fn also_visited_scores_companion_pois() {
+        let (fa, pois) = setup();
+        // Visitors of poi-a never reached poi-b (50 m away, detected at A
+        // the whole time).
+        let scores = also_visited(&fa, pois[0], &pois, 0.0, 30.0, 0.3);
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[0].0, pois[1]);
+        assert!(scores[0].1 < 0.1, "A-dwellers cannot have visited B: {scores:?}");
+    }
+
+    #[test]
+    fn empty_window_has_no_visitors() {
+        let (fa, pois) = setup();
+        assert!(likely_visitors(&fa, pois[0], 1000.0, 2000.0, 0.1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_rejected() {
+        let (fa, pois) = setup();
+        let _ = likely_visitors(&fa, pois[0], 0.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic adaptive-grid area integration.
+//!
+//! The paper's presence measure (Definition 1) needs
+//! `area(UR(o) ∩ p)` where `UR(o)` is a composite of circles, rings, and
+//! extended ellipses clipped by indoor topology — no closed form exists.
+//! This module integrates the membership indicator on a regular grid over
+//! the intersection of bounding boxes, super-sampling cells that straddle a
+//! boundary. The scheme is fully deterministic (identical inputs give
+//! identical areas), which keeps query results reproducible and lets the
+//! top-k algorithms compare flows exactly.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::region::Region;
+
+/// Grid resolution parameters for the integrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridResolution {
+    /// Number of cells per axis of the base grid.
+    pub base: usize,
+    /// Sub-samples per axis inside boundary cells.
+    pub supersample: usize,
+}
+
+impl GridResolution {
+    /// Creates a resolution; both parameters must be at least 1.
+    pub fn new(base: usize, supersample: usize) -> GridResolution {
+        assert!(base >= 1 && supersample >= 1, "resolution parameters must be >= 1");
+        GridResolution { base, supersample }
+    }
+
+    /// A coarse resolution for quick estimates (32×32, 2×2 refinement).
+    pub const COARSE: GridResolution = GridResolution { base: 32, supersample: 2 };
+    /// The default resolution (64×64 base, 4×4 refinement in boundary
+    /// cells); < 1% relative error on circle–polygon benchmarks.
+    pub const DEFAULT: GridResolution = GridResolution { base: 64, supersample: 4 };
+    /// A fine resolution for validation runs (160×160, 6×6 refinement).
+    pub const FINE: GridResolution = GridResolution { base: 160, supersample: 6 };
+}
+
+impl Default for GridResolution {
+    fn default() -> Self {
+        GridResolution::DEFAULT
+    }
+}
+
+/// Area of `region ∩ polygon`.
+///
+/// Integrates over `region.mbr() ∩ polygon.mbr()`. Cells whose four corners
+/// and centre agree on membership are counted whole; straddling cells are
+/// super-sampled. Returns `0.0` for empty intersections.
+pub fn area_in_polygon(region: &(impl Region + ?Sized), polygon: &Polygon, res: GridResolution) -> f64 {
+    let window = region.mbr().intersection(&polygon.mbr());
+    // The polygon test is far cheaper than a composite (possibly
+    // topology-constrained) region test, so it goes first.
+    integrate(&|p| polygon.contains_fast(p) && region.contains(p), window, res)
+}
+
+/// Area of the region itself, integrated over its own MBR.
+pub fn area_of_region(region: &(impl Region + ?Sized), res: GridResolution) -> f64 {
+    integrate(&|p| region.contains(p), region.mbr(), res)
+}
+
+/// Area of `region` restricted to an explicit window rectangle.
+pub fn area_in_window(
+    region: &(impl Region + ?Sized),
+    window: Mbr,
+    res: GridResolution,
+) -> f64 {
+    let window = region.mbr().intersection(&window);
+    integrate(&|p| region.contains(p), window, res)
+}
+
+fn integrate(inside: &dyn Fn(Point) -> bool, window: Mbr, res: GridResolution) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    let w = window.width();
+    let h = window.height();
+    if w <= 0.0 || h <= 0.0 {
+        return 0.0;
+    }
+    let n = res.base;
+    let dx = w / n as f64;
+    let dy = h / n as f64;
+    let cell_area = dx * dy;
+
+    // Corner membership is shared between neighbouring cells; precompute the
+    // (n+1)×(n+1) lattice once so each corner is evaluated a single time.
+    let mut corners = vec![false; (n + 1) * (n + 1)];
+    for j in 0..=n {
+        let y = window.lo.y + dy * j as f64;
+        for i in 0..=n {
+            let x = window.lo.x + dx * i as f64;
+            corners[j * (n + 1) + i] = inside(Point::new(x, y));
+        }
+    }
+
+    let s = res.supersample;
+    let sub_area = cell_area / (s * s) as f64;
+    let mut total = 0.0;
+    for j in 0..n {
+        let y0 = window.lo.y + dy * j as f64;
+        for i in 0..n {
+            let x0 = window.lo.x + dx * i as f64;
+            let c00 = corners[j * (n + 1) + i];
+            let c10 = corners[j * (n + 1) + i + 1];
+            let c01 = corners[(j + 1) * (n + 1) + i];
+            let c11 = corners[(j + 1) * (n + 1) + i + 1];
+            let center = inside(Point::new(x0 + 0.5 * dx, y0 + 0.5 * dy));
+            let all_in = c00 && c10 && c01 && c11 && center;
+            let all_out = !c00 && !c10 && !c01 && !c11 && !center;
+            if all_in {
+                total += cell_area;
+            } else if all_out {
+                // Uniformly empty cell — but a thin feature could still pass
+                // through; the base resolution is chosen so features of
+                // interest span multiple cells.
+            } else {
+                // Boundary cell: super-sample at sub-cell centres.
+                let mut hits = 0usize;
+                for sj in 0..s {
+                    let y = y0 + dy * (sj as f64 + 0.5) / s as f64;
+                    for si in 0..s {
+                        let x = x0 + dx * (si as f64 + 0.5) / s as f64;
+                        if inside(Point::new(x, y)) {
+                            hits += 1;
+                        }
+                    }
+                }
+                total += hits as f64 * sub_area;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circle::{circle_polygon_area, Circle};
+    use crate::ellipse::ExtendedEllipse;
+    use crate::region::{RegionIntersection, RegionUnion};
+    use crate::ring::Ring;
+    use std::f64::consts::PI;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rectangle(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn rectangle_in_rectangle_is_exact() {
+        let outer = square(0.0, 0.0, 4.0, 4.0);
+        let inner = square(1.0, 1.0, 3.0, 2.0);
+        let a = area_in_polygon(&inner, &outer, GridResolution::DEFAULT);
+        assert!((a - 2.0).abs() < 1e-9, "got {a}");
+    }
+
+    #[test]
+    fn circle_in_polygon_matches_exact_formula() {
+        let poly = square(0.0, 0.0, 3.0, 3.0);
+        for (cx, cy, r) in [
+            (1.5, 1.5, 1.0), // fully inside
+            (0.0, 1.5, 1.0), // half in
+            (0.0, 0.0, 1.0), // quarter in
+            (1.5, 1.5, 5.0), // polygon fully inside circle
+            (2.8, 2.8, 0.5), // corner overlap
+        ] {
+            let c = Circle::new(Point::new(cx, cy), r);
+            let exact = circle_polygon_area(&c, &poly);
+            let approx = area_in_polygon(&c, &poly, GridResolution::DEFAULT);
+            let tol = (0.01 * exact).max(5e-3);
+            assert!(
+                (approx - exact).abs() < tol,
+                "circle ({cx},{cy},{r}): approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn finer_grids_reduce_error() {
+        let poly = square(0.0, 0.0, 3.0, 3.0);
+        let c = Circle::new(Point::new(0.7, 1.1), 1.3);
+        let exact = circle_polygon_area(&c, &poly);
+        let coarse = (area_in_polygon(&c, &poly, GridResolution::COARSE) - exact).abs();
+        let fine = (area_in_polygon(&c, &poly, GridResolution::FINE) - exact).abs();
+        assert!(fine <= coarse, "fine {fine} should not exceed coarse {coarse}");
+        assert!(fine / exact < 1e-3);
+    }
+
+    #[test]
+    fn ring_area_against_analytic() {
+        let ring = Ring::new(Circle::new(Point::new(0.0, 0.0), 1.0), 1.0);
+        let a = area_of_region(&ring, GridResolution::FINE);
+        assert!((a - ring.area()).abs() / ring.area() < 5e-3, "got {a}");
+    }
+
+    #[test]
+    fn ring_polygon_intersection_respects_hole() {
+        // A polygon entirely inside the ring's inner disk intersects nothing.
+        let ring = Ring::new(Circle::new(Point::new(0.0, 0.0), 2.0), 1.0);
+        let hole_poly = square(-0.5, -0.5, 0.5, 0.5);
+        let a = area_in_polygon(&ring, &hole_poly, GridResolution::DEFAULT);
+        assert!(a.abs() < 1e-9, "got {a}");
+    }
+
+    #[test]
+    fn intersection_region_integrates() {
+        // Two unit disks at distance 1: lens area has a closed form.
+        let c1 = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let c2 = Circle::new(Point::new(1.0, 0.0), 1.0);
+        let lens = RegionIntersection::of(c1, c2);
+        let exact = crate::circle::circle_circle_intersection_area(&c1, &c2);
+        let approx = area_of_region(&lens, GridResolution::FINE);
+        assert!((approx - exact).abs() / exact < 5e-3, "approx {approx} exact {exact}");
+    }
+
+    #[test]
+    fn union_region_integrates_with_overlap_counted_once() {
+        let c1 = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let c2 = Circle::new(Point::new(1.0, 0.0), 1.0);
+        let u = RegionUnion::new(vec![Box::new(c1), Box::new(c2)]);
+        let exact = 2.0 * PI - crate::circle::circle_circle_intersection_area(&c1, &c2);
+        let approx = area_of_region(&u, GridResolution::FINE);
+        assert!((approx - exact).abs() / exact < 5e-3, "approx {approx} exact {exact}");
+    }
+
+    #[test]
+    fn ellipse_area_sanity() {
+        // Point foci => classic ellipse, area = π·a·b.
+        let e = ExtendedEllipse::new(
+            Circle::new(Point::new(-1.0, 0.0), 0.0),
+            Circle::new(Point::new(1.0, 0.0), 0.0),
+            4.0,
+        );
+        let a = 2.0; // semi-major
+        let b = 3.0f64.sqrt(); // semi-minor
+        let exact = PI * a * b;
+        let approx = area_of_region(&e, GridResolution::FINE);
+        assert!((approx - exact).abs() / exact < 5e-3, "approx {approx} exact {exact}");
+    }
+
+    #[test]
+    fn empty_window_returns_zero() {
+        let c = Circle::new(Point::new(10.0, 10.0), 1.0);
+        let poly = square(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(area_in_polygon(&c, &poly, GridResolution::DEFAULT), 0.0);
+    }
+
+    #[test]
+    fn window_restriction() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let right_half = Mbr::new(Point::new(0.0, -2.0), Point::new(2.0, 2.0));
+        let a = area_in_window(&c, right_half, GridResolution::FINE);
+        assert!((a - PI / 2.0).abs() / (PI / 2.0) < 5e-3, "got {a}");
+    }
+
+    #[test]
+    fn determinism() {
+        let c = Circle::new(Point::new(0.3, 0.7), 1.1);
+        let poly = square(0.0, 0.0, 2.0, 2.0);
+        let a1 = area_in_polygon(&c, &poly, GridResolution::DEFAULT);
+        let a2 = area_in_polygon(&c, &poly, GridResolution::DEFAULT);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Pfoser–Jensen extended ellipse bounding an object between two
+//! consecutive proximity detections.
+
+use crate::circle::Circle;
+use crate::mbr::Mbr;
+use crate::point::{Point, Vec2};
+use crate::EPS;
+
+/// The paper's `Θ(dev_i, dev_j, t1, t2)` (Section 3.1.3): the region an
+/// object can occupy between leaving device `i`'s detection range at `t1`
+/// and entering device `j`'s range at `t2`, moving at most at speed
+/// `V_max`.
+///
+/// Membership test: a point `q` is feasible iff
+///
+/// ```text
+/// max(0, |q − c_i| − r_i) + max(0, |q − c_j| − r_j) ≤ V_max · (t2 − t1)
+/// ```
+///
+/// i.e. the classical two-focus ellipse generalized to *circular* foci — the
+/// union over all boundary exit/entry point pairs of the ordinary ellipses
+/// with those foci. When both detection circles coincide the region
+/// degenerates to a disk around that device.
+///
+/// The paper represents the inter-reading uncertainty region as the extended
+/// ellipse *excluding* the two detection disks (the object would have been
+/// detected inside them), but keeps `Θ` as the complete ellipse region for
+/// the algorithms' MBR computations. This type exposes both membership
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendedEllipse {
+    /// Detection circle of the device that last saw the object.
+    pub from: Circle,
+    /// Detection circle of the device that next saw the object.
+    pub to: Circle,
+    /// Maximum travel distance `V_max · (t2 − t1)` between the detections.
+    pub budget: f64,
+}
+
+impl ExtendedEllipse {
+    /// Creates the extended ellipse for the given device circles and travel
+    /// budget (`V_max · Δt`).
+    pub fn new(from: Circle, to: Circle, budget: f64) -> ExtendedEllipse {
+        ExtendedEllipse { from, to, budget }
+    }
+
+    /// Gap between the two detection-circle boundaries: the minimum distance
+    /// an object must travel from one range to the other.
+    pub fn boundary_gap(&self) -> f64 {
+        (self.from.center.distance(self.to.center) - self.from.radius - self.to.radius).max(0.0)
+    }
+
+    /// Whether the region is empty — the travel budget cannot even bridge
+    /// the gap between the two detection ranges. Inconsistent (noisy) data
+    /// can produce this; the query algorithms treat it as an empty UR.
+    pub fn is_empty(&self) -> bool {
+        self.budget < -EPS || self.boundary_gap() > self.budget + EPS
+    }
+
+    /// Membership in the complete ellipse region `Θ` (detection disks
+    /// included).
+    pub fn contains(&self, q: Point) -> bool {
+        if self.budget < -EPS {
+            return false;
+        }
+        self.from.boundary_distance(q) + self.to.boundary_distance(q) <= self.budget + EPS
+    }
+
+    /// Membership in the inter-reading uncertainty region: the ellipse
+    /// *excluding* both detection disks (Figure 3's shaded construction).
+    pub fn contains_excluding_ranges(&self, q: Point) -> bool {
+        self.contains(q) && !self.from.contains(q) && !self.to.contains(q)
+    }
+
+    /// A tight bounding rectangle.
+    ///
+    /// Every feasible point `q` satisfies
+    /// `|q − c_i| + |q − c_j| ≤ budget + r_i + r_j`, i.e. lies within the
+    /// classical ellipse with foci at the device centres and distance sum
+    /// `s = budget + r_i + r_j`. The returned MBR is the exact axis-aligned
+    /// box of that ellipse — a superset of `Θ`, which is what the index
+    /// structures need.
+    pub fn mbr(&self) -> Mbr {
+        if self.is_empty() {
+            return Mbr::EMPTY;
+        }
+        let s = self.budget + self.from.radius + self.to.radius;
+        let f1 = self.from.center;
+        let f2 = self.to.center;
+        let c = f1.distance(f2) / 2.0; // focal half-distance
+        let a = s / 2.0; // semi-major axis
+        if a <= c + EPS {
+            // Degenerate: the feasible set collapses to (nearly) the focal
+            // segment; bound it with a hair of slack.
+            return Mbr::new(f1, f2).expanded(EPS.sqrt());
+        }
+        let b = (a * a - c * c).sqrt(); // semi-minor axis
+        let center = f1.midpoint(f2);
+        let dir = (f2 - f1).normalized().unwrap_or(Vec2::new(1.0, 0.0));
+        let (cos_t, sin_t) = (dir.x, dir.y);
+        // Half-extents of a rotated ellipse's axis-aligned bounding box.
+        let ex = ((a * cos_t).powi(2) + (b * sin_t).powi(2)).sqrt();
+        let ey = ((a * sin_t).powi(2) + (b * cos_t).powi(2)).sqrt();
+        Mbr::from_bounds(
+            Point::new(center.x - ex, center.y - ey),
+            Point::new(center.x + ex, center.y + ey),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn point_foci_reduce_to_classic_ellipse() {
+        // Zero-radius foci at (±1, 0), distance sum 4 => semi-major 2,
+        // semi-minor sqrt(3).
+        let e = ExtendedEllipse::new(circle(-1.0, 0.0, 0.0), circle(1.0, 0.0, 0.0), 4.0);
+        assert!(e.contains(Point::new(2.0, 0.0)));
+        assert!(e.contains(Point::new(0.0, 3.0f64.sqrt())));
+        assert!(!e.contains(Point::new(2.01, 0.0)));
+        assert!(!e.contains(Point::new(0.0, 1.74)));
+        let m = e.mbr();
+        assert!((m.hi.x - 2.0).abs() < 1e-9);
+        assert!((m.hi.y - 3.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circular_foci_extend_the_ellipse() {
+        let e = ExtendedEllipse::new(circle(-1.0, 0.0, 0.5), circle(1.0, 0.0, 0.5), 4.0);
+        // A point on the major axis at distance: boundary distances are
+        // (x - (-1) - 0.5) + (x - 1 - 0.5) for x > 1.5.
+        assert!(e.contains(Point::new(2.5, 0.0))); // 3.0 + 1.0 = 4.0 budget
+        assert!(!e.contains(Point::new(2.6, 0.0)));
+        // Inside either detection disk the boundary distance is zero.
+        assert!(e.contains(Point::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn exclusion_variant_removes_detection_disks() {
+        let e = ExtendedEllipse::new(circle(-1.0, 0.0, 0.5), circle(1.0, 0.0, 0.5), 4.0);
+        assert!(e.contains(Point::new(-1.0, 0.0)));
+        assert!(!e.contains_excluding_ranges(Point::new(-1.0, 0.0)));
+        assert!(e.contains_excluding_ranges(Point::new(0.0, 0.5)));
+    }
+
+    #[test]
+    fn infeasible_budget_is_empty() {
+        let e = ExtendedEllipse::new(circle(0.0, 0.0, 1.0), circle(10.0, 0.0, 1.0), 2.0);
+        assert!(e.is_empty());
+        assert!(e.mbr().is_empty());
+        // Membership inside a detection disk still holds geometrically, but
+        // the region is flagged empty and skipped by callers.
+        assert!(e.boundary_gap() > e.budget);
+    }
+
+    #[test]
+    fn exact_budget_bridges_the_gap() {
+        let e = ExtendedEllipse::new(circle(0.0, 0.0, 1.0), circle(10.0, 0.0, 1.0), 8.0);
+        assert!(!e.is_empty());
+        // Only the straight line between the circles is feasible.
+        assert!(e.contains(Point::new(5.0, 0.0)));
+        assert!(!e.contains(Point::new(5.0, 1.0)));
+    }
+
+    #[test]
+    fn same_device_degenerates_to_disk() {
+        // Object left and re-entered the same reader: feasible set is the
+        // disk of radius r + budget/2 around the device.
+        let e = ExtendedEllipse::new(circle(0.0, 0.0, 1.0), circle(0.0, 0.0, 1.0), 2.0);
+        assert!(e.contains(Point::new(2.0, 0.0))); // boundary distance 1+1=2
+        assert!(!e.contains(Point::new(2.1, 0.0)));
+        let m = e.mbr();
+        assert!(m.contains(Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn mbr_contains_all_member_points_sampled() {
+        let e = ExtendedEllipse::new(circle(2.0, 3.0, 0.8), circle(7.0, 5.0, 1.2), 6.0);
+        let m = e.mbr();
+        // Dense sampling of the bounding box of a generous super-region.
+        let sup = m.expanded(1.0);
+        let steps = 80;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let p = Point::new(
+                    sup.lo.x + sup.width() * i as f64 / steps as f64,
+                    sup.lo.y + sup.height() * j as f64 / steps as f64,
+                );
+                if e.contains(p) {
+                    assert!(m.contains(p), "member point {p} outside mbr");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_budget_is_empty_and_contains_nothing() {
+        let e = ExtendedEllipse::new(circle(0.0, 0.0, 1.0), circle(1.0, 0.0, 1.0), -0.5);
+        assert!(e.is_empty());
+        assert!(!e.contains(Point::new(0.0, 0.0)));
+        assert!(e.mbr().is_empty());
+    }
+
+    #[test]
+    fn zero_budget_with_overlapping_ranges_is_their_union_region() {
+        // Touching circles, zero travel budget: only points inside either
+        // detection disk are feasible (both boundary distances zero only
+        // when inside both... inside either makes one term zero; the other
+        // must also be zero, so the intersection).
+        let e = ExtendedEllipse::new(circle(0.0, 0.0, 1.0), circle(1.0, 0.0, 1.0), 0.0);
+        assert!(!e.is_empty());
+        // A point in the lens of both circles is feasible.
+        assert!(e.contains(Point::new(0.5, 0.0)));
+        // Inside only the first circle: distance to the second is positive.
+        assert!(!e.contains(Point::new(-0.5, 0.0)));
+    }
+
+    #[test]
+    fn mbr_is_tight_on_the_major_axis() {
+        let e = ExtendedEllipse::new(circle(0.0, 0.0, 1.0), circle(6.0, 0.0, 1.0), 8.0);
+        let m = e.mbr();
+        // Distance-sum bound s = 8 + 2 = 10, foci distance 6 → semi-major 5
+        // around centre (3, 0): x ∈ [-2, 8].
+        assert!((m.lo.x - (-2.0)).abs() < 1e-9, "{m:?}");
+        assert!((m.hi.x - 8.0).abs() < 1e-9, "{m:?}");
+        // Extreme major-axis points are genuinely members.
+        assert!(e.contains(Point::new(-2.0, 0.0)));
+        assert!(e.contains(Point::new(8.0, 0.0)));
+    }
+
+    #[test]
+    fn rotated_ellipse_mbr_still_bounds() {
+        let e = ExtendedEllipse::new(circle(0.0, 0.0, 0.5), circle(3.0, 4.0, 0.5), 4.0);
+        let m = e.mbr();
+        for i in 0..100 {
+            let t = i as f64 / 99.0;
+            // Walk the focal segment, certainly inside.
+            let p = Point::new(3.0 * t, 4.0 * t);
+            assert!(e.contains(p));
+            assert!(m.contains(p));
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Composable point-set regions.
+//!
+//! Uncertainty regions in the paper are intersections and unions of circles,
+//! rings, and extended ellipses, further constrained by indoor topology. No
+//! closed-form area exists for these composites, so regions are modelled as
+//! *predicates with a bounding box*: a [`Region`] answers membership queries
+//! and exposes an MBR, and the integrator in [`crate::area`] measures
+//! intersection areas numerically.
+
+use crate::circle::Circle;
+use crate::ellipse::ExtendedEllipse;
+use crate::mbr::Mbr;
+use crate::point::{Point, Vec2};
+use crate::polygon::Polygon;
+use crate::ring::Ring;
+
+/// A (possibly unbounded-in-shape, but MBR-bounded) point set in the plane.
+///
+/// Implementations must guarantee that every point with `contains(p) == true`
+/// lies within `mbr()`; the integrator and the index structures rely on it.
+pub trait Region {
+    /// Whether `p` belongs to the region.
+    fn contains(&self, p: Point) -> bool;
+
+    /// A rectangle containing the whole region (need not be tight).
+    fn mbr(&self) -> Mbr;
+
+    /// Cheap emptiness check; `true` means certainly empty, `false` means
+    /// possibly non-empty.
+    fn is_empty_hint(&self) -> bool {
+        self.mbr().is_empty()
+    }
+}
+
+/// A heap-allocated, thread-safe region — the common currency of the
+/// uncertainty-analysis code.
+pub type BoxedRegion = Box<dyn Region + Send + Sync>;
+
+impl Region for Circle {
+    fn contains(&self, p: Point) -> bool {
+        Circle::contains(self, p)
+    }
+    fn mbr(&self) -> Mbr {
+        Circle::mbr(self)
+    }
+}
+
+impl Region for Ring {
+    fn contains(&self, p: Point) -> bool {
+        Ring::contains(self, p)
+    }
+    fn mbr(&self) -> Mbr {
+        Ring::mbr(self)
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl Region for ExtendedEllipse {
+    fn contains(&self, p: Point) -> bool {
+        ExtendedEllipse::contains(self, p)
+    }
+    fn mbr(&self) -> Mbr {
+        ExtendedEllipse::mbr(self)
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl Region for Polygon {
+    fn contains(&self, p: Point) -> bool {
+        Polygon::contains(self, p)
+    }
+    fn mbr(&self) -> Mbr {
+        Polygon::mbr(self)
+    }
+}
+
+impl Region for Mbr {
+    fn contains(&self, p: Point) -> bool {
+        Mbr::contains(self, p)
+    }
+    fn mbr(&self) -> Mbr {
+        *self
+    }
+}
+
+impl<R: Region + ?Sized> Region for Box<R> {
+    fn contains(&self, p: Point) -> bool {
+        (**self).contains(p)
+    }
+    fn mbr(&self) -> Mbr {
+        (**self).mbr()
+    }
+    fn is_empty_hint(&self) -> bool {
+        (**self).is_empty_hint()
+    }
+}
+
+impl<R: Region + ?Sized> Region for &R {
+    fn contains(&self, p: Point) -> bool {
+        (**self).contains(p)
+    }
+    fn mbr(&self) -> Mbr {
+        (**self).mbr()
+    }
+    fn is_empty_hint(&self) -> bool {
+        (**self).is_empty_hint()
+    }
+}
+
+/// The region containing no points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyRegion;
+
+impl Region for EmptyRegion {
+    fn contains(&self, _: Point) -> bool {
+        false
+    }
+    fn mbr(&self) -> Mbr {
+        Mbr::EMPTY
+    }
+    fn is_empty_hint(&self) -> bool {
+        true
+    }
+}
+
+/// The closed half-plane on the left of the directed line `a → b`
+/// (including the line itself). Unbounded, so its MBR is the whole plane —
+/// use only inside intersections.
+#[derive(Debug, Clone, Copy)]
+pub struct HalfPlane {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl HalfPlane {
+    /// The half-plane to the left of the line through `a` and `b`.
+    pub fn left_of(a: Point, b: Point) -> HalfPlane {
+        HalfPlane { a, b }
+    }
+}
+
+impl Region for HalfPlane {
+    fn contains(&self, p: Point) -> bool {
+        (self.b - self.a).cross(p - self.a) >= -crate::EPS
+    }
+    fn mbr(&self) -> Mbr {
+        let inf = f64::INFINITY;
+        Mbr::from_bounds(Point::new(-inf, -inf), Point::new(inf, inf))
+    }
+    fn is_empty_hint(&self) -> bool {
+        false
+    }
+}
+
+/// Intersection of several regions: membership in all of them. The MBR is
+/// the intersection of the member MBRs.
+pub struct RegionIntersection {
+    parts: Vec<BoxedRegion>,
+    mbr: Mbr,
+}
+
+impl RegionIntersection {
+    /// Builds the intersection of `parts`. An empty list is the (MBR-less)
+    /// universal region, which is almost never intended — callers should
+    /// supply at least one part.
+    pub fn new(parts: Vec<BoxedRegion>) -> RegionIntersection {
+        let mbr = parts
+            .iter()
+            .map(|r| r.mbr())
+            .reduce(|a, b| a.intersection(&b))
+            .unwrap_or(Mbr::EMPTY);
+        RegionIntersection { parts, mbr }
+    }
+
+    /// Convenience constructor for the common two-part case
+    /// (e.g. `Ring ∩ Ring` in the inactive snapshot UR).
+    pub fn of(a: impl Region + Send + Sync + 'static, b: impl Region + Send + Sync + 'static) -> RegionIntersection {
+        RegionIntersection::new(vec![Box::new(a), Box::new(b)])
+    }
+}
+
+impl Region for RegionIntersection {
+    fn contains(&self, p: Point) -> bool {
+        self.mbr.contains(p) && self.parts.iter().all(|r| r.contains(p))
+    }
+    fn mbr(&self) -> Mbr {
+        self.mbr
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.mbr.is_empty() || self.parts.iter().any(|r| r.is_empty_hint())
+    }
+}
+
+/// Union of several regions: membership in at least one. The MBR is the
+/// union of the member MBRs.
+///
+/// Interval uncertainty regions are unions of up to hundreds of segments
+/// (disks and ellipses along a trajectory), and the integrator probes
+/// membership thousands of times per presence computation, so each part's
+/// MBR is cached and checked before the (potentially expensive,
+/// topology-aware) part predicate runs.
+pub struct RegionUnion {
+    parts: Vec<(Mbr, BoxedRegion)>,
+    mbr: Mbr,
+}
+
+impl RegionUnion {
+    /// Builds the union of `parts`; empty parts are harmless.
+    pub fn new(parts: Vec<BoxedRegion>) -> RegionUnion {
+        let parts: Vec<(Mbr, BoxedRegion)> =
+            parts.into_iter().map(|r| (r.mbr(), r)).collect();
+        let mbr = parts.iter().fold(Mbr::EMPTY, |m, (pm, _)| m.union(pm));
+        RegionUnion { parts, mbr }
+    }
+
+    /// The member regions.
+    pub fn parts(&self) -> impl Iterator<Item = &BoxedRegion> + '_ {
+        self.parts.iter().map(|(_, r)| r)
+    }
+}
+
+impl Region for RegionUnion {
+    fn contains(&self, p: Point) -> bool {
+        self.mbr.contains(p)
+            && self
+                .parts
+                .iter()
+                .any(|(pm, r)| pm.contains(p) && r.contains(p))
+    }
+    fn mbr(&self) -> Mbr {
+        self.mbr
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.parts.iter().all(|(_, r)| r.is_empty_hint())
+    }
+}
+
+/// Set difference `base \ subtracted`.
+pub struct RegionDifference {
+    base: BoxedRegion,
+    subtracted: BoxedRegion,
+}
+
+impl RegionDifference {
+    /// Builds `base \ subtracted`.
+    pub fn new(base: BoxedRegion, subtracted: BoxedRegion) -> RegionDifference {
+        RegionDifference { base, subtracted }
+    }
+}
+
+impl Region for RegionDifference {
+    fn contains(&self, p: Point) -> bool {
+        self.base.contains(p) && !self.subtracted.contains(p)
+    }
+    fn mbr(&self) -> Mbr {
+        self.base.mbr()
+    }
+    fn is_empty_hint(&self) -> bool {
+        self.base.is_empty_hint()
+    }
+}
+
+/// A region transformed by translation; handy for tests and for reusing
+/// canonical shapes.
+pub struct TranslatedRegion<R> {
+    pub inner: R,
+    pub delta: Vec2,
+}
+
+impl<R: Region> Region for TranslatedRegion<R> {
+    fn contains(&self, p: Point) -> bool {
+        self.inner.contains(p - self.delta)
+    }
+    fn mbr(&self) -> Mbr {
+        let m = self.inner.mbr();
+        if m.is_empty() {
+            m
+        } else {
+            Mbr::from_bounds(m.lo + self.delta, m.hi + self.delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn intersection_of_overlapping_disks() {
+        let i = RegionIntersection::of(disk(0.0, 0.0, 2.0), disk(2.0, 0.0, 2.0));
+        assert!(i.contains(Point::new(1.0, 0.0)));
+        assert!(!i.contains(Point::new(-1.0, 0.0)));
+        assert!(!i.contains(Point::new(3.5, 0.0)));
+        assert!(!i.is_empty_hint());
+    }
+
+    #[test]
+    fn intersection_of_disjoint_disks_is_empty_by_mbr() {
+        let i = RegionIntersection::of(disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 1.0));
+        assert!(i.is_empty_hint());
+        assert!(!i.contains(Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn union_membership_and_mbr() {
+        let u = RegionUnion::new(vec![
+            Box::new(disk(0.0, 0.0, 1.0)),
+            Box::new(disk(10.0, 0.0, 1.0)),
+        ]);
+        assert!(u.contains(Point::new(0.5, 0.0)));
+        assert!(u.contains(Point::new(10.5, 0.0)));
+        assert!(!u.contains(Point::new(5.0, 0.0)));
+        assert!(u.mbr().contains(Point::new(11.0, 0.0)));
+    }
+
+    #[test]
+    fn difference_subtracts() {
+        let d = RegionDifference::new(Box::new(disk(0.0, 0.0, 2.0)), Box::new(disk(0.0, 0.0, 1.0)));
+        assert!(!d.contains(Point::new(0.0, 0.0)));
+        assert!(d.contains(Point::new(1.5, 0.0)));
+        assert!(!d.contains(Point::new(2.5, 0.0)));
+    }
+
+    #[test]
+    fn half_plane_sides() {
+        let h = HalfPlane::left_of(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        assert!(h.contains(Point::new(0.0, 1.0)));
+        assert!(h.contains(Point::new(5.0, 0.0))); // on the line
+        assert!(!h.contains(Point::new(0.0, -1.0)));
+    }
+
+    #[test]
+    fn empty_region_contains_nothing() {
+        assert!(!EmptyRegion.contains(Point::new(0.0, 0.0)));
+        assert!(EmptyRegion.is_empty_hint());
+    }
+
+    #[test]
+    fn translated_region_moves_membership() {
+        let t = TranslatedRegion { inner: disk(0.0, 0.0, 1.0), delta: Vec2::new(5.0, 0.0) };
+        assert!(t.contains(Point::new(5.0, 0.0)));
+        assert!(!t.contains(Point::new(0.0, 0.0)));
+        assert!(t.mbr().contains(Point::new(6.0, 0.0)));
+    }
+
+    #[test]
+    fn mbr_invariant_holds_for_composites() {
+        let u = RegionUnion::new(vec![
+            Box::new(disk(1.0, 1.0, 0.5)),
+            Box::new(Ring::new(disk(4.0, 1.0, 0.5), 1.0)),
+        ]);
+        let m = u.mbr();
+        for i in 0..200 {
+            for j in 0..60 {
+                let p = Point::new(i as f64 * 0.05 - 1.0, j as f64 * 0.1 - 1.0);
+                if u.contains(p) {
+                    assert!(m.contains(p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Annular rings around device detection ranges.
+
+use crate::circle::Circle;
+use crate::mbr::Mbr;
+use crate::point::Point;
+use crate::EPS;
+
+/// The paper's `Ring(dev, ρ)`: the annulus whose inner circle is the
+/// device's detection circle and whose outer circle extends the inner
+/// radius by `ρ` (Section 3.1.2, footnote 1).
+///
+/// The inner disk is *excluded*: an object still inside the detection range
+/// would be generating readings, so an undetected object must be strictly
+/// outside it. A non-positive extension `ρ` yields an empty ring, which can
+/// occur for inconsistent or extremely tight timing data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ring {
+    /// The device's detection circle (inner boundary, excluded).
+    pub inner: Circle,
+    /// Radial extension beyond the detection radius (`V_max · Δt`).
+    pub extension: f64,
+}
+
+impl Ring {
+    /// Creates the ring around `inner` extended outward by `extension`.
+    pub fn new(inner: Circle, extension: f64) -> Ring {
+        Ring { inner, extension }
+    }
+
+    /// The outer bounding circle.
+    pub fn outer(&self) -> Circle {
+        Circle::new(self.inner.center, self.inner.radius + self.extension.max(0.0))
+    }
+
+    /// Whether the ring contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.extension <= EPS
+    }
+
+    /// Membership: strictly outside the inner circle, inside or on the
+    /// outer circle.
+    pub fn contains(&self, p: Point) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let d2 = self.inner.center.distance_sq(p);
+        let r_in = self.inner.radius;
+        let r_out = r_in + self.extension;
+        d2 > r_in * r_in - EPS && d2 <= r_out * r_out + EPS
+    }
+
+    /// Exact annulus area.
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let r_in = self.inner.radius;
+        let r_out = r_in + self.extension;
+        std::f64::consts::PI * (r_out * r_out - r_in * r_in)
+    }
+
+    /// Bounding rectangle (that of the outer circle).
+    pub fn mbr(&self) -> Mbr {
+        if self.is_empty() {
+            Mbr::EMPTY
+        } else {
+            self.outer().mbr()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn ring() -> Ring {
+        Ring::new(Circle::new(Point::new(0.0, 0.0), 1.0), 2.0)
+    }
+
+    #[test]
+    fn membership_excludes_inner_disk() {
+        let r = ring();
+        assert!(!r.contains(Point::new(0.0, 0.0)));
+        assert!(!r.contains(Point::new(0.5, 0.0)));
+        assert!(r.contains(Point::new(2.0, 0.0)));
+        assert!(r.contains(Point::new(3.0, 0.0))); // outer boundary
+        assert!(!r.contains(Point::new(3.1, 0.0)));
+    }
+
+    #[test]
+    fn area_is_annulus_area() {
+        let r = ring();
+        assert!((r.area() - PI * (9.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ring() {
+        let r = Ring::new(Circle::new(Point::new(0.0, 0.0), 1.0), 0.0);
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0.0);
+        assert!(!r.contains(Point::new(1.0, 0.0)));
+        assert!(r.mbr().is_empty());
+
+        let neg = Ring::new(Circle::new(Point::new(0.0, 0.0), 1.0), -0.5);
+        assert!(neg.is_empty());
+    }
+
+    #[test]
+    fn mbr_bounds_outer_circle() {
+        let r = ring();
+        let m = r.mbr();
+        assert_eq!(m.lo, Point::new(-3.0, -3.0));
+        assert_eq!(m.hi, Point::new(3.0, 3.0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Line segments and their predicates.
+
+use crate::mbr::Mbr;
+use crate::point::{Point, Vec2};
+use crate::EPS;
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates the segment from `a` to `b`.
+    pub const fn new(a: Point, b: Point) -> Segment {
+        Segment { a, b }
+    }
+
+    /// Euclidean length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The direction vector `b - a` (not normalized).
+    pub fn direction(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// The point at parameter `t ∈ [0, 1]` along the segment.
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Tight bounding rectangle.
+    pub fn mbr(&self) -> Mbr {
+        Mbr::new(self.a, self.b)
+    }
+
+    /// The closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let d = self.direction();
+        let len_sq = d.norm_sq();
+        if len_sq <= EPS * EPS {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.at(t)
+    }
+
+    /// Distance from `p` to the segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Whether the two segments share at least one point.
+    ///
+    /// Uses exact orientation tests with an epsilon guard; collinear
+    /// overlapping segments are reported as intersecting.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        fn orient(a: Point, b: Point, c: Point) -> f64 {
+            (b - a).cross(c - a)
+        }
+        fn on_segment(a: Point, b: Point, c: Point) -> bool {
+            // c is known collinear with ab; check it lies within the box.
+            c.x >= a.x.min(b.x) - EPS
+                && c.x <= a.x.max(b.x) + EPS
+                && c.y >= a.y.min(b.y) - EPS
+                && c.y <= a.y.max(b.y) + EPS
+        }
+        let (p1, p2, p3, p4) = (self.a, self.b, other.a, other.b);
+        let d1 = orient(p3, p4, p1);
+        let d2 = orient(p3, p4, p2);
+        let d3 = orient(p1, p2, p3);
+        let d4 = orient(p1, p2, p4);
+        if ((d1 > EPS && d2 < -EPS) || (d1 < -EPS && d2 > EPS))
+            && ((d3 > EPS && d4 < -EPS) || (d3 < -EPS && d4 > EPS))
+        {
+            return true;
+        }
+        (d1.abs() <= EPS && on_segment(p3, p4, p1))
+            || (d2.abs() <= EPS && on_segment(p3, p4, p2))
+            || (d3.abs() <= EPS && on_segment(p1, p2, p3))
+            || (d4.abs() <= EPS && on_segment(p1, p2, p4))
+    }
+
+    /// The proper intersection point of the two segments' supporting lines,
+    /// if it lies within both segments. Returns `None` for parallel or
+    /// non-crossing segments (including collinear overlap, which has no
+    /// unique intersection point).
+    pub fn intersection_point(&self, other: &Segment) -> Option<Point> {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        if denom.abs() <= EPS {
+            return None;
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            Some(self.at(t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(x0: f64, y0: f64, x1: f64, y1: f64) -> Segment {
+        Segment::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert!((s.length() - 5.0).abs() < 1e-12);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point(Point::new(5.0, 3.0)), Point::new(5.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(-4.0, 3.0)), Point::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(14.0, 3.0)), Point::new(10.0, 0.0));
+        assert!((s.distance_to_point(Point::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = seg(0.0, 0.0, 2.0, 2.0);
+        let b = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(a.intersects(&b));
+        let p = a.intersection_point(&b).unwrap();
+        assert!(p.distance(Point::new(1.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection_point(&b).is_none());
+    }
+
+    #[test]
+    fn touching_at_endpoint_intersects() {
+        let a = seg(0.0, 0.0, 1.0, 1.0);
+        let b = seg(1.0, 1.0, 2.0, 0.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_overlap_detected() {
+        let a = seg(0.0, 0.0, 2.0, 0.0);
+        let b = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(a.intersects(&b));
+        // No unique crossing point for collinear overlap.
+        assert!(a.intersection_point(&b).is_none());
+    }
+
+    #[test]
+    fn degenerate_segment_is_a_point() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), Point::new(1.0, 1.0));
+        assert_eq!(s.length(), 0.0);
+    }
+}

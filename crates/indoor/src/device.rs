@@ -1,0 +1,61 @@
+//! Proximity-detection devices.
+
+use crate::ids::DeviceId;
+use inflow_geometry::{Circle, Point};
+
+/// A proximity-detection device (RFID reader, Bluetooth radio).
+///
+/// A device reports an object whenever the object is within its circular
+/// detection range (paper §1). Devices are deployed at pre-selected
+/// locations — typically by doors and along hallways — and cover only part
+/// of the indoor space, which is the root cause of the tracking data's
+/// uncertainty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    pub id: DeviceId,
+    /// Human-readable label, e.g. `"dev-door-17"`.
+    pub name: String,
+    /// Mount position of the device.
+    pub position: Point,
+    /// Detection-range radius in metres.
+    pub range: f64,
+}
+
+impl Device {
+    /// Creates a device.
+    pub fn new(id: DeviceId, name: impl Into<String>, position: Point, range: f64) -> Device {
+        assert!(range > 0.0 && range.is_finite(), "detection range must be positive");
+        Device { id, name: name.into(), position, range }
+    }
+
+    /// The detection range as a circle — the `dev.range` the paper's
+    /// uncertainty constructions build on.
+    pub fn detection_circle(&self) -> Circle {
+        Circle::new(self.position, self.range)
+    }
+
+    /// Whether the device detects an object at `p`.
+    pub fn detects(&self, p: Point) -> bool {
+        self.detection_circle().contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_matches_circle() {
+        let d = Device::new(DeviceId(0), "dev0", Point::new(1.0, 1.0), 2.0);
+        assert!(d.detects(Point::new(2.0, 1.0)));
+        assert!(d.detects(Point::new(3.0, 1.0)));
+        assert!(!d.detects(Point::new(3.1, 1.0)));
+        assert_eq!(d.detection_circle().radius, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "detection range must be positive")]
+    fn zero_range_rejected() {
+        let _ = Device::new(DeviceId(0), "bad", Point::ORIGIN, 0.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Indoor walking distances: door-constrained shortest paths.
+//!
+//! The paper's topology check (§3.3) excludes the parts of an uncertainty
+//! region whose *indoor walking distance* from the relevant device exceeds
+//! the maximum Euclidean distance the object could have covered. Movement
+//! between cells is only possible through doors, so the indoor distance
+//! between two points is the length of the shortest polyline through a
+//! sequence of doors.
+//!
+//! The [`DistanceOracle`] precomputes all-pairs shortest paths over the
+//! *door graph* — doors are nodes, and two doors sharing a cell are joined
+//! by an edge weighted with their Euclidean distance. Within a cell the
+//! distance is taken as Euclidean (cells are convex or near-convex in the
+//! workloads used here; intra-cell obstacles are out of scope, as in the
+//! paper).
+
+use crate::floorplan::FloorPlan;
+use crate::ids::{CellId, DoorId};
+use inflow_geometry::Point;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A walkable indoor path: the straight-line hops through door waypoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// The polyline from origin to destination, door positions in between.
+    pub waypoints: Vec<Point>,
+    /// Total length of the polyline in metres.
+    pub length: f64,
+}
+
+/// Precomputed all-pairs door-to-door shortest paths for a floor plan.
+#[derive(Debug)]
+pub struct DistanceOracle {
+    door_positions: Vec<Point>,
+    /// `dist[s * n + v]`: shortest door-graph distance from door `s` to `v`.
+    dist: Vec<f64>,
+    /// `pred[s * n + v]`: predecessor of `v` on the shortest path from `s`;
+    /// `u32::MAX` when unreachable or `v == s`.
+    pred: Vec<u32>,
+}
+
+const NO_PRED: u32 = u32::MAX;
+
+/// Max-heap entry for Dijkstra, ordered by smallest distance first.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we need the minimum.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are never NaN")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl DistanceOracle {
+    /// Builds the oracle by running Dijkstra from every door.
+    ///
+    /// Cost is `O(D · E log D)` for `D` doors; a few hundred doors (the
+    /// paper's deployments) complete in milliseconds.
+    pub fn new(plan: &FloorPlan) -> DistanceOracle {
+        let n = plan.doors().len();
+        let door_positions: Vec<Point> = plan.doors().iter().map(|d| d.position).collect();
+
+        // Adjacency: doors sharing a cell.
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for cell in plan.cells() {
+            let doors = plan.doors_of_cell(cell.id);
+            for (i, &a) in doors.iter().enumerate() {
+                for &b in &doors[i + 1..] {
+                    let w = door_positions[a.index()].distance(door_positions[b.index()]);
+                    adj[a.index()].push((b.0, w));
+                    adj[b.index()].push((a.0, w));
+                }
+            }
+        }
+
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut pred = vec![NO_PRED; n * n];
+        let mut heap = BinaryHeap::new();
+        for s in 0..n {
+            let row = s * n;
+            dist[row + s] = 0.0;
+            heap.clear();
+            heap.push(HeapEntry { dist: 0.0, node: s as u32 });
+            while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+                let u = node as usize;
+                if d > dist[row + u] {
+                    continue;
+                }
+                for &(v, w) in &adj[u] {
+                    let nd = d + w;
+                    if nd < dist[row + v as usize] {
+                        dist[row + v as usize] = nd;
+                        pred[row + v as usize] = node;
+                        heap.push(HeapEntry { dist: nd, node: v });
+                    }
+                }
+            }
+        }
+        DistanceOracle { door_positions, dist, pred }
+    }
+
+    /// Shortest door-graph distance between two doors
+    /// (`f64::INFINITY` when disconnected).
+    pub fn door_distance(&self, a: DoorId, b: DoorId) -> f64 {
+        let n = self.door_positions.len();
+        self.dist[a.index() * n + b.index()]
+    }
+
+    /// Indoor walking distance between two points, or `None` when either
+    /// point lies outside every cell or no door path connects their cells.
+    pub fn distance(&self, plan: &FloorPlan, p: Point, q: Point) -> Option<f64> {
+        self.distance_between_located(plan, p, plan.locate(p)?, q, plan.locate(q)?)
+    }
+
+    /// Indoor walking distance when the cells of both points are already
+    /// known — the hot path of the topology check, which locates points
+    /// once per integration sample.
+    pub fn distance_between_located(
+        &self,
+        plan: &FloorPlan,
+        p: Point,
+        p_cell: CellId,
+        q: Point,
+        q_cell: CellId,
+    ) -> Option<f64> {
+        if p_cell == q_cell {
+            return Some(p.distance(q));
+        }
+        let n = self.door_positions.len();
+        let mut best = f64::INFINITY;
+        for &d1 in plan.doors_of_cell(p_cell) {
+            let leg1 = p.distance(self.door_positions[d1.index()]);
+            if leg1 >= best {
+                continue;
+            }
+            let row = d1.index() * n;
+            for &d2 in plan.doors_of_cell(q_cell) {
+                let total = leg1
+                    + self.dist[row + d2.index()]
+                    + self.door_positions[d2.index()].distance(q);
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        if best.is_finite() {
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// The indoor walking distance from `p` (in `p_cell`) to every door of
+    /// the plan: `dist[d] = min over doors d1 of p_cell (|p − d1| +
+    /// sp(d1, d))`, with doors of `p_cell` itself reachable directly.
+    ///
+    /// Precomputing this vector once per anchor turns the topology check's
+    /// per-point distance query into a scan of the target cell's few
+    /// doors.
+    pub fn distances_from_point(&self, plan: &FloorPlan, p: Point, p_cell: CellId) -> Vec<f64> {
+        let n = self.door_positions.len();
+        let mut out = vec![f64::INFINITY; n];
+        for &d1 in plan.doors_of_cell(p_cell) {
+            let leg = p.distance(self.door_positions[d1.index()]);
+            let row = d1.index() * n;
+            for (d, slot) in out.iter_mut().enumerate() {
+                let total = leg + self.dist[row + d];
+                if total < *slot {
+                    *slot = total;
+                }
+            }
+        }
+        out
+    }
+
+    /// The door positions, indexed by [`DoorId`].
+    pub fn door_positions(&self) -> &[Point] {
+        &self.door_positions
+    }
+
+    /// The shortest walkable route from `p` to `q`, or `None` when
+    /// unreachable. The returned waypoints start at `p`, pass through door
+    /// positions, and end at `q`.
+    pub fn route(&self, plan: &FloorPlan, p: Point, q: Point) -> Option<Route> {
+        let p_cell = plan.locate(p)?;
+        let q_cell = plan.locate(q)?;
+        if p_cell == q_cell {
+            return Some(Route { waypoints: vec![p, q], length: p.distance(q) });
+        }
+        let n = self.door_positions.len();
+        let mut best = f64::INFINITY;
+        let mut best_pair: Option<(DoorId, DoorId)> = None;
+        for &d1 in plan.doors_of_cell(p_cell) {
+            let leg1 = p.distance(self.door_positions[d1.index()]);
+            let row = d1.index() * n;
+            for &d2 in plan.doors_of_cell(q_cell) {
+                let total = leg1
+                    + self.dist[row + d2.index()]
+                    + self.door_positions[d2.index()].distance(q);
+                if total < best {
+                    best = total;
+                    best_pair = Some((d1, d2));
+                }
+            }
+        }
+        let (d1, d2) = best_pair?;
+        // Reconstruct the door chain d1 → … → d2 from the predecessors.
+        let row = d1.index() * n;
+        let mut chain = vec![d2.0];
+        let mut cur = d2.0;
+        while cur != d1.0 {
+            cur = self.pred[row + cur as usize];
+            debug_assert_ne!(cur, NO_PRED, "pred chain broken");
+            chain.push(cur);
+        }
+        chain.reverse();
+        let mut waypoints = Vec::with_capacity(chain.len() + 2);
+        waypoints.push(p);
+        waypoints.extend(chain.iter().map(|&d| self.door_positions[d as usize]));
+        waypoints.push(q);
+        Some(Route { waypoints, length: best })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::{CellKind, FloorPlanBuilder};
+    use inflow_geometry::Polygon;
+
+    /// Three rooms in a row: [0,4]x[0,4], [4,8]x[0,4], [8,12]x[0,4],
+    /// doors at (4,2) and (8,2).
+    fn corridor_plan() -> FloorPlan {
+        let mut b = FloorPlanBuilder::new();
+        let mut cells = Vec::new();
+        for i in 0..3 {
+            cells.push(b.add_cell(
+                format!("room-{i}"),
+                CellKind::Room,
+                Polygon::rectangle(
+                    Point::new(i as f64 * 4.0, 0.0),
+                    Point::new(i as f64 * 4.0 + 4.0, 4.0),
+                ),
+            ));
+        }
+        b.add_door("d01", Point::new(4.0, 2.0), cells[0], cells[1]);
+        b.add_door("d12", Point::new(8.0, 2.0), cells[1], cells[2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_cell_distance_is_euclidean() {
+        let plan = corridor_plan();
+        let oracle = DistanceOracle::new(&plan);
+        let d = oracle.distance(&plan, Point::new(1.0, 1.0), Point::new(3.0, 1.0)).unwrap();
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_cell_distance_goes_through_door() {
+        let plan = corridor_plan();
+        let oracle = DistanceOracle::new(&plan);
+        let p = Point::new(2.0, 2.0);
+        let q = Point::new(6.0, 2.0);
+        // Straight line passes through the door at (4,2), so indoor distance
+        // equals Euclidean here.
+        let d = oracle.distance(&plan, p, q).unwrap();
+        assert!((d - 4.0).abs() < 1e-12);
+
+        // Points offset from the door line must detour through it.
+        let p = Point::new(2.0, 0.5);
+        let q = Point::new(6.0, 0.5);
+        let d = oracle.distance(&plan, p, q).unwrap();
+        let expected = p.distance(Point::new(4.0, 2.0)) + Point::new(4.0, 2.0).distance(q);
+        assert!((d - expected).abs() < 1e-12);
+        assert!(d > p.distance(q));
+    }
+
+    #[test]
+    fn two_hop_distance_chains_doors() {
+        let plan = corridor_plan();
+        let oracle = DistanceOracle::new(&plan);
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(11.0, 2.0);
+        let d = oracle.distance(&plan, p, q).unwrap();
+        // Doors are collinear with both points: straight line again.
+        assert!((d - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_when_no_door_path() {
+        let mut b = FloorPlanBuilder::new();
+        b.add_cell(
+            "isolated-a",
+            CellKind::Room,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(2.0, 2.0)),
+        );
+        b.add_cell(
+            "isolated-b",
+            CellKind::Room,
+            Polygon::rectangle(Point::new(10.0, 0.0), Point::new(12.0, 2.0)),
+        );
+        let plan = b.build().unwrap();
+        let oracle = DistanceOracle::new(&plan);
+        assert_eq!(oracle.distance(&plan, Point::new(1.0, 1.0), Point::new(11.0, 1.0)), None);
+    }
+
+    #[test]
+    fn outside_points_are_none() {
+        let plan = corridor_plan();
+        let oracle = DistanceOracle::new(&plan);
+        assert_eq!(oracle.distance(&plan, Point::new(-5.0, 0.0), Point::new(1.0, 1.0)), None);
+    }
+
+    #[test]
+    fn route_reconstruction_matches_distance() {
+        let plan = corridor_plan();
+        let oracle = DistanceOracle::new(&plan);
+        let p = Point::new(1.0, 0.5);
+        let q = Point::new(11.0, 3.5);
+        let route = oracle.route(&plan, p, q).unwrap();
+        assert_eq!(route.waypoints.first(), Some(&p));
+        assert_eq!(route.waypoints.last(), Some(&q));
+        // Passes through both doors.
+        assert_eq!(route.waypoints.len(), 4);
+        let dist = oracle.distance(&plan, p, q).unwrap();
+        assert!((route.length - dist).abs() < 1e-12);
+        // Length equals the polyline length.
+        let poly_len: f64 = route
+            .waypoints
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum();
+        assert!((route.length - poly_len).abs() < 1e-12);
+    }
+
+    #[test]
+    fn door_distance_matrix_is_symmetric() {
+        let plan = corridor_plan();
+        let oracle = DistanceOracle::new(&plan);
+        let d01 = oracle.door_distance(DoorId(0), DoorId(1));
+        let d10 = oracle.door_distance(DoorId(1), DoorId(0));
+        assert!((d01 - 4.0).abs() < 1e-12);
+        assert_eq!(d01, d10);
+        assert_eq!(oracle.door_distance(DoorId(0), DoorId(0)), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_sampled_points() {
+        let plan = corridor_plan();
+        let oracle = DistanceOracle::new(&plan);
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(6.0, 3.0),
+            Point::new(10.0, 0.5),
+            Point::new(3.0, 3.5),
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    let ab = oracle.distance(&plan, a, b).unwrap();
+                    let bc = oracle.distance(&plan, b, c).unwrap();
+                    let ac = oracle.distance(&plan, a, c).unwrap();
+                    assert!(ac <= ab + bc + 1e-9, "triangle inequality violated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Plain-text interchange format for floor plans.
+//!
+//! A floor plan is a small, hand-editable artifact; this module defines a
+//! line-oriented format that round-trips everything the analytics need —
+//! cells, doors, devices, and POIs — without external dependencies:
+//!
+//! ```text
+//! # comment
+//! cell <name> <room|hallway> <x0> <y0> <x1> <y1>
+//! door <name> <x> <y> <cell-a-name> <cell-b-name>
+//! device <name> <x> <y> <range>
+//! poi <name> <x0> <y0> <x1> <y1>
+//! ```
+//!
+//! Cells and POIs are axis-aligned rectangles (the shape every shipped
+//! workload uses); names must not contain whitespace. Entities may appear
+//! in any order except that doors must follow the cells they reference.
+
+use crate::floorplan::{CellKind, FloorPlan, FloorPlanBuilder};
+use crate::ids::CellId;
+use inflow_geometry::{Point, Polygon};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Errors raised while reading a floor-plan file.
+#[derive(Debug)]
+pub enum PlanIoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    BadLine { line: usize, reason: String },
+    /// The assembled plan failed validation.
+    Invalid(crate::floorplan::FloorPlanError),
+}
+
+impl std::fmt::Display for PlanIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanIoError::Io(e) => write!(f, "I/O error: {e}"),
+            PlanIoError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            PlanIoError::Invalid(e) => write!(f, "invalid plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanIoError {}
+
+impl From<std::io::Error> for PlanIoError {
+    fn from(e: std::io::Error) -> Self {
+        PlanIoError::Io(e)
+    }
+}
+
+/// Writes a floor plan in the text format.
+///
+/// Non-rectangular cell or POI footprints are written as their MBRs — all
+/// shipped workloads are rectangular, and the format documents this
+/// limitation.
+pub fn write_plan(out: &mut impl Write, plan: &FloorPlan) -> Result<(), PlanIoError> {
+    writeln!(out, "# inflow floor plan")?;
+    for cell in plan.cells() {
+        let m = cell.footprint().mbr();
+        let kind = match cell.kind {
+            CellKind::Room => "room",
+            CellKind::Hallway => "hallway",
+        };
+        writeln!(
+            out,
+            "cell {} {} {} {} {} {}",
+            sanitize(&cell.name),
+            kind,
+            m.lo.x,
+            m.lo.y,
+            m.hi.x,
+            m.hi.y
+        )?;
+    }
+    for door in plan.doors() {
+        writeln!(
+            out,
+            "door {} {} {} {} {}",
+            sanitize(&door.name),
+            door.position.x,
+            door.position.y,
+            sanitize(&plan.cell(door.cells.0).name),
+            sanitize(&plan.cell(door.cells.1).name),
+        )?;
+    }
+    for dev in plan.devices() {
+        writeln!(
+            out,
+            "device {} {} {} {}",
+            sanitize(&dev.name),
+            dev.position.x,
+            dev.position.y,
+            dev.range
+        )?;
+    }
+    for poi in plan.pois() {
+        let m = poi.mbr();
+        writeln!(
+            out,
+            "poi {} {} {} {} {}",
+            sanitize(&poi.name),
+            m.lo.x,
+            m.lo.y,
+            m.hi.x,
+            m.hi.y
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a floor plan from the text format.
+pub fn read_plan(input: &mut impl BufRead) -> Result<FloorPlan, PlanIoError> {
+    let mut builder = FloorPlanBuilder::new();
+    let mut cells_by_name: HashMap<String, CellId> = HashMap::new();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if input.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let bad = |reason: String| PlanIoError::BadLine { line: line_no, reason };
+        match fields[0] {
+            "cell" => {
+                if fields.len() != 7 {
+                    return Err(bad("cell needs: name kind x0 y0 x1 y1".into()));
+                }
+                let kind = match fields[2] {
+                    "room" => CellKind::Room,
+                    "hallway" => CellKind::Hallway,
+                    other => return Err(bad(format!("unknown cell kind '{other}'"))),
+                };
+                let r = rect(&fields[3..7], line_no)?;
+                let id = builder.add_cell(fields[1], kind, r);
+                cells_by_name.insert(fields[1].to_string(), id);
+            }
+            "door" => {
+                if fields.len() != 6 {
+                    return Err(bad("door needs: name x y cell-a cell-b".into()));
+                }
+                let x: f64 = num(fields[2], line_no)?;
+                let y: f64 = num(fields[3], line_no)?;
+                let a = *cells_by_name
+                    .get(fields[4])
+                    .ok_or_else(|| bad(format!("unknown cell '{}'", fields[4])))?;
+                let b = *cells_by_name
+                    .get(fields[5])
+                    .ok_or_else(|| bad(format!("unknown cell '{}'", fields[5])))?;
+                builder.add_door(fields[1], Point::new(x, y), a, b);
+            }
+            "device" => {
+                if fields.len() != 5 {
+                    return Err(bad("device needs: name x y range".into()));
+                }
+                let x: f64 = num(fields[2], line_no)?;
+                let y: f64 = num(fields[3], line_no)?;
+                let range: f64 = num(fields[4], line_no)?;
+                builder.add_device(fields[1], Point::new(x, y), range);
+            }
+            "poi" => {
+                if fields.len() != 6 {
+                    return Err(bad("poi needs: name x0 y0 x1 y1".into()));
+                }
+                let r = rect(&fields[2..6], line_no)?;
+                builder.add_poi(fields[1], r);
+            }
+            other => return Err(bad(format!("unknown entity '{other}'"))),
+        }
+    }
+    builder.build().map_err(PlanIoError::Invalid)
+}
+
+fn sanitize(name: &str) -> String {
+    name.replace(char::is_whitespace, "_")
+}
+
+fn num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, PlanIoError> {
+    s.parse().map_err(|_| PlanIoError::BadLine {
+        line,
+        reason: format!("cannot parse number from '{s}'"),
+    })
+}
+
+fn rect(fields: &[&str], line: usize) -> Result<Polygon, PlanIoError> {
+    let x0: f64 = num(fields[0], line)?;
+    let y0: f64 = num(fields[1], line)?;
+    let x1: f64 = num(fields[2], line)?;
+    let y1: f64 = num(fields[3], line)?;
+    if x1 <= x0 || y1 <= y0 {
+        return Err(PlanIoError::BadLine {
+            line,
+            reason: format!("degenerate rectangle {x0},{y0}..{x1},{y1}"),
+        });
+    }
+    Ok(Polygon::rectangle(Point::new(x0, y0), Point::new(x1, y1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample_plan() -> FloorPlan {
+        let mut b = FloorPlanBuilder::new();
+        let hall = b.add_cell(
+            "hall",
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(20.0, 4.0)),
+        );
+        let room = b.add_cell(
+            "room 1", // whitespace gets sanitized on write
+            CellKind::Room,
+            Polygon::rectangle(Point::new(4.0, 4.0), Point::new(12.0, 10.0)),
+        );
+        b.add_door("d", Point::new(8.0, 4.0), hall, room);
+        b.add_device("dev0", Point::new(3.0, 2.0), 1.5);
+        b.add_poi("poi0", Polygon::rectangle(Point::new(5.0, 5.0), Point::new(11.0, 9.0)));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        write_plan(&mut buf, &plan).unwrap();
+        let parsed = read_plan(&mut BufReader::new(buf.as_slice())).unwrap();
+
+        assert_eq!(parsed.cells().len(), plan.cells().len());
+        assert_eq!(parsed.doors().len(), plan.doors().len());
+        assert_eq!(parsed.devices().len(), plan.devices().len());
+        assert_eq!(parsed.pois().len(), plan.pois().len());
+        for (a, b) in plan.cells().iter().zip(parsed.cells()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.footprint().mbr(), b.footprint().mbr());
+        }
+        assert_eq!(parsed.cells()[1].name, "room_1");
+        assert_eq!(plan.devices()[0].range, parsed.devices()[0].range);
+        assert_eq!(plan.pois()[0].mbr(), parsed.pois()[0].mbr());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# plan\n\ncell hall hallway 0 0 10 4\n";
+        let plan = read_plan(&mut BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(plan.cells().len(), 1);
+    }
+
+    #[test]
+    fn unknown_entity_is_rejected() {
+        let text = "wall 0 0 10 4\n";
+        let err = read_plan(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, PlanIoError::BadLine { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn door_before_cell_is_rejected() {
+        let text = "door d 1 1 a b\ncell a room 0 0 2 2\n";
+        let err = read_plan(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, PlanIoError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn degenerate_rect_is_rejected() {
+        let text = "cell a room 0 0 0 2\n";
+        let err = read_plan(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, PlanIoError::BadLine { .. }));
+    }
+
+    #[test]
+    fn invalid_plan_surfaces_validation_error() {
+        // Door placed far from one of its cells.
+        let text = "cell a room 0 0 2 2\ncell b room 2 0 4 2\ndoor d 50 50 a b\n";
+        let err = read_plan(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, PlanIoError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let text = "cell a room 0 zero 2 2\n";
+        match read_plan(&mut BufReader::new(text.as_bytes())).unwrap_err() {
+            PlanIoError::BadLine { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("zero"));
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Indoor space model for symbolic tracking analytics.
+//!
+//! Indoor spaces are characterized by entities — rooms, hallways, doors —
+//! that both enable and constrain movement (paper §1). This crate models:
+//!
+//! * [`Cell`]s: the partitions of a floor plan (rooms and hallway
+//!   sections), each with a polygonal footprint;
+//! * [`Door`]s connecting pairs of cells — the only way to move between
+//!   cells;
+//! * [`Device`]s: proximity-detection devices (RFID readers, Bluetooth
+//!   radios) with circular detection ranges;
+//! * [`Poi`]s: the query targets, polygons of interest (shops, gates,
+//!   exhibition stands);
+//! * the [`FloorPlan`] aggregate with point location, and
+//! * the [`DistanceOracle`] computing *indoor walking distances* — the
+//!   door-constrained shortest paths that drive both the movement simulator
+//!   and the paper's indoor topology check (§3.3).
+
+pub mod building;
+pub mod device;
+pub mod distance;
+pub mod floorplan;
+pub mod ids;
+pub mod io;
+pub mod poi;
+
+pub use building::{Building, BuildingDistanceOracle, BuildingError, BuildingPoint, Connector, FloorId};
+pub use device::Device;
+pub use distance::{DistanceOracle, Route};
+pub use floorplan::{Cell, CellKind, Door, FloorPlan, FloorPlanBuilder, FloorPlanError};
+pub use ids::{CellId, DeviceId, DoorId, PoiId};
+pub use io::{read_plan, write_plan, PlanIoError};
+pub use poi::Poi;

@@ -1,0 +1,65 @@
+//! Indoor points of interest.
+
+use crate::ids::PoiId;
+use inflow_geometry::{Mbr, Point, Polygon};
+
+/// An indoor point of interest: a shop, restaurant, gate, or exhibition
+/// stand whose popularity the top-k queries measure.
+///
+/// Per the paper (§2.2), "each indoor POI `p` has some fixed extent modeled
+/// by a polygon, and for simplicity, we equate a POI `p` with its polygon".
+/// Multiple POIs may come from the same large room divided into multiple
+/// uses (§5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poi {
+    pub id: PoiId,
+    /// Human-readable label, e.g. `"shop-12"` or `"gate-A4"`.
+    pub name: String,
+    extent: Polygon,
+}
+
+impl Poi {
+    /// Creates a POI with the given polygonal extent.
+    pub fn new(id: PoiId, name: impl Into<String>, extent: Polygon) -> Poi {
+        Poi { id, name: name.into(), extent }
+    }
+
+    /// The POI's polygonal extent.
+    pub fn extent(&self) -> &Polygon {
+        &self.extent
+    }
+
+    /// Exact area of the extent — the denominator of the presence measure.
+    pub fn area(&self) -> f64 {
+        self.extent.area()
+    }
+
+    /// Bounding rectangle, used by the POI R-tree.
+    pub fn mbr(&self) -> Mbr {
+        self.extent.mbr()
+    }
+
+    /// Whether the POI covers `p`.
+    pub fn contains(&self, p: Point) -> bool {
+        self.extent.contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poi_delegates_to_polygon() {
+        let poi = Poi::new(
+            PoiId(3),
+            "shop-3",
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 2.0)),
+        );
+        assert_eq!(poi.area(), 8.0);
+        assert!(poi.contains(Point::new(1.0, 1.0)));
+        assert!(!poi.contains(Point::new(5.0, 1.0)));
+        assert_eq!(poi.mbr().width(), 4.0);
+        assert_eq!(poi.name, "shop-3");
+    }
+}

@@ -1,0 +1,250 @@
+//! CSV interchange for tracking data.
+//!
+//! Real deployments exchange symbolic tracking data as flat files; this
+//! module reads and writes the two natural formats:
+//!
+//! * **raw readings** — `object,device,t` (one positioning report per
+//!   line), to be merged with [`crate::merge_raw_readings`];
+//! * **OTT rows** — `object,device,ts,te` (merged tracking records), to be
+//!   loaded with [`ObjectTrackingTable::from_rows`].
+//!
+//! Both formats have a mandatory header line, `#`-comment support, and
+//! precise line-numbered errors. Round-tripping is lossless (and tested).
+
+use crate::ott::{ObjectId, ObjectTrackingTable, OttRow};
+use crate::reading::RawReading;
+use inflow_indoor::DeviceId;
+use std::io::{BufRead, Write};
+
+/// Errors raised while parsing tracking CSV files.
+#[derive(Debug)]
+pub enum CsvError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line was missing or unexpected.
+    BadHeader { expected: &'static str, found: String },
+    /// A data line could not be parsed.
+    BadLine { line: usize, reason: String },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadHeader { expected, found } => {
+                write!(f, "expected header '{expected}', found '{found}'")
+            }
+            CsvError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+const OTT_HEADER: &str = "object,device,ts,te";
+const READING_HEADER: &str = "object,device,t";
+
+/// Writes OTT rows (or a whole table's records) as CSV.
+pub fn write_ott_csv<'a>(
+    out: &mut impl Write,
+    rows: impl IntoIterator<Item = &'a OttRow>,
+) -> Result<(), CsvError> {
+    writeln!(out, "{OTT_HEADER}")?;
+    for r in rows {
+        writeln!(out, "{},{},{},{}", r.object.0, r.device.0, r.ts, r.te)?;
+    }
+    Ok(())
+}
+
+/// Writes an [`ObjectTrackingTable`]'s records as CSV.
+pub fn write_table_csv(out: &mut impl Write, ott: &ObjectTrackingTable) -> Result<(), CsvError> {
+    writeln!(out, "{OTT_HEADER}")?;
+    for r in ott.records() {
+        writeln!(out, "{},{},{},{}", r.object.0, r.device.0, r.ts, r.te)?;
+    }
+    Ok(())
+}
+
+/// Reads OTT rows from CSV.
+pub fn read_ott_csv(input: &mut impl BufRead) -> Result<Vec<OttRow>, CsvError> {
+    let mut rows = Vec::new();
+    let mut lines = content_lines(input)?;
+    let Some((_, header)) = lines.next() else {
+        return Err(CsvError::BadHeader { expected: OTT_HEADER, found: String::new() });
+    };
+    if header.trim() != OTT_HEADER {
+        return Err(CsvError::BadHeader { expected: OTT_HEADER, found: header });
+    }
+    for (line_no, line) in lines {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(CsvError::BadLine {
+                line: line_no,
+                reason: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        rows.push(OttRow {
+            object: ObjectId(parse(fields[0], "object", line_no)?),
+            device: DeviceId(parse(fields[1], "device", line_no)?),
+            ts: parse(fields[2], "ts", line_no)?,
+            te: parse(fields[3], "te", line_no)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Writes raw readings as CSV.
+pub fn write_readings_csv<'a>(
+    out: &mut impl Write,
+    readings: impl IntoIterator<Item = &'a RawReading>,
+) -> Result<(), CsvError> {
+    writeln!(out, "{READING_HEADER}")?;
+    for r in readings {
+        writeln!(out, "{},{},{}", r.object.0, r.device.0, r.t)?;
+    }
+    Ok(())
+}
+
+/// Reads raw readings from CSV.
+pub fn read_readings_csv(input: &mut impl BufRead) -> Result<Vec<RawReading>, CsvError> {
+    let mut readings = Vec::new();
+    let mut lines = content_lines(input)?;
+    let Some((_, header)) = lines.next() else {
+        return Err(CsvError::BadHeader { expected: READING_HEADER, found: String::new() });
+    };
+    if header.trim() != READING_HEADER {
+        return Err(CsvError::BadHeader { expected: READING_HEADER, found: header });
+    }
+    for (line_no, line) in lines {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return Err(CsvError::BadLine {
+                line: line_no,
+                reason: format!("expected 3 fields, found {}", fields.len()),
+            });
+        }
+        readings.push(RawReading {
+            object: ObjectId(parse(fields[0], "object", line_no)?),
+            device: DeviceId(parse(fields[1], "device", line_no)?),
+            t: parse(fields[2], "t", line_no)?,
+        });
+    }
+    Ok(readings)
+}
+
+/// Non-empty, non-comment lines with their 1-based line numbers.
+fn content_lines(
+    input: &mut impl BufRead,
+) -> Result<impl Iterator<Item = (usize, String)>, CsvError> {
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if input.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = buf.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push((line_no, trimmed.to_string()));
+    }
+    Ok(out.into_iter())
+}
+
+fn parse<T: std::str::FromStr>(s: &str, field: &str, line: usize) -> Result<T, CsvError> {
+    s.parse().map_err(|_| CsvError::BadLine {
+        line,
+        reason: format!("cannot parse {field} from '{s}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn row(o: u32, d: u32, ts: f64, te: f64) -> OttRow {
+        OttRow { object: ObjectId(o), device: DeviceId(d), ts, te }
+    }
+
+    #[test]
+    fn ott_round_trip() {
+        let rows = vec![row(1, 2, 0.0, 5.5), row(1, 3, 8.25, 9.0), row(2, 2, 1.0, 1.0)];
+        let mut buf = Vec::new();
+        write_ott_csv(&mut buf, &rows).unwrap();
+        let parsed = read_ott_csv(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let rows = vec![row(1, 2, 0.0, 5.5), row(1, 3, 8.25, 9.0)];
+        let ott = ObjectTrackingTable::from_rows(rows).unwrap();
+        let mut buf = Vec::new();
+        write_table_csv(&mut buf, &ott).unwrap();
+        let parsed = read_ott_csv(&mut BufReader::new(buf.as_slice())).unwrap();
+        let ott2 = ObjectTrackingTable::from_rows(parsed).unwrap();
+        assert_eq!(ott.records(), ott2.records());
+    }
+
+    #[test]
+    fn readings_round_trip() {
+        let readings = vec![
+            RawReading { object: ObjectId(7), device: DeviceId(1), t: 0.5 },
+            RawReading { object: ObjectId(7), device: DeviceId(1), t: 1.5 },
+        ];
+        let mut buf = Vec::new();
+        write_readings_csv(&mut buf, &readings).unwrap();
+        let parsed = read_readings_csv(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, readings);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# exported by inflow\n\nobject,device,ts,te\n# a comment\n1,2,0,5\n";
+        let rows = read_ott_csv(&mut BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(rows, vec![row(1, 2, 0.0, 5.0)]);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let text = "obj,dev,start,end\n1,2,0,5\n";
+        let err = read_ott_csv(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_line_reports_line_number() {
+        let text = "object,device,ts,te\n1,2,0,5\n1,2,oops,5\n";
+        let err = read_ott_csv(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            CsvError::BadLine { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("ts"));
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let text = "object,device,ts,te\n1,2,0\n";
+        let err = read_ott_csv(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, CsvError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_file_is_bad_header() {
+        let err = read_ott_csv(&mut BufReader::new("".as_bytes())).unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader { .. }));
+    }
+}

@@ -1,0 +1,135 @@
+//! Raw position readings and the reading→record merger.
+
+use crate::ott::{ObjectId, OttRow};
+use crate::Timestamp;
+use inflow_indoor::DeviceId;
+
+/// A raw position reading `⟨objectID, deviceID, t⟩` (paper §2.1): the
+/// object was seen by the device at time `t`. Positioning works at a
+/// configured sampling frequency, so an object in range typically produces
+/// many consecutive raw readings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawReading {
+    pub object: ObjectId,
+    pub device: DeviceId,
+    pub t: Timestamp,
+}
+
+/// Merges raw readings into OTT rows (paper §2.1): maximal runs of
+/// readings of the same object by the same device, where consecutive
+/// readings are at most `max_gap` apart, become one
+/// `⟨object, device, t_s, t_e⟩` row.
+///
+/// `max_gap` should be slightly above the sampling period (e.g. 1.5–2×) so
+/// an occasional missed sample does not split a run, while a genuine
+/// departure and return produces two records.
+///
+/// Readings may be supplied in any order; they are sorted internally.
+pub fn merge_raw_readings(mut readings: Vec<RawReading>, max_gap: f64) -> Vec<OttRow> {
+    assert!(max_gap > 0.0, "max_gap must be positive");
+    readings.sort_by(|a, b| {
+        (a.object, a.t, a.device.0)
+            .partial_cmp(&(b.object, b.t, b.device.0))
+            .expect("timestamps are finite")
+    });
+    let mut rows: Vec<OttRow> = Vec::new();
+    let mut open: Option<OttRow> = None;
+    for r in readings {
+        match open.as_mut() {
+            Some(row)
+                if row.object == r.object
+                    && row.device == r.device
+                    && r.t - row.te <= max_gap =>
+            {
+                row.te = r.t;
+            }
+            _ => {
+                if let Some(done) = open.take() {
+                    rows.push(done);
+                }
+                open = Some(OttRow { object: r.object, device: r.device, ts: r.t, te: r.t });
+            }
+        }
+    }
+    if let Some(done) = open {
+        rows.push(done);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(o: u32, d: u32, t: f64) -> RawReading {
+        RawReading { object: ObjectId(o), device: DeviceId(d), t }
+    }
+
+    #[test]
+    fn consecutive_readings_merge() {
+        let rows = merge_raw_readings(
+            vec![reading(1, 1, 0.0), reading(1, 1, 1.0), reading(1, 1, 2.0)],
+            1.5,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].ts, 0.0);
+        assert_eq!(rows[0].te, 2.0);
+    }
+
+    #[test]
+    fn gap_splits_runs() {
+        let rows = merge_raw_readings(
+            vec![reading(1, 1, 0.0), reading(1, 1, 1.0), reading(1, 1, 5.0)],
+            1.5,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].ts, rows[0].te), (0.0, 1.0));
+        assert_eq!((rows[1].ts, rows[1].te), (5.0, 5.0));
+    }
+
+    #[test]
+    fn device_change_splits_runs() {
+        let rows = merge_raw_readings(
+            vec![reading(1, 1, 0.0), reading(1, 2, 1.0), reading(1, 1, 2.0)],
+            1.5,
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].device, DeviceId(1));
+        assert_eq!(rows[1].device, DeviceId(2));
+        assert_eq!(rows[2].device, DeviceId(1));
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let rows = merge_raw_readings(
+            vec![reading(1, 1, 0.0), reading(2, 1, 0.5), reading(1, 1, 1.0), reading(2, 1, 1.5)],
+            1.5,
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.object == ObjectId(1) && r.te == 1.0));
+        assert!(rows.iter().any(|r| r.object == ObjectId(2) && r.te == 1.5));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let rows = merge_raw_readings(
+            vec![reading(1, 1, 2.0), reading(1, 1, 0.0), reading(1, 1, 1.0)],
+            1.5,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].ts, rows[0].te), (0.0, 2.0));
+    }
+
+    #[test]
+    fn single_reading_yields_point_record() {
+        let rows = merge_raw_readings(vec![reading(3, 7, 9.0)], 1.0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].ts, rows[0].te), (9.0, 9.0));
+        assert_eq!(rows[0].device, DeviceId(7));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_raw_readings(Vec::new(), 1.0).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Incremental ingestion of raw readings.
+//!
+//! The batch pipeline ([`crate::merge_raw_readings`] →
+//! [`ObjectTrackingTable::from_rows`]) suits historical analysis; a live
+//! deployment instead receives readings continuously. [`OnlineTracker`]
+//! maintains the per-object *open runs* (a run is a maximal sequence of
+//! same-device readings with gaps below the merge threshold), closes runs
+//! into OTT rows as soon as they can no longer grow, and periodically
+//! snapshots a queryable [`ObjectTrackingTable`].
+//!
+//! Equivalence with the batch merger is guaranteed (and tested): feeding
+//! the same readings in timestamp order produces the same rows.
+
+use crate::ott::{ObjectId, ObjectTrackingTable, OttError, OttRow};
+use crate::reading::RawReading;
+use crate::Timestamp;
+use std::collections::HashMap;
+
+/// An in-progress detection run for one object.
+#[derive(Debug, Clone, Copy)]
+struct OpenRun {
+    device: inflow_indoor::DeviceId,
+    ts: Timestamp,
+    te: Timestamp,
+}
+
+/// Incremental raw-reading ingester.
+///
+/// Readings must arrive in non-decreasing timestamp order per object
+/// (out-of-order arrivals are rejected with
+/// [`StreamError::OutOfOrderReading`] — upstream buffering is the caller's
+/// responsibility, matching how positioning middleware delivers merged
+/// streams).
+#[derive(Debug, Default)]
+pub struct OnlineTracker {
+    max_gap: f64,
+    open: HashMap<ObjectId, OpenRun>,
+    closed: Vec<OttRow>,
+    /// Largest timestamp ingested so far.
+    watermark: Timestamp,
+}
+
+/// Errors raised during streaming ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A reading arrived with a timestamp earlier than the object's
+    /// current open run.
+    OutOfOrderReading { object: ObjectId, t: Timestamp, run_end: Timestamp },
+    /// Snapshot failed because accumulated rows violate OTT invariants.
+    Ott(OttError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::OutOfOrderReading { object, t, run_end } => write!(
+                f,
+                "reading for {object} at t={t} precedes its open run end {run_end}"
+            ),
+            StreamError::Ott(e) => write!(f, "snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl OnlineTracker {
+    /// Creates a tracker with the given merge gap (same semantics as
+    /// [`crate::merge_raw_readings`]).
+    pub fn new(max_gap: f64) -> OnlineTracker {
+        assert!(max_gap > 0.0, "max_gap must be positive");
+        OnlineTracker { max_gap, ..OnlineTracker::default() }
+    }
+
+    /// Ingests one reading.
+    pub fn ingest(&mut self, r: RawReading) -> Result<(), StreamError> {
+        self.watermark = self.watermark.max(r.t);
+        match self.open.get_mut(&r.object) {
+            Some(run) if run.device == r.device && r.t >= run.te && r.t - run.te <= self.max_gap => {
+                run.te = r.t;
+                Ok(())
+            }
+            Some(run) if r.t < run.te => Err(StreamError::OutOfOrderReading {
+                object: r.object,
+                t: r.t,
+                run_end: run.te,
+            }),
+            Some(run) => {
+                // Device change or gap: close the current run.
+                self.closed.push(OttRow {
+                    object: r.object,
+                    device: run.device,
+                    ts: run.ts,
+                    te: run.te,
+                });
+                *run = OpenRun { device: r.device, ts: r.t, te: r.t };
+                Ok(())
+            }
+            None => {
+                self.open.insert(r.object, OpenRun { device: r.device, ts: r.t, te: r.t });
+                Ok(())
+            }
+        }
+    }
+
+    /// Ingests a batch of readings (must respect per-object time order).
+    pub fn ingest_all(
+        &mut self,
+        readings: impl IntoIterator<Item = RawReading>,
+    ) -> Result<(), StreamError> {
+        for r in readings {
+            self.ingest(r)?;
+        }
+        Ok(())
+    }
+
+    /// Number of rows already closed (excludes open runs).
+    pub fn closed_rows(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Number of objects with an open run.
+    pub fn open_runs(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The largest timestamp seen.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Closes every open run whose gap to the watermark already exceeds
+    /// the merge threshold — they can never be extended again. Returns the
+    /// number of runs closed. Call periodically to bound memory.
+    pub fn expire_stale_runs(&mut self) -> usize {
+        let watermark = self.watermark;
+        let max_gap = self.max_gap;
+        let closed = &mut self.closed;
+        let before = self.open.len();
+        self.open.retain(|&object, run| {
+            if watermark - run.te > max_gap {
+                closed.push(OttRow { object, device: run.device, ts: run.ts, te: run.te });
+                false
+            } else {
+                true
+            }
+        });
+        before - self.open.len()
+    }
+
+    /// Snapshots a queryable OTT from everything ingested so far,
+    /// *including* the still-open runs (closed as-of-now). The tracker
+    /// keeps its state and can continue ingesting.
+    pub fn snapshot(&self) -> Result<ObjectTrackingTable, StreamError> {
+        let mut rows = self.closed.clone();
+        rows.extend(self.open.iter().map(|(&object, run)| OttRow {
+            object,
+            device: run.device,
+            ts: run.ts,
+            te: run.te,
+        }));
+        ObjectTrackingTable::from_rows(rows).map_err(StreamError::Ott)
+    }
+
+    /// Consumes the tracker, closing all open runs, and builds the final
+    /// OTT.
+    pub fn finish(mut self) -> Result<ObjectTrackingTable, StreamError> {
+        let open = std::mem::take(&mut self.open);
+        for (object, run) in open {
+            self.closed.push(OttRow { object, device: run.device, ts: run.ts, te: run.te });
+        }
+        ObjectTrackingTable::from_rows(self.closed).map_err(StreamError::Ott)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::merge_raw_readings;
+    use inflow_indoor::DeviceId;
+
+    fn reading(o: u32, d: u32, t: f64) -> RawReading {
+        RawReading { object: ObjectId(o), device: DeviceId(d), t }
+    }
+
+    #[test]
+    fn streaming_matches_batch_merge() {
+        let mut readings = Vec::new();
+        // Two objects weaving through three devices with gaps.
+        for (o, offsets) in [(1u32, 0.0), (2u32, 0.4)] {
+            let mut t = offsets;
+            for burst in 0..6 {
+                let dev = burst % 3;
+                for _ in 0..4 {
+                    readings.push(reading(o, dev, t));
+                    t += 1.0;
+                }
+                t += 5.0; // gap
+            }
+        }
+        readings.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+
+        let batch = merge_raw_readings(readings.clone(), 1.5);
+
+        let mut tracker = OnlineTracker::new(1.5);
+        tracker.ingest_all(readings).unwrap();
+        let ott = tracker.finish().unwrap();
+
+        let batch_ott = ObjectTrackingTable::from_rows(batch).unwrap();
+        assert_eq!(ott.len(), batch_ott.len());
+        for (a, b) in ott.records().iter().zip(batch_ott.records()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut tracker = OnlineTracker::new(1.0);
+        tracker.ingest(reading(1, 1, 5.0)).unwrap();
+        let err = tracker.ingest(reading(1, 1, 4.0)).unwrap_err();
+        assert!(matches!(err, StreamError::OutOfOrderReading { .. }));
+        // Other objects are unaffected.
+        tracker.ingest(reading(2, 1, 1.0)).unwrap();
+    }
+
+    #[test]
+    fn snapshot_includes_open_runs() {
+        let mut tracker = OnlineTracker::new(1.0);
+        tracker.ingest(reading(1, 1, 0.0)).unwrap();
+        tracker.ingest(reading(1, 1, 1.0)).unwrap();
+        let ott = tracker.snapshot().unwrap();
+        assert_eq!(ott.len(), 1);
+        let rec = &ott.records()[0];
+        assert_eq!((rec.ts, rec.te), (0.0, 1.0));
+        // The tracker continues: the run keeps growing.
+        tracker.ingest(reading(1, 1, 2.0)).unwrap();
+        let ott = tracker.snapshot().unwrap();
+        assert_eq!(ott.records()[0].te, 2.0);
+    }
+
+    #[test]
+    fn expire_closes_stale_runs_only() {
+        let mut tracker = OnlineTracker::new(1.0);
+        tracker.ingest(reading(1, 1, 0.0)).unwrap();
+        tracker.ingest(reading(2, 2, 9.5)).unwrap();
+        // Watermark is 9.5: object 1's run (te=0) is stale, object 2's not.
+        assert_eq!(tracker.expire_stale_runs(), 1);
+        assert_eq!(tracker.open_runs(), 1);
+        assert_eq!(tracker.closed_rows(), 1);
+    }
+
+    #[test]
+    fn device_handover_closes_previous_run() {
+        let mut tracker = OnlineTracker::new(1.0);
+        tracker.ingest(reading(1, 1, 0.0)).unwrap();
+        tracker.ingest(reading(1, 2, 0.5)).unwrap();
+        assert_eq!(tracker.closed_rows(), 1);
+        let ott = tracker.finish().unwrap();
+        assert_eq!(ott.len(), 2);
+        assert_eq!(ott.records()[0].device, DeviceId(1));
+        assert_eq!(ott.records()[1].device, DeviceId(2));
+    }
+
+    #[test]
+    fn empty_tracker_produces_empty_ott() {
+        let ott = OnlineTracker::new(1.0).finish().unwrap();
+        assert!(ott.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared indoor context: floor plan plus distance oracle.
+
+use inflow_geometry::Point;
+use inflow_indoor::{CellId, DistanceOracle, FloorPlan};
+
+/// A floor plan bundled with its precomputed [`DistanceOracle`].
+///
+/// Uncertainty regions capture the context behind an `Arc` so they stay
+/// `'static` and cheaply clonable while sharing one door-distance matrix.
+#[derive(Debug)]
+pub struct IndoorContext {
+    plan: FloorPlan,
+    oracle: DistanceOracle,
+}
+
+impl IndoorContext {
+    /// Builds the context, precomputing all door-to-door shortest paths.
+    pub fn new(plan: FloorPlan) -> IndoorContext {
+        let oracle = DistanceOracle::new(&plan);
+        IndoorContext { plan, oracle }
+    }
+
+    /// The floor plan.
+    pub fn plan(&self) -> &FloorPlan {
+        &self.plan
+    }
+
+    /// The distance oracle.
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
+    }
+
+    /// Indoor walking distance between two points (`None` when either
+    /// point is outside every cell or no door path exists).
+    pub fn indoor_distance(&self, p: Point, q: Point) -> Option<f64> {
+        self.oracle.distance(&self.plan, p, q)
+    }
+
+    /// Indoor walking distance when the source's cell is already known —
+    /// the topology check resolves each device's cell once per region and
+    /// then runs this per sample point.
+    pub fn indoor_distance_from_cell(
+        &self,
+        p: Point,
+        p_cell: CellId,
+        q: Point,
+    ) -> Option<f64> {
+        let q_cell = self.plan.locate(q)?;
+        self.oracle.distance_between_located(&self.plan, p, p_cell, q, q_cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::Polygon;
+    use inflow_indoor::{CellKind, FloorPlanBuilder};
+
+    #[test]
+    fn context_wires_plan_and_oracle() {
+        let mut b = FloorPlanBuilder::new();
+        let a = b.add_cell(
+            "a",
+            CellKind::Room,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)),
+        );
+        let c = b.add_cell(
+            "b",
+            CellKind::Room,
+            Polygon::rectangle(Point::new(4.0, 0.0), Point::new(8.0, 4.0)),
+        );
+        b.add_door("d", Point::new(4.0, 2.0), a, c);
+        let ctx = IndoorContext::new(b.build().unwrap());
+        let d = ctx.indoor_distance(Point::new(2.0, 2.0), Point::new(6.0, 2.0)).unwrap();
+        assert!((d - 4.0).abs() < 1e-12);
+        let cell = ctx.plan().locate(Point::new(2.0, 2.0)).unwrap();
+        let d2 = ctx
+            .indoor_distance_from_cell(Point::new(2.0, 2.0), cell, Point::new(6.0, 2.0))
+            .unwrap();
+        assert_eq!(d, d2);
+    }
+}

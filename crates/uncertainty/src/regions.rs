@@ -1,0 +1,332 @@
+//! Topology-aware region primitives.
+//!
+//! The paper's §3.3 topology check excludes the parts of an uncertainty
+//! region whose *indoor walking distance* from the anchoring device exceeds
+//! the maximum-speed budget. Rather than post-partitioning the region, the
+//! membership predicates here evaluate the indoor-distance constraint
+//! directly: the integrator then measures exactly the checked region.
+
+use crate::context::IndoorContext;
+use inflow_geometry::{Circle, ExtendedEllipse, Mbr, Point, Region, Ring};
+use inflow_indoor::CellId;
+use std::sync::Arc;
+
+/// A device anchoring a maximum-speed constraint: indoor distance is
+/// measured from the device's position (minus its detection radius, since
+/// the clock starts when the object crosses the range boundary).
+#[derive(Debug, Clone)]
+pub struct IndoorAnchor {
+    ctx: Arc<IndoorContext>,
+    /// Device detection circle.
+    circle: Circle,
+    /// The cell containing the device position, plus the precomputed
+    /// indoor distance from the device to every door of the plan — turning
+    /// each membership probe into a scan of the probe cell's few doors.
+    cell: Option<(CellId, Vec<f64>)>,
+}
+
+impl IndoorAnchor {
+    /// Creates an anchor for a device's detection circle, precomputing the
+    /// device→door distance vector.
+    pub fn new(ctx: Arc<IndoorContext>, circle: Circle) -> IndoorAnchor {
+        let cell = ctx.plan().locate(circle.center).map(|c| {
+            let dists = ctx.oracle().distances_from_point(ctx.plan(), circle.center, c);
+            (c, dists)
+        });
+        IndoorAnchor { ctx, circle, cell }
+    }
+
+    /// Indoor distance from the device's range boundary to `q`:
+    /// `max(0, d_indoor(center, q) − radius)`. Points inside the detection
+    /// range cost zero. Returns `None` when `q` is indoors-unreachable
+    /// (outside every cell or not connected by doors).
+    pub fn boundary_indoor_distance(&self, q: Point) -> Option<f64> {
+        if self.circle.contains(q) {
+            return Some(0.0);
+        }
+        let d = match &self.cell {
+            Some((anchor_cell, door_dists)) => {
+                let plan = self.ctx.plan();
+                let q_cell = plan.locate(q)?;
+                let mut best = self.via_cell(q, q_cell, *anchor_cell, door_dists);
+                // Points on shared walls (door positions, trajectories
+                // hugging a wall) belong to every adjoining cell; the
+                // indoor distance is the minimum over all of them.
+                if near_mbr_boundary(plan.cell(q_cell).footprint().mbr(), q) {
+                    for c in plan.locate_all(q) {
+                        if c != q_cell {
+                            best = best.min(self.via_cell(q, c, *anchor_cell, door_dists));
+                        }
+                    }
+                }
+                if !best.is_finite() {
+                    return None;
+                }
+                best
+            }
+            // Device mounted outside the modelled cells (rare): fall back
+            // to the Euclidean distance, i.e. no topology constraint.
+            None => self.circle.center.distance(q),
+        };
+        Some((d - self.circle.radius).max(0.0))
+    }
+
+    /// Indoor distance from the anchor to `q` assuming `q` is entered
+    /// through cell `c`.
+    fn via_cell(&self, q: Point, c: CellId, anchor_cell: CellId, door_dists: &[f64]) -> f64 {
+        if c == anchor_cell {
+            return self.circle.center.distance(q);
+        }
+        let plan = self.ctx.plan();
+        let positions = self.ctx.oracle().door_positions();
+        let mut best = f64::INFINITY;
+        for &door in plan.doors_of_cell(c) {
+            let total = door_dists[door.index()] + positions[door.index()].distance(q);
+            if total < best {
+                best = total;
+            }
+        }
+        best
+    }
+}
+
+/// Whether `q` lies within a hair of the rectangle's boundary. Cells in
+/// the supported floor plans are axis-aligned rectangles, so MBR proximity
+/// coincides with footprint-boundary proximity.
+fn near_mbr_boundary(m: inflow_geometry::Mbr, q: Point) -> bool {
+    const TOL: f64 = 1e-6;
+    (q.x - m.lo.x).abs() <= TOL
+        || (m.hi.x - q.x).abs() <= TOL
+        || (q.y - m.lo.y).abs() <= TOL
+        || (m.hi.y - q.y).abs() <= TOL
+}
+
+/// `Ring(dev, ρ)` with an optional indoor-distance constraint.
+///
+/// Without an anchor this is exactly the paper's Euclidean ring; with one,
+/// points whose indoor walking distance from the device exceeds `ρ` are
+/// excluded — the Figure 8(a) check.
+pub struct ConstrainedRing {
+    ring: Ring,
+    anchor: Option<IndoorAnchor>,
+}
+
+impl ConstrainedRing {
+    /// A purely Euclidean ring (topology check disabled).
+    pub fn euclidean(ring: Ring) -> ConstrainedRing {
+        ConstrainedRing { ring, anchor: None }
+    }
+
+    /// A topology-checked ring around the anchor's device.
+    pub fn indoor(ctx: Arc<IndoorContext>, circle: Circle, extension: f64) -> ConstrainedRing {
+        ConstrainedRing {
+            ring: Ring::new(circle, extension),
+            anchor: Some(IndoorAnchor::new(ctx, circle)),
+        }
+    }
+
+    /// The underlying Euclidean ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+}
+
+impl Region for ConstrainedRing {
+    fn contains(&self, p: Point) -> bool {
+        if !self.ring.contains(p) {
+            return false;
+        }
+        match &self.anchor {
+            None => true,
+            Some(anchor) => match anchor.boundary_indoor_distance(p) {
+                Some(d) => d <= self.ring.extension,
+                None => false,
+            },
+        }
+    }
+
+    fn mbr(&self) -> Mbr {
+        self.ring.mbr()
+    }
+
+    fn is_empty_hint(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+/// The extended ellipse `Θ` with an optional indoor-distance constraint.
+///
+/// With anchors, the two boundary-distance terms of the membership test are
+/// measured along indoor walking paths, excluding rooms that are Euclidean-
+/// near but unreachable through doors within the budget — the Figure 8(b)
+/// check.
+pub struct ConstrainedTheta {
+    theta: ExtendedEllipse,
+    anchors: Option<(IndoorAnchor, IndoorAnchor)>,
+}
+
+impl ConstrainedTheta {
+    /// A purely Euclidean extended ellipse (topology check disabled).
+    pub fn euclidean(theta: ExtendedEllipse) -> ConstrainedTheta {
+        ConstrainedTheta { theta, anchors: None }
+    }
+
+    /// A topology-checked extended ellipse between two devices.
+    pub fn indoor(ctx: Arc<IndoorContext>, theta: ExtendedEllipse) -> ConstrainedTheta {
+        let from = IndoorAnchor::new(Arc::clone(&ctx), theta.from);
+        let to = IndoorAnchor::new(ctx, theta.to);
+        ConstrainedTheta { theta, anchors: Some((from, to)) }
+    }
+
+    /// The underlying Euclidean extended ellipse.
+    pub fn theta(&self) -> &ExtendedEllipse {
+        &self.theta
+    }
+}
+
+impl Region for ConstrainedTheta {
+    fn contains(&self, p: Point) -> bool {
+        // The Euclidean ellipse is a superset of the indoor one: use it as
+        // a cheap pre-filter before any oracle lookups.
+        if !self.theta.contains(p) {
+            return false;
+        }
+        match &self.anchors {
+            None => true,
+            Some((from, to)) => {
+                let Some(d1) = from.boundary_indoor_distance(p) else { return false };
+                if d1 > self.theta.budget {
+                    return false;
+                }
+                let Some(d2) = to.boundary_indoor_distance(p) else { return false };
+                d1 + d2 <= self.theta.budget + inflow_geometry::EPS
+            }
+        }
+    }
+
+    fn mbr(&self) -> Mbr {
+        self.theta.mbr()
+    }
+
+    fn is_empty_hint(&self) -> bool {
+        self.theta.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::Polygon;
+    use inflow_indoor::{CellKind, FloorPlanBuilder};
+
+    /// Two 4×4 rooms sharing wall x = 4 with a door at (4, 2). A device
+    /// sits at the door.
+    fn ctx() -> Arc<IndoorContext> {
+        let mut b = FloorPlanBuilder::new();
+        let a = b.add_cell(
+            "a",
+            CellKind::Room,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)),
+        );
+        let c = b.add_cell(
+            "b",
+            CellKind::Room,
+            Polygon::rectangle(Point::new(4.0, 0.0), Point::new(8.0, 4.0)),
+        );
+        b.add_door("d", Point::new(4.0, 2.0), a, c);
+        Arc::new(IndoorContext::new(b.build().unwrap()))
+    }
+
+    #[test]
+    fn euclidean_ring_has_no_topology() {
+        let ring = ConstrainedRing::euclidean(Ring::new(
+            Circle::new(Point::new(2.0, 3.9), 0.5),
+            3.0,
+        ));
+        // A point in the neighbouring room, Euclidean-near through the wall.
+        assert!(ring.contains(Point::new(4.5, 3.9)));
+    }
+
+    #[test]
+    fn indoor_ring_excludes_through_wall_points() {
+        let ctx = ctx();
+        // Device near the top wall of room a; budget 3 m. The point on the
+        // other side of the wall is ~2 m away Euclidean but needs a walk
+        // through the door at (4,2): far beyond 3 m.
+        let ring = ConstrainedRing::indoor(
+            Arc::clone(&ctx),
+            Circle::new(Point::new(2.0, 3.9), 0.5),
+            3.0,
+        );
+        assert!(!ring.contains(Point::new(4.5, 3.9)), "through-wall point must be excluded");
+        // A same-room point at the same Euclidean distance stays.
+        assert!(ring.contains(Point::new(2.0, 1.5)));
+    }
+
+    #[test]
+    fn indoor_ring_keeps_reachable_next_room_points() {
+        let ctx = ctx();
+        // Device at the door: the next room is genuinely reachable.
+        let ring =
+            ConstrainedRing::indoor(Arc::clone(&ctx), Circle::new(Point::new(4.0, 2.0), 0.5), 2.0);
+        assert!(ring.contains(Point::new(5.5, 2.0)));
+        assert!(ring.contains(Point::new(2.5, 2.0)));
+    }
+
+    #[test]
+    fn indoor_ring_rejects_points_outside_building() {
+        let ctx = ctx();
+        let ring =
+            ConstrainedRing::indoor(Arc::clone(&ctx), Circle::new(Point::new(2.0, 2.0), 0.5), 30.0);
+        assert!(!ring.contains(Point::new(-3.0, 2.0)), "outdoors is unreachable");
+    }
+
+    #[test]
+    fn indoor_theta_excludes_far_rooms() {
+        let ctx = ctx();
+        // Both devices in room a; budget small. Points in room b require a
+        // detour via the door, exceeding the budget.
+        let theta = ExtendedEllipse::new(
+            Circle::new(Point::new(1.0, 3.5), 0.4),
+            Circle::new(Point::new(3.0, 3.5), 0.4),
+            5.0,
+        );
+        let euclid = ConstrainedTheta::euclidean(theta);
+        let indoor = ConstrainedTheta::indoor(Arc::clone(&ctx), theta);
+        let through_wall = Point::new(4.6, 3.5);
+        assert!(euclid.contains(through_wall));
+        assert!(!indoor.contains(through_wall));
+        // Same-room points agree.
+        let inside = Point::new(2.0, 3.0);
+        assert!(euclid.contains(inside) && indoor.contains(inside));
+    }
+
+    #[test]
+    fn indoor_theta_is_subset_of_euclidean() {
+        let ctx = ctx();
+        let theta = ExtendedEllipse::new(
+            Circle::new(Point::new(1.0, 1.0), 0.4),
+            Circle::new(Point::new(6.0, 2.0), 0.4),
+            9.0,
+        );
+        let euclid = ConstrainedTheta::euclidean(theta);
+        let indoor = ConstrainedTheta::indoor(Arc::clone(&ctx), theta);
+        for i in 0..40 {
+            for j in 0..20 {
+                let p = Point::new(i as f64 * 0.2, j as f64 * 0.2);
+                if indoor.contains(p) {
+                    assert!(euclid.contains(p), "indoor ⊄ euclidean at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_zero_inside_range() {
+        let ctx = ctx();
+        let anchor = IndoorAnchor::new(Arc::clone(&ctx), Circle::new(Point::new(2.0, 2.0), 1.0));
+        assert_eq!(anchor.boundary_indoor_distance(Point::new(2.5, 2.0)), Some(0.0));
+        let d = anchor.boundary_indoor_distance(Point::new(2.0, 3.8)).unwrap();
+        assert!((d - 0.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! A minimal SVG writer with world coordinates.
+//!
+//! The geometry crate uses a mathematical y-up coordinate system in
+//! metres; SVG is y-down in pixels. [`SvgCanvas`] owns that mapping: it is
+//! constructed with the world window to display and a pixel scale, and
+//! every drawing call takes world coordinates.
+
+use inflow_geometry::{Mbr, Point, Polygon};
+use std::fmt::Write as _;
+
+/// A drawing surface accumulating SVG elements.
+#[derive(Debug)]
+pub struct SvgCanvas {
+    window: Mbr,
+    scale: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas showing `window` (world metres) at `scale` pixels
+    /// per metre, with a small outer margin.
+    pub fn new(window: Mbr, scale: f64) -> SvgCanvas {
+        assert!(!window.is_empty(), "cannot render an empty window");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        SvgCanvas { window, scale, body: String::new() }
+    }
+
+    /// The world window being rendered.
+    pub fn window(&self) -> Mbr {
+        self.window
+    }
+
+    const MARGIN_PX: f64 = 10.0;
+
+    fn sx(&self, x: f64) -> f64 {
+        (x - self.window.lo.x) * self.scale + Self::MARGIN_PX
+    }
+
+    fn sy(&self, y: f64) -> f64 {
+        // Flip: world y-up → SVG y-down.
+        (self.window.hi.y - y) * self.scale + Self::MARGIN_PX
+    }
+
+    fn width_px(&self) -> f64 {
+        self.window.width() * self.scale + 2.0 * Self::MARGIN_PX
+    }
+
+    fn height_px(&self) -> f64 {
+        self.window.height() * self.scale + 2.0 * Self::MARGIN_PX
+    }
+
+    /// Draws a polygon with the given fill and stroke (any CSS colour;
+    /// `"none"` disables).
+    pub fn polygon(&mut self, poly: &Polygon, fill: &str, stroke: &str, stroke_width: f64) {
+        let mut points = String::new();
+        for v in poly.vertices() {
+            let _ = write!(points, "{:.2},{:.2} ", self.sx(v.x), self.sy(v.y));
+        }
+        let _ = writeln!(
+            self.body,
+            r#"  <polygon points="{}" fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width:.2}"/>"#,
+            points.trim_end()
+        );
+    }
+
+    /// Draws a rectangle.
+    pub fn rect(&mut self, mbr: &Mbr, fill: &str, stroke: &str, stroke_width: f64) {
+        if mbr.is_empty() {
+            return;
+        }
+        let _ = writeln!(
+            self.body,
+            r#"  <rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width:.2}"/>"#,
+            self.sx(mbr.lo.x),
+            self.sy(mbr.hi.y),
+            mbr.width() * self.scale,
+            mbr.height() * self.scale,
+        );
+    }
+
+    /// Draws a circle (world radius).
+    pub fn circle(&mut self, center: Point, radius: f64, fill: &str, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"  <circle cx="{:.2}" cy="{:.2}" r="{:.2}" fill="{fill}" stroke="{stroke}"/>"#,
+            self.sx(center.x),
+            self.sy(center.y),
+            radius * self.scale,
+        );
+    }
+
+    /// Draws a polyline through the points.
+    pub fn polyline(&mut self, pts: &[Point], stroke: &str, stroke_width: f64) {
+        if pts.len() < 2 {
+            return;
+        }
+        let mut points = String::new();
+        for p in pts {
+            let _ = write!(points, "{:.2},{:.2} ", self.sx(p.x), self.sy(p.y));
+        }
+        let _ = writeln!(
+            self.body,
+            r#"  <polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{stroke_width:.2}"/>"#,
+            points.trim_end()
+        );
+    }
+
+    /// Draws a text label anchored at a world point.
+    pub fn text(&mut self, at: Point, content: &str, size_px: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"  <text x="{:.2}" y="{:.2}" font-size="{size_px:.1}" font-family="sans-serif" fill="{fill}">{}</text>"#,
+            self.sx(at.x),
+            self.sy(at.y),
+            escape(content),
+        );
+    }
+
+    /// Rasterizes an arbitrary region by membership sampling: filled cells
+    /// where the region covers the cell centre. `cells_per_metre` controls
+    /// fidelity; the output stays compact because runs of covered cells in
+    /// a row are merged into single rectangles.
+    pub fn region(
+        &mut self,
+        region: &(impl inflow_geometry::Region + ?Sized),
+        cells_per_metre: f64,
+        fill: &str,
+    ) {
+        let window = region.mbr().intersection(&self.window);
+        if window.is_empty() {
+            return;
+        }
+        let step = 1.0 / cells_per_metre;
+        let nx = (window.width() / step).ceil() as usize;
+        let ny = (window.height() / step).ceil() as usize;
+        for j in 0..ny {
+            let y0 = window.lo.y + j as f64 * step;
+            let cy = y0 + step / 2.0;
+            let mut run_start: Option<usize> = None;
+            for i in 0..=nx {
+                let inside = i < nx && {
+                    let cx = window.lo.x + i as f64 * step + step / 2.0;
+                    region.contains(Point::new(cx, cy))
+                };
+                match (inside, run_start) {
+                    (true, None) => run_start = Some(i),
+                    (false, Some(start)) => {
+                        let x0 = window.lo.x + start as f64 * step;
+                        let x1 = window.lo.x + i as f64 * step;
+                        let run =
+                            Mbr::new(Point::new(x0, y0), Point::new(x1, y0 + step));
+                        self.rect(&run, fill, "none", 0.0);
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width_px(),
+            self.height_px(),
+            self.width_px(),
+            self.height_px(),
+            self.body,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::Circle;
+
+    fn canvas() -> SvgCanvas {
+        SvgCanvas::new(Mbr::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0)), 10.0)
+    }
+
+    #[test]
+    fn document_structure() {
+        let svg = canvas().finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("width=\"120\"")); // 10 m × 10 px + 2×10 margin
+        assert!(svg.contains("height=\"70\""));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut c = canvas();
+        // World (0, 0) is the bottom-left → SVG y = height - margin.
+        c.circle(Point::new(0.0, 0.0), 1.0, "red", "none");
+        let svg = c.finish();
+        assert!(svg.contains(r#"cx="10.00" cy="60.00""#), "{svg}");
+    }
+
+    #[test]
+    fn polygon_and_polyline_emit_points() {
+        let mut c = canvas();
+        c.polygon(
+            &Polygon::rectangle(Point::new(1.0, 1.0), Point::new(3.0, 2.0)),
+            "blue",
+            "black",
+            1.0,
+        );
+        c.polyline(&[Point::new(0.0, 0.0), Point::new(5.0, 5.0)], "green", 0.5);
+        let svg = c.finish();
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("stroke=\"green\""));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut c = canvas();
+        c.text(Point::new(1.0, 1.0), "a<b & c>d", 8.0, "black");
+        let svg = c.finish();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+    }
+
+    #[test]
+    fn region_rasterization_merges_runs() {
+        let mut c = canvas();
+        let disk = Circle::new(Point::new(5.0, 2.5), 2.0);
+        c.region(&disk, 4.0, "rgba(255,0,0,0.3)");
+        let svg = c.finish();
+        // Run-length merging: far fewer rects than covered cells
+        // (a 4×4-per-metre disk of radius 2 covers ~200 cells).
+        let rects = svg.matches("<rect").count();
+        assert!(rects > 4, "disk should produce several row runs: {rects}");
+        assert!(rects < 40, "runs should be merged per row: {rects}");
+    }
+
+    #[test]
+    fn region_outside_window_draws_nothing() {
+        let mut c = canvas();
+        let disk = Circle::new(Point::new(100.0, 100.0), 2.0);
+        c.region(&disk, 4.0, "red");
+        let svg = c.finish();
+        assert!(!svg.contains("<rect"));
+    }
+
+    #[test]
+    fn degenerate_polyline_is_skipped() {
+        let mut c = canvas();
+        c.polyline(&[Point::new(1.0, 1.0)], "red", 1.0);
+        assert!(!c.finish().contains("<polyline"));
+    }
+}

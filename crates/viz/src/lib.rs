@@ -1,0 +1,29 @@
+//! SVG visualization of indoor flow analytics.
+//!
+//! Uncertainty regions are hard to reason about from numbers alone; this
+//! crate renders floor plans, device deployments, POIs, trajectories,
+//! uncertainty regions, and query results to standalone SVG documents for
+//! visual debugging and for figures in reports.
+//!
+//! The renderer is dependency-free: [`SvgCanvas`] is a tiny SVG writer
+//! with a y-up world-coordinate system (matching the geometry crate), and
+//! [`SceneRenderer`] layers the domain objects on top.
+//!
+//! ```
+//! use inflow_viz::{SceneRenderer, Style};
+//! # use inflow_geometry::{Point, Polygon};
+//! # use inflow_indoor::{CellKind, FloorPlanBuilder};
+//! let mut b = FloorPlanBuilder::new();
+//! b.add_cell("hall", CellKind::Hallway,
+//!     Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 4.0)));
+//! b.add_device("dev", Point::new(5.0, 2.0), 1.0);
+//! let plan = b.build().unwrap();
+//! let svg = SceneRenderer::new(&plan).render();
+//! assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+//! ```
+
+pub mod canvas;
+pub mod scene;
+
+pub use canvas::SvgCanvas;
+pub use scene::{SceneRenderer, Style};

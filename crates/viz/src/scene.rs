@@ -1,0 +1,234 @@
+//! Domain-level rendering: floor plans, deployments, trajectories,
+//! uncertainty regions, and query results.
+
+use crate::canvas::SvgCanvas;
+use inflow_geometry::{Point, Region};
+use inflow_indoor::{CellKind, FloorPlan, PoiId};
+use inflow_uncertainty::UncertaintyRegion;
+use inflow_workload::TimedPath;
+
+/// Colours and sizes used by the [`SceneRenderer`]. All fields are plain
+/// CSS colour strings so callers can theme freely.
+#[derive(Debug, Clone)]
+pub struct Style {
+    pub room_fill: String,
+    pub hallway_fill: String,
+    pub wall_stroke: String,
+    pub poi_fill: String,
+    pub highlight_poi_fill: String,
+    pub device_fill: String,
+    pub device_range_stroke: String,
+    pub trajectory_stroke: String,
+    pub ur_fill: String,
+    /// Pixels per metre.
+    pub scale: f64,
+    /// Raster cells per metre for uncertainty regions.
+    pub ur_resolution: f64,
+    /// Whether to draw cell and POI name labels.
+    pub labels: bool,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style {
+            room_fill: "#f3f0e8".into(),
+            hallway_fill: "#e2e8ee".into(),
+            wall_stroke: "#555555".into(),
+            poi_fill: "rgba(70,130,180,0.35)".into(),
+            highlight_poi_fill: "rgba(220,90,40,0.55)".into(),
+            device_fill: "#cc3333".into(),
+            device_range_stroke: "#cc3333".into(),
+            trajectory_stroke: "#2a7d2a".into(),
+            ur_fill: "rgba(160,60,200,0.30)".into(),
+            scale: 8.0,
+            ur_resolution: 4.0,
+            labels: false,
+        }
+    }
+}
+
+/// Builds an SVG scene for one floor plan, layering optional overlays.
+pub struct SceneRenderer<'a> {
+    plan: &'a FloorPlan,
+    style: Style,
+    canvas: SvgCanvas,
+    highlighted: Vec<PoiId>,
+}
+
+impl<'a> SceneRenderer<'a> {
+    /// Creates a renderer with the default style.
+    pub fn new(plan: &'a FloorPlan) -> SceneRenderer<'a> {
+        SceneRenderer::with_style(plan, Style::default())
+    }
+
+    /// Creates a renderer with a custom style.
+    pub fn with_style(plan: &'a FloorPlan, style: Style) -> SceneRenderer<'a> {
+        let canvas = SvgCanvas::new(plan.mbr().expanded(1.0), style.scale);
+        let mut r = SceneRenderer { plan, style, canvas, highlighted: Vec::new() };
+        r.draw_base();
+        r
+    }
+
+    fn draw_base(&mut self) {
+        for cell in self.plan.cells() {
+            let fill = match cell.kind {
+                CellKind::Room => &self.style.room_fill,
+                CellKind::Hallway => &self.style.hallway_fill,
+            };
+            self.canvas.polygon(cell.footprint(), fill, &self.style.wall_stroke, 1.0);
+            if self.style.labels {
+                self.canvas.text(cell.footprint().centroid(), &cell.name, 7.0, "#888888");
+            }
+        }
+        for door in self.plan.doors() {
+            self.canvas.circle(door.position, 0.3, "#ffffff", &self.style.wall_stroke);
+        }
+    }
+
+    /// Marks POIs to draw in the highlight colour (e.g. a query result).
+    pub fn highlight_pois(mut self, pois: &[PoiId]) -> Self {
+        self.highlighted.extend_from_slice(pois);
+        self
+    }
+
+    /// Draws all POIs (highlighted ones in the highlight colour).
+    pub fn draw_pois(mut self) -> Self {
+        for poi in self.plan.pois() {
+            let fill = if self.highlighted.contains(&poi.id) {
+                &self.style.highlight_poi_fill
+            } else {
+                &self.style.poi_fill
+            };
+            self.canvas.polygon(poi.extent(), fill, "none", 0.0);
+            if self.style.labels {
+                self.canvas.text(poi.extent().centroid(), &poi.name, 6.0, "#333333");
+            }
+        }
+        self
+    }
+
+    /// Draws every device with its detection range.
+    pub fn draw_devices(mut self) -> Self {
+        for dev in self.plan.devices() {
+            self.canvas.circle(dev.position, dev.range, "none", &self.style.device_range_stroke);
+            self.canvas.circle(dev.position, 0.25, &self.style.device_fill, "none");
+        }
+        self
+    }
+
+    /// Overlays an uncertainty region (rasterized).
+    pub fn draw_uncertainty_region(mut self, ur: &UncertaintyRegion) -> Self {
+        if !ur.is_empty() {
+            self.canvas.region(ur, self.style.ur_resolution, &self.style.ur_fill);
+        }
+        self
+    }
+
+    /// Overlays any region (rasterized) in a custom colour.
+    pub fn draw_region(mut self, region: &(impl Region + ?Sized), fill: &str) -> Self {
+        self.canvas.region(region, self.style.ur_resolution, fill);
+        self
+    }
+
+    /// Overlays a ground-truth trajectory.
+    pub fn draw_trajectory(mut self, path: &TimedPath) -> Self {
+        let pts: Vec<Point> = path.knots().iter().map(|&(_, p)| p).collect();
+        self.canvas.polyline(&pts, &self.style.trajectory_stroke, 1.2);
+        self
+    }
+
+    /// Finalizes the SVG document.
+    pub fn render(self) -> String {
+        self.canvas.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::Polygon;
+    use inflow_indoor::FloorPlanBuilder;
+    use inflow_tracking::{ObjectId, ObjectTrackingTable, OttRow};
+    use inflow_uncertainty::{IndoorContext, UrConfig, UrEngine};
+    use std::sync::Arc;
+
+    fn plan() -> FloorPlan {
+        let mut b = FloorPlanBuilder::new();
+        let hall = b.add_cell(
+            "hall",
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(20.0, 4.0)),
+        );
+        let room = b.add_cell(
+            "room",
+            CellKind::Room,
+            Polygon::rectangle(Point::new(4.0, 4.0), Point::new(12.0, 10.0)),
+        );
+        b.add_door("d", Point::new(8.0, 4.0), hall, room);
+        b.add_device("dev0", Point::new(3.0, 2.0), 1.0);
+        b.add_device("dev1", Point::new(15.0, 2.0), 1.0);
+        b.add_poi("poi", Polygon::rectangle(Point::new(5.0, 5.0), Point::new(11.0, 9.0)));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn base_scene_has_cells_and_doors() {
+        let plan = plan();
+        let svg = SceneRenderer::new(&plan).render();
+        assert_eq!(svg.matches("<polygon").count(), 2); // two cells
+        assert!(svg.contains("<circle")); // the door marker
+    }
+
+    #[test]
+    fn pois_and_devices_layer_on_top() {
+        let plan = plan();
+        let svg = SceneRenderer::new(&plan).draw_pois().draw_devices().render();
+        assert_eq!(svg.matches("<polygon").count(), 3); // cells + poi
+        // 2 devices × (range ring + dot) + 1 door.
+        assert_eq!(svg.matches("<circle").count(), 5);
+    }
+
+    #[test]
+    fn highlighted_poi_uses_highlight_fill() {
+        let plan = plan();
+        let poi = plan.pois()[0].id;
+        let svg = SceneRenderer::new(&plan).highlight_pois(&[poi]).draw_pois().render();
+        assert!(svg.contains("rgba(220,90,40,0.55)"));
+    }
+
+    #[test]
+    fn uncertainty_region_rasterizes() {
+        let plan = plan();
+        let ctx = Arc::new(IndoorContext::new(plan));
+        let ott = ObjectTrackingTable::from_rows(vec![
+            OttRow { object: ObjectId(0), device: inflow_indoor::DeviceId(0), ts: 0.0, te: 2.0 },
+            OttRow { object: ObjectId(0), device: inflow_indoor::DeviceId(1), ts: 20.0, te: 22.0 },
+        ])
+        .unwrap();
+        let engine = UrEngine::new(ctx.clone(), UrConfig { vmax: 1.1, ..UrConfig::default() });
+        let state = ott.state_at(ObjectId(0), 10.0).unwrap();
+        let ur = engine.snapshot_ur(&ott, state, 10.0);
+        let svg = SceneRenderer::new(ctx.plan()).draw_uncertainty_region(&ur).render();
+        assert!(svg.matches("<rect").count() > 3, "UR should rasterize to row runs");
+    }
+
+    #[test]
+    fn trajectory_draws_polyline() {
+        let plan = plan();
+        let mut path = TimedPath::new();
+        path.push(0.0, Point::new(1.0, 2.0));
+        path.push(10.0, Point::new(12.0, 2.0));
+        path.push(20.0, Point::new(8.0, 7.0));
+        let svg = SceneRenderer::new(&plan).draw_trajectory(&path).render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn labels_can_be_enabled() {
+        let plan = plan();
+        let style = Style { labels: true, ..Style::default() };
+        let svg = SceneRenderer::with_style(&plan, style).draw_pois().render();
+        assert!(svg.contains("<text"));
+        assert!(svg.contains(">hall<"));
+    }
+}

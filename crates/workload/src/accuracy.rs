@@ -1,0 +1,184 @@
+//! Ground-truth flow computation for accuracy evaluation.
+//!
+//! The paper evaluates *efficiency*; having simulated ground truth lets
+//! this reproduction additionally evaluate *answer quality*: how well the
+//! uncertainty-based flow estimates rank POIs compared with the true
+//! visit counts. This module computes the ground-truth counterparts of
+//! the paper's flow definitions from the simulated trajectories:
+//!
+//! * [`true_snapshot_flow`]: the number of objects whose true position is
+//!   inside the POI at time `t`;
+//! * [`true_interval_flow`]: the number of objects whose true position
+//!   enters the POI at least once during `[ts, te]` (sampled at a
+//!   configurable step);
+//! * [`ranking_overlap`]: precision-style agreement between two rankings'
+//!   top-k sets.
+
+use crate::movement::TimedPath;
+use inflow_indoor::{FloorPlan, Poi, PoiId};
+use inflow_tracking::ObjectId;
+
+/// Number of objects truly inside `poi` at time `t`.
+pub fn true_snapshot_flow(
+    poi: &Poi,
+    paths: &[(ObjectId, TimedPath)],
+    t: f64,
+) -> usize {
+    paths
+        .iter()
+        .filter(|(_, path)| path.position_at(t).is_some_and(|p| poi.contains(p)))
+        .count()
+}
+
+/// Number of objects whose true position enters `poi` at least once
+/// during `[ts, te]`, sampled every `step` seconds.
+pub fn true_interval_flow(
+    poi: &Poi,
+    paths: &[(ObjectId, TimedPath)],
+    ts: f64,
+    te: f64,
+    step: f64,
+) -> usize {
+    assert!(step > 0.0, "sample step must be positive");
+    paths
+        .iter()
+        .filter(|(_, path)| {
+            let mut t = ts;
+            while t <= te {
+                if path.position_at(t).is_some_and(|p| poi.contains(p)) {
+                    return true;
+                }
+                t += step;
+            }
+            false
+        })
+        .count()
+}
+
+/// Ranks all of a plan's POIs by true interval flow, descending
+/// (ties by POI id).
+pub fn true_interval_ranking(
+    plan: &FloorPlan,
+    paths: &[(ObjectId, TimedPath)],
+    ts: f64,
+    te: f64,
+    step: f64,
+) -> Vec<(PoiId, usize)> {
+    let mut ranking: Vec<(PoiId, usize)> = plan
+        .pois()
+        .iter()
+        .map(|poi| (poi.id, true_interval_flow(poi, paths, ts, te, step)))
+        .collect();
+    ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranking
+}
+
+/// Ranks all of a plan's POIs by true snapshot flow, descending.
+pub fn true_snapshot_ranking(
+    plan: &FloorPlan,
+    paths: &[(ObjectId, TimedPath)],
+    t: f64,
+) -> Vec<(PoiId, usize)> {
+    let mut ranking: Vec<(PoiId, usize)> = plan
+        .pois()
+        .iter()
+        .map(|poi| (poi.id, true_snapshot_flow(poi, paths, t)))
+        .collect();
+    ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranking
+}
+
+/// The fraction of `estimated`'s top-k POIs that also appear in the
+/// ground truth's top-k (precision@k with identical k on both sides).
+pub fn ranking_overlap(estimated: &[PoiId], truth: &[PoiId], k: usize) -> f64 {
+    let k = k.min(estimated.len()).min(truth.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let truth_top: Vec<PoiId> = truth[..k].to_vec();
+    let hits = estimated[..k].iter().filter(|p| truth_top.contains(p)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::{Point, Polygon};
+    use inflow_indoor::{CellKind, FloorPlanBuilder};
+
+    fn plan() -> FloorPlan {
+        let mut b = FloorPlanBuilder::new();
+        b.add_cell(
+            "hall",
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(30.0, 4.0)),
+        );
+        b.add_poi("west", Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 4.0)));
+        b.add_poi("east", Polygon::rectangle(Point::new(20.0, 0.0), Point::new(30.0, 4.0)));
+        b.build().unwrap()
+    }
+
+    /// One object walking west→east over 30 s, one parked in the west.
+    fn paths() -> Vec<(ObjectId, TimedPath)> {
+        let mut walker = TimedPath::new();
+        walker.push(0.0, Point::new(1.0, 2.0));
+        walker.push(30.0, Point::new(29.0, 2.0));
+        let mut parker = TimedPath::new();
+        parker.push(0.0, Point::new(5.0, 2.0));
+        parker.push(30.0, Point::new(5.0, 2.0));
+        vec![(ObjectId(0), walker), (ObjectId(1), parker)]
+    }
+
+    #[test]
+    fn snapshot_counts_positions() {
+        let plan = plan();
+        let paths = paths();
+        let west = &plan.pois()[0];
+        let east = &plan.pois()[1];
+        // t = 1: both in the west half.
+        assert_eq!(true_snapshot_flow(west, &paths, 1.0), 2);
+        assert_eq!(true_snapshot_flow(east, &paths, 1.0), 0);
+        // t = 29: walker in the east, parker in the west.
+        assert_eq!(true_snapshot_flow(west, &paths, 29.0), 1);
+        assert_eq!(true_snapshot_flow(east, &paths, 29.0), 1);
+        // Outside the trajectories' lifetime nobody is anywhere.
+        assert_eq!(true_snapshot_flow(west, &paths, 100.0), 0);
+    }
+
+    #[test]
+    fn interval_counts_visits() {
+        let plan = plan();
+        let paths = paths();
+        let west = &plan.pois()[0];
+        let east = &plan.pois()[1];
+        // Over the whole window the walker visits both, the parker only west.
+        assert_eq!(true_interval_flow(west, &paths, 0.0, 30.0, 1.0), 2);
+        assert_eq!(true_interval_flow(east, &paths, 0.0, 30.0, 1.0), 1);
+        // Early window: nobody reaches the east yet.
+        assert_eq!(true_interval_flow(east, &paths, 0.0, 5.0, 1.0), 0);
+    }
+
+    #[test]
+    fn rankings_order_by_count() {
+        let plan = plan();
+        let paths = paths();
+        let ranking = true_interval_ranking(&plan, &paths, 0.0, 30.0, 1.0);
+        assert_eq!(ranking[0].0, plan.pois()[0].id); // west: 2 visitors
+        assert_eq!(ranking[0].1, 2);
+        assert_eq!(ranking[1].1, 1);
+        let snap = true_snapshot_ranking(&plan, &paths, 1.0);
+        assert_eq!(snap[0].1, 2);
+    }
+
+    #[test]
+    fn overlap_metric() {
+        use inflow_indoor::PoiId;
+        let a = [PoiId(1), PoiId(2), PoiId(3)];
+        let b = [PoiId(2), PoiId(1), PoiId(9)];
+        assert!((ranking_overlap(&a, &b, 2) - 1.0).abs() < 1e-12);
+        assert!((ranking_overlap(&a, &b, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ranking_overlap(&a, &b, 0), 1.0);
+        // k larger than the lists clamps.
+        assert!((ranking_overlap(&a, &b, 10) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

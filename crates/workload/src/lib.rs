@@ -1,0 +1,54 @@
+//! Workload generation for indoor flow-counting experiments.
+//!
+//! Reproduces the paper's two experimental datasets (§5.1):
+//!
+//! * **Synthetic**: a grid floor plan with "about 100 rooms that are all
+//!   connected by doors to a hallway", ~200 RFID readers by doors and
+//!   along the hallways, and objects moving by the *random waypoint*
+//!   model at a fixed 1.1 m/s (also used as `V_max`). All Table 4
+//!   parameters — `|O|`, detection range, `|P|`, `k`, `t_e − t_s` — are
+//!   configurable.
+//! * **CPH-like**: the paper's real dataset is 7 months of proprietary
+//!   Bluetooth tracking from Copenhagen Airport (~600 K records, ~21 K
+//!   passengers). That data is not publicly available, so [`generate_cph`]
+//!   simulates the closest synthetic equivalent: a terminal concourse with
+//!   gates and shops, sparse Bluetooth readers, and itinerary-driven
+//!   passengers (check-in → security → shops → gate) with heavy-tailed
+//!   dwell times. This preserves the properties the evaluation depends on:
+//!   sparser detections, longer inactive gaps, fewer objects, and skewed
+//!   POI popularity.
+//!
+//! Both generators return a [`Workload`]: the indoor context, the merged
+//! Object Tracking Table, and the ground-truth trajectories — the latter
+//! power the reproduction's strongest correctness check (an object's true
+//! position always lies inside its derived uncertainty region).
+
+pub mod accuracy;
+pub mod cph;
+pub mod movement;
+pub mod noise;
+pub mod scenarios;
+pub mod synthetic;
+
+pub use accuracy::{ranking_overlap, true_interval_flow, true_interval_ranking, true_snapshot_flow, true_snapshot_ranking};
+pub use cph::{build_airport_plan, generate_cph, AirportLayout, CphConfig};
+pub use movement::{DeviceIndex, TimedPath};
+pub use noise::{drop_records, inject_teleports, jitter_timestamps, rows_of};
+pub use scenarios::{library_plan, metro_station_plan, office_plan};
+pub use synthetic::{build_floor_plan, generate_synthetic, SyntheticConfig};
+
+use inflow_tracking::{ObjectId, ObjectTrackingTable};
+use inflow_uncertainty::IndoorContext;
+use std::sync::Arc;
+
+/// A generated experimental workload.
+pub struct Workload {
+    /// Floor plan + distance oracle.
+    pub ctx: Arc<IndoorContext>,
+    /// The merged Object Tracking Table.
+    pub ott: ObjectTrackingTable,
+    /// Ground-truth trajectories, for validation (not visible to queries).
+    pub ground_truth: Vec<(ObjectId, TimedPath)>,
+    /// The movement speed used (= `V_max` in the paper's setup).
+    pub vmax: f64,
+}

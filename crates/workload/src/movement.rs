@@ -1,0 +1,265 @@
+//! Movement trajectories and raw-reading synthesis.
+
+use inflow_geometry::Point;
+use inflow_indoor::{Device, DeviceId, FloorPlan};
+use inflow_tracking::{ObjectId, RawReading};
+
+/// A piecewise-linear timed trajectory: knots `(t, position)` with linear
+/// interpolation in between. Dwells are encoded as two knots at the same
+/// position. The trajectory exists only on `[start_time, end_time]` —
+/// outside it the object is absent (not yet arrived / departed).
+#[derive(Debug, Clone, Default)]
+pub struct TimedPath {
+    knots: Vec<(f64, Point)>,
+}
+
+impl TimedPath {
+    /// Creates an empty path; extend it with [`TimedPath::push`].
+    pub fn new() -> TimedPath {
+        TimedPath::default()
+    }
+
+    /// Appends a knot. Times must be non-decreasing.
+    pub fn push(&mut self, t: f64, p: Point) {
+        if let Some(&(last_t, _)) = self.knots.last() {
+            assert!(t >= last_t, "knot times must be non-decreasing ({t} < {last_t})");
+        }
+        self.knots.push((t, p));
+    }
+
+    /// The knots `(t, position)`.
+    pub fn knots(&self) -> &[(f64, Point)] {
+        &self.knots
+    }
+
+    /// First knot time, or `None` for an empty path.
+    pub fn start_time(&self) -> Option<f64> {
+        self.knots.first().map(|&(t, _)| t)
+    }
+
+    /// Last knot time, or `None` for an empty path.
+    pub fn end_time(&self) -> Option<f64> {
+        self.knots.last().map(|&(t, _)| t)
+    }
+
+    /// Position at time `t`, or `None` outside the path's lifetime.
+    pub fn position_at(&self, t: f64) -> Option<Point> {
+        let first = self.start_time()?;
+        let last = self.end_time()?;
+        if t < first || t > last {
+            return None;
+        }
+        let idx = self.knots.partition_point(|&(kt, _)| kt <= t);
+        if idx == 0 {
+            return Some(self.knots[0].1);
+        }
+        if idx == self.knots.len() {
+            return Some(self.knots[idx - 1].1);
+        }
+        let (t0, p0) = self.knots[idx - 1];
+        let (t1, p1) = self.knots[idx];
+        if t1 <= t0 {
+            return Some(p1);
+        }
+        Some(p0.lerp(p1, (t - t0) / (t1 - t0)))
+    }
+
+    /// The maximum speed along the path (m/s); useful to validate that a
+    /// generator respects `V_max`.
+    pub fn max_speed(&self) -> f64 {
+        self.knots
+            .windows(2)
+            .map(|w| {
+                let dt = w[1].0 - w[0].0;
+                if dt <= 0.0 {
+                    0.0
+                } else {
+                    w[0].1.distance(w[1].1) / dt
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A uniform-grid index over device positions, bucketed at the maximum
+/// detection range, so proximity checks touch only the 3×3 neighbourhood.
+#[derive(Debug)]
+pub struct DeviceIndex {
+    origin: Point,
+    inv_cell: f64,
+    nx: i64,
+    ny: i64,
+    buckets: Vec<Vec<DeviceId>>,
+    max_range: f64,
+}
+
+impl DeviceIndex {
+    /// Builds the index over the plan's devices.
+    pub fn build(plan: &FloorPlan) -> DeviceIndex {
+        let mbr = plan.mbr();
+        let max_range = plan
+            .devices()
+            .iter()
+            .map(|d| d.range)
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let cell = max_range;
+        let nx = ((mbr.width() / cell).ceil() as i64 + 3).max(1);
+        let ny = ((mbr.height() / cell).ceil() as i64 + 3).max(1);
+        let origin = Point::new(mbr.lo.x - cell, mbr.lo.y - cell);
+        let mut buckets = vec![Vec::new(); (nx * ny) as usize];
+        for dev in plan.devices() {
+            let i = (((dev.position.x - origin.x) / cell).floor() as i64).clamp(0, nx - 1);
+            let j = (((dev.position.y - origin.y) / cell).floor() as i64).clamp(0, ny - 1);
+            buckets[(j * nx + i) as usize].push(dev.id);
+        }
+        DeviceIndex { origin, inv_cell: 1.0 / cell, nx, ny, buckets, max_range }
+    }
+
+    /// All devices whose detection range covers `p`.
+    pub fn detecting<'a>(&'a self, plan: &'a FloorPlan, p: Point) -> impl Iterator<Item = &'a Device> + 'a {
+        let ci = ((p.x - self.origin.x) * self.inv_cell).floor() as i64;
+        let cj = ((p.y - self.origin.y) * self.inv_cell).floor() as i64;
+        let (nx, ny) = (self.nx, self.ny);
+        (-1..=1)
+            .flat_map(move |dj| (-1..=1).map(move |di| (ci + di, cj + dj)))
+            .filter(move |&(i, j)| i >= 0 && j >= 0 && i < nx && j < ny)
+            .flat_map(move |(i, j)| self.buckets[(j * nx + i) as usize].iter())
+            .map(move |&id| plan.device(id))
+            .filter(move |dev| dev.detects(p))
+    }
+
+    /// The largest detection range among indexed devices.
+    pub fn max_range(&self) -> f64 {
+        self.max_range
+    }
+}
+
+/// Samples raw readings for one object along its path: at every sampling
+/// tick within the path's lifetime, every device whose range covers the
+/// object's position reports a reading (paper §2.1).
+pub fn sample_readings(
+    plan: &FloorPlan,
+    index: &DeviceIndex,
+    object: ObjectId,
+    path: &TimedPath,
+    sampling_period: f64,
+    out: &mut Vec<RawReading>,
+) {
+    assert!(sampling_period > 0.0, "sampling period must be positive");
+    let Some(start) = path.start_time() else { return };
+    let Some(end) = path.end_time() else { return };
+    // Ticks on the global grid (multiples of the sampling period) so
+    // concurrent objects are sampled at identical instants.
+    let mut k = (start / sampling_period).ceil() as i64;
+    loop {
+        let t = k as f64 * sampling_period;
+        if t > end {
+            break;
+        }
+        if let Some(pos) = path.position_at(t) {
+            for dev in index.detecting(plan, pos) {
+                out.push(RawReading { object, device: dev.id, t });
+            }
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_geometry::Polygon;
+    use inflow_indoor::{CellKind, FloorPlanBuilder};
+
+    fn simple_plan() -> FloorPlan {
+        let mut b = FloorPlanBuilder::new();
+        b.add_cell(
+            "hall",
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(30.0, 4.0)),
+        );
+        b.add_device("d0", Point::new(5.0, 2.0), 1.0);
+        b.add_device("d1", Point::new(15.0, 2.0), 1.0);
+        b.add_device("d2", Point::new(25.0, 2.0), 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn path_interpolation_and_domain() {
+        let mut p = TimedPath::new();
+        p.push(10.0, Point::new(0.0, 0.0));
+        p.push(20.0, Point::new(10.0, 0.0));
+        p.push(25.0, Point::new(10.0, 0.0)); // dwell
+        p.push(35.0, Point::new(10.0, 10.0));
+        assert_eq!(p.position_at(9.9), None);
+        assert_eq!(p.position_at(10.0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(p.position_at(15.0), Some(Point::new(5.0, 0.0)));
+        assert_eq!(p.position_at(22.0), Some(Point::new(10.0, 0.0)));
+        assert_eq!(p.position_at(30.0), Some(Point::new(10.0, 5.0)));
+        assert_eq!(p.position_at(35.0), Some(Point::new(10.0, 10.0)));
+        assert_eq!(p.position_at(35.1), None);
+        assert!((p.max_speed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_knots_rejected() {
+        let mut p = TimedPath::new();
+        p.push(5.0, Point::ORIGIN);
+        p.push(4.0, Point::ORIGIN);
+    }
+
+    #[test]
+    fn device_index_matches_linear_scan() {
+        let plan = simple_plan();
+        let index = DeviceIndex::build(&plan);
+        for i in 0..120 {
+            let p = Point::new(i as f64 * 0.25, 2.0);
+            let mut via_index: Vec<DeviceId> =
+                index.detecting(&plan, p).map(|d| d.id).collect();
+            via_index.sort_unstable();
+            let mut via_scan: Vec<DeviceId> =
+                plan.devices().iter().filter(|d| d.detects(p)).map(|d| d.id).collect();
+            via_scan.sort_unstable();
+            assert_eq!(via_index, via_scan, "at {p}");
+        }
+    }
+
+    #[test]
+    fn readings_generated_in_range_only() {
+        let plan = simple_plan();
+        let index = DeviceIndex::build(&plan);
+        // Walk the corridor left to right at 1 m/s over 30 s.
+        let mut path = TimedPath::new();
+        path.push(0.0, Point::new(0.0, 2.0));
+        path.push(30.0, Point::new(30.0, 2.0));
+        let mut out = Vec::new();
+        sample_readings(&plan, &index, ObjectId(7), &path, 1.0, &mut out);
+        assert!(!out.is_empty());
+        // Every reading's position is genuinely within the device's range.
+        for r in &out {
+            let pos = path.position_at(r.t).unwrap();
+            assert!(plan.device(r.device).detects(pos));
+        }
+        // The object passes all three devices.
+        let mut devs: Vec<DeviceId> = out.iter().map(|r| r.device).collect();
+        devs.sort_unstable();
+        devs.dedup();
+        assert_eq!(devs.len(), 3);
+    }
+
+    #[test]
+    fn sampling_uses_global_tick_grid() {
+        let plan = simple_plan();
+        let index = DeviceIndex::build(&plan);
+        let mut path = TimedPath::new();
+        path.push(0.4, Point::new(5.0, 2.0));
+        path.push(10.0, Point::new(5.0, 2.0));
+        let mut out = Vec::new();
+        sample_readings(&plan, &index, ObjectId(0), &path, 1.0, &mut out);
+        // Ticks at integer seconds 1..=10 (0.4 rounds up to 1.0).
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|r| (r.t - r.t.round()).abs() < 1e-9));
+    }
+}

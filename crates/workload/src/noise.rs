@@ -1,0 +1,180 @@
+//! Failure injection: corrupting tracking data the way real deployments
+//! do.
+//!
+//! Symbolic tracking data is messy in practice — readers fail, tags are
+//! shielded, clocks drift. The query pipeline must stay *robust*: noisy
+//! input may degrade answer quality (that is physics) but must never
+//! panic, hang, or return malformed results. This module produces the
+//! three classic corruption patterns:
+//!
+//! * **missed detections** ([`drop_records`]): a reader fails to see a
+//!   tag, lengthening inactive gaps;
+//! * **clock jitter** ([`jitter_timestamps`]): device clocks disagree by
+//!   small offsets;
+//! * **teleports** ([`inject_teleports`]): ghost reads attribute an object
+//!   to a distant reader, producing gaps that are infeasible at `V_max`
+//!   (the empty-uncertainty-region path).
+//!
+//! All functions are deterministic given the seed and preserve per-object
+//! record ordering invariants (jitter is clamped so records never
+//! overlap).
+
+use inflow_tracking::{ObjectTrackingTable, OttRow};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Extracts the rows of a table (the corruption functions operate on
+/// rows).
+pub fn rows_of(ott: &ObjectTrackingTable) -> Vec<OttRow> {
+    ott.records()
+        .iter()
+        .map(|r| OttRow { object: r.object, device: r.device, ts: r.ts, te: r.te })
+        .collect()
+}
+
+/// Randomly removes a fraction of the rows (missed detections).
+pub fn drop_records(mut rows: Vec<OttRow>, drop_fraction: f64, seed: u64) -> Vec<OttRow> {
+    assert!((0.0..=1.0).contains(&drop_fraction), "fraction must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    rows.retain(|_| rng.random_range(0.0..1.0) >= drop_fraction);
+    rows
+}
+
+/// Applies bounded random offsets to record endpoints (clock jitter).
+///
+/// Offsets are clamped so each record keeps `ts ≤ te` and per-object
+/// records stay disjoint: the OTT invariants survive.
+pub fn jitter_timestamps(mut rows: Vec<OttRow>, max_jitter: f64, seed: u64) -> Vec<OttRow> {
+    assert!(max_jitter >= 0.0, "jitter must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sort per object so neighbour constraints are known.
+    rows.sort_by(|a, b| {
+        (a.object, a.ts).partial_cmp(&(b.object, b.ts)).expect("finite timestamps")
+    });
+    for i in 0..rows.len() {
+        let prev_te = if i > 0 && rows[i - 1].object == rows[i].object {
+            Some(rows[i - 1].te)
+        } else {
+            None
+        };
+        let next_ts = if i + 1 < rows.len() && rows[i + 1].object == rows[i].object {
+            Some(rows[i + 1].ts)
+        } else {
+            None
+        };
+        let row = &mut rows[i];
+        let dts = rng.random_range(-max_jitter..=max_jitter);
+        let dte = rng.random_range(-max_jitter..=max_jitter);
+        let mut ts = row.ts + dts;
+        let mut te = row.te + dte;
+        if let Some(lo) = prev_te {
+            ts = ts.max(lo);
+        }
+        if let Some(hi) = next_ts {
+            te = te.min(hi);
+        }
+        if te < ts {
+            te = ts;
+        }
+        row.ts = ts;
+        row.te = te;
+    }
+    rows
+}
+
+/// Replaces the device of a fraction of rows with a random other device
+/// (ghost reads / tag collisions). The resulting gaps are frequently
+/// infeasible at `V_max`, exercising the empty-region handling.
+pub fn inject_teleports(
+    mut rows: Vec<OttRow>,
+    teleport_fraction: f64,
+    device_count: u32,
+    seed: u64,
+) -> Vec<OttRow> {
+    assert!((0.0..=1.0).contains(&teleport_fraction), "fraction must be in [0, 1]");
+    assert!(device_count > 0, "need at least one device");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for row in &mut rows {
+        if rng.random_range(0.0..1.0) < teleport_fraction {
+            row.device = inflow_indoor::DeviceId(rng.random_range(0..device_count));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_synthetic, SyntheticConfig};
+    use inflow_tracking::ObjectTrackingTable;
+
+    fn base_rows() -> Vec<OttRow> {
+        rows_of(&generate_synthetic(&SyntheticConfig::tiny()).ott)
+    }
+
+    #[test]
+    fn drop_reduces_row_count_proportionally() {
+        let rows = base_rows();
+        let kept = drop_records(rows.clone(), 0.3, 1);
+        let ratio = kept.len() as f64 / rows.len() as f64;
+        assert!(
+            (0.6..0.8).contains(&ratio),
+            "expected ~70% kept, got {ratio} ({} of {})",
+            kept.len(),
+            rows.len()
+        );
+        // Still a valid OTT.
+        ObjectTrackingTable::from_rows(kept).unwrap();
+        // Extremes.
+        assert_eq!(drop_records(rows.clone(), 1.0, 1).len(), 0);
+        assert_eq!(drop_records(rows.clone(), 0.0, 1).len(), rows.len());
+    }
+
+    #[test]
+    fn jitter_preserves_ott_invariants() {
+        let rows = base_rows();
+        let jittered = jitter_timestamps(rows, 0.8, 7);
+        // from_rows re-validates interval sanity and per-object disjointness.
+        let ott = ObjectTrackingTable::from_rows(jittered).unwrap();
+        assert!(!ott.is_empty());
+    }
+
+    #[test]
+    fn jitter_zero_is_identity_up_to_order() {
+        let rows = base_rows();
+        let mut sorted = rows.clone();
+        sorted.sort_by(|a, b| (a.object, a.ts).partial_cmp(&(b.object, b.ts)).unwrap());
+        let out = jitter_timestamps(rows, 0.0, 7);
+        assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn teleports_change_devices_only() {
+        let rows = base_rows();
+        let mutated = inject_teleports(rows.clone(), 0.5, 40, 3);
+        assert_eq!(mutated.len(), rows.len());
+        let changed = rows
+            .iter()
+            .zip(&mutated)
+            .filter(|(a, b)| a.device != b.device)
+            .count();
+        assert!(changed > 0, "expected some teleports");
+        for (a, b) in rows.iter().zip(&mutated) {
+            assert_eq!((a.object, a.ts, a.te), (b.object, b.ts, b.te));
+        }
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let rows = base_rows();
+        assert_eq!(drop_records(rows.clone(), 0.4, 9), drop_records(rows.clone(), 0.4, 9));
+        assert_eq!(
+            jitter_timestamps(rows.clone(), 0.5, 9),
+            jitter_timestamps(rows.clone(), 0.5, 9)
+        );
+        assert_eq!(
+            inject_teleports(rows.clone(), 0.2, 10, 9),
+            inject_teleports(rows, 0.2, 10, 9)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Ready-made floor plans for the indoor settings the paper's
+//! introduction motivates: office buildings, libraries, and metro
+//! stations (§1: "shopping malls, office buildings, libraries, metro
+//! stations, and airports").
+//!
+//! Each scenario builds a validated [`FloorPlan`] with a door topology, a
+//! proximity-device deployment whose detection ranges never overlap, and
+//! a POI set — ready to combine with the movement simulator or with
+//! externally captured tracking data. The synthetic grid (shopping-mall
+//! style) and the airport live in [`crate::synthetic`] and [`crate::cph`].
+
+use inflow_geometry::{Point, Polygon};
+use inflow_indoor::{CellKind, FloorPlan, FloorPlanBuilder};
+
+/// An office floor: a central corridor with private offices on one side
+/// and meeting rooms on the other; readers at every meeting-room door and
+/// alternate office doors; POIs are the meeting rooms, the printer nook,
+/// and the kitchen.
+///
+/// `offices` is the number of office rooms (at least 2).
+pub fn office_plan(offices: usize) -> FloorPlan {
+    assert!(offices >= 2, "an office floor needs at least 2 offices");
+    let office_w = 5.0;
+    let office_d = 6.0;
+    let corridor_w = 2.5;
+    let length = offices as f64 * office_w;
+
+    let mut b = FloorPlanBuilder::new();
+    let corridor = b.add_cell(
+        "corridor",
+        CellKind::Hallway,
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(length, corridor_w)),
+    );
+
+    // Offices along the north side.
+    for i in 0..offices {
+        let x0 = i as f64 * office_w;
+        let office = b.add_cell(
+            format!("office-{i}"),
+            CellKind::Room,
+            Polygon::rectangle(
+                Point::new(x0, corridor_w),
+                Point::new(x0 + office_w, corridor_w + office_d),
+            ),
+        );
+        let door = Point::new(x0 + office_w / 2.0, corridor_w);
+        b.add_door(format!("office-door-{i}"), door, office, corridor);
+        if i % 2 == 0 {
+            b.add_device(format!("dev-office-{i}"), door, 1.0);
+        }
+    }
+
+    // Meeting rooms, kitchen, and printer nook along the south side.
+    let south_rooms = (offices / 2).max(2);
+    let south_w = length / south_rooms as f64;
+    for i in 0..south_rooms {
+        let x0 = i as f64 * south_w;
+        let name = match i {
+            0 => "kitchen".to_string(),
+            1 => "printer-nook".to_string(),
+            n => format!("meeting-{}", n - 2),
+        };
+        let room = b.add_cell(
+            &name,
+            CellKind::Room,
+            Polygon::rectangle(Point::new(x0, -office_d), Point::new(x0 + south_w, 0.0)),
+        );
+        let door = Point::new(x0 + south_w / 2.0, 0.0);
+        b.add_door(format!("{name}-door"), door, room, corridor);
+        b.add_device(format!("dev-{name}"), door, 1.0);
+        // Each south room is a POI (inset from the walls).
+        b.add_poi(
+            format!("poi-{name}"),
+            Polygon::rectangle(
+                Point::new(x0 + 0.5, -office_d + 0.5),
+                Point::new(x0 + south_w - 0.5, -0.5),
+            ),
+        );
+    }
+
+    b.build().expect("office plan is valid by construction")
+}
+
+/// A library floor: an entrance hall, a row of book-stack aisles, and two
+/// reading rooms; readers at the entrance, between stacks, and at the
+/// reading-room doors; POIs are each aisle and each reading room.
+pub fn library_plan(aisles: usize) -> FloorPlan {
+    assert!(aisles >= 2, "a library needs at least 2 stack aisles");
+    let aisle_w = 4.0;
+    let aisle_d = 12.0;
+    let hall_d = 6.0;
+    let length = aisles as f64 * aisle_w + 16.0; // stacks + two reading rooms
+
+    let mut b = FloorPlanBuilder::new();
+    let hall = b.add_cell(
+        "entrance-hall",
+        CellKind::Hallway,
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(length, hall_d)),
+    );
+    b.add_device("dev-entrance", Point::new(length / 2.0, hall_d / 2.0), 1.5);
+
+    for i in 0..aisles {
+        let x0 = i as f64 * aisle_w;
+        let aisle = b.add_cell(
+            format!("stacks-{i}"),
+            CellKind::Room,
+            Polygon::rectangle(
+                Point::new(x0, hall_d),
+                Point::new(x0 + aisle_w, hall_d + aisle_d),
+            ),
+        );
+        let door = Point::new(x0 + aisle_w / 2.0, hall_d);
+        b.add_door(format!("stacks-door-{i}"), door, aisle, hall);
+        if i % 2 == 1 {
+            b.add_device(format!("dev-stacks-{i}"), door, 1.0);
+        }
+        b.add_poi(
+            format!("poi-stacks-{i}"),
+            Polygon::rectangle(
+                Point::new(x0 + 0.4, hall_d + 0.4),
+                Point::new(x0 + aisle_w - 0.4, hall_d + aisle_d - 0.4),
+            ),
+        );
+    }
+
+    // Two reading rooms east of the stacks.
+    let rr_x0 = aisles as f64 * aisle_w;
+    for (i, name) in ["reading-quiet", "reading-group"].iter().enumerate() {
+        let x0 = rr_x0 + i as f64 * 8.0;
+        let room = b.add_cell(
+            *name,
+            CellKind::Room,
+            Polygon::rectangle(Point::new(x0, hall_d), Point::new(x0 + 8.0, hall_d + aisle_d)),
+        );
+        let door = Point::new(x0 + 4.0, hall_d);
+        b.add_door(format!("{name}-door"), door, room, hall);
+        b.add_device(format!("dev-{name}"), door, 1.0);
+        b.add_poi(
+            format!("poi-{name}"),
+            Polygon::rectangle(
+                Point::new(x0 + 0.5, hall_d + 0.5),
+                Point::new(x0 + 7.5, hall_d + aisle_d - 0.5),
+            ),
+        );
+    }
+
+    b.build().expect("library plan is valid by construction")
+}
+
+/// A metro station mezzanine: a ticket hall with fare gates leading to a
+/// platform-access concourse; readers at the gates and along both halls;
+/// POIs are the ticket machines, each gate line, and the platform stairs.
+pub fn metro_station_plan(gates: usize) -> FloorPlan {
+    assert!(gates >= 2, "a station needs at least 2 fare gates");
+    let hall_len = (gates as f64 * 6.0).max(30.0);
+    let hall_d = 12.0;
+    let concourse_d = 10.0;
+
+    let mut b = FloorPlanBuilder::new();
+    let ticket_hall = b.add_cell(
+        "ticket-hall",
+        CellKind::Hallway,
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(hall_len, hall_d)),
+    );
+    let concourse = b.add_cell(
+        "concourse",
+        CellKind::Hallway,
+        Polygon::rectangle(
+            Point::new(0.0, hall_d),
+            Point::new(hall_len, hall_d + concourse_d),
+        ),
+    );
+
+    // Fare gates: evenly spaced doors between the halls, one reader each.
+    let pitch = hall_len / gates as f64;
+    for g in 0..gates {
+        let x = (g as f64 + 0.5) * pitch;
+        b.add_door(format!("gate-{g}"), Point::new(x, hall_d), ticket_hall, concourse);
+        b.add_device(format!("dev-gate-{g}"), Point::new(x, hall_d), 1.2);
+        b.add_poi(
+            format!("poi-gate-{g}"),
+            Polygon::rectangle(
+                Point::new(x - pitch / 2.0 + 0.3, hall_d - 2.0),
+                Point::new(x + pitch / 2.0 - 0.3, hall_d + 2.0),
+            ),
+        );
+    }
+
+    // Ticket machines near the entrance (south wall) and platform stairs
+    // (north wall).
+    b.add_poi(
+        "poi-ticket-machines",
+        Polygon::rectangle(Point::new(1.0, 0.5), Point::new(hall_len / 3.0, 3.0)),
+    );
+    b.add_poi(
+        "poi-stairs-east",
+        Polygon::rectangle(
+            Point::new(hall_len - 6.0, hall_d + concourse_d - 3.0),
+            Point::new(hall_len - 1.0, hall_d + concourse_d - 0.5),
+        ),
+    );
+    b.add_poi(
+        "poi-stairs-west",
+        Polygon::rectangle(
+            Point::new(1.0, hall_d + concourse_d - 3.0),
+            Point::new(6.0, hall_d + concourse_d - 0.5),
+        ),
+    );
+    b.add_device("dev-entrance", Point::new(2.0, 2.0), 1.2);
+    b.add_device(
+        "dev-stairs",
+        Point::new(hall_len - 3.0, hall_d + concourse_d - 1.5),
+        1.2,
+    );
+
+    b.build().expect("station plan is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflow_indoor::DistanceOracle;
+
+    fn assert_connected(plan: &FloorPlan) {
+        let oracle = DistanceOracle::new(plan);
+        let origin = plan.cells()[0].footprint().centroid();
+        for cell in plan.cells() {
+            let p = cell.footprint().centroid();
+            assert!(
+                oracle.distance(plan, origin, p).is_some(),
+                "cell {} unreachable",
+                cell.name
+            );
+        }
+    }
+
+    fn assert_ranges_disjoint(plan: &FloorPlan) {
+        let devices = plan.devices();
+        for (i, a) in devices.iter().enumerate() {
+            for b in &devices[i + 1..] {
+                assert!(
+                    a.position.distance(b.position) > a.range + b.range,
+                    "{} and {} overlap",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    fn assert_pois_inside(plan: &FloorPlan) {
+        for poi in plan.pois() {
+            assert!(plan.mbr().contains_mbr(&poi.mbr()), "{} escapes the plan", poi.name);
+        }
+    }
+
+    #[test]
+    fn office_plan_is_sound() {
+        let plan = office_plan(8);
+        assert_eq!(plan.cells().len(), 1 + 8 + 4); // corridor + offices + south rooms
+        assert!(plan.pois().len() >= 4);
+        assert_connected(&plan);
+        assert_ranges_disjoint(&plan);
+        assert_pois_inside(&plan);
+        // Named amenities exist.
+        assert!(plan.pois().iter().any(|p| p.name == "poi-kitchen"));
+        assert!(plan.pois().iter().any(|p| p.name == "poi-printer-nook"));
+    }
+
+    #[test]
+    fn library_plan_is_sound() {
+        let plan = library_plan(6);
+        assert_connected(&plan);
+        assert_ranges_disjoint(&plan);
+        assert_pois_inside(&plan);
+        assert_eq!(plan.pois().len(), 6 + 2); // aisles + reading rooms
+    }
+
+    #[test]
+    fn metro_station_plan_is_sound() {
+        let plan = metro_station_plan(5);
+        assert_connected(&plan);
+        assert_ranges_disjoint(&plan);
+        assert_pois_inside(&plan);
+        assert_eq!(plan.pois().len(), 5 + 3); // gates + machines + 2 stairs
+        assert_eq!(plan.doors().len(), 5);
+    }
+
+    #[test]
+    fn scenarios_scale_with_parameters() {
+        assert!(office_plan(12).cells().len() > office_plan(4).cells().len());
+        assert!(library_plan(8).pois().len() > library_plan(2).pois().len());
+        assert!(metro_station_plan(8).devices().len() > metro_station_plan(2).devices().len());
+    }
+
+    #[test]
+    fn scenarios_work_with_the_movement_simulator() {
+        // Generate a tiny amount of tracking data on the office plan via
+        // the shared device index + path machinery.
+        use crate::movement::{sample_readings, DeviceIndex, TimedPath};
+        use inflow_tracking::{merge_raw_readings, ObjectId, ObjectTrackingTable};
+
+        let plan = office_plan(6);
+        let oracle = DistanceOracle::new(&plan);
+        let index = DeviceIndex::build(&plan);
+        let from = plan.cells()[1].footprint().centroid(); // an office
+        let to = plan.cells()[8].footprint().centroid(); // a south room
+        let route = oracle.route(&plan, from, to).expect("connected");
+        let mut path = TimedPath::new();
+        let mut t = 0.0;
+        path.push(t, route.waypoints[0]);
+        for pair in route.waypoints.windows(2) {
+            t += pair[0].distance(pair[1]) / 1.1;
+            path.push(t, pair[1]);
+        }
+        let mut readings = Vec::new();
+        sample_readings(&plan, &index, ObjectId(0), &path, 1.0, &mut readings);
+        assert!(!readings.is_empty(), "the walk passes at least one reader");
+        let ott = ObjectTrackingTable::from_rows(merge_raw_readings(readings, 1.5)).unwrap();
+        assert!(!ott.is_empty());
+    }
+}

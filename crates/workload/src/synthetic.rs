@@ -1,0 +1,410 @@
+//! The synthetic grid workload (paper §5.1).
+//!
+//! Floor plan: `rooms_x × rooms_y` rooms (default 10×10 ≈ the paper's
+//! "about 100 rooms"), each row of rooms sitting on a horizontal hallway,
+//! all hallways joined by one vertical hallway. RFID readers are deployed
+//! at room doors and along the hallways, spaced so detection ranges never
+//! overlap up to the paper's maximum 2.5 m range. Objects move by the
+//! random waypoint model at a fixed speed (1.1 m/s in the paper), which
+//! also serves as `V_max`.
+
+use crate::movement::{sample_readings, DeviceIndex, TimedPath};
+use crate::Workload;
+use inflow_geometry::{Mbr, Point, Polygon};
+use inflow_indoor::{CellId, CellKind, DistanceOracle, FloorPlan, FloorPlanBuilder};
+use inflow_tracking::{merge_raw_readings, ObjectId, ObjectTrackingTable, RawReading};
+use inflow_uncertainty::IndoorContext;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of the synthetic workload (paper Table 4; defaults are
+/// scaled down from paper scale so the committed test/bench suite runs in
+/// minutes — every field is public and sweepable).
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Rooms per row.
+    pub rooms_x: usize,
+    /// Rows of rooms (each row has its own hallway).
+    pub rooms_y: usize,
+    /// Room edge length (metres).
+    pub room_size: f64,
+    /// Hallway width (metres).
+    pub hallway_width: f64,
+    /// RFID detection range (paper: 1–2.5 m, default 1 m).
+    pub detection_range: f64,
+    /// Number of moving objects `|O|` (paper: 10 K–50 K).
+    pub num_objects: usize,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// Movement speed, also used as `V_max` (paper: 1.1 m/s).
+    pub speed: f64,
+    /// Positioning sampling period in seconds.
+    pub sampling_period: f64,
+    /// Uniform pause-time range at each waypoint (seconds).
+    pub pause_range: (f64, f64),
+    /// Total number of indoor POIs (paper: 75).
+    pub num_pois: usize,
+    /// RNG seed; identical configs generate identical workloads.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            rooms_x: 10,
+            rooms_y: 10,
+            room_size: 10.0,
+            hallway_width: 3.0,
+            detection_range: 1.0,
+            num_objects: 500,
+            duration: 3_600.0,
+            speed: 1.1,
+            sampling_period: 1.0,
+            pause_range: (5.0, 60.0),
+            num_pois: 75,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A miniature configuration for fast unit/integration tests.
+    pub fn tiny() -> SyntheticConfig {
+        SyntheticConfig {
+            rooms_x: 4,
+            rooms_y: 3,
+            num_objects: 30,
+            duration: 600.0,
+            num_pois: 20,
+            ..SyntheticConfig::default()
+        }
+    }
+}
+
+/// Builds the grid floor plan (cells, doors, devices, POIs) for `cfg`.
+pub fn build_floor_plan(cfg: &SyntheticConfig) -> FloorPlan {
+    assert!(cfg.rooms_x >= 1 && cfg.rooms_y >= 1, "need at least one room");
+    assert!(
+        cfg.detection_range <= 2.5,
+        "device spacing guarantees non-overlap only up to 2.5 m range"
+    );
+    let rs = cfg.room_size;
+    let hw = cfg.hallway_width;
+    let bh = rs + hw; // block height: hallway + room row
+    let width = cfg.rooms_x as f64 * rs;
+
+    let mut b = FloorPlanBuilder::new();
+
+    // Vertical spine hallway on the left.
+    let spine = b.add_cell(
+        "spine",
+        CellKind::Hallway,
+        Polygon::rectangle(Point::new(-hw, 0.0), Point::new(0.0, cfg.rooms_y as f64 * bh)),
+    );
+
+    let mut room_cells: Vec<Vec<CellId>> = Vec::with_capacity(cfg.rooms_y);
+    for j in 0..cfg.rooms_y {
+        let y0 = j as f64 * bh;
+        let hall = b.add_cell(
+            format!("hall-{j}"),
+            CellKind::Hallway,
+            Polygon::rectangle(Point::new(0.0, y0), Point::new(width, y0 + hw)),
+        );
+        b.add_door(format!("spine-door-{j}"), Point::new(0.0, y0 + hw / 2.0), spine, hall);
+
+        let mut row = Vec::with_capacity(cfg.rooms_x);
+        for i in 0..cfg.rooms_x {
+            let x0 = i as f64 * rs;
+            let room = b.add_cell(
+                format!("room-{i}-{j}"),
+                CellKind::Room,
+                Polygon::rectangle(Point::new(x0, y0 + hw), Point::new(x0 + rs, y0 + bh)),
+            );
+            let door_pos = Point::new(x0 + rs / 2.0, y0 + hw);
+            b.add_door(format!("door-{i}-{j}"), door_pos, room, hall);
+            // Reader at the room door.
+            b.add_device(format!("dev-door-{i}-{j}"), door_pos, cfg.detection_range);
+            row.push(room);
+        }
+        room_cells.push(row);
+
+        // Hallway readers at every other room boundary, offset from the
+        // door readers so ranges never overlap.
+        for i in (1..cfg.rooms_x).step_by(2) {
+            b.add_device(
+                format!("dev-hall-{i}-{j}"),
+                Point::new(i as f64 * rs, y0 + hw / 2.0),
+                cfg.detection_range,
+            );
+        }
+    }
+    // Spine readers midway between spine doors.
+    for j in 0..cfg.rooms_y {
+        b.add_device(
+            format!("dev-spine-{j}"),
+            Point::new(-hw / 2.0, j as f64 * bh + hw / 2.0 + bh / 2.0),
+            cfg.detection_range,
+        );
+    }
+
+    // POIs: 75 at distinctive locations with different areas; multiple
+    // POIs may come from the same large room (§5.1).
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9);
+    let mut poi_count = 0usize;
+    let mut room_order: Vec<(usize, usize)> = (0..cfg.rooms_y)
+        .flat_map(|j| (0..cfg.rooms_x).map(move |i| (i, j)))
+        .collect();
+    shuffle(&mut room_order, &mut rng);
+    'outer: loop {
+        for &(i, j) in &room_order {
+            if poi_count >= cfg.num_pois {
+                break 'outer;
+            }
+            let x0 = i as f64 * rs;
+            let y0 = j as f64 * bh + hw;
+            if rng.random_range(0.0..1.0) < 0.3 && cfg.num_pois - poi_count >= 2 {
+                // Split the room into two POIs (left / right halves).
+                let inset = 0.5;
+                b.add_poi(
+                    format!("poi-{poi_count}"),
+                    Polygon::rectangle(
+                        Point::new(x0 + inset, y0 + inset),
+                        Point::new(x0 + rs / 2.0 - inset / 2.0, y0 + rs - inset),
+                    ),
+                );
+                poi_count += 1;
+                b.add_poi(
+                    format!("poi-{poi_count}"),
+                    Polygon::rectangle(
+                        Point::new(x0 + rs / 2.0 + inset / 2.0, y0 + inset),
+                        Point::new(x0 + rs - inset, y0 + rs - inset),
+                    ),
+                );
+                poi_count += 1;
+            } else {
+                let inset = rng.random_range(0.5..2.5);
+                b.add_poi(
+                    format!("poi-{poi_count}"),
+                    Polygon::rectangle(
+                        Point::new(x0 + inset, y0 + inset),
+                        Point::new(x0 + rs - inset, y0 + rs - inset),
+                    ),
+                );
+                poi_count += 1;
+            }
+        }
+        if room_order.is_empty() {
+            break;
+        }
+    }
+
+    b.build().expect("synthetic plan is valid by construction")
+}
+
+/// Generates the full synthetic workload: plan, movement, readings, OTT.
+pub fn generate_synthetic(cfg: &SyntheticConfig) -> Workload {
+    let plan = build_floor_plan(cfg);
+    let ctx = Arc::new(IndoorContext::new(plan));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let index = DeviceIndex::build(ctx.plan());
+
+    let mut readings: Vec<RawReading> = Vec::new();
+    let mut ground_truth = Vec::with_capacity(cfg.num_objects);
+    for o in 0..cfg.num_objects {
+        let object = ObjectId(o as u32);
+        let path = random_waypoint_path(ctx.plan(), ctx.oracle(), cfg, &mut rng);
+        sample_readings(ctx.plan(), &index, object, &path, cfg.sampling_period, &mut readings);
+        ground_truth.push((object, path));
+    }
+
+    let rows = merge_raw_readings(readings, 1.5 * cfg.sampling_period);
+    let ott = ObjectTrackingTable::from_rows(rows)
+        .expect("non-overlapping ranges yield a consistent OTT");
+    Workload { ctx, ott, ground_truth, vmax: cfg.speed }
+}
+
+/// One object's random-waypoint trajectory over `[0, duration]`.
+fn random_waypoint_path(
+    plan: &FloorPlan,
+    oracle: &DistanceOracle,
+    cfg: &SyntheticConfig,
+    rng: &mut StdRng,
+) -> TimedPath {
+    let mut path = TimedPath::new();
+    let mut t = 0.0;
+    let mut pos = random_point_in_cell(plan, random_cell(plan, rng), rng);
+    path.push(t, pos);
+    while t < cfg.duration {
+        let dest = random_point_in_cell(plan, random_cell(plan, rng), rng);
+        let Some(route) = oracle.route(plan, pos, dest) else {
+            // The grid plan is fully connected; an unreachable pick means a
+            // degenerate sample — retry with a new destination.
+            continue;
+        };
+        for pair in route.waypoints.windows(2) {
+            let dist = pair[0].distance(pair[1]);
+            if dist <= 0.0 {
+                continue;
+            }
+            t += dist / cfg.speed;
+            path.push(t, pair[1]);
+        }
+        let pause = rng.random_range(cfg.pause_range.0..=cfg.pause_range.1);
+        t += pause;
+        path.push(t, dest);
+        pos = dest;
+    }
+    path
+}
+
+/// A uniformly chosen cell id.
+fn random_cell(plan: &FloorPlan, rng: &mut StdRng) -> CellId {
+    CellId(rng.random_range(0..plan.cells().len() as u32))
+}
+
+/// A uniform point strictly inside the cell's rectangle, inset a little so
+/// routes and samples stay within the footprint.
+fn random_point_in_cell(plan: &FloorPlan, cell: CellId, rng: &mut StdRng) -> Point {
+    let mbr: Mbr = plan.cell(cell).footprint().mbr();
+    let inset = 0.2_f64.min(mbr.width() / 4.0).min(mbr.height() / 4.0);
+    Point::new(
+        rng.random_range(mbr.lo.x + inset..mbr.hi.x - inset),
+        rng.random_range(mbr.lo.y + inset..mbr.hi.y - inset),
+    )
+}
+
+/// Fisher–Yates shuffle (avoids pulling in `rand`'s slice extension).
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_structure_matches_config() {
+        let cfg = SyntheticConfig::default();
+        let plan = build_floor_plan(&cfg);
+        // 100 rooms + 10 hallways + spine.
+        assert_eq!(plan.cells().len(), 100 + 10 + 1);
+        assert_eq!(plan.pois().len(), 75);
+        // Readers: 100 door + 50 hallway + 10 spine.
+        assert_eq!(plan.devices().len(), 160);
+        // Doors: 100 room doors + 10 spine doors.
+        assert_eq!(plan.doors().len(), 110);
+    }
+
+    #[test]
+    fn detection_ranges_never_overlap_at_max_range() {
+        let cfg = SyntheticConfig { detection_range: 2.5, ..SyntheticConfig::default() };
+        let plan = build_floor_plan(&cfg);
+        let devices = plan.devices();
+        for (a_idx, a) in devices.iter().enumerate() {
+            for b in &devices[a_idx + 1..] {
+                let d = a.position.distance(b.position);
+                assert!(
+                    d > 2.0 * cfg.detection_range,
+                    "devices {} and {} overlap: distance {d:.2}",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pois_lie_inside_the_plan() {
+        let plan = build_floor_plan(&SyntheticConfig::default());
+        let plan_mbr = plan.mbr();
+        for poi in plan.pois() {
+            assert!(plan_mbr.contains_mbr(&poi.mbr()), "{} escapes the plan", poi.name);
+            assert!(poi.area() > 1.0, "{} is degenerate", poi.name);
+        }
+    }
+
+    #[test]
+    fn plan_is_fully_connected() {
+        let plan = build_floor_plan(&SyntheticConfig::tiny());
+        let oracle = DistanceOracle::new(&plan);
+        let a = plan.cell(CellId(1)).footprint().centroid(); // a hallway
+        for cell in plan.cells() {
+            let p = cell.footprint().centroid();
+            assert!(
+                oracle.distance(&plan, a, p).is_some(),
+                "cell {} unreachable",
+                cell.name
+            );
+        }
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let cfg = SyntheticConfig { num_objects: 5, duration: 120.0, ..SyntheticConfig::tiny() };
+        let w1 = generate_synthetic(&cfg);
+        let w2 = generate_synthetic(&cfg);
+        assert_eq!(w1.ott.len(), w2.ott.len());
+        for (a, b) in w1.ott.records().iter().zip(w2.ott.records()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn trajectories_respect_vmax_and_stay_indoors() {
+        let cfg = SyntheticConfig::tiny();
+        let w = generate_synthetic(&cfg);
+        assert_eq!(w.ground_truth.len(), cfg.num_objects);
+        for (_, path) in &w.ground_truth {
+            assert!(path.max_speed() <= cfg.speed + 1e-9, "speed {}", path.max_speed());
+            // Spot-check sampled positions are inside some cell.
+            let mut t = 0.0;
+            while t < cfg.duration {
+                if let Some(pos) = path.position_at(t) {
+                    assert!(w.ctx.plan().locate(pos).is_some(), "position {pos} outside plan");
+                }
+                t += 30.0;
+            }
+        }
+    }
+
+    #[test]
+    fn ott_is_populated_and_consistent() {
+        let w = generate_synthetic(&SyntheticConfig::tiny());
+        assert!(!w.ott.is_empty(), "no tracking records generated");
+        assert!(w.ott.object_count() > 0);
+        // Every record's span is within the simulation and devices exist.
+        let devices = w.ctx.plan().devices().len() as u32;
+        for r in w.ott.records() {
+            assert!(r.ts <= r.te);
+            assert!(r.device.0 < devices);
+        }
+    }
+
+    #[test]
+    fn readings_match_ground_truth_positions() {
+        // Every OTT record is backed by the object genuinely being in the
+        // device's range at both endpoints.
+        let w = generate_synthetic(&SyntheticConfig::tiny());
+        for r in w.ott.records().iter().take(200) {
+            let (_, path) = w
+                .ground_truth
+                .iter()
+                .find(|(o, _)| *o == r.object)
+                .expect("ground truth exists");
+            let dev = w.ctx.plan().device(r.device);
+            for t in [r.ts, r.te] {
+                let pos = path.position_at(t).expect("tracked while alive");
+                assert!(
+                    dev.detects(pos),
+                    "object {} at {pos} not in range of {} at t={t}",
+                    r.object,
+                    dev.name
+                );
+            }
+        }
+    }
+}

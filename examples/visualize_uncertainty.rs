@@ -1,0 +1,109 @@
+//! Renders uncertainty regions to SVG for visual inspection.
+//!
+//! Recreates the paper's Figure 8 scenario — an object moving along a
+//! corridor past two readers, with a room hanging off the corridor — and
+//! renders, side by side:
+//!
+//! * the purely Euclidean snapshot uncertainty region (which pokes
+//!   through the wall into the room), and
+//! * the topology-checked region (where the unreachable room part is
+//!   excluded).
+//!
+//! Also renders an interval uncertainty region over a trajectory from the
+//! synthetic workload.
+//!
+//! Run with: `cargo run --release --example visualize_uncertainty`
+//! (writes `ur_euclidean.svg`, `ur_topology.svg`, `ur_interval.svg`).
+
+use inflow::geometry::{Point, Polygon};
+use inflow::indoor::{CellKind, FloorPlanBuilder};
+use inflow::tracking::{ObjectId, ObjectTrackingTable, OttRow};
+use inflow::uncertainty::{IndoorContext, UrConfig, UrEngine};
+use inflow::viz::{SceneRenderer, Style};
+use inflow::workload::{generate_synthetic, SyntheticConfig};
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    figure8_scenario()?;
+    interval_scenario()?;
+    println!("wrote ur_euclidean.svg, ur_topology.svg, ur_interval.svg");
+    Ok(())
+}
+
+/// The Figure 8(a) setup: snapshot UR of an inactive object, with and
+/// without the indoor topology check.
+fn figure8_scenario() -> std::io::Result<()> {
+    let mut b = FloorPlanBuilder::new();
+    let hall = b.add_cell(
+        "corridor",
+        CellKind::Hallway,
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(24.0, 4.0)),
+    );
+    let room = b.add_cell(
+        "room-2",
+        CellKind::Room,
+        Polygon::rectangle(Point::new(8.0, 4.0), Point::new(16.0, 11.0)),
+    );
+    // The door sits at the far west end of the room: reaching the room's
+    // interior from the corridor requires a long detour.
+    b.add_door("door", Point::new(8.2, 4.0), hall, room);
+    let dev1 = b.add_device("device-1", Point::new(8.0, 2.0), 1.0);
+    let dev2 = b.add_device("device-2", Point::new(16.0, 2.0), 1.0);
+    let ctx = Arc::new(IndoorContext::new(b.build().expect("valid plan")));
+
+    // The object left device 1 at t=2 and reaches device 2 at t=9.
+    let ott = ObjectTrackingTable::from_rows(vec![
+        OttRow { object: ObjectId(0), device: dev1, ts: 0.0, te: 2.0 },
+        OttRow { object: ObjectId(0), device: dev2, ts: 9.0, te: 11.0 },
+    ])
+    .expect("consistent OTT");
+    let t = 5.5;
+    let state = ott.state_at(ObjectId(0), t).expect("inactive between readers");
+
+    for (topology, file) in [(false, "ur_euclidean.svg"), (true, "ur_topology.svg")] {
+        let engine = UrEngine::new(
+            Arc::clone(&ctx),
+            UrConfig { vmax: 1.1, topology_check: topology, ..UrConfig::default() },
+        );
+        let ur = engine.snapshot_ur(&ott, state, t);
+        let style = Style { labels: true, scale: 24.0, ur_resolution: 8.0, ..Style::default() };
+        let svg = SceneRenderer::with_style(ctx.plan(), style)
+            .draw_devices()
+            .draw_uncertainty_region(&ur)
+            .render();
+        std::fs::write(file, svg)?;
+    }
+    Ok(())
+}
+
+/// An interval UR over a real random-waypoint trajectory, drawn together
+/// with the ground truth path that generated the tracking data.
+fn interval_scenario() -> std::io::Result<()> {
+    let cfg = SyntheticConfig {
+        rooms_x: 4,
+        rooms_y: 2,
+        num_objects: 1,
+        duration: 420.0,
+        seed: 12,
+        ..SyntheticConfig::default()
+    };
+    let w = generate_synthetic(&cfg);
+    let engine = UrEngine::new(
+        w.ctx.clone(),
+        UrConfig { vmax: w.vmax, topology_check: true, ..UrConfig::default() },
+    );
+    let (object, path) = &w.ground_truth[0];
+    let (ts, te) = (60.0, 240.0);
+    let ur = engine
+        .interval_ur(&w.ott, *object, ts, te)
+        .expect("object is tracked in the window");
+
+    let style = Style { scale: 10.0, ur_resolution: 4.0, ..Style::default() };
+    let svg = SceneRenderer::with_style(w.ctx.plan(), style)
+        .draw_pois()
+        .draw_devices()
+        .draw_uncertainty_region(&ur)
+        .draw_trajectory(path)
+        .render();
+    std::fs::write("ur_interval.svg", svg)
+}

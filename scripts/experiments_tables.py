@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Formats the `figures` harness CSV as the markdown tables used in
+EXPERIMENTS.md.
+
+Usage: python3 scripts/experiments_tables.py figures_clean.csv
+"""
+import sys
+from collections import OrderedDict
+
+
+def main(path: str) -> None:
+    series: "OrderedDict[str, dict]" = OrderedDict()
+    with open(path) as fh:
+        label = ""
+        for line in fh:
+            line = line.strip()
+            if line.startswith("#"):
+                label = line.lstrip("# ")
+                continue
+            if not line or line.startswith("experiment,"):
+                continue
+            exp, x, it, jn = line.split(",")
+            entry = series.setdefault(exp, {"label": label, "rows": []})
+            entry["rows"].append((x, float(it), float(jn)))
+
+    for exp, entry in series.items():
+        print(f"### {exp} — {entry['label'].split('—')[-1].strip()}")
+        print()
+        print("| x | iterative (ms) | join (ms) |")
+        print("|---|---------------:|----------:|")
+        for x, it, jn in entry["rows"]:
+            print(f"| {x} | {it:.0f} | {jn:.0f} |")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures_clean.csv")

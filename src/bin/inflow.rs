@@ -1,0 +1,12 @@
+//! The `inflow` command-line tool. See `inflow help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match inflow::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The `inflow` command-line interface.
+//!
+//! A thin, dependency-free frontend over the library:
+//!
+//! ```text
+//! inflow generate synthetic --out-dir data [--objects N] [--duration S] [--seed N]
+//! inflow generate cph --out-dir data [--passengers N] [--seed N]
+//! inflow snapshot --plan plan.txt --ott ott.csv --t 1200 [--k 10] [--iterative]
+//! inflow interval --plan plan.txt --ott ott.csv --ts 600 --te 1800 [--k 10]
+//! inflow timeline --plan plan.txt --ott ott.csv --start 0 --end 3600 --bucket 600
+//! inflow density --plan plan.txt --ott ott.csv --t 1200 [--cell-size 10]
+//! inflow render --plan plan.txt --out plan.svg [--ott ott.csv --object 3 --t 1200]
+//! ```
+//!
+//! All commands are pure functions over files; [`run`] returns the text
+//! that `main` prints, which keeps the CLI fully unit-testable.
+
+use crate::core::{flow_timeline, snapshot_density, FlowAnalytics, IntervalQuery, SnapshotQuery};
+use crate::geometry::GridResolution;
+use crate::indoor::{read_plan, write_plan, FloorPlan, PoiId};
+use crate::tracking::{read_ott_csv, write_table_csv, ObjectId, ObjectTrackingTable};
+use crate::uncertainty::{IndoorContext, UrConfig, UrEngine};
+use crate::viz::SceneRenderer;
+use crate::workload::{
+    build_floor_plan, generate_cph, generate_synthetic, CphConfig, SyntheticConfig,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A CLI failure: the message shown to the user (exit code 2).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("I/O error: {e}"))
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parsed `--flag value` options plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                // Boolean switches take no value.
+                if matches!(name, "iterative" | "no-topology" | "labels") {
+                    switches.push(name.to_string());
+                } else {
+                    i += 1;
+                    let Some(value) = argv.get(i) else {
+                        return err(format!("--{name} needs a value"));
+                    };
+                    flags.insert(name.to_string(), value.clone());
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Args { positional, flags, switches })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError(format!("cannot parse --{name} value '{v}'"))),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
+        self.get(name)?.ok_or_else(|| CliError(format!("missing required --{name}")))
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Runs the CLI; returns the text to print on success.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Ok(usage());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "snapshot" => cmd_snapshot(&args),
+        "interval" => cmd_interval(&args),
+        "timeline" => cmd_timeline(&args),
+        "density" => cmd_density(&args),
+        "render" => cmd_render(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "inflow — frequently visited indoor POIs from symbolic tracking data\n\
+     \n\
+     commands:\n\
+     \x20 generate synthetic|cph --out-dir DIR [--objects N] [--passengers N]\n\
+     \x20          [--duration S] [--seed N]       write plan.txt + ott.csv\n\
+     \x20 snapshot --plan F --ott F --t T [--k K] [--iterative] [--no-topology]\n\
+     \x20 interval --plan F --ott F --ts T --te T [--k K] [--iterative]\n\
+     \x20 timeline --plan F --ott F --start T --end T --bucket S [--k K]\n\
+     \x20 density  --plan F --ott F --t T [--cell-size M]\n\
+     \x20 render   --plan F --out F.svg [--ott F --object ID --t T] [--labels]\n"
+        .to_string()
+}
+
+fn load_plan(args: &Args) -> Result<FloorPlan, CliError> {
+    let path: PathBuf = args.require("plan")?;
+    let file = File::open(&path)
+        .map_err(|e| CliError(format!("cannot open plan {}: {e}", path.display())))?;
+    read_plan(&mut BufReader::new(file)).map_err(|e| CliError(format!("bad plan file: {e}")))
+}
+
+fn load_ott(args: &Args) -> Result<ObjectTrackingTable, CliError> {
+    let path: PathBuf = args.require("ott")?;
+    let file = File::open(&path)
+        .map_err(|e| CliError(format!("cannot open OTT {}: {e}", path.display())))?;
+    let rows = read_ott_csv(&mut BufReader::new(file))
+        .map_err(|e| CliError(format!("bad OTT file: {e}")))?;
+    ObjectTrackingTable::from_rows(rows).map_err(|e| CliError(format!("inconsistent OTT: {e}")))
+}
+
+fn build_analytics(args: &Args) -> Result<(FlowAnalytics, Vec<PoiId>), CliError> {
+    let plan = load_plan(args)?;
+    let ott = load_ott(args)?;
+    let pois: Vec<PoiId> = plan.pois().iter().map(|p| p.id).collect();
+    if pois.is_empty() {
+        return err("the plan defines no POIs");
+    }
+    let cfg = UrConfig {
+        vmax: args.get("vmax")?.unwrap_or(1.1),
+        topology_check: !args.switch("no-topology"),
+        resolution: GridResolution::COARSE,
+        ..UrConfig::default()
+    };
+    Ok((FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), ott, cfg), pois))
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let kind = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError("generate needs 'synthetic' or 'cph'".into()))?;
+    let out_dir: PathBuf = args.require("out-dir")?;
+    std::fs::create_dir_all(&out_dir)?;
+
+    let (plan, ott, label) = match kind {
+        "synthetic" => {
+            let mut cfg = SyntheticConfig::default();
+            if let Some(n) = args.get("objects")? {
+                cfg.num_objects = n;
+            }
+            if let Some(d) = args.get("duration")? {
+                cfg.duration = d;
+            }
+            if let Some(s) = args.get("seed")? {
+                cfg.seed = s;
+            }
+            if let Some(r) = args.get("detection-range")? {
+                cfg.detection_range = r;
+            }
+            let w = generate_synthetic(&cfg);
+            (build_floor_plan(&cfg), w.ott, "synthetic")
+        }
+        "cph" => {
+            let mut cfg = CphConfig::default();
+            if let Some(n) = args.get("passengers")? {
+                cfg.num_passengers = n;
+            }
+            if let Some(d) = args.get("duration")? {
+                cfg.duration = d;
+            }
+            if let Some(s) = args.get("seed")? {
+                cfg.seed = s;
+            }
+            let w = generate_cph(&cfg);
+            let (plan, _) = crate::workload::build_airport_plan(&cfg);
+            (plan, w.ott, "cph")
+        }
+        other => return err(format!("unknown dataset '{other}' (use synthetic|cph)")),
+    };
+
+    let plan_path = out_dir.join("plan.txt");
+    let ott_path = out_dir.join("ott.csv");
+    write_plan(&mut BufWriter::new(File::create(&plan_path)?), &plan)
+        .map_err(|e| CliError(format!("writing plan: {e}")))?;
+    write_table_csv(&mut BufWriter::new(File::create(&ott_path)?), &ott)
+        .map_err(|e| CliError(format!("writing OTT: {e}")))?;
+    Ok(format!(
+        "generated {label} dataset: {} records for {} objects\n  {}\n  {}\n",
+        ott.len(),
+        ott.object_count(),
+        plan_path.display(),
+        ott_path.display()
+    ))
+}
+
+fn format_result(
+    fa: &FlowAnalytics,
+    ranked: &[(PoiId, f64)],
+    header: &str,
+    stats: &crate::core::QueryStats,
+) -> String {
+    let plan = fa.engine().context().plan();
+    let mut out = String::new();
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{:<6} {:<20} {:>10}", "rank", "poi", "flow");
+    for (rank, &(poi, flow)) in ranked.iter().enumerate() {
+        let _ = writeln!(out, "{:<6} {:<20} {:>10.3}", rank + 1, plan.poi(poi).name, flow);
+    }
+    let _ = writeln!(
+        out,
+        "({} objects considered, {} URs, {} presence integrations)",
+        stats.objects_considered, stats.urs_built, stats.presence_evaluations
+    );
+    out
+}
+
+fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
+    let (fa, pois) = build_analytics(args)?;
+    let t: f64 = args.require("t")?;
+    let k: usize = args.get("k")?.unwrap_or(10);
+    let q = SnapshotQuery::new(t, pois, k);
+    let result = if args.switch("iterative") {
+        fa.snapshot_topk_iterative(&q)
+    } else {
+        fa.snapshot_topk_join(&q)
+    };
+    Ok(format_result(&fa, &result.ranked, &format!("top-{k} POIs at t = {t}"), &result.stats))
+}
+
+fn cmd_interval(args: &Args) -> Result<String, CliError> {
+    let (fa, pois) = build_analytics(args)?;
+    let ts: f64 = args.require("ts")?;
+    let te: f64 = args.require("te")?;
+    if te < ts {
+        return err("--te must not precede --ts");
+    }
+    let k: usize = args.get("k")?.unwrap_or(10);
+    let q = IntervalQuery::new(ts, te, pois, k);
+    let result = if args.switch("iterative") {
+        fa.interval_topk_iterative(&q)
+    } else {
+        fa.interval_topk_join(&q)
+    };
+    Ok(format_result(
+        &fa,
+        &result.ranked,
+        &format!("top-{k} POIs over [{ts}, {te}]"),
+        &result.stats,
+    ))
+}
+
+fn cmd_timeline(args: &Args) -> Result<String, CliError> {
+    let (fa, pois) = build_analytics(args)?;
+    let start: f64 = args.require("start")?;
+    let end: f64 = args.require("end")?;
+    let bucket: f64 = args.require("bucket")?;
+    if bucket <= 0.0 || end < start {
+        return err("need --bucket > 0 and --end >= --start");
+    }
+    let k: usize = args.get("k")?.unwrap_or(5);
+    let tl = flow_timeline(&fa, &pois, start, end, bucket);
+    let plan = fa.engine().context().plan();
+    let mut out = String::new();
+    let _ = writeln!(out, "flow timeline [{start}, {end}] in {bucket}-second buckets");
+    for (idx, b) in tl.buckets.iter().enumerate() {
+        let mut top: Vec<(PoiId, f64)> = b.flows.clone();
+        top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        top.truncate(k);
+        let row: Vec<String> = top
+            .iter()
+            .map(|&(p, f)| format!("{} ({f:.2})", plan.poi(p).name))
+            .collect();
+        let _ = writeln!(out, "  [{:>8.0}, {:>8.0}) #{idx}: {}", b.ts, b.te, row.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_density(args: &Args) -> Result<String, CliError> {
+    let (fa, _) = build_analytics(args)?;
+    let t: f64 = args.require("t")?;
+    let cell: f64 = args.get("cell-size")?.unwrap_or(10.0);
+    let grid = snapshot_density(&fa, t, cell);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "density at t = {t} ({}×{} grid of {cell} m cells, total expected {:.2} objects)",
+        grid.dims().0,
+        grid.dims().1,
+        grid.total()
+    );
+    for (i, j, value) in grid.hottest(8) {
+        if value <= 0.0 {
+            break;
+        }
+        let m = grid.cell_mbr(i, j);
+        let _ = writeln!(
+            out,
+            "  cell ({i:>2}, {j:>2}) around ({:>6.1}, {:>6.1}): {value:.2} expected objects",
+            m.center().x,
+            m.center().y
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_render(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let out_path: PathBuf = args.require("out")?;
+    let style = crate::viz::Style { labels: args.switch("labels"), ..Default::default() };
+
+    // Optional uncertainty-region overlay for one object at one time.
+    let svg = match (args.flags.get("ott"), args.flags.get("object"), args.flags.get("t")) {
+        (Some(_), Some(_), Some(_)) => {
+            let ott = load_ott(args)?;
+            let object: u32 = args.require("object")?;
+            let t: f64 = args.require("t")?;
+            let ctx = Arc::new(IndoorContext::new(plan));
+            let engine = UrEngine::new(
+                Arc::clone(&ctx),
+                UrConfig { vmax: args.get("vmax")?.unwrap_or(1.1), ..UrConfig::default() },
+            );
+            let Some(state) = ott.state_at(ObjectId(object), t) else {
+                return err(format!("object {object} is not tracked at t = {t}"));
+            };
+            let ur = engine.snapshot_ur(&ott, state, t);
+            SceneRenderer::with_style(ctx.plan(), style)
+                .draw_pois()
+                .draw_devices()
+                .draw_uncertainty_region(&ur)
+                .render()
+        }
+        (None, None, None) => {
+            SceneRenderer::with_style(&plan, style).draw_pois().draw_devices().render()
+        }
+        _ => return err("render overlay needs all of --ott, --object and --t"),
+    };
+    std::fs::write(&out_path, &svg)?;
+    Ok(format!("wrote {} ({} bytes)\n", out_path.display(), svg.len()))
+}
+
+/// Convenience for tests: runs with string arguments.
+pub fn run_str(args: &[&str]) -> Result<String, CliError> {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&owned)
+}

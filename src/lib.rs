@@ -1,0 +1,35 @@
+//! # inflow — finding frequently visited indoor POIs
+//!
+//! Umbrella crate re-exporting the `inflow` workspace: a from-scratch Rust
+//! reproduction of *Finding Frequently Visited Indoor POIs Using Symbolic
+//! Indoor Tracking Data* (Lu, Guo, Yang, Jensen — EDBT 2016).
+//!
+//! The workspace implements, bottom-up:
+//!
+//! * [`geometry`] — circles, rings, extended ellipses, polygons, and the
+//!   deterministic area integrator behind the paper's *presence* measure;
+//! * [`indoor`] — floor plans, doors, topology graph, indoor walking
+//!   distance, POIs, and device deployments;
+//! * [`rtree`] — a 2D R-tree and the count-augmented aggregate R-tree used
+//!   by the join algorithms;
+//! * [`tracking`] — raw readings, the Object Tracking Table, and the
+//!   augmented temporal AR-tree index;
+//! * [`uncertainty`] — snapshot and interval uncertainty regions with
+//!   indoor-topology checks;
+//! * [`core`] — flow counting and the four top-k query algorithms
+//!   (iterative and join, snapshot and interval);
+//! * [`workload`] — synthetic and CPH-airport-style data generators;
+//! * [`viz`] — SVG rendering of plans, regions and trajectories.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub mod cli;
+
+pub use inflow_core as core;
+pub use inflow_geometry as geometry;
+pub use inflow_indoor as indoor;
+pub use inflow_rtree as rtree;
+pub use inflow_tracking as tracking;
+pub use inflow_uncertainty as uncertainty;
+pub use inflow_viz as viz;
+pub use inflow_workload as workload;

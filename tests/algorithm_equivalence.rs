@@ -1,0 +1,223 @@
+//! The join algorithms must return the same top-k results as the
+//! iterative baselines (paper §4: both compute the same flows; the join
+//! algorithms only prune work, never change answers).
+//!
+//! Flows are compared with a small tolerance: the two algorithms
+//! accumulate identical presence values in different orders, so results
+//! can differ in the last floating-point bits. Result membership is
+//! verified against the full flow table rather than positionally, so
+//! legitimate ties don't cause false failures.
+
+use inflow::core::{FlowAnalytics, IntervalQuery, JoinConfig, QueryResult, SnapshotQuery};
+use inflow::geometry::GridResolution;
+use inflow::indoor::PoiId;
+use inflow::uncertainty::UrConfig;
+use inflow::workload::{generate_cph, generate_synthetic, CphConfig, SyntheticConfig, Workload};
+
+const TOL: f64 = 1e-6;
+
+fn analytics(w: Workload, topology_check: bool) -> FlowAnalytics {
+    let cfg = UrConfig {
+        vmax: w.vmax,
+        topology_check,
+        resolution: GridResolution::COARSE,
+        ..UrConfig::default()
+    };
+    FlowAnalytics::new(w.ctx.clone(), w.ott, cfg)
+}
+
+/// Validates a claimed top-k against the exhaustive flow table.
+fn verify_topk(label: &str, result: &QueryResult, full_flows: &[(PoiId, f64)], k: usize) {
+    assert_eq!(result.ranked.len(), k, "{label}: wrong result size");
+    let flow_of = |p: PoiId| {
+        full_flows
+            .iter()
+            .find(|&&(fp, _)| fp == p)
+            .map(|&(_, f)| f)
+            .unwrap_or_else(|| panic!("{label}: result POI {p} not in query set"))
+    };
+    let mut kth = f64::INFINITY;
+    for &(p, f) in &result.ranked {
+        let expected = flow_of(p);
+        assert!(
+            (f - expected).abs() <= TOL * expected.max(1.0),
+            "{label}: POI {p} flow {f} != exhaustive {expected}"
+        );
+        kth = kth.min(f);
+    }
+    for &(p, f) in full_flows {
+        if !result.ranked.iter().any(|&(rp, _)| rp == p) {
+            assert!(
+                f <= kth + TOL,
+                "{label}: excluded POI {p} has flow {f} > kth result flow {kth}"
+            );
+        }
+    }
+    // Ranked order is non-increasing.
+    for w in result.ranked.windows(2) {
+        assert!(w[0].1 >= w[1].1 - TOL, "{label}: ranking not sorted");
+    }
+}
+
+fn poi_subset(fa: &FlowAnalytics, percent: usize) -> Vec<PoiId> {
+    let all = fa.engine().context().plan().pois();
+    let take = (all.len() * percent / 100).max(1);
+    // Deterministic pseudo-shuffled subset: stride through the POI list.
+    (0..take).map(|i| all[(i * 7 + 3) % all.len()].id).collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+#[test]
+fn snapshot_join_matches_iterative_on_synthetic() {
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 40,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
+    let fa = analytics(w, true);
+    for &t in &[60.0, 180.0, 350.0] {
+        for &percent in &[40, 100] {
+            let pois = poi_subset(&fa, percent);
+            for &k in &[1usize, 3, 8] {
+                let q = SnapshotQuery::new(t, pois.clone(), k);
+                let full = fa.snapshot_flows(&q);
+                let it = fa.snapshot_topk_iterative(&q);
+                let jn = fa.snapshot_topk_join(&q);
+                verify_topk(&format!("iterative t={t} k={k} |P|={percent}%"), &it, &full, q.k);
+                verify_topk(&format!("join t={t} k={k} |P|={percent}%"), &jn, &full, q.k);
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_join_matches_iterative_on_synthetic() {
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
+    let fa = analytics(w, false);
+    for &(ts, te) in &[(50.0, 110.0), (200.0, 320.0)] {
+        for &percent in &[40, 100] {
+            let pois = poi_subset(&fa, percent);
+            for &k in &[1usize, 5] {
+                let q = IntervalQuery::new(ts, te, pois.clone(), k);
+                let full = fa.interval_flows(&q);
+                let it = fa.interval_topk_iterative(&q);
+                let jn = fa.interval_topk_join(&q);
+                verify_topk(&format!("iterative [{ts},{te}] k={k}"), &it, &full, q.k);
+                verify_topk(&format!("join [{ts},{te}] k={k}"), &jn, &full, q.k);
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_join_segment_mbr_ablation_is_result_invariant() {
+    // The Figure 9 small-MBR optimization prunes join lists; it must not
+    // change any answer.
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 400.0,
+        ..SyntheticConfig::tiny()
+    });
+    let ctx = w.ctx.clone();
+    let ur_cfg = UrConfig {
+        vmax: w.vmax,
+        topology_check: false,
+        resolution: GridResolution::COARSE,
+        ..UrConfig::default()
+    };
+    let fa_fine = FlowAnalytics::new(ctx.clone(), generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 400.0,
+        ..SyntheticConfig::tiny()
+    }).ott, ur_cfg)
+    .with_join_config(JoinConfig { use_segment_mbrs: true });
+    let fa_coarse = FlowAnalytics::new(ctx, generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 400.0,
+        ..SyntheticConfig::tiny()
+    }).ott, ur_cfg)
+    .with_join_config(JoinConfig { use_segment_mbrs: false });
+
+    let pois = poi_subset(&fa_fine, 100);
+    let q = IntervalQuery::new(80.0, 200.0, pois, 5);
+    let full = fa_fine.interval_flows(&q);
+    verify_topk("segment-mbrs on", &fa_fine.interval_topk_join(&q), &full, q.k);
+    verify_topk("segment-mbrs off", &fa_coarse.interval_topk_join(&q), &full, q.k);
+}
+
+#[test]
+fn snapshot_join_matches_iterative_on_cph() {
+    let w = generate_cph(&CphConfig::tiny());
+    let fa = analytics(w, true);
+    for &t in &[300.0, 900.0, 1500.0] {
+        let pois = poi_subset(&fa, 60);
+        let q = SnapshotQuery::new(t, pois, 4);
+        let full = fa.snapshot_flows(&q);
+        verify_topk("cph iterative", &fa.snapshot_topk_iterative(&q), &full, q.k);
+        verify_topk("cph join", &fa.snapshot_topk_join(&q), &full, q.k);
+    }
+}
+
+#[test]
+fn interval_join_matches_iterative_on_cph() {
+    let w = generate_cph(&CphConfig::tiny());
+    let fa = analytics(w, false);
+    for &(ts, te) in &[(200.0, 500.0), (800.0, 1100.0)] {
+        let pois = poi_subset(&fa, 100);
+        let q = IntervalQuery::new(ts, te, pois, 5);
+        let full = fa.interval_flows(&q);
+        verify_topk("cph iterative", &fa.interval_topk_iterative(&q), &full, q.k);
+        verify_topk("cph join", &fa.interval_topk_join(&q), &full, q.k);
+    }
+}
+
+#[test]
+fn join_prunes_presence_evaluations() {
+    // The whole point of the join algorithms: fewer presence integrations
+    // for small k. (Not guaranteed per query in adversarial cases; checked
+    // in aggregate over several queries.)
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 40,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
+    let fa = analytics(w, false);
+    let pois = poi_subset(&fa, 100);
+    let mut it_evals = 0usize;
+    let mut jn_evals = 0usize;
+    for &t in &[60.0, 120.0, 240.0, 400.0] {
+        let q = SnapshotQuery::new(t, pois.clone(), 1);
+        it_evals += fa.snapshot_topk_iterative(&q).stats.presence_evaluations;
+        jn_evals += fa.snapshot_topk_join(&q).stats.presence_evaluations;
+    }
+    assert!(
+        jn_evals <= it_evals,
+        "join should not integrate more than iterative: join {jn_evals} vs iterative {it_evals}"
+    );
+}
+
+#[test]
+fn empty_population_returns_zero_flows() {
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 3,
+        duration: 100.0,
+        ..SyntheticConfig::tiny()
+    });
+    let fa = analytics(w, false);
+    let pois = poi_subset(&fa, 100);
+    // Far beyond the simulation: nobody is tracked.
+    let q = SnapshotQuery::new(1.0e6, pois.clone(), 3);
+    let it = fa.snapshot_topk_iterative(&q);
+    let jn = fa.snapshot_topk_join(&q);
+    assert_eq!(it.ranked.len(), 3);
+    assert_eq!(jn.ranked.len(), 3);
+    assert!(it.ranked.iter().all(|&(_, f)| f == 0.0));
+    assert!(jn.ranked.iter().all(|&(_, f)| f == 0.0));
+    // Identical padding order.
+    assert_eq!(it.poi_ids(), jn.poi_ids());
+}

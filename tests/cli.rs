@@ -1,0 +1,135 @@
+//! End-to-end tests of the `inflow` CLI (via the library entry point, so
+//! no subprocess management is needed).
+
+use inflow::cli::run_str;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("inflow-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates a small dataset and returns (plan path, ott path, dir).
+fn generate(name: &str) -> (String, String, std::path::PathBuf) {
+    let dir = temp_dir(name);
+    let out = run_str(&[
+        "generate",
+        "synthetic",
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--objects",
+        "25",
+        "--duration",
+        "300",
+    ])
+    .expect("generate succeeds");
+    assert!(out.contains("generated synthetic dataset"));
+    (
+        dir.join("plan.txt").to_str().unwrap().to_string(),
+        dir.join("ott.csv").to_str().unwrap().to_string(),
+        dir,
+    )
+}
+
+#[test]
+fn generate_then_query_round_trip() {
+    let (plan, ott, dir) = generate("roundtrip");
+    assert!(std::path::Path::new(&plan).exists());
+    assert!(std::path::Path::new(&ott).exists());
+
+    let snap = run_str(&["snapshot", "--plan", &plan, "--ott", &ott, "--t", "150", "--k", "3"])
+        .expect("snapshot succeeds");
+    assert!(snap.contains("top-3 POIs at t = 150"), "{snap}");
+    assert!(snap.lines().count() >= 5, "{snap}");
+
+    // Iterative and join agree on the ranking printed.
+    let snap_it = run_str(&[
+        "snapshot", "--plan", &plan, "--ott", &ott, "--t", "150", "--k", "3", "--iterative",
+    ])
+    .unwrap();
+    let names = |s: &str| -> Vec<String> {
+        s.lines()
+            .skip(2)
+            .take(3)
+            .map(|l| l.split_whitespace().nth(1).unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(names(&snap), names(&snap_it));
+
+    let interval = run_str(&[
+        "interval", "--plan", &plan, "--ott", &ott, "--ts", "50", "--te", "150", "--k", "3",
+    ])
+    .expect("interval succeeds");
+    assert!(interval.contains("top-3 POIs over [50, 150]"), "{interval}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn timeline_and_density_commands() {
+    let (plan, ott, dir) = generate("timeline");
+    let tl = run_str(&[
+        "timeline", "--plan", &plan, "--ott", &ott, "--start", "0", "--end", "300", "--bucket",
+        "150", "--k", "2",
+    ])
+    .expect("timeline succeeds");
+    assert!(tl.contains("#0:") && tl.contains("#1:"), "{tl}");
+
+    let density =
+        run_str(&["density", "--plan", &plan, "--ott", &ott, "--t", "150"]).expect("density");
+    assert!(density.contains("expected objects"), "{density}");
+    // Expected mass ≈ tracked objects at t (≤ 25).
+    let total: f64 = density
+        .lines()
+        .next()
+        .unwrap()
+        .split("total expected ")
+        .nth(1)
+        .unwrap()
+        .split(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(total <= 25.5, "density total {total}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn render_writes_svg() {
+    let (plan, ott, dir) = generate("render");
+    let svg_path = dir.join("plan.svg");
+    let out = run_str(&["render", "--plan", &plan, "--out", svg_path.to_str().unwrap()])
+        .expect("render succeeds");
+    assert!(out.contains("wrote"), "{out}");
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+
+    // Overlay variant needs all three overlay flags.
+    let err = run_str(&[
+        "render", "--plan", &plan, "--ott", &ott, "--out", svg_path.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.0.contains("overlay"), "{err}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn helpful_errors() {
+    assert!(run_str(&[]).unwrap().contains("commands:"));
+    assert!(run_str(&["help"]).unwrap().contains("commands:"));
+    let e = run_str(&["frobnicate"]).unwrap_err();
+    assert!(e.0.contains("unknown command"), "{e}");
+    let e = run_str(&["snapshot", "--plan"]).unwrap_err();
+    assert!(e.0.contains("needs a value"), "{e}");
+    let e = run_str(&["snapshot", "--t", "5"]).unwrap_err();
+    assert!(e.0.contains("--plan"), "{e}");
+    let e = run_str(&["generate", "martian", "--out-dir", "/tmp/x-inflow-none"]).unwrap_err();
+    assert!(e.0.contains("unknown dataset"), "{e}");
+    let e = run_str(&["snapshot", "--plan", "/nonexistent-plan", "--ott", "/x", "--t", "1"])
+        .unwrap_err();
+    assert!(e.0.contains("cannot open plan"), "{e}");
+}

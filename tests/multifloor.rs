@@ -1,0 +1,115 @@
+//! Multi-floor integration: cross-floor indoor distances over scenario
+//! floor plans (the paper's §4.1 multi-floor extension remark).
+
+use inflow::geometry::Point;
+use inflow::indoor::{
+    Building, BuildingDistanceOracle, BuildingPoint, Connector, FloorId,
+};
+use inflow::workload::{library_plan, office_plan};
+
+fn bp(floor: u32, x: f64, y: f64) -> BuildingPoint {
+    BuildingPoint { floor: FloorId(floor), position: Point::new(x, y) }
+}
+
+/// Two office floors joined by a stairwell at the east end of the
+/// corridor.
+fn office_tower() -> Building {
+    let stairs_x = 48.0; // inside the 10-office corridor (length 50)
+    Building::new(
+        vec![office_plan(10), office_plan(10)],
+        vec![Connector {
+            name: "stairwell-east".into(),
+            a: bp(0, stairs_x, 1.2),
+            b: bp(1, stairs_x, 1.2),
+            length: 7.0,
+        }],
+    )
+    .expect("valid tower")
+}
+
+#[test]
+fn cross_floor_office_distance_routes_through_the_stairwell() {
+    let building = office_tower();
+    let oracle = BuildingDistanceOracle::new(&building);
+
+    // From office-0 on floor 0 to office-0 on floor 1.
+    let office0 = building.floor(FloorId(0)).cells()[1].footprint().centroid();
+    let from = BuildingPoint { floor: FloorId(0), position: office0 };
+    let to = BuildingPoint { floor: FloorId(1), position: office0 };
+    let d = oracle.distance(&building, from, to).expect("reachable through stairs");
+
+    // The walk must cover at least twice the corridor run to the stairs
+    // plus the stairwell itself.
+    let one_way = oracle
+        .distance(&building, from, bp(0, 48.0, 1.2))
+        .expect("same-floor leg");
+    assert!(
+        (d - (2.0 * one_way + 7.0)).abs() < 1e-6,
+        "distance {d} should be two corridor legs ({one_way} each) + 7 m of stairs"
+    );
+    assert!(d > 7.0);
+}
+
+#[test]
+fn same_floor_queries_ignore_connectors() {
+    let building = office_tower();
+    let oracle = BuildingDistanceOracle::new(&building);
+    let kitchen = building.floor(FloorId(0)).cells()[11].footprint().centroid();
+    let office = building.floor(FloorId(0)).cells()[1].footprint().centroid();
+    let via_building = oracle
+        .distance(
+            &building,
+            BuildingPoint { floor: FloorId(0), position: office },
+            BuildingPoint { floor: FloorId(0), position: kitchen },
+        )
+        .unwrap();
+    let via_floor = oracle
+        .floor_oracle(FloorId(0))
+        .distance(building.floor(FloorId(0)), office, kitchen)
+        .unwrap();
+    assert_eq!(via_building, via_floor);
+}
+
+#[test]
+fn mixed_use_building_composes_scenarios() {
+    // Library above an office floor: distances route office → stairs →
+    // library entrance hall → stacks.
+    let office = office_plan(8);
+    let library = library_plan(4);
+    let stairs_office = bp(0, 38.0, 1.2); // corridor, east end (length 40)
+    let stairs_library = bp(1, 16.0, 3.0); // entrance hall
+    let building = Building::new(
+        vec![office, library],
+        vec![Connector {
+            name: "stairs".into(),
+            a: stairs_office,
+            b: stairs_library,
+            length: 6.5,
+        }],
+    )
+    .unwrap();
+    let oracle = BuildingDistanceOracle::new(&building);
+
+    let office_desk = building.floor(FloorId(0)).cells()[1].footprint().centroid();
+    let stacks = building.floor(FloorId(1)).cells()[1].footprint().centroid();
+    let d = oracle
+        .distance(
+            &building,
+            BuildingPoint { floor: FloorId(0), position: office_desk },
+            BuildingPoint { floor: FloorId(1), position: stacks },
+        )
+        .expect("library reachable from the office floor");
+    assert!(d > 6.5, "must include the stairs: {d}");
+
+    // Unreachable when the connector is removed.
+    let isolated = Building::new(vec![office_plan(8), library_plan(4)], Vec::new()).unwrap();
+    let lonely = BuildingDistanceOracle::new(&isolated);
+    assert_eq!(
+        lonely.distance(
+            &isolated,
+            BuildingPoint { floor: FloorId(0), position: office_desk },
+            BuildingPoint { floor: FloorId(1), position: stacks },
+        ),
+        None
+    );
+}

@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) on the core data structures and
+//! geometric invariants.
+
+use inflow::geometry::{
+    area_in_polygon, circle_polygon_area, Circle, ExtendedEllipse, GridResolution, Mbr, Point,
+    Polygon, Ring,
+};
+use inflow::rtree::RTree;
+use inflow::tracking::{ObjectId, ObjectTrackingTable, OttRow};
+use inflow::indoor::DeviceId;
+use proptest::prelude::*;
+
+fn arb_point(range: f64) -> impl Strategy<Value = Point> {
+    (-range..range, -range..range).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Mbr> {
+    (arb_point(50.0), 0.1f64..20.0, 0.1f64..20.0)
+        .prop_map(|(p, w, h)| Mbr::new(p, Point::new(p.x + w, p.y + h)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The adaptive-grid integrator agrees with the exact circle–polygon
+    /// area within 2%.
+    #[test]
+    fn grid_area_matches_exact_circle_polygon(
+        cx in -5.0f64..5.0,
+        cy in -5.0f64..5.0,
+        r in 0.3f64..4.0,
+        x0 in -6.0f64..0.0,
+        y0 in -6.0f64..0.0,
+        w in 1.0f64..8.0,
+        h in 1.0f64..8.0,
+    ) {
+        let circle = Circle::new(Point::new(cx, cy), r);
+        let poly = Polygon::rectangle(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+        let exact = circle_polygon_area(&circle, &poly);
+        let approx = area_in_polygon(&circle, &poly, GridResolution::DEFAULT);
+        let tol = (0.02 * exact).max(0.02);
+        prop_assert!((approx - exact).abs() <= tol,
+            "approx {approx} vs exact {exact}");
+    }
+
+    /// MBR operations are consistent: union contains both, intersection is
+    /// contained in both.
+    #[test]
+    fn mbr_union_intersection_laws(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_mbr(&a) && u.contains_mbr(&b));
+        let i = a.intersection(&b);
+        if !i.is_empty() {
+            prop_assert!(a.contains_mbr(&i) && b.contains_mbr(&i));
+            prop_assert!(a.intersects(&b));
+        }
+        // Monotonicity: the bounding union is at least as large as either
+        // input; the intersection at most as large.
+        prop_assert!(u.area() >= a.area().max(b.area()) - 1e-9);
+        prop_assert!(i.area() <= a.area().min(b.area()) + 1e-9);
+    }
+
+    /// R-tree intersection queries agree with a brute-force scan.
+    #[test]
+    fn rtree_matches_brute_force(
+        rects in prop::collection::vec(arb_rect(), 1..200),
+        query in arb_rect(),
+    ) {
+        let tree = RTree::bulk_load(
+            rects.iter().copied().enumerate().map(|(i, m)| (m, i)).collect());
+        let mut got: Vec<usize> = tree.query_intersecting(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = rects.iter().enumerate()
+            .filter(|(_, r)| r.intersects(&query)).map(|(i, _)| i).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Inserting one-by-one and bulk loading answer queries identically.
+    #[test]
+    fn rtree_insert_and_bulk_agree(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        query in arb_rect(),
+    ) {
+        let bulk = RTree::bulk_load(
+            rects.iter().copied().enumerate().map(|(i, m)| (m, i)).collect());
+        let mut incremental = RTree::new();
+        for (i, &m) in rects.iter().enumerate() {
+            incremental.insert(m, i);
+        }
+        let mut a: Vec<usize> = bulk.query_intersecting(&query).into_iter().copied().collect();
+        let mut b: Vec<usize> = incremental.query_intersecting(&query).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every point a ring or ellipse admits lies inside its reported MBR.
+    #[test]
+    fn region_mbr_contains_members(
+        c1 in arb_point(10.0),
+        c2 in arb_point(10.0),
+        r1 in 0.2f64..2.0,
+        r2 in 0.2f64..2.0,
+        budget in 0.0f64..30.0,
+        probe in arb_point(40.0),
+    ) {
+        let ring = Ring::new(Circle::new(c1, r1), budget);
+        if ring.contains(probe) {
+            prop_assert!(ring.mbr().contains(probe));
+        }
+        let theta = ExtendedEllipse::new(Circle::new(c1, r1), Circle::new(c2, r2), budget);
+        if !theta.is_empty() && theta.contains(probe) {
+            prop_assert!(theta.mbr().contains(probe));
+        }
+    }
+
+    /// The extended ellipse is monotone in its budget.
+    #[test]
+    fn theta_monotone_in_budget(
+        c1 in arb_point(10.0),
+        c2 in arb_point(10.0),
+        budget in 0.0f64..20.0,
+        extra in 0.0f64..10.0,
+        probe in arb_point(30.0),
+    ) {
+        let small = ExtendedEllipse::new(Circle::new(c1, 0.5), Circle::new(c2, 0.5), budget);
+        let large = ExtendedEllipse::new(Circle::new(c1, 0.5), Circle::new(c2, 0.5), budget + extra);
+        if small.contains(probe) {
+            prop_assert!(large.contains(probe));
+        }
+    }
+
+    /// Polygon clipping against a convex window never increases area and
+    /// the clipped area matches the grid integrator.
+    #[test]
+    fn polygon_clip_area_is_consistent(
+        x0 in -10.0f64..0.0, y0 in -10.0f64..0.0,
+        w in 2.0f64..15.0, h in 2.0f64..15.0,
+        cx0 in -8.0f64..2.0, cy0 in -8.0f64..2.0,
+        cw in 2.0f64..12.0, ch in 2.0f64..12.0,
+    ) {
+        let subject = Polygon::rectangle(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+        let clip = Polygon::rectangle(Point::new(cx0, cy0), Point::new(cx0 + cw, cy0 + ch));
+        let clipped_area = subject.intersection_area_convex(&clip);
+        prop_assert!(clipped_area <= subject.area() + 1e-9);
+        prop_assert!(clipped_area <= clip.area() + 1e-9);
+        // Rect ∩ rect has an exact answer via MBRs.
+        let exact = subject.mbr().intersection(&clip.mbr()).area();
+        prop_assert!((clipped_area - exact).abs() < 1e-6,
+            "clip {clipped_area} vs exact {exact}");
+    }
+
+    /// AR-tree point queries agree with the OTT state machine on random
+    /// record chains.
+    #[test]
+    fn artree_agrees_with_state_machine(
+        seed_rows in prop::collection::vec((0u32..8, 0u32..5, 0.0f64..100.0, 0.1f64..5.0), 1..60),
+        probes in prop::collection::vec(0.0f64..120.0, 1..30),
+    ) {
+        // Make per-object rows disjoint by sorting and pushing starts.
+        let mut per_obj: std::collections::HashMap<u32, f64> = Default::default();
+        let mut rows = Vec::new();
+        let mut sorted = seed_rows.clone();
+        sorted.sort_by(|a, b| (a.0, a.2).partial_cmp(&(b.0, b.2)).unwrap());
+        for (o, d, ts, dur) in sorted {
+            let start = per_obj.get(&o).copied().unwrap_or(f64::NEG_INFINITY).max(ts);
+            let end = start + dur;
+            rows.push(OttRow {
+                object: ObjectId(o),
+                device: DeviceId(d),
+                ts: start,
+                te: end,
+            });
+            per_obj.insert(o, end + 0.001);
+        }
+        let ott = ObjectTrackingTable::from_rows(rows).unwrap();
+        let tree = inflow::tracking::ArTree::build(&ott);
+        for &t in &probes {
+            let hits = tree.point_query(t);
+            for o in 0..8u32 {
+                let via_tree = hits.iter().find(|e| e.object == ObjectId(o))
+                    .and_then(|e| inflow::tracking::ArTree::resolve_state(&ott, e, t));
+                prop_assert_eq!(via_tree, ott.state_at(ObjectId(o), t));
+            }
+        }
+    }
+
+    /// Merging raw readings never loses detections: every reading's
+    /// timestamp is covered by a record of the same object and device.
+    #[test]
+    fn merge_covers_all_readings(
+        readings in prop::collection::vec((0u32..4, 0u32..4, 0.0f64..50.0), 1..80),
+    ) {
+        use inflow::tracking::{merge_raw_readings, RawReading};
+        let raw: Vec<RawReading> = readings.iter().map(|&(o, d, t)| RawReading {
+            object: ObjectId(o),
+            device: DeviceId(d),
+            t,
+        }).collect();
+        let rows = merge_raw_readings(raw.clone(), 1.0);
+        for r in &raw {
+            prop_assert!(rows.iter().any(|row| row.object == r.object
+                && row.device == r.device
+                && row.ts <= r.t && r.t <= row.te),
+                "reading at {} lost", r.t);
+        }
+    }
+}

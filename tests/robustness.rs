@@ -1,0 +1,106 @@
+//! Failure injection: the query pipeline must stay robust under corrupted
+//! tracking data — degraded answers are expected, panics and invariant
+//! violations are not.
+
+use inflow::core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
+use inflow::geometry::GridResolution;
+use inflow::indoor::PoiId;
+use inflow::tracking::ObjectTrackingTable;
+use inflow::uncertainty::UrConfig;
+use inflow::workload::{
+    drop_records, generate_synthetic, inject_teleports, jitter_timestamps, rows_of,
+    SyntheticConfig,
+};
+
+fn pois(fa: &FlowAnalytics) -> Vec<PoiId> {
+    fa.engine().context().plan().pois().iter().map(|p| p.id).collect()
+}
+
+fn check_queries(fa: &FlowAnalytics, label: &str) {
+    let pois = pois(fa);
+    for &t in &[200.0] {
+        let q = SnapshotQuery::new(t, pois.clone(), 5);
+        let it = fa.snapshot_topk_iterative(&q);
+        let jn = fa.snapshot_topk_join(&q);
+        assert_eq!(it.ranked.len(), 5, "{label}: snapshot result size");
+        assert_eq!(jn.ranked.len(), 5, "{label}: snapshot join result size");
+        for r in [&it, &jn] {
+            for &(_, flow) in &r.ranked {
+                assert!(flow.is_finite() && flow >= 0.0, "{label}: flow {flow} invalid");
+            }
+        }
+    }
+    let q = IntervalQuery::new(150.0, 250.0, pois, 5);
+    let it = fa.interval_topk_iterative(&q);
+    let jn = fa.interval_topk_join(&q);
+    assert_eq!(it.ranked.len(), 5, "{label}: interval result size");
+    assert_eq!(jn.ranked.len(), 5, "{label}: interval join result size");
+}
+
+fn analytics_from(rows: Vec<inflow::tracking::OttRow>, w: &inflow::workload::Workload) -> FlowAnalytics {
+    let ott = ObjectTrackingTable::from_rows(rows).expect("corruption preserves OTT invariants");
+    FlowAnalytics::new(
+        w.ctx.clone(),
+        ott,
+        UrConfig {
+            vmax: w.vmax,
+            resolution: GridResolution::COARSE,
+            ..UrConfig::default()
+        },
+    )
+}
+
+#[test]
+fn queries_survive_dropped_records() {
+    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    for &fraction in &[0.5, 0.9] {
+        let rows = drop_records(rows_of(&w.ott), fraction, 11);
+        let fa = analytics_from(rows, &w);
+        check_queries(&fa, &format!("drop {fraction}"));
+    }
+}
+
+#[test]
+fn queries_survive_clock_jitter() {
+    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    let rows = jitter_timestamps(rows_of(&w.ott), 2.0, 13);
+    let fa = analytics_from(rows, &w);
+    check_queries(&fa, "jitter 2.0");
+}
+
+#[test]
+fn queries_survive_teleporting_ghost_reads() {
+    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    let devices = w.ctx.plan().devices().len() as u32;
+    // Teleports create V_max-infeasible gaps → empty URs; flows drop
+    // but queries must complete cleanly.
+    let rows = inject_teleports(rows_of(&w.ott), 0.3, devices, 17);
+    let fa = analytics_from(rows, &w);
+    check_queries(&fa, "teleport 0.3");
+}
+
+#[test]
+fn combined_corruption_still_runs() {
+    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    let devices = w.ctx.plan().devices().len() as u32;
+    let rows = rows_of(&w.ott);
+    let rows = drop_records(rows, 0.3, 19);
+    let rows = jitter_timestamps(rows, 1.0, 19);
+    let rows = inject_teleports(rows, 0.2, devices, 19);
+    let fa = analytics_from(rows, &w);
+    check_queries(&fa, "combined");
+}
+
+#[test]
+fn teleports_never_inflate_flows_above_population() {
+    // Even with ghost reads, flow is a weighted count bounded by |O|.
+    let w = generate_synthetic(&SyntheticConfig { num_objects: 20, duration: 400.0, ..SyntheticConfig::tiny() });
+    let devices = w.ctx.plan().devices().len() as u32;
+    let rows = inject_teleports(rows_of(&w.ott), 0.5, devices, 23);
+    let fa = analytics_from(rows, &w);
+    let pois = pois(&fa);
+    let q = IntervalQuery::new(100.0, 250.0, pois, 10);
+    for (_, flow) in fa.interval_topk_iterative(&q).ranked {
+        assert!(flow <= 20.0 + 1e-6, "flow {flow} exceeds population");
+    }
+}

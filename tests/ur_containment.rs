@@ -1,0 +1,137 @@
+//! End-to-end soundness of the uncertainty analysis (paper §3).
+//!
+//! The defining property of an uncertainty region is that it contains
+//! every location the object *can possibly be* — in particular the place
+//! it actually was. These tests simulate objects with known ground-truth
+//! trajectories, derive snapshot and interval URs from the tracking data
+//! alone, and assert the true position is always inside, with and without
+//! the indoor topology check.
+//!
+//! Positions are checked at sampling-tick instants: between ticks an
+//! object can be inside a detection range without having produced a
+//! reading yet, which the symbolic model (like the paper) cannot see.
+
+use inflow::geometry::Region;
+use inflow::uncertainty::{UrConfig, UrEngine};
+use inflow::workload::{generate_synthetic, SyntheticConfig};
+
+fn workload_config() -> SyntheticConfig {
+    SyntheticConfig {
+        num_objects: 15,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    }
+}
+
+fn engine_for(w: &inflow::workload::Workload, topology_check: bool) -> UrEngine {
+    UrEngine::new(
+        w.ctx.clone(),
+        UrConfig { vmax: w.vmax, topology_check, ..UrConfig::default() },
+    )
+}
+
+fn check_snapshot_containment(topology_check: bool) {
+    let w = generate_synthetic(&workload_config());
+    let eng = engine_for(&w, topology_check);
+    let mut checked = 0usize;
+    for (object, path) in &w.ground_truth {
+        for step in 0..50 {
+            let t = step as f64 * 10.0; // multiples of the 1 s sampling tick
+            let Some(state) = w.ott.state_at(*object, t) else { continue };
+            let pos = path.position_at(t).expect("tracked implies alive");
+            let ur = eng.snapshot_ur(&w.ott, state, t);
+            assert!(
+                ur.contains(pos),
+                "object {object} at t={t}: true position {pos} outside snapshot UR \
+                 (topology_check={topology_check}, state={state:?})"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 200, "only {checked} containment checks ran — workload too sparse");
+}
+
+#[test]
+fn snapshot_ur_contains_true_position_euclidean() {
+    check_snapshot_containment(false);
+}
+
+#[test]
+fn snapshot_ur_contains_true_position_with_topology_check() {
+    check_snapshot_containment(true);
+}
+
+fn check_interval_containment(topology_check: bool) {
+    let w = generate_synthetic(&workload_config());
+    let eng = engine_for(&w, topology_check);
+    let mut checked = 0usize;
+    for (object, path) in w.ground_truth.iter().take(8) {
+        for window in 0..6 {
+            let ts = 40.0 + window as f64 * 70.0;
+            let te = ts + 60.0;
+            let Some(ur) = eng.interval_ur(&w.ott, *object, ts, te) else { continue };
+            if ur.is_empty() {
+                continue;
+            }
+            let mut t = ts;
+            while t <= te {
+                // Only instants where the object is within its tracked
+                // lifetime are claimed by the model.
+                if w.ott.state_at(*object, t).is_some() {
+                    let pos = path.position_at(t).expect("alive");
+                    assert!(
+                        ur.contains(pos),
+                        "object {object}, window [{ts}, {te}], t={t}: true position {pos} \
+                         outside interval UR (topology_check={topology_check})"
+                    );
+                    checked += 1;
+                }
+                t += 5.0;
+            }
+        }
+    }
+    assert!(checked > 100, "only {checked} containment checks ran");
+}
+
+#[test]
+fn interval_ur_contains_true_positions_euclidean() {
+    check_interval_containment(false);
+}
+
+#[test]
+fn interval_ur_contains_true_positions_with_topology_check() {
+    check_interval_containment(true);
+}
+
+/// The topology check only ever *shrinks* regions (it removes unreachable
+/// parts); it must never grow presence values.
+#[test]
+fn topology_check_never_increases_presence() {
+    let w = generate_synthetic(&workload_config());
+    let eng_e = engine_for(&w, false);
+    let eng_t = engine_for(&w, true);
+    let plan = w.ctx.plan();
+    let mut compared = 0usize;
+    for (object, _) in w.ground_truth.iter().take(6) {
+        let (ts, te) = (100.0, 220.0);
+        let (Some(ur_e), Some(ur_t)) = (
+            eng_e.interval_ur(&w.ott, *object, ts, te),
+            eng_t.interval_ur(&w.ott, *object, ts, te),
+        ) else {
+            continue;
+        };
+        for poi in plan.pois() {
+            let pe = eng_e.presence(&ur_e, poi);
+            let pt = eng_t.presence(&ur_t, poi);
+            // Allow integration-grid noise: the grids differ because the
+            // MBRs differ.
+            assert!(
+                pt <= pe + 0.02,
+                "topology presence {pt} exceeds euclidean {pe} for {} / object {object}",
+                poi.name
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 50);
+}

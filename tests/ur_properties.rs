@@ -1,0 +1,167 @@
+//! Structural properties of uncertainty regions across query parameters.
+
+use inflow::geometry::{Point, Region};
+use inflow::tracking::ObjectState;
+use inflow::uncertainty::{UrConfig, UrEngine};
+use inflow::workload::{generate_synthetic, SyntheticConfig};
+
+fn setup() -> (inflow::workload::Workload, UrEngine) {
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 10,
+        duration: 400.0,
+        ..SyntheticConfig::tiny()
+    });
+    let eng = UrEngine::new(
+        w.ctx.clone(),
+        UrConfig { vmax: w.vmax, topology_check: false, ..UrConfig::default() },
+    );
+    (w, eng)
+}
+
+fn sample_grid(mbr: inflow::geometry::Mbr, n: usize) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(n * n);
+    for j in 0..n {
+        for i in 0..n {
+            pts.push(Point::new(
+                mbr.lo.x + mbr.width() * (i as f64 + 0.5) / n as f64,
+                mbr.lo.y + mbr.height() * (j as f64 + 0.5) / n as f64,
+            ));
+        }
+    }
+    pts
+}
+
+/// Widening the query interval can only grow the uncertainty region: the
+/// evidence per sub-interval is unchanged, and end clipping relaxes.
+#[test]
+fn interval_ur_is_monotone_in_the_interval() {
+    let (w, eng) = setup();
+    for (object, _) in w.ground_truth.iter().take(6) {
+        for base in 0..4 {
+            let ts = 50.0 + base as f64 * 60.0;
+            let te = ts + 40.0;
+            let (Some(small), Some(large)) = (
+                eng.interval_ur(&w.ott, *object, ts, te),
+                eng.interval_ur(&w.ott, *object, ts - 20.0, te + 40.0),
+            ) else {
+                continue;
+            };
+            if small.is_empty() {
+                continue;
+            }
+            for p in sample_grid(small.mbr(), 25) {
+                if small.contains(p) {
+                    assert!(
+                        large.contains(p),
+                        "object {object}: point {p} in UR[{ts},{te}] but not in the wider UR"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A snapshot UR at `t` is contained in any interval UR whose window
+/// covers `t` (the interval region unions the possible positions of every
+/// instant it spans).
+#[test]
+fn snapshot_ur_is_contained_in_covering_interval_ur() {
+    let (w, eng) = setup();
+    let mut checked = 0usize;
+    for (object, _) in w.ground_truth.iter().take(6) {
+        for step in 1..8 {
+            let t = step as f64 * 45.0;
+            let Some(state) = w.ott.state_at(*object, t) else { continue };
+            let snap = eng.snapshot_ur(&w.ott, state, t);
+            if snap.is_empty() {
+                continue;
+            }
+            let Some(interval) = eng.interval_ur(&w.ott, *object, t - 30.0, t + 30.0) else {
+                continue;
+            };
+            for p in sample_grid(snap.mbr(), 20) {
+                if snap.contains(p) {
+                    assert!(
+                        interval.contains(p),
+                        "object {object} t={t}: snapshot point {p} outside interval UR"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 100, "only {checked} points checked");
+}
+
+/// Snapshot URs grow as the query time moves away from the last
+/// detection (the speed rings widen).
+#[test]
+fn snapshot_ur_grows_during_inactivity() {
+    let (w, eng) = setup();
+    let mut compared = 0usize;
+    for (object, _) in w.ground_truth.iter().take(8) {
+        // Find an inactive stretch of at least 4 seconds.
+        let chain = w.ott.object_records(*object).to_vec();
+        for pair in chain.windows(2) {
+            let pre = w.ott.record(pair[0]);
+            let suc = w.ott.record(pair[1]);
+            let gap = suc.ts - pre.te;
+            if gap < 4.0 {
+                continue;
+            }
+            // Two instants in the first half of the gap: rings still
+            // expanding from the predecessor on both sides.
+            let t1 = pre.te + gap * 0.2;
+            let t2 = pre.te + gap * 0.4;
+            let (Some(ObjectState::Inactive { .. }), Some(ObjectState::Inactive { .. })) =
+                (w.ott.state_at(*object, t1), w.ott.state_at(*object, t2))
+            else {
+                continue;
+            };
+            let ur1 = eng.snapshot_ur(&w.ott, w.ott.state_at(*object, t1).unwrap(), t1);
+            let ur2 = eng.snapshot_ur(&w.ott, w.ott.state_at(*object, t2).unwrap(), t2);
+            if ur1.is_empty() || ur2.is_empty() {
+                continue;
+            }
+            // The pre-side ring radius grows; the suc-side constraint
+            // relaxes too, so the later MBR should not shrink in area
+            // during the first half of the gap.
+            assert!(
+                ur2.mbr().area() >= ur1.mbr().area() - 1e-9,
+                "object {object}: UR shrank from t={t1} to t={t2}"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 5, "only {compared} gap comparisons");
+}
+
+/// Presence respects region monotonicity: a wider interval can only
+/// increase a POI's presence for the same object.
+#[test]
+fn presence_is_monotone_in_the_interval() {
+    let (w, eng) = setup();
+    let plan = w.ctx.plan();
+    let mut compared = 0usize;
+    for (object, _) in w.ground_truth.iter().take(5) {
+        let (ts, te) = (100.0, 180.0);
+        let (Some(small), Some(large)) = (
+            eng.interval_ur(&w.ott, *object, ts, te),
+            eng.interval_ur(&w.ott, *object, ts - 40.0, te + 40.0),
+        ) else {
+            continue;
+        };
+        for poi in plan.pois().iter().take(10) {
+            let p_small = eng.presence(&small, poi);
+            let p_large = eng.presence(&large, poi);
+            // Allow grid-integration noise.
+            assert!(
+                p_large >= p_small - 0.02,
+                "object {object}, {}: presence fell from {p_small} to {p_large}",
+                poi.name
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 20);
+}
