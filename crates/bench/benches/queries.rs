@@ -1,108 +1,112 @@
-//! Criterion micro/meso-benchmarks: one group per query type per dataset
-//! (the per-figure sweeps live in the `figures` binary, which measures the
+//! Micro/meso-benchmarks: one group per query type per dataset (the
+//! per-figure sweeps live in the `figures` binary, which measures the
 //! same code paths over full parameter grids).
+//!
+//! Deliberately dependency-free (`harness = false`, no criterion): the
+//! workspace must build offline. Reports median-of-N wall times plus the
+//! profiling-recorder overhead check (disabled recorder vs. enabled —
+//! the disabled path is the default and must stay within noise).
+//!
+//! Run with `cargo bench -p inflow-bench` or
+//! `cargo bench -p inflow-bench -- overhead` to filter by group name.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use inflow_bench::{analytics, base_cph, base_synthetic, poi_subset, Scale};
 use inflow_core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
 use inflow_workload::{generate_cph, generate_synthetic};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_scale() -> Scale {
     Scale { objects: 150, passengers: 120, duration: 1800.0, repeats: 1, ..Scale::default() }
 }
 
-fn synthetic_analytics() -> FlowAnalytics {
-    let scale = bench_scale();
-    analytics(generate_synthetic(&base_synthetic(&scale)), &scale)
+/// Median wall time in milliseconds over `samples` runs (after one
+/// warm-up run that also populates lazy caches).
+fn time_ms<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
 }
 
-fn cph_analytics() -> FlowAnalytics {
-    let scale = bench_scale();
-    analytics(generate_cph(&base_cph(&scale)), &scale)
+fn report(group: &str, name: &str, ms: f64) {
+    println!("{group}/{name:<28} {ms:>10.3} ms");
 }
 
-fn snapshot_queries(c: &mut Criterion) {
-    let fa = synthetic_analytics();
-    let q = SnapshotQuery::new(900.0, poi_subset(&fa, 60, 0), 10);
-    let mut group = c.benchmark_group("snapshot_synthetic");
-    group.sample_size(10);
-    group.bench_function("iterative", |b| {
-        b.iter(|| black_box(fa.snapshot_topk_iterative(black_box(&q))))
-    });
-    group.bench_function("join", |b| {
-        b.iter(|| black_box(fa.snapshot_topk_join(black_box(&q))))
-    });
-    group.finish();
+fn snapshot_queries(fa: &FlowAnalytics) {
+    let q = SnapshotQuery::new(900.0, poi_subset(fa, 60, 0), 10);
+    report("snapshot_synthetic", "iterative", time_ms(10, || fa.snapshot_topk_iterative(&q)));
+    report("snapshot_synthetic", "join", time_ms(10, || fa.snapshot_topk_join(&q)));
 }
 
-fn interval_queries(c: &mut Criterion) {
-    let fa = synthetic_analytics();
-    let q = IntervalQuery::new(300.0, 900.0, poi_subset(&fa, 60, 0), 10);
-    let mut group = c.benchmark_group("interval_synthetic");
-    group.sample_size(10);
-    group.bench_function("iterative", |b| {
-        b.iter(|| black_box(fa.interval_topk_iterative(black_box(&q))))
-    });
-    group.bench_function("join", |b| {
-        b.iter(|| black_box(fa.interval_topk_join(black_box(&q))))
-    });
-    group.finish();
+fn interval_queries(fa: &FlowAnalytics) {
+    let q = IntervalQuery::new(300.0, 900.0, poi_subset(fa, 60, 0), 10);
+    report("interval_synthetic", "iterative", time_ms(10, || fa.interval_topk_iterative(&q)));
+    report("interval_synthetic", "join", time_ms(10, || fa.interval_topk_join(&q)));
 }
 
-fn cph_queries(c: &mut Criterion) {
-    let fa = cph_analytics();
-    let snap = SnapshotQuery::new(5400.0, poi_subset(&fa, 60, 0), 10);
-    let int = IntervalQuery::new(3600.0, 4800.0, poi_subset(&fa, 60, 0), 10);
-    let mut group = c.benchmark_group("cph_like");
-    group.sample_size(10);
-    group.bench_function("snapshot_iterative", |b| {
-        b.iter(|| black_box(fa.snapshot_topk_iterative(black_box(&snap))))
-    });
-    group.bench_function("snapshot_join", |b| {
-        b.iter(|| black_box(fa.snapshot_topk_join(black_box(&snap))))
-    });
-    group.bench_function("interval_iterative", |b| {
-        b.iter(|| black_box(fa.interval_topk_iterative(black_box(&int))))
-    });
-    group.bench_function("interval_join", |b| {
-        b.iter(|| black_box(fa.interval_topk_join(black_box(&int))))
-    });
-    group.finish();
+fn cph_queries(fa: &FlowAnalytics) {
+    let snap = SnapshotQuery::new(5400.0, poi_subset(fa, 60, 0), 10);
+    let int = IntervalQuery::new(3600.0, 4800.0, poi_subset(fa, 60, 0), 10);
+    report("cph_like", "snapshot_iterative", time_ms(10, || fa.snapshot_topk_iterative(&snap)));
+    report("cph_like", "snapshot_join", time_ms(10, || fa.snapshot_topk_join(&snap)));
+    report("cph_like", "interval_iterative", time_ms(10, || fa.interval_topk_iterative(&int)));
+    report("cph_like", "interval_join", time_ms(10, || fa.interval_topk_join(&int)));
 }
 
-fn substrate(c: &mut Criterion) {
+/// Acceptance check for the observability layer: the disabled recorder
+/// (the default) must cost ≤2% versus itself run-to-run, and the
+/// *enabled* recorder's cost is reported for context. Prints the
+/// measured overhead so CI logs record it.
+fn recorder_overhead(fa: &mut FlowAnalytics) {
+    let q = IntervalQuery::new(300.0, 900.0, poi_subset(fa, 60, 0), 10);
+
+    fa.set_profiling(false);
+    let off_a = time_ms(10, || fa.interval_topk_join(&q));
+    fa.set_profiling(true);
+    let on = time_ms(10, || fa.interval_topk_join(&q));
+    fa.set_profiling(false);
+    let off_b = time_ms(10, || fa.interval_topk_join(&q));
+
+    let off = off_a.min(off_b);
+    let jitter = (off_a - off_b).abs() / off * 100.0;
+    let enabled_delta = (on - off) / off * 100.0;
+    report("overhead", "disabled_recorder", off);
+    report("overhead", "enabled_recorder", on);
+    println!(
+        "overhead/summary: run-to-run jitter {jitter:.2}%, enabled-recorder delta {enabled_delta:+.2}%"
+    );
+}
+
+fn substrate() {
     use inflow_geometry::{
         area_in_polygon, circle_polygon_area, Circle, GridResolution, Mbr, Point, Polygon,
     };
     use inflow_rtree::RTree;
 
-    let mut group = c.benchmark_group("substrate");
-    group.sample_size(20);
-
     let circle = Circle::new(Point::new(1.0, 1.5), 2.0);
     let poly = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 3.0));
-    group.bench_function("circle_polygon_area_exact", |b| {
-        b.iter(|| black_box(circle_polygon_area(black_box(&circle), black_box(&poly))))
-    });
-    group.bench_function("area_in_polygon_coarse", |b| {
-        b.iter(|| {
-            black_box(area_in_polygon(
-                black_box(&circle),
-                black_box(&poly),
-                GridResolution::COARSE,
-            ))
-        })
-    });
-    group.bench_function("area_in_polygon_default", |b| {
-        b.iter(|| {
-            black_box(area_in_polygon(
-                black_box(&circle),
-                black_box(&poly),
-                GridResolution::DEFAULT,
-            ))
-        })
-    });
+    report(
+        "substrate",
+        "circle_polygon_area_exact",
+        time_ms(200, || circle_polygon_area(&circle, &poly)),
+    );
+    report(
+        "substrate",
+        "area_in_polygon_coarse",
+        time_ms(50, || area_in_polygon(&circle, &poly, GridResolution::COARSE)),
+    );
+    report(
+        "substrate",
+        "area_in_polygon_default",
+        time_ms(20, || area_in_polygon(&circle, &poly, GridResolution::DEFAULT)),
+    );
 
     // R-tree build + query over a realistic POI-count set.
     let rects: Vec<(Mbr, usize)> = (0..1000)
@@ -112,43 +116,47 @@ fn substrate(c: &mut Criterion) {
             (Mbr::new(Point::new(x, y), Point::new(x + 2.5, y + 3.0)), i)
         })
         .collect();
-    group.bench_function("rtree_bulk_load_1k", |b| {
-        b.iter_batched(|| rects.clone(), |r| black_box(RTree::bulk_load(r)), BatchSize::SmallInput)
-    });
+    report("substrate", "rtree_bulk_load_1k", time_ms(20, || RTree::bulk_load(rects.clone())));
     let tree = RTree::bulk_load(rects);
     let query = Mbr::new(Point::new(20.0, 20.0), Point::new(60.0, 60.0));
-    group.bench_function("rtree_query_1k", |b| {
-        b.iter(|| black_box(tree.query_intersecting(black_box(&query))))
-    });
-
-    group.finish();
+    report("substrate", "rtree_query_1k", time_ms(200, || tree.query_intersecting(&query)));
 }
 
-fn tracking_index(c: &mut Criterion) {
+fn tracking_index() {
     use inflow_tracking::ArTree;
     let scale = bench_scale();
     let w = generate_synthetic(&base_synthetic(&scale));
-    let mut group = c.benchmark_group("artree");
-    group.sample_size(20);
-    group.bench_function("build", |b| {
-        b.iter(|| black_box(ArTree::build(black_box(&w.ott))))
-    });
+    report("artree", "build", time_ms(20, || ArTree::build(&w.ott)));
     let tree = ArTree::build(&w.ott);
-    group.bench_function("point_query", |b| {
-        b.iter(|| black_box(tree.point_query(black_box(900.0))))
-    });
-    group.bench_function("range_query_10min", |b| {
-        b.iter(|| black_box(tree.range_query(black_box(600.0), black_box(1200.0))))
-    });
-    group.finish();
+    report("artree", "point_query", time_ms(200, || tree.point_query(900.0)));
+    report("artree", "range_query_10min", time_ms(200, || tree.range_query(600.0, 1200.0)));
 }
 
-criterion_group!(
-    benches,
-    snapshot_queries,
-    interval_queries,
-    cph_queries,
-    substrate,
-    tracking_index
-);
-criterion_main!(benches);
+fn main() {
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let wants = |group: &str| filter.as_deref().is_none_or(|f| group.contains(f));
+
+    let scale = bench_scale();
+    if wants("snapshot") || wants("interval") || wants("overhead") {
+        let mut fa = analytics(generate_synthetic(&base_synthetic(&scale)), &scale);
+        if wants("snapshot") {
+            snapshot_queries(&fa);
+        }
+        if wants("interval") {
+            interval_queries(&fa);
+        }
+        if wants("overhead") {
+            recorder_overhead(&mut fa);
+        }
+    }
+    if wants("cph") {
+        let fa = analytics(generate_cph(&base_cph(&scale)), &scale);
+        cph_queries(&fa);
+    }
+    if wants("substrate") {
+        substrate();
+    }
+    if wants("artree") {
+        tracking_index();
+    }
+}

@@ -2,9 +2,12 @@
 //! (§5), plus ablations.
 //!
 //! Each experiment id (`f10a` … `f14c`, see DESIGN.md's per-experiment
-//! index) produces a series of rows `x, iterative_ms, join_ms` mirroring
-//! the corresponding figure's axes: query time (ms) as a function of one
-//! swept parameter, for the iterative and join algorithms.
+//! index) produces a series of rows mirroring the corresponding figure's
+//! axes: query time (ms) as a function of one swept parameter, for the
+//! iterative and join algorithms. Figure rows additionally carry per-query
+//! work counters (presence integrations and join-pruned POIs) so that a
+//! latency difference can be attributed to actual work saved rather than
+//! measurement noise.
 //!
 //! Scales are reduced from paper scale by default (hundreds rather than
 //! tens of thousands of objects) so the full suite regenerates in minutes;
@@ -73,6 +76,20 @@ pub mod defaults {
     pub const INTERVAL_SWEEP_MIN: [usize; 6] = [10, 20, 30, 40, 50, 60];
 }
 
+/// One timed algorithm run: median latency plus the work counters of the
+/// median-adjacent executions (from [`inflow_core::QueryStats`], which the
+/// algorithms populate even with profiling disabled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measure {
+    /// Median query time (ms).
+    pub ms: f64,
+    /// Median presence integrations per query.
+    pub presence: u64,
+    /// Median POIs pruned by the join upper bound per query (always 0 for
+    /// the iterative algorithms, which evaluate every candidate).
+    pub pruned: u64,
+}
+
 /// One measured point of a series.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -82,6 +99,39 @@ pub struct Row {
     pub iterative_ms: f64,
     /// Median join query time (ms).
     pub join_ms: f64,
+    /// Median presence integrations per iterative query.
+    pub iterative_presence: u64,
+    /// Median presence integrations per join query.
+    pub join_presence: u64,
+    /// Median POIs the join pruned via upper-bound flows per query.
+    pub join_pruned: u64,
+}
+
+impl Row {
+    /// A figure row from two algorithm measurements.
+    pub fn measured(x: impl Into<String>, it: Measure, jn: Measure) -> Row {
+        Row {
+            x: x.into(),
+            iterative_ms: it.ms,
+            join_ms: jn.ms,
+            iterative_presence: it.presence,
+            join_presence: jn.presence,
+            join_pruned: jn.pruned,
+        }
+    }
+
+    /// A timing-only row (ablations repurpose the two ms columns and carry
+    /// no counters).
+    pub fn timing(x: impl Into<String>, iterative_ms: f64, join_ms: f64) -> Row {
+        Row {
+            x: x.into(),
+            iterative_ms,
+            join_ms,
+            iterative_presence: 0,
+            join_presence: 0,
+            join_pruned: 0,
+        }
+    }
 }
 
 /// A completed experiment: id, axis label, and the measured series.
@@ -93,12 +143,23 @@ pub struct Series {
 }
 
 impl Series {
-    /// Prints the series as CSV (`experiment, x, iterative_ms, join_ms`).
+    /// Prints the series as CSV
+    /// (`experiment, x, iterative_ms, join_ms, it_presence, jn_presence,
+    /// jn_pruned`).
     pub fn print_csv(&self) {
         println!("# {} — x = {}", self.experiment, self.x_label);
-        println!("experiment,x,iterative_ms,join_ms");
+        println!("experiment,x,iterative_ms,join_ms,it_presence,jn_presence,jn_pruned");
         for row in &self.rows {
-            println!("{},{},{:.2},{:.2}", self.experiment, row.x, row.iterative_ms, row.join_ms);
+            println!(
+                "{},{},{:.2},{:.2},{},{},{}",
+                self.experiment,
+                row.x,
+                row.iterative_ms,
+                row.join_ms,
+                row.iterative_presence,
+                row.join_presence,
+                row.join_pruned
+            );
         }
         println!();
     }
@@ -134,9 +195,8 @@ pub fn analytics(w: Workload, scale: &Scale) -> FlowAnalytics {
 pub fn poi_subset(fa: &FlowAnalytics, percent: usize, salt: usize) -> Vec<PoiId> {
     let all = fa.engine().context().plan().pois();
     let take = (all.len() * percent / 100).max(1);
-    let mut ids: Vec<PoiId> = (0..take)
-        .map(|i| all[(i * 13 + salt * 7 + 3) % all.len()].id)
-        .collect();
+    let mut ids: Vec<PoiId> =
+        (0..take).map(|i| all[(i * 13 + salt * 7 + 3) % all.len()].id).collect();
     ids.sort_unstable();
     ids.dedup();
     ids
@@ -147,41 +207,63 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
-/// Times both algorithms on a set of snapshot queries; returns median ms.
-pub fn time_snapshot(fa: &FlowAnalytics, queries: &[SnapshotQuery]) -> (f64, f64) {
-    let mut it = Vec::new();
-    let mut jn = Vec::new();
-    for q in queries {
-        let t0 = Instant::now();
-        std::hint::black_box(fa.snapshot_topk_iterative(q));
-        it.push(t0.elapsed().as_secs_f64() * 1e3);
-        let t0 = Instant::now();
-        std::hint::black_box(fa.snapshot_topk_join(q));
-        jn.push(t0.elapsed().as_secs_f64() * 1e3);
-    }
-    (median(it), median(jn))
+fn median_u64(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
 }
 
-/// Times both algorithms on a set of interval queries; returns median ms.
-pub fn time_interval(fa: &FlowAnalytics, queries: &[IntervalQuery]) -> (f64, f64) {
+/// One timed sample: latency plus the counters the run reported.
+struct Sample {
+    ms: f64,
+    presence: u64,
+    pruned: u64,
+}
+
+fn measure(samples: Vec<Sample>) -> Measure {
+    Measure {
+        ms: median(samples.iter().map(|s| s.ms).collect()),
+        presence: median_u64(samples.iter().map(|s| s.presence).collect()),
+        pruned: median_u64(samples.iter().map(|s| s.pruned).collect()),
+    }
+}
+
+fn sample(f: impl FnOnce() -> inflow_core::QueryResult) -> Sample {
+    let t0 = Instant::now();
+    let result = std::hint::black_box(f());
+    Sample {
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+        presence: result.stats.presence_evaluations as u64,
+        pruned: result.stats.pois_pruned as u64,
+    }
+}
+
+/// Times both algorithms on a set of snapshot queries; returns the median
+/// latency and work counters of each.
+pub fn time_snapshot(fa: &FlowAnalytics, queries: &[SnapshotQuery]) -> (Measure, Measure) {
     let mut it = Vec::new();
     let mut jn = Vec::new();
     for q in queries {
-        let t0 = Instant::now();
-        std::hint::black_box(fa.interval_topk_iterative(q));
-        it.push(t0.elapsed().as_secs_f64() * 1e3);
-        let t0 = Instant::now();
-        std::hint::black_box(fa.interval_topk_join(q));
-        jn.push(t0.elapsed().as_secs_f64() * 1e3);
+        it.push(sample(|| fa.snapshot_topk_iterative(q)));
+        jn.push(sample(|| fa.snapshot_topk_join(q)));
     }
-    (median(it), median(jn))
+    (measure(it), measure(jn))
+}
+
+/// Times both algorithms on a set of interval queries; returns the median
+/// latency and work counters of each.
+pub fn time_interval(fa: &FlowAnalytics, queries: &[IntervalQuery]) -> (Measure, Measure) {
+    let mut it = Vec::new();
+    let mut jn = Vec::new();
+    for q in queries {
+        it.push(sample(|| fa.interval_topk_iterative(q)));
+        jn.push(sample(|| fa.interval_topk_join(q)));
+    }
+    (measure(it), measure(jn))
 }
 
 /// Query time points spread over the simulation's busy middle.
 fn snapshot_times(scale: &Scale) -> Vec<f64> {
-    (0..scale.repeats)
-        .map(|i| scale.duration * (0.35 + 0.1 * i as f64))
-        .collect()
+    (0..scale.repeats).map(|i| scale.duration * (0.35 + 0.1 * i as f64)).collect()
 }
 
 fn snapshot_queries(
@@ -223,7 +305,7 @@ pub fn f10a(scale: &Scale) -> Series {
         .map(|&k| {
             let qs = snapshot_queries(&fa, scale, k, defaults::POI_PERCENT);
             let (i, j) = time_snapshot(&fa, &qs);
-            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+            Row::measured(k.to_string(), i, j)
         })
         .collect();
     Series { experiment: "f10a".into(), x_label: "k".into(), rows }
@@ -237,7 +319,7 @@ pub fn f10b(scale: &Scale) -> Series {
         .map(|&p| {
             let qs = snapshot_queries(&fa, scale, defaults::K, p);
             let (i, j) = time_snapshot(&fa, &qs);
-            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{p}%"), i, j)
         })
         .collect();
     Series { experiment: "f10b".into(), x_label: "|P| (% of POIs)".into(), rows }
@@ -252,7 +334,7 @@ pub fn f11a(scale: &Scale) -> Series {
             let fa = analytics(generate_synthetic(&cfg), scale);
             let qs = snapshot_queries(&fa, scale, defaults::K, defaults::POI_PERCENT);
             let (i, j) = time_snapshot(&fa, &qs);
-            Row { x: format!("{r}m"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{r}m"), i, j)
         })
         .collect();
     Series { experiment: "f11a".into(), x_label: "detection range".into(), rows }
@@ -273,7 +355,7 @@ pub fn f11b(scale: &Scale) -> Series {
                 defaults::INTERVAL_LEN,
             );
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: format!("{r}m"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{r}m"), i, j)
         })
         .collect();
     Series { experiment: "f11b".into(), x_label: "detection range".into(), rows }
@@ -285,10 +367,9 @@ pub fn f12a(scale: &Scale) -> Series {
     let rows = defaults::K_SWEEP
         .iter()
         .map(|&k| {
-            let qs =
-                interval_queries(&fa, scale, k, defaults::POI_PERCENT, defaults::INTERVAL_LEN);
+            let qs = interval_queries(&fa, scale, k, defaults::POI_PERCENT, defaults::INTERVAL_LEN);
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+            Row::measured(k.to_string(), i, j)
         })
         .collect();
     Series { experiment: "f12a".into(), x_label: "k".into(), rows }
@@ -302,7 +383,7 @@ pub fn f12b(scale: &Scale) -> Series {
         .map(|&p| {
             let qs = interval_queries(&fa, scale, defaults::K, p, defaults::INTERVAL_LEN);
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{p}%"), i, j)
         })
         .collect();
     Series { experiment: "f12b".into(), x_label: "|P| (% of POIs)".into(), rows }
@@ -325,7 +406,7 @@ pub fn f12c(scale: &Scale) -> Series {
                 defaults::INTERVAL_LEN,
             );
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: n.to_string(), iterative_ms: i, join_ms: j }
+            Row::measured(n.to_string(), i, j)
         })
         .collect();
     Series { experiment: "f12c".into(), x_label: "|O|".into(), rows }
@@ -340,7 +421,7 @@ pub fn f12d(scale: &Scale) -> Series {
             let len = (mins * 60) as f64;
             let qs = interval_queries(&fa, scale, defaults::K, defaults::POI_PERCENT, len);
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: format!("{mins}min"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{mins}min"), i, j)
         })
         .collect();
     Series { experiment: "f12d".into(), x_label: "t_e − t_s".into(), rows }
@@ -363,7 +444,7 @@ pub fn f13a(scale: &Scale) -> Series {
                 })
                 .collect();
             let (i, j) = time_snapshot(&fa, &qs);
-            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+            Row::measured(k.to_string(), i, j)
         })
         .collect();
     Series { experiment: "f13a".into(), x_label: "k".into(), rows }
@@ -386,7 +467,7 @@ pub fn f13b(scale: &Scale) -> Series {
                 })
                 .collect();
             let (i, j) = time_snapshot(&fa, &qs);
-            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{p}%"), i, j)
         })
         .collect();
     Series { experiment: "f13b".into(), x_label: "|P| (% of POIs)".into(), rows }
@@ -424,7 +505,7 @@ pub fn f14a(scale: &Scale) -> Series {
                 defaults::INTERVAL_LEN,
             );
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: k.to_string(), iterative_ms: i, join_ms: j }
+            Row::measured(k.to_string(), i, j)
         })
         .collect();
     Series { experiment: "f14a".into(), x_label: "k".into(), rows }
@@ -446,7 +527,7 @@ pub fn f14b(scale: &Scale) -> Series {
                 defaults::INTERVAL_LEN,
             );
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: format!("{p}%"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{p}%"), i, j)
         })
         .collect();
     Series { experiment: "f14b".into(), x_label: "|P| (% of POIs)".into(), rows }
@@ -469,7 +550,7 @@ pub fn f14c(scale: &Scale) -> Series {
                 len,
             );
             let (i, j) = time_interval(&fa, &qs);
-            Row { x: format!("{mins}min"), iterative_ms: i, join_ms: j }
+            Row::measured(format!("{mins}min"), i, j)
         })
         .collect();
     Series { experiment: "f14c".into(), x_label: "t_e − t_s".into(), rows }
@@ -503,11 +584,7 @@ pub fn abl_topo(scale: &Scale) -> Series {
         }
         t0.elapsed().as_secs_f64() * 1e3 / snaps.len() as f64
     };
-    rows.push(Row {
-        x: "snapshot".into(),
-        iterative_ms: time_snap(&fa_off),
-        join_ms: time_snap(&fa_on),
-    });
+    rows.push(Row::timing("snapshot", time_snap(&fa_off), time_snap(&fa_on)));
 
     let ints =
         interval_queries(&fa_on, scale, defaults::K, defaults::POI_PERCENT, defaults::INTERVAL_LEN);
@@ -518,11 +595,7 @@ pub fn abl_topo(scale: &Scale) -> Series {
         }
         t0.elapsed().as_secs_f64() * 1e3 / ints.len() as f64
     };
-    rows.push(Row {
-        x: "interval-20min".into(),
-        iterative_ms: time_int(&fa_off),
-        join_ms: time_int(&fa_on),
-    });
+    rows.push(Row::timing("interval-20min", time_int(&fa_off), time_int(&fa_on)));
 
     Series {
         experiment: "abl-topo".into(),
@@ -560,7 +633,7 @@ pub fn abl_mbr(scale: &Scale) -> Series {
                 }
                 t0.elapsed().as_secs_f64() * 1e3 / qs.len() as f64
             };
-            Row { x: format!("{mins}min"), iterative_ms: time(&fa_big), join_ms: time(&fa_seg) }
+            Row::timing(format!("{mins}min"), time(&fa_big), time(&fa_seg))
         })
         .collect();
     Series {
@@ -598,7 +671,7 @@ pub fn abl_snapmbr(scale: &Scale) -> Series {
                 }
                 t0.elapsed().as_secs_f64() * 1e3 / qs.len() as f64
             };
-            Row { x: format!("k={k}"), iterative_ms: time(&fa_paper), join_ms: time(&fa_tight) }
+            Row::timing(format!("k={k}"), time(&fa_paper), time(&fa_tight))
         })
         .collect();
     Series {
@@ -617,12 +690,7 @@ pub fn abl_grid(scale: &Scale) -> Series {
     let engine_for = |res: GridResolution| {
         inflow_uncertainty::UrEngine::new(
             w.ctx.clone(),
-            UrConfig {
-                vmax: w.vmax,
-                topology_check: true,
-                resolution: res,
-                ..UrConfig::default()
-            },
+            UrConfig { vmax: w.vmax, topology_check: true, resolution: res, ..UrConfig::default() },
         )
     };
     let fine = engine_for(GridResolution::FINE);
@@ -669,11 +737,7 @@ pub fn abl_grid(scale: &Scale) -> Series {
             err_sum += (p - reference).abs() / reference;
             n += 1;
         }
-        Row {
-            x: label.to_string(),
-            iterative_ms: err_sum / n.max(1) as f64 * 1e3,
-            join_ms: time_sum / n.max(1) as f64,
-        }
+        Row::timing(label.to_string(), err_sum / n.max(1) as f64 * 1e3, time_sum / n.max(1) as f64)
     })
     .collect();
     Series {
@@ -703,15 +767,13 @@ pub fn abl_accuracy(scale: &Scale) -> Series {
     let est = fa
         .snapshot_topk_iterative(&SnapshotQuery::new(t, plan_pois.clone(), plan_pois.len()))
         .poi_ids();
-    let truth: Vec<PoiId> = true_snapshot_ranking(ctx.plan(), &ground_truth, t)
-        .into_iter()
-        .map(|(p, _)| p)
-        .collect();
-    rows.push(Row {
-        x: "snapshot".into(),
-        iterative_ms: ranking_overlap(&est, &truth, 5),
-        join_ms: ranking_overlap(&est, &truth, 10),
-    });
+    let truth: Vec<PoiId> =
+        true_snapshot_ranking(ctx.plan(), &ground_truth, t).into_iter().map(|(p, _)| p).collect();
+    rows.push(Row::timing(
+        "snapshot",
+        ranking_overlap(&est, &truth, 5),
+        ranking_overlap(&est, &truth, 10),
+    ));
 
     // Interval accuracy over the default window.
     let (ts, te) = (scale.duration * 0.3, scale.duration * 0.3 + defaults::INTERVAL_LEN);
@@ -722,11 +784,11 @@ pub fn abl_accuracy(scale: &Scale) -> Series {
         .into_iter()
         .map(|(p, _)| p)
         .collect();
-    rows.push(Row {
-        x: "interval-20min".into(),
-        iterative_ms: ranking_overlap(&est, &truth, 5),
-        join_ms: ranking_overlap(&est, &truth, 10),
-    });
+    rows.push(Row::timing(
+        "interval-20min",
+        ranking_overlap(&est, &truth, 5),
+        ranking_overlap(&est, &truth, 10),
+    ));
 
     Series {
         experiment: "abl-accuracy".into(),
@@ -737,8 +799,24 @@ pub fn abl_accuracy(scale: &Scale) -> Series {
 
 /// All experiment ids in suite order.
 pub const ALL_EXPERIMENTS: [&str; 18] = [
-    "f10a", "f10b", "f11a", "f11b", "f12a", "f12b", "f12c", "f12d", "f13a", "f13b", "f14a",
-    "f14b", "f14c", "abl-topo", "abl-mbr", "abl-snapmbr", "abl-grid", "abl-accuracy",
+    "f10a",
+    "f10b",
+    "f11a",
+    "f11b",
+    "f12a",
+    "f12b",
+    "f12c",
+    "f12d",
+    "f13a",
+    "f13b",
+    "f14a",
+    "f14b",
+    "f14c",
+    "abl-topo",
+    "abl-mbr",
+    "abl-snapmbr",
+    "abl-grid",
+    "abl-accuracy",
 ];
 
 /// Runs one experiment by id.

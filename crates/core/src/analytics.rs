@@ -41,10 +41,12 @@ pub struct FlowAnalytics {
     ott: ObjectTrackingTable,
     artree: ArTree,
     join_cfg: JoinConfig,
+    profiling: bool,
 }
 
 impl FlowAnalytics {
     /// Builds the analytics stack: uncertainty engine plus AR-tree.
+    /// Profiling starts disabled (see [`FlowAnalytics::with_profiling`]).
     pub fn new(ctx: Arc<IndoorContext>, ott: ObjectTrackingTable, cfg: UrConfig) -> FlowAnalytics {
         let artree = ArTree::build(&ott);
         FlowAnalytics {
@@ -52,6 +54,7 @@ impl FlowAnalytics {
             ott,
             artree,
             join_cfg: JoinConfig::default(),
+            profiling: false,
         }
     }
 
@@ -59,6 +62,35 @@ impl FlowAnalytics {
     pub fn with_join_config(mut self, join_cfg: JoinConfig) -> FlowAnalytics {
         self.join_cfg = join_cfg;
         self
+    }
+
+    /// Enables or disables per-query profiling. When enabled, every query
+    /// result carries a [`crate::QueryResult::profile`] with phase spans,
+    /// counters and latency histograms. When disabled (the default) the
+    /// queries run with a no-op recorder — a single pointer-sized `None`
+    /// checked per record call, no allocation, no clock reads.
+    pub fn with_profiling(mut self, enabled: bool) -> FlowAnalytics {
+        self.profiling = enabled;
+        self
+    }
+
+    /// In-place variant of [`FlowAnalytics::with_profiling`].
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+    }
+
+    /// Whether per-query profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// The recorder for one query execution.
+    pub(crate) fn recorder(&self) -> inflow_obs::Recorder {
+        if self.profiling {
+            inflow_obs::Recorder::enabled()
+        } else {
+            inflow_obs::Recorder::disabled()
+        }
     }
 
     /// The uncertainty engine.

@@ -83,14 +83,15 @@ pub fn snapshot_density(fa: &FlowAnalytics, t: Timestamp, cell_size: f64) -> Den
     let origin = window.lo;
     let nx = (window.width() / cell_size).ceil().max(1.0) as usize;
     let ny = (window.height() / cell_size).ceil().max(1.0) as usize;
-    let mut grid =
-        DensityGrid { origin, cell_size, nx, ny, expected: vec![0.0; nx * ny] };
+    let mut grid = DensityGrid { origin, cell_size, nx, ny, expected: vec![0.0; nx * ny] };
 
     // Cheaper integration than presence: density is an aggregate view, so
     // coarse cells tolerate coarse grids.
     let res = GridResolution::COARSE;
     for entry in fa.artree().point_query(t) {
-        let Some(state) = ArTree::resolve_state(fa.ott(), entry, t) else { continue };
+        let Some(state) = ArTree::resolve_state(fa.ott(), entry, t) else {
+            continue;
+        };
         let ur = fa.engine().snapshot_ur(fa.ott(), state, t);
         if ur.is_empty() {
             continue;

@@ -5,98 +5,150 @@
 //! intersects via `R_P`, and accumulate presences into per-POI flow
 //! values. Serves as the baseline the join algorithms are compared
 //! against throughout §5.
+//!
+//! Observability: each query records phase spans (`build_poi_rtree`,
+//! `candidate_retrieval`, `accumulate`, `rank`) plus per-operation
+//! latency histograms for UR derivation and presence integration when
+//! profiling is enabled on the façade.
 
 use crate::analytics::FlowAnalytics;
+use crate::profiling;
 use crate::query::{rank_topk, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
 use inflow_geometry::Region;
 use inflow_indoor::PoiId;
+use inflow_obs::{Recorder, Timer};
 use inflow_tracking::{ArTree, ObjectId};
 use std::collections::HashMap;
 
 /// Algorithm 1: iterative snapshot top-k.
 pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery) -> QueryResult {
-    let (flows, stats) = snapshot_flows_with_stats(fa, q);
-    QueryResult { ranked: rank_topk(flows, q.k), stats }
+    let mut rec = fa.recorder();
+    let probes0 = profiling::probes_start(&rec);
+    let root = rec.enter("snapshot_iterative");
+    let (flows, stats) = snapshot_flows_recorded(fa, q, &mut rec);
+    let span = rec.enter("rank");
+    let ranked = rank_topk(flows, q.k);
+    rec.exit(span);
+    rec.exit(root);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
 }
 
 /// Algorithm 4: iterative interval top-k.
 pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery) -> QueryResult {
-    let (flows, stats) = interval_flows_with_stats(fa, q);
-    QueryResult { ranked: rank_topk(flows, q.k), stats }
+    let mut rec = fa.recorder();
+    let probes0 = profiling::probes_start(&rec);
+    let root = rec.enter("interval_iterative");
+    let (flows, stats) = interval_flows_recorded(fa, q, &mut rec);
+    let span = rec.enter("rank");
+    let ranked = rank_topk(flows, q.k);
+    rec.exit(span);
+    rec.exit(root);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
 }
 
 /// All snapshot flows, unranked.
 pub fn snapshot_flows(fa: &FlowAnalytics, q: &SnapshotQuery) -> Vec<(PoiId, f64)> {
-    snapshot_flows_with_stats(fa, q).0
+    snapshot_flows_recorded(fa, q, &mut Recorder::disabled()).0
 }
 
 /// All interval flows, unranked.
 pub fn interval_flows(fa: &FlowAnalytics, q: &IntervalQuery) -> Vec<(PoiId, f64)> {
-    interval_flows_with_stats(fa, q).0
+    interval_flows_recorded(fa, q, &mut Recorder::disabled()).0
 }
 
-fn snapshot_flows_with_stats(
+fn snapshot_flows_recorded(
     fa: &FlowAnalytics,
     q: &SnapshotQuery,
+    rec: &mut Recorder,
 ) -> (Vec<(PoiId, f64)>, QueryStats) {
+    let span = rec.enter("build_poi_rtree");
     let rp = fa.build_poi_rtree(&q.pois);
+    rec.exit(span);
     let plan = fa.engine().context().plan();
     let mut flows: HashMap<PoiId, f64> = q.pois.iter().map(|&p| (p, 0.0)).collect();
     let mut stats = QueryStats::default();
 
     // Point query on the AR-tree: all objects with an augmented tracking
     // interval covering t (Algorithm 1, line 3).
-    for entry in fa.artree().point_query(q.t) {
-        let Some(state) = ArTree::resolve_state(fa.ott(), entry, q.t) else { continue };
+    let span = rec.enter("candidate_retrieval");
+    let entries = fa.artree().point_query(q.t);
+    rec.exit(span);
+
+    let span = rec.enter("accumulate");
+    for entry in entries {
+        let Some(state) = ArTree::resolve_state(fa.ott(), entry, q.t) else {
+            continue;
+        };
         stats.objects_considered += 1;
+        let timer = rec.start(Timer::UrDerive);
         let ur = fa.engine().snapshot_ur(fa.ott(), state, q.t);
+        rec.stop(Timer::UrDerive, timer);
         stats.urs_built += 1;
         if ur.is_empty() {
             continue;
         }
-        for &poi_id in rp.query_intersecting(&ur.mbr()) {
+        let (hits, visited) = rp.query_intersecting_counted(&ur.mbr());
+        stats.rtree_nodes_visited += visited;
+        for &poi_id in hits {
             let poi = plan.poi(poi_id);
             stats.presence_evaluations += 1;
+            let timer = rec.start(Timer::Presence);
             let presence = fa.engine().presence(&ur, poi);
+            rec.stop(Timer::Presence, timer);
             if presence > 0.0 {
                 *flows.get_mut(&poi_id).expect("query POI") += presence;
             }
         }
     }
+    rec.exit(span);
     (flows.into_iter().collect(), stats)
 }
 
-fn interval_flows_with_stats(
+pub(crate) fn interval_flows_recorded(
     fa: &FlowAnalytics,
     q: &IntervalQuery,
+    rec: &mut Recorder,
 ) -> (Vec<(PoiId, f64)>, QueryStats) {
+    let span = rec.enter("build_poi_rtree");
     let rp = fa.build_poi_rtree(&q.pois);
+    rec.exit(span);
     let plan = fa.engine().context().plan();
     let mut flows: HashMap<PoiId, f64> = q.pois.iter().map(|&p| (p, 0.0)).collect();
     let mut stats = QueryStats::default();
 
     // Range query on the AR-tree; the distinct objects form the relevant
     // population (Algorithm 4, lines 3–6).
+    let span = rec.enter("candidate_retrieval");
     let mut objects: Vec<ObjectId> =
         fa.artree().range_query(q.ts, q.te).iter().map(|e| e.object).collect();
     objects.sort_unstable();
     objects.dedup();
+    rec.exit(span);
 
+    let span = rec.enter("accumulate");
     for object in objects {
         stats.objects_considered += 1;
-        let Some(ur) = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te) else { continue };
+        let timer = rec.start(Timer::UrDerive);
+        let ur = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te);
+        rec.stop(Timer::UrDerive, timer);
+        let Some(ur) = ur else { continue };
         stats.urs_built += 1;
         if ur.is_empty() {
             continue;
         }
-        for &poi_id in rp.query_intersecting(&ur.mbr()) {
+        let (hits, visited) = rp.query_intersecting_counted(&ur.mbr());
+        stats.rtree_nodes_visited += visited;
+        for &poi_id in hits {
             let poi = plan.poi(poi_id);
             stats.presence_evaluations += 1;
+            let timer = rec.start(Timer::Presence);
             let presence = fa.engine().presence(&ur, poi);
+            rec.stop(Timer::Presence, timer);
             if presence > 0.0 {
                 *flows.get_mut(&poi_id).expect("query POI") += presence;
             }
         }
     }
+    rec.exit(span);
     (flows.into_iter().collect(), stats)
 }

@@ -21,21 +21,32 @@
 //! large trajectory MBR.
 
 use crate::analytics::FlowAnalytics;
+use crate::profiling;
 use crate::query::{IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
 use inflow_geometry::{Mbr, Region};
 use inflow_indoor::PoiId;
+use inflow_obs::{Counter, Histogram, Timer};
 use inflow_rtree::{EntryRef, RTree};
 use inflow_tracking::{ArTree, ObjectId, ObjectState};
 use inflow_uncertainty::UncertaintyRegion;
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Configuration switches for the join algorithms (ablation knobs).
 #[derive(Debug, Clone, Copy)]
 pub struct JoinConfig {
-    /// Apply the §4.3.2 per-segment small-MBR checks in the interval join
+    /// Apply the finer small-MBR checks when filtering join lists
     /// (`true` = the paper's improved algorithm, which is the variant it
     /// evaluates; `false` = the single-large-MBR basic framework).
+    ///
+    /// In the **interval** join this is the §4.3.2 per-segment check
+    /// (Figure 9). In the **snapshot** join, where `R_I` holds coarse
+    /// MBRs (Algorithm 2 line 8) and exact regions are derived lazily,
+    /// the analogous refinement tests an already-derived region's tight
+    /// segment MBR instead of the coarse entry MBR — same flows, fewer
+    /// presence integrations.
     pub use_segment_mbrs: bool,
 }
 
@@ -80,14 +91,20 @@ impl PartialOrd for Item {
 }
 
 /// Algorithm 2 (+ 3): join-based snapshot top-k.
-pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, _cfg: &JoinConfig) -> QueryResult {
+pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, cfg: &JoinConfig) -> QueryResult {
+    let mut rec = fa.recorder();
+    let probes0 = profiling::probes_start(&rec);
+    let root = rec.enter("snapshot_join");
     let mut stats = QueryStats::default();
 
     // Phase 1: aggregate R-tree over coarse object MBRs (lines 1–11).
+    let span = rec.enter("candidate_retrieval");
     let mut states: Vec<ObjectState> = Vec::new();
     let mut data: Vec<(Mbr, u32)> = Vec::new();
     for entry in fa.artree().point_query(q.t) {
-        let Some(state) = ArTree::resolve_state(fa.ott(), entry, q.t) else { continue };
+        let Some(state) = ArTree::resolve_state(fa.ott(), entry, q.t) else {
+            continue;
+        };
         stats.objects_considered += 1;
         let mbr = fa.engine().snapshot_mbr_coarse(fa.ott(), state, q.t);
         if mbr.is_empty() {
@@ -97,64 +114,121 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, _cfg: &JoinConfig) -> Que
         states.push(state);
         data.push((mbr, slot));
     }
+    rec.exit(span);
+    let span = rec.enter("build_ri");
     let ri: RTree<u32> = RTree::bulk_load(data);
+    rec.exit(span);
+    let span = rec.enter("build_poi_rtree");
     let rp = fa.build_poi_rtree(&q.pois);
+    rec.exit(span);
 
     // H_U: lazily derived uncertainty regions, shared across join lists
-    // (lines 29–31).
-    let mut h_u: Vec<Option<UncertaintyRegion>> = (0..states.len()).map(|_| None).collect();
+    // (lines 29–31). In a `RefCell` because the fine check reads it while
+    // the presence closure populates it.
+    let h_u: RefCell<Vec<Option<UncertaintyRegion>>> =
+        RefCell::new((0..states.len()).map(|_| None).collect());
     let plan = fa.engine().context().plan();
     let engine = fa.engine();
     let ott = fa.ott();
     let t = q.t;
+    let refine_with_derived = cfg.use_segment_mbrs;
+    let timed = rec.is_enabled();
 
     let mut urs_built = 0usize;
     let mut presence_evals = 0usize;
+    let mut mbr_rejects = 0usize;
+    let mut small_mbr_rejects = 0usize;
+    let mut presence_hist = Histogram::new();
+    let mut counters = JoinCounters::default();
+    let descent = rec.enter("join_descent");
     let ranked = {
-        let mut fine_check = |_slot: u32, _mbr: &Mbr| true;
+        let mut fine_check = |slot: u32, mbr: &Mbr| {
+            // Snapshot analogue of the §4.3.2 refinement: the coarse R_I
+            // entry MBR admitted this pairing, but once the object's
+            // exact region is in H_U its tight segment MBR can veto it.
+            if !refine_with_derived {
+                return true;
+            }
+            match h_u.borrow()[slot as usize].as_ref() {
+                None => true,
+                Some(ur) if ur.any_segment_intersects(mbr) => true,
+                Some(_) => {
+                    small_mbr_rejects += 1;
+                    false
+                }
+            }
+        };
         let mut presence = |slot: u32, poi_id: PoiId| {
             let slot = slot as usize;
-            if h_u[slot].is_none() {
-                h_u[slot] = Some(engine.snapshot_ur(ott, states[slot], t));
+            if h_u.borrow()[slot].is_none() {
+                let ur = engine.snapshot_ur(ott, states[slot], t);
+                h_u.borrow_mut()[slot] = Some(ur);
                 urs_built += 1;
             }
-            let ur = h_u[slot].as_ref().expect("just built");
+            let h = h_u.borrow();
+            let ur = h[slot].as_ref().expect("just built");
             let poi = plan.poi(poi_id);
             // Cheap MBR reject mirrors the iterative algorithm's R_P
             // filtering; only genuine integrations are counted.
             if !ur.mbr().intersects(&poi.mbr()) {
+                mbr_rejects += 1;
                 return 0.0;
             }
             presence_evals += 1;
-            engine.presence(ur, poi)
+            if timed {
+                let t0 = Instant::now();
+                let p = engine.presence(ur, poi);
+                presence_hist.observe(t0.elapsed().as_nanos() as u64);
+                p
+            } else {
+                engine.presence(ur, poi)
+            }
         };
-        run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence)
+        run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence, &mut counters)
     };
+    rec.exit(descent);
     // Normalize tie order to match the iterative ranking (flow desc,
     // POI id asc); flows are unchanged.
+    let span = rec.enter("rank");
     let ranked = crate::query::rank_topk(ranked, q.k);
+    rec.exit(span);
+    rec.exit(root);
     stats.urs_built = urs_built;
     stats.presence_evaluations = presence_evals;
-    QueryResult { ranked, stats }
+    stats.mbr_rejects = mbr_rejects;
+    stats.small_mbr_rejects = small_mbr_rejects;
+    counters.fill(&mut stats, q.pois.len());
+    rec.merge_timer(Timer::Presence, &presence_hist);
+    counters.record_queue_traffic(&mut rec);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
 }
 
 /// Algorithm 5 (improved): join-based interval top-k.
 pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> QueryResult {
+    let mut rec = fa.recorder();
+    let probes0 = profiling::probes_start(&rec);
+    let root = rec.enter("interval_join");
     let mut stats = QueryStats::default();
 
     // Phase 1 (lines 1–9): group the range query's entries by object and
     // derive each object's trajectory MBRs. The full region construction is
     // cheap; the expensive presence integrations stay lazy.
+    let span = rec.enter("candidate_retrieval");
     let mut objects: Vec<ObjectId> =
         fa.artree().range_query(q.ts, q.te).iter().map(|e| e.object).collect();
     objects.sort_unstable();
     objects.dedup();
+    rec.exit(span);
 
+    let span = rec.enter("derive_urs");
     let mut urs: Vec<UncertaintyRegion> = Vec::new();
     let mut data: Vec<(Mbr, u32)> = Vec::new();
     for object in objects {
         stats.objects_considered += 1;
-        let Some(ur) = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te) else { continue };
+        let timer = rec.start(Timer::UrDerive);
+        let ur = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te);
+        rec.stop(Timer::UrDerive, timer);
+        let Some(ur) = ur else { continue };
         stats.urs_built += 1;
         if ur.is_empty() {
             continue;
@@ -163,34 +237,97 @@ pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> Quer
         data.push((ur.mbr(), slot));
         urs.push(ur);
     }
+    rec.exit(span);
+    let span = rec.enter("build_ri");
     let ri: RTree<u32> = RTree::bulk_load(data);
+    rec.exit(span);
+    let span = rec.enter("build_poi_rtree");
     let rp = fa.build_poi_rtree(&q.pois);
+    rec.exit(span);
 
     let plan = fa.engine().context().plan();
     let engine = fa.engine();
     let use_segments = cfg.use_segment_mbrs;
+    let timed = rec.is_enabled();
 
     let mut presence_evals = 0usize;
+    let mut mbr_rejects = 0usize;
+    let mut small_mbr_rejects = 0usize;
+    let mut presence_hist = Histogram::new();
+    let mut counters = JoinCounters::default();
+    let descent = rec.enter("join_descent");
     let ranked = {
         // Figure 9: admit a leaf object only if one of its small MBRs
         // intersects the POI entry's MBR.
         let mut fine_check = |slot: u32, mbr: &Mbr| {
-            !use_segments || urs[slot as usize].any_segment_intersects(mbr)
+            if !use_segments || urs[slot as usize].any_segment_intersects(mbr) {
+                true
+            } else {
+                small_mbr_rejects += 1;
+                false
+            }
         };
         let mut presence = |slot: u32, poi_id: PoiId| {
             let ur = &urs[slot as usize];
             let poi = plan.poi(poi_id);
             if !ur.mbr().intersects(&poi.mbr()) {
+                mbr_rejects += 1;
                 return 0.0;
             }
             presence_evals += 1;
-            engine.presence(ur, poi)
+            if timed {
+                let t0 = Instant::now();
+                let p = engine.presence(ur, poi);
+                presence_hist.observe(t0.elapsed().as_nanos() as u64);
+                p
+            } else {
+                engine.presence(ur, poi)
+            }
         };
-        run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence)
+        run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence, &mut counters)
     };
+    rec.exit(descent);
+    let span = rec.enter("rank");
     let ranked = crate::query::rank_topk(ranked, q.k);
+    rec.exit(span);
+    rec.exit(root);
     stats.presence_evaluations = presence_evals;
-    QueryResult { ranked, stats }
+    stats.mbr_rejects = mbr_rejects;
+    stats.small_mbr_rejects = small_mbr_rejects;
+    counters.fill(&mut stats, q.pois.len());
+    rec.merge_timer(Timer::Presence, &presence_hist);
+    counters.record_queue_traffic(&mut rec);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
+}
+
+/// Counters local to one [`run_join`] drive: plain integers so the
+/// closures and the driver never contend for the recorder.
+#[derive(Debug, Default, Clone, Copy)]
+struct JoinCounters {
+    /// R-tree nodes expanded on either side of the join.
+    nodes_visited: usize,
+    /// Entries pushed into the priority queue.
+    queue_pushes: usize,
+    /// Entries popped off the priority queue.
+    queue_pops: usize,
+    /// POIs whose exact flow was computed.
+    exact_resolved: usize,
+}
+
+impl JoinCounters {
+    /// Copies the driver counters into the query's [`QueryStats`].
+    fn fill(&self, stats: &mut QueryStats, query_poi_count: usize) {
+        stats.rtree_nodes_visited = self.nodes_visited;
+        stats.exact_flows_resolved = self.exact_resolved;
+        stats.pois_pruned = query_poi_count.saturating_sub(self.exact_resolved);
+    }
+
+    /// Queue traffic only exists in the join driver, so it bypasses
+    /// `QueryStats` and goes straight into the profile registry.
+    fn record_queue_traffic(&self, rec: &mut inflow_obs::Recorder) {
+        rec.add(Counter::QueuePushes, self.queue_pushes as u64);
+        rec.add(Counter::QueuePops, self.queue_pops as u64);
+    }
 }
 
 /// The shared priority-queue join driver (Algorithm 2 lines 12–48 /
@@ -202,15 +339,18 @@ fn run_join(
     k: usize,
     fine_check: &mut dyn FnMut(u32, &Mbr) -> bool,
     presence: &mut dyn FnMut(u32, PoiId) -> f64,
+    counters: &mut JoinCounters,
 ) -> Vec<(PoiId, f64)> {
     let mut result: Vec<(PoiId, f64)> = Vec::new();
     if !ri.is_empty() && !rp.is_empty() {
         let mut queue: BinaryHeap<Item> = BinaryHeap::new();
         let ri_roots = ri.root_entries();
+        counters.nodes_visited += 2; // both roots
         for e_p in rp.root_entries() {
-            push_filtered(&mut queue, rp, ri, e_p, &ri_roots, fine_check);
+            push_filtered(&mut queue, rp, ri, e_p, &ri_roots, fine_check, counters);
         }
         while let Some(item) = queue.pop() {
+            counters.queue_pops += 1;
             if item.exact {
                 // The exact flow dominates every remaining upper bound:
                 // emit (lines 22–25).
@@ -226,6 +366,7 @@ fn run_join(
                 if list_is_leaf {
                     // Exact flow: integrate every object in the join list
                     // (lines 27–33).
+                    counters.exact_resolved += 1;
                     let mut flow = 0.0;
                     for &e_i in &item.list {
                         flow += presence(*ri.item(e_i), poi);
@@ -238,25 +379,29 @@ fn run_join(
                             list: Vec::new(),
                             poi: Some(poi),
                         });
+                        counters.queue_pushes += 1;
                     }
                 } else {
                     // expandList (Algorithm 3): descend the R_I side.
+                    counters.nodes_visited += item.list.len();
                     let children: Vec<EntryRef> =
                         item.list.iter().flat_map(|&e| ri.children(e)).collect();
-                    push_filtered(&mut queue, rp, ri, item.e_p, &children, fine_check);
+                    push_filtered(&mut queue, rp, ri, item.e_p, &children, fine_check, counters);
                 }
             } else if list_is_leaf {
                 // Descend the POI side against the resolved object leaves
                 // (lines 36–45).
+                counters.nodes_visited += 1;
                 for e_p2 in rp.children(item.e_p) {
-                    push_filtered(&mut queue, rp, ri, e_p2, &item.list, fine_check);
+                    push_filtered(&mut queue, rp, ri, e_p2, &item.list, fine_check, counters);
                 }
             } else {
                 // Both sides coarse: descend both (lines 46–48).
+                counters.nodes_visited += 1 + item.list.len();
                 let children: Vec<EntryRef> =
                     item.list.iter().flat_map(|&e| ri.children(e)).collect();
                 for e_p2 in rp.children(item.e_p) {
-                    push_filtered(&mut queue, rp, ri, e_p2, &children, fine_check);
+                    push_filtered(&mut queue, rp, ri, e_p2, &children, fine_check, counters);
                 }
             }
         }
@@ -291,6 +436,7 @@ fn push_filtered(
     e_p: EntryRef,
     candidates: &[EntryRef],
     fine_check: &mut dyn FnMut(u32, &Mbr) -> bool,
+    counters: &mut JoinCounters,
 ) {
     let mbr_p = rp.entry_mbr(e_p);
     let mut ub = 0.0;
@@ -307,6 +453,7 @@ fn push_filtered(
     }
     if !list.is_empty() {
         queue.push(Item { ub, exact: false, e_p, list, poi: None });
+        counters.queue_pushes += 1;
     }
 }
 
@@ -337,11 +484,7 @@ mod tests {
             for i in 0..5 {
                 let cx = 10.0 + i as f64 * 20.0;
                 let cy = 10.0 + j as f64 * 20.0;
-                devices.push(b.add_device(
-                    format!("dev-{i}-{j}"),
-                    Point::new(cx, cy),
-                    2.0,
-                ));
+                devices.push(b.add_device(format!("dev-{i}-{j}"), Point::new(cx, cy), 2.0));
                 pois.push(b.add_poi(
                     format!("poi-{i}-{j}"),
                     Polygon::rectangle(

@@ -29,6 +29,7 @@ pub mod analytics;
 pub mod density;
 pub mod iterative;
 pub mod join;
+mod profiling;
 pub mod query;
 pub mod timeline;
 pub mod visitors;
@@ -37,5 +38,7 @@ pub use analytics::FlowAnalytics;
 pub use density::{snapshot_density, DensityGrid};
 pub use join::JoinConfig;
 pub use query::{IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
-pub use timeline::{flow_timeline, ContinuousSnapshotMonitor, FlowTimeline, TimelineBucket, TopKUpdate};
+pub use timeline::{
+    flow_timeline, ContinuousSnapshotMonitor, FlowTimeline, TimelineBucket, TopKUpdate,
+};
 pub use visitors::{also_visited, likely_visitors};

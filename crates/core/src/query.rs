@@ -49,6 +49,11 @@ impl IntervalQuery {
 }
 
 /// Execution statistics, for analysis and the paper's ablation studies.
+///
+/// Always collected (they are plain integer bumps on paths that already
+/// do real work); the richer per-phase timing breakdown lives in
+/// [`QueryResult::profile`] and is opt-in via
+/// [`crate::FlowAnalytics::with_profiling`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryStats {
     /// Objects whose tracking data overlapped the query time parameter.
@@ -57,6 +62,37 @@ pub struct QueryStats {
     pub urs_built: usize,
     /// Presence integrations performed (the dominant cost).
     pub presence_evaluations: usize,
+    /// Object–POI pairings rejected by the cheap MBR intersection test
+    /// before any integration.
+    pub mbr_rejects: usize,
+    /// Join-list entries rejected by the finer small-MBR checks (§4.3.2
+    /// per-segment MBRs in the interval join; derived-region MBRs in the
+    /// snapshot join). Always 0 for the iterative algorithms.
+    pub small_mbr_rejects: usize,
+    /// R-tree nodes expanded (`R_P` probes in the iterative algorithms,
+    /// `R_I`/`R_P` descent in the join algorithms).
+    pub rtree_nodes_visited: usize,
+    /// POIs whose exact flow the join algorithm computed. Always 0 for
+    /// the iterative algorithms (which resolve every POI implicitly).
+    pub exact_flows_resolved: usize,
+    /// POIs never exactly resolved thanks to upper-bound early
+    /// termination — the join algorithm's payoff. Always 0 for the
+    /// iterative algorithms.
+    pub pois_pruned: usize,
+}
+
+impl QueryStats {
+    /// Accumulates `other` into `self` (used for timeline totals).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.objects_considered += other.objects_considered;
+        self.urs_built += other.urs_built;
+        self.presence_evaluations += other.presence_evaluations;
+        self.mbr_rejects += other.mbr_rejects;
+        self.small_mbr_rejects += other.small_mbr_rejects;
+        self.rtree_nodes_visited += other.rtree_nodes_visited;
+        self.exact_flows_resolved += other.exact_flows_resolved;
+        self.pois_pruned += other.pois_pruned;
+    }
 }
 
 /// A ranked top-k result: `(poi, flow)` pairs in descending flow order
@@ -67,6 +103,10 @@ pub struct QueryResult {
     pub ranked: Vec<(PoiId, f64)>,
     /// Execution statistics.
     pub stats: QueryStats,
+    /// Per-phase span timings, counters and latency histograms. `Some`
+    /// only when profiling was enabled on the analytics façade; boxed so
+    /// the common disabled case stays one pointer wide.
+    pub profile: Option<Box<inflow_obs::QueryProfile>>,
 }
 
 impl QueryResult {
@@ -80,9 +120,7 @@ impl QueryResult {
 /// (ascending POI id) and truncates to `k`.
 pub(crate) fn rank_topk(mut flows: Vec<(PoiId, f64)>, k: usize) -> Vec<(PoiId, f64)> {
     flows.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("flows are never NaN")
-            .then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1).expect("flows are never NaN").then_with(|| a.0.cmp(&b.0))
     });
     flows.truncate(k);
     flows
@@ -94,12 +132,7 @@ mod tests {
 
     #[test]
     fn rank_orders_and_breaks_ties_by_id() {
-        let flows = vec![
-            (PoiId(3), 1.0),
-            (PoiId(1), 2.0),
-            (PoiId(2), 1.0),
-            (PoiId(0), 0.5),
-        ];
+        let flows = vec![(PoiId(3), 1.0), (PoiId(1), 2.0), (PoiId(2), 1.0), (PoiId(0), 0.5)];
         let ranked = rank_topk(flows, 3);
         assert_eq!(ranked, vec![(PoiId(1), 2.0), (PoiId(2), 1.0), (PoiId(3), 1.0)]);
     }

@@ -11,8 +11,10 @@
 //!   advances and reports which POIs entered or left the result.
 
 use crate::analytics::FlowAnalytics;
-use crate::query::{IntervalQuery, SnapshotQuery};
+use crate::profiling;
+use crate::query::{IntervalQuery, QueryStats, SnapshotQuery};
 use inflow_indoor::PoiId;
+use inflow_obs::QueryProfile;
 use inflow_tracking::Timestamp;
 
 /// One bucket of a [`FlowTimeline`].
@@ -25,6 +27,8 @@ pub struct TimelineBucket {
     /// Interval flows of every query POI over `[ts, te]`, unranked but in
     /// query-POI order.
     pub flows: Vec<(PoiId, f64)>,
+    /// Execution statistics of this bucket's interval evaluation.
+    pub stats: QueryStats,
 }
 
 /// Interval flows per POI over consecutive time buckets.
@@ -32,6 +36,12 @@ pub struct TimelineBucket {
 pub struct FlowTimeline {
     /// The buckets in chronological order.
     pub buckets: Vec<TimelineBucket>,
+    /// Statistics summed across all buckets.
+    pub stats: QueryStats,
+    /// Per-phase profile of the whole timeline evaluation (one `bucket`
+    /// child span per bucket under the `timeline` root). `Some` only when
+    /// profiling is enabled on the façade.
+    pub profile: Option<Box<QueryProfile>>,
 }
 
 impl FlowTimeline {
@@ -60,7 +70,9 @@ impl FlowTimeline {
     /// The `k` POIs with the largest summed flow, descending
     /// (ties by ascending POI id).
     pub fn top_k_overall(&self, k: usize) -> Vec<(PoiId, f64)> {
-        let Some(first) = self.buckets.first() else { return Vec::new() };
+        let Some(first) = self.buckets.first() else {
+            return Vec::new();
+        };
         let totals: Vec<(PoiId, f64)> =
             first.flows.iter().map(|&(p, _)| (p, self.total(p))).collect();
         crate::query::rank_topk(totals, k)
@@ -78,16 +90,24 @@ pub fn flow_timeline(
 ) -> FlowTimeline {
     assert!(bucket_len > 0.0, "bucket length must be positive");
     assert!(end >= start, "time range must be ordered");
+    let mut rec = fa.recorder();
+    let probes0 = profiling::probes_start(&rec);
+    let root = rec.enter("timeline");
     let mut buckets = Vec::new();
+    let mut total = QueryStats::default();
     let mut ts = start;
     while ts < end {
         let te = (ts + bucket_len).min(end);
         let q = IntervalQuery::new(ts, te, pois.to_vec(), pois.len());
-        let flows = fa.interval_flows(&q);
-        buckets.push(TimelineBucket { ts, te, flows });
+        let span = rec.enter("bucket");
+        let (flows, stats) = crate::iterative::interval_flows_recorded(fa, &q, &mut rec);
+        rec.exit(span);
+        total.merge(&stats);
+        buckets.push(TimelineBucket { ts, te, flows, stats });
         ts = te;
     }
-    FlowTimeline { buckets }
+    rec.exit(root);
+    FlowTimeline { buckets, stats: total, profile: profiling::finish_profile(rec, &total, probes0) }
 }
 
 /// The outcome of one continuous-monitor evaluation.
@@ -168,8 +188,10 @@ mod tests {
         );
         let dev_a = b.add_device("dev-a", Point::new(5.0, 2.0), 1.0);
         let dev_b = b.add_device("dev-b", Point::new(35.0, 2.0), 1.0);
-        let poi_a = b.add_poi("poi-a", Polygon::rectangle(Point::new(3.0, 0.0), Point::new(7.0, 4.0)));
-        let poi_b = b.add_poi("poi-b", Polygon::rectangle(Point::new(33.0, 0.0), Point::new(37.0, 4.0)));
+        let poi_a =
+            b.add_poi("poi-a", Polygon::rectangle(Point::new(3.0, 0.0), Point::new(7.0, 4.0)));
+        let poi_b =
+            b.add_poi("poi-b", Polygon::rectangle(Point::new(33.0, 0.0), Point::new(37.0, 4.0)));
         let ctx = Arc::new(IndoorContext::new(b.build().unwrap()));
 
         let mut rows = Vec::new();
@@ -227,7 +249,7 @@ mod tests {
         let u1 = monitor.evaluate_at(3.0);
         assert_eq!(u1.ranked[0].0, poi_a);
         assert!(u1.changed()); // first evaluation counts as entering
-        // Shortly after: still A.
+                               // Shortly after: still A.
         let u2 = monitor.evaluate_at(4.0);
         assert!(!u2.changed(), "top-1 should be stable: {u2:?}");
         // t=43: objects detected at reader B.
@@ -240,7 +262,7 @@ mod tests {
 
     #[test]
     fn empty_timeline_helpers() {
-        let tl = FlowTimeline { buckets: Vec::new() };
+        let tl = FlowTimeline { buckets: Vec::new(), stats: QueryStats::default(), profile: None };
         assert!(tl.top_k_overall(3).is_empty());
         assert!(tl.peak_bucket(PoiId(0)).is_none());
         assert_eq!(tl.total(PoiId(0)), 0.0);

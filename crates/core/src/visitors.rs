@@ -35,7 +35,9 @@ pub fn likely_visitors(
 
     let mut visitors = Vec::new();
     for object in objects {
-        let Some(ur) = fa.engine().interval_ur(fa.ott(), object, ts, te) else { continue };
+        let Some(ur) = fa.engine().interval_ur(fa.ott(), object, ts, te) else {
+            continue;
+        };
         if ur.is_empty() {
             continue;
         }

@@ -13,6 +13,22 @@ use crate::mbr::Mbr;
 use crate::point::Point;
 use crate::polygon::Polygon;
 use crate::region::Region;
+use std::cell::Cell;
+
+thread_local! {
+    static PROBES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotonic per-thread count of membership probes issued by the grid
+/// integrator (corner lattice + cell centres + super-samples).
+///
+/// Observability hook: profilers snapshot it before and after a query
+/// and report the delta as "grid probes" — the number of point-in-region
+/// tests the query's presence integrations cost. Wraps on overflow
+/// (never in practice).
+pub fn integration_probes() -> u64 {
+    PROBES.with(|c| c.get())
+}
 
 /// Grid resolution parameters for the integrator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +66,11 @@ impl Default for GridResolution {
 /// Integrates over `region.mbr() ∩ polygon.mbr()`. Cells whose four corners
 /// and centre agree on membership are counted whole; straddling cells are
 /// super-sampled. Returns `0.0` for empty intersections.
-pub fn area_in_polygon(region: &(impl Region + ?Sized), polygon: &Polygon, res: GridResolution) -> f64 {
+pub fn area_in_polygon(
+    region: &(impl Region + ?Sized),
+    polygon: &Polygon,
+    res: GridResolution,
+) -> f64 {
     let window = region.mbr().intersection(&polygon.mbr());
     // The polygon test is far cheaper than a composite (possibly
     // topology-constrained) region test, so it goes first.
@@ -63,11 +83,7 @@ pub fn area_of_region(region: &(impl Region + ?Sized), res: GridResolution) -> f
 }
 
 /// Area of `region` restricted to an explicit window rectangle.
-pub fn area_in_window(
-    region: &(impl Region + ?Sized),
-    window: Mbr,
-    res: GridResolution,
-) -> f64 {
+pub fn area_in_window(region: &(impl Region + ?Sized), window: Mbr, res: GridResolution) -> f64 {
     let window = region.mbr().intersection(&window);
     integrate(&|p| region.contains(p), window, res)
 }
@@ -97,6 +113,8 @@ fn integrate(inside: &dyn Fn(Point) -> bool, window: Mbr, res: GridResolution) -
         }
     }
 
+    let mut probes = ((n + 1) * (n + 1)) as u64;
+
     let s = res.supersample;
     let sub_area = cell_area / (s * s) as f64;
     let mut total = 0.0;
@@ -108,6 +126,7 @@ fn integrate(inside: &dyn Fn(Point) -> bool, window: Mbr, res: GridResolution) -
             let c10 = corners[j * (n + 1) + i + 1];
             let c01 = corners[(j + 1) * (n + 1) + i];
             let c11 = corners[(j + 1) * (n + 1) + i + 1];
+            probes += 1;
             let center = inside(Point::new(x0 + 0.5 * dx, y0 + 0.5 * dy));
             let all_in = c00 && c10 && c01 && c11 && center;
             let all_out = !c00 && !c10 && !c01 && !c11 && !center;
@@ -119,6 +138,7 @@ fn integrate(inside: &dyn Fn(Point) -> bool, window: Mbr, res: GridResolution) -
                 // interest span multiple cells.
             } else {
                 // Boundary cell: super-sample at sub-cell centres.
+                probes += (s * s) as u64;
                 let mut hits = 0usize;
                 for sj in 0..s {
                     let y = y0 + dy * (sj as f64 + 0.5) / s as f64;
@@ -133,6 +153,7 @@ fn integrate(inside: &dyn Fn(Point) -> bool, window: Mbr, res: GridResolution) -
             }
         }
     }
+    PROBES.with(|c| c.set(c.get().wrapping_add(probes)));
     total
 }
 

@@ -30,15 +30,16 @@ pub mod region;
 pub mod ring;
 pub mod segment;
 
-pub use area::{area_in_polygon, area_in_window, area_of_region, GridResolution};
+pub use area::{
+    area_in_polygon, area_in_window, area_of_region, integration_probes, GridResolution,
+};
 pub use circle::{circle_circle_intersection_area, circle_polygon_area, Circle};
 pub use ellipse::ExtendedEllipse;
 pub use mbr::Mbr;
 pub use point::{Point, Vec2};
 pub use polygon::Polygon;
 pub use region::{
-    BoxedRegion, EmptyRegion, HalfPlane, Region, RegionDifference, RegionIntersection,
-    RegionUnion,
+    BoxedRegion, EmptyRegion, HalfPlane, Region, RegionDifference, RegionIntersection, RegionUnion,
 };
 pub use ring::Ring;
 pub use segment::Segment;

@@ -65,17 +65,9 @@ impl Polygon {
     /// Builds an axis-aligned rectangle from two opposite corners.
     pub fn rectangle(a: Point, b: Point) -> Polygon {
         let m = Mbr::new(a, b);
-        assert!(
-            m.width() > EPS && m.height() > EPS,
-            "degenerate rectangle: {a} .. {b}"
-        );
-        Polygon::new(vec![
-            m.lo,
-            Point::new(m.hi.x, m.lo.y),
-            m.hi,
-            Point::new(m.lo.x, m.hi.y),
-        ])
-        .expect("rectangle is a valid polygon")
+        assert!(m.width() > EPS && m.height() > EPS, "degenerate rectangle: {a} .. {b}");
+        Polygon::new(vec![m.lo, Point::new(m.hi.x, m.lo.y), m.hi, Point::new(m.lo.x, m.hi.y)])
+            .expect("rectangle is a valid polygon")
     }
 
     /// A regular `n`-gon approximating a circle; useful for tests and
@@ -279,12 +271,8 @@ mod tests {
             PolygonError::TooFewVertices
         );
         assert_eq!(
-            Polygon::new(vec![
-                Point::new(0.0, 0.0),
-                Point::new(1.0, 0.0),
-                Point::new(2.0, 0.0)
-            ])
-            .unwrap_err(),
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)])
+                .unwrap_err(),
             PolygonError::DegenerateArea
         );
         assert_eq!(

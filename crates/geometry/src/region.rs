@@ -168,17 +168,17 @@ impl RegionIntersection {
     /// universal region, which is almost never intended — callers should
     /// supply at least one part.
     pub fn new(parts: Vec<BoxedRegion>) -> RegionIntersection {
-        let mbr = parts
-            .iter()
-            .map(|r| r.mbr())
-            .reduce(|a, b| a.intersection(&b))
-            .unwrap_or(Mbr::EMPTY);
+        let mbr =
+            parts.iter().map(|r| r.mbr()).reduce(|a, b| a.intersection(&b)).unwrap_or(Mbr::EMPTY);
         RegionIntersection { parts, mbr }
     }
 
     /// Convenience constructor for the common two-part case
     /// (e.g. `Ring ∩ Ring` in the inactive snapshot UR).
-    pub fn of(a: impl Region + Send + Sync + 'static, b: impl Region + Send + Sync + 'static) -> RegionIntersection {
+    pub fn of(
+        a: impl Region + Send + Sync + 'static,
+        b: impl Region + Send + Sync + 'static,
+    ) -> RegionIntersection {
         RegionIntersection::new(vec![Box::new(a), Box::new(b)])
     }
 }
@@ -211,8 +211,7 @@ pub struct RegionUnion {
 impl RegionUnion {
     /// Builds the union of `parts`; empty parts are harmless.
     pub fn new(parts: Vec<BoxedRegion>) -> RegionUnion {
-        let parts: Vec<(Mbr, BoxedRegion)> =
-            parts.into_iter().map(|r| (r.mbr(), r)).collect();
+        let parts: Vec<(Mbr, BoxedRegion)> = parts.into_iter().map(|r| (r.mbr(), r)).collect();
         let mbr = parts.iter().fold(Mbr::EMPTY, |m, (pm, _)| m.union(pm));
         RegionUnion { parts, mbr }
     }
@@ -225,11 +224,7 @@ impl RegionUnion {
 
 impl Region for RegionUnion {
     fn contains(&self, p: Point) -> bool {
-        self.mbr.contains(p)
-            && self
-                .parts
-                .iter()
-                .any(|(pm, r)| pm.contains(p) && r.contains(p))
+        self.mbr.contains(p) && self.parts.iter().any(|(pm, r)| pm.contains(p) && r.contains(p))
     }
     fn mbr(&self) -> Mbr {
         self.mbr
@@ -311,10 +306,8 @@ mod tests {
 
     #[test]
     fn union_membership_and_mbr() {
-        let u = RegionUnion::new(vec![
-            Box::new(disk(0.0, 0.0, 1.0)),
-            Box::new(disk(10.0, 0.0, 1.0)),
-        ]);
+        let u =
+            RegionUnion::new(vec![Box::new(disk(0.0, 0.0, 1.0)), Box::new(disk(10.0, 0.0, 1.0))]);
         assert!(u.contains(Point::new(0.5, 0.0)));
         assert!(u.contains(Point::new(10.5, 0.0)));
         assert!(!u.contains(Point::new(5.0, 0.0)));

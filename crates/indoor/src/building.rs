@@ -97,7 +97,10 @@ pub struct Building {
 
 impl Building {
     /// Assembles a building, validating the connectors.
-    pub fn new(floors: Vec<FloorPlan>, connectors: Vec<Connector>) -> Result<Building, BuildingError> {
+    pub fn new(
+        floors: Vec<FloorPlan>,
+        connectors: Vec<Connector>,
+    ) -> Result<Building, BuildingError> {
         if floors.is_empty() {
             return Err(BuildingError::NoFloors);
         }
@@ -387,7 +390,12 @@ mod tests {
         assert!(matches!(Building::new(Vec::new(), Vec::new()), Err(BuildingError::NoFloors)));
         let err = Building::new(
             vec![corridor_floor()],
-            vec![Connector { name: "bad".into(), a: bp(0, 1.0, 1.0), b: bp(5, 1.0, 1.0), length: 3.0 }],
+            vec![Connector {
+                name: "bad".into(),
+                a: bp(0, 1.0, 1.0),
+                b: bp(5, 1.0, 1.0),
+                length: 3.0,
+            }],
         )
         .unwrap_err();
         assert!(matches!(err, BuildingError::UnknownFloor { .. }));
@@ -404,7 +412,12 @@ mod tests {
         assert!(matches!(err, BuildingError::EndpointOutsideFloor { .. }));
         let err = Building::new(
             vec![corridor_floor()],
-            vec![Connector { name: "zero".into(), a: bp(0, 1.0, 1.0), b: bp(0, 2.0, 1.0), length: 0.0 }],
+            vec![Connector {
+                name: "zero".into(),
+                a: bp(0, 1.0, 1.0),
+                b: bp(0, 2.0, 1.0),
+                length: 0.0,
+            }],
         )
         .unwrap_err();
         assert!(matches!(err, BuildingError::InvalidLength { .. }));

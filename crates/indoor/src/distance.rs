@@ -343,11 +343,7 @@ mod tests {
         let dist = oracle.distance(&plan, p, q).unwrap();
         assert!((route.length - dist).abs() < 1e-12);
         // Length equals the polyline length.
-        let poly_len: f64 = route
-            .waypoints
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum();
+        let poly_len: f64 = route.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum();
         assert!((route.length - poly_len).abs() < 1e-12);
     }
 

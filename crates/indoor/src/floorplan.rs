@@ -134,12 +134,7 @@ impl FloorPlanBuilder {
     }
 
     /// Adds a proximity-detection device.
-    pub fn add_device(
-        &mut self,
-        name: impl Into<String>,
-        position: Point,
-        range: f64,
-    ) -> DeviceId {
+    pub fn add_device(&mut self, name: impl Into<String>, position: Point, range: f64) -> DeviceId {
         let id = DeviceId(self.devices.len() as u32);
         self.devices.push(Device::new(id, name, position, range));
         id
@@ -162,10 +157,8 @@ impl FloorPlanBuilder {
         }
         for door in &self.doors {
             for cell_id in [door.cells.0, door.cells.1] {
-                let cell = self
-                    .cells
-                    .get(cell_id.index())
-                    .ok_or(FloorPlanError::UnknownCell(cell_id))?;
+                let cell =
+                    self.cells.get(cell_id.index()).ok_or(FloorPlanError::UnknownCell(cell_id))?;
                 let dist = if cell.contains(door.position) {
                     0.0
                 } else {
@@ -188,10 +181,7 @@ impl FloorPlanBuilder {
             doors_by_cell[door.cells.0.index()].push(door.id);
             doors_by_cell[door.cells.1.index()].push(door.id);
         }
-        let mbr = self
-            .cells
-            .iter()
-            .fold(Mbr::EMPTY, |m, c| m.union(&c.footprint.mbr()));
+        let mbr = self.cells.iter().fold(Mbr::EMPTY, |m, c| m.union(&c.footprint.mbr()));
         let locator = CellLocator::build(&self.cells, mbr);
         Ok(FloorPlan {
             cells: self.cells,

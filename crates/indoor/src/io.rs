@@ -98,15 +98,7 @@ pub fn write_plan(out: &mut impl Write, plan: &FloorPlan) -> Result<(), PlanIoEr
     }
     for poi in plan.pois() {
         let m = poi.mbr();
-        writeln!(
-            out,
-            "poi {} {} {} {} {}",
-            sanitize(&poi.name),
-            m.lo.x,
-            m.lo.y,
-            m.hi.x,
-            m.hi.y
-        )?;
+        writeln!(out, "poi {} {} {} {} {}", sanitize(&poi.name), m.lo.x, m.lo.y, m.hi.x, m.hi.y)?;
     }
     Ok(())
 }

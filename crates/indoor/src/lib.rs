@@ -24,7 +24,9 @@ pub mod ids;
 pub mod io;
 pub mod poi;
 
-pub use building::{Building, BuildingDistanceOracle, BuildingError, BuildingPoint, Connector, FloorId};
+pub use building::{
+    Building, BuildingDistanceOracle, BuildingError, BuildingPoint, Connector, FloorId,
+};
 pub use device::Device;
 pub use distance::{DistanceOracle, Route};
 pub use floorplan::{Cell, CellKind, Door, FloorPlan, FloorPlanBuilder, FloorPlanError};

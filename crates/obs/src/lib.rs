@@ -1,0 +1,52 @@
+//! Zero-dependency observability for the flow-query stack.
+//!
+//! The paper's evaluation (§5) compares the iterative and join
+//! algorithms purely by end-to-end latency, but the join algorithms win
+//! through *internal* behavior — upper-bound pruning, §4.3.2 small-MBR
+//! short-circuits, avoided presence integrations. This crate makes that
+//! behavior visible without pulling in `tracing`/`metrics` (the
+//! workspace must build offline):
+//!
+//! * [`Recorder`] — a per-query recorder handed out by the analytics
+//!   façade. Disabled by default and free when disabled: it is a
+//!   single niche-optimized `Option<Box<_>>`, every record call is one
+//!   branch on `None`, and nothing allocates.
+//! * Hierarchical timed **spans** ([`Recorder::enter`]/[`Recorder::exit`])
+//!   for algorithm phases (candidate retrieval, R-tree join descent,
+//!   priority-queue draining, ranking…).
+//! * A fixed **counter registry** ([`Counter`]) — R-tree nodes visited,
+//!   POIs pruned by upper bound, small-MBR rejects, grid cells
+//!   integrated — cheap enough to sit on hot paths.
+//! * Log₂-bucketed latency **histograms** ([`Histogram`], [`Timer`]) for
+//!   sub-phase operations executed thousands of times per query
+//!   (presence integration, UR derivation).
+//! * [`QueryProfile`] — the frozen result: a span tree plus counter and
+//!   timer tables, renderable as a human phase tree ([`QueryProfile::render`])
+//!   or machine JSON ([`QueryProfile::to_json`]).
+//!
+//! The intended pattern mirrors how the query layer uses it:
+//!
+//! ```
+//! use inflow_obs::{Counter, Recorder, Timer};
+//!
+//! let mut rec = Recorder::enabled();
+//! let root = rec.enter("snapshot_join");
+//! let descent = rec.enter("join_descent");
+//! rec.add(Counter::RtreeNodesVisited, 17);
+//! let t = rec.start(Timer::Presence);
+//! // ... integrate presence ...
+//! rec.stop(Timer::Presence, t);
+//! rec.exit(descent);
+//! rec.exit(root);
+//! let profile = rec.finish().expect("enabled recorder yields a profile");
+//! assert_eq!(profile.counter("rtree_nodes_visited"), 17);
+//! println!("{}", profile.render());
+//! ```
+
+mod metrics;
+mod profile;
+mod recorder;
+
+pub use metrics::{Counter, CounterSet, Histogram, Timer};
+pub use profile::{ProfileSpan, QueryProfile, TimerSummary};
+pub use recorder::{Recorder, SpanToken, TimerToken};

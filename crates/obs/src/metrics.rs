@@ -1,0 +1,326 @@
+//! Counters and latency histograms.
+//!
+//! The counter registry is a fixed enum rather than a string-keyed map:
+//! hot paths pay one array index, names live in one place, and the
+//! profile output is stable and exhaustively enumerable.
+
+/// Everything the query stack counts.
+///
+/// Kept in one registry (not per-module ad-hoc fields) so the CLI, the
+/// bench harness and the JSON output all agree on names. Counters that
+/// only one algorithm family can bump simply stay zero for the other —
+/// that asymmetry is itself informative (e.g. `pois_pruned` > 0 is the
+/// join algorithm's whole reason to exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Objects whose tracking records overlap the query time(s).
+    ObjectsConsidered,
+    /// Uncertainty regions actually derived.
+    UrsBuilt,
+    /// Exact presence integrations performed (the dominant cost).
+    PresenceEvaluations,
+    /// Object–POI pairings rejected by the cheap MBR intersection test
+    /// before any integration.
+    MbrRejects,
+    /// §4.3.2: join-list entries rejected because no per-segment small
+    /// MBR (or derived snapshot MBR) intersects the POI entry.
+    SmallMbrRejects,
+    /// R-tree nodes expanded (R_P probes plus R_I × R_P join descent).
+    RtreeNodesVisited,
+    /// Entries pushed into the join priority queue.
+    QueuePushes,
+    /// Entries popped off the join priority queue.
+    QueuePops,
+    /// POIs whose exact flow was resolved (join only).
+    ExactFlowsResolved,
+    /// POIs never exactly resolved thanks to upper-bound early
+    /// termination (join only).
+    PoisPruned,
+    /// Membership probes issued by the adaptive grid integrator
+    /// (`inflow_geometry::area`) — grid cells × samples.
+    GridProbes,
+}
+
+impl Counter {
+    /// All counters, in display order.
+    pub const ALL: [Counter; 11] = [
+        Counter::ObjectsConsidered,
+        Counter::UrsBuilt,
+        Counter::PresenceEvaluations,
+        Counter::MbrRejects,
+        Counter::SmallMbrRejects,
+        Counter::RtreeNodesVisited,
+        Counter::QueuePushes,
+        Counter::QueuePops,
+        Counter::ExactFlowsResolved,
+        Counter::PoisPruned,
+        Counter::GridProbes,
+    ];
+
+    /// Stable snake_case name used in rendered and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ObjectsConsidered => "objects_considered",
+            Counter::UrsBuilt => "urs_built",
+            Counter::PresenceEvaluations => "presence_evaluations",
+            Counter::MbrRejects => "mbr_rejects",
+            Counter::SmallMbrRejects => "small_mbr_rejects",
+            Counter::RtreeNodesVisited => "rtree_nodes_visited",
+            Counter::QueuePushes => "queue_pushes",
+            Counter::QueuePops => "queue_pops",
+            Counter::ExactFlowsResolved => "exact_flows_resolved",
+            Counter::PoisPruned => "pois_pruned",
+            Counter::GridProbes => "grid_probes",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL.iter().position(|&c| c == self).expect("counter in ALL")
+    }
+}
+
+/// A fixed-size bag of counter values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    values: [u64; Counter::ALL.len()],
+}
+
+impl CounterSet {
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        self.values[counter.index()] += n;
+    }
+
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter.index()]
+    }
+
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (dst, src) in self.values.iter_mut().zip(&other.values) {
+            *dst += src;
+        }
+    }
+
+    /// `(counter, value)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    pub fn is_all_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+}
+
+/// Named per-operation latency histograms.
+///
+/// Like [`Counter`], a fixed registry: each variant owns one histogram
+/// slot in the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Timer {
+    /// One `UrEngine::presence` integration.
+    Presence,
+    /// One snapshot/interval uncertainty-region derivation.
+    UrDerive,
+}
+
+impl Timer {
+    pub const ALL: [Timer; 2] = [Timer::Presence, Timer::UrDerive];
+
+    /// Stable snake_case name used in rendered and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Timer::Presence => "presence",
+            Timer::UrDerive => "ur_derive",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        Timer::ALL.iter().position(|&t| t == self).expect("timer in ALL")
+    }
+}
+
+const BUCKETS: usize = 44;
+
+/// Log₂-bucketed nanosecond histogram.
+///
+/// Bucket `i` holds observations in `[2^i, 2^(i+1))` ns (bucket 0 also
+/// takes 0 ns). 44 buckets cover up to ~4.8 hours — effectively
+/// unbounded for per-operation latencies. Fixed-size and allocation-free
+/// so closures on hot paths can own one locally and merge it into the
+/// recorder afterwards.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { count: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    pub fn observe(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`): upper edge of the bucket
+    /// containing the q-th observation, clamped to the observed max.
+    /// Log₂ buckets bound the relative error by 2×, which is plenty for
+    /// "is presence integration microseconds or milliseconds" questions.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_snake_case() {
+        let names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{n}");
+        }
+    }
+
+    #[test]
+    fn counter_set_add_get_merge() {
+        let mut a = CounterSet::new();
+        assert!(a.is_all_zero());
+        a.add(Counter::PresenceEvaluations, 3);
+        a.add(Counter::PresenceEvaluations, 2);
+        let mut b = CounterSet::new();
+        b.add(Counter::PresenceEvaluations, 10);
+        b.add(Counter::QueuePops, 1);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::PresenceEvaluations), 15);
+        assert_eq!(a.get(Counter::QueuePops), 1);
+        assert_eq!(a.get(Counter::PoisPruned), 0);
+        assert!(!a.is_all_zero());
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.observe(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 101_500);
+        assert_eq!(h.min_ns(), 100);
+        assert_eq!(h.max_ns(), 100_000);
+        // Median falls in the bucket containing 400 ([256, 512)).
+        let p50 = h.quantile_ns(0.5);
+        assert!((256..=511).contains(&p50), "p50 {p50}");
+        // The tail quantile is clamped to the observed max.
+        assert_eq!(h.quantile_ns(1.0), 100_000);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_observation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for ns in [10u64, 20, 30] {
+            a.observe(ns);
+            c.observe(ns);
+        }
+        for ns in [1_000u64, 2_000] {
+            b.observe(ns);
+            c.observe(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.sum_ns(), c.sum_ns());
+        assert_eq!(a.min_ns(), c.min_ns());
+        assert_eq!(a.max_ns(), c.max_ns());
+        assert_eq!(a.quantile_ns(0.9), c.quantile_ns(0.9));
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), u64::MAX);
+    }
+}

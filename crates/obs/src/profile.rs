@@ -1,0 +1,286 @@
+//! The frozen query profile: span tree + counter/timer tables, with a
+//! human-readable renderer and a hand-rolled JSON serializer (no serde —
+//! the workspace must build offline).
+
+use crate::metrics::CounterSet;
+use std::fmt::Write as _;
+
+/// One node of the recorded span tree.
+#[derive(Debug, Clone)]
+pub struct ProfileSpan {
+    pub name: &'static str,
+    pub duration_ns: u64,
+    pub children: Vec<ProfileSpan>,
+}
+
+impl ProfileSpan {
+    /// Depth-first search by span name.
+    pub fn find(&self, name: &str) -> Option<&ProfileSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Sum of direct children's durations (≤ `duration_ns` for a
+    /// well-nested recording).
+    pub fn child_duration_ns(&self) -> u64 {
+        self.children.iter().map(|c| c.duration_ns).sum()
+    }
+}
+
+/// Summary row for one [`crate::Timer`] histogram.
+#[derive(Debug, Clone)]
+pub struct TimerSummary {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Everything one profiled query recorded.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Top-level spans in entry order (usually exactly one per query).
+    pub roots: Vec<ProfileSpan>,
+    /// Final counter values.
+    pub counters: CounterSet,
+    /// Latency summaries for timers that observed at least one sample.
+    pub timers: Vec<TimerSummary>,
+}
+
+/// `1_234_567` ns → `"1.235 ms"` — pick the unit that keeps 1–3 integer
+/// digits.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl QueryProfile {
+    /// Value of a counter by its stable name (0 for unknown names —
+    /// callers probe optimistically).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(c, _)| c.name() == name).map(|(_, v)| v).unwrap_or(0)
+    }
+
+    /// Depth-first search across all roots.
+    pub fn span(&self, name: &str) -> Option<&ProfileSpan> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// Human-readable phase tree plus counter and timer tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            render_span(&mut out, root, &mut Vec::new());
+        }
+        let nonzero: Vec<_> = self.counters.iter().filter(|&(_, v)| v > 0).collect();
+        if !nonzero.is_empty() {
+            out.push_str("counters:\n");
+            let width = nonzero.iter().map(|(c, _)| c.name().len()).max().unwrap_or(0);
+            for (c, v) in nonzero {
+                let _ = writeln!(out, "  {:<width$}  {v}", c.name());
+            }
+        }
+        if !self.timers.is_empty() {
+            out.push_str("timers:\n");
+            for t in &self.timers {
+                let _ = writeln!(
+                    out,
+                    "  {}: n={} total={} mean={} p50={} p95={} max={}",
+                    t.name,
+                    t.count,
+                    fmt_ns(t.total_ns),
+                    fmt_ns(t.mean_ns),
+                    fmt_ns(t.p50_ns),
+                    fmt_ns(t.p95_ns),
+                    fmt_ns(t.max_ns),
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON:
+    /// `{"spans":[...],"counters":{...},"timers":[...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"spans\":[");
+        for (i, root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            span_json(&mut out, root);
+        }
+        out.push_str("],\"counters\":{");
+        let mut first = true;
+        for (c, v) in self.counters.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{v}", c.name());
+        }
+        out.push_str("},\"timers\":[");
+        for (i, t) in self.timers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+                t.name, t.count, t.total_ns, t.mean_ns, t.p50_ns, t.p95_ns, t.max_ns,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn render_span(out: &mut String, span: &ProfileSpan, ancestors_last: &mut Vec<bool>) {
+    for (i, &last) in ancestors_last.iter().enumerate() {
+        let leading = i + 1 == ancestors_last.len();
+        out.push_str(match (leading, last) {
+            (true, true) => "└─ ",
+            (true, false) => "├─ ",
+            (false, true) => "   ",
+            (false, false) => "│  ",
+        });
+    }
+    let indent = ancestors_last.len() * 3;
+    let pad = 40usize.saturating_sub(indent + span.name.len());
+    let _ = writeln!(out, "{}{:pad$} {:>12}", span.name, "", fmt_ns(span.duration_ns));
+    for (i, child) in span.children.iter().enumerate() {
+        ancestors_last.push(i + 1 == span.children.len());
+        render_span(out, child, ancestors_last);
+        ancestors_last.pop();
+    }
+}
+
+/// Span names are `&'static str` identifiers chosen by this workspace,
+/// but escape anyway so the output is valid JSON no matter what.
+fn span_json(out: &mut String, span: &ProfileSpan) {
+    out.push_str("{\"name\":\"");
+    for ch in span.name.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    let _ = write!(out, "\",\"duration_ns\":{},\"children\":[", span.duration_ns);
+    for (i, child) in span.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        span_json(out, child);
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Counter;
+
+    fn sample() -> QueryProfile {
+        let mut counters = CounterSet::new();
+        counters.add(Counter::PresenceEvaluations, 42);
+        counters.add(Counter::PoisPruned, 3);
+        QueryProfile {
+            roots: vec![ProfileSpan {
+                name: "snapshot_join",
+                duration_ns: 2_000_000,
+                children: vec![
+                    ProfileSpan {
+                        name: "candidate_retrieval",
+                        duration_ns: 300_000,
+                        children: vec![],
+                    },
+                    ProfileSpan {
+                        name: "join_descent",
+                        duration_ns: 1_500_000,
+                        children: vec![ProfileSpan {
+                            name: "rank",
+                            duration_ns: 10_000,
+                            children: vec![],
+                        }],
+                    },
+                ],
+            }],
+            counters,
+            timers: vec![TimerSummary {
+                name: "presence",
+                count: 42,
+                total_ns: 1_200_000,
+                mean_ns: 28_571,
+                p50_ns: 16_383,
+                p95_ns: 65_535,
+                max_ns: 90_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_tree_and_tables() {
+        let text = sample().render();
+        assert!(text.contains("snapshot_join"));
+        assert!(text.contains("├─ candidate_retrieval"));
+        assert!(text.contains("└─ join_descent"));
+        assert!(text.contains("└─ rank"));
+        assert!(text.contains("presence_evaluations"));
+        assert!(text.contains("42"));
+        assert!(text.contains("presence: n=42"));
+        // Zero counters are suppressed.
+        assert!(!text.contains("queue_pushes"));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"spans\":["));
+        assert!(json.contains("\"name\":\"snapshot_join\""));
+        assert!(json.contains("\"duration_ns\":2000000"));
+        assert!(json.contains("\"counters\":{"));
+        assert!(json.contains("\"presence_evaluations\":42"));
+        assert!(json.contains("\"timers\":["));
+        assert!(json.contains("\"p95_ns\":65535"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn find_and_counter_lookup() {
+        let p = sample();
+        assert_eq!(p.span("rank").unwrap().duration_ns, 10_000);
+        assert!(p.span("missing").is_none());
+        assert_eq!(p.counter("presence_evaluations"), 42);
+        assert_eq!(p.counter("nope"), 0);
+        let root = &p.roots[0];
+        assert!(root.child_duration_ns() <= root.duration_ns);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut out = String::new();
+        span_json(
+            &mut out,
+            &ProfileSpan { name: "we\"ird\\name", duration_ns: 1, children: vec![] },
+        );
+        assert!(out.contains("we\\\"ird\\\\name"));
+    }
+}

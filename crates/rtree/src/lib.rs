@@ -111,20 +111,12 @@ impl<T> RTree<T> {
         let strip_count = (node_count as f64).sqrt().ceil() as usize;
         let per_strip = n.div_ceil(strip_count);
         entries.sort_by(|a, b| {
-            a.mbr
-                .center()
-                .x
-                .partial_cmp(&b.mbr.center().x)
-                .expect("finite coordinates")
+            a.mbr.center().x.partial_cmp(&b.mbr.center().x).expect("finite coordinates")
         });
         let mut parents = Vec::with_capacity(node_count);
         for strip in entries.chunks_mut(per_strip.max(1)) {
             strip.sort_by(|a, b| {
-                a.mbr
-                    .center()
-                    .y
-                    .partial_cmp(&b.mbr.center().y)
-                    .expect("finite coordinates")
+                a.mbr.center().y.partial_cmp(&b.mbr.center().y).expect("finite coordinates")
             });
             for group in strip.chunks(MAX_ENTRIES) {
                 let node_idx = self.nodes.len() as u32;
@@ -292,13 +284,28 @@ impl<T> RTree<T> {
         out
     }
 
+    /// Like [`RTree::query_intersecting`], but also reports how many tree
+    /// nodes the search expanded — the observability layer's
+    /// `rtree_nodes_visited` counter.
+    pub fn query_intersecting_counted(&self, query: &Mbr) -> (Vec<&T>, usize) {
+        let mut out = Vec::new();
+        let visited = self.visit_counted(query, &mut |_mbr, item| out.push(item));
+        (out, visited)
+    }
+
     /// Visits `(mbr, item)` for every item whose MBR intersects `query`.
     pub fn visit_intersecting<'a>(&'a self, query: &Mbr, f: &mut dyn FnMut(&Mbr, &'a T)) {
+        self.visit_counted(query, f);
+    }
+
+    fn visit_counted<'a>(&'a self, query: &Mbr, f: &mut dyn FnMut(&Mbr, &'a T)) -> usize {
         if self.len == 0 {
-            return;
+            return 0;
         }
+        let mut visited = 0;
         let mut stack = vec![self.root];
         while let Some(node_idx) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[node_idx as usize];
             for e in &node.entries {
                 if e.mbr.intersects(query) {
@@ -310,6 +317,7 @@ impl<T> RTree<T> {
                 }
             }
         }
+        visited
     }
 
     // ---- Entry-level API used by the join algorithms -------------------
@@ -365,14 +373,9 @@ impl<T> RTree<T> {
 
     /// Iterates over all `(mbr, item)` pairs (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = (Mbr, &T)> + '_ {
-        self.nodes
-            .iter()
-            .filter(|n| n.level == 0)
-            .flat_map(move |n| {
-                n.entries
-                    .iter()
-                    .map(move |e| (e.mbr, &self.items[e.child as usize]))
-            })
+        self.nodes.iter().filter(|n| n.level == 0).flat_map(move |n| {
+            n.entries.iter().map(move |e| (e.mbr, &self.items[e.child as usize]))
+        })
     }
 }
 
@@ -424,12 +427,8 @@ mod tests {
     }
 
     fn brute_force(rects: &[Mbr], query: &Mbr) -> Vec<usize> {
-        let mut v: Vec<usize> = rects
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.intersects(query))
-            .map(|(i, _)| i)
-            .collect();
+        let mut v: Vec<usize> =
+            rects.iter().enumerate().filter(|(_, r)| r.intersects(query)).map(|(i, _)| i).collect();
         v.sort_unstable();
         v
     }
@@ -494,10 +493,7 @@ mod tests {
             let parent_mbr = tree.entry_mbr(e);
             for child in tree.children(e) {
                 let (child_mbr, child_count) = recurse(tree, child);
-                assert!(
-                    parent_mbr.contains_mbr(&child_mbr),
-                    "parent MBR must contain child MBR"
-                );
+                assert!(parent_mbr.contains_mbr(&child_mbr), "parent MBR must contain child MBR");
                 total += child_count;
             }
             assert_eq!(tree.entry_count(e), total, "aggregate count mismatch");

@@ -86,7 +86,14 @@ impl ArTree {
                     Some(p) => (ott.record(p).te, false),
                     None => (rec.ts, true),
                 };
-                entries.push(ArTreeEntry { t1, t2: rec.te, closed_start, pred, cur: rid, object: obj });
+                entries.push(ArTreeEntry {
+                    t1,
+                    t2: rec.te,
+                    closed_start,
+                    pred,
+                    cur: rid,
+                    object: obj,
+                });
             }
         }
         entries.sort_by(|a, b| a.t1.partial_cmp(&b.t1).expect("finite timestamps"));
@@ -306,11 +313,8 @@ mod tests {
         // exactly one of its entries.
         let mut t = 1.0;
         while t <= 6.0 {
-            let covering: Vec<_> = tree
-                .entries()
-                .iter()
-                .filter(|e| e.object == ObjectId(1) && e.covers(t))
-                .collect();
+            let covering: Vec<_> =
+                tree.entries().iter().filter(|e| e.object == ObjectId(1) && e.covers(t)).collect();
             assert_eq!(covering.len(), 1, "t={t}");
             t += 0.25;
         }

@@ -161,10 +161,8 @@ fn content_lines(
 }
 
 fn parse<T: std::str::FromStr>(s: &str, field: &str, line: usize) -> Result<T, CsvError> {
-    s.parse().map_err(|_| CsvError::BadLine {
-        line,
-        reason: format!("cannot parse {field} from '{s}'"),
-    })
+    s.parse()
+        .map_err(|_| CsvError::BadLine { line, reason: format!("cannot parse {field} from '{s}'") })
 }
 
 #[cfg(test)]

@@ -26,8 +26,12 @@ pub mod reading;
 pub mod stream;
 
 pub use artree::{ArTree, ArTreeEntry};
-pub use io::{read_ott_csv, read_readings_csv, write_ott_csv, write_readings_csv, write_table_csv, CsvError};
-pub use ott::{ObjectId, ObjectState, ObjectTrackingTable, OttError, OttRow, RecordId, TrackingRecord};
+pub use io::{
+    read_ott_csv, read_readings_csv, write_ott_csv, write_readings_csv, write_table_csv, CsvError,
+};
+pub use ott::{
+    ObjectId, ObjectState, ObjectTrackingTable, OttError, OttRow, RecordId, TrackingRecord,
+};
 pub use reading::{merge_raw_readings, RawReading};
 pub use stream::{OnlineTracker, StreamError};
 

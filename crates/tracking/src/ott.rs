@@ -109,13 +109,15 @@ impl ObjectTrackingTable {
     pub fn from_rows(mut rows: Vec<OttRow>) -> Result<ObjectTrackingTable, OttError> {
         for row in &rows {
             if !(row.ts.is_finite() && row.te.is_finite()) || row.te < row.ts {
-                return Err(OttError::InvalidInterval { object: row.object, ts: row.ts, te: row.te });
+                return Err(OttError::InvalidInterval {
+                    object: row.object,
+                    ts: row.ts,
+                    te: row.te,
+                });
             }
         }
         rows.sort_by(|a, b| {
-            (a.object, a.ts)
-                .partial_cmp(&(b.object, b.ts))
-                .expect("timestamps are finite")
+            (a.object, a.ts).partial_cmp(&(b.object, b.ts)).expect("timestamps are finite")
         });
         let mut records: Vec<TrackingRecord> = Vec::with_capacity(rows.len());
         let mut by_object: HashMap<ObjectId, Vec<RecordId>> = HashMap::new();
@@ -226,9 +228,7 @@ impl ObjectTrackingTable {
             return Some(ObjectState::Active { cov: cur, pre: self.predecessor(cur) });
         }
         // t falls after rec; inactive if a successor exists.
-        chain
-            .get(idx)
-            .map(|&suc| ObjectState::Inactive { pre: cur, suc })
+        chain.get(idx).map(|&suc| ObjectState::Inactive { pre: cur, suc })
     }
 }
 
@@ -260,11 +260,11 @@ mod tests {
     /// seen by dev1, dev2, dev3 in turn.
     fn table2_ott() -> ObjectTrackingTable {
         ObjectTrackingTable::from_rows(vec![
-            row(1, 1, 1.0, 2.0),   // rd1
-            row(1, 2, 3.0, 4.0),   // rd2
-            row(1, 3, 5.0, 6.0),   // rd3
-            row(2, 1, 7.0, 8.0),   // rd4 (other object)
-            row(2, 4, 9.0, 10.0),  // rd5
+            row(1, 1, 1.0, 2.0),  // rd1
+            row(1, 2, 3.0, 4.0),  // rd2
+            row(1, 3, 5.0, 6.0),  // rd3
+            row(2, 1, 7.0, 8.0),  // rd4 (other object)
+            row(2, 4, 9.0, 10.0), // rd5
         ])
         .unwrap()
     }

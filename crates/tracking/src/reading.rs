@@ -37,9 +37,7 @@ pub fn merge_raw_readings(mut readings: Vec<RawReading>, max_gap: f64) -> Vec<Ot
     for r in readings {
         match open.as_mut() {
             Some(row)
-                if row.object == r.object
-                    && row.device == r.device
-                    && r.t - row.te <= max_gap =>
+                if row.object == r.object && row.device == r.device && r.t - row.te <= max_gap =>
             {
                 row.te = r.t;
             }

@@ -53,10 +53,9 @@ pub enum StreamError {
 impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StreamError::OutOfOrderReading { object, t, run_end } => write!(
-                f,
-                "reading for {object} at t={t} precedes its open run end {run_end}"
-            ),
+            StreamError::OutOfOrderReading { object, t, run_end } => {
+                write!(f, "reading for {object} at t={t} precedes its open run end {run_end}")
+            }
             StreamError::Ott(e) => write!(f, "snapshot failed: {e}"),
         }
     }
@@ -76,15 +75,15 @@ impl OnlineTracker {
     pub fn ingest(&mut self, r: RawReading) -> Result<(), StreamError> {
         self.watermark = self.watermark.max(r.t);
         match self.open.get_mut(&r.object) {
-            Some(run) if run.device == r.device && r.t >= run.te && r.t - run.te <= self.max_gap => {
+            Some(run)
+                if run.device == r.device && r.t >= run.te && r.t - run.te <= self.max_gap =>
+            {
                 run.te = r.t;
                 Ok(())
             }
-            Some(run) if r.t < run.te => Err(StreamError::OutOfOrderReading {
-                object: r.object,
-                t: r.t,
-                run_end: run.te,
-            }),
+            Some(run) if r.t < run.te => {
+                Err(StreamError::OutOfOrderReading { object: r.object, t: r.t, run_end: run.te })
+            }
             Some(run) => {
                 // Device change or gap: close the current run.
                 self.closed.push(OttRow {

@@ -39,12 +39,7 @@ impl IndoorContext {
     /// Indoor walking distance when the source's cell is already known —
     /// the topology check resolves each device's cell once per region and
     /// then runs this per sample point.
-    pub fn indoor_distance_from_cell(
-        &self,
-        p: Point,
-        p_cell: CellId,
-        q: Point,
-    ) -> Option<f64> {
+    pub fn indoor_distance_from_cell(&self, p: Point, p_cell: CellId, q: Point) -> Option<f64> {
         let q_cell = self.plan.locate(q)?;
         self.oracle.distance_between_located(&self.plan, p, p_cell, q, q_cell)
     }

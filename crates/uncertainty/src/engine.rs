@@ -252,9 +252,7 @@ impl UrEngine {
         t: Timestamp,
     ) -> Mbr {
         match state {
-            ObjectState::Active { cov, .. } => {
-                self.device_circle(ott.record(cov).device).mbr()
-            }
+            ObjectState::Active { cov, .. } => self.device_circle(ott.record(cov).device).mbr(),
             ObjectState::Inactive { pre, suc } => {
                 let pre_rec = ott.record(pre);
                 let suc_rec = ott.record(suc);
@@ -325,11 +323,7 @@ impl UrEngine {
         if ei < si {
             return None;
         }
-        Some(IntervalChain {
-            records: chain[si..=ei].to_vec(),
-            start_inactive,
-            end_inactive,
-        })
+        Some(IntervalChain { records: chain[si..=ei].to_vec(), start_inactive, end_inactive })
     }
 
     /// Interval uncertainty region `UR(o, [t_s, t_e])` (§3.2, Cases 1–4).
@@ -384,20 +378,16 @@ impl UrEngine {
             if i == 0 && start_inactive {
                 // Θ_s ∩ Ring(dev_b, V_max·(rd_b.t_s − t_s)): positions at
                 // t_s must still reach the next detection in time.
-                let ring = self.ring_region(
-                    self.device_circle(b.device),
-                    self.cfg.vmax * (b.ts - ts),
-                );
+                let ring =
+                    self.ring_region(self.device_circle(b.device), self.cfg.vmax * (b.ts - ts));
                 mbr = mbr.intersection(&ring.mbr());
                 clips.push(Box::new(ring));
             }
             if i + 1 == pair_count && end_inactive {
                 // Θ_e ∩ Ring(dev_b, V_max·(t_e − rd_b.t_e)): positions at
                 // t_e must be reachable from the last detection.
-                let ring = self.ring_region(
-                    self.device_circle(a.device),
-                    self.cfg.vmax * (te - a.te),
-                );
+                let ring =
+                    self.ring_region(self.device_circle(a.device), self.cfg.vmax * (te - a.te));
                 mbr = mbr.intersection(&ring.mbr());
                 clips.push(Box::new(ring));
             }
@@ -495,12 +485,7 @@ mod tests {
     }
 
     fn row(o: u32, d: u32, ts: f64, te: f64) -> OttRow {
-        OttRow {
-            object: ObjectId(o),
-            device: inflow_indoor::DeviceId(d),
-            ts,
-            te,
-        }
+        OttRow { object: ObjectId(o), device: inflow_indoor::DeviceId(d), ts, te }
     }
 
     /// Object 1 walks dev0 → dev1 → dev2 along the corridor.
@@ -666,7 +651,7 @@ mod tests {
         // the wall; with topology the room is excluded because walking
         // there requires the door at (10, 4), far beyond the budget.
         let ott = ObjectTrackingTable::from_rows(vec![
-            row(1, 1, 0.0, 2.0), // dev1 at (8,2)
+            row(1, 1, 0.0, 2.0),  // dev1 at (8,2)
             row(1, 2, 8.0, 10.0), // dev2 at (14,2)
         ])
         .unwrap();
@@ -759,7 +744,6 @@ mod tests {
         assert!(tight.contains_mbr(&ur.mbr()));
     }
 
-
     #[test]
     fn table3_chain_resolution_covers_all_four_cases() {
         // walking_ott: rd0 = dev0 [0,2], rd1 = dev1 [6,8], rd2 = dev2 [12,14].
@@ -807,7 +791,6 @@ mod tests {
         assert!(eng.interval_chain(&ott, ObjectId(1), 20.0, 30.0).is_none());
         assert!(eng.interval_chain(&ott, ObjectId(1), -9.0, -1.0).is_none());
     }
-
 
     #[test]
     fn probability_in_normalizes_by_region_area() {

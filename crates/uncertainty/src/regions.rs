@@ -194,11 +194,15 @@ impl Region for ConstrainedTheta {
         match &self.anchors {
             None => true,
             Some((from, to)) => {
-                let Some(d1) = from.boundary_indoor_distance(p) else { return false };
+                let Some(d1) = from.boundary_indoor_distance(p) else {
+                    return false;
+                };
                 if d1 > self.theta.budget {
                     return false;
                 }
-                let Some(d2) = to.boundary_indoor_distance(p) else { return false };
+                let Some(d2) = to.boundary_indoor_distance(p) else {
+                    return false;
+                };
                 d1 + d2 <= self.theta.budget + inflow_geometry::EPS
             }
         }
@@ -239,10 +243,8 @@ mod tests {
 
     #[test]
     fn euclidean_ring_has_no_topology() {
-        let ring = ConstrainedRing::euclidean(Ring::new(
-            Circle::new(Point::new(2.0, 3.9), 0.5),
-            3.0,
-        ));
+        let ring =
+            ConstrainedRing::euclidean(Ring::new(Circle::new(Point::new(2.0, 3.9), 0.5), 3.0));
         // A point in the neighbouring room, Euclidean-near through the wall.
         assert!(ring.contains(Point::new(4.5, 3.9)));
     }
@@ -253,11 +255,8 @@ mod tests {
         // Device near the top wall of room a; budget 3 m. The point on the
         // other side of the wall is ~2 m away Euclidean but needs a walk
         // through the door at (4,2): far beyond 3 m.
-        let ring = ConstrainedRing::indoor(
-            Arc::clone(&ctx),
-            Circle::new(Point::new(2.0, 3.9), 0.5),
-            3.0,
-        );
+        let ring =
+            ConstrainedRing::indoor(Arc::clone(&ctx), Circle::new(Point::new(2.0, 3.9), 0.5), 3.0);
         assert!(!ring.contains(Point::new(4.5, 3.9)), "through-wall point must be excluded");
         // A same-room point at the same Euclidean distance stays.
         assert!(ring.contains(Point::new(2.0, 1.5)));

@@ -147,8 +147,7 @@ impl SvgCanvas {
                     (false, Some(start)) => {
                         let x0 = window.lo.x + start as f64 * step;
                         let x1 = window.lo.x + i as f64 * step;
-                        let run =
-                            Mbr::new(Point::new(x0, y0), Point::new(x1, y0 + step));
+                        let run = Mbr::new(Point::new(x0, y0), Point::new(x1, y0 + step));
                         self.rect(&run, fill, "none", 0.0);
                         run_start = None;
                     }

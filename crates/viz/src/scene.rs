@@ -184,7 +184,7 @@ mod tests {
         let plan = plan();
         let svg = SceneRenderer::new(&plan).draw_pois().draw_devices().render();
         assert_eq!(svg.matches("<polygon").count(), 3); // cells + poi
-        // 2 devices × (range ring + dot) + 1 door.
+                                                        // 2 devices × (range ring + dot) + 1 door.
         assert_eq!(svg.matches("<circle").count(), 5);
     }
 

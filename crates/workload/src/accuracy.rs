@@ -19,15 +19,8 @@ use inflow_indoor::{FloorPlan, Poi, PoiId};
 use inflow_tracking::ObjectId;
 
 /// Number of objects truly inside `poi` at time `t`.
-pub fn true_snapshot_flow(
-    poi: &Poi,
-    paths: &[(ObjectId, TimedPath)],
-    t: f64,
-) -> usize {
-    paths
-        .iter()
-        .filter(|(_, path)| path.position_at(t).is_some_and(|p| poi.contains(p)))
-        .count()
+pub fn true_snapshot_flow(poi: &Poi, paths: &[(ObjectId, TimedPath)], t: f64) -> usize {
+    paths.iter().filter(|(_, path)| path.position_at(t).is_some_and(|p| poi.contains(p))).count()
 }
 
 /// Number of objects whose true position enters `poi` at least once
@@ -79,11 +72,8 @@ pub fn true_snapshot_ranking(
     paths: &[(ObjectId, TimedPath)],
     t: f64,
 ) -> Vec<(PoiId, usize)> {
-    let mut ranking: Vec<(PoiId, usize)> = plan
-        .pois()
-        .iter()
-        .map(|poi| (poi.id, true_snapshot_flow(poi, paths, t)))
-        .collect();
+    let mut ranking: Vec<(PoiId, usize)> =
+        plan.pois().iter().map(|poi| (poi.id, true_snapshot_flow(poi, paths, t))).collect();
     ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     ranking
 }

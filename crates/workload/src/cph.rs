@@ -11,13 +11,12 @@
 //! popularity — the characteristics the paper's §5.3 experiments exercise.
 
 use crate::movement::{sample_readings, DeviceIndex, TimedPath};
+use crate::rng::StdRng;
 use crate::Workload;
 use inflow_geometry::{Point, Polygon};
 use inflow_indoor::{CellId, CellKind, DistanceOracle, FloorPlan, FloorPlanBuilder};
 use inflow_tracking::{merge_raw_readings, ObjectId, ObjectTrackingTable, RawReading};
 use inflow_uncertainty::IndoorContext;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
 
 /// Parameters of the CPH-like airport workload.
@@ -160,12 +159,13 @@ pub fn build_airport_plan(cfg: &CphConfig) -> (FloorPlan, AirportLayout) {
     // zone, and concourse seating segments to reach `num_pois`.
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151_5151);
     let mut added = 0usize;
-    let add_poi = |b: &mut FloorPlanBuilder, name: String, lo: Point, hi: Point, added: &mut usize| {
-        if *added < cfg.num_pois {
-            b.add_poi(name, Polygon::rectangle(lo, hi));
-            *added += 1;
-        }
-    };
+    let add_poi =
+        |b: &mut FloorPlanBuilder, name: String, lo: Point, hi: Point, added: &mut usize| {
+            if *added < cfg.num_pois {
+                b.add_poi(name, Polygon::rectangle(lo, hi));
+                *added += 1;
+            }
+        };
     // Security zone (concourse, near the entry).
     add_poi(
         &mut b,
@@ -179,16 +179,40 @@ pub fn build_airport_plan(cfg: &CphConfig) -> (FloorPlan, AirportLayout) {
         let x1 = (s + 1) as f64 * shop_pitch - 2.0;
         if rng.random_range(0.0..1.0) < 0.5 {
             let mid = (x0 + x1) / 2.0;
-            add_poi(&mut b, format!("poi-shop-{s}a"), Point::new(x0 + 0.5, -11.5), Point::new(mid - 0.2, -0.5), &mut added);
-            add_poi(&mut b, format!("poi-shop-{s}b"), Point::new(mid + 0.2, -11.5), Point::new(x1 - 0.5, -0.5), &mut added);
+            add_poi(
+                &mut b,
+                format!("poi-shop-{s}a"),
+                Point::new(x0 + 0.5, -11.5),
+                Point::new(mid - 0.2, -0.5),
+                &mut added,
+            );
+            add_poi(
+                &mut b,
+                format!("poi-shop-{s}b"),
+                Point::new(mid + 0.2, -11.5),
+                Point::new(x1 - 0.5, -0.5),
+                &mut added,
+            );
         } else {
-            add_poi(&mut b, format!("poi-shop-{s}"), Point::new(x0 + 0.5, -11.5), Point::new(x1 - 0.5, -0.5), &mut added);
+            add_poi(
+                &mut b,
+                format!("poi-shop-{s}"),
+                Point::new(x0 + 0.5, -11.5),
+                Point::new(x1 - 0.5, -0.5),
+                &mut added,
+            );
         }
     }
     for g in 0..cfg.gates {
         let x0 = g as f64 * gate_pitch + 2.0;
         let x1 = (g + 1) as f64 * gate_pitch - 2.0;
-        add_poi(&mut b, format!("poi-gate-{g}"), Point::new(x0 + 0.5, cw + 0.5), Point::new(x1 - 0.5, cw + 11.5), &mut added);
+        add_poi(
+            &mut b,
+            format!("poi-gate-{g}"),
+            Point::new(x0 + 0.5, cw + 0.5),
+            Point::new(x1 - 0.5, cw + 11.5),
+            &mut added,
+        );
     }
     // Concourse seating segments until the target count is reached.
     let mut seg = 0usize;
@@ -196,7 +220,13 @@ pub fn build_airport_plan(cfg: &CphConfig) -> (FloorPlan, AirportLayout) {
         let x0 = 35.0 + (seg as f64 * 17.0) % (len - 60.0);
         let south = seg.is_multiple_of(2);
         let (y0, y1) = if south { (1.0, 5.0) } else { (cw - 5.0, cw - 1.0) };
-        add_poi(&mut b, format!("poi-seating-{seg}"), Point::new(x0, y0), Point::new(x0 + 10.0, y1), &mut added);
+        add_poi(
+            &mut b,
+            format!("poi-seating-{seg}"),
+            Point::new(x0, y0),
+            Point::new(x0 + 10.0, y1),
+            &mut added,
+        );
         seg += 1;
     }
 
@@ -271,7 +301,7 @@ fn passenger_path(
     path.push(t, pos);
 
     // Shops (0–3, popularity skewed towards low indices).
-    let n_shops = [0usize, 1, 1, 2, 2, 3][rng.random_range(0..6)];
+    let n_shops = [0usize, 1, 1, 2, 2, 3][rng.random_range(0..6usize)];
     for _ in 0..n_shops {
         let idx = (rng.random_range(0.0f64..1.0).powi(2) * layout.shop_cells.len() as f64) as usize;
         let cell = layout.shop_cells[idx.min(layout.shop_cells.len() - 1)];

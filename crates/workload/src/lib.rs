@@ -27,10 +27,14 @@ pub mod accuracy;
 pub mod cph;
 pub mod movement;
 pub mod noise;
+pub mod rng;
 pub mod scenarios;
 pub mod synthetic;
 
-pub use accuracy::{ranking_overlap, true_interval_flow, true_interval_ranking, true_snapshot_flow, true_snapshot_ranking};
+pub use accuracy::{
+    ranking_overlap, true_interval_flow, true_interval_ranking, true_snapshot_flow,
+    true_snapshot_ranking,
+};
 pub use cph::{build_airport_plan, generate_cph, AirportLayout, CphConfig};
 pub use movement::{DeviceIndex, TimedPath};
 pub use noise::{drop_records, inject_teleports, jitter_timestamps, rows_of};

@@ -97,12 +97,7 @@ impl DeviceIndex {
     /// Builds the index over the plan's devices.
     pub fn build(plan: &FloorPlan) -> DeviceIndex {
         let mbr = plan.mbr();
-        let max_range = plan
-            .devices()
-            .iter()
-            .map(|d| d.range)
-            .fold(0.0f64, f64::max)
-            .max(1.0);
+        let max_range = plan.devices().iter().map(|d| d.range).fold(0.0f64, f64::max).max(1.0);
         let cell = max_range;
         let nx = ((mbr.width() / cell).ceil() as i64 + 3).max(1);
         let ny = ((mbr.height() / cell).ceil() as i64 + 3).max(1);
@@ -117,7 +112,11 @@ impl DeviceIndex {
     }
 
     /// All devices whose detection range covers `p`.
-    pub fn detecting<'a>(&'a self, plan: &'a FloorPlan, p: Point) -> impl Iterator<Item = &'a Device> + 'a {
+    pub fn detecting<'a>(
+        &'a self,
+        plan: &'a FloorPlan,
+        p: Point,
+    ) -> impl Iterator<Item = &'a Device> + 'a {
         let ci = ((p.x - self.origin.x) * self.inv_cell).floor() as i64;
         let cj = ((p.y - self.origin.y) * self.inv_cell).floor() as i64;
         let (nx, ny) = (self.nx, self.ny);
@@ -147,7 +146,9 @@ pub fn sample_readings(
     out: &mut Vec<RawReading>,
 ) {
     assert!(sampling_period > 0.0, "sampling period must be positive");
-    let Some(start) = path.start_time() else { return };
+    let Some(start) = path.start_time() else {
+        return;
+    };
     let Some(end) = path.end_time() else { return };
     // Ticks on the global grid (multiples of the sampling period) so
     // concurrent objects are sampled at identical instants.
@@ -216,8 +217,7 @@ mod tests {
         let index = DeviceIndex::build(&plan);
         for i in 0..120 {
             let p = Point::new(i as f64 * 0.25, 2.0);
-            let mut via_index: Vec<DeviceId> =
-                index.detecting(&plan, p).map(|d| d.id).collect();
+            let mut via_index: Vec<DeviceId> = index.detecting(&plan, p).map(|d| d.id).collect();
             via_index.sort_unstable();
             let mut via_scan: Vec<DeviceId> =
                 plan.devices().iter().filter(|d| d.detects(p)).map(|d| d.id).collect();

@@ -19,9 +19,8 @@
 //! record ordering invariants (jitter is clamped so records never
 //! overlap).
 
+use crate::rng::StdRng;
 use inflow_tracking::{ObjectTrackingTable, OttRow};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Extracts the rows of a table (the corruption functions operate on
 /// rows).
@@ -52,11 +51,8 @@ pub fn jitter_timestamps(mut rows: Vec<OttRow>, max_jitter: f64, seed: u64) -> V
         (a.object, a.ts).partial_cmp(&(b.object, b.ts)).expect("finite timestamps")
     });
     for i in 0..rows.len() {
-        let prev_te = if i > 0 && rows[i - 1].object == rows[i].object {
-            Some(rows[i - 1].te)
-        } else {
-            None
-        };
+        let prev_te =
+            if i > 0 && rows[i - 1].object == rows[i].object { Some(rows[i - 1].te) } else { None };
         let next_ts = if i + 1 < rows.len() && rows[i + 1].object == rows[i].object {
             Some(rows[i + 1].ts)
         } else {
@@ -153,11 +149,7 @@ mod tests {
         let rows = base_rows();
         let mutated = inject_teleports(rows.clone(), 0.5, 40, 3);
         assert_eq!(mutated.len(), rows.len());
-        let changed = rows
-            .iter()
-            .zip(&mutated)
-            .filter(|(a, b)| a.device != b.device)
-            .count();
+        let changed = rows.iter().zip(&mutated).filter(|(a, b)| a.device != b.device).count();
         assert!(changed > 0, "expected some teleports");
         for (a, b) in rows.iter().zip(&mutated) {
             assert_eq!((a.object, a.ts, a.te), (b.object, b.ts, b.te));
@@ -172,9 +164,6 @@ mod tests {
             jitter_timestamps(rows.clone(), 0.5, 9),
             jitter_timestamps(rows.clone(), 0.5, 9)
         );
-        assert_eq!(
-            inject_teleports(rows.clone(), 0.2, 10, 9),
-            inject_teleports(rows, 0.2, 10, 9)
-        );
+        assert_eq!(inject_teleports(rows.clone(), 0.2, 10, 9), inject_teleports(rows, 0.2, 10, 9));
     }
 }

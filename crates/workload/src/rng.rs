@@ -1,0 +1,190 @@
+//! A small, committed PRNG replacing the external `rand` dependency.
+//!
+//! The workspace must build and test with no network access, so the
+//! workload generators cannot depend on crates.io. This module provides
+//! the tiny slice of the `rand` API the generators actually use —
+//! [`StdRng::seed_from_u64`] and [`StdRng::random_range`] — backed by
+//! xoshiro256++ with SplitMix64 seed expansion (the same construction
+//! `rand`'s `SmallRng` family uses). Not cryptographically secure; it
+//! only needs to be fast, deterministic given the seed, and
+//! statistically uniform enough for workload synthesis.
+//!
+//! Streams are stable: the same seed must produce the same workload
+//! across releases, because experiment figures and several tests pin
+//! seeds. Do not change the seeding or sampling arithmetic without
+//! regenerating expectations.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256++ generator seeded from a single `u64`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Expands `seed` into the full 256-bit state via SplitMix64, as
+    /// recommended by the xoshiro authors (avoids the all-zero state and
+    /// decorrelates nearby seeds).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64 random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the high 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` by widening multiply (no modulo bias
+    /// worth caring about at workload scales: error < 2⁻⁶⁴·n).
+    fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform sample from a range, mirroring `rand`'s `random_range`.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`StdRng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "inverted f64 range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+impl SampleRange<u32> for Range<u32> {
+    fn sample(self, rng: &mut StdRng) -> u32 {
+        assert!(self.start < self.end, "empty u32 range");
+        self.start + rng.next_below((self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "empty usize range");
+        self.start + rng.next_below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "inverted usize range");
+        lo + rng.next_below((hi - lo) as u64 + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            let w = rng.random_range(-3.5..=3.5);
+            assert!((-3.5..=3.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Inclusive ranges reach both endpoints.
+        let mut lo_hit = false;
+        let mut hi_hit = false;
+        for _ in 0..1_000 {
+            match rng.random_range(2..=4usize) {
+                2 => lo_hit = true,
+                4 => hi_hit = true,
+                3 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn u32_range_respects_offset() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

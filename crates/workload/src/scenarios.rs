@@ -104,10 +104,7 @@ pub fn library_plan(aisles: usize) -> FloorPlan {
         let aisle = b.add_cell(
             format!("stacks-{i}"),
             CellKind::Room,
-            Polygon::rectangle(
-                Point::new(x0, hall_d),
-                Point::new(x0 + aisle_w, hall_d + aisle_d),
-            ),
+            Polygon::rectangle(Point::new(x0, hall_d), Point::new(x0 + aisle_w, hall_d + aisle_d)),
         );
         let door = Point::new(x0 + aisle_w / 2.0, hall_d);
         b.add_door(format!("stacks-door-{i}"), door, aisle, hall);
@@ -165,10 +162,7 @@ pub fn metro_station_plan(gates: usize) -> FloorPlan {
     let concourse = b.add_cell(
         "concourse",
         CellKind::Hallway,
-        Polygon::rectangle(
-            Point::new(0.0, hall_d),
-            Point::new(hall_len, hall_d + concourse_d),
-        ),
+        Polygon::rectangle(Point::new(0.0, hall_d), Point::new(hall_len, hall_d + concourse_d)),
     );
 
     // Fare gates: evenly spaced doors between the halls, one reader each.
@@ -207,11 +201,7 @@ pub fn metro_station_plan(gates: usize) -> FloorPlan {
         ),
     );
     b.add_device("dev-entrance", Point::new(2.0, 2.0), 1.2);
-    b.add_device(
-        "dev-stairs",
-        Point::new(hall_len - 3.0, hall_d + concourse_d - 1.5),
-        1.2,
-    );
+    b.add_device("dev-stairs", Point::new(hall_len - 3.0, hall_d + concourse_d - 1.5), 1.2);
 
     b.build().expect("station plan is valid by construction")
 }
@@ -226,11 +216,7 @@ mod tests {
         let origin = plan.cells()[0].footprint().centroid();
         for cell in plan.cells() {
             let p = cell.footprint().centroid();
-            assert!(
-                oracle.distance(plan, origin, p).is_some(),
-                "cell {} unreachable",
-                cell.name
-            );
+            assert!(oracle.distance(plan, origin, p).is_some(), "cell {} unreachable", cell.name);
         }
     }
 

@@ -9,13 +9,12 @@
 //! also serves as `V_max`.
 
 use crate::movement::{sample_readings, DeviceIndex, TimedPath};
+use crate::rng::StdRng;
 use crate::Workload;
 use inflow_geometry::{Mbr, Point, Polygon};
 use inflow_indoor::{CellId, CellKind, DistanceOracle, FloorPlan, FloorPlanBuilder};
 use inflow_tracking::{merge_raw_readings, ObjectId, ObjectTrackingTable, RawReading};
 use inflow_uncertainty::IndoorContext;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
 
 /// Parameters of the synthetic workload (paper Table 4; defaults are
@@ -152,9 +151,8 @@ pub fn build_floor_plan(cfg: &SyntheticConfig) -> FloorPlan {
     // POIs may come from the same large room (§5.1).
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9);
     let mut poi_count = 0usize;
-    let mut room_order: Vec<(usize, usize)> = (0..cfg.rooms_y)
-        .flat_map(|j| (0..cfg.rooms_x).map(move |i| (i, j)))
-        .collect();
+    let mut room_order: Vec<(usize, usize)> =
+        (0..cfg.rooms_y).flat_map(|j| (0..cfg.rooms_x).map(move |i| (i, j))).collect();
     shuffle(&mut room_order, &mut rng);
     'outer: loop {
         for &(i, j) in &room_order {
@@ -334,11 +332,7 @@ mod tests {
         let a = plan.cell(CellId(1)).footprint().centroid(); // a hallway
         for cell in plan.cells() {
             let p = cell.footprint().centroid();
-            assert!(
-                oracle.distance(&plan, a, p).is_some(),
-                "cell {} unreachable",
-                cell.name
-            );
+            assert!(oracle.distance(&plan, a, p).is_some(), "cell {} unreachable", cell.name);
         }
     }
 
@@ -390,11 +384,8 @@ mod tests {
         // device's range at both endpoints.
         let w = generate_synthetic(&SyntheticConfig::tiny());
         for r in w.ott.records().iter().take(200) {
-            let (_, path) = w
-                .ground_truth
-                .iter()
-                .find(|(o, _)| *o == r.object)
-                .expect("ground truth exists");
+            let (_, path) =
+                w.ground_truth.iter().find(|(o, _)| *o == r.object).expect("ground truth exists");
             let dev = w.ctx.plan().device(r.device);
             for t in [r.ts, r.te] {
                 let pos = path.position_at(t).expect("tracked while alive");

@@ -16,11 +16,7 @@ use inflow::workload::{generate_cph, CphConfig};
 use std::collections::HashMap;
 
 fn main() {
-    let cfg = CphConfig {
-        num_passengers: 250,
-        duration: 2.0 * 3600.0,
-        ..CphConfig::default()
-    };
+    let cfg = CphConfig { num_passengers: 250, duration: 2.0 * 3600.0, ..CphConfig::default() };
     println!(
         "Simulating {} passengers over {:.0} h in a {}-gate terminal …",
         cfg.num_passengers,
@@ -37,11 +33,7 @@ fn main() {
     let analytics = FlowAnalytics::new(
         w.ctx.clone(),
         w.ott,
-        UrConfig {
-            vmax: w.vmax,
-            resolution: GridResolution::COARSE,
-            ..UrConfig::default()
-        },
+        UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
     );
     let pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
 
@@ -70,12 +62,7 @@ fn main() {
     println!("Persistently crowded POIs (appearances in the 10-minute top-{k}):");
     println!("{:<18} {:>12} {:>12}", "POI", "appearances", "peak flow");
     for &(poi, hits) in ranking.iter().take(8) {
-        println!(
-            "{:<18} {:>12} {:>12.2}",
-            w.ctx.plan().poi(poi).name,
-            hits,
-            peak_flow[&poi]
-        );
+        println!("{:<18} {:>12} {:>12.2}", w.ctx.plan().poi(poi).name, hits, peak_flow[&poi]);
     }
     println!(
         "\nOperational reading: POIs topping this list (typically the security\n\

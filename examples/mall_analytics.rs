@@ -42,11 +42,7 @@ fn main() {
     let analytics = FlowAnalytics::new(
         w.ctx.clone(),
         w.ott,
-        UrConfig {
-            vmax: w.vmax,
-            resolution: GridResolution::COARSE,
-            ..UrConfig::default()
-        },
+        UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
     );
 
     // Rank all shop POIs over the "peak hour" [600 s, 1800 s].
@@ -68,13 +64,7 @@ fn main() {
             3..=6 => "standard",
             _ => "economy",
         };
-        println!(
-            "{:<6} {:<14} {:>10.2}  {}",
-            rank + 1,
-            w.ctx.plan().poi(poi).name,
-            flow,
-            tier
-        );
+        println!("{:<6} {:<14} {:>10.2}  {}", rank + 1, w.ctx.plan().poi(poi).name, flow, tier);
     }
 
     assert_eq!(iterative.poi_ids(), join.poi_ids(), "algorithms must agree");

@@ -38,11 +38,7 @@ fn main() {
     let analytics = FlowAnalytics::new(
         w.ctx.clone(),
         w.ott,
-        UrConfig {
-            vmax: w.vmax,
-            resolution: GridResolution::COARSE,
-            ..UrConfig::default()
-        },
+        UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
     );
     let pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
 

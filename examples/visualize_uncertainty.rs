@@ -94,9 +94,7 @@ fn interval_scenario() -> std::io::Result<()> {
     );
     let (object, path) = &w.ground_truth[0];
     let (ts, te) = (60.0, 240.0);
-    let ur = engine
-        .interval_ur(&w.ott, *object, ts, te)
-        .expect("object is tracked in the window");
+    let ur = engine.interval_ur(&w.ott, *object, ts, te).expect("object is tracked in the window");
 
     let style = Style { scale: 10.0, ur_resolution: 4.0, ..Style::default() };
     let svg = SceneRenderer::with_style(w.ctx.plan(), style)

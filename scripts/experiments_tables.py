@@ -2,6 +2,11 @@
 """Formats the `figures` harness CSV as the markdown tables used in
 EXPERIMENTS.md.
 
+Accepts both the legacy 4-column rows (`experiment,x,iterative_ms,join_ms`)
+and the current 7-column rows that append the per-query work counters
+(`it_presence,jn_presence,jn_pruned`). Counter columns are rendered only
+when present and non-zero for the series (ablation rows carry none).
+
 Usage: python3 scripts/experiments_tables.py figures_clean.csv
 """
 import sys
@@ -19,17 +24,35 @@ def main(path: str) -> None:
                 continue
             if not line or line.startswith("experiment,"):
                 continue
-            exp, x, it, jn = line.split(",")
+            fields = line.split(",")
+            exp, x, it, jn = fields[:4]
+            counters = tuple(int(c) for c in fields[4:7]) if len(fields) >= 7 else None
             entry = series.setdefault(exp, {"label": label, "rows": []})
-            entry["rows"].append((x, float(it), float(jn)))
+            entry["rows"].append((x, float(it), float(jn), counters))
 
     for exp, entry in series.items():
         print(f"### {exp} — {entry['label'].split('—')[-1].strip()}")
         print()
-        print("| x | iterative (ms) | join (ms) |")
-        print("|---|---------------:|----------:|")
-        for x, it, jn in entry["rows"]:
-            print(f"| {x} | {it:.0f} | {jn:.0f} |")
+        has_counters = any(
+            c is not None and any(c) for (_, _, _, c) in entry["rows"]
+        )
+        if has_counters:
+            print(
+                "| x | iterative (ms) | join (ms) "
+                "| it presence | jn presence | jn pruned |"
+            )
+            print(
+                "|---|---------------:|----------:"
+                "|------------:|------------:|----------:|"
+            )
+            for x, it, jn, c in entry["rows"]:
+                ip, jp, pr = c if c is not None else (0, 0, 0)
+                print(f"| {x} | {it:.0f} | {jn:.0f} | {ip} | {jp} | {pr} |")
+        else:
+            print("| x | iterative (ms) | join (ms) |")
+            print("|---|---------------:|----------:|")
+            for x, it, jn, _ in entry["rows"]:
+                print(f"| {x} | {it:.0f} | {jn:.0f} |")
         print()
 
 

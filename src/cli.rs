@@ -70,7 +70,10 @@ impl Args {
             let a = &argv[i];
             if let Some(name) = a.strip_prefix("--") {
                 // Boolean switches take no value.
-                if matches!(name, "iterative" | "no-topology" | "labels") {
+                if matches!(
+                    name,
+                    "iterative" | "no-topology" | "labels" | "profile" | "profile-json"
+                ) {
                     switches.push(name.to_string());
                 } else {
                     i += 1;
@@ -134,7 +137,10 @@ fn usage() -> String {
      \x20 interval --plan F --ott F --ts T --te T [--k K] [--iterative]\n\
      \x20 timeline --plan F --ott F --start T --end T --bucket S [--k K]\n\
      \x20 density  --plan F --ott F --t T [--cell-size M]\n\
-     \x20 render   --plan F --out F.svg [--ott F --object ID --t T] [--labels]\n"
+     \x20 render   --plan F --out F.svg [--ott F --object ID --t T] [--labels]\n\
+     \n\
+     snapshot, interval and timeline accept --profile (per-phase span tree\n\
+     plus counters) or --profile-json (same data as a JSON document).\n"
         .to_string()
 }
 
@@ -167,7 +173,23 @@ fn build_analytics(args: &Args) -> Result<(FlowAnalytics, Vec<PoiId>), CliError>
         resolution: GridResolution::COARSE,
         ..UrConfig::default()
     };
-    Ok((FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), ott, cfg), pois))
+    let fa = FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), ott, cfg)
+        .with_profiling(args.switch("profile") || args.switch("profile-json"));
+    Ok((fa, pois))
+}
+
+/// Appends the query profile to `out` per the `--profile`/`--profile-json`
+/// switches. With `--profile-json` the JSON document *replaces* the human
+/// output so the result can be piped straight into other tools.
+fn append_profile(out: String, profile: Option<&crate::obs::QueryProfile>, args: &Args) -> String {
+    let Some(profile) = profile else { return out };
+    if args.switch("profile-json") {
+        format!("{}\n", profile.to_json())
+    } else if args.switch("profile") {
+        format!("{out}\n{}", profile.render())
+    } else {
+        out
+    }
 }
 
 fn cmd_generate(args: &Args) -> Result<String, CliError> {
@@ -261,7 +283,9 @@ fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
     } else {
         fa.snapshot_topk_join(&q)
     };
-    Ok(format_result(&fa, &result.ranked, &format!("top-{k} POIs at t = {t}"), &result.stats))
+    let out =
+        format_result(&fa, &result.ranked, &format!("top-{k} POIs at t = {t}"), &result.stats);
+    Ok(append_profile(out, result.profile.as_deref(), args))
 }
 
 fn cmd_interval(args: &Args) -> Result<String, CliError> {
@@ -278,12 +302,13 @@ fn cmd_interval(args: &Args) -> Result<String, CliError> {
     } else {
         fa.interval_topk_join(&q)
     };
-    Ok(format_result(
+    let out = format_result(
         &fa,
         &result.ranked,
         &format!("top-{k} POIs over [{ts}, {te}]"),
         &result.stats,
-    ))
+    );
+    Ok(append_profile(out, result.profile.as_deref(), args))
 }
 
 fn cmd_timeline(args: &Args) -> Result<String, CliError> {
@@ -303,13 +328,11 @@ fn cmd_timeline(args: &Args) -> Result<String, CliError> {
         let mut top: Vec<(PoiId, f64)> = b.flows.clone();
         top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         top.truncate(k);
-        let row: Vec<String> = top
-            .iter()
-            .map(|&(p, f)| format!("{} ({f:.2})", plan.poi(p).name))
-            .collect();
+        let row: Vec<String> =
+            top.iter().map(|&(p, f)| format!("{} ({f:.2})", plan.poi(p).name)).collect();
         let _ = writeln!(out, "  [{:>8.0}, {:>8.0}) #{idx}: {}", b.ts, b.te, row.join(", "));
     }
-    Ok(out)
+    Ok(append_profile(out, tl.profile.as_deref(), args))
 }
 
 fn cmd_density(args: &Args) -> Result<String, CliError> {

@@ -16,6 +16,8 @@
 //!   augmented temporal AR-tree index;
 //! * [`uncertainty`] — snapshot and interval uncertainty regions with
 //!   indoor-topology checks;
+//! * [`obs`] — zero-dependency observability: phase spans, counters and
+//!   latency histograms behind the CLI's `--profile` output;
 //! * [`core`] — flow counting and the four top-k query algorithms
 //!   (iterative and join, snapshot and interval);
 //! * [`workload`] — synthetic and CPH-airport-style data generators;
@@ -28,6 +30,7 @@ pub mod cli;
 pub use inflow_core as core;
 pub use inflow_geometry as geometry;
 pub use inflow_indoor as indoor;
+pub use inflow_obs as obs;
 pub use inflow_rtree as rtree;
 pub use inflow_tracking as tracking;
 pub use inflow_uncertainty as uncertainty;

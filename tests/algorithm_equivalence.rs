@@ -63,7 +63,9 @@ fn poi_subset(fa: &FlowAnalytics, percent: usize) -> Vec<PoiId> {
     let all = fa.engine().context().plan().pois();
     let take = (all.len() * percent / 100).max(1);
     // Deterministic pseudo-shuffled subset: stride through the POI list.
-    (0..take).map(|i| all[(i * 7 + 3) % all.len()].id).collect::<std::collections::BTreeSet<_>>()
+    (0..take)
+        .map(|i| all[(i * 7 + 3) % all.len()].id)
+        .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .collect()
 }
@@ -130,17 +132,27 @@ fn interval_join_segment_mbr_ablation_is_result_invariant() {
         resolution: GridResolution::COARSE,
         ..UrConfig::default()
     };
-    let fa_fine = FlowAnalytics::new(ctx.clone(), generate_synthetic(&SyntheticConfig {
-        num_objects: 25,
-        duration: 400.0,
-        ..SyntheticConfig::tiny()
-    }).ott, ur_cfg)
+    let fa_fine = FlowAnalytics::new(
+        ctx.clone(),
+        generate_synthetic(&SyntheticConfig {
+            num_objects: 25,
+            duration: 400.0,
+            ..SyntheticConfig::tiny()
+        })
+        .ott,
+        ur_cfg,
+    )
     .with_join_config(JoinConfig { use_segment_mbrs: true });
-    let fa_coarse = FlowAnalytics::new(ctx, generate_synthetic(&SyntheticConfig {
-        num_objects: 25,
-        duration: 400.0,
-        ..SyntheticConfig::tiny()
-    }).ott, ur_cfg)
+    let fa_coarse = FlowAnalytics::new(
+        ctx,
+        generate_synthetic(&SyntheticConfig {
+            num_objects: 25,
+            duration: 400.0,
+            ..SyntheticConfig::tiny()
+        })
+        .ott,
+        ur_cfg,
+    )
     .with_join_config(JoinConfig { use_segment_mbrs: false });
 
     let pois = poi_subset(&fa_fine, 100);

@@ -45,7 +45,16 @@ fn generate_then_query_round_trip() {
 
     // Iterative and join agree on the ranking printed.
     let snap_it = run_str(&[
-        "snapshot", "--plan", &plan, "--ott", &ott, "--t", "150", "--k", "3", "--iterative",
+        "snapshot",
+        "--plan",
+        &plan,
+        "--ott",
+        &ott,
+        "--t",
+        "150",
+        "--k",
+        "3",
+        "--iterative",
     ])
     .unwrap();
     let names = |s: &str| -> Vec<String> {
@@ -98,6 +107,78 @@ fn timeline_and_density_commands() {
 }
 
 #[test]
+fn profile_switches_emit_span_trees_and_json() {
+    let (plan, ott, dir) = generate("profile");
+
+    // Plain run carries no profile section.
+    let bare = run_str(&["snapshot", "--plan", &plan, "--ott", &ott, "--t", "150"]).unwrap();
+    assert!(!bare.contains("counters"), "{bare}");
+
+    // --profile appends the phase tree and counter table to the ranking.
+    let prof = run_str(&["snapshot", "--plan", &plan, "--ott", &ott, "--t", "150", "--profile"])
+        .expect("profiled snapshot succeeds");
+    assert!(prof.contains("top-10 POIs at t = 150"), "{prof}");
+    assert!(prof.contains("snapshot_join"), "{prof}");
+    assert!(prof.contains("candidate_retrieval"), "{prof}");
+    assert!(prof.contains("presence_evaluations"), "{prof}");
+
+    // --iterative flavours the span names.
+    let prof_it = run_str(&[
+        "snapshot",
+        "--plan",
+        &plan,
+        "--ott",
+        &ott,
+        "--t",
+        "150",
+        "--profile",
+        "--iterative",
+    ])
+    .unwrap();
+    assert!(prof_it.contains("snapshot_iterative"), "{prof_it}");
+
+    // --profile-json replaces the human output with one JSON document.
+    let json = run_str(&[
+        "interval",
+        "--plan",
+        &plan,
+        "--ott",
+        &ott,
+        "--ts",
+        "50",
+        "--te",
+        "150",
+        "--profile-json",
+    ])
+    .expect("profiled interval succeeds");
+    let trimmed = json.trim();
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "{json}");
+    assert!(trimmed.contains("\"spans\""), "{json}");
+    assert!(trimmed.contains("\"counters\""), "{json}");
+    assert!(!trimmed.contains("top-"), "{json}");
+
+    // Timeline profiles group each bucket under the timeline root.
+    let tl = run_str(&[
+        "timeline",
+        "--plan",
+        &plan,
+        "--ott",
+        &ott,
+        "--start",
+        "0",
+        "--end",
+        "300",
+        "--bucket",
+        "150",
+        "--profile",
+    ])
+    .unwrap();
+    assert!(tl.contains("timeline") && tl.contains("bucket"), "{tl}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn render_writes_svg() {
     let (plan, ott, dir) = generate("render");
     let svg_path = dir.join("plan.svg");
@@ -108,10 +189,9 @@ fn render_writes_svg() {
     assert!(svg.starts_with("<svg"));
 
     // Overlay variant needs all three overlay flags.
-    let err = run_str(&[
-        "render", "--plan", &plan, "--ott", &ott, "--out", svg_path.to_str().unwrap(),
-    ])
-    .unwrap_err();
+    let err =
+        run_str(&["render", "--plan", &plan, "--ott", &ott, "--out", svg_path.to_str().unwrap()])
+            .unwrap_err();
     assert!(err.0.contains("overlay"), "{err}");
 
     let _ = std::fs::remove_dir_all(dir);

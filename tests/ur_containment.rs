@@ -16,18 +16,11 @@ use inflow::uncertainty::{UrConfig, UrEngine};
 use inflow::workload::{generate_synthetic, SyntheticConfig};
 
 fn workload_config() -> SyntheticConfig {
-    SyntheticConfig {
-        num_objects: 15,
-        duration: 500.0,
-        ..SyntheticConfig::tiny()
-    }
+    SyntheticConfig { num_objects: 15, duration: 500.0, ..SyntheticConfig::tiny() }
 }
 
 fn engine_for(w: &inflow::workload::Workload, topology_check: bool) -> UrEngine {
-    UrEngine::new(
-        w.ctx.clone(),
-        UrConfig { vmax: w.vmax, topology_check, ..UrConfig::default() },
-    )
+    UrEngine::new(w.ctx.clone(), UrConfig { vmax: w.vmax, topology_check, ..UrConfig::default() })
 }
 
 fn check_snapshot_containment(topology_check: bool) {
@@ -37,7 +30,9 @@ fn check_snapshot_containment(topology_check: bool) {
     for (object, path) in &w.ground_truth {
         for step in 0..50 {
             let t = step as f64 * 10.0; // multiples of the 1 s sampling tick
-            let Some(state) = w.ott.state_at(*object, t) else { continue };
+            let Some(state) = w.ott.state_at(*object, t) else {
+                continue;
+            };
             let pos = path.position_at(t).expect("tracked implies alive");
             let ur = eng.snapshot_ur(&w.ott, state, t);
             assert!(
@@ -69,7 +64,9 @@ fn check_interval_containment(topology_check: bool) {
         for window in 0..6 {
             let ts = 40.0 + window as f64 * 70.0;
             let te = ts + 60.0;
-            let Some(ur) = eng.interval_ur(&w.ott, *object, ts, te) else { continue };
+            let Some(ur) = eng.interval_ur(&w.ott, *object, ts, te) else {
+                continue;
+            };
             if ur.is_empty() {
                 continue;
             }

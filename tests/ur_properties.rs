@@ -71,7 +71,9 @@ fn snapshot_ur_is_contained_in_covering_interval_ur() {
     for (object, _) in w.ground_truth.iter().take(6) {
         for step in 1..8 {
             let t = step as f64 * 45.0;
-            let Some(state) = w.ott.state_at(*object, t) else { continue };
+            let Some(state) = w.ott.state_at(*object, t) else {
+                continue;
+            };
             let snap = eng.snapshot_ur(&w.ott, state, t);
             if snap.is_empty() {
                 continue;
