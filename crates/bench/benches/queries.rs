@@ -84,6 +84,50 @@ fn recorder_overhead(fa: &mut FlowAnalytics) {
     );
 }
 
+/// Acceptance check for the sanitization layer: queries over a façade
+/// with *no* sanitize report attached (the default path) must cost the
+/// same as before the degraded-mode hooks existed — those hooks are plain
+/// integer/f64 bumps plus one empty-set probe per object. Measured like
+/// the recorder check: the delta between a report-free and a
+/// report-carrying façade must sit within run-to-run jitter.
+fn sanitizer_overhead(scale: &Scale) {
+    use inflow_tracking::{sanitize_rows, ObjectId, ObjectTrackingTable, SanitizeConfig};
+    use inflow_uncertainty::UrConfig;
+    use inflow_workload::rows_of;
+
+    let w = generate_synthetic(&base_synthetic(scale));
+    let rows = rows_of(&w.ott);
+    let cfg = || UrConfig {
+        vmax: w.vmax,
+        topology_check: true,
+        resolution: scale.resolution,
+        ..UrConfig::default()
+    };
+    let plain = FlowAnalytics::new(w.ctx.clone(), w.ott, cfg());
+    let outcome =
+        sanitize_rows(rows, &SanitizeConfig::repair_all().with_vmax(w.vmax), Some(w.ctx.plan()));
+    let gated = FlowAnalytics::new(
+        w.ctx.clone(),
+        ObjectTrackingTable::from_rows(outcome.rows).expect("sanitized rows are consistent"),
+        cfg(),
+    )
+    .with_sanitize_report(outcome.report, (0..50).map(ObjectId));
+
+    let q = IntervalQuery::new(300.0, 900.0, poi_subset(&plain, 60, 0), 10);
+    let off_a = time_ms(10, || plain.interval_topk_join(&q));
+    let on = time_ms(10, || gated.interval_topk_join(&q));
+    let off_b = time_ms(10, || plain.interval_topk_join(&q));
+
+    let off = off_a.min(off_b);
+    let jitter = (off_a - off_b).abs() / off * 100.0;
+    let gated_delta = (on - off) / off * 100.0;
+    report("sanitizer", "no_report", off);
+    report("sanitizer", "with_report", on);
+    println!(
+        "sanitizer/summary: run-to-run jitter {jitter:.2}%, report-attached delta {gated_delta:+.2}%"
+    );
+}
+
 fn substrate() {
     use inflow_geometry::{
         area_in_polygon, circle_polygon_area, Circle, GridResolution, Mbr, Point, Polygon,
@@ -148,6 +192,9 @@ fn main() {
         if wants("overhead") {
             recorder_overhead(&mut fa);
         }
+    }
+    if wants("sanitizer") {
+        sanitizer_overhead(&scale);
     }
     if wants("cph") {
         let fa = analytics(generate_cph(&base_cph(&scale)), &scale);

@@ -797,8 +797,61 @@ pub fn abl_accuracy(scale: &Scale) -> Series {
     }
 }
 
+/// Ablation: answer quality as input corruption rises. Each level of the
+/// seeded corruption grid (clean → severe) is applied to the synthetic
+/// rows, routed through the repair-all sanitization gate, and the interval
+/// top-k ranking is scored against the simulated ground truth. Column
+/// semantics: `iterative_ms` = precision@5, `join_ms` = precision@10.
+pub fn abl_noise(scale: &Scale) -> Series {
+    use inflow_tracking::{sanitize_rows, ObjectTrackingTable, SanitizeConfig};
+    use inflow_workload::{
+        apply_corruption, corruption_grid, ranking_overlap, rows_of, true_interval_ranking,
+    };
+    let w = generate_synthetic(&base_synthetic(scale));
+    let plan_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+    let device_count = w.ctx.plan().devices().len() as u32;
+    let base_rows = rows_of(&w.ott);
+    let (ts, te) = (scale.duration * 0.3, scale.duration * 0.3 + defaults::INTERVAL_LEN);
+    let truth: Vec<PoiId> = true_interval_ranking(w.ctx.plan(), &w.ground_truth, ts, te, 5.0)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    let gate = SanitizeConfig::repair_all().with_vmax(w.vmax);
+
+    let rows = corruption_grid(0xC0FFEE)
+        .iter()
+        .map(|spec| {
+            let corrupted = apply_corruption(base_rows.clone(), spec, device_count);
+            let outcome = sanitize_rows(corrupted, &gate, Some(w.ctx.plan()));
+            let ott = ObjectTrackingTable::from_rows(outcome.rows)
+                .expect("sanitized rows satisfy OTT invariants");
+            let cfg = UrConfig {
+                vmax: w.vmax,
+                topology_check: true,
+                resolution: scale.resolution,
+                ..UrConfig::default()
+            };
+            let fa = FlowAnalytics::new(w.ctx.clone(), ott, cfg)
+                .with_sanitize_report(outcome.report, outcome.repaired_objects);
+            let q = IntervalQuery::new(ts, te, plan_pois.clone(), plan_pois.len());
+            let est = fa.interval_topk_iterative(&q).poi_ids();
+            Row::timing(
+                spec.label.clone(),
+                ranking_overlap(&est, &truth, 5),
+                ranking_overlap(&est, &truth, 10),
+            )
+        })
+        .collect();
+    Series {
+        experiment: "abl-noise".into(),
+        x_label: "corruption level (iterative_ms column = precision@5, join_ms = precision@10)"
+            .into(),
+        rows,
+    }
+}
+
 /// All experiment ids in suite order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "f10a",
     "f10b",
     "f11a",
@@ -817,6 +870,7 @@ pub const ALL_EXPERIMENTS: [&str; 18] = [
     "abl-snapmbr",
     "abl-grid",
     "abl-accuracy",
+    "abl-noise",
 ];
 
 /// Runs one experiment by id.
@@ -840,6 +894,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Option<Series> {
         "abl-snapmbr" => abl_snapmbr(scale),
         "abl-grid" => abl_grid(scale),
         "abl-accuracy" => abl_accuracy(scale),
+        "abl-noise" => abl_noise(scale),
         _ => return None,
     })
 }
@@ -863,6 +918,20 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_experiment("nope", &Scale::smoke()).is_none());
+    }
+
+    #[test]
+    fn smoke_run_abl_noise() {
+        let s = run_experiment("abl-noise", &Scale::smoke()).unwrap();
+        assert_eq!(s.rows.len(), 4, "one row per corruption level");
+        assert_eq!(s.rows[0].x, "clean");
+        // Precisions are valid fractions. (Monotonicity in corruption is a
+        // statistical property that only emerges at real scales, so the
+        // smoke test checks well-formedness, not ordering.)
+        for r in &s.rows {
+            assert!((0.0..=1.0).contains(&r.iterative_ms), "{:?}", r);
+            assert!((0.0..=1.0).contains(&r.join_ms), "{:?}", r);
+        }
     }
 
     #[test]

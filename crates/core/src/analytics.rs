@@ -2,11 +2,12 @@
 
 use crate::iterative;
 use crate::join::{self, JoinConfig};
-use crate::query::{IntervalQuery, QueryResult, SnapshotQuery};
+use crate::query::{DataQuality, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
 use inflow_indoor::PoiId;
 use inflow_rtree::RTree;
-use inflow_tracking::{ArTree, ObjectTrackingTable};
+use inflow_tracking::{ArTree, ObjectId, ObjectTrackingTable, SanitizeReport};
 use inflow_uncertainty::{IndoorContext, UrConfig, UrEngine};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Flow analytics over one floor plan and one Object Tracking Table.
@@ -42,6 +43,12 @@ pub struct FlowAnalytics {
     artree: ArTree,
     join_cfg: JoinConfig,
     profiling: bool,
+    /// The sanitize report of the gate that produced `ott`, when the data
+    /// went through `inflow_tracking::sanitize` (degraded-mode reporting).
+    sanitize_report: Option<SanitizeReport>,
+    /// Objects whose chains the sanitizer repaired (including synthetic
+    /// ids minted by chain splitting).
+    repaired_objects: HashSet<ObjectId>,
 }
 
 impl FlowAnalytics {
@@ -55,6 +62,8 @@ impl FlowAnalytics {
             artree,
             join_cfg: JoinConfig::default(),
             profiling: false,
+            sanitize_report: None,
+            repaired_objects: HashSet::new(),
         }
     }
 
@@ -62,6 +71,40 @@ impl FlowAnalytics {
     pub fn with_join_config(mut self, join_cfg: JoinConfig) -> FlowAnalytics {
         self.join_cfg = join_cfg;
         self
+    }
+
+    /// Attaches the [`SanitizeReport`] of the gate that produced this
+    /// table, plus the objects whose chains were repaired. Query answers
+    /// then attribute flow mass to repaired records in their
+    /// [`crate::QueryResult::quality`] summary, and profiles carry the
+    /// sanitize counters.
+    pub fn with_sanitize_report(
+        mut self,
+        report: SanitizeReport,
+        repaired_objects: impl IntoIterator<Item = ObjectId>,
+    ) -> FlowAnalytics {
+        self.repaired_objects = repaired_objects.into_iter().collect();
+        self.sanitize_report = Some(report);
+        self
+    }
+
+    /// The attached sanitize report, if any.
+    pub fn sanitize_report(&self) -> Option<&SanitizeReport> {
+        self.sanitize_report.as_ref()
+    }
+
+    /// Whether the sanitizer repaired this object's chain.
+    pub(crate) fn is_repaired(&self, object: ObjectId) -> bool {
+        self.repaired_objects.contains(&object)
+    }
+
+    /// Builds the data-quality summary for one query's final stats.
+    pub(crate) fn quality(&self, stats: &QueryStats) -> DataQuality {
+        let (repaired, rejected, quarantined) = match &self.sanitize_report {
+            Some(r) => (r.total_repaired(), r.total_rejected(), r.total_quarantined()),
+            None => (0, 0, 0),
+        };
+        DataQuality::from_stats(stats, repaired, rejected, quarantined)
     }
 
     /// Enables or disables per-query profiling. When enabled, every query
@@ -84,13 +127,21 @@ impl FlowAnalytics {
         self.profiling
     }
 
-    /// The recorder for one query execution.
+    /// The recorder for one query execution. When profiling is on and a
+    /// sanitize report is attached, the report's totals are pre-loaded so
+    /// the profile shows what the query's data went through upstream.
     pub(crate) fn recorder(&self) -> inflow_obs::Recorder {
-        if self.profiling {
-            inflow_obs::Recorder::enabled()
-        } else {
-            inflow_obs::Recorder::disabled()
+        if !self.profiling {
+            return inflow_obs::Recorder::disabled();
         }
+        let mut rec = inflow_obs::Recorder::enabled();
+        if let Some(report) = &self.sanitize_report {
+            rec.add(inflow_obs::Counter::SanitizeDetected, report.total_detected());
+            rec.add(inflow_obs::Counter::SanitizeRepaired, report.total_repaired());
+            rec.add(inflow_obs::Counter::SanitizeRejected, report.total_rejected());
+            rec.add(inflow_obs::Counter::SanitizeQuarantined, report.total_quarantined());
+        }
+        rec
     }
 
     /// The uncertainty engine.

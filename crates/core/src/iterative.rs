@@ -30,7 +30,8 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery) -> QueryResult {
     let ranked = rank_topk(flows, q.k);
     rec.exit(span);
     rec.exit(root);
-    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
+    let quality = fa.quality(&stats);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0), quality }
 }
 
 /// Algorithm 4: iterative interval top-k.
@@ -43,7 +44,8 @@ pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery) -> QueryResult {
     let ranked = rank_topk(flows, q.k);
     rec.exit(span);
     rec.exit(root);
-    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
+    let quality = fa.quality(&stats);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0), quality }
 }
 
 /// All snapshot flows, unranked.
@@ -85,8 +87,10 @@ fn snapshot_flows_recorded(
         rec.stop(Timer::UrDerive, timer);
         stats.urs_built += 1;
         if ur.is_empty() {
+            stats.empty_urs += 1;
             continue;
         }
+        let repaired = fa.is_repaired(entry.object);
         let (hits, visited) = rp.query_intersecting_counted(&ur.mbr());
         stats.rtree_nodes_visited += visited;
         for &poi_id in hits {
@@ -97,6 +101,10 @@ fn snapshot_flows_recorded(
             rec.stop(Timer::Presence, timer);
             if presence > 0.0 {
                 *flows.get_mut(&poi_id).expect("query POI") += presence;
+                stats.accumulated_flow_mass += presence;
+                if repaired {
+                    stats.repaired_flow_mass += presence;
+                }
             }
         }
     }
@@ -131,11 +139,16 @@ pub(crate) fn interval_flows_recorded(
         let timer = rec.start(Timer::UrDerive);
         let ur = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te);
         rec.stop(Timer::UrDerive, timer);
-        let Some(ur) = ur else { continue };
+        let Some(ur) = ur else {
+            stats.missing_urs += 1;
+            continue;
+        };
         stats.urs_built += 1;
         if ur.is_empty() {
+            stats.empty_urs += 1;
             continue;
         }
+        let repaired = fa.is_repaired(object);
         let (hits, visited) = rp.query_intersecting_counted(&ur.mbr());
         stats.rtree_nodes_visited += visited;
         for &poi_id in hits {
@@ -146,6 +159,10 @@ pub(crate) fn interval_flows_recorded(
             rec.stop(Timer::Presence, timer);
             if presence > 0.0 {
                 *flows.get_mut(&poi_id).expect("query POI") += presence;
+                stats.accumulated_flow_mass += presence;
+                if repaired {
+                    stats.repaired_flow_mass += presence;
+                }
             }
         }
     }

@@ -100,6 +100,7 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, cfg: &JoinConfig) -> Quer
     // Phase 1: aggregate R-tree over coarse object MBRs (lines 1–11).
     let span = rec.enter("candidate_retrieval");
     let mut states: Vec<ObjectState> = Vec::new();
+    let mut repaired_slots: Vec<bool> = Vec::new();
     let mut data: Vec<(Mbr, u32)> = Vec::new();
     for entry in fa.artree().point_query(q.t) {
         let Some(state) = ArTree::resolve_state(fa.ott(), entry, q.t) else {
@@ -108,10 +109,14 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, cfg: &JoinConfig) -> Quer
         stats.objects_considered += 1;
         let mbr = fa.engine().snapshot_mbr_coarse(fa.ott(), state, q.t);
         if mbr.is_empty() {
+            // The coarse MBR is already empty, so the exact region would
+            // be too (infeasible/degraded records).
+            stats.empty_urs += 1;
             continue;
         }
         let slot = states.len() as u32;
         states.push(state);
+        repaired_slots.push(fa.is_repaired(entry.object));
         data.push((mbr, slot));
     }
     rec.exit(span);
@@ -138,6 +143,8 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, cfg: &JoinConfig) -> Quer
     let mut presence_evals = 0usize;
     let mut mbr_rejects = 0usize;
     let mut small_mbr_rejects = 0usize;
+    let mut accumulated_mass = 0.0f64;
+    let mut repaired_mass = 0.0f64;
     let mut presence_hist = Histogram::new();
     let mut counters = JoinCounters::default();
     let descent = rec.enter("join_descent");
@@ -175,14 +182,21 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, cfg: &JoinConfig) -> Quer
                 return 0.0;
             }
             presence_evals += 1;
-            if timed {
+            let p = if timed {
                 let t0 = Instant::now();
                 let p = engine.presence(ur, poi);
                 presence_hist.observe(t0.elapsed().as_nanos() as u64);
                 p
             } else {
                 engine.presence(ur, poi)
+            };
+            if p > 0.0 {
+                accumulated_mass += p;
+                if repaired_slots[slot] {
+                    repaired_mass += p;
+                }
             }
+            p
         };
         run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence, &mut counters)
     };
@@ -197,10 +211,13 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, cfg: &JoinConfig) -> Quer
     stats.presence_evaluations = presence_evals;
     stats.mbr_rejects = mbr_rejects;
     stats.small_mbr_rejects = small_mbr_rejects;
+    stats.accumulated_flow_mass = accumulated_mass;
+    stats.repaired_flow_mass = repaired_mass;
     counters.fill(&mut stats, q.pois.len());
     rec.merge_timer(Timer::Presence, &presence_hist);
     counters.record_queue_traffic(&mut rec);
-    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
+    let quality = fa.quality(&stats);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0), quality }
 }
 
 /// Algorithm 5 (improved): join-based interval top-k.
@@ -222,20 +239,26 @@ pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> Quer
 
     let span = rec.enter("derive_urs");
     let mut urs: Vec<UncertaintyRegion> = Vec::new();
+    let mut repaired_slots: Vec<bool> = Vec::new();
     let mut data: Vec<(Mbr, u32)> = Vec::new();
     for object in objects {
         stats.objects_considered += 1;
         let timer = rec.start(Timer::UrDerive);
         let ur = fa.engine().interval_ur(fa.ott(), object, q.ts, q.te);
         rec.stop(Timer::UrDerive, timer);
-        let Some(ur) = ur else { continue };
+        let Some(ur) = ur else {
+            stats.missing_urs += 1;
+            continue;
+        };
         stats.urs_built += 1;
         if ur.is_empty() {
+            stats.empty_urs += 1;
             continue;
         }
         let slot = urs.len() as u32;
         data.push((ur.mbr(), slot));
         urs.push(ur);
+        repaired_slots.push(fa.is_repaired(object));
     }
     rec.exit(span);
     let span = rec.enter("build_ri");
@@ -253,6 +276,8 @@ pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> Quer
     let mut presence_evals = 0usize;
     let mut mbr_rejects = 0usize;
     let mut small_mbr_rejects = 0usize;
+    let mut accumulated_mass = 0.0f64;
+    let mut repaired_mass = 0.0f64;
     let mut presence_hist = Histogram::new();
     let mut counters = JoinCounters::default();
     let descent = rec.enter("join_descent");
@@ -268,21 +293,29 @@ pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> Quer
             }
         };
         let mut presence = |slot: u32, poi_id: PoiId| {
-            let ur = &urs[slot as usize];
+            let slot = slot as usize;
+            let ur = &urs[slot];
             let poi = plan.poi(poi_id);
             if !ur.mbr().intersects(&poi.mbr()) {
                 mbr_rejects += 1;
                 return 0.0;
             }
             presence_evals += 1;
-            if timed {
+            let p = if timed {
                 let t0 = Instant::now();
                 let p = engine.presence(ur, poi);
                 presence_hist.observe(t0.elapsed().as_nanos() as u64);
                 p
             } else {
                 engine.presence(ur, poi)
+            };
+            if p > 0.0 {
+                accumulated_mass += p;
+                if repaired_slots[slot] {
+                    repaired_mass += p;
+                }
             }
+            p
         };
         run_join(&rp, &ri, &q.pois, q.k, &mut fine_check, &mut presence, &mut counters)
     };
@@ -294,10 +327,13 @@ pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> Quer
     stats.presence_evaluations = presence_evals;
     stats.mbr_rejects = mbr_rejects;
     stats.small_mbr_rejects = small_mbr_rejects;
+    stats.accumulated_flow_mass = accumulated_mass;
+    stats.repaired_flow_mass = repaired_mass;
     counters.fill(&mut stats, q.pois.len());
     rec.merge_timer(Timer::Presence, &presence_hist);
     counters.record_queue_traffic(&mut rec);
-    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0) }
+    let quality = fa.quality(&stats);
+    QueryResult { ranked, stats, profile: profiling::finish_profile(rec, &stats, probes0), quality }
 }
 
 /// Counters local to one [`run_join`] drive: plain integers so the

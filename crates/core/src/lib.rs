@@ -37,7 +37,7 @@ pub mod visitors;
 pub use analytics::FlowAnalytics;
 pub use density::{snapshot_density, DensityGrid};
 pub use join::JoinConfig;
-pub use query::{IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
+pub use query::{DataQuality, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
 pub use timeline::{
     flow_timeline, ContinuousSnapshotMonitor, FlowTimeline, TimelineBucket, TopKUpdate,
 };

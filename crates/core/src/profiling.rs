@@ -36,6 +36,8 @@ pub(crate) fn finish_profile(
         rec.add(Counter::RtreeNodesVisited, stats.rtree_nodes_visited as u64);
         rec.add(Counter::ExactFlowsResolved, stats.exact_flows_resolved as u64);
         rec.add(Counter::PoisPruned, stats.pois_pruned as u64);
+        rec.add(Counter::EmptyUrs, stats.empty_urs as u64);
+        rec.add(Counter::MissingUrs, stats.missing_urs as u64);
         let probes = inflow_geometry::integration_probes().wrapping_sub(probes_before);
         rec.add(Counter::GridProbes, probes);
     }

@@ -79,6 +79,21 @@ pub struct QueryStats {
     /// termination — the join algorithm's payoff. Always 0 for the
     /// iterative algorithms.
     pub pois_pruned: usize,
+    /// Objects considered whose uncertainty region came out empty — e.g.
+    /// `V_max`-infeasible record pairs (§3.2.2), degraded data, or device
+    /// outages. They contribute no flow.
+    pub empty_urs: usize,
+    /// Objects considered for which no uncertainty region could be
+    /// derived at all (no covering tracking records in the query range).
+    pub missing_urs: usize,
+    /// Total presence mass accumulated across evaluated object–POI pairs.
+    /// For the join algorithms this covers only the pairs actually
+    /// integrated (pruned POIs contribute nothing).
+    pub accumulated_flow_mass: f64,
+    /// The share of [`QueryStats::accumulated_flow_mass`] contributed by
+    /// objects whose records the sanitization gate repaired. Always 0
+    /// when no sanitize report is attached to the analytics façade.
+    pub repaired_flow_mass: f64,
 }
 
 impl QueryStats {
@@ -92,6 +107,122 @@ impl QueryStats {
         self.rtree_nodes_visited += other.rtree_nodes_visited;
         self.exact_flows_resolved += other.exact_flows_resolved;
         self.pois_pruned += other.pois_pruned;
+        self.empty_urs += other.empty_urs;
+        self.missing_urs += other.missing_urs;
+        self.accumulated_flow_mass += other.accumulated_flow_mass;
+        self.repaired_flow_mass += other.repaired_flow_mass;
+    }
+}
+
+/// Data-quality summary of one query answer — the degraded-mode contract:
+/// instead of failing on dirty data, queries answer from what survived
+/// sanitization and report how much the answer rests on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataQuality {
+    /// Objects whose tracking data overlapped the query time parameter.
+    pub objects_considered: usize,
+    /// Considered objects whose uncertainty region was empty.
+    pub empty_urs: usize,
+    /// Considered objects with no derivable uncertainty region.
+    pub missing_urs: usize,
+    /// Fraction of considered objects that produced a usable region
+    /// (`1.0` when nothing was considered — an empty answer is exact).
+    pub coverage: f64,
+    /// Rows the upstream sanitization gate repaired (0 when no report
+    /// was attached to the analytics façade).
+    pub repaired_rows: u64,
+    /// Rows the gate rejected.
+    pub rejected_rows: u64,
+    /// Rows the gate quarantined.
+    pub quarantined_rows: u64,
+    /// Presence mass contributed by repaired objects. Under join pruning
+    /// this is a lower bound: pruned POIs never integrate their objects.
+    pub repaired_flow_mass: f64,
+    /// `repaired_flow_mass` as a fraction of all accumulated flow mass
+    /// (`0.0` when no mass was accumulated).
+    pub repaired_mass_fraction: f64,
+}
+
+impl Default for DataQuality {
+    fn default() -> DataQuality {
+        DataQuality {
+            objects_considered: 0,
+            empty_urs: 0,
+            missing_urs: 0,
+            coverage: 1.0,
+            repaired_rows: 0,
+            rejected_rows: 0,
+            quarantined_rows: 0,
+            repaired_flow_mass: 0.0,
+            repaired_mass_fraction: 0.0,
+        }
+    }
+}
+
+impl DataQuality {
+    /// Derives the summary from a query's stats and the sanitize-report
+    /// totals of the data it ran on.
+    pub fn from_stats(
+        stats: &QueryStats,
+        repaired_rows: u64,
+        rejected_rows: u64,
+        quarantined_rows: u64,
+    ) -> DataQuality {
+        let unusable = stats.empty_urs + stats.missing_urs;
+        let coverage = if stats.objects_considered == 0 {
+            1.0
+        } else {
+            1.0 - unusable as f64 / stats.objects_considered as f64
+        };
+        let repaired_mass_fraction = if stats.accumulated_flow_mass > 0.0 {
+            stats.repaired_flow_mass / stats.accumulated_flow_mass
+        } else {
+            0.0
+        };
+        DataQuality {
+            objects_considered: stats.objects_considered,
+            empty_urs: stats.empty_urs,
+            missing_urs: stats.missing_urs,
+            coverage,
+            repaired_rows,
+            rejected_rows,
+            quarantined_rows,
+            repaired_flow_mass: stats.repaired_flow_mass,
+            repaired_mass_fraction,
+        }
+    }
+
+    /// Whether the answer rests on anything less than full clean data.
+    pub fn degraded(&self) -> bool {
+        self.empty_urs > 0
+            || self.missing_urs > 0
+            || self.repaired_rows > 0
+            || self.rejected_rows > 0
+            || self.quarantined_rows > 0
+    }
+
+    /// One-line summary for CLI output.
+    pub fn render(&self) -> String {
+        if !self.degraded() {
+            return format!("quality: clean ({} objects, full coverage)", self.objects_considered);
+        }
+        let mut s = format!(
+            "quality: coverage {:.1}% ({} objects, {} empty URs, {} missing URs)",
+            self.coverage * 100.0,
+            self.objects_considered,
+            self.empty_urs,
+            self.missing_urs
+        );
+        if self.repaired_rows > 0 || self.rejected_rows > 0 || self.quarantined_rows > 0 {
+            s.push_str(&format!(
+                "; sanitized input: {} repaired, {} rejected, {} quarantined; repaired flow mass {:.1}%",
+                self.repaired_rows,
+                self.rejected_rows,
+                self.quarantined_rows,
+                self.repaired_mass_fraction * 100.0
+            ));
+        }
+        s
     }
 }
 
@@ -107,6 +238,9 @@ pub struct QueryResult {
     /// only when profiling was enabled on the analytics façade; boxed so
     /// the common disabled case stays one pointer wide.
     pub profile: Option<Box<inflow_obs::QueryProfile>>,
+    /// Data-quality summary: how much of the answer rests on repaired,
+    /// empty or missing tracking data (degraded-mode reporting).
+    pub quality: DataQuality,
 }
 
 impl QueryResult {

@@ -12,7 +12,7 @@
 
 use crate::analytics::FlowAnalytics;
 use crate::profiling;
-use crate::query::{IntervalQuery, QueryStats, SnapshotQuery};
+use crate::query::{DataQuality, IntervalQuery, QueryStats, SnapshotQuery};
 use inflow_indoor::PoiId;
 use inflow_obs::QueryProfile;
 use inflow_tracking::Timestamp;
@@ -42,6 +42,8 @@ pub struct FlowTimeline {
     /// child span per bucket under the `timeline` root). `Some` only when
     /// profiling is enabled on the façade.
     pub profile: Option<Box<QueryProfile>>,
+    /// Data-quality summary across all buckets (degraded-mode reporting).
+    pub quality: DataQuality,
 }
 
 impl FlowTimeline {
@@ -107,7 +109,13 @@ pub fn flow_timeline(
         ts = te;
     }
     rec.exit(root);
-    FlowTimeline { buckets, stats: total, profile: profiling::finish_profile(rec, &total, probes0) }
+    let quality = fa.quality(&total);
+    FlowTimeline {
+        buckets,
+        stats: total,
+        profile: profiling::finish_profile(rec, &total, probes0),
+        quality,
+    }
 }
 
 /// The outcome of one continuous-monitor evaluation.
@@ -262,7 +270,12 @@ mod tests {
 
     #[test]
     fn empty_timeline_helpers() {
-        let tl = FlowTimeline { buckets: Vec::new(), stats: QueryStats::default(), profile: None };
+        let tl = FlowTimeline {
+            buckets: Vec::new(),
+            stats: QueryStats::default(),
+            profile: None,
+            quality: DataQuality::default(),
+        };
         assert!(tl.top_k_overall(3).is_empty());
         assert!(tl.peak_bucket(PoiId(0)).is_none());
         assert_eq!(tl.total(PoiId(0)), 0.0);

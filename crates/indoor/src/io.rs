@@ -139,8 +139,8 @@ pub fn read_plan(input: &mut impl BufRead) -> Result<FloorPlan, PlanIoError> {
                 if fields.len() != 6 {
                     return Err(bad("door needs: name x y cell-a cell-b".into()));
                 }
-                let x: f64 = num(fields[2], line_no)?;
-                let y: f64 = num(fields[3], line_no)?;
+                let x = num(fields[2], line_no)?;
+                let y = num(fields[3], line_no)?;
                 let a = *cells_by_name
                     .get(fields[4])
                     .ok_or_else(|| bad(format!("unknown cell '{}'", fields[4])))?;
@@ -153,9 +153,9 @@ pub fn read_plan(input: &mut impl BufRead) -> Result<FloorPlan, PlanIoError> {
                 if fields.len() != 5 {
                     return Err(bad("device needs: name x y range".into()));
                 }
-                let x: f64 = num(fields[2], line_no)?;
-                let y: f64 = num(fields[3], line_no)?;
-                let range: f64 = num(fields[4], line_no)?;
+                let x = num(fields[2], line_no)?;
+                let y = num(fields[3], line_no)?;
+                let range = num(fields[4], line_no)?;
                 builder.add_device(fields[1], Point::new(x, y), range);
             }
             "poi" => {
@@ -175,18 +175,25 @@ fn sanitize(name: &str) -> String {
     name.replace(char::is_whitespace, "_")
 }
 
-fn num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, PlanIoError> {
-    s.parse().map_err(|_| PlanIoError::BadLine {
+/// Parses an `f64` coordinate/range field, rejecting NaN and infinities:
+/// a non-finite geometry silently poisons every downstream MBR and
+/// presence integral, so it is refused at the boundary.
+fn num(s: &str, line: usize) -> Result<f64, PlanIoError> {
+    let v: f64 = s.parse().map_err(|_| PlanIoError::BadLine {
         line,
         reason: format!("cannot parse number from '{s}'"),
-    })
+    })?;
+    if !v.is_finite() {
+        return Err(PlanIoError::BadLine { line, reason: format!("non-finite value '{s}'") });
+    }
+    Ok(v)
 }
 
 fn rect(fields: &[&str], line: usize) -> Result<Polygon, PlanIoError> {
-    let x0: f64 = num(fields[0], line)?;
-    let y0: f64 = num(fields[1], line)?;
-    let x1: f64 = num(fields[2], line)?;
-    let y1: f64 = num(fields[3], line)?;
+    let x0 = num(fields[0], line)?;
+    let y0 = num(fields[1], line)?;
+    let x1 = num(fields[2], line)?;
+    let y1 = num(fields[3], line)?;
     if x1 <= x0 || y1 <= y0 {
         return Err(PlanIoError::BadLine {
             line,
@@ -273,6 +280,24 @@ mod tests {
         let text = "cell a room 0 0 2 2\ncell b room 2 0 4 2\ndoor d 50 50 a b\n";
         let err = read_plan(&mut BufReader::new(text.as_bytes())).unwrap_err();
         assert!(matches!(err, PlanIoError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn non_finite_fields_are_rejected() {
+        for text in [
+            "cell a room NaN 0 2 2\n",
+            "cell a room 0 0 inf 2\n",
+            "device dev0 3 -inf 1.5\n",
+            "device dev0 3 2 NaN\n",
+            "cell a room 0 0 2 2\ncell b room 2 0 4 2\ndoor d infinity 1 a b\n",
+        ] {
+            match read_plan(&mut BufReader::new(text.as_bytes())).unwrap_err() {
+                PlanIoError::BadLine { reason, .. } => {
+                    assert!(reason.contains("non-finite"), "{text:?}: {reason}");
+                }
+                other => panic!("expected BadLine for {text:?}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

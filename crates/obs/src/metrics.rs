@@ -39,11 +39,25 @@ pub enum Counter {
     /// Membership probes issued by the adaptive grid integrator
     /// (`inflow_geometry::area`) — grid cells × samples.
     GridProbes,
+    /// Objects considered whose snapshot/interval uncertainty region came
+    /// out empty (degraded data: the object contributes no flow).
+    EmptyUrs,
+    /// Objects considered for which no uncertainty region could be
+    /// derived at all (no covering tracking records).
+    MissingUrs,
+    /// Anomalies detected by the sanitization gate feeding this dataset.
+    SanitizeDetected,
+    /// Anomalies repaired in place by the sanitization gate.
+    SanitizeRepaired,
+    /// Anomalous records dropped by the sanitization gate.
+    SanitizeRejected,
+    /// Anomalous records moved to quarantine by the sanitization gate.
+    SanitizeQuarantined,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 17] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -55,6 +69,12 @@ impl Counter {
         Counter::ExactFlowsResolved,
         Counter::PoisPruned,
         Counter::GridProbes,
+        Counter::EmptyUrs,
+        Counter::MissingUrs,
+        Counter::SanitizeDetected,
+        Counter::SanitizeRepaired,
+        Counter::SanitizeRejected,
+        Counter::SanitizeQuarantined,
     ];
 
     /// Stable snake_case name used in rendered and JSON output.
@@ -71,6 +91,12 @@ impl Counter {
             Counter::ExactFlowsResolved => "exact_flows_resolved",
             Counter::PoisPruned => "pois_pruned",
             Counter::GridProbes => "grid_probes",
+            Counter::EmptyUrs => "empty_urs",
+            Counter::MissingUrs => "missing_urs",
+            Counter::SanitizeDetected => "sanitize_detected",
+            Counter::SanitizeRepaired => "sanitize_repaired",
+            Counter::SanitizeRejected => "sanitize_rejected",
+            Counter::SanitizeQuarantined => "sanitize_quarantined",
         }
     }
 

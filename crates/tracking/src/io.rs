@@ -92,8 +92,8 @@ pub fn read_ott_csv(input: &mut impl BufRead) -> Result<Vec<OttRow>, CsvError> {
         rows.push(OttRow {
             object: ObjectId(parse(fields[0], "object", line_no)?),
             device: DeviceId(parse(fields[1], "device", line_no)?),
-            ts: parse(fields[2], "ts", line_no)?,
-            te: parse(fields[3], "te", line_no)?,
+            ts: parse_finite(fields[2], "ts", line_no)?,
+            te: parse_finite(fields[3], "te", line_no)?,
         });
     }
     Ok(rows)
@@ -132,14 +132,14 @@ pub fn read_readings_csv(input: &mut impl BufRead) -> Result<Vec<RawReading>, Cs
         readings.push(RawReading {
             object: ObjectId(parse(fields[0], "object", line_no)?),
             device: DeviceId(parse(fields[1], "device", line_no)?),
-            t: parse(fields[2], "t", line_no)?,
+            t: parse_finite(fields[2], "t", line_no)?,
         });
     }
     Ok(readings)
 }
 
 /// Non-empty, non-comment lines with their 1-based line numbers.
-fn content_lines(
+pub(crate) fn content_lines(
     input: &mut impl BufRead,
 ) -> Result<impl Iterator<Item = (usize, String)>, CsvError> {
     let mut out = Vec::new();
@@ -160,9 +160,23 @@ fn content_lines(
     Ok(out.into_iter())
 }
 
-fn parse<T: std::str::FromStr>(s: &str, field: &str, line: usize) -> Result<T, CsvError> {
+pub(crate) fn parse<T: std::str::FromStr>(
+    s: &str,
+    field: &str,
+    line: usize,
+) -> Result<T, CsvError> {
     s.parse()
         .map_err(|_| CsvError::BadLine { line, reason: format!("cannot parse {field} from '{s}'") })
+}
+
+/// Parses an `f64` field, additionally rejecting NaN and infinities —
+/// `"NaN".parse::<f64>()` succeeds, but no timestamp field may hold one.
+pub(crate) fn parse_finite(s: &str, field: &str, line: usize) -> Result<f64, CsvError> {
+    let v: f64 = parse(s, field, line)?;
+    if !v.is_finite() {
+        return Err(CsvError::BadLine { line, reason: format!("non-finite {field} value '{s}'") });
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -244,5 +258,29 @@ mod tests {
     fn empty_file_is_bad_header() {
         let err = read_ott_csv(&mut BufReader::new("".as_bytes())).unwrap_err();
         assert!(matches!(err, CsvError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn non_finite_ott_timestamps_rejected() {
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            let text = format!("object,device,ts,te\n1,2,{bad},5\n");
+            let err = read_ott_csv(&mut BufReader::new(text.as_bytes())).unwrap_err();
+            match err {
+                CsvError::BadLine { line, reason } => {
+                    assert_eq!(line, 2);
+                    assert!(reason.contains("non-finite"), "{bad}: {reason}");
+                }
+                other => panic!("expected BadLine for '{bad}', got {other:?}"),
+            }
+            let text = format!("object,device,ts,te\n1,2,0,{bad}\n");
+            assert!(read_ott_csv(&mut BufReader::new(text.as_bytes())).is_err());
+        }
+    }
+
+    #[test]
+    fn non_finite_reading_timestamps_rejected() {
+        let text = "object,device,t\n1,2,NaN\n";
+        let err = read_readings_csv(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, CsvError::BadLine { line: 2, .. }), "{err}");
     }
 }

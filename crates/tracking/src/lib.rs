@@ -23,6 +23,7 @@ pub mod artree;
 pub mod io;
 pub mod ott;
 pub mod reading;
+pub mod sanitize;
 pub mod stream;
 
 pub use artree::{ArTree, ArTreeEntry};
@@ -32,7 +33,11 @@ pub use io::{
 pub use ott::{
     ObjectId, ObjectState, ObjectTrackingTable, OttError, OttRow, RecordId, TrackingRecord,
 };
-pub use reading::{merge_raw_readings, RawReading};
+pub use reading::{merge_raw_readings, RawReading, ReadingError};
+pub use sanitize::{
+    sanitize_rows, AnomalyKind, DeviceOracle, Policy, ReadingSanitizer, RowSanitizeOutcome,
+    SanitizeConfig, SanitizeReport,
+};
 pub use stream::{OnlineTracker, StreamError};
 
 /// Timestamps are seconds (f64) from an arbitrary epoch.

@@ -116,9 +116,7 @@ impl ObjectTrackingTable {
                 });
             }
         }
-        rows.sort_by(|a, b| {
-            (a.object, a.ts).partial_cmp(&(b.object, b.ts)).expect("timestamps are finite")
-        });
+        rows.sort_by(|a, b| a.object.cmp(&b.object).then_with(|| a.ts.total_cmp(&b.ts)));
         let mut records: Vec<TrackingRecord> = Vec::with_capacity(rows.len());
         let mut by_object: HashMap<ObjectId, Vec<RecordId>> = HashMap::new();
         let mut chain_pos = Vec::with_capacity(rows.len());

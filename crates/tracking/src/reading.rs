@@ -15,6 +15,41 @@ pub struct RawReading {
     pub t: Timestamp,
 }
 
+/// Error constructing a [`RawReading`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadingError {
+    /// The timestamp is NaN or infinite.
+    NonFiniteTimestamp { object: ObjectId, device: DeviceId },
+}
+
+impl std::fmt::Display for ReadingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadingError::NonFiniteTimestamp { object, device } => write!(
+                f,
+                "non-finite timestamp in reading for object {} at device {}",
+                object.0, device.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReadingError {}
+
+impl RawReading {
+    /// Creates a reading, rejecting NaN/infinite timestamps.
+    pub fn new(
+        object: ObjectId,
+        device: DeviceId,
+        t: Timestamp,
+    ) -> Result<RawReading, ReadingError> {
+        if !t.is_finite() {
+            return Err(ReadingError::NonFiniteTimestamp { object, device });
+        }
+        Ok(RawReading { object, device, t })
+    }
+}
+
 /// Merges raw readings into OTT rows (paper §2.1): maximal runs of
 /// readings of the same object by the same device, where consecutive
 /// readings are at most `max_gap` apart, become one
@@ -28,9 +63,7 @@ pub struct RawReading {
 pub fn merge_raw_readings(mut readings: Vec<RawReading>, max_gap: f64) -> Vec<OttRow> {
     assert!(max_gap > 0.0, "max_gap must be positive");
     readings.sort_by(|a, b| {
-        (a.object, a.t, a.device.0)
-            .partial_cmp(&(b.object, b.t, b.device.0))
-            .expect("timestamps are finite")
+        a.object.cmp(&b.object).then_with(|| a.t.total_cmp(&b.t)).then(a.device.0.cmp(&b.device.0))
     });
     let mut rows: Vec<OttRow> = Vec::new();
     let mut open: Option<OttRow> = None;
@@ -129,5 +162,17 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(merge_raw_readings(Vec::new(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn checked_constructor_rejects_non_finite_timestamps() {
+        assert!(RawReading::new(ObjectId(1), DeviceId(2), 3.0).is_ok());
+        let err = RawReading::new(ObjectId(1), DeviceId(2), f64::NAN).unwrap_err();
+        assert_eq!(
+            err,
+            ReadingError::NonFiniteTimestamp { object: ObjectId(1), device: DeviceId(2) }
+        );
+        assert!(err.to_string().contains("non-finite"));
+        assert!(RawReading::new(ObjectId(1), DeviceId(2), f64::INFINITY).is_err());
     }
 }

@@ -1,0 +1,958 @@
+//! Anomaly detection and repair for dirty tracking data.
+//!
+//! Real symbolic tracking feeds are dirty: readers deliver readings out of
+//! order, tags produce duplicate or ghost reads, device clocks drift until
+//! per-object runs overlap, and `V_max`-infeasible transitions (teleports)
+//! appear when two tags collide on one identifier. The paper's own CPH
+//! Bluetooth data motivates infeasible gaps and missed detections (§3);
+//! this module makes them first-class instead of accidental.
+//!
+//! Two gates share one typed taxonomy ([`AnomalyKind`]) and one per-kind
+//! policy table ([`SanitizeConfig`]):
+//!
+//! * [`sanitize_rows`] — a batch pass over OTT rows that enforces every
+//!   invariant [`crate::ObjectTrackingTable::from_rows`] checks (and the
+//!   `V_max` feasibility it cannot check) *before* table construction;
+//! * [`ReadingSanitizer`] — a streaming gate over raw readings with a
+//!   bounded reorder buffer (watermark + allowed lateness), feeding
+//!   [`crate::OnlineTracker`] or [`crate::merge_raw_readings`].
+//!
+//! Every anomaly is counted in a [`SanitizeReport`] regardless of policy,
+//! so degraded-mode query answers can attribute flow mass to repaired
+//! records.
+
+use crate::ott::{ObjectId, OttRow};
+use crate::reading::RawReading;
+use crate::Timestamp;
+use inflow_indoor::DeviceId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The anomaly taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// A reading arrived later than the allowed lateness behind the
+    /// watermark, or a row's endpoints are reversed (`te < ts`).
+    OutOfOrder,
+    /// An exact duplicate of an already-accepted reading or row.
+    Duplicate,
+    /// Two runs of the same object overlap in time (clock drift, reader
+    /// misconfiguration) — the invariant `from_rows` rejects.
+    OverlappingRun,
+    /// The device id is not part of the known deployment.
+    UnknownDevice,
+    /// A NaN or infinite timestamp.
+    NonFiniteTimestamp,
+    /// Consecutive runs of one object require travelling faster than
+    /// `V_max` (a teleport / ghost read / tag collision).
+    InfeasibleTransition,
+}
+
+impl AnomalyKind {
+    /// All kinds, in display order.
+    pub const ALL: [AnomalyKind; 6] = [
+        AnomalyKind::OutOfOrder,
+        AnomalyKind::Duplicate,
+        AnomalyKind::OverlappingRun,
+        AnomalyKind::UnknownDevice,
+        AnomalyKind::NonFiniteTimestamp,
+        AnomalyKind::InfeasibleTransition,
+    ];
+
+    /// Stable snake_case name used in rendered reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyKind::OutOfOrder => "out_of_order",
+            AnomalyKind::Duplicate => "duplicate",
+            AnomalyKind::OverlappingRun => "overlapping_run",
+            AnomalyKind::UnknownDevice => "unknown_device",
+            AnomalyKind::NonFiniteTimestamp => "non_finite_timestamp",
+            AnomalyKind::InfeasibleTransition => "infeasible_transition",
+        }
+    }
+
+    fn index(self) -> usize {
+        AnomalyKind::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+    }
+}
+
+impl std::fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What to do with a detected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Drop the offending record silently (counted, not stored).
+    Reject,
+    /// Remove the record from the clean stream but keep it in the
+    /// outcome's quarantine store for offline inspection.
+    Quarantine,
+    /// Fix the record in place where a sound repair exists: reorder within
+    /// the lateness bound, deduplicate, clamp overlaps, split infeasible
+    /// chains. Anomalies with no sound repair (non-finite timestamps,
+    /// unknown devices) degrade to `Reject`.
+    Repair,
+}
+
+/// Per-kind policies plus the knobs the repairs need.
+#[derive(Debug, Clone)]
+pub struct SanitizeConfig {
+    policies: [Policy; AnomalyKind::ALL.len()],
+    /// How far behind the watermark a reading may arrive and still be
+    /// reordered instead of counted out-of-order ([`ReadingSanitizer`]).
+    pub allowed_lateness: f64,
+    /// Maximum indoor movement speed; `0.0` disables the feasibility
+    /// check (no [`AnomalyKind::InfeasibleTransition`] detection).
+    pub vmax: f64,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> SanitizeConfig {
+        SanitizeConfig::repair_all()
+    }
+}
+
+impl SanitizeConfig {
+    /// Every anomaly repaired where possible (the forgiving default).
+    pub fn repair_all() -> SanitizeConfig {
+        SanitizeConfig {
+            policies: [Policy::Repair; AnomalyKind::ALL.len()],
+            allowed_lateness: 0.0,
+            vmax: 0.0,
+        }
+    }
+
+    /// Every anomaly rejected (drop-and-count).
+    pub fn reject_all() -> SanitizeConfig {
+        SanitizeConfig { policies: [Policy::Reject; AnomalyKind::ALL.len()], ..Self::repair_all() }
+    }
+
+    /// Every anomaly quarantined for offline inspection.
+    pub fn quarantine_all() -> SanitizeConfig {
+        SanitizeConfig {
+            policies: [Policy::Quarantine; AnomalyKind::ALL.len()],
+            ..Self::repair_all()
+        }
+    }
+
+    /// The policy for one anomaly kind.
+    pub fn policy(&self, kind: AnomalyKind) -> Policy {
+        self.policies[kind.index()]
+    }
+
+    /// Overrides the policy for one anomaly kind.
+    pub fn with_policy(mut self, kind: AnomalyKind, policy: Policy) -> SanitizeConfig {
+        self.policies[kind.index()] = policy;
+        self
+    }
+
+    /// Sets `V_max` (enables teleport detection when a geometry oracle is
+    /// supplied).
+    pub fn with_vmax(mut self, vmax: f64) -> SanitizeConfig {
+        assert!(vmax >= 0.0 && vmax.is_finite(), "vmax must be finite and non-negative");
+        self.vmax = vmax;
+        self
+    }
+
+    /// Sets the reorder-buffer lateness bound.
+    pub fn with_lateness(mut self, lateness: f64) -> SanitizeConfig {
+        assert!(lateness >= 0.0 && lateness.is_finite(), "lateness must be finite, non-negative");
+        self.allowed_lateness = lateness;
+        self
+    }
+}
+
+/// Deployment geometry the sanitizer consults: which devices exist and a
+/// *lower bound* on the travel distance between two devices' detection
+/// ranges. A lower bound keeps the feasibility check conservative — a
+/// transition is flagged only when even the straight-line path is too
+/// fast for `V_max`.
+pub trait DeviceOracle {
+    /// Whether the device is part of the deployment.
+    fn is_known(&self, device: DeviceId) -> bool;
+
+    /// Lower bound on the distance an object must travel from `a`'s range
+    /// to `b`'s range; `None` when either device is unknown.
+    fn min_travel_distance(&self, a: DeviceId, b: DeviceId) -> Option<f64>;
+}
+
+impl DeviceOracle for inflow_indoor::FloorPlan {
+    fn is_known(&self, device: DeviceId) -> bool {
+        (device.0 as usize) < self.devices().len()
+    }
+
+    fn min_travel_distance(&self, a: DeviceId, b: DeviceId) -> Option<f64> {
+        if !self.is_known(a) || !self.is_known(b) {
+            return None;
+        }
+        let da = self.device(a);
+        let db = self.device(b);
+        let centers = da.position.distance(db.position);
+        Some((centers - da.range - db.range).max(0.0))
+    }
+}
+
+/// What happened to a detected anomaly (for report accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Repaired,
+    Rejected,
+    Quarantined,
+}
+
+/// Per-kind detection and disposition counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    detected: [u64; AnomalyKind::ALL.len()],
+    repaired: [u64; AnomalyKind::ALL.len()],
+    rejected: [u64; AnomalyKind::ALL.len()],
+    quarantined: [u64; AnomalyKind::ALL.len()],
+    /// Records entering the gate.
+    pub records_in: u64,
+    /// Records surviving to the clean output.
+    pub records_out: u64,
+}
+
+impl SanitizeReport {
+    fn count(&mut self, kind: AnomalyKind, action: Action) {
+        let i = kind.index();
+        self.detected[i] += 1;
+        match action {
+            Action::Repaired => self.repaired[i] += 1,
+            Action::Rejected => self.rejected[i] += 1,
+            Action::Quarantined => self.quarantined[i] += 1,
+        }
+    }
+
+    /// Detections of one kind.
+    pub fn detected(&self, kind: AnomalyKind) -> u64 {
+        self.detected[kind.index()]
+    }
+
+    /// Repairs of one kind.
+    pub fn repaired(&self, kind: AnomalyKind) -> u64 {
+        self.repaired[kind.index()]
+    }
+
+    /// Rejections of one kind.
+    pub fn rejected(&self, kind: AnomalyKind) -> u64 {
+        self.rejected[kind.index()]
+    }
+
+    /// Quarantines of one kind.
+    pub fn quarantined(&self, kind: AnomalyKind) -> u64 {
+        self.quarantined[kind.index()]
+    }
+
+    /// All detections across kinds.
+    pub fn total_detected(&self) -> u64 {
+        self.detected.iter().sum()
+    }
+
+    /// All repairs across kinds.
+    pub fn total_repaired(&self) -> u64 {
+        self.repaired.iter().sum()
+    }
+
+    /// All rejections across kinds.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+
+    /// All quarantines across kinds.
+    pub fn total_quarantined(&self) -> u64 {
+        self.quarantined.iter().sum()
+    }
+
+    /// Whether no anomaly was detected.
+    pub fn is_clean(&self) -> bool {
+        self.total_detected() == 0
+    }
+
+    /// Accumulates another report (e.g. readings gate + row gate).
+    pub fn merge(&mut self, other: &SanitizeReport) {
+        for i in 0..AnomalyKind::ALL.len() {
+            self.detected[i] += other.detected[i];
+            self.repaired[i] += other.repaired[i];
+            self.rejected[i] += other.rejected[i];
+            self.quarantined[i] += other.quarantined[i];
+        }
+        self.records_in += other.records_in;
+        self.records_out += other.records_out;
+    }
+
+    /// One-line summary, e.g.
+    /// `sanitize: 1000 in, 982 out; 18 anomalies (12 repaired, 6 rejected)
+    /// [duplicate: 7, overlapping_run: 11]`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("sanitize: {} in, {} out", self.records_in, self.records_out);
+        if self.is_clean() {
+            s.push_str("; clean");
+            return s;
+        }
+        let _ = write!(
+            s,
+            "; {} anomalies ({} repaired, {} rejected, {} quarantined)",
+            self.total_detected(),
+            self.total_repaired(),
+            self.total_rejected(),
+            self.total_quarantined()
+        );
+        let per_kind: Vec<String> = AnomalyKind::ALL
+            .iter()
+            .filter(|&&k| self.detected(k) > 0)
+            .map(|&k| format!("{}: {}", k.name(), self.detected(k)))
+            .collect();
+        let _ = write!(s, " [{}]", per_kind.join(", "));
+        s
+    }
+}
+
+/// The result of [`sanitize_rows`].
+#[derive(Debug, Default)]
+pub struct RowSanitizeOutcome {
+    /// Clean rows, safe for [`crate::ObjectTrackingTable::from_rows`].
+    pub rows: Vec<OttRow>,
+    /// Rows removed under [`Policy::Quarantine`], with their diagnosis.
+    pub quarantined: Vec<(OttRow, AnomalyKind)>,
+    /// Objects whose chains were touched by a repair (sorted, deduped).
+    /// Includes the synthetic object ids minted by chain splitting.
+    pub repaired_objects: Vec<ObjectId>,
+    /// Detection and disposition counts.
+    pub report: SanitizeReport,
+}
+
+const FEASIBILITY_EPS: f64 = 1e-9;
+
+/// Batch gate over OTT rows: detects and disposes of every taxonomy
+/// anomaly so the output always satisfies the `from_rows` invariants.
+///
+/// Repairs, in pass order:
+///
+/// * reversed endpoints (`te < ts`) are swapped;
+/// * exact duplicates keep one copy;
+/// * overlapping runs of one object are clamped to start at the previous
+///   run's end (rows swallowed whole are dropped);
+/// * `V_max`-infeasible transitions split the object's chain: the rows
+///   after the teleport continue under a fresh synthetic [`ObjectId`] —
+///   physically, two different objects shared one tag id.
+///
+/// Non-finite timestamps and unknown devices have no sound repair;
+/// [`Policy::Repair`] degrades to rejection for them. Feasibility is only
+/// checked when `cfg.vmax > 0` and an oracle is supplied.
+pub fn sanitize_rows(
+    rows: Vec<OttRow>,
+    cfg: &SanitizeConfig,
+    oracle: Option<&dyn DeviceOracle>,
+) -> RowSanitizeOutcome {
+    let mut out = RowSanitizeOutcome::default();
+    out.report.records_in = rows.len() as u64;
+    let mut repaired_objects: Vec<ObjectId> = Vec::new();
+    let mut next_synthetic =
+        rows.iter().map(|r| r.object.0).max().map_or(0, |m| m.saturating_add(1));
+
+    // Pass 1: per-row anomalies (no neighbour context needed).
+    let mut kept: Vec<OttRow> = Vec::with_capacity(rows.len());
+    for mut row in rows {
+        if !(row.ts.is_finite() && row.te.is_finite()) {
+            // Unrepairable: Repair degrades to Reject.
+            match cfg.policy(AnomalyKind::NonFiniteTimestamp) {
+                Policy::Quarantine => {
+                    out.report.count(AnomalyKind::NonFiniteTimestamp, Action::Quarantined);
+                    out.quarantined.push((row, AnomalyKind::NonFiniteTimestamp));
+                }
+                _ => out.report.count(AnomalyKind::NonFiniteTimestamp, Action::Rejected),
+            }
+            continue;
+        }
+        if let Some(oracle) = oracle {
+            if !oracle.is_known(row.device) {
+                match cfg.policy(AnomalyKind::UnknownDevice) {
+                    Policy::Quarantine => {
+                        out.report.count(AnomalyKind::UnknownDevice, Action::Quarantined);
+                        out.quarantined.push((row, AnomalyKind::UnknownDevice));
+                    }
+                    _ => out.report.count(AnomalyKind::UnknownDevice, Action::Rejected),
+                }
+                continue;
+            }
+        }
+        if row.te < row.ts {
+            match cfg.policy(AnomalyKind::OutOfOrder) {
+                Policy::Repair => {
+                    std::mem::swap(&mut row.ts, &mut row.te);
+                    out.report.count(AnomalyKind::OutOfOrder, Action::Repaired);
+                    repaired_objects.push(row.object);
+                }
+                Policy::Reject => {
+                    out.report.count(AnomalyKind::OutOfOrder, Action::Rejected);
+                    continue;
+                }
+                Policy::Quarantine => {
+                    out.report.count(AnomalyKind::OutOfOrder, Action::Quarantined);
+                    out.quarantined.push((row, AnomalyKind::OutOfOrder));
+                    continue;
+                }
+            }
+        }
+        kept.push(row);
+    }
+
+    // Pass 2: neighbour anomalies, per object in time order.
+    kept.sort_by(|a, b| {
+        a.object
+            .cmp(&b.object)
+            .then_with(|| a.ts.total_cmp(&b.ts))
+            .then_with(|| a.te.total_cmp(&b.te))
+            .then_with(|| a.device.0.cmp(&b.device.0))
+    });
+    let check_feasibility = cfg.vmax > 0.0 && oracle.is_some();
+    // The previous *kept* row per original object id, plus the synthetic
+    // alias its chain currently writes to (chain splitting).
+    let mut prev: HashMap<ObjectId, (OttRow, ObjectId)> = HashMap::new();
+    let mut clean: Vec<OttRow> = Vec::with_capacity(kept.len());
+    for mut row in kept {
+        let original = row.object;
+        let Some(&(prev_row, alias)) = prev.get(&original) else {
+            prev.insert(original, (row, original));
+            clean.push(row);
+            continue;
+        };
+        if row == prev_row {
+            match cfg.policy(AnomalyKind::Duplicate) {
+                Policy::Repair => {
+                    out.report.count(AnomalyKind::Duplicate, Action::Repaired);
+                    repaired_objects.push(original);
+                }
+                Policy::Reject => out.report.count(AnomalyKind::Duplicate, Action::Rejected),
+                Policy::Quarantine => {
+                    out.report.count(AnomalyKind::Duplicate, Action::Quarantined);
+                    out.quarantined.push((row, AnomalyKind::Duplicate));
+                }
+            }
+            continue;
+        }
+        let mut alias = alias;
+        if row.ts < prev_row.te {
+            match cfg.policy(AnomalyKind::OverlappingRun) {
+                Policy::Repair => {
+                    if row.te <= prev_row.te {
+                        // Swallowed whole by the previous run: nothing
+                        // left after clamping.
+                        out.report.count(AnomalyKind::OverlappingRun, Action::Repaired);
+                        repaired_objects.push(original);
+                        continue;
+                    }
+                    row.ts = prev_row.te;
+                    out.report.count(AnomalyKind::OverlappingRun, Action::Repaired);
+                    repaired_objects.push(original);
+                }
+                Policy::Reject => {
+                    out.report.count(AnomalyKind::OverlappingRun, Action::Rejected);
+                    continue;
+                }
+                Policy::Quarantine => {
+                    out.report.count(AnomalyKind::OverlappingRun, Action::Quarantined);
+                    out.quarantined.push((row, AnomalyKind::OverlappingRun));
+                    continue;
+                }
+            }
+        } else if check_feasibility && row.device != prev_row.device {
+            let oracle = oracle.expect("checked above");
+            if let Some(dist) = oracle.min_travel_distance(prev_row.device, row.device) {
+                let gap = row.ts - prev_row.te;
+                if dist > cfg.vmax * gap + FEASIBILITY_EPS {
+                    match cfg.policy(AnomalyKind::InfeasibleTransition) {
+                        Policy::Repair => {
+                            // Chain splitting: the tail is physically a
+                            // different object that shared the tag id.
+                            alias = ObjectId(next_synthetic);
+                            next_synthetic = next_synthetic.saturating_add(1);
+                            out.report.count(AnomalyKind::InfeasibleTransition, Action::Repaired);
+                            repaired_objects.push(original);
+                            repaired_objects.push(alias);
+                        }
+                        Policy::Reject => {
+                            out.report.count(AnomalyKind::InfeasibleTransition, Action::Rejected);
+                            continue;
+                        }
+                        Policy::Quarantine => {
+                            out.report
+                                .count(AnomalyKind::InfeasibleTransition, Action::Quarantined);
+                            out.quarantined.push((row, AnomalyKind::InfeasibleTransition));
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        prev.insert(original, (row, alias));
+        row.object = alias;
+        clean.push(row);
+    }
+
+    repaired_objects.sort_unstable();
+    repaired_objects.dedup();
+    out.report.records_out = clean.len() as u64;
+    out.rows = clean;
+    out.repaired_objects = repaired_objects;
+    out
+}
+
+/// Reading ordered for the min-heap reorder buffer (deterministic
+/// tie-breaking so emission order never depends on heap internals).
+#[derive(Debug, Clone, Copy)]
+struct OrdReading(RawReading);
+
+impl PartialEq for OrdReading {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for OrdReading {}
+impl Ord for OrdReading {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .0
+            .t
+            .total_cmp(&self.0.t)
+            .then_with(|| other.0.object.cmp(&self.0.object))
+            .then_with(|| other.0.device.0.cmp(&self.0.device.0))
+    }
+}
+impl PartialOrd for OrdReading {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming gate over raw readings: a bounded reorder buffer plus the
+/// per-reading taxonomy checks.
+///
+/// Readings are buffered until the watermark (largest timestamp seen)
+/// passes them by `allowed_lateness`, then emitted in timestamp order.
+/// A reading arriving behind the emission frontier is out-of-order beyond
+/// repair-by-reordering: [`Policy::Repair`] clamps its timestamp to the
+/// frontier, [`Policy::Reject`] drops it, [`Policy::Quarantine`] stores
+/// it. Call [`ReadingSanitizer::flush`] at end of stream.
+#[derive(Debug)]
+pub struct ReadingSanitizer {
+    cfg: SanitizeConfig,
+    known_devices: Option<Vec<bool>>,
+    buffer: BinaryHeap<OrdReading>,
+    watermark: Timestamp,
+    /// Timestamp of the last emitted reading (the emission frontier).
+    frontier: Timestamp,
+    /// Last emitted `(device, t)` per object, for duplicate detection.
+    last_emitted: HashMap<ObjectId, (DeviceId, Timestamp)>,
+    quarantined: Vec<(RawReading, AnomalyKind)>,
+    report: SanitizeReport,
+}
+
+impl ReadingSanitizer {
+    /// Creates a gate with the given config (lateness bound, policies).
+    pub fn new(cfg: SanitizeConfig) -> ReadingSanitizer {
+        ReadingSanitizer {
+            cfg,
+            known_devices: None,
+            buffer: BinaryHeap::new(),
+            watermark: f64::NEG_INFINITY,
+            frontier: f64::NEG_INFINITY,
+            last_emitted: HashMap::new(),
+            quarantined: Vec::new(),
+            report: SanitizeReport::default(),
+        }
+    }
+
+    /// Restricts accepted devices to the given set (enables
+    /// [`AnomalyKind::UnknownDevice`] detection).
+    pub fn with_known_devices(mut self, devices: impl IntoIterator<Item = DeviceId>) -> Self {
+        let mut known = Vec::new();
+        for d in devices {
+            let i = d.0 as usize;
+            if i >= known.len() {
+                known.resize(i + 1, false);
+            }
+            known[i] = true;
+        }
+        self.known_devices = Some(known);
+        self
+    }
+
+    /// Offers one reading; clean readings ready for downstream are
+    /// appended to `out` in timestamp order.
+    pub fn push(&mut self, r: RawReading, out: &mut Vec<RawReading>) {
+        self.report.records_in += 1;
+        if !r.t.is_finite() {
+            match self.cfg.policy(AnomalyKind::NonFiniteTimestamp) {
+                Policy::Quarantine => {
+                    self.report.count(AnomalyKind::NonFiniteTimestamp, Action::Quarantined);
+                    self.quarantined.push((r, AnomalyKind::NonFiniteTimestamp));
+                }
+                _ => self.report.count(AnomalyKind::NonFiniteTimestamp, Action::Rejected),
+            }
+            return;
+        }
+        if let Some(known) = &self.known_devices {
+            if !known.get(r.device.0 as usize).copied().unwrap_or(false) {
+                match self.cfg.policy(AnomalyKind::UnknownDevice) {
+                    Policy::Quarantine => {
+                        self.report.count(AnomalyKind::UnknownDevice, Action::Quarantined);
+                        self.quarantined.push((r, AnomalyKind::UnknownDevice));
+                    }
+                    _ => self.report.count(AnomalyKind::UnknownDevice, Action::Rejected),
+                }
+                return;
+            }
+        }
+        if r.t < self.frontier {
+            // Arrived beyond the reorder horizon.
+            match self.cfg.policy(AnomalyKind::OutOfOrder) {
+                Policy::Repair => {
+                    let repaired = RawReading { t: self.frontier, ..r };
+                    self.report.count(AnomalyKind::OutOfOrder, Action::Repaired);
+                    self.emit(repaired, out);
+                }
+                Policy::Reject => self.report.count(AnomalyKind::OutOfOrder, Action::Rejected),
+                Policy::Quarantine => {
+                    self.report.count(AnomalyKind::OutOfOrder, Action::Quarantined);
+                    self.quarantined.push((r, AnomalyKind::OutOfOrder));
+                }
+            }
+            return;
+        }
+        self.buffer.push(OrdReading(r));
+        if r.t > self.watermark {
+            self.watermark = r.t;
+        }
+        self.drain_ready(out);
+    }
+
+    /// Offers a batch of readings, returning the clean ordered output.
+    pub fn push_all(&mut self, readings: impl IntoIterator<Item = RawReading>) -> Vec<RawReading> {
+        let mut out = Vec::new();
+        for r in readings {
+            self.push(r, &mut out);
+        }
+        out
+    }
+
+    /// Emits everything still buffered (end of stream), in order.
+    pub fn flush(&mut self) -> Vec<RawReading> {
+        let mut out = Vec::new();
+        while let Some(OrdReading(r)) = self.buffer.pop() {
+            self.emit(r, &mut out);
+        }
+        out
+    }
+
+    /// Detection and disposition counts so far.
+    pub fn report(&self) -> &SanitizeReport {
+        &self.report
+    }
+
+    /// Readings removed under [`Policy::Quarantine`].
+    pub fn quarantined(&self) -> &[(RawReading, AnomalyKind)] {
+        &self.quarantined
+    }
+
+    /// Readings currently held in the reorder buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn drain_ready(&mut self, out: &mut Vec<RawReading>) {
+        let horizon = self.watermark - self.cfg.allowed_lateness;
+        while let Some(&OrdReading(head)) = self.buffer.peek() {
+            if head.t > horizon {
+                break;
+            }
+            self.buffer.pop();
+            self.emit(head, out);
+        }
+    }
+
+    fn emit(&mut self, r: RawReading, out: &mut Vec<RawReading>) {
+        if let Some(&(device, t)) = self.last_emitted.get(&r.object) {
+            if device == r.device && t == r.t {
+                match self.cfg.policy(AnomalyKind::Duplicate) {
+                    Policy::Quarantine => {
+                        self.report.count(AnomalyKind::Duplicate, Action::Quarantined);
+                        self.quarantined.push((r, AnomalyKind::Duplicate));
+                    }
+                    Policy::Repair => self.report.count(AnomalyKind::Duplicate, Action::Repaired),
+                    Policy::Reject => self.report.count(AnomalyKind::Duplicate, Action::Rejected),
+                }
+                return;
+            }
+        }
+        self.last_emitted.insert(r.object, (r.device, r.t));
+        self.frontier = self.frontier.max(r.t);
+        self.report.records_out += 1;
+        out.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ott::ObjectTrackingTable;
+
+    fn row(o: u32, d: u32, ts: f64, te: f64) -> OttRow {
+        OttRow { object: ObjectId(o), device: DeviceId(d), ts, te }
+    }
+
+    fn reading(o: u32, d: u32, t: f64) -> RawReading {
+        RawReading { object: ObjectId(o), device: DeviceId(d), t }
+    }
+
+    /// Two devices 100 m apart, one co-located pair, ids 0..3.
+    struct TestOracle;
+    impl DeviceOracle for TestOracle {
+        fn is_known(&self, device: DeviceId) -> bool {
+            device.0 < 3
+        }
+        fn min_travel_distance(&self, a: DeviceId, b: DeviceId) -> Option<f64> {
+            if !self.is_known(a) || !self.is_known(b) {
+                return None;
+            }
+            // Devices 0 and 1 are adjacent; device 2 is 100 m away.
+            Some(if a == b || a.0 + b.0 == 1 { 0.0 } else { 100.0 })
+        }
+    }
+
+    #[test]
+    fn clean_rows_pass_untouched() {
+        let rows = vec![row(1, 0, 0.0, 5.0), row(1, 1, 6.0, 8.0), row(2, 0, 1.0, 2.0)];
+        let out = sanitize_rows(rows.clone(), &SanitizeConfig::repair_all(), Some(&TestOracle));
+        assert!(out.report.is_clean(), "{}", out.report.render());
+        assert_eq!(out.report.records_in, 3);
+        assert_eq!(out.report.records_out, 3);
+        assert!(out.repaired_objects.is_empty());
+        let mut sorted = rows;
+        sorted.sort_by(|a, b| a.object.cmp(&b.object).then(a.ts.total_cmp(&b.ts)));
+        assert_eq!(out.rows, sorted);
+    }
+
+    #[test]
+    fn non_finite_rows_are_dropped_even_under_repair() {
+        let rows = vec![row(1, 0, 0.0, 5.0), row(1, 0, f64::NAN, 6.0), row(1, 0, 7.0, f64::NAN)];
+        let out = sanitize_rows(rows, &SanitizeConfig::repair_all(), None);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.report.detected(AnomalyKind::NonFiniteTimestamp), 2);
+        assert_eq!(out.report.rejected(AnomalyKind::NonFiniteTimestamp), 2);
+        ObjectTrackingTable::from_rows(out.rows).unwrap();
+    }
+
+    #[test]
+    fn reversed_endpoints_are_swapped_under_repair() {
+        let out = sanitize_rows(vec![row(1, 0, 5.0, 2.0)], &SanitizeConfig::repair_all(), None);
+        assert_eq!(out.rows, vec![row(1, 0, 2.0, 5.0)]);
+        assert_eq!(out.report.repaired(AnomalyKind::OutOfOrder), 1);
+        assert_eq!(out.repaired_objects, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn duplicates_keep_one_copy() {
+        let rows = vec![row(1, 0, 0.0, 5.0), row(1, 0, 0.0, 5.0), row(1, 0, 0.0, 5.0)];
+        let out = sanitize_rows(rows, &SanitizeConfig::repair_all(), None);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.report.repaired(AnomalyKind::Duplicate), 2);
+    }
+
+    #[test]
+    fn overlap_is_clamped_and_contained_rows_dropped() {
+        let rows = vec![
+            row(1, 0, 0.0, 10.0),
+            row(1, 1, 5.0, 15.0), // overlaps → clamped to [10, 15]
+            row(1, 0, 11.0, 12.0), // swallowed by the clamped row? starts
+                                  // at 11 < 15 and ends 12 ≤ 15 → dropped
+        ];
+        let out = sanitize_rows(rows, &SanitizeConfig::repair_all(), None);
+        assert_eq!(out.rows, vec![row(1, 0, 0.0, 10.0), row(1, 1, 10.0, 15.0)]);
+        assert_eq!(out.report.repaired(AnomalyKind::OverlappingRun), 2);
+        ObjectTrackingTable::from_rows(out.rows).unwrap();
+    }
+
+    #[test]
+    fn overlap_reject_drops_the_later_row() {
+        let rows = vec![row(1, 0, 0.0, 10.0), row(1, 1, 5.0, 15.0)];
+        let cfg =
+            SanitizeConfig::repair_all().with_policy(AnomalyKind::OverlappingRun, Policy::Reject);
+        let out = sanitize_rows(rows, &cfg, None);
+        assert_eq!(out.rows, vec![row(1, 0, 0.0, 10.0)]);
+        assert_eq!(out.report.rejected(AnomalyKind::OverlappingRun), 1);
+    }
+
+    #[test]
+    fn quarantine_stores_the_offender() {
+        let rows = vec![row(1, 0, 0.0, 10.0), row(1, 1, 5.0, 15.0)];
+        let cfg = SanitizeConfig::quarantine_all();
+        let out = sanitize_rows(rows, &cfg, None);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].1, AnomalyKind::OverlappingRun);
+    }
+
+    #[test]
+    fn unknown_devices_are_dropped() {
+        let rows = vec![row(1, 0, 0.0, 5.0), row(1, 9, 6.0, 7.0)];
+        let out = sanitize_rows(rows, &SanitizeConfig::repair_all(), Some(&TestOracle));
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.report.detected(AnomalyKind::UnknownDevice), 1);
+    }
+
+    #[test]
+    fn infeasible_transition_splits_the_chain() {
+        // Device 0 → device 2 is 100 m; with vmax 1.0 and a 1 s gap the
+        // transition is a teleport. The tail continues as a new object.
+        let rows = vec![row(1, 0, 0.0, 10.0), row(1, 2, 11.0, 20.0), row(1, 2, 21.0, 30.0)];
+        let cfg = SanitizeConfig::repair_all().with_vmax(1.0);
+        let out = sanitize_rows(rows, &cfg, Some(&TestOracle));
+        assert_eq!(out.report.repaired(AnomalyKind::InfeasibleTransition), 1);
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[0].object, ObjectId(1));
+        // The split tail gets a fresh synthetic id (> max original).
+        assert_eq!(out.rows[1].object, ObjectId(2));
+        assert_eq!(out.rows[2].object, ObjectId(2));
+        assert!(out.repaired_objects.contains(&ObjectId(1)));
+        assert!(out.repaired_objects.contains(&ObjectId(2)));
+        // Device 2 → device 2 within the tail is feasible: no second split.
+        ObjectTrackingTable::from_rows(out.rows).unwrap();
+    }
+
+    #[test]
+    fn feasible_transitions_are_not_flagged() {
+        // 100 m at vmax 1.0 with a 200 s gap is fine.
+        let rows = vec![row(1, 0, 0.0, 10.0), row(1, 2, 210.0, 220.0)];
+        let cfg = SanitizeConfig::repair_all().with_vmax(1.0);
+        let out = sanitize_rows(rows, &cfg, Some(&TestOracle));
+        assert!(out.report.is_clean());
+    }
+
+    #[test]
+    fn infeasible_reject_drops_the_teleported_row() {
+        let rows = vec![row(1, 0, 0.0, 10.0), row(1, 2, 11.0, 20.0)];
+        let cfg = SanitizeConfig::reject_all().with_vmax(1.0);
+        let out = sanitize_rows(rows, &cfg, Some(&TestOracle));
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.report.rejected(AnomalyKind::InfeasibleTransition), 1);
+    }
+
+    #[test]
+    fn report_renders_and_merges() {
+        let rows = vec![row(1, 0, 0.0, 10.0), row(1, 0, 0.0, 10.0), row(1, 1, 5.0, 15.0)];
+        let out = sanitize_rows(rows, &SanitizeConfig::repair_all(), None);
+        let line = out.report.render();
+        assert!(line.contains("3 in"), "{line}");
+        assert!(line.contains("duplicate: 1"), "{line}");
+        assert!(line.contains("overlapping_run: 1"), "{line}");
+        let mut merged = SanitizeReport::default();
+        merged.merge(&out.report);
+        merged.merge(&out.report);
+        assert_eq!(merged.total_detected(), 2 * out.report.total_detected());
+        assert_eq!(merged.records_in, 6);
+    }
+
+    #[test]
+    fn sanitized_output_always_builds_a_table() {
+        // A pathological mix: every anomaly kind at once.
+        let rows = vec![
+            row(1, 0, 0.0, 5.0),
+            row(1, 0, 0.0, 5.0),           // duplicate
+            row(1, 1, 3.0, 8.0),           // overlap
+            row(1, 2, 8.5, 9.0),           // teleport (100 m in 0.5 s)
+            row(2, 9, 0.0, 1.0),           // unknown device
+            row(2, 0, 5.0, 2.0),           // reversed
+            row(3, 0, f64::INFINITY, 1.0), // non-finite
+        ];
+        let cfg = SanitizeConfig::repair_all().with_vmax(1.0);
+        let out = sanitize_rows(rows, &cfg, Some(&TestOracle));
+        assert!(out.report.total_detected() >= 5, "{}", out.report.render());
+        ObjectTrackingTable::from_rows(out.rows).unwrap();
+    }
+
+    #[test]
+    fn reorder_buffer_restores_order_within_lateness() {
+        let mut gate = ReadingSanitizer::new(SanitizeConfig::repair_all().with_lateness(5.0));
+        let shuffled =
+            vec![reading(1, 0, 2.0), reading(1, 0, 0.0), reading(1, 0, 1.0), reading(1, 0, 3.0)];
+        let mut out = gate.push_all(shuffled);
+        out.extend(gate.flush());
+        let times: Vec<f64> = out.iter().map(|r| r.t).collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0, 3.0]);
+        assert!(gate.report().is_clean());
+    }
+
+    #[test]
+    fn late_reading_beyond_horizon_is_counted() {
+        let mut gate = ReadingSanitizer::new(SanitizeConfig::reject_all().with_lateness(1.0));
+        let mut out = gate.push_all(vec![
+            reading(1, 0, 0.0),
+            reading(1, 0, 10.0), // watermark 10, horizon 9 → t=0 emitted
+            reading(1, 0, 2.0),  // behind the frontier? frontier is 0 →
+            // 2 > 0, buffered fine
+            reading(1, 0, 20.0), // horizon 19 → 2 and 10 emitted
+            reading(1, 0, 5.0),  // behind frontier 10 → out of order
+        ]);
+        out.extend(gate.flush());
+        assert_eq!(gate.report().detected(AnomalyKind::OutOfOrder), 1);
+        assert_eq!(gate.report().rejected(AnomalyKind::OutOfOrder), 1);
+        let times: Vec<f64> = out.iter().map(|r| r.t).collect();
+        assert_eq!(times, vec![0.0, 2.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn late_reading_repair_clamps_to_frontier() {
+        let mut gate = ReadingSanitizer::new(SanitizeConfig::repair_all().with_lateness(0.0));
+        let mut out = Vec::new();
+        gate.push(reading(1, 0, 10.0), &mut out);
+        gate.push(reading(1, 1, 4.0), &mut out); // clamped to t=10
+        out.extend(gate.flush());
+        assert_eq!(gate.report().repaired(AnomalyKind::OutOfOrder), 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].t, 10.0);
+    }
+
+    #[test]
+    fn gate_drops_duplicates_and_non_finite() {
+        let mut gate = ReadingSanitizer::new(SanitizeConfig::repair_all());
+        let mut out = gate.push_all(vec![
+            reading(1, 0, 1.0),
+            reading(1, 0, 1.0), // duplicate
+            reading(1, 0, f64::NAN),
+            reading(1, 0, 2.0),
+        ]);
+        out.extend(gate.flush());
+        assert_eq!(out.len(), 2);
+        assert_eq!(gate.report().detected(AnomalyKind::Duplicate), 1);
+        assert_eq!(gate.report().detected(AnomalyKind::NonFiniteTimestamp), 1);
+    }
+
+    #[test]
+    fn gate_filters_unknown_devices() {
+        let mut gate = ReadingSanitizer::new(SanitizeConfig::repair_all())
+            .with_known_devices([DeviceId(0), DeviceId(1)]);
+        let mut out = gate.push_all(vec![reading(1, 0, 1.0), reading(1, 7, 2.0)]);
+        out.extend(gate.flush());
+        assert_eq!(out.len(), 1);
+        assert_eq!(gate.report().detected(AnomalyKind::UnknownDevice), 1);
+    }
+
+    #[test]
+    fn gate_is_deterministic_on_ties() {
+        let batch = vec![reading(2, 1, 1.0), reading(1, 0, 1.0), reading(1, 1, 0.5)];
+        let run = |batch: Vec<RawReading>| {
+            let mut gate = ReadingSanitizer::new(SanitizeConfig::repair_all().with_lateness(2.0));
+            let mut out = gate.push_all(batch);
+            out.extend(gate.flush());
+            out
+        };
+        assert_eq!(run(batch.clone()), run(batch));
+    }
+}

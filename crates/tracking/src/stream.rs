@@ -9,12 +9,23 @@
 //! snapshots a queryable [`ObjectTrackingTable`].
 //!
 //! Equivalence with the batch merger is guaranteed (and tested): feeding
-//! the same readings in timestamp order produces the same rows.
+//! the same readings in timestamp order produces the same rows. With
+//! [`OnlineTracker::with_reorder`], the same holds for *out-of-order*
+//! streams as long as no reading is later than the configured lateness
+//! bound — a bounded reorder buffer holds readings until the watermark
+//! passes them, then applies them in timestamp order.
+//!
+//! A tracker can also [checkpoint](OnlineTracker::checkpoint) its complete
+//! state to a writer and be [restored](OnlineTracker::restore) after a
+//! crash; the restored tracker converges to the uninterrupted run (tested).
 
+use crate::io::{content_lines, parse, parse_finite, CsvError};
 use crate::ott::{ObjectId, ObjectTrackingTable, OttError, OttRow};
 use crate::reading::RawReading;
 use crate::Timestamp;
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufRead, Write};
 
 /// An in-progress detection run for one object.
 #[derive(Debug, Clone, Copy)]
@@ -24,27 +35,67 @@ struct OpenRun {
     te: Timestamp,
 }
 
+/// Min-heap ordering for the reorder buffer (earliest timestamp first,
+/// deterministic tie-breaking by object then device).
+#[derive(Debug, Clone, Copy)]
+struct Pending(RawReading);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Pending {}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so BinaryHeap (a max-heap) pops the earliest first.
+        other
+            .0
+            .t
+            .total_cmp(&self.0.t)
+            .then_with(|| other.0.object.cmp(&self.0.object))
+            .then_with(|| other.0.device.0.cmp(&self.0.device.0))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Incremental raw-reading ingester.
 ///
-/// Readings must arrive in non-decreasing timestamp order per object
-/// (out-of-order arrivals are rejected with
-/// [`StreamError::OutOfOrderReading`] — upstream buffering is the caller's
-/// responsibility, matching how positioning middleware delivers merged
-/// streams).
+/// In the strict mode ([`OnlineTracker::new`]) readings must arrive in
+/// non-decreasing timestamp order per object; out-of-order arrivals are
+/// rejected with [`StreamError::OutOfOrderReading`]. With
+/// [`OnlineTracker::with_reorder`] a bounded reorder buffer absorbs
+/// disorder up to an allowed lateness instead: readings are held until the
+/// watermark (largest timestamp seen) passes them by the lateness bound,
+/// then applied in timestamp order; readings later than the bound are
+/// dropped and counted ([`OnlineTracker::late_dropped`]), never an error.
 #[derive(Debug, Default)]
 pub struct OnlineTracker {
     max_gap: f64,
+    /// Allowed lateness of the reorder buffer; `None` = strict mode.
+    lateness: Option<f64>,
     open: HashMap<ObjectId, OpenRun>,
     closed: Vec<OttRow>,
+    /// Readings buffered for reordering (reorder mode only).
+    pending: BinaryHeap<Pending>,
     /// Largest timestamp ingested so far.
     watermark: Timestamp,
+    /// Largest timestamp already applied from the reorder buffer; a
+    /// reading below this frontier is too late to reorder.
+    applied_to: Timestamp,
+    /// Readings dropped for exceeding the lateness bound.
+    late_dropped: u64,
 }
 
 /// Errors raised during streaming ingestion.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamError {
     /// A reading arrived with a timestamp earlier than the object's
-    /// current open run.
+    /// current open run (strict mode only).
     OutOfOrderReading { object: ObjectId, t: Timestamp, run_end: Timestamp },
     /// Snapshot failed because accumulated rows violate OTT invariants.
     Ott(OttError),
@@ -63,17 +114,64 @@ impl std::fmt::Display for StreamError {
 
 impl std::error::Error for StreamError {}
 
+const CHECKPOINT_HEADER: &str = "# inflow online-tracker checkpoint v1";
+
 impl OnlineTracker {
-    /// Creates a tracker with the given merge gap (same semantics as
-    /// [`crate::merge_raw_readings`]).
+    /// Creates a strict tracker with the given merge gap (same semantics
+    /// as [`crate::merge_raw_readings`]): out-of-order readings error.
     pub fn new(max_gap: f64) -> OnlineTracker {
         assert!(max_gap > 0.0, "max_gap must be positive");
-        OnlineTracker { max_gap, ..OnlineTracker::default() }
+        OnlineTracker {
+            max_gap,
+            watermark: f64::NEG_INFINITY,
+            applied_to: f64::NEG_INFINITY,
+            ..OnlineTracker::default()
+        }
+    }
+
+    /// Creates a tracker with a bounded reorder buffer: readings are held
+    /// until the watermark passes them by `lateness` seconds, then applied
+    /// in timestamp order. A reading later than that is dropped and
+    /// counted, never an error.
+    pub fn with_reorder(max_gap: f64, lateness: f64) -> OnlineTracker {
+        assert!(lateness >= 0.0 && lateness.is_finite(), "lateness must be finite, non-negative");
+        let mut t = OnlineTracker::new(max_gap);
+        t.lateness = Some(lateness);
+        t
     }
 
     /// Ingests one reading.
     pub fn ingest(&mut self, r: RawReading) -> Result<(), StreamError> {
+        let Some(lateness) = self.lateness else {
+            self.watermark = self.watermark.max(r.t);
+            return self.apply(r);
+        };
+        // A reading behind the lateness horizon may be older than already
+        // applied readings: drop it. Everything at or above the horizon is
+        // still applied in timestamp order, because drains never advance
+        // `applied_to` past the horizon.
+        if r.t < self.watermark - lateness {
+            self.late_dropped += 1;
+            return Ok(());
+        }
+        self.pending.push(Pending(r));
         self.watermark = self.watermark.max(r.t);
+        let horizon = self.watermark - lateness;
+        while let Some(&Pending(head)) = self.pending.peek() {
+            if head.t > horizon {
+                break;
+            }
+            self.pending.pop();
+            self.applied_to = self.applied_to.max(head.t);
+            self.apply(head).expect("drained readings are in timestamp order");
+        }
+        Ok(())
+    }
+
+    /// Applies one reading to the run state. In reorder mode readings
+    /// reach this in global timestamp order, so the out-of-order branch is
+    /// unreachable there.
+    fn apply(&mut self, r: RawReading) -> Result<(), StreamError> {
         match self.open.get_mut(&r.object) {
             Some(run)
                 if run.device == r.device && r.t >= run.te && r.t - run.te <= self.max_gap =>
@@ -102,7 +200,8 @@ impl OnlineTracker {
         }
     }
 
-    /// Ingests a batch of readings (must respect per-object time order).
+    /// Ingests a batch of readings (strict mode: must respect per-object
+    /// time order; reorder mode: any order within the lateness bound).
     pub fn ingest_all(
         &mut self,
         readings: impl IntoIterator<Item = RawReading>,
@@ -123,7 +222,17 @@ impl OnlineTracker {
         self.open.len()
     }
 
-    /// The largest timestamp seen.
+    /// Number of readings still held in the reorder buffer.
+    pub fn pending_readings(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Readings dropped for arriving later than the lateness bound.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// The largest timestamp seen (`NEG_INFINITY` before any reading).
     pub fn watermark(&self) -> Timestamp {
         self.watermark
     }
@@ -131,8 +240,11 @@ impl OnlineTracker {
     /// Closes every open run whose gap to the watermark already exceeds
     /// the merge threshold — they can never be extended again. Returns the
     /// number of runs closed. Call periodically to bound memory.
+    ///
+    /// In reorder mode the effective watermark for expiry is held back by
+    /// the lateness bound, since a buffered reading may still extend a run.
     pub fn expire_stale_runs(&mut self) -> usize {
-        let watermark = self.watermark;
+        let watermark = self.watermark - self.lateness.unwrap_or(0.0);
         let max_gap = self.max_gap;
         let closed = &mut self.closed;
         let before = self.open.len();
@@ -147,9 +259,11 @@ impl OnlineTracker {
         before - self.open.len()
     }
 
-    /// Snapshots a queryable OTT from everything ingested so far,
-    /// *including* the still-open runs (closed as-of-now). The tracker
-    /// keeps its state and can continue ingesting.
+    /// Snapshots a queryable OTT from everything *applied* so far: closed
+    /// rows plus the still-open runs (closed as-of-now). Readings still in
+    /// the reorder buffer are not yet part of the snapshot — they surface
+    /// once the watermark passes them. The tracker keeps its state and can
+    /// continue ingesting.
     pub fn snapshot(&self) -> Result<ObjectTrackingTable, StreamError> {
         let mut rows = self.closed.clone();
         rows.extend(self.open.iter().map(|(&object, run)| OttRow {
@@ -161,15 +275,154 @@ impl OnlineTracker {
         ObjectTrackingTable::from_rows(rows).map_err(StreamError::Ott)
     }
 
-    /// Consumes the tracker, closing all open runs, and builds the final
-    /// OTT.
+    /// Consumes the tracker, draining the reorder buffer and closing all
+    /// open runs, and builds the final OTT.
     pub fn finish(mut self) -> Result<ObjectTrackingTable, StreamError> {
+        while let Some(Pending(r)) = self.pending.pop() {
+            self.applied_to = self.applied_to.max(r.t);
+            self.apply(r)?;
+        }
         let open = std::mem::take(&mut self.open);
         for (object, run) in open {
             self.closed.push(OttRow { object, device: run.device, ts: run.ts, te: run.te });
         }
         ObjectTrackingTable::from_rows(self.closed).map_err(StreamError::Ott)
     }
+
+    /// Serializes the complete tracker state — configuration, closed rows,
+    /// open runs, buffered readings — so a crashed ingester can
+    /// [`OnlineTracker::restore`] and continue exactly where it stopped.
+    ///
+    /// The format is line-oriented and versioned:
+    ///
+    /// ```text
+    /// # inflow online-tracker checkpoint v1
+    /// config,<max_gap>,<lateness|strict>,<watermark>,<applied_to>,<late_dropped>
+    /// closed,<object>,<device>,<ts>,<te>     (repeated)
+    /// open,<object>,<device>,<ts>,<te>       (repeated, sorted by object)
+    /// pending,<object>,<device>,<t>          (repeated, sorted by time)
+    /// ```
+    pub fn checkpoint(&self, out: &mut impl Write) -> Result<(), CsvError> {
+        writeln!(out, "{CHECKPOINT_HEADER}")?;
+        let lateness = match self.lateness {
+            Some(l) => l.to_string(),
+            None => "strict".to_string(),
+        };
+        writeln!(
+            out,
+            "config,{},{},{},{},{}",
+            self.max_gap, lateness, self.watermark, self.applied_to, self.late_dropped
+        )?;
+        for r in &self.closed {
+            writeln!(out, "closed,{},{},{},{}", r.object.0, r.device.0, r.ts, r.te)?;
+        }
+        let mut open: Vec<(ObjectId, OpenRun)> = self.open.iter().map(|(&o, &r)| (o, r)).collect();
+        open.sort_by_key(|&(o, _)| o);
+        for (object, run) in open {
+            writeln!(out, "open,{},{},{},{}", object.0, run.device.0, run.ts, run.te)?;
+        }
+        let mut pending: Vec<RawReading> = self.pending.iter().map(|p| p.0).collect();
+        pending.sort_by(|a, b| {
+            a.t.total_cmp(&b.t)
+                .then_with(|| a.object.cmp(&b.object))
+                .then_with(|| a.device.0.cmp(&b.device.0))
+        });
+        for r in pending {
+            writeln!(out, "pending,{},{},{}", r.object.0, r.device.0, r.t)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a tracker from a [`OnlineTracker::checkpoint`] stream.
+    /// Ingestion can resume immediately; the resumed tracker produces the
+    /// same OTT as one that never crashed (tested).
+    pub fn restore(input: &mut impl BufRead) -> Result<OnlineTracker, CsvError> {
+        let mut lines = content_lines_with_header(input)?;
+        let Some((line_no, config)) = lines.next() else {
+            return Err(CsvError::BadLine { line: 0, reason: "missing config line".into() });
+        };
+        let fields: Vec<&str> = config.split(',').map(str::trim).collect();
+        if fields.len() != 6 || fields[0] != "config" {
+            return Err(CsvError::BadLine {
+                line: line_no,
+                reason: format!("expected 'config' line with 6 fields, found '{config}'"),
+            });
+        }
+        let max_gap: f64 = parse_finite(fields[1], "max_gap", line_no)?;
+        if max_gap <= 0.0 {
+            return Err(CsvError::BadLine {
+                line: line_no,
+                reason: "max_gap must be positive".into(),
+            });
+        }
+        let lateness = match fields[2] {
+            "strict" => None,
+            s => Some(parse_finite(s, "lateness", line_no)?),
+        };
+        // watermark / applied_to may legitimately be -inf (empty tracker).
+        let watermark: f64 = parse(fields[3], "watermark", line_no)?;
+        let applied_to: f64 = parse(fields[4], "applied_to", line_no)?;
+        let late_dropped: u64 = parse(fields[5], "late_dropped", line_no)?;
+        if watermark.is_nan() || applied_to.is_nan() {
+            return Err(CsvError::BadLine { line: line_no, reason: "NaN watermark".into() });
+        }
+        let mut tracker = OnlineTracker::new(max_gap);
+        tracker.lateness = lateness;
+        tracker.watermark = watermark;
+        tracker.applied_to = applied_to;
+        tracker.late_dropped = late_dropped;
+        for (line_no, line) in lines {
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            match fields.first().copied() {
+                Some("closed") | Some("open") if fields.len() == 5 => {
+                    let object = ObjectId(parse(fields[1], "object", line_no)?);
+                    let device = inflow_indoor::DeviceId(parse(fields[2], "device", line_no)?);
+                    let ts = parse_finite(fields[3], "ts", line_no)?;
+                    let te = parse_finite(fields[4], "te", line_no)?;
+                    if fields[0] == "closed" {
+                        tracker.closed.push(OttRow { object, device, ts, te });
+                    } else if tracker.open.insert(object, OpenRun { device, ts, te }).is_some() {
+                        return Err(CsvError::BadLine {
+                            line: line_no,
+                            reason: format!("duplicate open run for object {}", object.0),
+                        });
+                    }
+                }
+                Some("pending") if fields.len() == 4 => {
+                    let r = RawReading {
+                        object: ObjectId(parse(fields[1], "object", line_no)?),
+                        device: inflow_indoor::DeviceId(parse(fields[2], "device", line_no)?),
+                        t: parse_finite(fields[3], "t", line_no)?,
+                    };
+                    tracker.pending.push(Pending(r));
+                }
+                _ => {
+                    return Err(CsvError::BadLine {
+                        line: line_no,
+                        reason: format!("unrecognized checkpoint line '{line}'"),
+                    });
+                }
+            }
+        }
+        Ok(tracker)
+    }
+}
+
+/// Content lines after validating the checkpoint header.
+fn content_lines_with_header(
+    input: &mut impl BufRead,
+) -> Result<impl Iterator<Item = (usize, String)>, CsvError> {
+    // The header is a `#` comment by CSV rules, so peek at the raw first
+    // line before delegating to the shared comment-skipping reader.
+    let mut first = String::new();
+    input.read_line(&mut first)?;
+    if first.trim() != CHECKPOINT_HEADER {
+        return Err(CsvError::BadHeader {
+            expected: CHECKPOINT_HEADER,
+            found: first.trim().into(),
+        });
+    }
+    content_lines(input)
 }
 
 #[cfg(test)]
@@ -177,15 +430,16 @@ mod tests {
     use super::*;
     use crate::reading::merge_raw_readings;
     use inflow_indoor::DeviceId;
+    use std::io::BufReader;
 
     fn reading(o: u32, d: u32, t: f64) -> RawReading {
         RawReading { object: ObjectId(o), device: DeviceId(d), t }
     }
 
-    #[test]
-    fn streaming_matches_batch_merge() {
+    /// Two objects weaving through three devices with gaps, in global
+    /// timestamp order.
+    fn weave() -> Vec<RawReading> {
         let mut readings = Vec::new();
-        // Two objects weaving through three devices with gaps.
         for (o, offsets) in [(1u32, 0.0), (2u32, 0.4)] {
             let mut t = offsets;
             for burst in 0..6 {
@@ -197,8 +451,32 @@ mod tests {
                 t += 5.0; // gap
             }
         }
-        readings.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        readings.sort_by(|a, b| a.t.total_cmp(&b.t));
+        readings
+    }
 
+    /// Deterministic local shuffle: reverse non-overlapping windows of
+    /// `w` readings, so each reading is displaced by at most `w - 1`
+    /// positions (bounded disorder, no RNG dependency).
+    fn window_reverse(mut readings: Vec<RawReading>, w: usize) -> Vec<RawReading> {
+        for chunk in readings.chunks_mut(w) {
+            chunk.reverse();
+        }
+        readings
+    }
+
+    /// The lateness bound that absorbs a `window_reverse(_, w)` shuffle of
+    /// time-sorted readings: the largest time span of any window, padded
+    /// so float rounding in `watermark - lateness` cannot land the
+    /// tightest window exactly on the wrong side of the horizon.
+    fn needed_lateness(sorted: &[RawReading], w: usize) -> f64 {
+        sorted.chunks(w).map(|c| c.last().unwrap().t - c.first().unwrap().t).fold(0.0, f64::max)
+            + 1e-6
+    }
+
+    #[test]
+    fn streaming_matches_batch_merge() {
+        let readings = weave();
         let batch = merge_raw_readings(readings.clone(), 1.5);
 
         let mut tracker = OnlineTracker::new(1.5);
@@ -220,6 +498,51 @@ mod tests {
         assert!(matches!(err, StreamError::OutOfOrderReading { .. }));
         // Other objects are unaffected.
         tracker.ingest(reading(2, 1, 1.0)).unwrap();
+    }
+
+    #[test]
+    fn reorder_buffer_matches_batch_on_shuffled_stream() {
+        let readings = weave();
+        let batch =
+            ObjectTrackingTable::from_rows(merge_raw_readings(readings.clone(), 1.5)).unwrap();
+        let lateness = needed_lateness(&readings, 5);
+        let shuffled = window_reverse(readings, 5);
+        let mut tracker = OnlineTracker::with_reorder(1.5, lateness);
+        tracker.ingest_all(shuffled).unwrap();
+        assert_eq!(tracker.late_dropped(), 0);
+        let ott = tracker.finish().unwrap();
+        assert_eq!(ott.records(), batch.records());
+    }
+
+    #[test]
+    fn reorder_buffer_drops_hopelessly_late_readings() {
+        let mut tracker = OnlineTracker::with_reorder(1.5, 1.0);
+        tracker.ingest(reading(1, 1, 0.0)).unwrap();
+        tracker.ingest(reading(1, 1, 10.0)).unwrap(); // applies t=0
+        tracker.ingest(reading(1, 1, 20.0)).unwrap(); // applies t=10
+                                                      // t=3 is far behind applied_to=10: dropped, not an error.
+        tracker.ingest(reading(1, 1, 3.0)).unwrap();
+        assert_eq!(tracker.late_dropped(), 1);
+        let ott = tracker.finish().unwrap();
+        // Three isolated single-reading runs (gaps exceed max_gap).
+        assert_eq!(ott.len(), 3);
+    }
+
+    #[test]
+    fn reorder_expiry_respects_lateness() {
+        let mut tracker = OnlineTracker::with_reorder(1.0, 5.0);
+        tracker.ingest(reading(1, 1, 0.0)).unwrap();
+        tracker.ingest(reading(2, 2, 5.5)).unwrap();
+        // The t=0 reading has been applied (horizon 0.5); object 1's run
+        // ends at te=0. A strict watermark of 5.5 would expire it
+        // (gap 5.5 > 1.0), but a buffered reading up to 5 s late could
+        // still extend the run: the effective watermark is 0.5 and
+        // gap 0.5 ≤ 1.0 → retained.
+        assert_eq!(tracker.expire_stale_runs(), 0);
+        assert_eq!(tracker.open_runs(), 1);
+        // Advancing the watermark past the protection window expires it.
+        tracker.ingest(reading(2, 2, 6.8)).unwrap();
+        assert_eq!(tracker.expire_stale_runs(), 1);
     }
 
     #[test]
@@ -264,5 +587,80 @@ mod tests {
     fn empty_tracker_produces_empty_ott() {
         let ott = OnlineTracker::new(1.0).finish().unwrap();
         assert!(ott.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_mid_stream() {
+        // Ingest half the (shuffled) stream, checkpoint ("crash"), restore
+        // into a fresh tracker, ingest the rest: the final OTT must equal
+        // the uninterrupted run's.
+        let sorted = weave();
+        let lateness = needed_lateness(&sorted, 5);
+        let readings = window_reverse(sorted, 5);
+        let half = readings.len() / 2;
+
+        let mut uninterrupted = OnlineTracker::with_reorder(1.5, lateness);
+        uninterrupted.ingest_all(readings.clone()).unwrap();
+        let expected = uninterrupted.finish().unwrap();
+
+        let mut first = OnlineTracker::with_reorder(1.5, lateness);
+        first.ingest_all(readings[..half].iter().copied()).unwrap();
+        let mut buf = Vec::new();
+        first.checkpoint(&mut buf).unwrap();
+        drop(first); // the crash
+
+        let mut resumed = OnlineTracker::restore(&mut BufReader::new(buf.as_slice())).unwrap();
+        resumed.ingest_all(readings[half..].iter().copied()).unwrap();
+        let ott = resumed.finish().unwrap();
+        assert_eq!(ott.records(), expected.records());
+    }
+
+    #[test]
+    fn checkpoint_restores_every_field() {
+        let mut tracker = OnlineTracker::with_reorder(1.5, 2.0);
+        tracker.ingest(reading(1, 1, 0.0)).unwrap();
+        tracker.ingest(reading(1, 2, 3.0)).unwrap(); // drains t=0, buffers t=3
+        tracker.ingest(reading(2, 1, 4.0)).unwrap();
+        let mut buf = Vec::new();
+        tracker.checkpoint(&mut buf).unwrap();
+
+        let restored = OnlineTracker::restore(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(restored.closed_rows(), tracker.closed_rows());
+        assert_eq!(restored.open_runs(), tracker.open_runs());
+        assert_eq!(restored.pending_readings(), tracker.pending_readings());
+        assert_eq!(restored.watermark(), tracker.watermark());
+        assert_eq!(restored.late_dropped(), tracker.late_dropped());
+        // Checkpointing the restored tracker is byte-identical.
+        let mut buf2 = Vec::new();
+        restored.checkpoint(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn checkpoint_of_strict_empty_tracker_round_trips() {
+        let tracker = OnlineTracker::new(2.5);
+        let mut buf = Vec::new();
+        tracker.checkpoint(&mut buf).unwrap();
+        let restored = OnlineTracker::restore(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(restored.closed_rows(), 0);
+        assert_eq!(restored.open_runs(), 0);
+        // Strict mode survives: out-of-order still errors.
+        let mut restored = restored;
+        restored.ingest(reading(1, 1, 5.0)).unwrap();
+        assert!(restored.ingest(reading(1, 1, 4.0)).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let cases: [&str; 4] = [
+            "not a checkpoint\n",
+            "# inflow online-tracker checkpoint v1\nconfig,1.5\n",
+            "# inflow online-tracker checkpoint v1\nconfig,1.5,strict,-inf,-inf,0\nbogus,1\n",
+            "# inflow online-tracker checkpoint v1\nconfig,1.5,strict,-inf,-inf,0\nclosed,1,2,NaN,5\n",
+        ];
+        for text in cases {
+            let err = OnlineTracker::restore(&mut BufReader::new(text.as_bytes()));
+            assert!(err.is_err(), "accepted: {text}");
+        }
     }
 }

@@ -37,7 +37,10 @@ pub use accuracy::{
 };
 pub use cph::{build_airport_plan, generate_cph, AirportLayout, CphConfig};
 pub use movement::{DeviceIndex, TimedPath};
-pub use noise::{drop_records, inject_teleports, jitter_timestamps, rows_of};
+pub use noise::{
+    apply_corruption, burst_loss, clock_drift, corruption_grid, drop_records, inject_outages,
+    inject_teleports, jitter_timestamps, rows_of, CorruptionSpec,
+};
 pub use scenarios::{library_plan, metro_station_plan, office_plan};
 pub use synthetic::{build_floor_plan, generate_synthetic, SyntheticConfig};
 

@@ -15,12 +15,152 @@
 //!   to a distant reader, producing gaps that are infeasible at `V_max`
 //!   (the empty-uncertainty-region path).
 //!
-//! All functions are deterministic given the seed and preserve per-object
-//! record ordering invariants (jitter is clamped so records never
-//! overlap).
+//! Beyond the classics, the chaos harness adds deployment-scale failures:
+//!
+//! * **device outages** ([`inject_outages`]): a reader goes dark for a
+//!   window, deleting every detection it would have made;
+//! * **burst loss** ([`burst_loss`]): the whole pipeline drops a time
+//!   window (network partition, collector crash);
+//! * **clock drift** ([`clock_drift`]): per-device clock *rates* diverge,
+//!   skewing timestamps progressively — unlike jitter, drift breaks
+//!   per-object record ordering across devices, producing exactly the
+//!   out-of-order and overlapping-run anomalies
+//!   `inflow_tracking::sanitize` exists to repair.
+//!
+//! [`CorruptionSpec`] bundles every knob into one seeded recipe and
+//! [`corruption_grid`] produces the graded suite (clean → severe) the
+//! chaos tests and the `abl-noise` experiment sweep.
+//!
+//! All functions are deterministic given the seed. The classic three
+//! preserve OTT invariants; the chaos functions deliberately may not —
+//! their output is meant to be fed through the sanitization gate.
 
 use crate::rng::StdRng;
 use inflow_tracking::{ObjectTrackingTable, OttRow};
+
+/// One seeded corruption recipe: which failures to inject and how hard.
+///
+/// Apply with [`apply_corruption`]. The fields mirror the individual
+/// injection functions; zero disables a failure mode.
+#[derive(Debug, Clone)]
+pub struct CorruptionSpec {
+    /// Human-readable name ("clean", "mild", …) for reports and bench rows.
+    pub label: String,
+    /// Fraction of rows dropped uniformly ([`drop_records`]).
+    pub drop_fraction: f64,
+    /// Number of reader outage windows ([`inject_outages`]).
+    pub outage_count: usize,
+    /// Length of each outage window, in seconds.
+    pub outage_len: f64,
+    /// Number of pipeline-wide loss bursts ([`burst_loss`]).
+    pub burst_count: usize,
+    /// Length of each loss burst, in seconds.
+    pub burst_len: f64,
+    /// Fraction of rows re-attributed to a random device
+    /// ([`inject_teleports`]).
+    pub teleport_fraction: f64,
+    /// Maximum endpoint jitter, in seconds ([`jitter_timestamps`]).
+    pub max_jitter: f64,
+    /// Maximum per-device clock drift rate ([`clock_drift`]).
+    pub drift_rate: f64,
+    /// RNG seed shared by every stage (each stage derives its own stream).
+    pub seed: u64,
+}
+
+impl CorruptionSpec {
+    /// No corruption at all — the grid's control point.
+    pub fn clean(seed: u64) -> CorruptionSpec {
+        CorruptionSpec {
+            label: "clean".to_string(),
+            drop_fraction: 0.0,
+            outage_count: 0,
+            outage_len: 0.0,
+            burst_count: 0,
+            burst_len: 0.0,
+            teleport_fraction: 0.0,
+            max_jitter: 0.0,
+            drift_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// A recipe where every failure mode scales with one `severity` knob
+    /// in `[0, 1]` (0 = clean, 1 = the harshest graded setting).
+    pub fn with_severity(label: &str, severity: f64, seed: u64) -> CorruptionSpec {
+        assert!((0.0..=1.0).contains(&severity), "severity must be in [0, 1]");
+        CorruptionSpec {
+            label: label.to_string(),
+            drop_fraction: 0.20 * severity,
+            outage_count: (3.0 * severity).round() as usize,
+            outage_len: 40.0 * severity,
+            burst_count: (2.0 * severity).round() as usize,
+            burst_len: 15.0 * severity,
+            teleport_fraction: 0.10 * severity,
+            max_jitter: 1.0 * severity,
+            drift_rate: 0.02 * severity,
+            seed,
+        }
+    }
+
+    /// Whether this spec injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.drop_fraction == 0.0
+            && self.outage_count == 0
+            && self.burst_count == 0
+            && self.teleport_fraction == 0.0
+            && self.max_jitter == 0.0
+            && self.drift_rate == 0.0
+    }
+}
+
+/// The graded corruption suite: clean control plus three severities.
+pub fn corruption_grid(seed: u64) -> Vec<CorruptionSpec> {
+    vec![
+        CorruptionSpec::clean(seed),
+        CorruptionSpec::with_severity("mild", 0.25, seed),
+        CorruptionSpec::with_severity("moderate", 0.5, seed),
+        CorruptionSpec::with_severity("severe", 1.0, seed),
+    ]
+}
+
+/// Applies every failure mode of `spec` in deployment order: uniform
+/// loss, then reader outages, then pipeline bursts (all loss first), then
+/// teleports, jitter and clock drift (corruption of what survived).
+///
+/// The result may violate OTT invariants (drift creates out-of-order and
+/// overlapping runs by design); feed it through
+/// `inflow_tracking::sanitize_rows` before building a table.
+pub fn apply_corruption(
+    mut rows: Vec<OttRow>,
+    spec: &CorruptionSpec,
+    device_count: u32,
+) -> Vec<OttRow> {
+    if spec.drop_fraction > 0.0 {
+        rows = drop_records(rows, spec.drop_fraction, spec.seed ^ 0x01);
+    }
+    if spec.outage_count > 0 && spec.outage_len > 0.0 {
+        rows = inject_outages(
+            rows,
+            spec.outage_count,
+            spec.outage_len,
+            device_count,
+            spec.seed ^ 0x02,
+        );
+    }
+    if spec.burst_count > 0 && spec.burst_len > 0.0 {
+        rows = burst_loss(rows, spec.burst_count, spec.burst_len, spec.seed ^ 0x03);
+    }
+    if spec.teleport_fraction > 0.0 {
+        rows = inject_teleports(rows, spec.teleport_fraction, device_count, spec.seed ^ 0x04);
+    }
+    if spec.max_jitter > 0.0 {
+        rows = jitter_timestamps(rows, spec.max_jitter, spec.seed ^ 0x05);
+    }
+    if spec.drift_rate > 0.0 {
+        rows = clock_drift(rows, spec.drift_rate, spec.seed ^ 0x06);
+    }
+    rows
+}
 
 /// Extracts the rows of a table (the corruption functions operate on
 /// rows).
@@ -46,10 +186,9 @@ pub fn drop_records(mut rows: Vec<OttRow>, drop_fraction: f64, seed: u64) -> Vec
 pub fn jitter_timestamps(mut rows: Vec<OttRow>, max_jitter: f64, seed: u64) -> Vec<OttRow> {
     assert!(max_jitter >= 0.0, "jitter must be non-negative");
     let mut rng = StdRng::seed_from_u64(seed);
-    // Sort per object so neighbour constraints are known.
-    rows.sort_by(|a, b| {
-        (a.object, a.ts).partial_cmp(&(b.object, b.ts)).expect("finite timestamps")
-    });
+    // Sort per object so neighbour constraints are known. total_cmp keeps
+    // the order total even if a NaN sneaks in upstream.
+    rows.sort_by(|a, b| a.object.cmp(&b.object).then_with(|| a.ts.total_cmp(&b.ts)));
     for i in 0..rows.len() {
         let prev_te =
             if i > 0 && rows[i - 1].object == rows[i].object { Some(rows[i - 1].te) } else { None };
@@ -98,6 +237,92 @@ pub fn inject_teleports(
     rows
 }
 
+/// The `[min ts, max te]` span of the rows (`None` when empty).
+fn time_span(rows: &[OttRow]) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for r in rows {
+        lo = lo.min(r.ts);
+        hi = hi.max(r.te);
+    }
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Simulates reader outages: `outage_count` random devices each go dark
+/// for a random `outage_len`-second window, deleting every row that
+/// device would have produced while dark (any overlap with the window).
+pub fn inject_outages(
+    rows: Vec<OttRow>,
+    outage_count: usize,
+    outage_len: f64,
+    device_count: u32,
+    seed: u64,
+) -> Vec<OttRow> {
+    assert!(outage_len >= 0.0, "outage length must be non-negative");
+    assert!(device_count > 0, "need at least one device");
+    let Some((lo, hi)) = time_span(&rows) else {
+        return rows;
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outages: Vec<(inflow_indoor::DeviceId, f64, f64)> = (0..outage_count)
+        .map(|_| {
+            let dev = inflow_indoor::DeviceId(rng.random_range(0..device_count));
+            let start = rng.random_range(lo..=hi.max(lo));
+            (dev, start, start + outage_len)
+        })
+        .collect();
+    let mut rows = rows;
+    rows.retain(|r| {
+        !outages.iter().any(|&(dev, start, end)| r.device == dev && r.ts < end && r.te > start)
+    });
+    rows
+}
+
+/// Simulates pipeline-wide loss bursts (collector crash, network
+/// partition): `burst_count` random `burst_len`-second windows in which
+/// *every* device's rows are lost.
+pub fn burst_loss(rows: Vec<OttRow>, burst_count: usize, burst_len: f64, seed: u64) -> Vec<OttRow> {
+    assert!(burst_len >= 0.0, "burst length must be non-negative");
+    let Some((lo, hi)) = time_span(&rows) else {
+        return rows;
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bursts: Vec<(f64, f64)> = (0..burst_count)
+        .map(|_| {
+            let start = rng.random_range(lo..=hi.max(lo));
+            (start, start + burst_len)
+        })
+        .collect();
+    let mut rows = rows;
+    rows.retain(|r| !bursts.iter().any(|&(start, end)| r.ts < end && r.te > start));
+    rows
+}
+
+/// Applies per-device clock *drift*: each device's clock runs fast or
+/// slow by a rate drawn from `[-max_rate, +max_rate]`, so a timestamp `t`
+/// becomes `t + rate · (t − t₀)` (anchored at the dataset start `t₀`).
+///
+/// Unlike [`jitter_timestamps`], drift is unclamped: records observed by
+/// different devices skew apart progressively, breaking per-object
+/// ordering and creating overlapping runs — the dirty input the
+/// sanitization gate's reorder/clamp repairs are for.
+pub fn clock_drift(mut rows: Vec<OttRow>, max_rate: f64, seed: u64) -> Vec<OttRow> {
+    assert!((0.0..1.0).contains(&max_rate), "drift rate must be in [0, 1)");
+    let Some((t0, _)) = time_span(&rows) else {
+        return rows;
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rates: std::collections::HashMap<inflow_indoor::DeviceId, f64> =
+        std::collections::HashMap::new();
+    for row in &mut rows {
+        let rate =
+            *rates.entry(row.device).or_insert_with(|| rng.random_range(-max_rate..=max_rate));
+        row.ts += rate * (row.ts - t0);
+        row.te += rate * (row.te - t0);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +364,7 @@ mod tests {
     fn jitter_zero_is_identity_up_to_order() {
         let rows = base_rows();
         let mut sorted = rows.clone();
-        sorted.sort_by(|a, b| (a.object, a.ts).partial_cmp(&(b.object, b.ts)).unwrap());
+        sorted.sort_by(|a, b| a.object.cmp(&b.object).then_with(|| a.ts.total_cmp(&b.ts)));
         let out = jitter_timestamps(rows, 0.0, 7);
         assert_eq!(out, sorted);
     }
@@ -165,5 +390,62 @@ mod tests {
             jitter_timestamps(rows.clone(), 0.5, 9)
         );
         assert_eq!(inject_teleports(rows.clone(), 0.2, 10, 9), inject_teleports(rows, 0.2, 10, 9));
+    }
+
+    #[test]
+    fn outages_silence_whole_devices_in_windows() {
+        let rows = base_rows();
+        let out = inject_outages(rows.clone(), 5, 120.0, 40, 17);
+        assert!(out.len() < rows.len(), "outages should delete detections");
+        // Zero outages is the identity.
+        assert_eq!(inject_outages(rows.clone(), 0, 120.0, 40, 17), rows);
+        // Determinism.
+        assert_eq!(
+            inject_outages(rows.clone(), 5, 120.0, 40, 17),
+            inject_outages(rows, 5, 120.0, 40, 17)
+        );
+    }
+
+    #[test]
+    fn bursts_delete_time_windows_across_devices() {
+        let rows = base_rows();
+        let out = burst_loss(rows.clone(), 3, 60.0, 23);
+        assert!(out.len() < rows.len(), "bursts should delete rows");
+        assert_eq!(burst_loss(rows.clone(), 0, 60.0, 23), rows);
+        assert_eq!(burst_loss(rows.clone(), 3, 60.0, 23), burst_loss(rows, 3, 60.0, 23));
+    }
+
+    #[test]
+    fn drift_skews_devices_apart_and_breaks_ordering() {
+        let rows = base_rows();
+        let out = clock_drift(rows.clone(), 0.05, 31);
+        assert_eq!(out.len(), rows.len());
+        // Every record still has ts ≤ te and finite endpoints.
+        for r in &out {
+            assert!(r.ts.is_finite() && r.te.is_finite());
+            assert!(r.ts <= r.te, "drift must preserve within-record order");
+        }
+        let moved = rows.iter().zip(&out).filter(|(a, b)| a.ts != b.ts || a.te != b.te).count();
+        assert!(moved > 0, "drift should move timestamps");
+        assert_eq!(clock_drift(rows.clone(), 0.05, 31), clock_drift(rows, 0.05, 31));
+    }
+
+    #[test]
+    fn corruption_grid_is_graded() {
+        let grid = corruption_grid(7);
+        assert_eq!(grid.len(), 4);
+        assert!(grid[0].is_clean());
+        assert!(!grid[3].is_clean());
+        assert!(grid[1].drop_fraction < grid[3].drop_fraction);
+
+        let rows = base_rows();
+        // The clean spec is a no-op; harsher specs lose more rows.
+        assert_eq!(apply_corruption(rows.clone(), &grid[0], 40), rows);
+        let mild = apply_corruption(rows.clone(), &grid[1], 40);
+        let severe = apply_corruption(rows.clone(), &grid[3], 40);
+        assert!(mild.len() <= rows.len());
+        assert!(severe.len() < mild.len(), "severe should lose more than mild");
+        // Deterministic end to end.
+        assert_eq!(severe, apply_corruption(rows, &grid[3], 40));
     }
 }

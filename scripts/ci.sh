@@ -13,7 +13,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo build --release"
 cargo build --release --workspace --offline
 
+echo "== cargo build --all-targets (benches + tests compile)"
+cargo build --workspace --all-targets --offline
+
 echo "== cargo test"
 cargo test -q --workspace --offline
+
+echo "== chaos suite (seeded corruption grid × all four algorithms)"
+cargo test -q --test chaos --test robustness --offline
 
 echo "ci: all green"

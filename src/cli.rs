@@ -18,7 +18,10 @@
 use crate::core::{flow_timeline, snapshot_density, FlowAnalytics, IntervalQuery, SnapshotQuery};
 use crate::geometry::GridResolution;
 use crate::indoor::{read_plan, write_plan, FloorPlan, PoiId};
-use crate::tracking::{read_ott_csv, write_table_csv, ObjectId, ObjectTrackingTable};
+use crate::tracking::{
+    read_ott_csv, sanitize_rows, write_table_csv, ObjectId, ObjectTrackingTable, OttRow,
+    SanitizeConfig,
+};
 use crate::uncertainty::{IndoorContext, UrConfig, UrEngine};
 use crate::viz::SceneRenderer;
 use crate::workload::{
@@ -72,7 +75,12 @@ impl Args {
                 // Boolean switches take no value.
                 if matches!(
                     name,
-                    "iterative" | "no-topology" | "labels" | "profile" | "profile-json"
+                    "iterative"
+                        | "no-topology"
+                        | "labels"
+                        | "profile"
+                        | "profile-json"
+                        | "sanitize"
                 ) {
                     switches.push(name.to_string());
                 } else {
@@ -122,6 +130,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "timeline" => cmd_timeline(&args),
         "density" => cmd_density(&args),
         "render" => cmd_render(&args),
+        "sanitize" => cmd_sanitize(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -138,9 +147,13 @@ fn usage() -> String {
      \x20 timeline --plan F --ott F --start T --end T --bucket S [--k K]\n\
      \x20 density  --plan F --ott F --t T [--cell-size M]\n\
      \x20 render   --plan F --out F.svg [--ott F --object ID --t T] [--labels]\n\
+     \x20 sanitize --plan F --ott F [--out F.csv] [--policy repair|reject|quarantine]\n\
+     \x20          [--vmax V]                      gate dirty data, print report\n\
      \n\
      snapshot, interval and timeline accept --profile (per-phase span tree\n\
-     plus counters) or --profile-json (same data as a JSON document).\n"
+     plus counters) or --profile-json (same data as a JSON document), and\n\
+     --sanitize to route the OTT through the anomaly gate (repair policies)\n\
+     instead of rejecting inconsistent input outright.\n"
         .to_string()
 }
 
@@ -151,30 +164,52 @@ fn load_plan(args: &Args) -> Result<FloorPlan, CliError> {
     read_plan(&mut BufReader::new(file)).map_err(|e| CliError(format!("bad plan file: {e}")))
 }
 
-fn load_ott(args: &Args) -> Result<ObjectTrackingTable, CliError> {
+fn load_ott_rows(args: &Args) -> Result<Vec<OttRow>, CliError> {
     let path: PathBuf = args.require("ott")?;
     let file = File::open(&path)
         .map_err(|e| CliError(format!("cannot open OTT {}: {e}", path.display())))?;
-    let rows = read_ott_csv(&mut BufReader::new(file))
-        .map_err(|e| CliError(format!("bad OTT file: {e}")))?;
-    ObjectTrackingTable::from_rows(rows).map_err(|e| CliError(format!("inconsistent OTT: {e}")))
+    read_ott_csv(&mut BufReader::new(file)).map_err(|e| CliError(format!("bad OTT file: {e}")))
+}
+
+fn load_ott(args: &Args) -> Result<ObjectTrackingTable, CliError> {
+    ObjectTrackingTable::from_rows(load_ott_rows(args)?)
+        .map_err(|e| CliError(format!("inconsistent OTT: {e}")))
 }
 
 fn build_analytics(args: &Args) -> Result<(FlowAnalytics, Vec<PoiId>), CliError> {
     let plan = load_plan(args)?;
-    let ott = load_ott(args)?;
     let pois: Vec<PoiId> = plan.pois().iter().map(|p| p.id).collect();
     if pois.is_empty() {
         return err("the plan defines no POIs");
     }
+    let vmax: f64 = args.get("vmax")?.unwrap_or(1.1);
+    // With --sanitize, dirty rows are repaired by the anomaly gate (the
+    // plan serves as the device/feasibility oracle) instead of failing
+    // `from_rows`; the report rides on the façade for degraded-mode output.
+    let sanitized = if args.switch("sanitize") {
+        let rows = load_ott_rows(args)?;
+        let cfg = SanitizeConfig::repair_all().with_vmax(vmax);
+        let outcome = sanitize_rows(rows, &cfg, Some(&plan));
+        let ott = ObjectTrackingTable::from_rows(outcome.rows)
+            .map_err(|e| CliError(format!("OTT still inconsistent after sanitize: {e}")))?;
+        Some((ott, outcome.report, outcome.repaired_objects))
+    } else {
+        None
+    };
     let cfg = UrConfig {
-        vmax: args.get("vmax")?.unwrap_or(1.1),
+        vmax,
         topology_check: !args.switch("no-topology"),
         resolution: GridResolution::COARSE,
         ..UrConfig::default()
     };
-    let fa = FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), ott, cfg)
-        .with_profiling(args.switch("profile") || args.switch("profile-json"));
+    let fa = match sanitized {
+        Some((ott, report, repaired)) => {
+            FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), ott, cfg)
+                .with_sanitize_report(report, repaired)
+        }
+        None => FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), load_ott(args)?, cfg),
+    }
+    .with_profiling(args.switch("profile") || args.switch("profile-json"));
     Ok((fa, pois))
 }
 
@@ -257,6 +292,7 @@ fn format_result(
     ranked: &[(PoiId, f64)],
     header: &str,
     stats: &crate::core::QueryStats,
+    quality: &crate::core::DataQuality,
 ) -> String {
     let plan = fa.engine().context().plan();
     let mut out = String::new();
@@ -270,6 +306,7 @@ fn format_result(
         "({} objects considered, {} URs, {} presence integrations)",
         stats.objects_considered, stats.urs_built, stats.presence_evaluations
     );
+    let _ = writeln!(out, "{}", quality.render());
     out
 }
 
@@ -283,8 +320,13 @@ fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
     } else {
         fa.snapshot_topk_join(&q)
     };
-    let out =
-        format_result(&fa, &result.ranked, &format!("top-{k} POIs at t = {t}"), &result.stats);
+    let out = format_result(
+        &fa,
+        &result.ranked,
+        &format!("top-{k} POIs at t = {t}"),
+        &result.stats,
+        &result.quality,
+    );
     Ok(append_profile(out, result.profile.as_deref(), args))
 }
 
@@ -307,6 +349,7 @@ fn cmd_interval(args: &Args) -> Result<String, CliError> {
         &result.ranked,
         &format!("top-{k} POIs over [{ts}, {te}]"),
         &result.stats,
+        &result.quality,
     );
     Ok(append_profile(out, result.profile.as_deref(), args))
 }
@@ -332,6 +375,7 @@ fn cmd_timeline(args: &Args) -> Result<String, CliError> {
             top.iter().map(|&(p, f)| format!("{} ({f:.2})", plan.poi(p).name)).collect();
         let _ = writeln!(out, "  [{:>8.0}, {:>8.0}) #{idx}: {}", b.ts, b.te, row.join(", "));
     }
+    let _ = writeln!(out, "{}", tl.quality.render());
     Ok(append_profile(out, tl.profile.as_deref(), args))
 }
 
@@ -396,6 +440,37 @@ fn cmd_render(args: &Args) -> Result<String, CliError> {
     };
     std::fs::write(&out_path, &svg)?;
     Ok(format!("wrote {} ({} bytes)\n", out_path.display(), svg.len()))
+}
+
+fn cmd_sanitize(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let rows = load_ott_rows(args)?;
+    let policy = args.get::<String>("policy")?.unwrap_or_else(|| "repair".to_string());
+    let mut cfg = match policy.as_str() {
+        "repair" => SanitizeConfig::repair_all(),
+        "reject" => SanitizeConfig::reject_all(),
+        "quarantine" => SanitizeConfig::quarantine_all(),
+        other => return err(format!("unknown policy '{other}' (use repair|reject|quarantine)")),
+    };
+    if let Some(vmax) = args.get("vmax")? {
+        cfg = cfg.with_vmax(vmax);
+    } else {
+        cfg = cfg.with_vmax(1.1);
+    }
+    let total_in = rows.len();
+    let outcome = sanitize_rows(rows, &cfg, Some(&plan));
+    let mut out = String::new();
+    let _ = writeln!(out, "sanitized {total_in} rows -> {} rows", outcome.rows.len());
+    out.push_str(&outcome.report.render());
+    out.push('\n');
+    if let Some(path) = args.flags.get("out") {
+        let table = ObjectTrackingTable::from_rows(outcome.rows)
+            .map_err(|e| CliError(format!("OTT still inconsistent after sanitize: {e}")))?;
+        write_table_csv(&mut BufWriter::new(File::create(path)?), &table)
+            .map_err(|e| CliError(format!("writing sanitized OTT: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
 }
 
 /// Convenience for tests: runs with string arguments.

@@ -1,0 +1,140 @@
+//! Chaos suite: the seeded corruption grid (clean → severe) is applied to
+//! a synthetic workload, routed through the repair-all sanitization gate,
+//! and every one of the paper's four algorithms must answer without
+//! panicking, with finite non-negative flows, and with the join algorithms
+//! agreeing with the iterative baselines on the sanitized data.
+
+use inflow::core::{FlowAnalytics, IntervalQuery, QueryResult, SnapshotQuery};
+use inflow::geometry::GridResolution;
+use inflow::indoor::PoiId;
+use inflow::tracking::{sanitize_rows, ObjectTrackingTable, SanitizeConfig};
+use inflow::uncertainty::UrConfig;
+use inflow::workload::{
+    apply_corruption, corruption_grid, generate_synthetic, rows_of, SyntheticConfig, Workload,
+};
+
+const TOL: f64 = 1e-6;
+
+fn workload() -> Workload {
+    generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    })
+}
+
+/// Corrupts the workload's rows per `spec`, repairs them through the
+/// sanitization gate, and builds a report-carrying façade.
+fn sanitized_analytics(w: &Workload, spec: &inflow::workload::CorruptionSpec) -> FlowAnalytics {
+    let devices = w.ctx.plan().devices().len() as u32;
+    let corrupted = apply_corruption(rows_of(&w.ott), spec, devices);
+    let gate = SanitizeConfig::repair_all().with_vmax(w.vmax);
+    let outcome = sanitize_rows(corrupted, &gate, Some(w.ctx.plan()));
+    let ott = ObjectTrackingTable::from_rows(outcome.rows)
+        .expect("sanitized rows must satisfy OTT invariants");
+    FlowAnalytics::new(
+        w.ctx.clone(),
+        ott,
+        UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
+    )
+    .with_sanitize_report(outcome.report, outcome.repaired_objects)
+}
+
+fn pois(fa: &FlowAnalytics) -> Vec<PoiId> {
+    fa.engine().context().plan().pois().iter().map(|p| p.id).collect()
+}
+
+fn assert_well_formed(label: &str, r: &QueryResult) {
+    for &(_, flow) in &r.ranked {
+        assert!(flow.is_finite() && flow >= 0.0, "{label}: flow {flow} invalid");
+    }
+    assert!(r.quality.coverage.is_finite(), "{label}: coverage must be finite");
+    assert!(
+        (0.0..=1.0 + TOL).contains(&r.quality.coverage),
+        "{label}: coverage {} out of range",
+        r.quality.coverage
+    );
+    assert!(
+        r.quality.repaired_flow_mass >= 0.0,
+        "{label}: repaired mass {} negative",
+        r.quality.repaired_flow_mass
+    );
+    assert!(
+        (0.0..=1.0 + TOL).contains(&r.quality.repaired_mass_fraction),
+        "{label}: repaired fraction {} out of range",
+        r.quality.repaired_mass_fraction
+    );
+}
+
+/// Same top-k membership and flows, allowing order swaps among ties.
+fn assert_equivalent(label: &str, it: &QueryResult, jn: &QueryResult) {
+    assert_eq!(it.ranked.len(), jn.ranked.len(), "{label}: result sizes differ");
+    let flow_of =
+        |r: &QueryResult, p: PoiId| r.ranked.iter().find(|&&(q, _)| q == p).map(|&(_, f)| f);
+    for (rank, &(p, f)) in it.ranked.iter().enumerate() {
+        match flow_of(jn, p) {
+            Some(jf) => assert!(
+                (f - jf).abs() <= TOL * f.max(1.0),
+                "{label}: POI {p} flow {f} (iterative) vs {jf} (join)"
+            ),
+            // Membership may differ only among ties at the k-th flow.
+            None => {
+                let kth = it.ranked.last().expect("non-empty").1;
+                assert!(
+                    (f - kth).abs() <= TOL,
+                    "{label}: POI {p} (rank {rank}, flow {f}) missing from join result"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_grid_times_all_four_algorithms() {
+    let w = workload();
+    for spec in corruption_grid(0xDECAF) {
+        let fa = sanitized_analytics(&w, &spec);
+        let pois = pois(&fa);
+        let label = format!("chaos {}", spec.label);
+
+        let sq = SnapshotQuery::new(200.0, pois.clone(), 5);
+        let snap_it = fa.snapshot_topk_iterative(&sq);
+        let snap_jn = fa.snapshot_topk_join(&sq);
+        assert_well_formed(&format!("{label} snapshot iterative"), &snap_it);
+        assert_well_formed(&format!("{label} snapshot join"), &snap_jn);
+        assert_equivalent(&format!("{label} snapshot"), &snap_it, &snap_jn);
+
+        let iq = IntervalQuery::new(150.0, 250.0, pois, 5);
+        let int_it = fa.interval_topk_iterative(&iq);
+        let int_jn = fa.interval_topk_join(&iq);
+        assert_well_formed(&format!("{label} interval iterative"), &int_it);
+        assert_well_formed(&format!("{label} interval join"), &int_jn);
+        assert_equivalent(&format!("{label} interval"), &int_it, &int_jn);
+
+        // Corrupted-and-repaired inputs must be visible in the answer's
+        // quality summary (the clean control must stay clean).
+        if spec.is_clean() {
+            assert_eq!(int_it.quality.repaired_rows, 0, "{label}: clean input repaired");
+        } else {
+            assert!(
+                int_it.quality.degraded(),
+                "{label}: corrupted input should yield a degraded-quality answer"
+            );
+        }
+    }
+}
+
+#[test]
+fn sanitize_reports_are_deterministic_across_runs() {
+    let w = workload();
+    let spec = &corruption_grid(0xDECAF)[3];
+    let devices = w.ctx.plan().devices().len() as u32;
+    let gate = SanitizeConfig::repair_all().with_vmax(w.vmax);
+    let a =
+        sanitize_rows(apply_corruption(rows_of(&w.ott), spec, devices), &gate, Some(w.ctx.plan()));
+    let b =
+        sanitize_rows(apply_corruption(rows_of(&w.ott), spec, devices), &gate, Some(w.ctx.plan()));
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.repaired_objects, b.repaired_objects);
+}

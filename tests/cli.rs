@@ -198,6 +198,53 @@ fn render_writes_svg() {
 }
 
 #[test]
+fn sanitize_gates_dirty_data_into_degraded_answers() {
+    let (plan, _ott, dir) = generate("sanitize");
+    // Hand-built dirty OTT: overlapping runs, reversed endpoints, and a
+    // reading from a device the plan does not define.
+    let dirty = dir.join("dirty.csv");
+    std::fs::write(
+        &dirty,
+        "object,device,ts,te\n\
+         0,0,0.0,10.0\n\
+         0,0,5.0,15.0\n\
+         1,0,20.0,18.0\n\
+         2,60000,0.0,1.0\n",
+    )
+    .unwrap();
+    let dirty = dirty.to_str().unwrap().to_string();
+
+    // The strict loader refuses the table outright.
+    let err = run_str(&["snapshot", "--plan", &plan, "--ott", &dirty, "--t", "5"]).unwrap_err();
+    assert!(err.0.contains("inconsistent OTT"), "{err}");
+
+    // --sanitize repairs what it can and answers in degraded mode.
+    let snap = run_str(&["snapshot", "--plan", &plan, "--ott", &dirty, "--t", "5", "--sanitize"])
+        .expect("sanitized snapshot succeeds");
+    assert!(snap.contains("quality:"), "{snap}");
+    assert!(snap.contains("sanitized input"), "{snap}");
+
+    // The standalone gate reports anomalies and writes a clean table.
+    let clean = dir.join("clean.csv");
+    let report =
+        run_str(&["sanitize", "--plan", &plan, "--ott", &dirty, "--out", clean.to_str().unwrap()])
+            .expect("sanitize command succeeds");
+    assert!(report.contains("sanitize:"), "{report}");
+    assert!(report.contains("anomalies"), "{report}");
+    let clean = clean.to_str().unwrap().to_string();
+    let snap2 = run_str(&["snapshot", "--plan", &plan, "--ott", &clean, "--t", "5"])
+        .expect("cleaned table loads strictly");
+    assert!(snap2.contains("quality:"), "{snap2}");
+
+    // Unknown policies are refused.
+    let e =
+        run_str(&["sanitize", "--plan", &plan, "--ott", &dirty, "--policy", "wish"]).unwrap_err();
+    assert!(e.0.contains("unknown policy"), "{e}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn helpful_errors() {
     assert!(run_str(&[]).unwrap().contains("commands:"));
     assert!(run_str(&["help"]).unwrap().contains("commands:"));

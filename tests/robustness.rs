@@ -2,13 +2,14 @@
 //! tracking data — degraded answers are expected, panics and invariant
 //! violations are not.
 
-use inflow::core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
+use inflow::core::{flow_timeline, likely_visitors, FlowAnalytics, IntervalQuery, SnapshotQuery};
 use inflow::geometry::GridResolution;
 use inflow::indoor::PoiId;
-use inflow::tracking::ObjectTrackingTable;
+use inflow::tracking::{sanitize_rows, ObjectTrackingTable, SanitizeConfig};
 use inflow::uncertainty::UrConfig;
 use inflow::workload::{
-    drop_records, generate_synthetic, inject_teleports, jitter_timestamps, rows_of, SyntheticConfig,
+    apply_corruption, corruption_grid, drop_records, generate_synthetic, inject_teleports,
+    jitter_timestamps, rows_of, SyntheticConfig,
 };
 
 fn pois(fa: &FlowAnalytics) -> Vec<PoiId> {
@@ -103,6 +104,62 @@ fn combined_corruption_still_runs() {
     let rows = inject_teleports(rows, 0.2, devices, 19);
     let fa = analytics_from(rows, &w);
     check_queries(&fa, "combined");
+}
+
+#[test]
+fn timeline_and_visitors_survive_the_corruption_grid() {
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
+    let devices = w.ctx.plan().devices().len() as u32;
+    let gate = SanitizeConfig::repair_all().with_vmax(w.vmax);
+    for spec in corruption_grid(29) {
+        let corrupted = apply_corruption(rows_of(&w.ott), &spec, devices);
+        let outcome = sanitize_rows(corrupted, &gate, Some(w.ctx.plan()));
+        let ott = ObjectTrackingTable::from_rows(outcome.rows)
+            .expect("sanitized rows satisfy OTT invariants");
+        let fa = FlowAnalytics::new(
+            w.ctx.clone(),
+            ott,
+            UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
+        )
+        .with_sanitize_report(outcome.report, outcome.repaired_objects);
+        let pois = pois(&fa);
+
+        // Timelines aggregate many interval queries; every bucket's flows
+        // must stay finite and non-negative under every corruption level.
+        let tl = flow_timeline(&fa, &pois, 0.0, 500.0, 125.0);
+        assert_eq!(tl.buckets.len(), 4, "{}: bucket count", spec.label);
+        for b in &tl.buckets {
+            for &(_, flow) in &b.flows {
+                assert!(
+                    flow.is_finite() && flow >= 0.0,
+                    "{}: timeline flow {flow} invalid",
+                    spec.label
+                );
+            }
+        }
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&tl.quality.coverage),
+            "{}: timeline coverage {}",
+            spec.label,
+            tl.quality.coverage
+        );
+
+        // Visitor analysis shares the UR machinery; presences must stay
+        // valid probabilities.
+        for &poi in pois.iter().take(3) {
+            for (_, presence) in likely_visitors(&fa, poi, 150.0, 250.0, 0.0) {
+                assert!(
+                    presence.is_finite() && (0.0..=1.0 + 1e-9).contains(&presence),
+                    "{}: presence {presence} invalid",
+                    spec.label
+                );
+            }
+        }
+    }
 }
 
 #[test]
