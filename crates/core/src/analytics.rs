@@ -140,6 +140,7 @@ impl FlowAnalytics {
             rec.add(inflow_obs::Counter::SanitizeRepaired, report.total_repaired());
             rec.add(inflow_obs::Counter::SanitizeRejected, report.total_rejected());
             rec.add(inflow_obs::Counter::SanitizeQuarantined, report.total_quarantined());
+            rec.add(inflow_obs::Counter::SanitizeReadmitted, report.readmitted);
         }
         rec
     }

@@ -53,11 +53,25 @@ pub enum Counter {
     SanitizeRejected,
     /// Anomalous records moved to quarantine by the sanitization gate.
     SanitizeQuarantined,
+    /// Previously quarantined records re-admitted by an offline readmit
+    /// pass (e.g. after an unknown device was registered).
+    SanitizeReadmitted,
+    /// WAL records replayed on top of the newest valid snapshot during
+    /// crash recovery of the durable ingestion store.
+    RecoveryWalReplayed,
+    /// Bytes of torn/corrupt WAL tail truncated during crash recovery.
+    RecoveryTruncatedBytes,
+    /// Snapshot files rejected during recovery (bad checksum, torn
+    /// write, or missing commit marker).
+    RecoverySnapshotsRejected,
+    /// Replayed WAL readings the tracker rejected (deterministically, the
+    /// same way the live run rejected them).
+    RecoveryReplayRejected,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -75,6 +89,11 @@ impl Counter {
         Counter::SanitizeRepaired,
         Counter::SanitizeRejected,
         Counter::SanitizeQuarantined,
+        Counter::SanitizeReadmitted,
+        Counter::RecoveryWalReplayed,
+        Counter::RecoveryTruncatedBytes,
+        Counter::RecoverySnapshotsRejected,
+        Counter::RecoveryReplayRejected,
     ];
 
     /// Stable snake_case name used in rendered and JSON output.
@@ -97,6 +116,11 @@ impl Counter {
             Counter::SanitizeRepaired => "sanitize_repaired",
             Counter::SanitizeRejected => "sanitize_rejected",
             Counter::SanitizeQuarantined => "sanitize_quarantined",
+            Counter::SanitizeReadmitted => "sanitize_readmitted",
+            Counter::RecoveryWalReplayed => "recovery_wal_replayed",
+            Counter::RecoveryTruncatedBytes => "recovery_truncated_bytes",
+            Counter::RecoverySnapshotsRejected => "recovery_snapshots_rejected",
+            Counter::RecoveryReplayRejected => "recovery_replay_rejected",
         }
     }
 

@@ -24,21 +24,27 @@ pub mod io;
 pub mod ott;
 pub mod reading;
 pub mod sanitize;
+pub mod store;
 pub mod stream;
 
-pub use artree::{ArTree, ArTreeEntry};
+pub use artree::{ArTree, ArTreeEntry, FlatTreeError};
 pub use io::{
-    read_ott_csv, read_readings_csv, write_ott_csv, write_readings_csv, write_table_csv, CsvError,
+    read_ott_csv, read_quarantine_csv, read_readings_csv, write_ott_csv, write_quarantine_csv,
+    write_readings_csv, write_table_csv, CsvError,
 };
 pub use ott::{
     ObjectId, ObjectState, ObjectTrackingTable, OttError, OttRow, RecordId, TrackingRecord,
 };
 pub use reading::{merge_raw_readings, RawReading, ReadingError};
 pub use sanitize::{
-    sanitize_rows, AnomalyKind, DeviceOracle, Policy, ReadingSanitizer, RowSanitizeOutcome,
-    SanitizeConfig, SanitizeReport,
+    readmit_rows, sanitize_rows, AnomalyKind, DeviceOracle, Policy, ReadingSanitizer,
+    RowSanitizeOutcome, SanitizeConfig, SanitizeReport,
 };
-pub use stream::{OnlineTracker, StreamError};
+pub use store::{
+    atomic_write, FailpointFs, FailpointWriter, FrameErrorKind, Fs, IngestStore, RecoveryReport,
+    SnapshotIndex, StdFs, StoreError, StoreOptions,
+};
+pub use stream::{OnlineTracker, RestoreError, StreamError};
 
 /// Timestamps are seconds (f64) from an arbitrary epoch.
 pub type Timestamp = f64;

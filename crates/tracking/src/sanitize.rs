@@ -71,6 +71,11 @@ impl AnomalyKind {
         }
     }
 
+    /// Inverse of [`AnomalyKind::name`]; `None` for unrecognised names.
+    pub fn from_name(name: &str) -> Option<AnomalyKind> {
+        AnomalyKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
     fn index(self) -> usize {
         AnomalyKind::ALL.iter().position(|&k| k == self).expect("kind in ALL")
     }
@@ -214,6 +219,9 @@ pub struct SanitizeReport {
     pub records_in: u64,
     /// Records surviving to the clean output.
     pub records_out: u64,
+    /// Previously quarantined rows restored to the clean output by a
+    /// [`readmit_rows`] pass.
+    pub readmitted: u64,
 }
 
 impl SanitizeReport {
@@ -282,6 +290,7 @@ impl SanitizeReport {
         }
         self.records_in += other.records_in;
         self.records_out += other.records_out;
+        self.readmitted += other.readmitted;
     }
 
     /// One-line summary, e.g.
@@ -290,6 +299,9 @@ impl SanitizeReport {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut s = format!("sanitize: {} in, {} out", self.records_in, self.records_out);
+        if self.readmitted > 0 {
+            let _ = write!(s, "; {} readmitted", self.readmitted);
+        }
         if self.is_clean() {
             s.push_str("; clean");
             return s;
@@ -500,6 +512,36 @@ pub fn sanitize_rows(
     out.report.records_out = clean.len() as u64;
     out.rows = clean;
     out.repaired_objects = repaired_objects;
+    out
+}
+
+/// Offline re-admission of quarantined rows (the `readmit` pass).
+///
+/// Replays previously quarantined rows together with the already-clean
+/// table through [`sanitize_rows`] under the current config and oracle.
+/// Typical use: rows quarantined as [`AnomalyKind::UnknownDevice`] during
+/// a device outage or deployment change become admissible once the oracle
+/// knows the device. The replay re-checks the full taxonomy over the
+/// combined table, so rows that still violate it stay out — rejected or
+/// re-quarantined per policy, never silently admitted.
+///
+/// `report.readmitted` is the *net* number of quarantined rows restored
+/// to the clean output (output size minus surviving clean input, capped
+/// at the quarantine size). The replay diagnoses the combined table, so
+/// when a readmitted row conflicts with a formerly-clean row the drop may
+/// be charged to either side; the net count stays truthful either way.
+pub fn readmit_rows(
+    clean: Vec<OttRow>,
+    quarantined: Vec<OttRow>,
+    cfg: &SanitizeConfig,
+    oracle: Option<&dyn DeviceOracle>,
+) -> RowSanitizeOutcome {
+    let clean_in = clean.len() as u64;
+    let q_in = quarantined.len() as u64;
+    let mut rows = clean;
+    rows.extend(quarantined);
+    let mut out = sanitize_rows(rows, cfg, oracle);
+    out.report.readmitted = out.report.records_out.saturating_sub(clean_in).min(q_in);
     out
 }
 
@@ -737,6 +779,77 @@ mod tests {
         let mut sorted = rows;
         sorted.sort_by(|a, b| a.object.cmp(&b.object).then(a.ts.total_cmp(&b.ts)));
         assert_eq!(out.rows, sorted);
+    }
+
+    /// [`TestOracle`] during an outage of device 2: readings from it look
+    /// like an unknown device.
+    struct OutageOracle;
+    impl DeviceOracle for OutageOracle {
+        fn is_known(&self, device: DeviceId) -> bool {
+            device.0 < 2
+        }
+        fn min_travel_distance(&self, a: DeviceId, b: DeviceId) -> Option<f64> {
+            TestOracle.min_travel_distance(a, b)
+        }
+    }
+
+    #[test]
+    fn device_outage_rows_round_trip_through_readmit() {
+        let rows = vec![
+            row(1, 0, 0.0, 5.0),
+            row(1, 2, 6.0, 8.0),
+            row(2, 2, 1.0, 2.0),
+            row(2, 0, 3.0, 4.0),
+        ];
+        let cfg = SanitizeConfig::quarantine_all();
+
+        // During the outage device 2's rows are quarantined, not lost.
+        let first = sanitize_rows(rows.clone(), &cfg, Some(&OutageOracle));
+        assert_eq!(first.report.quarantined(AnomalyKind::UnknownDevice), 2);
+        assert_eq!(first.rows.len(), 2);
+        assert_eq!(first.quarantined.len(), 2);
+        assert_eq!(first.report.readmitted, 0);
+
+        // The device comes back: replaying the quarantine restores the
+        // exact table a from-scratch pass over healthy data produces.
+        let q: Vec<OttRow> = first.quarantined.iter().map(|&(r, _)| r).collect();
+        let second = readmit_rows(first.rows, q, &cfg, Some(&TestOracle));
+        assert_eq!(second.report.readmitted, 2);
+        assert!(second.report.is_clean(), "{}", second.report.render());
+        assert!(second.quarantined.is_empty());
+        let scratch = sanitize_rows(rows, &cfg, Some(&TestOracle));
+        assert_eq!(second.rows, scratch.rows);
+        assert!(second.report.render().contains("2 readmitted"));
+    }
+
+    #[test]
+    fn readmit_keeps_still_bad_rows_out() {
+        let clean = vec![row(1, 0, 0.0, 5.0)];
+        // One row is admissible now; the other is broken beyond any oracle
+        // change and must stay out.
+        let quarantined = vec![row(1, 1, 6.0, 8.0), row(2, 0, f64::NAN, 3.0)];
+        let cfg = SanitizeConfig::quarantine_all();
+        let out = readmit_rows(clean, quarantined, &cfg, Some(&TestOracle));
+        assert_eq!(out.report.readmitted, 1);
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].1, AnomalyKind::NonFiniteTimestamp);
+    }
+
+    #[test]
+    fn anomaly_kind_names_round_trip() {
+        for kind in AnomalyKind::ALL {
+            assert_eq!(AnomalyKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(AnomalyKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn merged_reports_accumulate_readmissions() {
+        let mut a = SanitizeReport { readmitted: 2, ..SanitizeReport::default() };
+        let b = SanitizeReport { readmitted: 3, ..SanitizeReport::default() };
+        a.merge(&b);
+        assert_eq!(a.readmitted, 5);
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Crash-consistent ingestion store: checksummed WAL + snapshots.
+//!
+//! The paper's flow queries assume a durable Object Tracking Table and
+//! AR-tree; this module provides the durability layer beneath the
+//! streaming ingester ([`crate::stream::OnlineTracker`]):
+//!
+//! * an append-only, CRC-checksummed, length-prefixed binary **WAL**
+//!   recording every raw reading ([`wal`]);
+//! * periodic **snapshot** files holding the complete tracker state plus
+//!   a flat-serialized AR-tree, so cold start is a checksum + bounds
+//!   check pass instead of a full index rebuild ([`snapshot`]);
+//! * a **recovery** protocol: open the newest valid snapshot, replay the
+//!   WAL tail, detect torn or corrupt records via checksums and truncate
+//!   to the last valid record, reporting everything in a typed
+//!   [`RecoveryReport`];
+//! * a deterministic **fault-injection** layer ([`failpoint`]) so tests
+//!   can enumerate every crash point of a workload and assert the
+//!   recovered store is indistinguishable from an uninterrupted run.
+//!
+//! All I/O goes through the [`Fs`] trait; production uses [`StdFs`],
+//! tests use [`FailpointFs`].
+
+pub mod failpoint;
+pub mod frame;
+pub mod snapshot;
+pub mod wal;
+
+pub use failpoint::{FailpointFs, FailpointWriter, Fs, StdFs};
+pub use snapshot::SnapshotState;
+
+use crate::ott::ObjectTrackingTable;
+use crate::reading::RawReading;
+use crate::stream::{OnlineTracker, StreamError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.bin";
+/// File-name suffix of snapshot files (`snap-<seq>.snap`).
+pub const SNAPSHOT_SUFFIX: &str = ".snap";
+
+/// How a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameErrorKind {
+    /// The buffer ended inside the frame (torn write).
+    Truncated,
+    /// The length field exceeds [`frame::MAX_FRAME_PAYLOAD`].
+    Oversized,
+    /// The CRC-32 over tag, length and payload did not match.
+    Checksum,
+}
+
+impl std::fmt::Display for FrameErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameErrorKind::Truncated => write!(f, "truncated frame"),
+            FrameErrorKind::Oversized => write!(f, "oversized frame length"),
+            FrameErrorKind::Checksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+/// Errors raised by the durability layer. Every corruption mode — torn
+/// write, bit flip, truncation, inconsistent counts — maps to a typed
+/// variant; the store never panics on bad bytes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A file did not start with the expected magic.
+    BadMagic {
+        /// Which file type was expected ("WAL", "snapshot", …).
+        what: &'static str,
+    },
+    /// A frame failed to decode at `offset`.
+    Frame { offset: usize, kind: FrameErrorKind },
+    /// A frame decoded but its payload was invalid.
+    Decode { offset: usize, reason: String },
+    /// The file ended without its `END` commit marker.
+    MissingCommit { offset: usize },
+    /// The store's files are mutually inconsistent.
+    InvalidState { reason: String },
+    /// Live ingestion rejected a reading (after it was durably logged;
+    /// replay reproduces the same rejection).
+    Stream(StreamError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O failed: {e}"),
+            StoreError::BadMagic { what } => write!(f, "not a {what} file (bad magic)"),
+            StoreError::Frame { offset, kind } => write!(f, "{kind} at byte {offset}"),
+            StoreError::Decode { offset, reason } => {
+                write!(f, "invalid record at byte {offset}: {reason}")
+            }
+            StoreError::MissingCommit { offset } => {
+                write!(f, "missing END commit marker (file ends at byte {offset})")
+            }
+            StoreError::InvalidState { reason } => write!(f, "inconsistent store: {reason}"),
+            StoreError::Stream(e) => write!(f, "ingestion rejected a logged reading: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: write a sibling temp file, fsync
+/// it, then rename over the target. An interrupted write never clobbers
+/// an existing good file with a half-written one.
+pub fn atomic_write<F: Fs>(fs: &F, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    let mut file = fs.create(&tmp)?;
+    file.write_all(bytes)?;
+    fs.sync(&mut file)?;
+    drop(file);
+    fs.rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Tuning knobs for an [`IngestStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Automatically snapshot after this many ingested readings
+    /// (`None` = only on explicit [`IngestStore::snapshot`] / close).
+    pub snapshot_every: Option<u64>,
+    /// Fsync the WAL after every appended reading. Durable but slow;
+    /// with `false`, readings since the last sync may be lost in a crash
+    /// (recovery still yields a consistent prefix).
+    pub sync_each_reading: bool,
+    /// Snapshots retained after pruning (at least 1).
+    pub keep_snapshots: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions { snapshot_every: None, sync_each_reading: true, keep_snapshots: 3 }
+    }
+}
+
+/// What recovery found and did. Wire the counts into the obs counter
+/// registry at the call site (the tracking crate stays obs-free).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// True when the directory had no usable state and a fresh store was
+    /// created.
+    pub created: bool,
+    /// Sequence of the snapshot recovery restored from, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Snapshot files that failed validation and were skipped.
+    pub snapshots_rejected: u64,
+    /// Total durable readings after recovery (absolute sequence). A
+    /// resumed producer should continue from this offset.
+    pub wal_records: u64,
+    /// WAL readings replayed on top of the restored snapshot.
+    pub wal_replayed: u64,
+    /// Bytes of torn or corrupt WAL tail discarded by truncation.
+    pub wal_truncated_bytes: u64,
+    /// Replayed readings the tracker rejected (they were rejected
+    /// identically during live ingestion).
+    pub replay_rejected: u64,
+}
+
+impl RecoveryReport {
+    /// Human-readable multi-line rendering for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.created {
+            out.push_str("created fresh store\n");
+        }
+        match self.snapshot_seq {
+            Some(seq) => out.push_str(&format!("restored snapshot at seq {seq}\n")),
+            None => out.push_str("no snapshot restored\n"),
+        }
+        out.push_str(&format!(
+            "durable readings: {}\nreplayed from WAL: {}\n",
+            self.wal_records, self.wal_replayed
+        ));
+        if self.snapshots_rejected > 0 {
+            out.push_str(&format!("snapshots rejected: {}\n", self.snapshots_rejected));
+        }
+        if self.wal_truncated_bytes > 0 {
+            out.push_str(&format!("torn WAL bytes truncated: {}\n", self.wal_truncated_bytes));
+        }
+        if self.replay_rejected > 0 {
+            out.push_str(&format!("replayed readings rejected: {}\n", self.replay_rejected));
+        }
+        out
+    }
+}
+
+/// The OTT + AR-tree image loaded from a snapshot during recovery —
+/// queryable immediately, without rebuilding the index (valid as of
+/// [`SnapshotIndex::wal_seq`]).
+#[derive(Debug)]
+pub struct SnapshotIndex {
+    /// WAL readings the image reflects.
+    pub wal_seq: u64,
+    /// The snapshot's OTT.
+    pub ott: ObjectTrackingTable,
+    /// The AR-tree reloaded from its flat serialization.
+    pub artree: crate::artree::ArTree,
+}
+
+/// A durable wrapper around [`OnlineTracker`]: every ingested reading is
+/// appended to the WAL before it is applied, and snapshots bound the
+/// replay work a recovery needs.
+#[derive(Debug)]
+pub struct IngestStore<F: Fs> {
+    fs: F,
+    dir: PathBuf,
+    wal: F::File,
+    tracker: OnlineTracker,
+    /// Absolute count of durably appended readings.
+    seq: u64,
+    /// Readings ingested since the last snapshot (drives auto-snapshot).
+    since_snapshot: u64,
+    opts: StoreOptions,
+    loaded: Option<SnapshotIndex>,
+}
+
+impl<F: Fs> IngestStore<F> {
+    /// Opens (or creates) the store in `dir`, running recovery if any
+    /// state exists. `fresh` supplies the tracker configuration when the
+    /// directory holds no usable state; otherwise the recovered
+    /// configuration wins and `fresh` is dropped.
+    pub fn open(
+        fs: F,
+        dir: &Path,
+        fresh: OnlineTracker,
+        opts: StoreOptions,
+    ) -> Result<(IngestStore<F>, RecoveryReport), StoreError> {
+        assert!(opts.keep_snapshots >= 1, "keep_snapshots must be at least 1");
+        fs.create_dir_all(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let mut report = RecoveryReport::default();
+
+        // Sweep snapshots newest-first for the first one that validates;
+        // clean up temp litter from interrupted atomic writes.
+        let mut best: Option<snapshot::SnapshotState> = None;
+        for path in Self::files_with_suffix(&fs, dir, ".tmp")? {
+            fs.remove_file(&path)?;
+        }
+        let snaps = Self::files_with_suffix(&fs, dir, SNAPSHOT_SUFFIX)?;
+        for path in snaps.iter().rev() {
+            match fs.read(path).map_err(StoreError::Io).and_then(|b| snapshot::decode(&b)) {
+                Ok(s) => {
+                    best = Some(s);
+                    break;
+                }
+                Err(_) => report.snapshots_rejected += 1,
+            }
+        }
+
+        // Scan the WAL; a damaged header makes the whole file unusable.
+        let scan = if fs.exists(&wal_path) {
+            let bytes = fs.read(&wal_path)?;
+            match wal::scan(&bytes) {
+                Ok(scan) => Some(scan),
+                Err(_) => {
+                    report.wal_truncated_bytes += bytes.len() as u64;
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
+        let mut loaded: Option<SnapshotIndex> = None;
+        let (tracker, seq) = match (scan, best) {
+            (Some(scan), best) => {
+                if scan.truncated > 0 {
+                    report.wal_truncated_bytes += scan.truncated as u64;
+                    fs.truncate(&wal_path, scan.valid_len as u64)?;
+                }
+                let durable = scan.base + scan.readings.len() as u64;
+                match best {
+                    // The usual case: snapshot at or behind the durable
+                    // WAL frontier — restore it, replay the tail.
+                    Some(snap) if snap.wal_seq >= scan.base && snap.wal_seq <= durable => {
+                        report.snapshot_seq = Some(snap.wal_seq);
+                        let mut tracker = snap.tracker;
+                        let skip = (snap.wal_seq - scan.base) as usize;
+                        for &r in &scan.readings[skip..] {
+                            report.wal_replayed += 1;
+                            if tracker.ingest(r).is_err() {
+                                // Rejected during live ingestion too:
+                                // replay converges to the same state.
+                                report.replay_rejected += 1;
+                            }
+                        }
+                        loaded = Some(SnapshotIndex {
+                            wal_seq: snap.wal_seq,
+                            ott: snap.ott,
+                            artree: snap.artree,
+                        });
+                        (tracker, durable)
+                    }
+                    // The snapshot is ahead of a damaged WAL: its state
+                    // is the most durable truth. Restore it and rebase
+                    // the WAL so sequence numbering stays monotone.
+                    Some(snap) => {
+                        report.snapshot_seq = Some(snap.wal_seq);
+                        report.wal_truncated_bytes += scan.valid_len as u64;
+                        let header = wal::encode_header(&snap.tracker, snap.wal_seq);
+                        atomic_write(&fs, &wal_path, &header)?;
+                        loaded = Some(SnapshotIndex {
+                            wal_seq: snap.wal_seq,
+                            ott: snap.ott,
+                            artree: snap.artree,
+                        });
+                        (snap.tracker, snap.wal_seq)
+                    }
+                    // No usable snapshot: replay the whole WAL from
+                    // scratch — only possible for an un-rebased log.
+                    None if scan.base == 0 => {
+                        let mut tracker = scan.tracker_init;
+                        for &r in &scan.readings {
+                            report.wal_replayed += 1;
+                            if tracker.ingest(r).is_err() {
+                                report.replay_rejected += 1;
+                            }
+                        }
+                        (tracker, durable)
+                    }
+                    None => {
+                        return Err(StoreError::InvalidState {
+                            reason: format!(
+                                "WAL starts at seq {} but no valid snapshot covers it",
+                                scan.base
+                            ),
+                        });
+                    }
+                }
+            }
+            // No usable WAL, but a snapshot: restore it and start a
+            // rebased WAL from its sequence.
+            (None, Some(snap)) => {
+                report.snapshot_seq = Some(snap.wal_seq);
+                let header = wal::encode_header(&snap.tracker, snap.wal_seq);
+                atomic_write(&fs, &wal_path, &header)?;
+                loaded = Some(SnapshotIndex {
+                    wal_seq: snap.wal_seq,
+                    ott: snap.ott,
+                    artree: snap.artree,
+                });
+                (snap.tracker, snap.wal_seq)
+            }
+            // Nothing usable at all: fresh store.
+            (None, None) => {
+                report.created = true;
+                atomic_write(&fs, &wal_path, &wal::encode_header(&fresh, 0))?;
+                (fresh, 0)
+            }
+        };
+
+        report.wal_records = seq;
+        let since_snapshot = seq - report.snapshot_seq.unwrap_or(0);
+        let wal = fs.open_append(&wal_path)?;
+        Ok((
+            IngestStore {
+                fs,
+                dir: dir.to_path_buf(),
+                wal,
+                tracker,
+                seq,
+                since_snapshot,
+                opts,
+                loaded,
+            },
+            report,
+        ))
+    }
+
+    fn files_with_suffix(fs: &F, dir: &Path, suffix: &str) -> Result<Vec<PathBuf>, StoreError> {
+        let mut out: Vec<PathBuf> = fs
+            .list(dir)?
+            .into_iter()
+            .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(suffix)))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Durably logs one reading, then applies it to the tracker. The
+    /// append happens first: a crash between the two replays the reading
+    /// on recovery, converging to the same state. A [`StoreError::Stream`]
+    /// rejection leaves the reading in the WAL — replay reproduces the
+    /// identical rejection, so the log stays truthful.
+    pub fn ingest(&mut self, r: RawReading) -> Result<(), StoreError> {
+        // One write call per frame: a torn write can only tear this frame.
+        self.wal.write_all(&wal::encode_reading_frame(&r))?;
+        if self.opts.sync_each_reading {
+            self.fs.sync(&mut self.wal)?;
+        }
+        self.seq += 1;
+        self.since_snapshot += 1;
+        self.tracker.ingest(r).map_err(StoreError::Stream)?;
+        if let Some(every) = self.opts.snapshot_every {
+            if self.since_snapshot >= every {
+                self.snapshot()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot of the current state (fsyncing the WAL first so
+    /// the snapshot never claims more than the log can prove), then
+    /// prunes old snapshots down to [`StoreOptions::keep_snapshots`].
+    pub fn snapshot(&mut self) -> Result<PathBuf, StoreError> {
+        self.fs.sync(&mut self.wal)?;
+        let bytes = snapshot::encode(&self.tracker, self.seq)?;
+        let path = self.dir.join(format!("snap-{:020}{}", self.seq, SNAPSHOT_SUFFIX));
+        atomic_write(&self.fs, &path, &bytes)?;
+        self.since_snapshot = 0;
+        let snaps = Self::files_with_suffix(&self.fs, &self.dir, SNAPSHOT_SUFFIX)?;
+        if snaps.len() > self.opts.keep_snapshots {
+            for old in &snaps[..snaps.len() - self.opts.keep_snapshots] {
+                self.fs.remove_file(old)?;
+            }
+        }
+        Ok(path)
+    }
+
+    /// The live tracker.
+    pub fn tracker(&self) -> &OnlineTracker {
+        &self.tracker
+    }
+
+    /// Total durable readings (absolute sequence).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The OTT + AR-tree image loaded from the recovered snapshot, if
+    /// recovery restored one. Queryable without any index rebuild.
+    pub fn loaded_snapshot(&self) -> Option<&SnapshotIndex> {
+        self.loaded.as_ref()
+    }
+
+    /// Snapshots current state and closes the store, returning the final
+    /// OTT (reorder buffer drained, every run closed).
+    pub fn finish(mut self) -> Result<ObjectTrackingTable, StoreError> {
+        self.snapshot()?;
+        self.tracker.finish().map_err(StoreError::Stream)
+    }
+
+    /// Closes the store without snapshotting (the WAL alone carries the
+    /// state), returning the tracker for further use.
+    pub fn into_tracker(mut self) -> Result<OnlineTracker, StoreError> {
+        self.fs.sync(&mut self.wal)?;
+        Ok(self.tracker)
+    }
+}

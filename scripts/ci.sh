@@ -22,4 +22,7 @@ cargo test -q --workspace --offline
 echo "== chaos suite (seeded corruption grid × all four algorithms)"
 cargo test -q --test chaos --test robustness --offline
 
+echo "== crash suite (deterministic failpoint sweep over the ingestion store)"
+cargo test -q --test crash --offline
+
 echo "ci: all green"

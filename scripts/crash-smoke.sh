@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Quick durability gate: the deterministic failpoint sweep alone.
+#
+# Kills the ingestion store at every mutating I/O operation of a seeded
+# run, recovers, resumes, and asserts the final table and top-k answers
+# are byte-identical to an uninterrupted run. Much faster than the full
+# ci.sh; use it while iterating on crates/tracking/src/store.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test -q --test crash --offline \
+  crash_sweep_recovers_identically_at_every_failpoint -- --exact
+
+echo "crash-smoke: failpoint sweep green"

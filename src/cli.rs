@@ -19,8 +19,10 @@ use crate::core::{flow_timeline, snapshot_density, FlowAnalytics, IntervalQuery,
 use crate::geometry::GridResolution;
 use crate::indoor::{read_plan, write_plan, FloorPlan, PoiId};
 use crate::tracking::{
-    read_ott_csv, sanitize_rows, write_table_csv, ObjectId, ObjectTrackingTable, OttRow,
-    SanitizeConfig,
+    atomic_write, read_ott_csv, read_quarantine_csv, read_readings_csv, readmit_rows,
+    sanitize_rows, write_quarantine_csv, write_readings_csv, write_table_csv, IngestStore,
+    ObjectId, ObjectTrackingTable, OnlineTracker, OttRow, RawReading, SanitizeConfig, StdFs,
+    StoreError, StoreOptions,
 };
 use crate::uncertainty::{IndoorContext, UrConfig, UrEngine};
 use crate::viz::SceneRenderer;
@@ -30,8 +32,8 @@ use crate::workload::{
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
-use std::path::PathBuf;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A CLI failure: the message shown to the user (exit code 2).
@@ -81,6 +83,7 @@ impl Args {
                         | "profile"
                         | "profile-json"
                         | "sanitize"
+                        | "no-sync"
                 ) {
                     switches.push(name.to_string());
                 } else {
@@ -131,6 +134,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "density" => cmd_density(&args),
         "render" => cmd_render(&args),
         "sanitize" => cmd_sanitize(&args),
+        "readmit" => cmd_readmit(&args),
+        "ingest" => cmd_ingest(&args),
+        "recover" => cmd_recover(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -147,8 +153,21 @@ fn usage() -> String {
      \x20 timeline --plan F --ott F --start T --end T --bucket S [--k K]\n\
      \x20 density  --plan F --ott F --t T [--cell-size M]\n\
      \x20 render   --plan F --out F.svg [--ott F --object ID --t T] [--labels]\n\
-     \x20 sanitize --plan F --ott F [--out F.csv] [--policy repair|reject|quarantine]\n\
-     \x20          [--vmax V]                      gate dirty data, print report\n\
+     \x20 sanitize --plan F --ott F [--out F.csv] [--quarantine-out F.csv]\n\
+     \x20          [--policy repair|reject|quarantine] [--vmax V]\n\
+     \x20                                          gate dirty data, print report\n\
+     \x20 readmit  --plan F --ott F --quarantine F.csv [--out F.csv]\n\
+     \x20          [--quarantine-out F.csv] [--policy P] [--vmax V]\n\
+     \x20                                          replay quarantined rows\n\
+     \x20 ingest   --store DIR --readings F.csv [--max-gap S] [--lateness S]\n\
+     \x20          [--snapshot-every N] [--no-sync] [--out F.csv]\n\
+     \x20                                          durable WAL + snapshot ingestion\n\
+     \x20 recover  --store DIR [--max-gap S] [--out F.csv] [--profile|--profile-json]\n\
+     \x20                                          replay WAL, print recovery report\n\
+     \n\
+     ingest is resumable and idempotent: readings already durable in the\n\
+     store's WAL are skipped, so rerunning after a crash continues where\n\
+     the log ends. All file outputs are written atomically (temp + rename).\n\
      \n\
      snapshot, interval and timeline accept --profile (per-phase span tree\n\
      plus counters) or --profile-json (same data as a JSON document), and\n\
@@ -274,17 +293,38 @@ fn cmd_generate(args: &Args) -> Result<String, CliError> {
 
     let plan_path = out_dir.join("plan.txt");
     let ott_path = out_dir.join("ott.csv");
-    write_plan(&mut BufWriter::new(File::create(&plan_path)?), &plan)
-        .map_err(|e| CliError(format!("writing plan: {e}")))?;
-    write_table_csv(&mut BufWriter::new(File::create(&ott_path)?), &ott)
-        .map_err(|e| CliError(format!("writing OTT: {e}")))?;
+    let readings_path = out_dir.join("readings.csv");
+    let readings = readings_of(&ott);
+    write_file_atomic(&plan_path, |buf| write_plan(buf, &plan))?;
+    write_file_atomic(&ott_path, |buf| write_table_csv(buf, &ott))?;
+    write_file_atomic(&readings_path, |buf| write_readings_csv(buf, &readings))?;
     Ok(format!(
-        "generated {label} dataset: {} records for {} objects\n  {}\n  {}\n",
+        "generated {label} dataset: {} records for {} objects\n  {}\n  {}\n  {}\n",
         ott.len(),
         ott.object_count(),
         plan_path.display(),
-        ott_path.display()
+        ott_path.display(),
+        readings_path.display()
     ))
+}
+
+/// A raw reading stream equivalent to the table under merging: one
+/// reading at each record endpoint, globally time-ordered — the input
+/// format `inflow ingest` consumes.
+fn readings_of(ott: &ObjectTrackingTable) -> Vec<RawReading> {
+    let mut readings = Vec::with_capacity(ott.len() * 2);
+    for r in ott.records() {
+        readings.push(RawReading { object: r.object, device: r.device, t: r.ts });
+        if r.te > r.ts {
+            readings.push(RawReading { object: r.object, device: r.device, t: r.te });
+        }
+    }
+    readings.sort_by(|a, b| {
+        a.t.total_cmp(&b.t)
+            .then_with(|| a.object.cmp(&b.object))
+            .then_with(|| a.device.0.cmp(&b.device.0))
+    });
+    readings
 }
 
 fn format_result(
@@ -442,35 +482,183 @@ fn cmd_render(args: &Args) -> Result<String, CliError> {
     Ok(format!("wrote {} ({} bytes)\n", out_path.display(), svg.len()))
 }
 
-fn cmd_sanitize(args: &Args) -> Result<String, CliError> {
-    let plan = load_plan(args)?;
-    let rows = load_ott_rows(args)?;
+/// The sanitize/readmit policy config from `--policy` and `--vmax`.
+fn parse_policy(args: &Args) -> Result<SanitizeConfig, CliError> {
     let policy = args.get::<String>("policy")?.unwrap_or_else(|| "repair".to_string());
-    let mut cfg = match policy.as_str() {
+    let cfg = match policy.as_str() {
         "repair" => SanitizeConfig::repair_all(),
         "reject" => SanitizeConfig::reject_all(),
         "quarantine" => SanitizeConfig::quarantine_all(),
         other => return err(format!("unknown policy '{other}' (use repair|reject|quarantine)")),
     };
-    if let Some(vmax) = args.get("vmax")? {
-        cfg = cfg.with_vmax(vmax);
-    } else {
-        cfg = cfg.with_vmax(1.1);
+    Ok(cfg.with_vmax(args.get("vmax")?.unwrap_or(1.1)))
+}
+
+/// Renders a file image into memory and writes it via temp + fsync +
+/// rename, so a crash mid-write can never leave a torn table where the
+/// output should be.
+fn write_file_atomic<E: std::fmt::Display>(
+    path: impl AsRef<Path>,
+    render: impl FnOnce(&mut Vec<u8>) -> Result<(), E>,
+) -> Result<(), CliError> {
+    let path = path.as_ref();
+    let mut buf = Vec::new();
+    render(&mut buf).map_err(|e| CliError(format!("rendering {}: {e}", path.display())))?;
+    atomic_write(&StdFs, path, &buf)
+        .map_err(|e| CliError(format!("writing {}: {e}", path.display())))
+}
+
+/// Shared tail of `sanitize` and `readmit`: write the clean table and the
+/// surviving quarantine to their `--out` / `--quarantine-out` targets.
+fn write_sanitize_outputs(
+    args: &Args,
+    out: &mut String,
+    rows: Vec<OttRow>,
+    quarantined: &[(OttRow, crate::tracking::AnomalyKind)],
+) -> Result<(), CliError> {
+    if let Some(path) = args.flags.get("out") {
+        let table = ObjectTrackingTable::from_rows(rows)
+            .map_err(|e| CliError(format!("OTT still inconsistent after sanitize: {e}")))?;
+        write_file_atomic(path, |buf| write_table_csv(buf, &table))?;
+        let _ = writeln!(out, "wrote {path}");
     }
+    if let Some(path) = args.flags.get("quarantine-out") {
+        write_file_atomic(path, |buf| write_quarantine_csv(buf, quarantined))?;
+        let _ = writeln!(out, "wrote {path} ({} quarantined rows)", quarantined.len());
+    }
+    Ok(())
+}
+
+fn cmd_sanitize(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let rows = load_ott_rows(args)?;
+    let cfg = parse_policy(args)?;
     let total_in = rows.len();
     let outcome = sanitize_rows(rows, &cfg, Some(&plan));
     let mut out = String::new();
     let _ = writeln!(out, "sanitized {total_in} rows -> {} rows", outcome.rows.len());
     out.push_str(&outcome.report.render());
     out.push('\n');
+    write_sanitize_outputs(args, &mut out, outcome.rows, &outcome.quarantined)?;
+    Ok(out)
+}
+
+fn cmd_readmit(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let clean = load_ott_rows(args)?;
+    let qpath: PathBuf = args.require("quarantine")?;
+    let file = File::open(&qpath)
+        .map_err(|e| CliError(format!("cannot open quarantine {}: {e}", qpath.display())))?;
+    let quarantined = read_quarantine_csv(&mut BufReader::new(file))
+        .map_err(|e| CliError(format!("bad quarantine file: {e}")))?;
+    let cfg = parse_policy(args)?;
+    let q_in = quarantined.len();
+    let q_rows: Vec<OttRow> = quarantined.iter().map(|&(r, _)| r).collect();
+    let outcome = readmit_rows(clean, q_rows, &cfg, Some(&plan));
+    let mut out = String::new();
+    let _ = writeln!(out, "readmitted {} of {q_in} quarantined rows", outcome.report.readmitted);
+    out.push_str(&outcome.report.render());
+    out.push('\n');
+    write_sanitize_outputs(args, &mut out, outcome.rows, &outcome.quarantined)?;
+    Ok(out)
+}
+
+/// The fresh-store tracker configuration from `--max-gap`/`--lateness`.
+/// Only consulted when the store directory holds no prior state: an
+/// existing WAL or snapshot carries its own durable config.
+fn fresh_tracker(args: &Args) -> Result<OnlineTracker, CliError> {
+    let max_gap: f64 = args.get("max-gap")?.unwrap_or(60.0);
+    if !(max_gap > 0.0 && max_gap.is_finite()) {
+        return err("--max-gap must be positive and finite");
+    }
+    Ok(match args.get("lateness")? {
+        Some(l) => OnlineTracker::with_reorder(max_gap, l),
+        None => OnlineTracker::new(max_gap),
+    })
+}
+
+fn cmd_ingest(args: &Args) -> Result<String, CliError> {
+    let store_dir: PathBuf = args.require("store")?;
+    let readings_path: PathBuf = args.require("readings")?;
+    let file = File::open(&readings_path)
+        .map_err(|e| CliError(format!("cannot open readings {}: {e}", readings_path.display())))?;
+    let readings = read_readings_csv(&mut BufReader::new(file))
+        .map_err(|e| CliError(format!("bad readings file: {e}")))?;
+    let opts = StoreOptions {
+        snapshot_every: Some(args.get("snapshot-every")?.unwrap_or(1024)),
+        sync_each_reading: !args.switch("no-sync"),
+        ..StoreOptions::default()
+    };
+    let (mut store, report) = IngestStore::open(StdFs, &store_dir, fresh_tracker(args)?, opts)
+        .map_err(|e| CliError(format!("opening store {}: {e}", store_dir.display())))?;
+    let mut out = String::new();
+    out.push_str(&report.render());
+
+    // Resume: everything the WAL already holds is skipped, which makes a
+    // rerun after a crash (or a plain rerun) idempotent.
+    let skip = report.wal_records as usize;
+    if skip > readings.len() {
+        return err(format!(
+            "store already holds {skip} readings but the input has only {}; \
+             wrong --readings file for this store?",
+            readings.len()
+        ));
+    }
+    let mut ingested = 0u64;
+    let mut rejected = 0u64;
+    for &r in &readings[skip..] {
+        match store.ingest(r) {
+            Ok(()) => ingested += 1,
+            // The reading is durable but the tracker refused it (e.g.
+            // strict-mode regression): log and continue, like recovery does.
+            Err(StoreError::Stream(_)) => rejected += 1,
+            Err(e) => return err(format!("ingest failed at seq {}: {e}", store.seq())),
+        }
+    }
+    let total = store.seq();
+    let ott = store.finish().map_err(|e| CliError(format!("closing store: {e}")))?;
+    let _ = writeln!(
+        out,
+        "ingested {ingested} readings ({skip} already durable, {rejected} rejected); \
+         {total} total in WAL"
+    );
+    let _ = writeln!(out, "OTT: {} records for {} objects", ott.len(), ott.object_count());
     if let Some(path) = args.flags.get("out") {
-        let table = ObjectTrackingTable::from_rows(outcome.rows)
-            .map_err(|e| CliError(format!("OTT still inconsistent after sanitize: {e}")))?;
-        write_table_csv(&mut BufWriter::new(File::create(path)?), &table)
-            .map_err(|e| CliError(format!("writing sanitized OTT: {e}")))?;
+        write_file_atomic(path, |buf| write_table_csv(buf, &ott))?;
         let _ = writeln!(out, "wrote {path}");
     }
     Ok(out)
+}
+
+fn cmd_recover(args: &Args) -> Result<String, CliError> {
+    let store_dir: PathBuf = args.require("store")?;
+    let mut rec = crate::obs::Recorder::enabled();
+    let span = rec.enter("recover");
+    let (store, report) =
+        IngestStore::open(StdFs, &store_dir, fresh_tracker(args)?, StoreOptions::default())
+            .map_err(|e| CliError(format!("opening store {}: {e}", store_dir.display())))?;
+    rec.exit(span);
+    rec.add(crate::obs::Counter::RecoveryWalReplayed, report.wal_replayed);
+    rec.add(crate::obs::Counter::RecoveryTruncatedBytes, report.wal_truncated_bytes);
+    rec.add(crate::obs::Counter::RecoverySnapshotsRejected, report.snapshots_rejected);
+    rec.add(crate::obs::Counter::RecoveryReplayRejected, report.replay_rejected);
+
+    let mut out = report.render();
+    let seq = store.seq();
+    let tracker = store.into_tracker().map_err(|e| CliError(format!("closing store: {e}")))?;
+    let ott =
+        tracker.snapshot().map_err(|e| CliError(format!("recovered state inconsistent: {e}")))?;
+    let _ = writeln!(
+        out,
+        "recovered state: {seq} durable readings, {} records for {} objects",
+        ott.len(),
+        ott.object_count()
+    );
+    if let Some(path) = args.flags.get("out") {
+        write_file_atomic(path, |buf| write_table_csv(buf, &ott))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(append_profile(out, rec.finish().as_ref(), args))
 }
 
 /// Convenience for tests: runs with string arguments.

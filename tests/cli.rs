@@ -245,6 +245,112 @@ fn sanitize_gates_dirty_data_into_degraded_answers() {
 }
 
 #[test]
+fn quarantine_then_readmit_round_trip() {
+    let (plan, _ott, dir) = generate("readmit");
+    // An overlapping second run: under --policy quarantine it is set
+    // aside, and a later readmit pass under the repair policy clamps it
+    // back into the table.
+    let dirty = dir.join("dirty.csv");
+    std::fs::write(&dirty, "object,device,ts,te\n1,0,0.0,10.0\n1,1,5.0,12.0\n").unwrap();
+    let dirty = dirty.to_str().unwrap().to_string();
+    let clean = dir.join("clean.csv").to_str().unwrap().to_string();
+    let quarantine = dir.join("quarantine.csv").to_str().unwrap().to_string();
+
+    let report = run_str(&[
+        "sanitize",
+        "--plan",
+        &plan,
+        "--ott",
+        &dirty,
+        "--policy",
+        "quarantine",
+        "--out",
+        &clean,
+        "--quarantine-out",
+        &quarantine,
+    ])
+    .expect("sanitize succeeds");
+    assert!(report.contains("quarantined"), "{report}");
+    assert!(report.contains("quarantined rows"), "{report}");
+    let qtext = std::fs::read_to_string(&quarantine).unwrap();
+    assert!(qtext.contains("overlapping_run"), "{qtext}");
+
+    let restored = dir.join("restored.csv").to_str().unwrap().to_string();
+    let out = run_str(&[
+        "readmit",
+        "--plan",
+        &plan,
+        "--ott",
+        &clean,
+        "--quarantine",
+        &quarantine,
+        "--policy",
+        "repair",
+        "--out",
+        &restored,
+    ])
+    .expect("readmit succeeds");
+    assert!(out.contains("readmitted 1 of 1"), "{out}");
+    let rows = std::fs::read_to_string(&restored).unwrap();
+    assert_eq!(rows.lines().count(), 3, "{rows}"); // header + both rows
+    assert!(rows.contains("1,1,10,12"), "{rows}"); // clamped to the prior run's end
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn ingest_recover_and_resume_round_trip() {
+    let (_plan, _ott, dir) = generate("ingest");
+    let readings = dir.join("readings.csv").to_str().unwrap().to_string();
+    let store = dir.join("store").to_str().unwrap().to_string();
+
+    // First run creates the store and drains the whole stream.
+    let out = run_str(&[
+        "ingest",
+        "--store",
+        &store,
+        "--readings",
+        &readings,
+        "--snapshot-every",
+        "64",
+        "--no-sync",
+    ])
+    .expect("ingest succeeds");
+    assert!(out.contains("created fresh store"), "{out}");
+    assert!(out.contains("(0 already durable"), "{out}");
+    assert!(out.contains("OTT:"), "{out}");
+
+    // A rerun over the same file is a no-op: everything is already durable.
+    let again =
+        run_str(&["ingest", "--store", &store, "--readings", &readings]).expect("rerun succeeds");
+    assert!(again.contains("ingested 0 readings"), "{again}");
+    assert!(!again.contains("created fresh store"), "{again}");
+
+    // Tear the WAL tail; recover truncates to the valid prefix and the
+    // profile carries the recovery counters.
+    let wal = dir.join("store").join("wal.bin");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let torn = bytes.len() - 7;
+    bytes.truncate(torn);
+    std::fs::write(&wal, &bytes).unwrap();
+    let recovered_csv = dir.join("recovered.csv").to_str().unwrap().to_string();
+    let rec = run_str(&["recover", "--store", &store, "--out", &recovered_csv, "--profile"])
+        .expect("recover succeeds");
+    assert!(rec.contains("recovered state:"), "{rec}");
+    assert!(rec.contains("wrote"), "{rec}");
+    assert!(std::path::Path::new(&recovered_csv).exists());
+
+    // Resuming ingestion re-appends exactly what the tear destroyed.
+    let resumed =
+        run_str(&["ingest", "--store", &store, "--readings", &readings]).expect("resume succeeds");
+    assert!(resumed.contains("OTT:"), "{resumed}");
+    let final_state = run_str(&["recover", "--store", &store]).expect("final recover succeeds");
+    assert!(final_state.contains("recovered state:"), "{final_state}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn helpful_errors() {
     assert!(run_str(&[]).unwrap().contains("commands:"));
     assert!(run_str(&["help"]).unwrap().contains("commands:"));
