@@ -893,8 +893,78 @@ pub fn abl_coldstart(scale: &Scale) -> Series {
     }
 }
 
+/// Sustained server throughput and tail notification latency vs object
+/// count: an in-process [`inflow_service::Server`] with one ε = 0
+/// snapshot subscription, fed the whole reading stream over TCP. The
+/// `iterative_ms` column carries sustained readings/sec; `join_ms`
+/// carries the p99 notification latency in milliseconds.
+pub fn abl_serve(scale: &Scale) -> Series {
+    use inflow_service::{Client, ServeConfig, Server, SubKind, SubSpec};
+    use inflow_tracking::RawReading;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static RUN: AtomicUsize = AtomicUsize::new(0);
+    let mut rows = Vec::new();
+    for divisor in [4usize, 2, 1] {
+        let mut cfg = base_synthetic(scale);
+        cfg.num_objects = (scale.objects / divisor).max(1);
+        let w = generate_synthetic(&cfg);
+        // The same endpoint-expanded stream `inflow ingest` consumes.
+        let mut readings: Vec<RawReading> = Vec::with_capacity(w.ott.len() * 2);
+        for r in w.ott.records() {
+            readings.push(RawReading { object: r.object, device: r.device, t: r.ts });
+            if r.te > r.ts {
+                readings.push(RawReading { object: r.object, device: r.device, t: r.te });
+            }
+        }
+        readings.sort_by(|a, b| a.t.total_cmp(&b.t).then_with(|| a.object.cmp(&b.object)));
+
+        let dir = std::env::temp_dir().join(format!(
+            "inflow-bench-serve-{}-{}",
+            std::process::id(),
+            RUN.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("bench temp dir");
+        let serve_cfg = ServeConfig {
+            shards: 4,
+            ur: UrConfig { vmax: w.vmax, resolution: scale.resolution, ..UrConfig::default() },
+            ..ServeConfig::new(dir.clone())
+        };
+        let handle = Server::start(w.ctx.clone(), serve_cfg).expect("bench server start");
+        let mut client = Client::connect(handle.addr()).expect("bench client connect");
+        let spec = SubSpec {
+            kind: SubKind::Snapshot { t: cfg.duration / 2.0 },
+            k: 10,
+            epsilon: 0.0,
+            pois: Vec::new(),
+        };
+        client.subscribe(&spec).expect("bench subscribe");
+        client.barrier().expect("bench barrier");
+
+        let t0 = Instant::now();
+        for batch in readings.chunks(256) {
+            client.publish(batch).expect("bench publish");
+        }
+        client.barrier().expect("bench drain barrier");
+        let elapsed = t0.elapsed().as_secs_f64();
+        let throughput = readings.len() as f64 / elapsed.max(1e-9);
+        let notify_p99_ms = handle.metrics().notify_p99_ns() as f64 / 1e6;
+
+        client.shutdown_server().expect("bench shutdown");
+        handle.wait();
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(Row::timing(format!("{} objects", cfg.num_objects), throughput, notify_p99_ms));
+    }
+    Series {
+        experiment: "abl-serve".into(),
+        x_label: "dataset size (iterative_ms = readings/sec, join_ms = notify p99 ms)".into(),
+        rows,
+    }
+}
+
 /// All experiment ids in suite order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "f10a",
     "f10b",
     "f11a",
@@ -915,6 +985,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = [
     "abl-accuracy",
     "abl-noise",
     "abl-coldstart",
+    "abl-serve",
 ];
 
 /// Runs one experiment by id.
@@ -940,6 +1011,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Option<Series> {
         "abl-accuracy" => abl_accuracy(scale),
         "abl-noise" => abl_noise(scale),
         "abl-coldstart" => abl_coldstart(scale),
+        "abl-serve" => abl_serve(scale),
         _ => return None,
     })
 }
@@ -985,6 +1057,17 @@ mod tests {
         assert_eq!(s.rows.len(), 3, "one row per dataset size");
         for r in &s.rows {
             assert!(r.iterative_ms >= 0.0 && r.join_ms >= 0.0, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn smoke_run_abl_serve() {
+        let tiny = Scale { objects: 12, duration: 240.0, ..Scale::smoke() };
+        let s = run_experiment("abl-serve", &tiny).unwrap();
+        assert_eq!(s.rows.len(), 3, "one row per dataset size");
+        for r in &s.rows {
+            assert!(r.iterative_ms > 0.0, "throughput must be positive: {r:?}");
+            assert!(r.join_ms >= 0.0, "{r:?}");
         }
     }
 

@@ -5,10 +5,12 @@ use crate::join::{self, JoinConfig};
 use crate::query::{DataQuality, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
 use inflow_indoor::PoiId;
 use inflow_rtree::RTree;
+use inflow_tracking::Timestamp;
 use inflow_tracking::{ArTree, ObjectId, ObjectTrackingTable, SanitizeReport};
 use inflow_uncertainty::{IndoorContext, UrConfig, UrEngine};
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Flow analytics over one floor plan and one Object Tracking Table.
 ///
@@ -49,6 +51,14 @@ pub struct FlowAnalytics {
     /// Objects whose chains the sanitizer repaired (including synthetic
     /// ids minted by chain splitting).
     repaired_objects: HashSet<ObjectId>,
+    /// Last interval candidate scan: `(ts, te, distinct objects)`. The OTT
+    /// is immutable per instance, so a repeated `[ts, te]` — e.g. a
+    /// subscription refresh — reuses the scan instead of re-walking the
+    /// AR-tree. A `Mutex` (not `RefCell`) keeps the façade `Sync` for the
+    /// scoped-thread query paths.
+    range_memo: Mutex<Option<(Timestamp, Timestamp, Vec<ObjectId>)>>,
+    /// Times the memo answered a candidate scan (observability + tests).
+    range_memo_hits: AtomicU64,
 }
 
 impl FlowAnalytics {
@@ -64,6 +74,8 @@ impl FlowAnalytics {
             profiling: false,
             sanitize_report: None,
             repaired_objects: HashSet::new(),
+            range_memo: Mutex::new(None),
+            range_memo_hits: AtomicU64::new(0),
         }
     }
 
@@ -166,6 +178,33 @@ impl FlowAnalytics {
         RTree::bulk_load(pois.iter().map(|&p| (plan.poi(p).mbr(), p)).collect())
     }
 
+    /// Distinct objects whose augmented tracking intervals overlap
+    /// `[ts, te]`, sorted ascending — the interval algorithms' candidate
+    /// population. Memoized for the last range queried: identical repeat
+    /// ranges (continuous-monitoring refreshes) skip the AR-tree scan.
+    pub(crate) fn interval_candidates(&self, ts: Timestamp, te: Timestamp) -> Vec<ObjectId> {
+        {
+            let memo = self.range_memo.lock().expect("range memo poisoned");
+            if let Some((mts, mte, objects)) = memo.as_ref() {
+                if *mts == ts && *mte == te {
+                    self.range_memo_hits.fetch_add(1, Ordering::Relaxed);
+                    return objects.clone();
+                }
+            }
+        }
+        let mut objects: Vec<ObjectId> =
+            self.artree.range_query(ts, te).iter().map(|e| e.object).collect();
+        objects.sort_unstable();
+        objects.dedup();
+        *self.range_memo.lock().expect("range memo poisoned") = Some((ts, te, objects.clone()));
+        objects
+    }
+
+    /// Times the last-range memo answered a candidate scan.
+    pub fn range_memo_hits(&self) -> u64 {
+        self.range_memo_hits.load(Ordering::Relaxed)
+    }
+
     /// Snapshot top-k via the iterative Algorithm 1.
     pub fn snapshot_topk_iterative(&self, q: &SnapshotQuery) -> QueryResult {
         iterative::snapshot(self, q)
@@ -184,6 +223,32 @@ impl FlowAnalytics {
     /// Interval top-k via the improved join Algorithm 5.
     pub fn interval_topk_join(&self, q: &IntervalQuery) -> QueryResult {
         join::interval(self, q, &self.join_cfg)
+    }
+
+    /// Snapshot top-k via Algorithm 1 with the per-object work spread
+    /// over `threads` scoped workers. The fold runs on the calling thread
+    /// in the sequential candidate order, so the result — flows, ranking,
+    /// even stats — is bitwise identical to
+    /// [`FlowAnalytics::snapshot_topk_iterative`]. `threads <= 1` runs
+    /// inline. Per-operation latency histograms are not collected from
+    /// workers; phase spans still are.
+    pub fn snapshot_topk_iterative_threads(
+        &self,
+        q: &SnapshotQuery,
+        threads: usize,
+    ) -> QueryResult {
+        iterative::snapshot_threads(self, q, threads)
+    }
+
+    /// Interval top-k via Algorithm 4 across `threads` scoped workers;
+    /// bitwise identical to [`FlowAnalytics::interval_topk_iterative`]
+    /// (see [`FlowAnalytics::snapshot_topk_iterative_threads`]).
+    pub fn interval_topk_iterative_threads(
+        &self,
+        q: &IntervalQuery,
+        threads: usize,
+    ) -> QueryResult {
+        iterative::interval_threads(self, q, threads)
     }
 
     /// All snapshot flows (unranked), mainly for tests and inspection.

@@ -27,7 +27,7 @@ use inflow_geometry::{Mbr, Region};
 use inflow_indoor::PoiId;
 use inflow_obs::{Counter, Histogram, Timer};
 use inflow_rtree::{EntryRef, RTree};
-use inflow_tracking::{ArTree, ObjectId, ObjectState};
+use inflow_tracking::{ArTree, ObjectState};
 use inflow_uncertainty::UncertaintyRegion;
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -231,10 +231,7 @@ pub fn interval(fa: &FlowAnalytics, q: &IntervalQuery, cfg: &JoinConfig) -> Quer
     // derive each object's trajectory MBRs. The full region construction is
     // cheap; the expensive presence integrations stay lazy.
     let span = rec.enter("candidate_retrieval");
-    let mut objects: Vec<ObjectId> =
-        fa.artree().range_query(q.ts, q.te).iter().map(|e| e.object).collect();
-    objects.sort_unstable();
-    objects.dedup();
+    let objects = fa.interval_candidates(q.ts, q.te);
     rec.exit(span);
 
     let span = rec.enter("derive_urs");

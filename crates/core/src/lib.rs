@@ -26,6 +26,7 @@
 //! The entry point is [`FlowAnalytics`].
 
 pub mod analytics;
+pub mod contrib;
 pub mod density;
 pub mod iterative;
 pub mod join;
@@ -35,9 +36,10 @@ pub mod timeline;
 pub mod visitors;
 
 pub use analytics::FlowAnalytics;
+pub use contrib::{object_interval_flows, object_snapshot_flows};
 pub use density::{snapshot_density, DensityGrid};
 pub use join::JoinConfig;
-pub use query::{DataQuality, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
+pub use query::{rank_topk, DataQuality, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
 pub use timeline::{
     flow_timeline, ContinuousSnapshotMonitor, FlowTimeline, TimelineBucket, TopKUpdate,
 };

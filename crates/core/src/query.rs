@@ -251,8 +251,10 @@ impl QueryResult {
 }
 
 /// Ranks flows in descending order with deterministic tie-breaking
-/// (ascending POI id) and truncates to `k`.
-pub(crate) fn rank_topk(mut flows: Vec<(PoiId, f64)>, k: usize) -> Vec<(PoiId, f64)> {
+/// (ascending POI id) and truncates to `k`. Public so the incremental
+/// flow-monitoring service materializes its top-k with the exact same
+/// ordering semantics as the batch algorithms.
+pub fn rank_topk(mut flows: Vec<(PoiId, f64)>, k: usize) -> Vec<(PoiId, f64)> {
     flows.sort_by(|a, b| {
         b.1.partial_cmp(&a.1).expect("flows are never NaN").then_with(|| a.0.cmp(&b.0))
     });

@@ -102,7 +102,7 @@ pub fn flow_timeline(
         let te = (ts + bucket_len).min(end);
         let q = IntervalQuery::new(ts, te, pois.to_vec(), pois.len());
         let span = rec.enter("bucket");
-        let (flows, stats) = crate::iterative::interval_flows_recorded(fa, &q, &mut rec);
+        let (flows, stats) = crate::iterative::interval_flows_threads(fa, &q, &mut rec, 1);
         rec.exit(span);
         total.merge(&stats);
         buckets.push(TimelineBucket { ts, te, flows, stats });

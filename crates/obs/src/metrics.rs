@@ -67,11 +67,38 @@ pub enum Counter {
     /// Replayed WAL readings the tracker rejected (deterministically, the
     /// same way the live run rejected them).
     RecoveryReplayRejected,
+    /// Readings routed to shard ingestion queues by the serving layer.
+    ServeReadingsSharded,
+    /// Readings a shard worker applied to its tracker (durably logged and
+    /// accepted; excludes buffered, dropped-late and rejected readings).
+    ServeReadingsApplied,
+    /// Readings a shard worker's tracker rejected (strict-mode
+    /// out-of-order); the reading stays in the shard's WAL.
+    ServeReadingsRejected,
+    /// Row-delta batches shard workers emitted to the flow engine.
+    ServeDeltasEmitted,
+    /// Per-object row replacements carried across all delta batches.
+    ServeDeltaObjects,
+    /// Per-object presence recomputations the flow engine performed to
+    /// maintain materialized subscription results incrementally.
+    ServeRecomputes,
+    /// Subscription updates pushed to watchers.
+    ServeNotifications,
+    /// Subscription refreshes whose result change stayed within the
+    /// subscriber's ε threshold (no notification sent).
+    ServeNotificationsSuppressed,
+    /// Continuous top-k subscriptions registered over the protocol.
+    ServeSubscriptions,
+    /// One-shot snapshot/interval queries answered by the server.
+    ServeOneShotQueries,
+    /// Shard workers restarted after a crash (state recovered from the
+    /// shard's ingestion store).
+    ServeShardRestarts,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 33] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -94,6 +121,17 @@ impl Counter {
         Counter::RecoveryTruncatedBytes,
         Counter::RecoverySnapshotsRejected,
         Counter::RecoveryReplayRejected,
+        Counter::ServeReadingsSharded,
+        Counter::ServeReadingsApplied,
+        Counter::ServeReadingsRejected,
+        Counter::ServeDeltasEmitted,
+        Counter::ServeDeltaObjects,
+        Counter::ServeRecomputes,
+        Counter::ServeNotifications,
+        Counter::ServeNotificationsSuppressed,
+        Counter::ServeSubscriptions,
+        Counter::ServeOneShotQueries,
+        Counter::ServeShardRestarts,
     ];
 
     /// Stable snake_case name used in rendered and JSON output.
@@ -121,6 +159,17 @@ impl Counter {
             Counter::RecoveryTruncatedBytes => "recovery_truncated_bytes",
             Counter::RecoverySnapshotsRejected => "recovery_snapshots_rejected",
             Counter::RecoveryReplayRejected => "recovery_replay_rejected",
+            Counter::ServeReadingsSharded => "serve_readings_sharded",
+            Counter::ServeReadingsApplied => "serve_readings_applied",
+            Counter::ServeReadingsRejected => "serve_readings_rejected",
+            Counter::ServeDeltasEmitted => "serve_deltas_emitted",
+            Counter::ServeDeltaObjects => "serve_delta_objects",
+            Counter::ServeRecomputes => "serve_recomputes",
+            Counter::ServeNotifications => "serve_notifications",
+            Counter::ServeNotificationsSuppressed => "serve_notifications_suppressed",
+            Counter::ServeSubscriptions => "serve_subscriptions",
+            Counter::ServeOneShotQueries => "serve_one_shot_queries",
+            Counter::ServeShardRestarts => "serve_shard_restarts",
         }
     }
 
@@ -130,9 +179,15 @@ impl Counter {
 }
 
 /// A fixed-size bag of counter values.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterSet {
     values: [u64; Counter::ALL.len()],
+}
+
+impl Default for CounterSet {
+    fn default() -> CounterSet {
+        CounterSet { values: [0; Counter::ALL.len()] }
+    }
 }
 
 impl CounterSet {
@@ -174,16 +229,25 @@ pub enum Timer {
     Presence,
     /// One snapshot/interval uncertainty-region derivation.
     UrDerive,
+    /// One per-object incremental recompute in the flow-monitoring
+    /// engine (delta applied → subscription contributions refreshed).
+    ServeRecompute,
+    /// One subscription notification fan-out (rank + encode + enqueue to
+    /// every watcher).
+    ServeNotify,
 }
 
 impl Timer {
-    pub const ALL: [Timer; 2] = [Timer::Presence, Timer::UrDerive];
+    pub const ALL: [Timer; 4] =
+        [Timer::Presence, Timer::UrDerive, Timer::ServeRecompute, Timer::ServeNotify];
 
     /// Stable snake_case name used in rendered and JSON output.
     pub fn name(self) -> &'static str {
         match self {
             Timer::Presence => "presence",
             Timer::UrDerive => "ur_derive",
+            Timer::ServeRecompute => "serve_recompute",
+            Timer::ServeNotify => "serve_notify",
         }
     }
 

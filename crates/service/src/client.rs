@@ -1,0 +1,137 @@
+//! A blocking client for the flow-monitoring protocol.
+//!
+//! One TCP connection, request/reply with pushed `UPDATE` frames
+//! interleaved: any update that arrives while waiting for a reply is
+//! buffered into an internal queue and surfaced via
+//! [`Client::take_updates`]. Because the server serializes every frame
+//! for a connection through one writer, a [`Client::barrier`] round-trip
+//! guarantees that all updates triggered by this connection's earlier
+//! publishes have already been read into the buffer when it returns.
+
+use crate::protocol::{self, tag, SubSpec};
+use inflow_indoor::PoiId;
+use inflow_tracking::{OttRow, RawReading};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One pushed subscription notification.
+#[derive(Debug, Clone)]
+pub struct Update {
+    pub sub_id: u64,
+    /// Per-subscription sequence number (1 = initial result).
+    pub seq: u64,
+    pub ranked: Vec<(PoiId, f64)>,
+}
+
+pub struct Client {
+    stream: TcpStream,
+    updates: VecDeque<Update>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, updates: VecDeque::new() })
+    }
+
+    /// Sends one request frame and reads frames until a non-`UPDATE`
+    /// reply arrives, buffering updates along the way. An `ERROR` reply
+    /// becomes an `io::Error`.
+    fn request(&mut self, tag_byte: u8, payload: &[u8]) -> io::Result<(u8, Vec<u8>)> {
+        let mut frame = Vec::with_capacity(9 + payload.len());
+        inflow_tracking::store::frame::write_frame(&mut frame, tag_byte, payload);
+        self.stream.write_all(&frame)?;
+        loop {
+            let Some((reply_tag, body)) = protocol::read_frame(&mut self.stream)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            };
+            if reply_tag == tag::UPDATE {
+                let (sub_id, seq, ranked) = protocol::decode_update(&body)?;
+                self.updates.push_back(Update { sub_id, seq, ranked });
+                continue;
+            }
+            if reply_tag == tag::ERROR {
+                return Err(io::Error::other(String::from_utf8_lossy(&body).into_owned()));
+            }
+            return Ok((reply_tag, body));
+        }
+    }
+
+    fn expect(&mut self, req: u8, payload: &[u8], want: u8) -> io::Result<Vec<u8>> {
+        let (got, body) = self.request(req, payload)?;
+        if got != want {
+            return Err(io::Error::other(format!(
+                "protocol error: expected reply tag {want}, got {got}"
+            )));
+        }
+        Ok(body)
+    }
+
+    /// Publishes a batch of readings (acked once *routed*; use
+    /// [`Client::barrier`] to wait until applied).
+    pub fn publish(&mut self, readings: &[RawReading]) -> io::Result<()> {
+        self.expect(tag::PUBLISH, &protocol::encode_publish(readings), tag::ACK)?;
+        Ok(())
+    }
+
+    /// Registers a continuous subscription; returns its id. The initial
+    /// result arrives as the subscription's first `UPDATE` (seq 1).
+    pub fn subscribe(&mut self, spec: &SubSpec) -> io::Result<u64> {
+        let body = self.expect(tag::SUBSCRIBE, &protocol::encode_subspec(spec), tag::SUB_ACK)?;
+        protocol::decode_u64(&body)
+    }
+
+    pub fn unsubscribe(&mut self, sub_id: u64) -> io::Result<()> {
+        self.expect(tag::UNSUBSCRIBE, &protocol::encode_u64(sub_id), tag::ACK)?;
+        Ok(())
+    }
+
+    /// Full pipeline sync: every reading this connection published before
+    /// the barrier is ingested, its deltas applied, and the resulting
+    /// updates are buffered client-side when this returns.
+    pub fn barrier(&mut self) -> io::Result<()> {
+        self.expect(tag::BARRIER, &[], tag::ACK)?;
+        Ok(())
+    }
+
+    /// One-shot query answered by the batch reference path server-side.
+    pub fn query(&mut self, spec: &SubSpec) -> io::Result<Vec<(PoiId, f64)>> {
+        let body = self.expect(tag::QUERY, &protocol::encode_subspec(spec), tag::RESULT)?;
+        protocol::decode_ranked(&body)
+    }
+
+    /// The subscription's current materialized top-k (sent or not).
+    pub fn current(&mut self, sub_id: u64) -> io::Result<Vec<(PoiId, f64)>> {
+        let body = self.expect(tag::CURRENT, &protocol::encode_u64(sub_id), tag::RESULT)?;
+        protocol::decode_ranked(&body)
+    }
+
+    /// Every row the engine currently holds, sorted by (object, ts, te) —
+    /// the exact input a from-scratch batch computation would see.
+    pub fn dump_rows(&mut self) -> io::Result<Vec<OttRow>> {
+        let body = self.expect(tag::DUMP_ROWS, &[], tag::ROWS)?;
+        protocol::decode_rows(&body)
+    }
+
+    /// The server's metrics registry, rendered.
+    pub fn stats(&mut self) -> io::Result<String> {
+        let body = self.expect(tag::STATS, &[], tag::STATS_TEXT)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Asks the server to stop accepting and wind down.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.expect(tag::SHUTDOWN, &[], tag::ACK)?;
+        Ok(())
+    }
+
+    /// Drains every buffered update, in arrival order.
+    pub fn take_updates(&mut self) -> Vec<Update> {
+        self.updates.drain(..).collect()
+    }
+}

@@ -1,0 +1,379 @@
+//! The incremental flow engine.
+//!
+//! One thread owns the materialized query state: every object's current
+//! rows (from shard deltas) and, per subscription, a map of per-object
+//! flow contributions. When a delta arrives, only the changed object's
+//! contribution is recomputed — via the *same* per-object primitive the
+//! batch iterative algorithms use ([`inflow_core::object_snapshot_flows`]
+//! / [`inflow_core::object_interval_flows`]) — so the maintained result
+//! provably tracks a from-scratch batch computation over the same rows.
+//!
+//! Two consequences of that design are load-bearing:
+//!
+//! * **Skip soundness.** A subscription whose query end time `t_q`
+//!   satisfies `t_q < delta.affected_start` is skipped: rows before the
+//!   affected start are unchanged, and resolving an object's state at
+//!   `t_q` only consults records at or adjacent to `t_q` — all unchanged.
+//!   Times at or after the frontier must recompute (a growing open run
+//!   extends coverage, and a new successor record reshapes the inactive
+//!   uncertainty region).
+//! * **Drift-free flows.** Per-POI flows are re-summed from the
+//!   contribution map (objects in ascending id order) on every refresh
+//!   rather than maintained by `+= new − old`, so repeated updates cannot
+//!   accumulate floating-point drift away from the batch answer.
+//!
+//! The engine also answers one-shot queries by assembling a full
+//! [`FlowAnalytics`] over the union of all rows — the reference batch
+//! path — and serves row dumps so tests can compute the same reference
+//! externally.
+
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{self, tag, SubKind, SubSpec};
+use crate::shard::DeltaBatch;
+use inflow_core::{
+    object_interval_flows, object_snapshot_flows, rank_topk, FlowAnalytics, IntervalQuery,
+    SnapshotQuery,
+};
+use inflow_indoor::PoiId;
+use inflow_obs::Counter;
+use inflow_rtree::RTree;
+use inflow_tracking::{ObjectId, ObjectTrackingTable, OttRow};
+use inflow_uncertainty::{IndoorContext, UrConfig, UrEngine};
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Messages the engine consumes. Reply frames go through the requesting
+/// connection's writer channel (already-encoded frames), which serializes
+/// them with any pushed `UPDATE` frames.
+pub enum EngineMsg {
+    Delta(DeltaBatch),
+    Subscribe {
+        spec: SubSpec,
+        conn: u64,
+        writer: Sender<Vec<u8>>,
+    },
+    Unsubscribe {
+        sub_id: u64,
+        writer: Sender<Vec<u8>>,
+    },
+    Current {
+        sub_id: u64,
+        writer: Sender<Vec<u8>>,
+    },
+    Query {
+        spec: SubSpec,
+        writer: Sender<Vec<u8>>,
+    },
+    DumpRows {
+        writer: Sender<Vec<u8>>,
+    },
+    Stats {
+        writer: Sender<Vec<u8>>,
+    },
+    /// Ack after everything enqueued before it is applied (the barrier
+    /// protocol's second half; shards flushed first).
+    Barrier {
+        writer: Sender<Vec<u8>>,
+    },
+    /// A connection closed: drop its subscriptions.
+    DropConn(u64),
+    Stop,
+}
+
+/// One registered continuous subscription.
+struct Sub {
+    id: u64,
+    conn: u64,
+    kind: SubKind,
+    k: usize,
+    epsilon: f64,
+    pois: Vec<PoiId>,
+    rp: RTree<PoiId>,
+    /// Per-object contributions `(poi, presence)`; absent = empty.
+    contrib: HashMap<ObjectId, Vec<(PoiId, f64)>>,
+    /// The current materialized top-k (updated on every refresh, sent or
+    /// not).
+    current: Vec<(PoiId, f64)>,
+    /// The last top-k actually pushed (the ε gate's reference point).
+    last_sent: Option<Vec<(PoiId, f64)>>,
+    seq: u64,
+    writer: Sender<Vec<u8>>,
+}
+
+impl Sub {
+    /// Whether a delta with this affected start can change the result.
+    fn affected_by(&self, affected_start: f64) -> bool {
+        self.kind.end_time() >= affected_start
+    }
+
+    /// Re-ranks from the contribution map. Returns the ranked top-k.
+    fn rank(&self) -> Vec<(PoiId, f64)> {
+        let mut flows: HashMap<PoiId, f64> = self.pois.iter().map(|&p| (p, 0.0)).collect();
+        let mut objects: Vec<ObjectId> = self.contrib.keys().copied().collect();
+        objects.sort_unstable();
+        for o in objects {
+            for &(p, presence) in &self.contrib[&o] {
+                *flows.get_mut(&p).expect("contrib POI in query set") += presence;
+            }
+        }
+        rank_topk(flows.into_iter().collect(), self.k)
+    }
+
+    /// Whether `ranked` crosses the ε gate relative to the last pushed
+    /// result: membership (or order) changed, or some member's flow moved
+    /// by more than ε.
+    fn crosses_gate(&self, ranked: &[(PoiId, f64)]) -> bool {
+        let Some(prev) = &self.last_sent else { return true };
+        if prev.len() != ranked.len() {
+            return true;
+        }
+        for (&(pp, pf), &(np, nf)) in prev.iter().zip(ranked) {
+            if pp != np || (nf - pf).abs() > self.epsilon {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+pub struct EngineConfig {
+    pub ctx: Arc<IndoorContext>,
+    pub ur: UrConfig,
+}
+
+/// Spawns the engine thread.
+pub fn spawn_engine(
+    rx: Receiver<EngineMsg>,
+    cfg: EngineConfig,
+    metrics: Arc<ServiceMetrics>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("inflow-engine".into())
+        .spawn(move || run_engine(rx, cfg, metrics))
+}
+
+struct Engine {
+    ctx: Arc<IndoorContext>,
+    ur_cfg: UrConfig,
+    ur: UrEngine,
+    rows: HashMap<ObjectId, Vec<OttRow>>,
+    subs: HashMap<u64, Sub>,
+    next_sub: u64,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl Engine {
+    /// Resolves a spec's POI set (empty = all plan POIs) and prebuilds
+    /// its R-tree.
+    fn resolve_pois(&self, pois: &[PoiId]) -> (Vec<PoiId>, RTree<PoiId>) {
+        let plan = self.ctx.plan();
+        let pois: Vec<PoiId> = if pois.is_empty() {
+            plan.pois().iter().map(|p| p.id).collect()
+        } else {
+            pois.to_vec()
+        };
+        let rp = RTree::bulk_load(pois.iter().map(|&p| (plan.poi(p).mbr(), p)).collect());
+        (pois, rp)
+    }
+
+    /// Recomputes one object's contribution for one subscription.
+    fn contrib_of(
+        &self,
+        sub: &Sub,
+        ott: &ObjectTrackingTable,
+        object: ObjectId,
+    ) -> Vec<(PoiId, f64)> {
+        match sub.kind {
+            SubKind::Snapshot { t } => object_snapshot_flows(&self.ur, ott, object, t, &sub.rp),
+            SubKind::Interval { ts, te } => {
+                object_interval_flows(&self.ur, ott, object, ts, te, &sub.rp)
+            }
+        }
+    }
+
+    fn apply_delta(&mut self, batch: DeltaBatch, dirty: &mut HashSet<u64>) {
+        for delta in batch.deltas {
+            self.rows.insert(delta.object, delta.rows.clone());
+            if self.subs.is_empty() {
+                continue;
+            }
+            // One single-object table per delta, shared by every affected
+            // subscription. Tracker-produced rows always satisfy the OTT
+            // invariants (ordered, non-overlapping per object).
+            let ott = ObjectTrackingTable::from_rows(delta.rows)
+                .expect("shard rows violate OTT invariants");
+            let sub_ids: Vec<u64> = self.subs.keys().copied().collect();
+            for id in sub_ids {
+                let sub = &self.subs[&id];
+                if !sub.affected_by(delta.affected_start) {
+                    continue;
+                }
+                let t0 = Instant::now();
+                let contrib = self.contrib_of(sub, &ott, delta.object);
+                self.metrics.observe_recompute_ns(t0.elapsed().as_nanos() as u64);
+                self.metrics.add(Counter::ServeRecomputes, 1);
+                let sub = self.subs.get_mut(&id).expect("sub still present");
+                if contrib.is_empty() {
+                    sub.contrib.remove(&delta.object);
+                } else {
+                    sub.contrib.insert(delta.object, contrib);
+                }
+                dirty.insert(id);
+            }
+        }
+    }
+
+    /// Re-ranks a dirty subscription and pushes an update if it crosses
+    /// the ε gate.
+    fn refresh(&mut self, sub_id: u64) {
+        let Some(sub) = self.subs.get_mut(&sub_id) else { return };
+        let ranked = sub.rank();
+        sub.current = ranked.clone();
+        if sub.crosses_gate(&ranked) {
+            let t0 = Instant::now();
+            sub.seq += 1;
+            let payload = protocol::encode_update(sub.id, sub.seq, &ranked);
+            let mut frame = Vec::with_capacity(9 + payload.len());
+            inflow_tracking::store::frame::write_frame(&mut frame, tag::UPDATE, &payload);
+            let delivered = sub.writer.send(frame).is_ok();
+            sub.last_sent = Some(ranked);
+            self.metrics.observe_notify_ns(t0.elapsed().as_nanos() as u64);
+            self.metrics.add(Counter::ServeNotifications, 1);
+            if !delivered {
+                // The connection is gone; the DropConn cleanup will
+                // remove the subscription shortly.
+            }
+        } else {
+            self.metrics.add(Counter::ServeNotificationsSuppressed, 1);
+        }
+    }
+
+    fn subscribe(&mut self, spec: SubSpec, conn: u64, writer: Sender<Vec<u8>>) {
+        let (pois, rp) = self.resolve_pois(&spec.pois);
+        let id = self.next_sub;
+        self.next_sub += 1;
+        let mut sub = Sub {
+            id,
+            conn,
+            kind: spec.kind,
+            k: spec.k,
+            epsilon: spec.epsilon,
+            pois,
+            rp,
+            contrib: HashMap::new(),
+            current: Vec::new(),
+            last_sent: None,
+            seq: 0,
+            writer,
+        };
+        // Initial materialization over every known object.
+        for (&object, rows) in &self.rows {
+            let ott = ObjectTrackingTable::from_rows(rows.clone())
+                .expect("shard rows violate OTT invariants");
+            let t0 = Instant::now();
+            let contrib = self.contrib_of(&sub, &ott, object);
+            self.metrics.observe_recompute_ns(t0.elapsed().as_nanos() as u64);
+            self.metrics.add(Counter::ServeRecomputes, 1);
+            if !contrib.is_empty() {
+                sub.contrib.insert(object, contrib);
+            }
+        }
+        send_frame(&sub.writer, tag::SUB_ACK, &protocol::encode_u64(id));
+        self.metrics.add(Counter::ServeSubscriptions, 1);
+        self.subs.insert(id, sub);
+        // The initial result counts as the first update (seq 1).
+        self.refresh(id);
+    }
+
+    /// One-shot query: the reference batch path over the union of all
+    /// current rows.
+    fn one_shot(&self, spec: &SubSpec, writer: &Sender<Vec<u8>>) {
+        let mut rows: Vec<OttRow> = self.rows.values().flatten().copied().collect();
+        rows.sort_by(|a, b| {
+            a.object.cmp(&b.object).then(a.ts.total_cmp(&b.ts)).then(a.te.total_cmp(&b.te))
+        });
+        let ott = match ObjectTrackingTable::from_rows(rows) {
+            Ok(o) => o,
+            Err(e) => {
+                send_frame(writer, tag::ERROR, format!("inconsistent rows: {e}").as_bytes());
+                return;
+            }
+        };
+        let fa = FlowAnalytics::new(Arc::clone(&self.ctx), ott, self.ur_cfg);
+        let (pois, _) = self.resolve_pois(&spec.pois);
+        let ranked = match spec.kind {
+            SubKind::Snapshot { t } => {
+                fa.snapshot_topk_iterative(&SnapshotQuery::new(t, pois, spec.k)).ranked
+            }
+            SubKind::Interval { ts, te } => {
+                fa.interval_topk_iterative(&IntervalQuery::new(ts, te, pois, spec.k)).ranked
+            }
+        };
+        self.metrics.add(Counter::ServeOneShotQueries, 1);
+        send_frame(writer, tag::RESULT, &protocol::encode_ranked(&ranked));
+    }
+
+    fn dump_rows(&self, writer: &Sender<Vec<u8>>) {
+        let mut rows: Vec<OttRow> = self.rows.values().flatten().copied().collect();
+        rows.sort_by(|a, b| {
+            a.object.cmp(&b.object).then(a.ts.total_cmp(&b.ts)).then(a.te.total_cmp(&b.te))
+        });
+        send_frame(writer, tag::ROWS, &protocol::encode_rows(&rows));
+    }
+}
+
+/// Encodes and enqueues one reply frame; a dead connection is ignored
+/// (its reader already initiated cleanup).
+fn send_frame(writer: &Sender<Vec<u8>>, tag_byte: u8, payload: &[u8]) {
+    let mut frame = Vec::with_capacity(9 + payload.len());
+    inflow_tracking::store::frame::write_frame(&mut frame, tag_byte, payload);
+    let _ = writer.send(frame);
+}
+
+fn run_engine(rx: Receiver<EngineMsg>, cfg: EngineConfig, metrics: Arc<ServiceMetrics>) {
+    let ur = UrEngine::new(Arc::clone(&cfg.ctx), cfg.ur);
+    let mut engine = Engine {
+        ctx: cfg.ctx,
+        ur_cfg: cfg.ur,
+        ur,
+        rows: HashMap::new(),
+        subs: HashMap::new(),
+        next_sub: 1,
+        metrics,
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            EngineMsg::Delta(batch) => {
+                let mut dirty = HashSet::new();
+                engine.apply_delta(batch, &mut dirty);
+                let mut ids: Vec<u64> = dirty.into_iter().collect();
+                ids.sort_unstable();
+                for id in ids {
+                    engine.refresh(id);
+                }
+            }
+            EngineMsg::Subscribe { spec, conn, writer } => engine.subscribe(spec, conn, writer),
+            EngineMsg::Unsubscribe { sub_id, writer } => {
+                engine.subs.remove(&sub_id);
+                send_frame(&writer, tag::ACK, &[]);
+            }
+            EngineMsg::Current { sub_id, writer } => match engine.subs.get(&sub_id) {
+                Some(sub) => {
+                    send_frame(&writer, tag::RESULT, &protocol::encode_ranked(&sub.current))
+                }
+                None => send_frame(&writer, tag::ERROR, b"unknown subscription"),
+            },
+            EngineMsg::Query { spec, writer } => engine.one_shot(&spec, &writer),
+            EngineMsg::DumpRows { writer } => engine.dump_rows(&writer),
+            EngineMsg::Stats { writer } => {
+                send_frame(&writer, tag::STATS_TEXT, engine.metrics.render().as_bytes())
+            }
+            EngineMsg::Barrier { writer } => send_frame(&writer, tag::ACK, &[]),
+            EngineMsg::DropConn(conn) => engine.subs.retain(|_, s| s.conn != conn),
+            EngineMsg::Stop => break,
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `inflow-service`: a sharded continuous flow-monitoring server over
+//! symbolic indoor tracking streams.
+//!
+//! The batch crates answer "which POIs were most visited?" over a fixed
+//! [`ObjectTrackingTable`](inflow_tracking::ObjectTrackingTable). This
+//! crate keeps that answer *live* while readings stream in:
+//!
+//! * **Sharded ingestion** ([`shard`]): readings route by object id to
+//!   worker threads, each owning a crash-consistent WAL-backed store and
+//!   online tracker, emitting per-object row deltas with an *affected
+//!   start* bound.
+//! * **Incremental engine** ([`engine`], internal): per-subscription
+//!   per-object contribution maps, recomputed only for changed objects
+//!   and only when the query time can be affected; flows re-summed
+//!   deterministically so the materialized top-k matches a from-scratch
+//!   batch run.
+//! * **Continuous subscriptions** ([`protocol`], [`client`]): snapshot
+//!   or interval top-k with a result-change threshold ε, pushed as
+//!   `UPDATE` frames over a length-prefixed, CRC-checked TCP protocol;
+//!   plus one-shot queries, row dumps, stats, and a deterministic
+//!   pipeline barrier.
+//! * **Observability** ([`metrics`]): every stage reports into the
+//!   workspace [`Counter`](inflow_obs::Counter)/histogram registry —
+//!   queue depths, delta batch sizes, recompute and notification
+//!   latencies.
+//!
+//! Everything is `std` only: `std::net` sockets, `std::thread` workers,
+//! `mpsc` channels.
+
+pub mod client;
+mod engine;
+pub mod metrics;
+pub mod protocol;
+mod server;
+mod shard;
+
+pub use client::{Client, Update};
+pub use metrics::ServiceMetrics;
+pub use protocol::{SubKind, SubSpec};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use shard::{DeltaBatch, ObjectDelta, ShardConfig};

@@ -1,0 +1,123 @@
+//! The server-wide metrics registry.
+//!
+//! Every pipeline stage reports here: the router counts sharded readings,
+//! shard workers report applied readings, queue depths and delta batch
+//! sizes, the flow engine reports recompute latencies and notification
+//! fan-out. Counters are the fixed [`Counter`] registry the rest of the
+//! workspace uses; latencies and sizes go into the same log₂
+//! [`Histogram`] the per-query profiles use, so `p99` here means the same
+//! thing it means in `--profile` output.
+
+use inflow_obs::{Counter, CounterSet, Histogram, Timer};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Shared, thread-safe metrics for one server instance.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    counters: Mutex<CounterSet>,
+    /// Per-object incremental recompute latency ([`Timer::ServeRecompute`]).
+    recompute_ns: Mutex<Histogram>,
+    /// Notification fan-out latency ([`Timer::ServeNotify`]).
+    notify_ns: Mutex<Histogram>,
+    /// Shard ingestion-queue depth sampled at every dequeue (a value
+    /// histogram: the "ns" axis carries message counts).
+    queue_depth: Mutex<Histogram>,
+    /// Object deltas per emitted batch (value histogram).
+    delta_batch: Mutex<Histogram>,
+}
+
+impl ServiceMetrics {
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters.lock().expect("metrics poisoned").add(counter, n);
+    }
+
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.lock().expect("metrics poisoned").get(counter)
+    }
+
+    /// A copy of all counters (render / assertions).
+    pub fn counters(&self) -> CounterSet {
+        self.counters.lock().expect("metrics poisoned").clone()
+    }
+
+    pub fn observe_recompute_ns(&self, ns: u64) {
+        self.recompute_ns.lock().expect("metrics poisoned").observe(ns);
+    }
+
+    pub fn observe_notify_ns(&self, ns: u64) {
+        self.notify_ns.lock().expect("metrics poisoned").observe(ns);
+    }
+
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth.lock().expect("metrics poisoned").observe(depth);
+    }
+
+    pub fn observe_delta_batch(&self, objects: u64) {
+        self.delta_batch.lock().expect("metrics poisoned").observe(objects);
+    }
+
+    /// p99 of the incremental recompute latency, ns.
+    pub fn recompute_p99_ns(&self) -> u64 {
+        self.recompute_ns.lock().expect("metrics poisoned").quantile_ns(0.99)
+    }
+
+    /// p99 of the notification fan-out latency, ns.
+    pub fn notify_p99_ns(&self) -> u64 {
+        self.notify_ns.lock().expect("metrics poisoned").quantile_ns(0.99)
+    }
+
+    /// Human-readable registry dump (the `STATS` reply and `watch --stats`
+    /// output).
+    pub fn render(&self) -> String {
+        let mut out = String::from("serve metrics\n");
+        for (c, v) in self.counters().iter() {
+            if v > 0 && c.name().starts_with("serve_") {
+                let _ = writeln!(out, "  {:<32} {v}", c.name());
+            }
+        }
+        let hist = |h: &Mutex<Histogram>| h.lock().expect("metrics poisoned").clone();
+        for (name, h, unit) in [
+            (Timer::ServeRecompute.name(), hist(&self.recompute_ns), "ns"),
+            (Timer::ServeNotify.name(), hist(&self.notify_ns), "ns"),
+            ("shard_queue_depth", hist(&self.queue_depth), "msgs"),
+            ("delta_batch_objects", hist(&self.delta_batch), "objects"),
+        ] {
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<32} n={} mean={} p99={} max={} {unit}",
+                name,
+                h.count(),
+                h.mean_ns(),
+                h.quantile_ns(0.99),
+                h.max_ns(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_touched_series_only() {
+        let m = ServiceMetrics::new();
+        m.add(Counter::ServeReadingsApplied, 3);
+        m.observe_recompute_ns(1_000);
+        m.observe_recompute_ns(3_000);
+        let text = m.render();
+        assert!(text.contains("serve_readings_applied"));
+        assert!(text.contains("serve_recompute"));
+        assert!(!text.contains("serve_notify"), "untouched histogram rendered:\n{text}");
+        assert!(m.recompute_p99_ns() >= 1_000);
+    }
+}

@@ -1,0 +1,375 @@
+//! The wire protocol: length-prefixed, CRC-checksummed frames over TCP.
+//!
+//! Every message reuses the durable-store frame layout
+//! ([`inflow_tracking::store::frame`]):
+//!
+//! ```text
+//! tag: u8 | len: u32 LE | payload: [u8; len] | crc32: u32 LE
+//! ```
+//!
+//! with the CRC covering tag, length and payload — the same self-verifying
+//! envelope the WAL uses on disk, so a truncated or bit-flipped frame is a
+//! typed error on both media. Payload encodings are fixed-width
+//! little-endian via the shared [`frame`] codecs (readings are the WAL's
+//! 16-byte records, OTT rows the 24-byte snapshot records).
+//!
+//! Requests receive exactly one reply frame each, in request order.
+//! [`tag::UPDATE`] frames are *pushed* asynchronously on a connection that
+//! registered a subscription and may interleave with replies; clients
+//! demultiplex by tag (see [`crate::Client`]).
+
+use inflow_indoor::PoiId;
+use inflow_tracking::store::frame::{self, Frame};
+use inflow_tracking::{ObjectId, OttRow, RawReading, StoreError};
+use std::io::{self, Read, Write};
+
+/// Frame tags. Requests are < 64, replies >= 64.
+pub mod tag {
+    /// Client → server: a batch of raw readings to ingest.
+    pub const PUBLISH: u8 = 1;
+    /// Client → server: register a continuous top-k subscription.
+    pub const SUBSCRIBE: u8 = 2;
+    /// Client → server: drop a subscription by id.
+    pub const UNSUBSCRIBE: u8 = 3;
+    /// Client → server: one-shot snapshot/interval top-k query.
+    pub const QUERY: u8 = 4;
+    /// Client → server: flush all shards into the engine, then ack —
+    /// after the ack, every previously published reading is reflected.
+    pub const BARRIER: u8 = 5;
+    /// Client → server: dump every object's current rows (testing /
+    /// inspection; the batch-equivalence oracle).
+    pub const DUMP_ROWS: u8 = 6;
+    /// Client → server: render the server metrics registry.
+    pub const STATS: u8 = 7;
+    /// Client → server: the subscription's current materialized top-k
+    /// (regardless of the ε notification gate).
+    pub const CURRENT: u8 = 8;
+    /// Client → server: shut the server down.
+    pub const SHUTDOWN: u8 = 9;
+
+    /// Server → client: request acknowledged.
+    pub const ACK: u8 = 64;
+    /// Server → client: a ranked top-k result.
+    pub const RESULT: u8 = 65;
+    /// Server → client (pushed): a subscription's new top-k.
+    pub const UPDATE: u8 = 66;
+    /// Server → client: the row dump.
+    pub const ROWS: u8 = 67;
+    /// Server → client: request failed; payload is a UTF-8 message.
+    pub const ERROR: u8 = 68;
+    /// Server → client: rendered metrics text.
+    pub const STATS_TEXT: u8 = 69;
+    /// Server → client: subscription registered; payload is its id.
+    pub const SUB_ACK: u8 = 70;
+}
+
+/// The time parameter of a subscription or one-shot query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubKind {
+    /// Continuous snapshot top-k at time `t`.
+    Snapshot { t: f64 },
+    /// Continuous interval top-k over `[ts, te]`.
+    Interval { ts: f64, te: f64 },
+}
+
+impl SubKind {
+    /// The largest time the query depends on; row changes strictly after
+    /// it can still affect the answer (successor records shape the
+    /// uncertainty region), changes strictly before its matching rows
+    /// cannot un-happen.
+    pub fn end_time(&self) -> f64 {
+        match *self {
+            SubKind::Snapshot { t } => t,
+            SubKind::Interval { te, .. } => te,
+        }
+    }
+}
+
+/// A subscription / one-shot query specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubSpec {
+    pub kind: SubKind,
+    /// Result size.
+    pub k: usize,
+    /// Result-change threshold: an update is pushed only when the top-k
+    /// membership changes or some member's flow moved by more than ε
+    /// since the last pushed result. `0.0` pushes every change.
+    pub epsilon: f64,
+    /// Query POI set; empty means *all* POIs of the floor plan.
+    pub pois: Vec<PoiId>,
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(9 + payload.len());
+    frame::write_frame(&mut buf, tag, payload);
+    w.write_all(&buf)
+}
+
+fn bad(reason: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason.into())
+}
+
+/// Reads the next frame's tag byte. `Ok(None)` on clean EOF at a frame
+/// boundary; timeouts surface as `WouldBlock`/`TimedOut` errors with no
+/// bytes consumed, so the caller can poll a shutdown flag and retry.
+pub fn read_tag(r: &mut impl Read) -> io::Result<Option<u8>> {
+    let mut b = [0u8; 1];
+    match r.read(&mut b) {
+        Ok(0) => Ok(None),
+        Ok(_) => Ok(Some(b[0])),
+        Err(e) => Err(e),
+    }
+}
+
+/// Reads the remainder of a frame whose tag was already consumed,
+/// verifying length bound and checksum.
+pub fn read_body(r: &mut impl Read, tag: u8) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > frame::MAX_FRAME_PAYLOAD {
+        return Err(bad(format!("oversized frame payload ({len} bytes)")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let mut check = Vec::with_capacity(5 + len);
+    check.push(tag);
+    check.extend_from_slice(&len_bytes);
+    check.extend_from_slice(&payload);
+    if frame::crc32(&check) != u32::from_le_bytes(crc_bytes) {
+        return Err(bad("frame checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Reads one whole frame; `Ok(None)` on clean EOF.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    match read_tag(r)? {
+        None => Ok(None),
+        Some(tag) => Ok(Some((tag, read_body(r, tag)?))),
+    }
+}
+
+/// Wraps a payload slice so the shared [`frame::Cursor`] codecs apply.
+fn cursor(payload: &[u8]) -> frame::Cursor<'_> {
+    // Offset 0: wire frames don't carry a file position.
+    frame::Cursor::new(&Frame { offset: 0, tag: 0, payload })
+}
+
+fn decode_err(e: StoreError) -> io::Error {
+    bad(format!("malformed payload: {e}"))
+}
+
+// ---- payload codecs ------------------------------------------------------
+
+/// `PUBLISH`: `count u32 | count × reading (16 B)`.
+pub fn encode_publish(readings: &[RawReading]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + readings.len() * 16);
+    b.extend_from_slice(&(readings.len() as u32).to_le_bytes());
+    for r in readings {
+        b.extend_from_slice(&frame::encode_reading(r));
+    }
+    b
+}
+
+pub fn decode_publish(payload: &[u8]) -> io::Result<Vec<RawReading>> {
+    let mut c = cursor(payload);
+    let n = c.u32("reading count").map_err(decode_err)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let object = ObjectId(c.u32("object").map_err(decode_err)?);
+        let device = inflow_indoor::DeviceId(c.u32("device").map_err(decode_err)?);
+        let t = c.finite_f64("t").map_err(decode_err)?;
+        out.push(RawReading { object, device, t });
+    }
+    c.done().map_err(decode_err)?;
+    Ok(out)
+}
+
+/// `SUBSCRIBE` / `QUERY`:
+/// `kind u8 | t/ts f64 | te f64 | k u32 | epsilon f64 | n u32 | n × poi u32`.
+pub fn encode_subspec(spec: &SubSpec) -> Vec<u8> {
+    let (kind, a, b2) = match spec.kind {
+        SubKind::Snapshot { t } => (0u8, t, 0.0),
+        SubKind::Interval { ts, te } => (1u8, ts, te),
+    };
+    let mut b = Vec::with_capacity(29 + spec.pois.len() * 4);
+    b.push(kind);
+    b.extend_from_slice(&a.to_le_bytes());
+    b.extend_from_slice(&b2.to_le_bytes());
+    b.extend_from_slice(&(spec.k as u32).to_le_bytes());
+    b.extend_from_slice(&spec.epsilon.to_le_bytes());
+    b.extend_from_slice(&(spec.pois.len() as u32).to_le_bytes());
+    for p in &spec.pois {
+        b.extend_from_slice(&p.0.to_le_bytes());
+    }
+    b
+}
+
+pub fn decode_subspec(payload: &[u8]) -> io::Result<SubSpec> {
+    let mut c = cursor(payload);
+    let kind_byte = c.u8("kind").map_err(decode_err)?;
+    let a = c.finite_f64("t/ts").map_err(decode_err)?;
+    let b = c.f64("te").map_err(decode_err)?;
+    let k = c.u32("k").map_err(decode_err)? as usize;
+    let epsilon = c.f64("epsilon").map_err(decode_err)?;
+    let n = c.u32("poi count").map_err(decode_err)? as usize;
+    let mut pois = Vec::with_capacity(n);
+    for _ in 0..n {
+        pois.push(PoiId(c.u32("poi").map_err(decode_err)?));
+    }
+    c.done().map_err(decode_err)?;
+    let kind = match kind_byte {
+        0 => SubKind::Snapshot { t: a },
+        1 => {
+            if !b.is_finite() || b < a {
+                return Err(bad(format!("invalid interval [{a}, {b}]")));
+            }
+            SubKind::Interval { ts: a, te: b }
+        }
+        other => return Err(bad(format!("unknown query kind {other}"))),
+    };
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err(bad(format!("invalid epsilon {epsilon}")));
+    }
+    Ok(SubSpec { kind, k, epsilon, pois })
+}
+
+/// `RESULT`: `count u32 | count × (poi u32 | flow f64)`.
+pub fn encode_ranked(ranked: &[(PoiId, f64)]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + ranked.len() * 12);
+    b.extend_from_slice(&(ranked.len() as u32).to_le_bytes());
+    for &(p, f) in ranked {
+        b.extend_from_slice(&p.0.to_le_bytes());
+        b.extend_from_slice(&f.to_le_bytes());
+    }
+    b
+}
+
+pub fn decode_ranked(payload: &[u8]) -> io::Result<Vec<(PoiId, f64)>> {
+    let mut c = cursor(payload);
+    let n = c.u32("entry count").map_err(decode_err)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = PoiId(c.u32("poi").map_err(decode_err)?);
+        let f = c.finite_f64("flow").map_err(decode_err)?;
+        out.push((p, f));
+    }
+    c.done().map_err(decode_err)?;
+    Ok(out)
+}
+
+/// `UPDATE`: `sub_id u64 | seq u64 | ranked`.
+pub fn encode_update(sub_id: u64, seq: u64, ranked: &[(PoiId, f64)]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(20 + ranked.len() * 12);
+    b.extend_from_slice(&sub_id.to_le_bytes());
+    b.extend_from_slice(&seq.to_le_bytes());
+    b.extend_from_slice(&encode_ranked(ranked));
+    b
+}
+
+/// Decoded `UPDATE` payload: `(sub_id, seq, ranked)`.
+pub type UpdateParts = (u64, u64, Vec<(PoiId, f64)>);
+
+pub fn decode_update(payload: &[u8]) -> io::Result<UpdateParts> {
+    if payload.len() < 16 {
+        return Err(bad("update payload too short"));
+    }
+    let sub_id = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let seq = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    Ok((sub_id, seq, decode_ranked(&payload[16..])?))
+}
+
+/// `ROWS`: `count u32 | count × row (24 B)`.
+pub fn encode_rows(rows: &[OttRow]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + rows.len() * 24);
+    b.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for r in rows {
+        b.extend_from_slice(&frame::encode_row(r));
+    }
+    b
+}
+
+pub fn decode_rows(payload: &[u8]) -> io::Result<Vec<OttRow>> {
+    let mut c = cursor(payload);
+    let n = c.u32("row count").map_err(decode_err)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(OttRow {
+            object: ObjectId(c.u32("object").map_err(decode_err)?),
+            device: inflow_indoor::DeviceId(c.u32("device").map_err(decode_err)?),
+            ts: c.finite_f64("ts").map_err(decode_err)?,
+            te: c.finite_f64("te").map_err(decode_err)?,
+        });
+    }
+    c.done().map_err(decode_err)?;
+    Ok(out)
+}
+
+/// `SUB_ACK` / `UNSUBSCRIBE` / `CURRENT`: one u64 id.
+pub fn encode_u64(v: u64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+pub fn decode_u64(payload: &[u8]) -> io::Result<u64> {
+    let mut c = cursor(payload);
+    let v = c.u64("id").map_err(decode_err)?;
+    c.done().map_err(decode_err)?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let spec = SubSpec {
+            kind: SubKind::Interval { ts: 10.0, te: 90.0 },
+            k: 5,
+            epsilon: 0.25,
+            pois: vec![PoiId(3), PoiId(1)],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::SUBSCRIBE, &encode_subspec(&spec)).unwrap();
+        write_frame(&mut buf, tag::BARRIER, &[]).unwrap();
+        let mut r = buf.as_slice();
+        let (t1, p1) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(t1, tag::SUBSCRIBE);
+        assert_eq!(decode_subspec(&p1).unwrap(), spec);
+        let (t2, p2) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((t2, p2.len()), (tag::BARRIER, 0));
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag::PUBLISH, &encode_publish(&[])).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn publish_and_rows_round_trip() {
+        let readings = vec![
+            RawReading { object: ObjectId(7), device: inflow_indoor::DeviceId(2), t: 1.5 },
+            RawReading { object: ObjectId(1), device: inflow_indoor::DeviceId(0), t: 2.25 },
+        ];
+        assert_eq!(decode_publish(&encode_publish(&readings)).unwrap(), readings);
+        let rows = vec![OttRow {
+            object: ObjectId(7),
+            device: inflow_indoor::DeviceId(2),
+            ts: 1.5,
+            te: 9.0,
+        }];
+        assert_eq!(decode_rows(&encode_rows(&rows)).unwrap(), rows);
+        let ranked = vec![(PoiId(4), 1.25), (PoiId(0), 0.5)];
+        let up = encode_update(9, 3, &ranked);
+        assert_eq!(decode_update(&up).unwrap(), (9, 3, ranked));
+    }
+}

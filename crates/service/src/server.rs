@@ -1,0 +1,462 @@
+//! The TCP flow-monitoring server.
+//!
+//! Topology: one accept thread feeds accepted sockets to a fixed pool of
+//! connection threads; each connection gets a dedicated writer thread
+//! (replies and pushed `UPDATE` frames serialize through one channel, so
+//! a client that issues a barrier and reads its ack has already received
+//! every update the barrier flushed). Readings are routed by
+//! `object % shards` to shard worker threads; row deltas flow from
+//! shards to the single engine thread, which owns all subscription
+//! state.
+//!
+//! The barrier protocol gives tests and clients a deterministic sync
+//! point: flush every shard (acks guarantee all prior publishes were
+//! ingested and their deltas *enqueued* to the engine), then bounce a
+//! message off the engine (FIFO order guarantees those deltas were
+//! *applied* and their notifications enqueued to writers before the ack
+//! frame, which the single writer serializes after the updates).
+//!
+//! Shard workers are individually crash- and restart-able through
+//! [`ServerHandle::crash_shard`] / [`ServerHandle::restart_shard`]: the
+//! message queue lives in the handle, so no publish is lost, and the
+//! restarted worker recovers from its WAL and re-emits full deltas.
+
+use crate::engine::{spawn_engine, EngineConfig, EngineMsg};
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{self, tag};
+use crate::shard::{spawn_shard, ShardConfig, ShardMsg};
+use inflow_obs::Counter;
+use inflow_uncertainty::{IndoorContext, UrConfig};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration. `port: 0` binds an ephemeral port (tests);
+/// `store_dir` gets one `shard-<i>` subdirectory per shard.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub shards: usize,
+    pub max_gap: f64,
+    pub lateness: Option<f64>,
+    pub ur: UrConfig,
+    pub store_dir: PathBuf,
+    pub sync_each_reading: bool,
+    pub snapshot_every: Option<u64>,
+    pub pool: usize,
+    pub port: u16,
+}
+
+impl ServeConfig {
+    pub fn new(store_dir: PathBuf) -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            max_gap: 60.0,
+            lateness: None,
+            ur: UrConfig::default(),
+            store_dir,
+            sync_each_reading: false,
+            snapshot_every: Some(1024),
+            pool: 4,
+            port: 0,
+        }
+    }
+}
+
+/// One shard's routing endpoint: the sender the router publishes into,
+/// the shared receiver a (re)started worker drains, and the live worker
+/// handle.
+struct Shard {
+    tx: Sender<ShardMsg>,
+    rx: Arc<Mutex<Receiver<ShardMsg>>>,
+    queue_depth: Arc<AtomicUsize>,
+    dir: PathBuf,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    shards: Mutex<Vec<Shard>>,
+    engine_tx: Sender<EngineMsg>,
+    metrics: Arc<ServiceMetrics>,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Routes one reading to its owning shard. Per-object ordering holds
+    /// because routing is a pure function of the object id.
+    fn route(&self, r: inflow_tracking::RawReading) {
+        let shards = self.shards.lock().expect("shards poisoned");
+        let idx = r.object.0 as usize % shards.len();
+        shards[idx].queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.metrics.add(Counter::ServeReadingsSharded, 1);
+        let _ = shards[idx].tx.send(ShardMsg::Publish(r));
+    }
+
+    /// Barrier half one: flush every shard, wait for all acks.
+    fn flush_shards(&self) {
+        let acks: Vec<Receiver<()>> = {
+            let shards = self.shards.lock().expect("shards poisoned");
+            shards
+                .iter()
+                .map(|s| {
+                    let (ack_tx, ack_rx) = channel();
+                    s.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    let _ = s.tx.send(ShardMsg::Flush(ack_tx));
+                    ack_rx
+                })
+                .collect()
+        };
+        for ack in acks {
+            // A crashed (not yet restarted) shard can't ack; its queue is
+            // intact, so the barrier still guarantees every *applied*
+            // reading is reflected — which is all a crashed epoch promises.
+            let _ = ack.recv_timeout(Duration::from_secs(5));
+        }
+    }
+}
+
+/// A running server. Dropping the handle does not stop the server; call
+/// [`ServerHandle::shutdown`] (or send a `SHUTDOWN` frame) then
+/// [`ServerHandle::wait`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    cfg: ServeConfig,
+    accept: Option<JoinHandle<()>>,
+    pool: Vec<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+pub struct Server;
+
+impl Server {
+    /// Builds the full pipeline and starts listening on 127.0.0.1.
+    pub fn start(ctx: Arc<IndoorContext>, cfg: ServeConfig) -> io::Result<ServerHandle> {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let (engine_tx, engine_rx) = channel();
+        let engine =
+            spawn_engine(engine_rx, EngineConfig { ctx, ur: cfg.ur }, Arc::clone(&metrics))?;
+
+        let shard_cfg = ShardConfig {
+            max_gap: cfg.max_gap,
+            lateness: cfg.lateness,
+            sync_each_reading: cfg.sync_each_reading,
+            snapshot_every: cfg.snapshot_every,
+        };
+        let mut shards = Vec::with_capacity(cfg.shards.max(1));
+        for i in 0..cfg.shards.max(1) {
+            let (tx, rx) = channel();
+            let rx = Arc::new(Mutex::new(rx));
+            let queue_depth = Arc::new(AtomicUsize::new(0));
+            let dir = cfg.store_dir.join(format!("shard-{i}"));
+            std::fs::create_dir_all(&dir)?;
+            let worker = spawn_shard(
+                i,
+                dir.clone(),
+                Arc::clone(&rx),
+                Arc::clone(&queue_depth),
+                engine_tx.clone(),
+                Arc::clone(&metrics),
+                shard_cfg.clone(),
+            )?;
+            shards.push(Shard { tx, rx, queue_depth, dir, worker: Some(worker) });
+        }
+
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shards: Mutex::new(shards),
+            engine_tx,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(1),
+            addr,
+        });
+
+        let (conn_tx, conn_rx) = channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut pool = Vec::with_capacity(cfg.pool.max(1));
+        for i in 0..cfg.pool.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let shared = Arc::clone(&shared);
+            pool.push(std::thread::Builder::new().name(format!("inflow-conn-{i}")).spawn(
+                move || loop {
+                    let stream = {
+                        let guard = rx.lock().expect("conn queue poisoned");
+                        match guard.recv() {
+                            Ok(s) => s,
+                            Err(_) => break,
+                        }
+                    };
+                    serve_connection(stream, &shared);
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                },
+            )?);
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new().name("inflow-accept".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if conn_tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            // conn_tx drops here: idle pool threads unblock and exit.
+        })?;
+
+        Ok(ServerHandle { shared, cfg, accept: Some(accept), pool, engine: Some(engine) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address (ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    pub fn metrics(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Kills shard `i` abruptly: no snapshot, no drain — the WAL is the
+    /// only survivor, exactly like a process crash. Queued messages stay
+    /// in the shared receiver for the restarted worker.
+    pub fn crash_shard(&self, i: usize) {
+        let (worker, tx) = {
+            let mut shards = self.shared.shards.lock().expect("shards poisoned");
+            let s = &mut shards[i];
+            s.queue_depth.fetch_add(1, Ordering::Relaxed);
+            let _ = s.tx.send(ShardMsg::Crash);
+            (s.worker.take(), s.tx.clone())
+        };
+        drop(tx);
+        if let Some(w) = worker {
+            let _ = w.join();
+        }
+    }
+
+    /// Restarts shard `i` on the same queue and store directory. The new
+    /// worker recovers from the WAL and re-emits full deltas before
+    /// draining whatever queued up during the outage.
+    pub fn restart_shard(&self, i: usize) -> io::Result<()> {
+        let mut shards = self.shared.shards.lock().expect("shards poisoned");
+        let s = &mut shards[i];
+        if let Some(w) = s.worker.take() {
+            // A still-running worker would race the new one on the store;
+            // crash it first.
+            s.queue_depth.fetch_add(1, Ordering::Relaxed);
+            let _ = s.tx.send(ShardMsg::Crash);
+            let _ = w.join();
+        }
+        let cfg = ShardConfig {
+            max_gap: self.cfg.max_gap,
+            lateness: self.cfg.lateness,
+            sync_each_reading: self.cfg.sync_each_reading,
+            snapshot_every: self.cfg.snapshot_every,
+        };
+        let worker = spawn_shard(
+            i,
+            s.dir.clone(),
+            Arc::clone(&s.rx),
+            Arc::clone(&s.queue_depth),
+            self.shared.engine_tx.clone(),
+            self.shared.metrics.clone(),
+            cfg,
+        )?;
+        s.worker = Some(worker);
+        self.shared.metrics.add(Counter::ServeShardRestarts, 1);
+        Ok(())
+    }
+
+    /// Initiates shutdown (also reachable via a `SHUTDOWN` frame).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+    }
+
+    /// Blocks until the server has fully stopped (accept loop, pool,
+    /// shards snapshotted, engine drained). Call after [`shutdown`] or
+    /// after a client sent `SHUTDOWN`.
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn wait(mut self) {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for p in self.pool.drain(..) {
+            let _ = p.join();
+        }
+        // Stop shards cleanly (snapshot) before the engine.
+        let stops: Vec<(Receiver<()>, Option<JoinHandle<()>>)> = {
+            let mut shards = self.shared.shards.lock().expect("shards poisoned");
+            shards
+                .iter_mut()
+                .map(|s| {
+                    let (ack_tx, ack_rx) = channel();
+                    s.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    let _ = s.tx.send(ShardMsg::Stop(ack_tx));
+                    (ack_rx, s.worker.take())
+                })
+                .collect()
+        };
+        for (ack, worker) in stops {
+            let _ = ack.recv_timeout(Duration::from_secs(5));
+            if let Some(w) = worker {
+                let _ = w.join();
+            }
+        }
+        let _ = self.shared.engine_tx.send(EngineMsg::Stop);
+        if let Some(e) = self.engine.take() {
+            let _ = e.join();
+        }
+    }
+}
+
+/// Reads frames off one client connection until EOF, error, or server
+/// shutdown. Replies (and engine-pushed updates) go through a dedicated
+/// writer thread so they never interleave mid-frame.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (writer_tx, writer_rx) = channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name(format!("inflow-writer-{conn_id}"))
+        .spawn(move || write_loop(write_half, writer_rx));
+    let Ok(writer) = writer else { return };
+
+    read_loop(stream, shared, conn_id, &writer_tx);
+
+    // Reader done: detach the engine's handle on this connection, then
+    // close the writer channel so the writer thread drains and exits.
+    let _ = shared.engine_tx.send(EngineMsg::DropConn(conn_id));
+    drop(writer_tx);
+    let _ = writer.join();
+}
+
+fn write_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    while let Ok(frame) = rx.recv() {
+        if stream.write_all(&frame).is_err() {
+            break;
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Queues one reply frame on the connection's writer.
+fn reply(writer: &Sender<Vec<u8>>, tag_byte: u8, payload: &[u8]) {
+    let mut frame = Vec::with_capacity(9 + payload.len());
+    inflow_tracking::store::frame::write_frame(&mut frame, tag_byte, payload);
+    let _ = writer.send(frame);
+}
+
+fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Sender<Vec<u8>>) {
+    // Short read timeout on the *tag byte only* so the loop can poll the
+    // shutdown flag; `read_tag`/`read_body` never split a frame across a
+    // timeout.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    loop {
+        let tag_byte = match protocol::read_tag(&mut stream) {
+            Ok(Some(t)) => t,
+            Ok(None) => break, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        let body = match protocol::read_body(&mut stream, tag_byte) {
+            Ok(b) => b,
+            Err(_) => {
+                reply(writer, tag::ERROR, b"malformed frame");
+                break;
+            }
+        };
+        match tag_byte {
+            tag::PUBLISH => match protocol::decode_publish(&body) {
+                Ok(readings) => {
+                    for r in readings {
+                        shared.route(r);
+                    }
+                    reply(writer, tag::ACK, &[]);
+                }
+                Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
+            },
+            tag::SUBSCRIBE => match protocol::decode_subspec(&body) {
+                Ok(spec) => {
+                    let _ = shared.engine_tx.send(EngineMsg::Subscribe {
+                        spec,
+                        conn: conn_id,
+                        writer: writer.clone(),
+                    });
+                }
+                Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
+            },
+            tag::UNSUBSCRIBE => match protocol::decode_u64(&body) {
+                Ok(sub_id) => {
+                    let _ = shared
+                        .engine_tx
+                        .send(EngineMsg::Unsubscribe { sub_id, writer: writer.clone() });
+                }
+                Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
+            },
+            tag::CURRENT => match protocol::decode_u64(&body) {
+                Ok(sub_id) => {
+                    let _ = shared
+                        .engine_tx
+                        .send(EngineMsg::Current { sub_id, writer: writer.clone() });
+                }
+                Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
+            },
+            tag::QUERY => match protocol::decode_subspec(&body) {
+                Ok(spec) => {
+                    let _ =
+                        shared.engine_tx.send(EngineMsg::Query { spec, writer: writer.clone() });
+                }
+                Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
+            },
+            tag::BARRIER => {
+                shared.flush_shards();
+                let _ = shared.engine_tx.send(EngineMsg::Barrier { writer: writer.clone() });
+            }
+            tag::DUMP_ROWS => {
+                let _ = shared.engine_tx.send(EngineMsg::DumpRows { writer: writer.clone() });
+            }
+            tag::STATS => {
+                let _ = shared.engine_tx.send(EngineMsg::Stats { writer: writer.clone() });
+            }
+            tag::SHUTDOWN => {
+                reply(writer, tag::ACK, &[]);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+                break;
+            }
+            other => {
+                reply(writer, tag::ERROR, format!("unknown request tag {other}").as_bytes());
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Shard ingestion workers.
+//!
+//! The server routes each published reading to the shard owning its
+//! object (`object.0 % shards` — all of one object's readings hit the
+//! same shard, so per-object ordering is preserved). Each shard worker
+//! owns one crash-consistent [`IngestStore`] (WAL + snapshots in its own
+//! subdirectory) feeding a per-shard [`OnlineTracker`], and emits **row
+//! deltas** to the flow engine: for every object whose rows changed, the
+//! object's complete current row set plus the *affected start* — the
+//! object's previous row frontier, before which nothing changed. The
+//! engine uses the affected range to skip subscriptions whose query time
+//! lies entirely before it.
+//!
+//! Workers are restartable mid-stream: the message receiver lives in an
+//! `Arc<Mutex<…>>` owned by the server, so a crashed worker's queue
+//! survives; the restarted worker recovers its tracker from the store
+//! (snapshot + WAL replay), rebuilds its row mirror, and re-emits *full*
+//! deltas (affected start −∞) so the engine reconverges no matter what
+//! the crash interleaved.
+
+use crate::engine::EngineMsg;
+use crate::metrics::ServiceMetrics;
+use inflow_obs::Counter;
+use inflow_tracking::{
+    IngestStore, ObjectId, OnlineTracker, OttRow, RawReading, StdFs, StoreError, StoreOptions,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One object's row change: its complete current row set (closed rows
+/// plus the open run as an as-of-now row) and the time before which its
+/// rows are unchanged.
+#[derive(Debug, Clone)]
+pub struct ObjectDelta {
+    pub object: ObjectId,
+    /// The object's rows, in time order. Replaces any previous set.
+    pub rows: Vec<OttRow>,
+    /// Rows at times `< affected_start` are identical to the previous
+    /// delta's; a query whose end time precedes it is unaffected.
+    /// `NEG_INFINITY` forces a full recompute (new object or recovery).
+    pub affected_start: f64,
+}
+
+/// The deltas one ingest step produced, in applied-reading order.
+#[derive(Debug, Clone)]
+pub struct DeltaBatch {
+    pub shard: usize,
+    pub deltas: Vec<ObjectDelta>,
+}
+
+/// Messages a shard worker consumes.
+pub enum ShardMsg {
+    /// Ingest one reading (already routed to this shard).
+    Publish(RawReading),
+    /// Ack once every prior message is applied and its deltas are
+    /// enqueued to the engine (the barrier protocol's first half).
+    Flush(Sender<()>),
+    /// Simulate a crash: exit immediately without closing the store.
+    Crash,
+    /// Clean stop: snapshot the store, then ack and exit.
+    Stop(Sender<()>),
+}
+
+/// Per-shard tracker/store configuration (a fresh tracker is built from
+/// it on first start; recovery carries its own durable config).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    pub max_gap: f64,
+    pub lateness: Option<f64>,
+    pub sync_each_reading: bool,
+    pub snapshot_every: Option<u64>,
+}
+
+impl ShardConfig {
+    fn fresh_tracker(&self) -> OnlineTracker {
+        match self.lateness {
+            Some(l) => OnlineTracker::with_reorder(self.max_gap, l),
+            None => OnlineTracker::new(self.max_gap),
+        }
+    }
+
+    fn store_options(&self) -> StoreOptions {
+        StoreOptions {
+            snapshot_every: self.snapshot_every,
+            sync_each_reading: self.sync_each_reading,
+            ..StoreOptions::default()
+        }
+    }
+}
+
+/// Spawns one shard worker thread. `queue_depth` mirrors the channel's
+/// backlog (incremented by the router on send, decremented here on
+/// receive) since `mpsc` exposes no length.
+pub fn spawn_shard(
+    index: usize,
+    dir: PathBuf,
+    rx: Arc<Mutex<Receiver<ShardMsg>>>,
+    queue_depth: Arc<AtomicUsize>,
+    engine_tx: Sender<EngineMsg>,
+    metrics: Arc<ServiceMetrics>,
+    cfg: ShardConfig,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("inflow-shard-{index}"))
+        .spawn(move || run_shard(index, dir, rx, queue_depth, engine_tx, metrics, cfg))
+}
+
+struct ShardState {
+    index: usize,
+    store: IngestStore<StdFs>,
+    /// Per-object closed rows, mirrored incrementally from the tracker's
+    /// grow-only closed-row log.
+    mirror: HashMap<ObjectId, Vec<OttRow>>,
+    /// How many closed rows are already mirrored.
+    cursor: usize,
+    /// Each object's current row frontier (max `te` across its rows);
+    /// the next delta's `affected_start`.
+    last_te: HashMap<ObjectId, f64>,
+    engine_tx: Sender<EngineMsg>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl ShardState {
+    /// The object's complete current row set: mirrored closed rows plus
+    /// the open run, if any.
+    fn rows_of(&self, object: ObjectId) -> Vec<OttRow> {
+        let mut rows = self.mirror.get(&object).cloned().unwrap_or_default();
+        if let Some(open) = self.store.tracker().open_run_row(object) {
+            rows.push(open);
+        }
+        rows
+    }
+
+    /// Pulls newly closed rows from the tracker into the mirror.
+    fn sync_mirror(&mut self) {
+        let closed = self.store.tracker().closed();
+        for row in &closed[self.cursor..] {
+            self.mirror.entry(row.object).or_default().push(*row);
+        }
+        self.cursor = closed.len();
+    }
+
+    /// Emits one delta batch for `objects` (deduplicated, first-seen
+    /// order). `full` forces `affected_start = −∞` (recovery re-emission).
+    fn emit(&mut self, objects: &[ObjectId], full: bool) {
+        let mut seen = std::collections::HashSet::new();
+        let mut deltas = Vec::new();
+        for &object in objects {
+            if !seen.insert(object) {
+                continue;
+            }
+            let rows = self.rows_of(object);
+            let affected_start = if full {
+                f64::NEG_INFINITY
+            } else {
+                self.last_te.get(&object).copied().unwrap_or(f64::NEG_INFINITY)
+            };
+            let frontier = rows.iter().map(|r| r.te).fold(f64::NEG_INFINITY, f64::max);
+            self.last_te.insert(object, frontier);
+            deltas.push(ObjectDelta { object, rows, affected_start });
+        }
+        if deltas.is_empty() {
+            return;
+        }
+        self.metrics.add(Counter::ServeDeltasEmitted, 1);
+        self.metrics.add(Counter::ServeDeltaObjects, deltas.len() as u64);
+        self.metrics.observe_delta_batch(deltas.len() as u64);
+        // A closed engine only happens during shutdown; drop silently.
+        let _ = self.engine_tx.send(EngineMsg::Delta(DeltaBatch { shard: self.index, deltas }));
+    }
+
+    fn ingest(&mut self, r: RawReading) {
+        let mut applied: Vec<ObjectId> = Vec::new();
+        match self.store.ingest_with(r, &mut |a| applied.push(a.object)) {
+            Ok(()) => {}
+            // Strict-mode rejection: durably logged, deterministically
+            // refused — count it and move on, like recovery replay does.
+            Err(StoreError::Stream(_)) => {
+                self.metrics.add(Counter::ServeReadingsRejected, 1);
+            }
+            Err(e) => panic!("shard {} store failed: {e}", self.index),
+        }
+        if applied.is_empty() {
+            return;
+        }
+        self.metrics.add(Counter::ServeReadingsApplied, applied.len() as u64);
+        self.sync_mirror();
+        self.emit(&applied, false);
+    }
+}
+
+fn run_shard(
+    index: usize,
+    dir: PathBuf,
+    rx: Arc<Mutex<Receiver<ShardMsg>>>,
+    queue_depth: Arc<AtomicUsize>,
+    engine_tx: Sender<EngineMsg>,
+    metrics: Arc<ServiceMetrics>,
+    cfg: ShardConfig,
+) {
+    let (store, report) = IngestStore::open(StdFs, &dir, cfg.fresh_tracker(), cfg.store_options())
+        .unwrap_or_else(|e| panic!("shard {index}: opening store {}: {e}", dir.display()));
+    let mut state = ShardState {
+        index,
+        store,
+        mirror: HashMap::new(),
+        cursor: 0,
+        last_te: HashMap::new(),
+        engine_tx,
+        metrics,
+    };
+    // A restarted (or re-opened) shard rebuilds its mirror from the
+    // recovered tracker and re-emits every object's rows as a full delta:
+    // the engine converges to the recovered state regardless of which
+    // deltas the crash swallowed.
+    state.sync_mirror();
+    if !report.created {
+        // Closed rows live in the mirror; objects with only an open run
+        // surface through an as-of-now state snapshot.
+        let mut objects: Vec<ObjectId> = state.mirror.keys().copied().collect();
+        if let Ok(ott) = state.store.tracker().snapshot() {
+            objects.extend(ott.records().iter().map(|r| r.object));
+        }
+        objects.sort_unstable();
+        objects.dedup();
+        state.emit(&objects, true);
+    }
+
+    loop {
+        let msg = {
+            let guard = rx.lock().expect("shard queue poisoned");
+            match guard.recv() {
+                Ok(m) => m,
+                Err(_) => break, // server dropped the sender: shut down
+            }
+        };
+        let depth = queue_depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        state.metrics.observe_queue_depth(depth as u64);
+        match msg {
+            ShardMsg::Publish(r) => state.ingest(r),
+            ShardMsg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+            ShardMsg::Crash => return, // no snapshot, no sync: the WAL is the truth
+            ShardMsg::Stop(ack) => {
+                let _ = state.store.snapshot();
+                let _ = ack.send(());
+                return;
+            }
+        }
+    }
+    let _ = state.store.snapshot();
+}

@@ -402,6 +402,18 @@ impl<F: Fs> IngestStore<F> {
     /// rejection leaves the reading in the WAL — replay reproduces the
     /// identical rejection, so the log stays truthful.
     pub fn ingest(&mut self, r: RawReading) -> Result<(), StoreError> {
+        self.ingest_with(r, &mut |_| {})
+    }
+
+    /// [`IngestStore::ingest`] with the tracker's apply hook exposed:
+    /// `on_apply` fires for every reading actually applied to run state
+    /// (see [`OnlineTracker::ingest_with`]) — after the WAL append, so
+    /// anything observed is already durable.
+    pub fn ingest_with(
+        &mut self,
+        r: RawReading,
+        on_apply: &mut dyn FnMut(RawReading),
+    ) -> Result<(), StoreError> {
         // One write call per frame: a torn write can only tear this frame.
         self.wal.write_all(&wal::encode_reading_frame(&r))?;
         if self.opts.sync_each_reading {
@@ -409,7 +421,7 @@ impl<F: Fs> IngestStore<F> {
         }
         self.seq += 1;
         self.since_snapshot += 1;
-        self.tracker.ingest(r).map_err(StoreError::Stream)?;
+        self.tracker.ingest_with(r, on_apply).map_err(StoreError::Stream)?;
         if let Some(every) = self.opts.snapshot_every {
             if self.since_snapshot >= every {
                 self.snapshot()?;

@@ -196,9 +196,26 @@ impl OnlineTracker {
 
     /// Ingests one reading.
     pub fn ingest(&mut self, r: RawReading) -> Result<(), StreamError> {
+        self.ingest_with(r, &mut |_| {})
+    }
+
+    /// Ingests one reading, invoking `on_apply` for every reading actually
+    /// applied to run state. In strict mode that is the reading itself (on
+    /// success); in reorder mode a single ingest can drain and apply
+    /// several buffered readings — possibly for *other* objects — and a
+    /// buffered or dropped reading triggers no callback at all. This is
+    /// the delta-emission hook the sharded flow-monitoring service uses to
+    /// learn which objects' rows changed.
+    pub fn ingest_with(
+        &mut self,
+        r: RawReading,
+        on_apply: &mut dyn FnMut(RawReading),
+    ) -> Result<(), StreamError> {
         let Some(lateness) = self.lateness else {
             self.watermark = self.watermark.max(r.t);
-            return self.apply(r);
+            self.apply(r)?;
+            on_apply(r);
+            return Ok(());
         };
         // A reading behind the lateness horizon may be older than already
         // applied readings: drop it. Everything at or above the horizon is
@@ -218,6 +235,7 @@ impl OnlineTracker {
             self.pending.pop();
             self.applied_to = self.applied_to.max(head.t);
             self.apply(head).expect("drained readings are in timestamp order");
+            on_apply(head);
         }
         Ok(())
     }
@@ -269,6 +287,24 @@ impl OnlineTracker {
     /// Number of rows already closed (excludes open runs).
     pub fn closed_rows(&self) -> usize {
         self.closed.len()
+    }
+
+    /// All rows closed so far, in closure order. The slice only grows
+    /// between calls (rows are never reordered or removed), so a caller
+    /// can mirror it incrementally with a cursor.
+    pub fn closed(&self) -> &[OttRow] {
+        &self.closed
+    }
+
+    /// The object's open run as an as-of-now row (`te` = last applied
+    /// reading), or `None` when the object has no open run.
+    pub fn open_run_row(&self, object: ObjectId) -> Option<OttRow> {
+        self.open.get(&object).map(|run| OttRow {
+            object,
+            device: run.device,
+            ts: run.ts,
+            te: run.te,
+        })
     }
 
     /// Number of objects with an open run.

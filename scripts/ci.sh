@@ -25,4 +25,7 @@ cargo test -q --test chaos --test robustness --offline
 echo "== crash suite (deterministic failpoint sweep over the ingestion store)"
 cargo test -q --test crash --offline
 
+echo "== serve smoke (serve/watch end-to-end over TCP)"
+bash scripts/serve-smoke.sh
+
 echo "ci: all green"

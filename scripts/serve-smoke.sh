@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the flow-monitoring server through the CLI:
+# generate a small dataset, start `inflow serve` in the background on an
+# ephemeral port, stream the readings with `inflow watch` under an
+# interval subscription, and assert the client saw updates, the stats
+# registry, and a clean server shutdown.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${INFLOW_BIN:-target/release/inflow}
+if [[ ! -x "$BIN" ]]; then
+  cargo build --release --offline
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/inflow-serve-smoke.XXXXXX")
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== generate dataset"
+"$BIN" generate synthetic --out-dir "$WORK/data" --objects 15 --duration 300 --seed 7
+
+echo "== start server"
+"$BIN" serve --plan "$WORK/data/plan.txt" --store "$WORK/store" \
+  --shards 2 --no-sync --addr-file "$WORK/addr" >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$WORK/addr" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died before binding:" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$WORK/addr" ]] || { echo "server never wrote --addr-file" >&2; exit 1; }
+ADDR=$(cat "$WORK/addr")
+echo "   listening on $ADDR"
+
+echo "== stream readings under a subscription"
+"$BIN" watch --addr "$ADDR" --ts 0 --te 300 --k 5 \
+  --publish "$WORK/data/readings.csv" --chunk 128 --stats >"$WORK/watch.log"
+
+grep -q "^update sub=" "$WORK/watch.log" || {
+  echo "watch saw no subscription updates:" >&2
+  cat "$WORK/watch.log" >&2
+  exit 1
+}
+grep -q "^current sub=" "$WORK/watch.log" || {
+  echo "watch printed no current result" >&2
+  exit 1
+}
+grep -q "serve_readings_sharded" "$WORK/watch.log" || {
+  echo "stats output missing pipeline counters" >&2
+  exit 1
+}
+
+echo "== shut the server down"
+"$BIN" watch --addr "$ADDR" --shutdown >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+grep -q "server stopped" "$WORK/serve.log" || {
+  echo "server did not report a clean stop:" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+
+echo "serve-smoke: end-to-end serve/watch green"

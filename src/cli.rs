@@ -18,6 +18,7 @@
 use crate::core::{flow_timeline, snapshot_density, FlowAnalytics, IntervalQuery, SnapshotQuery};
 use crate::geometry::GridResolution;
 use crate::indoor::{read_plan, write_plan, FloorPlan, PoiId};
+use crate::service::{Client, ServeConfig, Server, SubKind, SubSpec};
 use crate::tracking::{
     atomic_write, read_ott_csv, read_quarantine_csv, read_readings_csv, readmit_rows,
     sanitize_rows, write_quarantine_csv, write_readings_csv, write_table_csv, IngestStore,
@@ -84,6 +85,8 @@ impl Args {
                         | "profile-json"
                         | "sanitize"
                         | "no-sync"
+                        | "stats"
+                        | "shutdown"
                 ) {
                     switches.push(name.to_string());
                 } else {
@@ -137,6 +140,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "readmit" => cmd_readmit(&args),
         "ingest" => cmd_ingest(&args),
         "recover" => cmd_recover(&args),
+        "serve" => cmd_serve(&args),
+        "watch" => cmd_watch(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -164,6 +169,21 @@ fn usage() -> String {
      \x20                                          durable WAL + snapshot ingestion\n\
      \x20 recover  --store DIR [--max-gap S] [--out F.csv] [--profile|--profile-json]\n\
      \x20                                          replay WAL, print recovery report\n\
+     \x20 serve    --plan F --store DIR [--port P] [--shards N] [--pool N]\n\
+     \x20          [--max-gap S] [--lateness S] [--vmax V] [--no-sync]\n\
+     \x20          [--snapshot-every N] [--addr-file F]\n\
+     \x20                                          continuous flow-monitoring server\n\
+     \x20 watch    --addr HOST:PORT [--t T | --ts T --te T] [--k K] [--epsilon E]\n\
+     \x20          [--pois 1,2,3] [--publish F.csv] [--chunk N] [--stats] [--shutdown]\n\
+     \x20                                          subscribe, stream, print updates\n\
+     \n\
+     snapshot and interval accept --threads N with --iterative to fan the\n\
+     per-object flow computation across N scoped worker threads; results\n\
+     are bitwise identical to the single-threaded run.\n\
+     \n\
+     serve blocks until a client sends --shutdown; it prints the bound\n\
+     address on startup (and writes it to --addr-file, for scripts) and\n\
+     its metrics registry on exit.\n\
      \n\
      ingest is resumable and idempotent: readings already durable in the\n\
      store's WAL are skipped, so rerunning after a crash continues where\n\
@@ -350,15 +370,30 @@ fn format_result(
     out
 }
 
+/// The `--threads` value for the iterative algorithms; `None` when
+/// absent, an error when present without `--iterative` (the join
+/// algorithms are inherently sequential over the shared index).
+fn parse_threads(args: &Args) -> Result<Option<usize>, CliError> {
+    let Some(threads) = args.get::<usize>("threads")? else { return Ok(None) };
+    if threads == 0 {
+        return err("--threads must be at least 1");
+    }
+    if !args.switch("iterative") {
+        return err("--threads requires --iterative");
+    }
+    Ok(Some(threads))
+}
+
 fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
     let (fa, pois) = build_analytics(args)?;
     let t: f64 = args.require("t")?;
     let k: usize = args.get("k")?.unwrap_or(10);
+    let threads = parse_threads(args)?;
     let q = SnapshotQuery::new(t, pois, k);
-    let result = if args.switch("iterative") {
-        fa.snapshot_topk_iterative(&q)
-    } else {
-        fa.snapshot_topk_join(&q)
+    let result = match (args.switch("iterative"), threads) {
+        (true, Some(n)) => fa.snapshot_topk_iterative_threads(&q, n),
+        (true, None) => fa.snapshot_topk_iterative(&q),
+        (false, _) => fa.snapshot_topk_join(&q),
     };
     let out = format_result(
         &fa,
@@ -378,11 +413,12 @@ fn cmd_interval(args: &Args) -> Result<String, CliError> {
         return err("--te must not precede --ts");
     }
     let k: usize = args.get("k")?.unwrap_or(10);
+    let threads = parse_threads(args)?;
     let q = IntervalQuery::new(ts, te, pois, k);
-    let result = if args.switch("iterative") {
-        fa.interval_topk_iterative(&q)
-    } else {
-        fa.interval_topk_join(&q)
+    let result = match (args.switch("iterative"), threads) {
+        (true, Some(n)) => fa.interval_topk_iterative_threads(&q, n),
+        (true, None) => fa.interval_topk_iterative(&q),
+        (false, _) => fa.interval_topk_join(&q),
     };
     let out = format_result(
         &fa,
@@ -659,6 +695,169 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(out, "wrote {path}");
     }
     Ok(append_profile(out, rec.finish().as_ref(), args))
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let store_dir: PathBuf = args.require("store")?;
+    let max_gap: f64 = args.get("max-gap")?.unwrap_or(60.0);
+    if !(max_gap > 0.0 && max_gap.is_finite()) {
+        return err("--max-gap must be positive and finite");
+    }
+    let cfg = ServeConfig {
+        shards: args.get("shards")?.unwrap_or(2),
+        max_gap,
+        lateness: args.get("lateness")?,
+        ur: UrConfig {
+            vmax: args.get("vmax")?.unwrap_or(1.1),
+            resolution: GridResolution::COARSE,
+            ..UrConfig::default()
+        },
+        store_dir,
+        sync_each_reading: !args.switch("no-sync"),
+        snapshot_every: Some(args.get("snapshot-every")?.unwrap_or(1024)),
+        pool: args.get("pool")?.unwrap_or(4),
+        port: args.get("port")?.unwrap_or(0),
+    };
+    if cfg.shards == 0 || cfg.pool == 0 {
+        return err("--shards and --pool must be at least 1");
+    }
+    let handle = Server::start(Arc::new(IndoorContext::new(plan)), cfg)
+        .map_err(|e| CliError(format!("starting server: {e}")))?;
+    let addr = handle.addr();
+    // The listening line must reach the user (and any script polling
+    // --addr-file) *before* the blocking wait, so it cannot ride on the
+    // returned string.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = args.flags.get("addr-file") {
+        write_file_atomic(path, |buf: &mut Vec<u8>| -> Result<(), std::io::Error> {
+            buf.extend_from_slice(addr.to_string().as_bytes());
+            Ok(())
+        })?;
+    }
+    let metrics = handle.metrics();
+    handle.wait();
+    Ok(format!("server stopped\n{}", metrics.render()))
+}
+
+/// The `--pois 1,2,3` list (empty = all plan POIs, resolved server-side).
+fn parse_pois(args: &Args) -> Result<Vec<PoiId>, CliError> {
+    let Some(list) = args.flags.get("pois") else { return Ok(Vec::new()) };
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map(PoiId)
+                .map_err(|_| CliError(format!("bad POI id '{s}' in --pois")))
+        })
+        .collect()
+}
+
+/// The subscription/query spec from `--t` or `--ts`/`--te`.
+fn parse_subspec(args: &Args) -> Result<Option<SubSpec>, CliError> {
+    let kind = match (args.get::<f64>("t")?, args.get::<f64>("ts")?, args.get::<f64>("te")?) {
+        (Some(t), None, None) => SubKind::Snapshot { t },
+        (None, Some(ts), Some(te)) => {
+            if te < ts {
+                return err("--te must not precede --ts");
+            }
+            SubKind::Interval { ts, te }
+        }
+        (None, None, None) => return Ok(None),
+        _ => return err("give either --t, or both --ts and --te"),
+    };
+    let epsilon: f64 = args.get("epsilon")?.unwrap_or(0.0);
+    if !(epsilon >= 0.0 && epsilon.is_finite()) {
+        return err("--epsilon must be finite and non-negative");
+    }
+    Ok(Some(SubSpec { kind, k: args.get("k")?.unwrap_or(10), epsilon, pois: parse_pois(args)? }))
+}
+
+fn format_ranked(ranked: &[(PoiId, f64)]) -> String {
+    if ranked.is_empty() {
+        return "(empty)".to_string();
+    }
+    ranked.iter().map(|&(p, f)| format!("{p}={f:.3}")).collect::<Vec<_>>().join(", ")
+}
+
+fn cmd_watch(args: &Args) -> Result<String, CliError> {
+    let addr: std::net::SocketAddr = args.require("addr")?;
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+    let mut out = String::new();
+
+    let sub = match parse_subspec(args)? {
+        Some(spec) => {
+            let id = client.subscribe(&spec).map_err(|e| CliError(format!("subscribe: {e}")))?;
+            let _ = writeln!(
+                out,
+                "subscribed #{id}: {:?} k={} epsilon={}",
+                spec.kind, spec.k, spec.epsilon
+            );
+            Some(id)
+        }
+        None => None,
+    };
+
+    if let Some(path) = args.flags.get("publish") {
+        let file =
+            File::open(path).map_err(|e| CliError(format!("cannot open readings {path}: {e}")))?;
+        let readings = read_readings_csv(&mut BufReader::new(file))
+            .map_err(|e| CliError(format!("bad readings file: {e}")))?;
+        let chunk: usize = args.get("chunk")?.unwrap_or(256);
+        if chunk == 0 {
+            return err("--chunk must be at least 1");
+        }
+        for batch in readings.chunks(chunk) {
+            client.publish(batch).map_err(|e| CliError(format!("publish: {e}")))?;
+            client.barrier().map_err(|e| CliError(format!("barrier: {e}")))?;
+            for u in client.take_updates() {
+                let _ = writeln!(
+                    out,
+                    "update sub=#{} seq={}: {}",
+                    u.sub_id,
+                    u.seq,
+                    format_ranked(&u.ranked)
+                );
+            }
+        }
+        let _ = writeln!(out, "published {} readings", readings.len());
+    } else {
+        // No stream of our own: sync once so any initial subscription
+        // result is in the buffer.
+        client.barrier().map_err(|e| CliError(format!("barrier: {e}")))?;
+        for u in client.take_updates() {
+            let _ = writeln!(
+                out,
+                "update sub=#{} seq={}: {}",
+                u.sub_id,
+                u.seq,
+                format_ranked(&u.ranked)
+            );
+        }
+    }
+
+    if let Some(id) = sub {
+        let current = client.current(id).map_err(|e| CliError(format!("current: {e}")))?;
+        let _ = writeln!(out, "current sub=#{id}: {}", format_ranked(&current));
+    }
+    if args.switch("stats") {
+        out.push_str(&client.stats().map_err(|e| CliError(format!("stats: {e}")))?);
+    }
+    if args.switch("shutdown") {
+        client.shutdown_server().map_err(|e| CliError(format!("shutdown: {e}")))?;
+        let _ = writeln!(out, "server shutdown requested");
+    }
+    if sub.is_none()
+        && !args.flags.contains_key("publish")
+        && !args.switch("stats")
+        && !args.switch("shutdown")
+    {
+        return err("watch needs at least one of --t/--ts+--te, --publish, --stats, --shutdown");
+    }
+    Ok(out)
 }
 
 /// Convenience for tests: runs with string arguments.

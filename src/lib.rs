@@ -20,6 +20,9 @@
 //!   latency histograms behind the CLI's `--profile` output;
 //! * [`core`] — flow counting and the four top-k query algorithms
 //!   (iterative and join, snapshot and interval);
+//! * [`service`] — the sharded continuous flow-monitoring server:
+//!   incremental top-k subscriptions with ε-gated notifications over a
+//!   length-prefixed TCP protocol (`inflow serve` / `inflow watch`);
 //! * [`workload`] — synthetic and CPH-airport-style data generators;
 //! * [`viz`] — SVG rendering of plans, regions and trajectories.
 //!
@@ -32,6 +35,7 @@ pub use inflow_geometry as geometry;
 pub use inflow_indoor as indoor;
 pub use inflow_obs as obs;
 pub use inflow_rtree as rtree;
+pub use inflow_service as service;
 pub use inflow_tracking as tracking;
 pub use inflow_uncertainty as uncertainty;
 pub use inflow_viz as viz;

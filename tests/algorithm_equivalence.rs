@@ -233,3 +233,60 @@ fn empty_population_returns_zero_flows() {
     // Identical padding order.
     assert_eq!(it.poi_ids(), jn.poi_ids());
 }
+
+/// The scoped-thread fan-out must be *bitwise* identical to the
+/// sequential run — flows, ranking order, and stats — because the fold
+/// over per-object contributions happens on the calling thread in the
+/// sequential candidate order regardless of which worker computed each
+/// contribution.
+#[test]
+fn threaded_iterative_is_bitwise_identical() {
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 40,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    });
+    let fa = analytics(w, true);
+    let pois = poi_subset(&fa, 100);
+
+    let sq = SnapshotQuery::new(220.0, pois.clone(), 6);
+    let seq = fa.snapshot_topk_iterative(&sq);
+    for threads in [2usize, 4, 9] {
+        let par = fa.snapshot_topk_iterative_threads(&sq, threads);
+        assert_eq!(seq.ranked, par.ranked, "snapshot ranked diverges at {threads} threads");
+        assert_eq!(seq.stats, par.stats, "snapshot stats diverge at {threads} threads");
+    }
+
+    let iq = IntervalQuery::new(80.0, 340.0, pois, 6);
+    let seq = fa.interval_topk_iterative(&iq);
+    for threads in [2usize, 4, 9] {
+        let par = fa.interval_topk_iterative_threads(&iq, threads);
+        assert_eq!(seq.ranked, par.ranked, "interval ranked diverges at {threads} threads");
+        assert_eq!(seq.stats, par.stats, "interval stats diverge at {threads} threads");
+    }
+}
+
+/// Repeating an interval query with the same [ts, te] must hit the
+/// AR-tree range memo instead of re-scanning, without changing results.
+#[test]
+fn interval_range_memo_reuses_candidate_scan() {
+    let w = generate_synthetic(&SyntheticConfig {
+        num_objects: 20,
+        duration: 400.0,
+        ..SyntheticConfig::tiny()
+    });
+    let fa = analytics(w, false);
+    let pois = poi_subset(&fa, 100);
+    let q = IntervalQuery::new(100.0, 250.0, pois.clone(), 5);
+    let first = fa.interval_topk_iterative(&q);
+    let hits_before = fa.range_memo_hits();
+    let second = fa.interval_topk_iterative(&q);
+    assert!(fa.range_memo_hits() > hits_before, "identical [ts, te] did not hit the range memo");
+    assert_eq!(first.ranked, second.ranked, "memoized scan changed the result");
+
+    // A different range must not be served from the stale memo.
+    let q2 = IntervalQuery::new(120.0, 250.0, pois, 5);
+    let shifted = fa.interval_topk_iterative(&q2);
+    let full = fa.interval_flows(&q2);
+    verify_topk("post-memo shifted interval", &shifted, &full, q2.k);
+}

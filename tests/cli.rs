@@ -366,3 +366,55 @@ fn helpful_errors() {
         .unwrap_err();
     assert!(e.0.contains("cannot open plan"), "{e}");
 }
+
+#[test]
+fn threads_flag_matches_sequential_and_validates() {
+    let (plan, ott, dir) = generate("threads");
+    let base =
+        ["snapshot", "--plan", &plan, "--ott", &ott, "--t", "150", "--k", "5", "--iterative"];
+    let seq = run_str(&base).expect("sequential iterative");
+    let mut with_threads = base.to_vec();
+    with_threads.extend_from_slice(&["--threads", "4"]);
+    let par = run_str(&with_threads).expect("threaded iterative");
+    assert_eq!(seq, par, "--threads must not change the output");
+
+    let e = run_str(&["snapshot", "--plan", &plan, "--ott", &ott, "--t", "150", "--threads", "4"])
+        .unwrap_err();
+    assert!(e.0.contains("--threads requires --iterative"), "{e}");
+    let e = run_str(&[
+        "interval",
+        "--plan",
+        &plan,
+        "--ott",
+        &ott,
+        "--ts",
+        "0",
+        "--te",
+        "100",
+        "--iterative",
+        "--threads",
+        "0",
+    ])
+    .unwrap_err();
+    assert!(e.0.contains("at least 1"), "{e}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn watch_requires_an_action() {
+    // Argument validation happens before any connection is attempted for
+    // flags; a bad address must fail cleanly.
+    let e = run_str(&["watch", "--addr", "not-an-addr"]).unwrap_err();
+    assert!(e.0.contains("addr"), "{e}");
+}
+
+#[test]
+fn serve_validates_flags_before_binding() {
+    let (plan, _, dir) = generate("servevalidate");
+    let store = dir.join("store");
+    let e =
+        run_str(&["serve", "--plan", &plan, "--store", store.to_str().unwrap(), "--shards", "0"])
+            .unwrap_err();
+    assert!(e.0.contains("at least 1"), "{e}");
+    let _ = std::fs::remove_dir_all(dir);
+}

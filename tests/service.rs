@@ -1,0 +1,313 @@
+//! End-to-end tests for the continuous flow-monitoring server.
+//!
+//! The load-bearing invariant: at every synchronization point, each
+//! subscription's materialized top-k must equal a from-scratch batch
+//! computation over the exact rows the engine holds (fetched via
+//! `DUMP_ROWS`, recomputed locally with the same `UrConfig`). The
+//! barrier protocol makes each point deterministic — after `barrier()`
+//! returns, every prior publish is ingested, its deltas applied, and all
+//! triggered updates are already buffered client-side.
+
+use inflow::core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
+use inflow::geometry::GridResolution;
+use inflow::service::{Client, ServeConfig, Server, ServerHandle, SubKind, SubSpec};
+use inflow::tracking::{ObjectTrackingTable, RawReading};
+use inflow::uncertainty::{IndoorContext, UrConfig};
+use inflow::workload::{generate_synthetic, SyntheticConfig, Workload};
+use inflow::{indoor::PoiId, obs::Counter};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const TOL: f64 = 1e-9;
+const MAX_GAP: f64 = 60.0;
+
+/// Small enough for per-reading incremental recomputes to stay fast in
+/// debug builds, large enough for real flow dynamics (12 objects roaming
+/// 6 rooms with 8 POIs for 5 simulated minutes).
+fn small_workload() -> Workload {
+    generate_synthetic(&SyntheticConfig {
+        rooms_x: 3,
+        rooms_y: 2,
+        num_objects: 12,
+        duration: 300.0,
+        num_pois: 8,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// Coarse presence integration keeps each incremental recompute cheap;
+/// both sides of every comparison use this exact config.
+fn ur_config(w: &Workload) -> UrConfig {
+    UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() }
+}
+
+/// Expands the workload's OTT back into a time-ordered reading stream
+/// (each record's endpoints), the same derivation the CLI uses.
+fn readings_of(w: &Workload) -> Vec<RawReading> {
+    let mut out = Vec::with_capacity(w.ott.len() * 2);
+    for r in w.ott.records() {
+        out.push(RawReading { object: r.object, device: r.device, t: r.ts });
+        if r.te > r.ts {
+            out.push(RawReading { object: r.object, device: r.device, t: r.te });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.t.total_cmp(&b.t)
+            .then_with(|| a.object.cmp(&b.object))
+            .then_with(|| a.device.0.cmp(&b.device.0))
+    });
+    out
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("inflow-service-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn start_server(w: &Workload, name: &str, shards: usize) -> (ServerHandle, std::path::PathBuf) {
+    let dir = temp_dir(name);
+    let cfg =
+        ServeConfig { shards, max_gap: MAX_GAP, ur: ur_config(w), ..ServeConfig::new(dir.clone()) };
+    let handle = Server::start(Arc::clone(&w.ctx), cfg).expect("server start");
+    (handle, dir)
+}
+
+/// From-scratch batch reference over `rows`, using the same context and
+/// UR configuration as the server.
+fn batch_reference(
+    ctx: &Arc<IndoorContext>,
+    cfg: UrConfig,
+    rows: Vec<inflow::tracking::OttRow>,
+    kind: &SubKind,
+    pois: Vec<PoiId>,
+    k: usize,
+) -> Vec<(PoiId, f64)> {
+    if rows.is_empty() {
+        // No tracked objects yet: every flow is zero; the engine ranks
+        // the full (zero-flow) POI set by id.
+        return inflow::core::rank_topk(pois.into_iter().map(|p| (p, 0.0)).collect(), k);
+    }
+    let ott = ObjectTrackingTable::from_rows(rows).expect("dumped rows are consistent");
+    let fa = FlowAnalytics::new(Arc::clone(ctx), ott, cfg);
+    match *kind {
+        SubKind::Snapshot { t } => fa.snapshot_topk_iterative(&SnapshotQuery::new(t, pois, k)),
+        SubKind::Interval { ts, te } => {
+            fa.interval_topk_iterative(&IntervalQuery::new(ts, te, pois, k))
+        }
+    }
+    .ranked
+}
+
+/// Positional comparison within `TOL`, tolerant of rank swaps between
+/// POIs whose flows are tied within tolerance (the two sides accumulate
+/// per-object contributions in different orders, so mathematical ties
+/// can land 1 ulp apart and sort either way).
+fn assert_ranked_eq(got: &[(PoiId, f64)], want: &[(PoiId, f64)], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch\n got: {got:?}\nwant: {want:?}");
+    let want_map: HashMap<PoiId, f64> = want.iter().copied().collect();
+    for (i, (&(gp, gf), &(wp, wf))) in got.iter().zip(want).enumerate() {
+        assert!(
+            (gf - wf).abs() <= TOL,
+            "{what}: flow diverges at rank {i}: {gf} vs {wf} (|Δ|={})\n got: {got:?}\nwant: {want:?}",
+            (gf - wf).abs()
+        );
+        if gp != wp {
+            // A swap is only legitimate between tied entries: this POI's
+            // flow in the reference must also match.
+            let alt = want_map.get(&gp).copied().unwrap_or(wf);
+            assert!(
+                (gf - alt).abs() <= TOL,
+                "{what}: rank {i} holds {gp} ({gf}) but reference attributes {alt}\n got: {got:?}\nwant: {want:?}"
+            );
+        }
+    }
+}
+
+/// Streams the workload in chunks through the server with a snapshot and
+/// an interval subscription (ε = 0, k = all POIs) registered up front;
+/// at every barrier, both subscriptions' materialized results must match
+/// the batch reference over the engine's rows. `crash_at`, if set,
+/// crashes shard 0 after that chunk and restarts it two chunks later.
+fn run_stream_and_verify(name: &str, crash_at: Option<usize>) {
+    let w = small_workload();
+    let readings = readings_of(&w);
+    assert!(readings.len() > 50, "workload too small to exercise streaming");
+    let all_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+    let k = all_pois.len();
+    let t_mid = 150.0;
+    let (ts, te) = (75.0, 225.0);
+
+    let (handle, dir) = start_server(&w, name, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let snap_spec = SubSpec {
+        kind: SubKind::Snapshot { t: t_mid },
+        k,
+        epsilon: 0.0,
+        pois: Vec::new(), // empty = all plan POIs
+    };
+    let int_spec =
+        SubSpec { kind: SubKind::Interval { ts, te }, k, epsilon: 0.0, pois: Vec::new() };
+    let snap_id = client.subscribe(&snap_spec).expect("subscribe snapshot");
+    let int_id = client.subscribe(&int_spec).expect("subscribe interval");
+    client.barrier().expect("initial barrier");
+    // Initial results (seq 1) over an empty engine.
+    let initial = client.take_updates();
+    assert!(
+        initial.iter().any(|u| u.sub_id == snap_id) && initial.iter().any(|u| u.sub_id == int_id),
+        "both subscriptions must push their initial result"
+    );
+
+    let ur = ur_config(&w);
+    let chunk = readings.len().div_ceil(12).max(1);
+    let mut crashed = false;
+    for (i, batch) in readings.chunks(chunk).enumerate() {
+        client.publish(batch).expect("publish");
+        if Some(i) == crash_at {
+            handle.crash_shard(0);
+            crashed = true;
+        }
+        if crashed && Some(i.wrapping_sub(2)) == crash_at {
+            handle.restart_shard(0).expect("restart shard");
+            crashed = false;
+        }
+        if crashed {
+            // Half the pipeline is down; skip verification until the
+            // shard is back (its queue holds the unprocessed readings).
+            continue;
+        }
+        client.barrier().expect("barrier");
+
+        let rows = client.dump_rows().expect("dump rows");
+        for (sub_id, spec, label) in
+            [(snap_id, &snap_spec, "snapshot"), (int_id, &int_spec, "interval")]
+        {
+            let want =
+                batch_reference(&w.ctx, ur, rows.clone(), &spec.kind, all_pois.clone(), spec.k);
+            let current = client.current(sub_id).expect("current");
+            assert_ranked_eq(&current, &want, &format!("{label} sub, chunk {i}"));
+        }
+        // Every pushed update for a sub must agree with the sub's final
+        // materialized state at the barrier where it was drained, or be a
+        // superseded intermediate — the last one per sub must match.
+        let updates = client.take_updates();
+        for (sub_id, label) in [(snap_id, "snapshot"), (int_id, "interval")] {
+            if let Some(last) = updates.iter().rev().find(|u| u.sub_id == sub_id) {
+                let current = client.current(sub_id).expect("current after drain");
+                assert_ranked_eq(
+                    &last.ranked,
+                    &current,
+                    &format!("{label} last update, chunk {i}"),
+                );
+            }
+        }
+    }
+    assert!(!crashed, "crash schedule never restarted the shard");
+
+    // Final convergence: everything published must now be reflected.
+    client.barrier().expect("final barrier");
+    let rows = client.dump_rows().expect("final rows");
+    assert!(!rows.is_empty(), "no rows survived the stream");
+    let want = batch_reference(&w.ctx, ur, rows, &snap_spec.kind, all_pois, k);
+    let current = client.current(snap_id).expect("final current");
+    assert_ranked_eq(&current, &want, "final snapshot state");
+
+    if crash_at.is_some() {
+        let m = handle.metrics();
+        assert_eq!(m.counter(Counter::ServeShardRestarts), 1, "restart not counted");
+    }
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn subscriptions_track_batch_reference() {
+    run_stream_and_verify("steady", None);
+}
+
+#[test]
+fn shard_crash_and_restart_reconverges() {
+    run_stream_and_verify("crash", Some(3));
+}
+
+/// A large ε suppresses pushes for sub-threshold changes while `CURRENT`
+/// still tracks the exact materialized state.
+#[test]
+fn epsilon_gates_notifications() {
+    let w = small_workload();
+    let readings = readings_of(&w);
+    let all_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+
+    let (handle, dir) = start_server(&w, "epsilon", 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // ε far above any achievable flow delta: only membership/order
+    // changes can push.
+    let spec = SubSpec {
+        kind: SubKind::Interval { ts: 0.0, te: 300.0 },
+        k: all_pois.len(),
+        epsilon: 1e12,
+        pois: Vec::new(),
+    };
+    let sub_id = client.subscribe(&spec).expect("subscribe");
+    client.barrier().expect("barrier");
+    let initial = client.take_updates();
+    assert_eq!(initial.len(), 1, "exactly the initial push expected");
+    assert_eq!(initial[0].sub_id, sub_id);
+
+    for batch in readings.chunks(64) {
+        client.publish(batch).expect("publish");
+    }
+    client.barrier().expect("barrier");
+    let m = handle.metrics();
+    assert!(
+        m.counter(Counter::ServeNotificationsSuppressed) > 0,
+        "large ε never suppressed a push:\n{}",
+        m.render()
+    );
+    // CURRENT is exact regardless of suppression.
+    let rows = client.dump_rows().expect("rows");
+    let want = batch_reference(&w.ctx, ur_config(&w), rows, &spec.kind, all_pois.clone(), spec.k);
+    let current = client.current(sub_id).expect("current");
+    assert_ranked_eq(&current, &want, "suppressed sub current state");
+
+    // The stats report must surface the pipeline counters end-to-end.
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("serve_readings_sharded"), "missing router counter:\n{stats}");
+    assert!(stats.contains("serve_recompute"), "missing recompute histogram:\n{stats}");
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// One-shot queries answered server-side must match a local batch run
+/// over the dumped rows.
+#[test]
+fn one_shot_query_matches_local_batch() {
+    let w = small_workload();
+    let readings = readings_of(&w);
+    let all_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+
+    let (handle, dir) = start_server(&w, "oneshot", 3);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.publish(&readings).expect("publish");
+    client.barrier().expect("barrier");
+
+    let spec =
+        SubSpec { kind: SubKind::Snapshot { t: 150.0 }, k: 5, epsilon: 0.0, pois: Vec::new() };
+    let got = client.query(&spec).expect("query");
+    let rows = client.dump_rows().expect("rows");
+    let want = batch_reference(&w.ctx, ur_config(&w), rows, &spec.kind, all_pois, 5);
+    assert_ranked_eq(&got, &want, "one-shot snapshot");
+    assert!(handle.metrics().counter(Counter::ServeOneShotQueries) >= 1);
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
