@@ -31,7 +31,7 @@ fn time_ms<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
             t0.elapsed().as_secs_f64() * 1e3
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
 }
 

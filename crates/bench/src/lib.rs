@@ -203,7 +203,7 @@ pub fn poi_subset(fa: &FlowAnalytics, percent: usize, salt: usize) -> Vec<PoiId>
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs[xs.len() / 2]
 }
 

@@ -15,6 +15,7 @@
 
 use crate::analytics::FlowAnalytics;
 use inflow_geometry::{area_in_window, area_of_region, GridResolution, Mbr, Point, Region};
+use inflow_obs::Counter;
 use inflow_tracking::{ArTree, Timestamp};
 
 /// Expected object counts on a uniform grid at one time point.
@@ -64,11 +65,7 @@ impl DensityGrid {
             .flat_map(|j| (0..self.nx).map(move |i| (i, j)))
             .map(|(i, j)| (i, j, self.value(i, j)))
             .collect();
-        cells.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2)
-                .expect("densities are never NaN")
-                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
-        });
+        cells.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
         cells.truncate(k);
         cells
     }
@@ -78,6 +75,9 @@ impl DensityGrid {
 /// of `cell_size` metres covering the floor plan.
 pub fn snapshot_density(fa: &FlowAnalytics, t: Timestamp, cell_size: f64) -> DensityGrid {
     assert!(cell_size > 0.0, "cell size must be positive");
+    let mut rec = fa.recorder();
+    rec.add(Counter::DensityQueries, 1);
+    let span = rec.enter("snapshot_density");
     let plan = fa.engine().context().plan();
     let window = plan.mbr();
     let origin = window.lo;
@@ -116,6 +116,7 @@ pub fn snapshot_density(fa: &FlowAnalytics, t: Timestamp, cell_size: f64) -> Den
             }
         }
     }
+    rec.exit(span);
     grid
 }
 

@@ -78,8 +78,7 @@ impl Ord for Item {
         // Max-heap on the upper bound; exact flows win ties so a resolved
         // POI is emitted before equal-bound unresolved entries.
         self.ub
-            .partial_cmp(&other.ub)
-            .expect("flows are never NaN")
+            .total_cmp(&other.ub)
             .then_with(|| self.exact.cmp(&other.exact))
             .then_with(|| other.e_p.cmp(&self.e_p))
     }

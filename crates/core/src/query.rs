@@ -255,9 +255,7 @@ impl QueryResult {
 /// flow-monitoring service materializes its top-k with the exact same
 /// ordering semantics as the batch algorithms.
 pub fn rank_topk(mut flows: Vec<(PoiId, f64)>, k: usize) -> Vec<(PoiId, f64)> {
-    flows.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("flows are never NaN").then_with(|| a.0.cmp(&b.0))
-    });
+    flows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     flows.truncate(k);
     flows
 }
@@ -271,6 +269,23 @@ mod tests {
         let flows = vec![(PoiId(3), 1.0), (PoiId(1), 2.0), (PoiId(2), 1.0), (PoiId(0), 0.5)];
         let ranked = rank_topk(flows, 3);
         assert_eq!(ranked, vec![(PoiId(1), 2.0), (PoiId(2), 1.0), (PoiId(3), 1.0)]);
+    }
+
+    /// IL001 regression: a NaN flow must neither panic the sort nor
+    /// perturb the relative order of the finite flows. Under total_cmp,
+    /// NaN compares above +inf, so a NaN entry ranks first (and is
+    /// visible, rather than silently shuffling the rest as the old
+    /// partial_cmp sort could).
+    #[test]
+    fn nan_flow_does_not_reorder_topk() {
+        let flows = vec![(PoiId(0), 1.0), (PoiId(1), f64::NAN), (PoiId(2), 3.0), (PoiId(3), 2.0)];
+        let ranked = rank_topk(flows, 4);
+        let ids: Vec<PoiId> = ranked.iter().map(|&(p, _)| p).collect();
+        assert_eq!(ids, vec![PoiId(1), PoiId(2), PoiId(3), PoiId(0)]);
+        // And with the NaN absent, the finite ordering is identical.
+        let finite = rank_topk(vec![(PoiId(0), 1.0), (PoiId(2), 3.0), (PoiId(3), 2.0)], 3);
+        let finite_ids: Vec<PoiId> = finite.iter().map(|&(p, _)| p).collect();
+        assert_eq!(finite_ids, vec![PoiId(2), PoiId(3), PoiId(0)]);
     }
 
     #[test]

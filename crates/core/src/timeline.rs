@@ -63,10 +63,7 @@ impl FlowTimeline {
     /// The bucket index where the POI peaks, with the peak flow
     /// (`None` for an empty timeline).
     pub fn peak_bucket(&self, poi: PoiId) -> Option<(usize, f64)> {
-        self.series(poi)
-            .into_iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("flows are never NaN"))
+        self.series(poi).into_iter().enumerate().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// The `k` POIs with the largest summed flow, descending

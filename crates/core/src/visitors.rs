@@ -10,6 +10,7 @@
 
 use crate::analytics::FlowAnalytics;
 use inflow_indoor::PoiId;
+use inflow_obs::Counter;
 use inflow_tracking::{ObjectId, Timestamp};
 
 /// Objects whose interval presence in `poi` over `[ts, te]` is at least
@@ -26,6 +27,9 @@ pub fn likely_visitors(
     min_presence: f64,
 ) -> Vec<(ObjectId, f64)> {
     assert!((0.0..=1.0).contains(&min_presence), "presence threshold must be in [0, 1]");
+    let mut rec = fa.recorder();
+    rec.add(Counter::VisitorQueries, 1);
+    let span = rec.enter("likely_visitors");
     let plan = fa.engine().context().plan();
     let poi = plan.poi(poi);
     let mut objects: Vec<ObjectId> =
@@ -46,9 +50,8 @@ pub fn likely_visitors(
             visitors.push((object, presence));
         }
     }
-    visitors.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("presence is never NaN").then_with(|| a.0.cmp(&b.0))
-    });
+    visitors.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rec.exit(span);
     visitors
 }
 
@@ -65,6 +68,9 @@ pub fn also_visited(
     min_presence: f64,
 ) -> Vec<(PoiId, f64)> {
     let visitors = likely_visitors(fa, anchor, ts, te, min_presence);
+    let mut rec = fa.recorder();
+    rec.add(Counter::VisitorQueries, 1);
+    let span = rec.enter("also_visited");
     let plan = fa.engine().context().plan();
     let mut scores: Vec<(PoiId, f64)> = Vec::new();
     for &poi_id in pois {
@@ -82,9 +88,8 @@ pub fn also_visited(
         }
         scores.push((poi_id, score));
     }
-    scores.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("scores are never NaN").then_with(|| a.0.cmp(&b.0))
-    });
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rec.exit(span);
     scores
 }
 

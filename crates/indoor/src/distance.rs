@@ -54,11 +54,7 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse order: BinaryHeap is a max-heap, we need the minimum.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are never NaN")
-            .then_with(|| other.node.cmp(&self.node))
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 

@@ -1,0 +1,144 @@
+//! CLI for `inflow-lint`.
+//!
+//! ```text
+//! inflow-lint [--json] [--allow FILE] [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 = clean (possibly with suppressions), 1 = findings,
+//! 2 = usage / I/O / malformed allowlist. Unused allowlist entries are
+//! warnings on stderr, never failures — fixing a finding must not break
+//! the build.
+
+use std::path::PathBuf;
+
+use inflow_lint::{analyze, collect_sources, discover_root, json_escape, Allowlist, Finding};
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut json = false;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--allow" => match args.next() {
+                Some(p) => allow_path = Some(PathBuf::from(p)),
+                None => return usage("--allow requires a file path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage("--root requires a directory"),
+            },
+            "-h" | "--help" => {
+                println!(
+                    "inflow-lint: workspace invariant checker (IL001-IL005)\n\n\
+                     usage: inflow-lint [--json] [--allow FILE] [--root DIR]\n\n\
+                     exit codes: 0 clean, 1 findings, 2 usage/io error"
+                );
+                return 0;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root =
+        match root_arg.or_else(|| std::env::current_dir().ok().and_then(|d| discover_root(&d))) {
+            Some(r) => r,
+            None => {
+                eprintln!("inflow-lint: no workspace root found (pass --root)");
+                return 2;
+            }
+        };
+
+    let files = match collect_sources(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("inflow-lint: failed to read sources under {}: {e}", root.display());
+            return 2;
+        }
+    };
+
+    let mut allowlist = Allowlist::default();
+    let allow_file = allow_path.or_else(|| {
+        let default = root.join("lint.allow");
+        default.is_file().then_some(default)
+    });
+    if let Some(path) = allow_file {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("inflow-lint: cannot read {}: {e}", path.display());
+                return 2;
+            }
+        };
+        allowlist = match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("inflow-lint: {e}");
+                return 2;
+            }
+        };
+    }
+
+    let all = analyze(&files);
+    let mut active: Vec<&Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    for f in &all {
+        if allowlist.suppresses(f) {
+            suppressed += 1;
+        } else {
+            active.push(f);
+        }
+    }
+
+    for e in allowlist.unused() {
+        eprintln!(
+            "inflow-lint: warning: unused lint.allow entry (line {}): {} {} — remove it",
+            e.at, e.lint, e.path
+        );
+    }
+
+    if json {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in active.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"hint\":\"{}\"}}",
+                f.lint,
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message),
+                json_escape(f.hint)
+            ));
+        }
+        out.push_str(&format!("],\"suppressed\":{suppressed},\"files\":{}}}", files.len()));
+        println!("{out}");
+    } else {
+        for f in &active {
+            println!("{}", f.render());
+        }
+        println!(
+            "inflow-lint: {} finding(s), {} suppressed, {} files scanned",
+            active.len(),
+            suppressed,
+            files.len()
+        );
+    }
+
+    if active.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("inflow-lint: {msg}\nusage: inflow-lint [--json] [--allow FILE] [--root DIR]");
+    2
+}

@@ -1,0 +1,5 @@
+//! IL001 fixture: NaN-unsafe float ordering via `partial_cmp`.
+
+pub fn sort_flows(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+}

@@ -1,0 +1,9 @@
+//! IL002 fixture: panic sources in a serving path.
+
+pub fn first_reading(payload: &[u8]) -> u8 {
+    payload[0]
+}
+
+pub fn decode(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

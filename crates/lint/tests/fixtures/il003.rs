@@ -1,0 +1,12 @@
+//! IL003 fixture: mutex guard held across blocking I/O.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn broadcast(m: &Mutex<Vec<u8>>, w: &mut std::net::TcpStream) -> std::io::Result<()> {
+    let guard = match m.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    w.write_all(&guard)
+}

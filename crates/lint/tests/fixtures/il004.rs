@@ -1,0 +1,8 @@
+//! IL004 fixture: a re-spelled format magic and a raw LE parse outside
+//! the framing module.
+
+pub const HEADER: &[u8; 8] = b"IFWAL001";
+
+pub fn parse_len(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b)
+}

@@ -1,0 +1,8 @@
+//! IL005 fixture: a public query entry point that records nothing.
+
+pub struct FlowAnalytics;
+
+pub fn unmeasured_topk(fa: &FlowAnalytics, k: usize) -> usize {
+    let _ = fa;
+    k
+}

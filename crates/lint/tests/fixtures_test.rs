@@ -1,0 +1,277 @@
+//! End-to-end fixture tests for the `inflow-lint` binary.
+//!
+//! Each lint ID gets a violation file under `tests/fixtures/`; the tests
+//! copy it into a synthetic workspace laid out so the path-scoped rules
+//! apply (`crates/service/src/…` for IL002, a `server.rs` for IL003,
+//! `crates/core/src/…` for IL005), run the real binary against it, and
+//! assert the exact diagnostics, the exit code, allowlist suppression
+//! and the JSON output shape.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("reading {}: {e}", p.display()))
+}
+
+/// A throwaway workspace root, deleted on drop.
+struct TempRepo {
+    root: PathBuf,
+}
+
+impl TempRepo {
+    fn new(tag: &str) -> TempRepo {
+        let root =
+            std::env::temp_dir().join(format!("inflow-lint-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("creating temp repo");
+        TempRepo { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) -> &Self {
+        let p = self.root.join(rel);
+        fs::create_dir_all(p.parent().expect("rel path has a parent")).expect("mkdir");
+        fs::write(p, contents).expect("writing fixture");
+        self
+    }
+}
+
+impl Drop for TempRepo {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+struct Run {
+    code: i32,
+    stdout: String,
+    stderr: String,
+}
+
+fn lint(root: &Path, extra: &[&str]) -> Run {
+    let out = Command::new(env!("CARGO_BIN_EXE_inflow-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawning inflow-lint");
+    Run {
+        code: out.status.code().unwrap_or(-1),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+#[test]
+fn il001_partial_cmp_is_diagnosed() {
+    let repo = TempRepo::new("il001");
+    repo.write("crates/core/src/il001.rs", &fixture("il001.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/core/src/il001.rs:4: IL001: NaN-unsafe float ordering via `partial_cmp`"
+        ),
+        "missing IL001 diagnostic:\n{}",
+        r.stdout
+    );
+    assert!(r.stdout.contains("fix: use f64::total_cmp"), "missing hint:\n{}", r.stdout);
+    assert!(r.stdout.contains("inflow-lint: 1 finding(s), 0 suppressed, 1 files scanned"));
+}
+
+#[test]
+fn il002_panics_in_serving_path_are_diagnosed() {
+    let repo = TempRepo::new("il002");
+    repo.write("crates/service/src/il002.rs", &fixture("il002.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/service/src/il002.rs:4: IL002: unchecked indexing can panic on out-of-bounds"
+        ),
+        "missing indexing diagnostic:\n{}",
+        r.stdout
+    );
+    assert!(
+        r.stdout.contains(
+            "crates/service/src/il002.rs:8: IL002: possible panic: `.unwrap()` in a durable/serving path"
+        ),
+        "missing unwrap diagnostic:\n{}",
+        r.stdout
+    );
+    assert!(r.stdout.contains("inflow-lint: 2 finding(s),"));
+}
+
+#[test]
+fn il002_does_not_apply_outside_its_scope() {
+    let repo = TempRepo::new("il002-scope");
+    // The same panicky code in a batch-analytics crate is fine: IL002 is
+    // scoped to the serving layer and the durable store.
+    repo.write("crates/core/src/il002.rs", &fixture("il002.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+    assert!(r.stdout.contains("inflow-lint: 0 finding(s),"));
+}
+
+#[test]
+fn il003_guard_across_io_is_diagnosed() {
+    let repo = TempRepo::new("il003");
+    repo.write("crates/service/src/server.rs", &fixture("il003.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/service/src/server.rs:11: IL003: blocking I/O `write_all()` while mutex guard `guard` is live"
+        ),
+        "missing IL003 diagnostic:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il004_magic_and_raw_parse_are_diagnosed() {
+    let repo = TempRepo::new("il004");
+    repo.write("crates/core/src/il004.rs", &fixture("il004.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/core/src/il004.rs:4: IL004: format magic literal duplicated outside its const definition"
+        ),
+        "missing magic diagnostic:\n{}",
+        r.stdout
+    );
+    assert!(
+        r.stdout.contains(
+            "crates/core/src/il004.rs:7: IL004: raw little-endian parse outside the framing module"
+        ),
+        "missing from_le_bytes diagnostic:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il005_unmeasured_entry_point_is_diagnosed() {
+    let repo = TempRepo::new("il005");
+    repo.write("crates/core/src/il005.rs", &fixture("il005.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/core/src/il005.rs:5: IL005: query entry point `unmeasured_topk` records no span or counter"
+        ),
+        "missing IL005 diagnostic:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il005_recording_through_a_callee_passes() {
+    let repo = TempRepo::new("il005-ok");
+    repo.write(
+        "crates/core/src/il005_ok.rs",
+        "pub struct FlowAnalytics;\n\
+         impl FlowAnalytics {\n\
+             fn recorder(&self) -> u32 { 0 }\n\
+         }\n\
+         fn observed(fa: &FlowAnalytics) -> u32 {\n\
+             fa.recorder()\n\
+         }\n\
+         pub fn measured_topk(fa: &FlowAnalytics) -> u32 {\n\
+             observed(fa)\n\
+         }\n",
+    );
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+}
+
+#[test]
+fn allowlist_suppresses_and_reports() {
+    let repo = TempRepo::new("allow");
+    repo.write("crates/core/src/il001.rs", &fixture("il001.rs"));
+    repo.write(
+        "lint.allow",
+        "IL001 crates/core/src/il001.rs:4 reason=\"fixture: demonstrates suppression\"\n",
+    );
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}\nstderr:\n{}", r.stdout, r.stderr);
+    assert!(r.stdout.contains("inflow-lint: 0 finding(s), 1 suppressed, 1 files scanned"));
+}
+
+#[test]
+fn allowlist_wrong_line_does_not_suppress() {
+    let repo = TempRepo::new("allow-line");
+    repo.write("crates/core/src/il001.rs", &fixture("il001.rs"));
+    repo.write("lint.allow", "IL001 crates/core/src/il001.rs:99 reason=\"stale pin\"\n");
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(r.stderr.contains("unused lint.allow entry"), "stderr:\n{}", r.stderr);
+}
+
+#[test]
+fn malformed_allowlist_is_a_hard_error() {
+    let repo = TempRepo::new("allow-bad");
+    repo.write("crates/core/src/clean.rs", "pub fn ok() {}\n");
+    repo.write("lint.allow", "IL001 some/path.rs\n"); // no reason
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 2, "stderr:\n{}", r.stderr);
+    assert!(r.stderr.contains("reason"), "stderr:\n{}", r.stderr);
+}
+
+#[test]
+fn unused_allowlist_entry_warns_but_passes() {
+    let repo = TempRepo::new("allow-unused");
+    repo.write("crates/core/src/clean.rs", "pub fn ok() {}\n");
+    repo.write("lint.allow", "IL001 crates/core/src/gone.rs reason=\"file was deleted\"\n");
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+    assert!(r.stderr.contains("unused lint.allow entry"), "stderr:\n{}", r.stderr);
+}
+
+#[test]
+fn json_output_carries_the_finding() {
+    let repo = TempRepo::new("json");
+    repo.write("crates/core/src/il001.rs", &fixture("il001.rs"));
+    let r = lint(&repo.root, &["--json"]);
+    assert_eq!(r.code, 1);
+    for needle in [
+        "{\"findings\":[",
+        "\"lint\":\"IL001\"",
+        "\"path\":\"crates/core/src/il001.rs\"",
+        "\"line\":4",
+        "\"suppressed\":0",
+        "\"files\":1}",
+    ] {
+        assert!(r.stdout.contains(needle), "missing {needle} in:\n{}", r.stdout);
+    }
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let repo = TempRepo::new("clean");
+    repo.write("crates/core/src/clean.rs", "pub fn ok() -> u32 { 1 }\n");
+    repo.write("src/main.rs", "fn main() {}\n");
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+    assert!(r.stdout.contains("inflow-lint: 0 finding(s), 0 suppressed, 2 files scanned"));
+}
+
+#[test]
+fn test_code_is_exempt_from_the_catalog() {
+    let repo = TempRepo::new("test-exempt");
+    repo.write(
+        "crates/service/src/exempt.rs",
+        "#[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn uses_unwrap() {\n\
+                 let v: Option<u32> = Some(1);\n\
+                 assert_eq!(v.unwrap(), 1);\n\
+             }\n\
+         }\n",
+    );
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+}

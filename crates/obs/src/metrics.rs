@@ -94,11 +94,18 @@ pub enum Counter {
     /// Shard workers restarted after a crash (state recovered from the
     /// shard's ingestion store).
     ServeShardRestarts,
+    /// Delta batches dropped because their rows violated the OTT
+    /// invariants (should be zero: trackers only emit valid rows).
+    ServeDeltaRowsInvalid,
+    /// Density-grid snapshot queries evaluated.
+    DensityQueries,
+    /// Inverse visitor queries (likely-visitors / also-visited) evaluated.
+    VisitorQueries,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 36] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -132,6 +139,9 @@ impl Counter {
         Counter::ServeSubscriptions,
         Counter::ServeOneShotQueries,
         Counter::ServeShardRestarts,
+        Counter::ServeDeltaRowsInvalid,
+        Counter::DensityQueries,
+        Counter::VisitorQueries,
     ];
 
     /// Stable snake_case name used in rendered and JSON output.
@@ -170,6 +180,9 @@ impl Counter {
             Counter::ServeSubscriptions => "serve_subscriptions",
             Counter::ServeOneShotQueries => "serve_one_shot_queries",
             Counter::ServeShardRestarts => "serve_shard_restarts",
+            Counter::ServeDeltaRowsInvalid => "serve_delta_rows_invalid",
+            Counter::DensityQueries => "density_queries",
+            Counter::VisitorQueries => "visitor_queries",
         }
     }
 

@@ -110,14 +110,10 @@ impl<T> RTree<T> {
         let node_count = n.div_ceil(MAX_ENTRIES);
         let strip_count = (node_count as f64).sqrt().ceil() as usize;
         let per_strip = n.div_ceil(strip_count);
-        entries.sort_by(|a, b| {
-            a.mbr.center().x.partial_cmp(&b.mbr.center().x).expect("finite coordinates")
-        });
+        entries.sort_by(|a, b| a.mbr.center().x.total_cmp(&b.mbr.center().x));
         let mut parents = Vec::with_capacity(node_count);
         for strip in entries.chunks_mut(per_strip.max(1)) {
-            strip.sort_by(|a, b| {
-                a.mbr.center().y.partial_cmp(&b.mbr.center().y).expect("finite coordinates")
-            });
+            strip.sort_by(|a, b| a.mbr.center().y.total_cmp(&b.mbr.center().y));
             for group in strip.chunks(MAX_ENTRIES) {
                 let node_idx = self.nodes.len() as u32;
                 let mbr = group.iter().fold(Mbr::EMPTY, |m, e| m.union(&e.mbr));

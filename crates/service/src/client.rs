@@ -62,7 +62,7 @@ impl Client {
         }
     }
 
-    fn expect(&mut self, req: u8, payload: &[u8], want: u8) -> io::Result<Vec<u8>> {
+    fn rpc(&mut self, req: u8, payload: &[u8], want: u8) -> io::Result<Vec<u8>> {
         let (got, body) = self.request(req, payload)?;
         if got != want {
             return Err(io::Error::other(format!(
@@ -75,19 +75,19 @@ impl Client {
     /// Publishes a batch of readings (acked once *routed*; use
     /// [`Client::barrier`] to wait until applied).
     pub fn publish(&mut self, readings: &[RawReading]) -> io::Result<()> {
-        self.expect(tag::PUBLISH, &protocol::encode_publish(readings), tag::ACK)?;
+        self.rpc(tag::PUBLISH, &protocol::encode_publish(readings), tag::ACK)?;
         Ok(())
     }
 
     /// Registers a continuous subscription; returns its id. The initial
     /// result arrives as the subscription's first `UPDATE` (seq 1).
     pub fn subscribe(&mut self, spec: &SubSpec) -> io::Result<u64> {
-        let body = self.expect(tag::SUBSCRIBE, &protocol::encode_subspec(spec), tag::SUB_ACK)?;
+        let body = self.rpc(tag::SUBSCRIBE, &protocol::encode_subspec(spec), tag::SUB_ACK)?;
         protocol::decode_u64(&body)
     }
 
     pub fn unsubscribe(&mut self, sub_id: u64) -> io::Result<()> {
-        self.expect(tag::UNSUBSCRIBE, &protocol::encode_u64(sub_id), tag::ACK)?;
+        self.rpc(tag::UNSUBSCRIBE, &protocol::encode_u64(sub_id), tag::ACK)?;
         Ok(())
     }
 
@@ -95,38 +95,38 @@ impl Client {
     /// the barrier is ingested, its deltas applied, and the resulting
     /// updates are buffered client-side when this returns.
     pub fn barrier(&mut self) -> io::Result<()> {
-        self.expect(tag::BARRIER, &[], tag::ACK)?;
+        self.rpc(tag::BARRIER, &[], tag::ACK)?;
         Ok(())
     }
 
     /// One-shot query answered by the batch reference path server-side.
     pub fn query(&mut self, spec: &SubSpec) -> io::Result<Vec<(PoiId, f64)>> {
-        let body = self.expect(tag::QUERY, &protocol::encode_subspec(spec), tag::RESULT)?;
+        let body = self.rpc(tag::QUERY, &protocol::encode_subspec(spec), tag::RESULT)?;
         protocol::decode_ranked(&body)
     }
 
     /// The subscription's current materialized top-k (sent or not).
     pub fn current(&mut self, sub_id: u64) -> io::Result<Vec<(PoiId, f64)>> {
-        let body = self.expect(tag::CURRENT, &protocol::encode_u64(sub_id), tag::RESULT)?;
+        let body = self.rpc(tag::CURRENT, &protocol::encode_u64(sub_id), tag::RESULT)?;
         protocol::decode_ranked(&body)
     }
 
     /// Every row the engine currently holds, sorted by (object, ts, te) —
     /// the exact input a from-scratch batch computation would see.
     pub fn dump_rows(&mut self) -> io::Result<Vec<OttRow>> {
-        let body = self.expect(tag::DUMP_ROWS, &[], tag::ROWS)?;
+        let body = self.rpc(tag::DUMP_ROWS, &[], tag::ROWS)?;
         protocol::decode_rows(&body)
     }
 
     /// The server's metrics registry, rendered.
     pub fn stats(&mut self) -> io::Result<String> {
-        let body = self.expect(tag::STATS, &[], tag::STATS_TEXT)?;
+        let body = self.rpc(tag::STATS, &[], tag::STATS_TEXT)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
     /// Asks the server to stop accepting and wind down.
     pub fn shutdown_server(&mut self) -> io::Result<()> {
-        self.expect(tag::SHUTDOWN, &[], tag::ACK)?;
+        self.rpc(tag::SHUTDOWN, &[], tag::ACK)?;
         Ok(())
     }
 

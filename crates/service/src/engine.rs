@@ -115,8 +115,13 @@ impl Sub {
         let mut objects: Vec<ObjectId> = self.contrib.keys().copied().collect();
         objects.sort_unstable();
         for o in objects {
-            for &(p, presence) in &self.contrib[&o] {
-                *flows.get_mut(&p).expect("contrib POI in query set") += presence;
+            let Some(contrib) = self.contrib.get(&o) else { continue };
+            for &(p, presence) in contrib {
+                // contrib_of only ever yields POIs from the query set; a
+                // stranger POI is skipped rather than trusted with a panic.
+                if let Some(flow) = flows.get_mut(&p) {
+                    *flow += presence;
+                }
             }
         }
         rank_topk(flows.into_iter().collect(), self.k)
@@ -202,12 +207,18 @@ impl Engine {
             }
             // One single-object table per delta, shared by every affected
             // subscription. Tracker-produced rows always satisfy the OTT
-            // invariants (ordered, non-overlapping per object).
-            let ott = ObjectTrackingTable::from_rows(delta.rows)
-                .expect("shard rows violate OTT invariants");
+            // invariants (ordered, non-overlapping per object); a batch
+            // that doesn't is dropped and counted, never trusted.
+            let ott = match ObjectTrackingTable::from_rows(delta.rows) {
+                Ok(o) => o,
+                Err(_) => {
+                    self.metrics.add(Counter::ServeDeltaRowsInvalid, 1);
+                    continue;
+                }
+            };
             let sub_ids: Vec<u64> = self.subs.keys().copied().collect();
             for id in sub_ids {
-                let sub = &self.subs[&id];
+                let Some(sub) = self.subs.get(&id) else { continue };
                 if !sub.affected_by(delta.affected_start) {
                     continue;
                 }
@@ -215,7 +226,7 @@ impl Engine {
                 let contrib = self.contrib_of(sub, &ott, delta.object);
                 self.metrics.observe_recompute_ns(t0.elapsed().as_nanos() as u64);
                 self.metrics.add(Counter::ServeRecomputes, 1);
-                let sub = self.subs.get_mut(&id).expect("sub still present");
+                let Some(sub) = self.subs.get_mut(&id) else { continue };
                 if contrib.is_empty() {
                     sub.contrib.remove(&delta.object);
                 } else {
@@ -271,8 +282,13 @@ impl Engine {
         };
         // Initial materialization over every known object.
         for (&object, rows) in &self.rows {
-            let ott = ObjectTrackingTable::from_rows(rows.clone())
-                .expect("shard rows violate OTT invariants");
+            let ott = match ObjectTrackingTable::from_rows(rows.clone()) {
+                Ok(o) => o,
+                Err(_) => {
+                    self.metrics.add(Counter::ServeDeltaRowsInvalid, 1);
+                    continue;
+                }
+            };
             let t0 = Instant::now();
             let contrib = self.contrib_of(&sub, &ott, object);
             self.metrics.observe_recompute_ns(t0.elapsed().as_nanos() as u64);

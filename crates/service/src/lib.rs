@@ -33,6 +33,7 @@ pub mod metrics;
 pub mod protocol;
 mod server;
 mod shard;
+mod sync;
 
 pub use client::{Client, Update};
 pub use metrics::ServiceMetrics;

@@ -8,6 +8,7 @@
 //! [`Histogram`] the per-query profiles use, so `p99` here means the same
 //! thing it means in `--profile` output.
 
+use crate::sync::lock_or_recover;
 use inflow_obs::{Counter, CounterSet, Histogram, Timer};
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -33,42 +34,42 @@ impl ServiceMetrics {
     }
 
     pub fn add(&self, counter: Counter, n: u64) {
-        self.counters.lock().expect("metrics poisoned").add(counter, n);
+        lock_or_recover(&self.counters).add(counter, n);
     }
 
     pub fn counter(&self, counter: Counter) -> u64 {
-        self.counters.lock().expect("metrics poisoned").get(counter)
+        lock_or_recover(&self.counters).get(counter)
     }
 
     /// A copy of all counters (render / assertions).
     pub fn counters(&self) -> CounterSet {
-        self.counters.lock().expect("metrics poisoned").clone()
+        lock_or_recover(&self.counters).clone()
     }
 
     pub fn observe_recompute_ns(&self, ns: u64) {
-        self.recompute_ns.lock().expect("metrics poisoned").observe(ns);
+        lock_or_recover(&self.recompute_ns).observe(ns);
     }
 
     pub fn observe_notify_ns(&self, ns: u64) {
-        self.notify_ns.lock().expect("metrics poisoned").observe(ns);
+        lock_or_recover(&self.notify_ns).observe(ns);
     }
 
     pub fn observe_queue_depth(&self, depth: u64) {
-        self.queue_depth.lock().expect("metrics poisoned").observe(depth);
+        lock_or_recover(&self.queue_depth).observe(depth);
     }
 
     pub fn observe_delta_batch(&self, objects: u64) {
-        self.delta_batch.lock().expect("metrics poisoned").observe(objects);
+        lock_or_recover(&self.delta_batch).observe(objects);
     }
 
     /// p99 of the incremental recompute latency, ns.
     pub fn recompute_p99_ns(&self) -> u64 {
-        self.recompute_ns.lock().expect("metrics poisoned").quantile_ns(0.99)
+        lock_or_recover(&self.recompute_ns).quantile_ns(0.99)
     }
 
     /// p99 of the notification fan-out latency, ns.
     pub fn notify_p99_ns(&self) -> u64 {
-        self.notify_ns.lock().expect("metrics poisoned").quantile_ns(0.99)
+        lock_or_recover(&self.notify_ns).quantile_ns(0.99)
     }
 
     /// Human-readable registry dump (the `STATS` reply and `watch --stats`
@@ -80,7 +81,7 @@ impl ServiceMetrics {
                 let _ = writeln!(out, "  {:<32} {v}", c.name());
             }
         }
-        let hist = |h: &Mutex<Histogram>| h.lock().expect("metrics poisoned").clone();
+        let hist = |h: &Mutex<Histogram>| lock_or_recover(h).clone();
         for (name, h, unit) in [
             (Timer::ServeRecompute.name(), hist(&self.recompute_ns), "ns"),
             (Timer::ServeNotify.name(), hist(&self.notify_ns), "ns"),

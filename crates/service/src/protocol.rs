@@ -117,32 +117,20 @@ pub fn read_tag(r: &mut impl Read) -> io::Result<Option<u8>> {
     let mut b = [0u8; 1];
     match r.read(&mut b) {
         Ok(0) => Ok(None),
-        Ok(_) => Ok(Some(b[0])),
+        Ok(_) => {
+            let [byte] = b;
+            Ok(Some(byte))
+        }
         Err(e) => Err(e),
     }
 }
 
 /// Reads the remainder of a frame whose tag was already consumed,
-/// verifying length bound and checksum.
+/// verifying length bound and checksum. Raw length/CRC parsing lives in
+/// the shared [`frame`] module — the single place allowed to touch wire
+/// bytes directly.
 pub fn read_body(r: &mut impl Read, tag: u8) -> io::Result<Vec<u8>> {
-    let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > frame::MAX_FRAME_PAYLOAD {
-        return Err(bad(format!("oversized frame payload ({len} bytes)")));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    let mut crc_bytes = [0u8; 4];
-    r.read_exact(&mut crc_bytes)?;
-    let mut check = Vec::with_capacity(5 + len);
-    check.push(tag);
-    check.extend_from_slice(&len_bytes);
-    check.extend_from_slice(&payload);
-    if frame::crc32(&check) != u32::from_le_bytes(crc_bytes) {
-        return Err(bad("frame checksum mismatch"));
-    }
-    Ok(payload)
+    frame::read_body_from(r, tag)
 }
 
 /// Reads one whole frame; `Ok(None)` on clean EOF.
@@ -275,12 +263,11 @@ pub fn encode_update(sub_id: u64, seq: u64, ranked: &[(PoiId, f64)]) -> Vec<u8> 
 pub type UpdateParts = (u64, u64, Vec<(PoiId, f64)>);
 
 pub fn decode_update(payload: &[u8]) -> io::Result<UpdateParts> {
-    if payload.len() < 16 {
-        return Err(bad("update payload too short"));
-    }
-    let sub_id = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
-    let seq = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
-    Ok((sub_id, seq, decode_ranked(&payload[16..])?))
+    let mut c = cursor(payload);
+    let sub_id = c.u64("sub id").map_err(decode_err)?;
+    let seq = c.u64("seq").map_err(decode_err)?;
+    let ranked = decode_ranked(c.rest())?;
+    Ok((sub_id, seq, ranked))
 }
 
 /// `ROWS`: `count u32 | count × row (24 B)`.

@@ -25,6 +25,7 @@ use crate::engine::{spawn_engine, EngineConfig, EngineMsg};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{self, tag};
 use crate::shard::{spawn_shard, ShardConfig, ShardMsg};
+use crate::sync::lock_or_recover;
 use inflow_obs::Counter;
 use inflow_uncertainty::{IndoorContext, UrConfig};
 use std::io::{self, Write};
@@ -92,17 +93,18 @@ impl Shared {
     /// Routes one reading to its owning shard. Per-object ordering holds
     /// because routing is a pure function of the object id.
     fn route(&self, r: inflow_tracking::RawReading) {
-        let shards = self.shards.lock().expect("shards poisoned");
-        let idx = r.object.0 as usize % shards.len();
-        shards[idx].queue_depth.fetch_add(1, Ordering::Relaxed);
+        let shards = lock_or_recover(&self.shards);
+        let idx = r.object.0 as usize % shards.len().max(1);
+        let Some(shard) = shards.get(idx) else { return };
+        shard.queue_depth.fetch_add(1, Ordering::Relaxed);
         self.metrics.add(Counter::ServeReadingsSharded, 1);
-        let _ = shards[idx].tx.send(ShardMsg::Publish(r));
+        let _ = shard.tx.send(ShardMsg::Publish(r));
     }
 
     /// Barrier half one: flush every shard, wait for all acks.
     fn flush_shards(&self) {
         let acks: Vec<Receiver<()>> = {
-            let shards = self.shards.lock().expect("shards poisoned");
+            let shards = lock_or_recover(&self.shards);
             shards
                 .iter()
                 .map(|s| {
@@ -188,7 +190,7 @@ impl Server {
             pool.push(std::thread::Builder::new().name(format!("inflow-conn-{i}")).spawn(
                 move || loop {
                     let stream = {
-                        let guard = rx.lock().expect("conn queue poisoned");
+                        let guard = lock_or_recover(&rx);
                         match guard.recv() {
                             Ok(s) => s,
                             Err(_) => break,
@@ -239,8 +241,8 @@ impl ServerHandle {
     /// in the shared receiver for the restarted worker.
     pub fn crash_shard(&self, i: usize) {
         let (worker, tx) = {
-            let mut shards = self.shared.shards.lock().expect("shards poisoned");
-            let s = &mut shards[i];
+            let mut shards = lock_or_recover(&self.shared.shards);
+            let Some(s) = shards.get_mut(i) else { return };
             s.queue_depth.fetch_add(1, Ordering::Relaxed);
             let _ = s.tx.send(ShardMsg::Crash);
             (s.worker.take(), s.tx.clone())
@@ -255,8 +257,10 @@ impl ServerHandle {
     /// worker recovers from the WAL and re-emits full deltas before
     /// draining whatever queued up during the outage.
     pub fn restart_shard(&self, i: usize) -> io::Result<()> {
-        let mut shards = self.shared.shards.lock().expect("shards poisoned");
-        let s = &mut shards[i];
+        let mut shards = lock_or_recover(&self.shared.shards);
+        let Some(s) = shards.get_mut(i) else {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, format!("no shard {i}")));
+        };
         if let Some(w) = s.worker.take() {
             // A still-running worker would race the new one on the store;
             // crash it first.
@@ -307,7 +311,7 @@ impl ServerHandle {
         }
         // Stop shards cleanly (snapshot) before the engine.
         let stops: Vec<(Receiver<()>, Option<JoinHandle<()>>)> = {
-            let mut shards = self.shared.shards.lock().expect("shards poisoned");
+            let mut shards = lock_or_recover(&self.shared.shards);
             shards
                 .iter_mut()
                 .map(|s| {

@@ -20,6 +20,7 @@
 
 use crate::engine::EngineMsg;
 use crate::metrics::ServiceMetrics;
+use crate::sync::lock_or_recover;
 use inflow_obs::Counter;
 use inflow_tracking::{
     IngestStore, ObjectId, OnlineTracker, OttRow, RawReading, StdFs, StoreError, StoreOptions,
@@ -138,7 +139,7 @@ impl ShardState {
     /// Pulls newly closed rows from the tracker into the mirror.
     fn sync_mirror(&mut self) {
         let closed = self.store.tracker().closed();
-        for row in &closed[self.cursor..] {
+        for row in closed.get(self.cursor..).unwrap_or_default() {
             self.mirror.entry(row.object).or_default().push(*row);
         }
         self.cursor = closed.len();
@@ -232,7 +233,7 @@ fn run_shard(
 
     loop {
         let msg = {
-            let guard = rx.lock().expect("shard queue poisoned");
+            let guard = lock_or_recover(&rx);
             match guard.recv() {
                 Ok(m) => m,
                 Err(_) => break, // server dropped the sender: shut down

@@ -1,0 +1,39 @@
+//! Poison-tolerant locking for the serving layer.
+//!
+//! `Mutex::lock().expect("poisoned")` turns one panicked thread into a
+//! cascade: every subsequent locker panics too, and a single bad reading
+//! (or an injected shard crash — `ShardMsg::Crash` is part of the crash
+//! test harness) could take the whole server down. All server state
+//! guarded by mutexes here (counter sets, histograms, shard senders, the
+//! connection writer map) stays internally consistent under panic at any
+//! await-free point: updates are single calls on the guarded value, so
+//! recovering the poisoned guard observes either the previous or the new
+//! state, both valid. Recovering is therefore strictly better than
+//! propagating the panic — degraded metrics beat a dead server.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquires `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_after_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first lock");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        *lock_or_recover(&m) += 1;
+        assert_eq!(*lock_or_recover(&m), 8);
+    }
+}

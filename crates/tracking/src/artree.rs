@@ -116,8 +116,7 @@ impl ArTree {
         // hash-ordered, and a deterministic entry array is what makes two
         // builds over equal OTTs byte-identical when serialized.
         entries.sort_by(|a, b| {
-            a.t1.partial_cmp(&b.t1)
-                .expect("finite timestamps")
+            a.t1.total_cmp(&b.t1)
                 .then_with(|| a.object.cmp(&b.object))
                 .then_with(|| a.cur.index().cmp(&b.cur.index()))
         });

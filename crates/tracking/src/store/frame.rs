@@ -21,6 +21,7 @@
 use super::{FrameErrorKind, StoreError};
 use crate::ott::{ObjectId, OttRow};
 use crate::reading::RawReading;
+use std::io::{self, Read};
 
 /// Upper bound on a single frame's payload. Tracker-state rows are tens
 /// of bytes; only the AR-tree blob grows with data size.
@@ -80,6 +81,32 @@ pub fn write_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.extend_from_slice(payload);
     let crc = crc32(&out[start..]);
     out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Reads the remainder of a streamed frame whose tag byte was already
+/// consumed (`len | payload | crc`), verifying the length bound and the
+/// checksum. The streaming twin of [`FrameReader`], shared by the TCP
+/// protocol so raw length/CRC parsing stays in this module.
+pub fn read_body_from(r: &mut impl Read, tag: u8) -> io::Result<Vec<u8>> {
+    let bad = |reason: String| io::Error::new(io::ErrorKind::InvalidData, reason);
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(bad(format!("oversized frame payload ({len} bytes)")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let mut check = Vec::with_capacity(5 + len);
+    check.push(tag);
+    check.extend_from_slice(&len_bytes);
+    check.extend_from_slice(&payload);
+    if crc32(&check) != u32::from_le_bytes(crc_bytes) {
+        return Err(bad("frame checksum mismatch".to_string()));
+    }
+    Ok(payload)
 }
 
 /// A decoded frame borrowing its payload from the underlying buffer.
@@ -207,6 +234,14 @@ impl<'a> Cursor<'a> {
             return Err(self.bad(format!("non-finite {what}")));
         }
         Ok(v)
+    }
+
+    /// The unconsumed remainder of the payload, consuming it — for
+    /// delegating a variable-length tail to another decoder.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = self.bytes.get(self.pos..).unwrap_or_default();
+        self.pos = self.bytes.len();
+        s
     }
 
     /// Rejects trailing bytes — a frame must be consumed exactly.

@@ -295,7 +295,7 @@ impl<F: Fs> IngestStore<F> {
                         report.snapshot_seq = Some(snap.wal_seq);
                         let mut tracker = snap.tracker;
                         let skip = (snap.wal_seq - scan.base) as usize;
-                        for &r in &scan.readings[skip..] {
+                        for &r in scan.readings.get(skip..).unwrap_or_default() {
                             report.wal_replayed += 1;
                             if tracker.ingest(r).is_err() {
                                 // Rejected during live ingestion too:
@@ -441,7 +441,7 @@ impl<F: Fs> IngestStore<F> {
         self.since_snapshot = 0;
         let snaps = Self::files_with_suffix(&self.fs, &self.dir, SNAPSHOT_SUFFIX)?;
         if snaps.len() > self.opts.keep_snapshots {
-            for old in &snaps[..snaps.len() - self.opts.keep_snapshots] {
+            for old in snaps.get(..snaps.len() - self.opts.keep_snapshots).unwrap_or_default() {
                 self.fs.remove_file(old)?;
             }
         }

@@ -61,7 +61,7 @@ pub fn encode(tracker: &OnlineTracker, wal_seq: u64) -> Result<Vec<u8>, StoreErr
 /// decoded state; the AR-tree must pass its structural validation and
 /// cover exactly the snapshot's OTT. Any deviation is a typed error.
 pub fn decode(bytes: &[u8]) -> Result<SnapshotState, StoreError> {
-    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+    if !bytes.starts_with(SNAPSHOT_MAGIC) {
         return Err(StoreError::BadMagic { what: "snapshot" });
     }
     let mut reader = FrameReader::new(bytes, SNAPSHOT_MAGIC.len());

@@ -63,7 +63,7 @@ pub fn encode_reading_frame(r: &RawReading) -> Vec<u8> {
 /// `META`) is a hard error; damage after the header just ends the valid
 /// prefix and is reported via `truncated`.
 pub fn scan(bytes: &[u8]) -> Result<WalScan, StoreError> {
-    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+    if !bytes.starts_with(WAL_MAGIC) {
         return Err(StoreError::BadMagic { what: "WAL" });
     }
     let mut reader = FrameReader::new(bytes, WAL_MAGIC.len());

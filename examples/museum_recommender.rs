@@ -61,7 +61,7 @@ fn main() {
             (p, sum)
         })
         .collect();
-    total.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    total.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     println!("Exhibition popularity (total flow over the day):");
     println!("{:<10} {:>10} {:>12} {:>12}", "exhibit", "total Φ", "hour-1 Φ", "hour-2 Φ");

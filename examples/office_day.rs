@@ -60,7 +60,7 @@ fn main() {
             &mut all_readings,
         );
     }
-    all_readings.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite"));
+    all_readings.sort_by(|a, b| a.t.total_cmp(&b.t));
 
     let mut tracker = OnlineTracker::new(1.5);
     tracker.ingest_all(all_readings).expect("ordered stream");

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+echo "== inflow-lint (workspace invariants IL001-IL005; baseline: lint.allow)"
+cargo run -q -p inflow-lint --offline
+
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -27,5 +30,20 @@ cargo test -q --test crash --offline
 
 echo "== serve smoke (serve/watch end-to-end over TCP)"
 bash scripts/serve-smoke.sh
+
+# Opt-in sanitizer stages. Both need a nightly toolchain with the matching
+# components (rustup component add miri / -Z sanitizer support), so they
+# are gated behind env vars rather than run by default.
+if [[ "${MIRI:-0}" == "1" ]]; then
+    echo "== miri (UB check on the store + protocol codecs)"
+    cargo +nightly miri test -q -p inflow-tracking store:: --offline
+fi
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+    echo "== thread sanitizer (service crate tests)"
+    RUSTFLAGS="-Z sanitizer=thread" \
+        cargo +nightly test -q -p inflow-service --offline \
+        --target "$(rustc -vV | sed -n 's/^host: //p')"
+fi
 
 echo "ci: all green"

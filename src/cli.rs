@@ -445,7 +445,7 @@ fn cmd_timeline(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(out, "flow timeline [{start}, {end}] in {bucket}-second buckets");
     for (idx, b) in tl.buckets.iter().enumerate() {
         let mut top: Vec<(PoiId, f64)> = b.flows.clone();
-        top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         top.truncate(k);
         let row: Vec<String> =
             top.iter().map(|&(p, f)| format!("{} ({f:.2})", plan.poi(p).name)).collect();
