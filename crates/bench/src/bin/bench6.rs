@@ -1,0 +1,59 @@
+//! The observability-overhead gate: `BENCH_6.json`.
+//!
+//! Runs the sustained-ingest server benchmark twice — tracing + flight
+//! recording off, then on — and writes one JSON document with both
+//! sides' ingest throughput and notify p99, plus the computed
+//! regression percentage. The acceptance bar is < 5% ingest-throughput
+//! regression with tracing on.
+//!
+//! ```text
+//! bench6 [--objects N] [--duration S] [--repeats N] [--smoke] [--out PATH]
+//! ```
+//!
+//! Without `--out` the document goes to stdout.
+
+use inflow_bench::{bench6_json, Scale};
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => scale.objects = parse(args.next(), "--objects"),
+            "--duration" => scale.duration = parse(args.next(), "--duration"),
+            "--repeats" => scale.repeats = parse(args.next(), "--repeats"),
+            "--smoke" => scale = Scale::smoke(),
+            "--out" => out = Some(parse(args.next(), "--out")),
+            "--help" | "-h" => {
+                println!(
+                    "bench6 — tracing/flight-recorder overhead report (BENCH_6.json)\n\n\
+                     usage: bench6 [--objects N] [--duration S] [--repeats N] [--smoke] [--out PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = bench6_json(&scale);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+                eprintln!("bench6: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("bench6: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}

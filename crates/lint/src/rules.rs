@@ -57,6 +57,7 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
         il004_format_magic(f, &mut out);
     }
     il005_obs_coverage(files, &mut out);
+    il005_service_coverage(files, &mut out);
     out.sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
     out
 }
@@ -377,7 +378,8 @@ fn il005_records_directly(toks: &[Tok], body: (usize, usize)) -> bool {
         let next_colons = matches!(range.get(j + 1), Some(a) if a.is_punct(":"))
             && matches!(range.get(j + 2), Some(b) if b.is_punct(":"));
         match t.text.as_str() {
-            "recorder" | "enter" | "observe" | "merge_counters" if prev_dot => return true,
+            "recorder" | "enter" | "merge_counters" | "record" if prev_dot => return true,
+            s if prev_dot && s.starts_with("observe") => return true,
             "Counter" | "Timer" if next_colons => return true,
             _ => {}
         }
@@ -407,42 +409,38 @@ fn sig_mentions(toks: &[Tok], sig: (usize, usize), name: &str) -> bool {
     toks[sig.0..sig.1.min(toks.len())].iter().any(|t| t.is_ident(name))
 }
 
-/// IL005 obs coverage: every public query entry point in `crates/core` —
-/// a `pub fn` taking `&FlowAnalytics`, or a `pub` method of
-/// `FlowAnalytics` taking a query struct — must record a span or counter,
-/// directly or through a callee that does (resolved by an intra-crate
-/// name-level fixpoint). Unmeasured entry points are invisible in
-/// `--profile` output and regress silently.
-fn il005_obs_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
-    let core: Vec<&SourceFile> =
-        files.iter().filter(|f| f.rel.starts_with("crates/core/src/")).collect();
-    if core.is_empty() {
-        return;
-    }
-    struct Node<'a> {
-        file: &'a SourceFile,
-        item: &'a FnItem,
-        records: bool,
-        calls: Vec<String>,
-    }
-    let mut nodes: Vec<Node<'_>> = Vec::new();
-    for f in &core {
+/// One fn in an IL005 coverage graph: does it record directly, and what
+/// does it call?
+struct Il005Node<'a> {
+    file: &'a SourceFile,
+    item: &'a FnItem,
+    records: bool,
+    calls: Vec<String>,
+}
+
+fn il005_nodes<'a>(subset: &[&'a SourceFile]) -> Vec<Il005Node<'a>> {
+    let mut nodes = Vec::new();
+    for f in subset {
         for item in &f.fns {
             let (records, calls) = match item.body {
                 Some(body) => (il005_records_directly(&f.toks, body), il005_calls(&f.toks, body)),
                 None => (false, Vec::new()),
             };
-            nodes.push(Node { file: f, item, records, calls });
+            nodes.push(Il005Node { file: f, item, records, calls });
         }
     }
-    // Name-level fixpoint: a fn records if any callee *name* resolves to
-    // a recording fn. Conservative in the permissive direction, which is
-    // what a coverage lint wants — false "covered" beats false alarms.
+    nodes
+}
+
+/// Name-level fixpoint: a fn records if any callee *name* resolves to
+/// a recording fn. Conservative in the permissive direction, which is
+/// what a coverage lint wants — false "covered" beats false alarms.
+fn il005_fixpoint(nodes: &[Il005Node<'_>]) -> HashSet<String> {
     let mut recording: HashSet<String> =
         nodes.iter().filter(|n| n.records).map(|n| n.item.name.clone()).collect();
     let call_map: HashMap<String, Vec<String>> = {
         let mut m: HashMap<String, Vec<String>> = HashMap::new();
-        for n in &nodes {
+        for n in nodes {
             m.entry(n.item.name.clone()).or_default().extend(n.calls.iter().cloned());
         }
         m
@@ -459,6 +457,23 @@ fn il005_obs_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
             break;
         }
     }
+    recording
+}
+
+/// IL005 obs coverage: every public query entry point in `crates/core` —
+/// a `pub fn` taking `&FlowAnalytics`, or a `pub` method of
+/// `FlowAnalytics` taking a query struct — must record a span or counter,
+/// directly or through a callee that does (resolved by an intra-crate
+/// name-level fixpoint). Unmeasured entry points are invisible in
+/// `--profile` output and regress silently.
+fn il005_obs_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let core: Vec<&SourceFile> =
+        files.iter().filter(|f| f.rel.starts_with("crates/core/src/")).collect();
+    if core.is_empty() {
+        return;
+    }
+    let nodes = il005_nodes(&core);
+    let recording = il005_fixpoint(&nodes);
     for n in &nodes {
         let it = n.item;
         if it.in_test || !it.is_pub || it.body.is_none() {
@@ -479,6 +494,42 @@ fn il005_obs_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
                 message: format!("query entry point `{}` records no span or counter", it.name),
                 hint: "record via the facade recorder (span enter/exit or a Counter) \
                        or delegate to a recording query path",
+            });
+        }
+    }
+}
+
+/// IL005, service face: every protocol request handler in
+/// `crates/service/src` — any fn named `handle_*` — must record into
+/// `ServiceMetrics` (a `Counter::…` add, an `observe_*` call, or a
+/// flight-recorder `.record(..)`), directly or through a callee that
+/// does. A verb that bypasses the metrics registry is invisible to
+/// `METRICS`/`inflow top` and to postmortems, which is exactly where a
+/// misbehaving client shows up first.
+fn il005_service_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let service: Vec<&SourceFile> =
+        files.iter().filter(|f| f.rel.starts_with("crates/service/src/")).collect();
+    if service.is_empty() {
+        return;
+    }
+    let nodes = il005_nodes(&service);
+    let recording = il005_fixpoint(&nodes);
+    for n in &nodes {
+        let it = n.item;
+        if it.in_test || it.body.is_none() || !it.name.starts_with("handle_") {
+            continue;
+        }
+        if !recording.contains(&it.name) {
+            out.push(Finding {
+                lint: "IL005",
+                path: n.file.rel.clone(),
+                line: it.line,
+                message: format!(
+                    "protocol handler `{}` records nothing into ServiceMetrics",
+                    it.name
+                ),
+                hint: "count the request (metrics.add(Counter::…)) or observe a \
+                       histogram/flight event so telemetry and postmortems see this verb",
             });
         }
     }

@@ -1,0 +1,21 @@
+// IL005 service fixture: `handle_ping` answers a protocol verb without
+// recording anything; the other handlers record into the metrics
+// registry directly (`observe_*`) or through a helper.
+pub struct Metrics;
+impl Metrics {
+    pub fn observe_request(&self) {}
+}
+pub fn handle_ping(out: &mut Vec<u8>) {
+    out.push(1);
+}
+pub fn handle_metrics(m: &Metrics, out: &mut Vec<u8>) {
+    m.observe_request();
+    out.push(2);
+}
+fn count_request(m: &Metrics) {
+    m.observe_request();
+}
+pub fn handle_trace(m: &Metrics, out: &mut Vec<u8>) {
+    count_request(m);
+    out.push(3);
+}

@@ -1,0 +1,350 @@
+//! Always-on flight recorder: a fixed-size lock-free ring of recent
+//! pipeline events.
+//!
+//! The serving stack records one [`FlightEvent`] per interesting
+//! transition (reading applied, delta emitted, notification sent, shard
+//! crash, …) into a power-of-two ring of seqlock-style slots. Recording
+//! never blocks and never allocates: one `fetch_add` claims a slot,
+//! then five plain atomic stores fill it. When the server panics, a
+//! shard crashes, or a client sends the `FLIGHT` verb, the ring is
+//! dumped as JSONL — newest ~N events, oldest first — so postmortems
+//! can see what the pipeline was doing in the seconds before the end.
+//!
+//! Torn reads are handled the seqlock way: each slot carries the event
+//! sequence number, written *last* with release ordering; the dumper
+//! reads the sequence before and after the payload and drops the slot
+//! if a concurrent writer raced it. All fields are atomics, so a race
+//! is a skipped event, never undefined behavior.
+
+use crate::trace::TraceClock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened. The `a`/`b` payload fields are event-specific; see
+/// each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlightEventKind {
+    /// Router accepted a PUBLISH batch. `a` = connection id, `b` =
+    /// readings in the batch.
+    PublishRouted,
+    /// Shard worker applied a reading. `a` = shard, `b` = object id.
+    ReadingApplied,
+    /// Shard tracker rejected a reading. `a` = shard, `b` = object id.
+    ReadingRejected,
+    /// Shard emitted a delta batch. `a` = shard, `b` = objects in batch.
+    DeltaEmitted,
+    /// Engine applied a delta batch. `a` = shard, `b` = objects.
+    DeltaApplied,
+    /// Engine pushed a notification. `a` = subscription id, `b` = seq.
+    NotifySent,
+    /// Engine suppressed a notification (ε gate). `a` = subscription id.
+    NotifySuppressed,
+    /// Subscription registered. `a` = subscription id, `b` = conn id.
+    Subscribed,
+    /// Subscription dropped. `a` = subscription id.
+    Unsubscribed,
+    /// One-shot query answered. `a` = connection id.
+    OneShotQuery,
+    /// Barrier completed. `a` = connection id.
+    Barrier,
+    /// Shard worker crashed (injected or real). `a` = shard.
+    ShardCrash,
+    /// Shard worker restarted after a crash. `a` = shard.
+    ShardRestart,
+    /// Metrics snapshot served. `a` = connection id.
+    MetricsQuery,
+    /// Trace snapshot served. `a` = connection id.
+    TraceQuery,
+    /// Flight-recorder dump served. `a` = connection id.
+    FlightDump,
+    /// Connection opened. `a` = connection id.
+    ConnOpened,
+    /// Connection closed. `a` = connection id.
+    ConnClosed,
+}
+
+impl FlightEventKind {
+    pub const ALL: [FlightEventKind; 18] = [
+        FlightEventKind::PublishRouted,
+        FlightEventKind::ReadingApplied,
+        FlightEventKind::ReadingRejected,
+        FlightEventKind::DeltaEmitted,
+        FlightEventKind::DeltaApplied,
+        FlightEventKind::NotifySent,
+        FlightEventKind::NotifySuppressed,
+        FlightEventKind::Subscribed,
+        FlightEventKind::Unsubscribed,
+        FlightEventKind::OneShotQuery,
+        FlightEventKind::Barrier,
+        FlightEventKind::ShardCrash,
+        FlightEventKind::ShardRestart,
+        FlightEventKind::MetricsQuery,
+        FlightEventKind::TraceQuery,
+        FlightEventKind::FlightDump,
+        FlightEventKind::ConnOpened,
+        FlightEventKind::ConnClosed,
+    ];
+
+    /// Stable snake_case name used in JSONL postmortems.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::PublishRouted => "publish_routed",
+            FlightEventKind::ReadingApplied => "reading_applied",
+            FlightEventKind::ReadingRejected => "reading_rejected",
+            FlightEventKind::DeltaEmitted => "delta_emitted",
+            FlightEventKind::DeltaApplied => "delta_applied",
+            FlightEventKind::NotifySent => "notify_sent",
+            FlightEventKind::NotifySuppressed => "notify_suppressed",
+            FlightEventKind::Subscribed => "subscribed",
+            FlightEventKind::Unsubscribed => "unsubscribed",
+            FlightEventKind::OneShotQuery => "one_shot_query",
+            FlightEventKind::Barrier => "barrier",
+            FlightEventKind::ShardCrash => "shard_crash",
+            FlightEventKind::ShardRestart => "shard_restart",
+            FlightEventKind::MetricsQuery => "metrics_query",
+            FlightEventKind::TraceQuery => "trace_query",
+            FlightEventKind::FlightDump => "flight_dump",
+            FlightEventKind::ConnOpened => "conn_opened",
+            FlightEventKind::ConnClosed => "conn_closed",
+        }
+    }
+
+    fn code(self) -> u64 {
+        FlightEventKind::ALL.iter().position(|&k| k == self).unwrap_or(0) as u64
+    }
+
+    fn from_code(code: u64) -> Option<FlightEventKind> {
+        FlightEventKind::ALL.get(code as usize).copied()
+    }
+}
+
+/// A decoded ring slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global event number, 1-based, monotonically increasing.
+    pub seq: u64,
+    /// Nanoseconds since the recorder's [`TraceClock`] epoch.
+    pub at_ns: u64,
+    pub kind: FlightEventKind,
+    /// Trace id of the originating PUBLISH batch, or 0.
+    pub trace_id: u64,
+    /// Event-specific (see [`FlightEventKind`]).
+    pub a: u64,
+    /// Event-specific (see [`FlightEventKind`]).
+    pub b: u64,
+}
+
+impl FlightEvent {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"at_ns\":{},\"event\":\"{}\",\"trace_id\":{},\"a\":{},\"b\":{}}}",
+            self.seq,
+            self.at_ns,
+            self.kind.name(),
+            self.trace_id,
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// Slot sequence value meaning "a writer is mid-update".
+const WRITING: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    /// 0 = never written, `WRITING` = in flux, else the event's `seq`.
+    seq: AtomicU64,
+    at_ns: AtomicU64,
+    kind: AtomicU64,
+    trace_id: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            at_ns: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-size lock-free ring of recent pipeline events.
+///
+/// Writers from any thread; readers (dumpers) from any thread; no
+/// locks anywhere. Capacity is rounded up to a power of two. Overhead
+/// per event is one `fetch_add` plus five relaxed stores and one
+/// release store — cheap enough to leave on in production, which is
+/// the point of a flight recorder.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    clock: TraceClock,
+    next: AtomicU64,
+    mask: usize,
+    slots: Vec<Slot>,
+}
+
+impl FlightRecorder {
+    /// `capacity` is rounded up to the next power of two (min 8).
+    pub fn new(clock: TraceClock, capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(8).next_power_of_two();
+        FlightRecorder {
+            clock,
+            next: AtomicU64::new(0),
+            mask: cap - 1,
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Total events ever recorded (not just those still in the ring).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// The clock events are stamped with (shared with the trace layer).
+    pub fn clock(&self) -> &TraceClock {
+        &self.clock
+    }
+
+    /// Record one event. Lock-free, allocation-free, any thread.
+    pub fn record(&self, kind: FlightEventKind, trace_id: u64, a: u64, b: u64) {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let seq = n + 1; // 1-based so 0 means "empty slot"
+        let Some(slot) = self.slots.get((n as usize) & self.mask) else {
+            return;
+        };
+        slot.seq.store(WRITING, Ordering::Release);
+        slot.at_ns.store(self.clock.now_ns(), Ordering::Relaxed);
+        slot.kind.store(kind.code(), Ordering::Relaxed);
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Snapshot the ring: surviving events, oldest first. Slots being
+    /// overwritten while we read are dropped (seqlock validation), so
+    /// a dump taken under load may briefly hold fewer than `capacity`
+    /// events.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 == WRITING {
+                continue;
+            }
+            let at_ns = slot.at_ns.load(Ordering::Acquire);
+            let kind = slot.kind.load(Ordering::Acquire);
+            let trace_id = slot.trace_id.load(Ordering::Acquire);
+            let a = slot.a.load(Ordering::Acquire);
+            let b = slot.b.load(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 != s2 {
+                continue; // torn: a writer lapped us mid-read
+            }
+            let Some(kind) = FlightEventKind::from_code(kind) else {
+                continue;
+            };
+            out.push(FlightEvent { seq: s1, at_ns, kind, trace_id, a, b });
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// JSONL postmortem: one event per line, oldest first, trailing
+    /// newline after the last line.
+    pub fn dump_jsonl(&self) -> String {
+        let events = self.events();
+        let mut s = String::with_capacity(events.len() * 96);
+        for e in &events {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for &k in &FlightEventKind::ALL {
+            assert_eq!(FlightEventKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(FlightEventKind::from_code(9999), None);
+    }
+
+    #[test]
+    fn ring_keeps_newest_events() {
+        let rec = FlightRecorder::new(TraceClock::new(), 8);
+        assert_eq!(rec.capacity(), 8);
+        for i in 0..20u64 {
+            rec.record(FlightEventKind::ReadingApplied, i, 0, i);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(rec.recorded(), 20);
+        // Oldest-first, and only the last 8 survive (seqs 13..=20).
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (13..=20).collect::<Vec<u64>>());
+        for e in &events {
+            assert_eq!(e.kind, FlightEventKind::ReadingApplied);
+            assert_eq!(e.trace_id, e.b);
+        }
+    }
+
+    #[test]
+    fn dump_is_one_json_line_per_event() {
+        let rec = FlightRecorder::new(TraceClock::new(), 8);
+        rec.record(FlightEventKind::ShardCrash, 0, 3, 0);
+        rec.record(FlightEventKind::ShardRestart, 0, 3, 0);
+        let dump = rec.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"shard_crash\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"event\":\"shard_restart\""), "{}", lines[1]);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_ring() {
+        let rec = Arc::new(FlightRecorder::new(TraceClock::new(), 64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    rec.record(FlightEventKind::ReadingApplied, t, t, i);
+                    if i % 97 == 0 {
+                        // Concurrent dumps must not panic or return junk.
+                        for e in rec.events() {
+                            assert!(e.seq >= 1);
+                            assert!(e.a < 4);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        assert_eq!(rec.recorded(), 4000);
+        let events = rec.events();
+        assert_eq!(events.len(), 64);
+        // All surviving events are from the newest window.
+        assert!(events.iter().all(|e| e.seq > 4000 - 64 * 2));
+    }
+}

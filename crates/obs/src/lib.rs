@@ -43,10 +43,29 @@
 //! println!("{}", profile.render());
 //! ```
 
+//! Three serving-side additions extend the same philosophy to the
+//! continuous pipeline (see `DESIGN.md` § Observability):
+//!
+//! * [`TraceChain`]/[`TraceClock`] — request-scoped trace context: one
+//!   timestamp per pipeline [`Hop`], carried with a reading from router
+//!   to notification, decomposing end-to-end latency into named
+//!   segments.
+//! * [`FlightRecorder`] — an always-on lock-free ring of recent
+//!   pipeline [`FlightEvent`]s, dumped as JSONL on panic, shard crash,
+//!   or protocol request.
+//! * [`Json`] — a minimal JSON parser so CLIs and tests can *validate*
+//!   the hand-emitted telemetry snapshots instead of grepping them.
+
+mod flight;
+mod json;
 mod metrics;
 mod profile;
 mod recorder;
+mod trace;
 
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
+pub use json::{Json, JsonError};
 pub use metrics::{Counter, CounterSet, Histogram, Timer};
 pub use profile::{ProfileSpan, QueryProfile, TimerSummary};
 pub use recorder::{Recorder, SpanToken, TimerToken};
+pub use trace::{Hop, TraceChain, TraceClock, SEGMENTS};

@@ -97,6 +97,15 @@ pub enum Counter {
     /// Delta batches dropped because their rows violated the OTT
     /// invariants (should be zero: trackers only emit valid rows).
     ServeDeltaRowsInvalid,
+    /// `METRICS` snapshot requests answered by the server.
+    ServeMetricsQueries,
+    /// `TRACE` snapshot requests answered by the server.
+    ServeTraceQueries,
+    /// Flight-recorder dumps served over the protocol (`FLIGHT`).
+    ServeFlightDumps,
+    /// Notification trace chains completed end-to-end (router →
+    /// notified) and folded into the per-stage histograms.
+    ServeTracesCompleted,
     /// Density-grid snapshot queries evaluated.
     DensityQueries,
     /// Inverse visitor queries (likely-visitors / also-visited) evaluated.
@@ -105,7 +114,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 40] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -140,6 +149,10 @@ impl Counter {
         Counter::ServeOneShotQueries,
         Counter::ServeShardRestarts,
         Counter::ServeDeltaRowsInvalid,
+        Counter::ServeMetricsQueries,
+        Counter::ServeTraceQueries,
+        Counter::ServeFlightDumps,
+        Counter::ServeTracesCompleted,
         Counter::DensityQueries,
         Counter::VisitorQueries,
     ];
@@ -181,6 +194,10 @@ impl Counter {
             Counter::ServeOneShotQueries => "serve_one_shot_queries",
             Counter::ServeShardRestarts => "serve_shard_restarts",
             Counter::ServeDeltaRowsInvalid => "serve_delta_rows_invalid",
+            Counter::ServeMetricsQueries => "serve_metrics_queries",
+            Counter::ServeTraceQueries => "serve_trace_queries",
+            Counter::ServeFlightDumps => "serve_flight_dumps",
+            Counter::ServeTracesCompleted => "serve_traces_completed",
             Counter::DensityQueries => "density_queries",
             Counter::VisitorQueries => "visitor_queries",
         }
@@ -271,13 +288,17 @@ impl Timer {
 
 const BUCKETS: usize = 44;
 
-/// Log₂-bucketed nanosecond histogram.
+/// Log₂-bucketed histogram of unsigned values.
 ///
-/// Bucket `i` holds observations in `[2^i, 2^(i+1))` ns (bucket 0 also
-/// takes 0 ns). 44 buckets cover up to ~4.8 hours — effectively
-/// unbounded for per-operation latencies. Fixed-size and allocation-free
-/// so closures on hot paths can own one locally and merge it into the
-/// recorder afterwards.
+/// Bucket `i` holds observations in `[2^i, 2^(i+1))` (bucket 0 also
+/// takes 0); the top bucket absorbs everything from `2^43` up. The
+/// histogram itself is **unit-neutral** — the unit belongs to whatever
+/// the caller observes into it. Latency callers observe nanoseconds
+/// and read through the `*_ns` aliases; value callers (queue depths,
+/// batch sizes) use the unsuffixed accessors. 44 buckets cover ~4.8
+/// hours of nanoseconds — effectively unbounded for per-operation
+/// latencies. Fixed-size and allocation-free so closures on hot paths
+/// can own one locally and merge it into the recorder afterwards.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     count: u64,
@@ -328,15 +349,18 @@ impl Histogram {
         self.count
     }
 
-    pub fn sum_ns(&self) -> u64 {
+    /// Sum of observed values (unit-neutral).
+    pub fn sum(&self) -> u64 {
         self.sum_ns
     }
 
-    pub fn mean_ns(&self) -> u64 {
+    /// Mean observed value (unit-neutral).
+    pub fn mean(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 
-    pub fn min_ns(&self) -> u64 {
+    /// Smallest observed value (unit-neutral; 0 when empty).
+    pub fn minimum(&self) -> u64 {
         if self.count == 0 {
             0
         } else {
@@ -344,15 +368,32 @@ impl Histogram {
         }
     }
 
-    pub fn max_ns(&self) -> u64 {
+    /// Largest observed value (unit-neutral).
+    pub fn maximum(&self) -> u64 {
         self.max_ns
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.sum()
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        self.mean()
+    }
+
+    pub fn min_ns(&self) -> u64 {
+        self.minimum()
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.maximum()
     }
 
     /// Quantile estimate (`q` in `[0, 1]`): upper edge of the bucket
     /// containing the q-th observation, clamped to the observed max.
     /// Log₂ buckets bound the relative error by 2×, which is plenty for
     /// "is presence integration microseconds or milliseconds" questions.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -361,11 +402,38 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let upper = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
-                return upper.min(self.max_ns);
+                return Self::bucket_bounds(i).1.min(self.max_ns);
             }
         }
         self.max_ns
+    }
+
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.quantile(q)
+    }
+
+    /// Inclusive `(lo, hi)` value bounds of bucket `i`. Bucket 0 is
+    /// `[0, 1]`; the top bucket's `hi` is `u64::MAX` (open-ended).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        let lo = if i == 0 { 0 } else { 1u64 << i };
+        let hi = if i + 1 >= BUCKETS { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+        (lo, hi)
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` triples, ascending — the
+    /// exact-bounds form the metrics snapshot and `QueryProfile::to_json`
+    /// expose so consumers can rebuild the distribution, not just read
+    /// pre-chewed quantiles.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, n)
+            })
+            .collect()
     }
 }
 
@@ -439,6 +507,26 @@ mod tests {
         assert_eq!(a.min_ns(), c.min_ns());
         assert_eq!(a.max_ns(), c.max_ns());
         assert_eq!(a.quantile_ns(0.9), c.quantile_ns(0.9));
+    }
+
+    #[test]
+    fn nonzero_buckets_expose_exact_bounds() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 300, 300, 1u64 << 43] {
+            h.observe(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (0, 1, 2));
+        assert_eq!(buckets[1], (256, 511, 2));
+        // Top bucket is open-ended.
+        assert_eq!(buckets[2].1, u64::MAX);
+        assert_eq!(buckets[2].2, 1);
+        let total: u64 = buckets.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, h.count());
+        // Unit-neutral accessors agree with the ns-suffixed aliases.
+        assert_eq!(h.mean(), h.mean_ns());
+        assert_eq!(h.quantile(0.5), h.quantile_ns(0.5));
     }
 
     #[test]

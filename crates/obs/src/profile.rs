@@ -39,6 +39,10 @@ pub struct TimerSummary {
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub max_ns: u64,
+    /// Occupied histogram buckets as `(lo, hi, count)` with exact
+    /// inclusive bounds in ns (see [`crate::Histogram::nonzero_buckets`]),
+    /// so JSON consumers get the distribution, not just two quantiles.
+    pub buckets: Vec<(u64, u64, u64)>,
 }
 
 /// Everything one profiled query recorded.
@@ -138,9 +142,16 @@ impl QueryProfile {
             }
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{},\"buckets\":[",
                 t.name, t.count, t.total_ns, t.mean_ns, t.p50_ns, t.p95_ns, t.max_ns,
             );
+            for (j, &(lo, hi, n)) in t.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"lo\":{lo},\"hi\":{hi},\"n\":{n}}}");
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -230,6 +241,7 @@ mod tests {
                 p50_ns: 16_383,
                 p95_ns: 65_535,
                 max_ns: 90_000,
+                buckets: vec![(8192, 16383, 30), (16384, 32767, 8), (65536, 131071, 4)],
             }],
         }
     }
@@ -258,6 +270,8 @@ mod tests {
         assert!(json.contains("\"presence_evaluations\":42"));
         assert!(json.contains("\"timers\":["));
         assert!(json.contains("\"p95_ns\":65535"));
+        // Exact bucket bounds ride along with the quantile summary.
+        assert!(json.contains("\"buckets\":[{\"lo\":8192,\"hi\":16383,\"n\":30}"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -190,6 +190,7 @@ impl Recorder {
                 p50_ns: h.quantile_ns(0.5),
                 p95_ns: h.quantile_ns(0.95),
                 max_ns: h.max_ns(),
+                buckets: h.nonzero_buckets(),
             })
             .collect();
 

@@ -1,0 +1,348 @@
+//! Request-scoped trace context for the serving pipeline.
+//!
+//! A reading published to `inflow serve` crosses four threads before a
+//! subscriber hears about it: the connection reader routes it, a shard
+//! worker logs and applies it, the flow engine recomputes subscriptions,
+//! and a writer thread pushes the notification. [`TraceChain`] is the
+//! breadcrumb that travels with the reading: a trace id plus one
+//! nanosecond timestamp per pipeline [`Hop`], all measured on a single
+//! server-wide [`TraceClock`] so the differences between consecutive
+//! hops are meaningful latency segments.
+//!
+//! The chain is a `Copy` value of fixed size (no allocation, no `Arc`),
+//! so carrying it through channels costs a few machine words per
+//! message. Consecutive stamped hops telescope: the named
+//! [`TraceChain::segments`] sum exactly to
+//! [`TraceChain::total_ns`] when the chain is complete.
+
+use std::time::Instant;
+
+/// One observation point in the serving pipeline, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hop {
+    /// Connection reader decoded the PUBLISH frame and routed the
+    /// reading to a shard queue.
+    Router,
+    /// Shard worker dequeued the reading.
+    ShardDequeue,
+    /// Shard WAL append (and fsync, when configured) completed — the
+    /// reading is durable.
+    WalAppended,
+    /// Shard tracker applied the reading; row deltas are known.
+    Applied,
+    /// Flow engine dequeued the shard's delta batch.
+    EngineDequeue,
+    /// Engine finished recomputing affected subscription contributions.
+    Recomputed,
+    /// Notification frame was encoded and handed to the subscriber's
+    /// writer queue.
+    Notified,
+}
+
+/// Names of the latency segments between consecutive hops, in order:
+/// `segment[i]` spans `Hop::ALL[i] → Hop::ALL[i + 1]`.
+pub const SEGMENTS: [&str; 6] = ["queue", "wal", "apply", "engine_queue", "recompute", "notify"];
+
+impl Hop {
+    /// All hops in pipeline order.
+    pub const ALL: [Hop; 7] = [
+        Hop::Router,
+        Hop::ShardDequeue,
+        Hop::WalAppended,
+        Hop::Applied,
+        Hop::EngineDequeue,
+        Hop::Recomputed,
+        Hop::Notified,
+    ];
+
+    /// Stable snake_case name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hop::Router => "router",
+            Hop::ShardDequeue => "shard_dequeue",
+            Hop::WalAppended => "wal_appended",
+            Hop::Applied => "applied",
+            Hop::EngineDequeue => "engine_dequeue",
+            Hop::Recomputed => "recomputed",
+            Hop::Notified => "notified",
+        }
+    }
+
+    /// Wire code (also the pipeline position).
+    pub fn code(self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Inverse of [`Hop::code`]; `None` for codes a newer peer might
+    /// send that this build does not know.
+    pub fn from_code(code: u8) -> Option<Hop> {
+        Hop::ALL.get(code as usize).copied()
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Hop::Router => 0,
+            Hop::ShardDequeue => 1,
+            Hop::WalAppended => 2,
+            Hop::Applied => 3,
+            Hop::EngineDequeue => 4,
+            Hop::Recomputed => 5,
+            Hop::Notified => 6,
+        }
+    }
+}
+
+/// Monotonic server-epoch clock shared by every pipeline stage.
+///
+/// All trace timestamps are nanoseconds since this clock's creation
+/// (server start), so stamps taken on different threads are directly
+/// comparable. Cloning shares the epoch.
+#[derive(Debug, Clone)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl Default for TraceClock {
+    fn default() -> TraceClock {
+        TraceClock::new()
+    }
+}
+
+impl TraceClock {
+    pub fn new() -> TraceClock {
+        TraceClock { epoch: Instant::now() }
+    }
+
+    /// Nanoseconds since the server epoch, saturating at `u64::MAX`
+    /// (~584 years of uptime).
+    pub fn now_ns(&self) -> u64 {
+        let d = self.epoch.elapsed();
+        d.as_secs().saturating_mul(1_000_000_000).saturating_add(u64::from(d.subsec_nanos()))
+    }
+}
+
+/// A trace id plus per-hop timestamps, carried alongside a reading
+/// through the serving pipeline.
+///
+/// `0` means "not stamped"; the clock starts strictly after epoch so a
+/// real stamp is never 0 (and a 0 ns stamp would merely re-stamp).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceChain {
+    /// Router-assigned id, unique per PUBLISH batch within one server
+    /// process. `0` is reserved for "no trace".
+    pub id: u64,
+    at_ns: [u64; 7],
+}
+
+impl TraceChain {
+    pub fn new(id: u64) -> TraceChain {
+        TraceChain { id, at_ns: [0; 7] }
+    }
+
+    /// Record `at_ns` for `hop`. First stamp wins: a batch that fans
+    /// into several deltas keeps the earliest time per stage.
+    pub fn stamp(&mut self, hop: Hop, at_ns: u64) {
+        if let Some(slot) = self.at_ns.get_mut(hop.index()) {
+            if *slot == 0 {
+                *slot = at_ns;
+            }
+        }
+    }
+
+    /// Timestamp of `hop`, if stamped.
+    pub fn at(&self, hop: Hop) -> Option<u64> {
+        match self.at_ns.get(hop.index()) {
+            Some(&ns) if ns != 0 => Some(ns),
+            _ => None,
+        }
+    }
+
+    /// Stamped `(hop, at_ns)` pairs in pipeline order.
+    pub fn hops(&self) -> impl Iterator<Item = (Hop, u64)> + '_ {
+        Hop::ALL.iter().filter_map(move |&h| self.at(h).map(|ns| (h, ns)))
+    }
+
+    /// Number of stamped hops.
+    pub fn hop_count(&self) -> usize {
+        self.at_ns.iter().filter(|&&ns| ns != 0).count()
+    }
+
+    /// All seven hops stamped?
+    pub fn is_complete(&self) -> bool {
+        self.hop_count() == Hop::ALL.len()
+    }
+
+    /// Timestamps never decrease along the pipeline (over stamped hops).
+    pub fn is_monotone(&self) -> bool {
+        let mut prev = 0u64;
+        for (_, ns) in self.hops() {
+            if ns < prev {
+                return false;
+            }
+            prev = ns;
+        }
+        true
+    }
+
+    /// Named latency segments between consecutive stamped hops.
+    ///
+    /// Only adjacent pipeline stages produce a segment; if an
+    /// intermediate hop is missing (e.g. a reading re-emitted from WAL
+    /// recovery) the gap yields nothing rather than a mislabeled span.
+    /// For a complete chain the six segments telescope to exactly
+    /// [`TraceChain::total_ns`].
+    pub fn segments(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        for (i, name) in SEGMENTS.iter().enumerate() {
+            let (a, b) = match (Hop::ALL.get(i), Hop::ALL.get(i + 1)) {
+                (Some(&a), Some(&b)) => (a, b),
+                _ => continue,
+            };
+            if let (Some(t0), Some(t1)) = (self.at(a), self.at(b)) {
+                out.push((*name, t1.saturating_sub(t0)));
+            }
+        }
+        out
+    }
+
+    /// End-to-end latency `router → notified`, if both ends stamped.
+    pub fn total_ns(&self) -> Option<u64> {
+        match (self.at(Hop::Router), self.at(Hop::Notified)) {
+            (Some(t0), Some(t1)) => Some(t1.saturating_sub(t0)),
+            _ => None,
+        }
+    }
+
+    /// Merge another chain observed for the same trace id, keeping the
+    /// earliest stamp per hop (used when several deltas of one batch
+    /// converge on the engine).
+    pub fn merge_earliest(&mut self, other: &TraceChain) {
+        for (slot, &theirs) in self.at_ns.iter_mut().zip(other.at_ns.iter()) {
+            if theirs != 0 && (*slot == 0 || theirs < *slot) {
+                *slot = theirs;
+            }
+        }
+    }
+
+    /// Compact JSON object: id, hops with timestamps, segments, total.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"trace_id\":");
+        s.push_str(&self.id.to_string());
+        s.push_str(",\"hops\":{");
+        let mut first = true;
+        for (hop, ns) in self.hops() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('"');
+            s.push_str(hop.name());
+            s.push_str("\":");
+            s.push_str(&ns.to_string());
+        }
+        s.push_str("},\"segments\":{");
+        let mut first = true;
+        for (name, ns) in self.segments() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('"');
+            s.push_str(name);
+            s.push_str("\":");
+            s.push_str(&ns.to_string());
+        }
+        s.push_str("},\"total_ns\":");
+        s.push_str(&self.total_ns().unwrap_or(0).to_string());
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_chain() -> TraceChain {
+        let mut c = TraceChain::new(7);
+        for (i, &h) in Hop::ALL.iter().enumerate() {
+            c.stamp(h, 100 + (i as u64) * 10);
+        }
+        c
+    }
+
+    #[test]
+    fn hop_codes_round_trip() {
+        for &h in &Hop::ALL {
+            assert_eq!(Hop::from_code(h.code()), Some(h));
+        }
+        assert_eq!(Hop::from_code(200), None);
+    }
+
+    #[test]
+    fn segments_telescope_to_total() {
+        let c = full_chain();
+        assert!(c.is_complete());
+        assert!(c.is_monotone());
+        let segs = c.segments();
+        assert_eq!(segs.len(), SEGMENTS.len());
+        let sum: u64 = segs.iter().map(|&(_, ns)| ns).sum();
+        assert_eq!(Some(sum), c.total_ns());
+        assert_eq!(c.total_ns(), Some(60));
+    }
+
+    #[test]
+    fn first_stamp_wins() {
+        let mut c = TraceChain::new(1);
+        c.stamp(Hop::Router, 50);
+        c.stamp(Hop::Router, 40);
+        assert_eq!(c.at(Hop::Router), Some(50));
+    }
+
+    #[test]
+    fn gaps_produce_no_mislabeled_segment() {
+        let mut c = TraceChain::new(2);
+        c.stamp(Hop::Router, 10);
+        c.stamp(Hop::Applied, 30); // shard hops missing
+        c.stamp(Hop::EngineDequeue, 40);
+        let segs = c.segments();
+        // Only applied→engine_dequeue is between adjacent stages.
+        assert_eq!(segs, vec![("engine_queue", 10)]);
+        assert!(!c.is_complete());
+        assert!(c.is_monotone());
+        assert_eq!(c.total_ns(), None);
+    }
+
+    #[test]
+    fn merge_keeps_earliest() {
+        let mut a = TraceChain::new(3);
+        a.stamp(Hop::Router, 100);
+        a.stamp(Hop::Applied, 300);
+        let mut b = TraceChain::new(3);
+        b.stamp(Hop::Router, 90);
+        b.stamp(Hop::WalAppended, 200);
+        a.merge_earliest(&b);
+        assert_eq!(a.at(Hop::Router), Some(90));
+        assert_eq!(a.at(Hop::WalAppended), Some(200));
+        assert_eq!(a.at(Hop::Applied), Some(300));
+    }
+
+    #[test]
+    fn clock_is_monotone_nonzero() {
+        let clk = TraceClock::new();
+        let a = clk.now_ns();
+        let b = clk.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn json_shape() {
+        let c = full_chain();
+        let j = c.to_json();
+        assert!(j.starts_with("{\"trace_id\":7,"), "{j}");
+        assert!(j.contains("\"router\":100"), "{j}");
+        assert!(j.contains("\"queue\":10"), "{j}");
+        assert!(j.contains("\"total_ns\":60"), "{j}");
+    }
+}

@@ -7,9 +7,17 @@
 //! for a connection through one writer, a [`Client::barrier`] round-trip
 //! guarantees that all updates triggered by this connection's earlier
 //! publishes have already been read into the buffer when it returns.
+//!
+//! On connect the client sends `HELLO` with [`protocol::PROTOCOL_VERSION`]
+//! and adopts whatever the server acks. A v1 server replies `ERROR` to
+//! the unknown tag — the client swallows that and stays on v1, so new
+//! clients interoperate with old servers (and vice versa: the trace
+//! section a v2 server appends to `UPDATE` is only sent to connections
+//! that negotiated v2).
 
 use crate::protocol::{self, tag, SubSpec};
 use inflow_indoor::PoiId;
+use inflow_obs::TraceChain;
 use inflow_tracking::{OttRow, RawReading};
 use std::collections::VecDeque;
 use std::io::{self, Write};
@@ -22,18 +30,42 @@ pub struct Update {
     /// Per-subscription sequence number (1 = initial result).
     pub seq: u64,
     pub ranked: Vec<(PoiId, f64)>,
+    /// Hop-stamped trace of the publish that triggered this update
+    /// (v2 connections with tracing on; `None` otherwise — including
+    /// initial results and recovery re-emissions, which no single
+    /// publish caused).
+    pub trace: Option<TraceChain>,
 }
 
 pub struct Client {
     stream: TcpStream,
     updates: VecDeque<Update>,
+    /// Negotiated protocol version (1 when talking to a pre-`HELLO`
+    /// server).
+    version: u32,
 }
 
 impl Client {
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, updates: VecDeque::new() })
+        let mut client = Client { stream, updates: VecDeque::new(), version: 1 };
+        // Old servers reply ERROR to the unknown HELLO tag; treat that
+        // as "speaks v1" rather than a failure.
+        match client.rpc(
+            tag::HELLO,
+            &protocol::encode_u32(protocol::PROTOCOL_VERSION),
+            tag::HELLO_ACK,
+        ) {
+            Ok(body) => client.version = protocol::decode_u32(&body)?.max(1),
+            Err(_) => client.version = 1,
+        }
+        Ok(client)
+    }
+
+    /// The protocol version negotiated with the server.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Sends one request frame and reads frames until a non-`UPDATE`
@@ -51,8 +83,8 @@ impl Client {
                 ));
             };
             if reply_tag == tag::UPDATE {
-                let (sub_id, seq, ranked) = protocol::decode_update(&body)?;
-                self.updates.push_back(Update { sub_id, seq, ranked });
+                let (sub_id, seq, ranked, trace) = protocol::decode_update(&body)?;
+                self.updates.push_back(Update { sub_id, seq, ranked, trace });
                 continue;
             }
             if reply_tag == tag::ERROR {
@@ -73,10 +105,15 @@ impl Client {
     }
 
     /// Publishes a batch of readings (acked once *routed*; use
-    /// [`Client::barrier`] to wait until applied).
-    pub fn publish(&mut self, readings: &[RawReading]) -> io::Result<()> {
-        self.rpc(tag::PUBLISH, &protocol::encode_publish(readings), tag::ACK)?;
-        Ok(())
+    /// [`Client::barrier`] to wait until applied). On a v2 connection
+    /// with tracing on, returns the trace id the router assigned to the
+    /// batch — correlate it with [`Client::trace_json`] output.
+    pub fn publish(&mut self, readings: &[RawReading]) -> io::Result<Option<u64>> {
+        let body = self.rpc(tag::PUBLISH, &protocol::encode_publish(readings), tag::ACK)?;
+        if body.len() == 8 {
+            return Ok(Some(protocol::decode_u64(&body)?));
+        }
+        Ok(None)
     }
 
     /// Registers a continuous subscription; returns its id. The initial
@@ -121,6 +158,26 @@ impl Client {
     /// The server's metrics registry, rendered.
     pub fn stats(&mut self) -> io::Result<String> {
         let body = self.rpc(tag::STATS, &[], tag::STATS_TEXT)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Machine-readable metrics snapshot (counters, histograms with
+    /// exact bucket bounds, per-shard queue depths) as a JSON document.
+    pub fn metrics_json(&mut self) -> io::Result<String> {
+        let body = self.rpc(tag::METRICS, &[], tag::METRICS_JSON)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Recent completed notification traces plus the slow-request log,
+    /// as a JSON document.
+    pub fn trace_json(&mut self) -> io::Result<String> {
+        let body = self.rpc(tag::TRACE, &[], tag::TRACE_JSON)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// The server's flight recorder contents as JSONL, oldest first.
+    pub fn flight_dump(&mut self) -> io::Result<String> {
+        let body = self.rpc(tag::FLIGHT, &[], tag::FLIGHT_JSONL)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 

@@ -35,7 +35,7 @@ use inflow_core::{
     SnapshotQuery,
 };
 use inflow_indoor::PoiId;
-use inflow_obs::Counter;
+use inflow_obs::{Counter, FlightEventKind, FlightRecorder, Hop, TraceChain};
 use inflow_rtree::RTree;
 use inflow_tracking::{ObjectId, ObjectTrackingTable, OttRow};
 use inflow_uncertainty::{IndoorContext, UrConfig, UrEngine};
@@ -53,6 +53,9 @@ pub enum EngineMsg {
     Subscribe {
         spec: SubSpec,
         conn: u64,
+        /// Whether the subscriber negotiated protocol v2 and should
+        /// receive the trace-chain section on its `UPDATE` frames.
+        trace_v2: bool,
         writer: Sender<Vec<u8>>,
     },
     Unsubscribe {
@@ -100,6 +103,8 @@ struct Sub {
     /// The last top-k actually pushed (the ε gate's reference point).
     last_sent: Option<Vec<(PoiId, f64)>>,
     seq: u64,
+    /// v2 connections get the trace section on their updates.
+    trace_v2: bool,
     writer: Sender<Vec<u8>>,
 }
 
@@ -147,6 +152,7 @@ impl Sub {
 pub struct EngineConfig {
     pub ctx: Arc<IndoorContext>,
     pub ur: UrConfig,
+    pub flight: Arc<FlightRecorder>,
 }
 
 /// Spawns the engine thread.
@@ -168,6 +174,7 @@ struct Engine {
     subs: HashMap<u64, Sub>,
     next_sub: u64,
     metrics: Arc<ServiceMetrics>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl Engine {
@@ -238,31 +245,52 @@ impl Engine {
     }
 
     /// Re-ranks a dirty subscription and pushes an update if it crosses
-    /// the ε gate.
-    fn refresh(&mut self, sub_id: u64) {
+    /// the ε gate. `trace` is the context of the delta that dirtied the
+    /// subscription; every notification it produces gets its own copy
+    /// with a per-subscriber `notified` stamp.
+    fn refresh(&mut self, sub_id: u64, trace: Option<&TraceChain>) {
         let Some(sub) = self.subs.get_mut(&sub_id) else { return };
         let ranked = sub.rank();
         sub.current = ranked.clone();
         if sub.crosses_gate(&ranked) {
             let t0 = Instant::now();
             sub.seq += 1;
-            let payload = protocol::encode_update(sub.id, sub.seq, &ranked);
+            let chain = trace.map(|t| {
+                let mut chain = *t;
+                chain.stamp(Hop::Notified, self.flight.clock().now_ns());
+                chain
+            });
+            let wire_trace = if sub.trace_v2 { chain.as_ref() } else { None };
+            let payload = protocol::encode_update_traced(sub.id, sub.seq, &ranked, wire_trace);
             let mut frame = Vec::with_capacity(9 + payload.len());
             inflow_tracking::store::frame::write_frame(&mut frame, tag::UPDATE, &payload);
             let delivered = sub.writer.send(frame).is_ok();
             sub.last_sent = Some(ranked);
             self.metrics.observe_notify_ns(t0.elapsed().as_nanos() as u64);
             self.metrics.add(Counter::ServeNotifications, 1);
+            let seq = sub.seq;
+            if let Some(chain) = chain.as_ref() {
+                self.metrics.observe_trace(chain, sub_id);
+                self.flight.record(FlightEventKind::NotifySent, chain.id, sub_id, seq);
+            } else {
+                self.flight.record(FlightEventKind::NotifySent, 0, sub_id, seq);
+            }
             if !delivered {
                 // The connection is gone; the DropConn cleanup will
                 // remove the subscription shortly.
             }
         } else {
             self.metrics.add(Counter::ServeNotificationsSuppressed, 1);
+            self.flight.record(
+                FlightEventKind::NotifySuppressed,
+                trace.map_or(0, |t| t.id),
+                sub_id,
+                0,
+            );
         }
     }
 
-    fn subscribe(&mut self, spec: SubSpec, conn: u64, writer: Sender<Vec<u8>>) {
+    fn subscribe(&mut self, spec: SubSpec, conn: u64, trace_v2: bool, writer: Sender<Vec<u8>>) {
         let (pois, rp) = self.resolve_pois(&spec.pois);
         let id = self.next_sub;
         self.next_sub += 1;
@@ -278,6 +306,7 @@ impl Engine {
             current: Vec::new(),
             last_sent: None,
             seq: 0,
+            trace_v2,
             writer,
         };
         // Initial materialization over every known object.
@@ -299,9 +328,10 @@ impl Engine {
         }
         send_frame(&sub.writer, tag::SUB_ACK, &protocol::encode_u64(id));
         self.metrics.add(Counter::ServeSubscriptions, 1);
+        self.flight.record(FlightEventKind::Subscribed, 0, id, conn);
         self.subs.insert(id, sub);
         // The initial result counts as the first update (seq 1).
-        self.refresh(id);
+        self.refresh(id, None);
     }
 
     /// One-shot query: the reference batch path over the union of all
@@ -359,21 +389,41 @@ fn run_engine(rx: Receiver<EngineMsg>, cfg: EngineConfig, metrics: Arc<ServiceMe
         subs: HashMap::new(),
         next_sub: 1,
         metrics,
+        flight: cfg.flight,
     };
     while let Ok(msg) = rx.recv() {
         match msg {
-            EngineMsg::Delta(batch) => {
+            EngineMsg::Delta(mut batch) => {
+                let clock = engine.flight.clock().clone();
+                if let Some(chain) = batch.trace.as_mut() {
+                    chain.stamp(Hop::EngineDequeue, clock.now_ns());
+                }
+                let mut trace = batch.trace;
+                let shard = batch.shard as u64;
+                let objects = batch.deltas.len() as u64;
                 let mut dirty = HashSet::new();
                 engine.apply_delta(batch, &mut dirty);
+                if let Some(chain) = trace.as_mut() {
+                    chain.stamp(Hop::Recomputed, clock.now_ns());
+                }
+                engine.flight.record(
+                    FlightEventKind::DeltaApplied,
+                    trace.map_or(0, |t| t.id),
+                    shard,
+                    objects,
+                );
                 let mut ids: Vec<u64> = dirty.into_iter().collect();
                 ids.sort_unstable();
                 for id in ids {
-                    engine.refresh(id);
+                    engine.refresh(id, trace.as_ref());
                 }
             }
-            EngineMsg::Subscribe { spec, conn, writer } => engine.subscribe(spec, conn, writer),
+            EngineMsg::Subscribe { spec, conn, trace_v2, writer } => {
+                engine.subscribe(spec, conn, trace_v2, writer)
+            }
             EngineMsg::Unsubscribe { sub_id, writer } => {
                 engine.subs.remove(&sub_id);
+                engine.flight.record(FlightEventKind::Unsubscribed, 0, sub_id, 0);
                 send_frame(&writer, tag::ACK, &[]);
             }
             EngineMsg::Current { sub_id, writer } => match engine.subs.get(&sub_id) {

@@ -19,6 +19,7 @@
 //! demultiplex by tag (see [`crate::Client`]).
 
 use inflow_indoor::PoiId;
+use inflow_obs::{Hop, TraceChain};
 use inflow_tracking::store::frame::{self, Frame};
 use inflow_tracking::{ObjectId, OttRow, RawReading, StoreError};
 use std::io::{self, Read, Write};
@@ -46,6 +47,19 @@ pub mod tag {
     pub const CURRENT: u8 = 8;
     /// Client → server: shut the server down.
     pub const SHUTDOWN: u8 = 9;
+    /// Client → server: protocol version negotiation; payload is the
+    /// client's highest supported version (u32). Servers predating this
+    /// tag answer `ERROR`, which clients treat as version 1.
+    pub const HELLO: u8 = 10;
+    /// Client → server: machine-readable telemetry snapshot (counters,
+    /// histograms with exact bucket bounds, shard queue depths).
+    pub const METRICS: u8 = 11;
+    /// Client → server: recent completed notification traces plus the
+    /// slow-request log, as JSON.
+    pub const TRACE: u8 = 12;
+    /// Client → server: dump the flight recorder (recent pipeline
+    /// events) as JSONL — the protocol-triggered postmortem.
+    pub const FLIGHT: u8 = 13;
 
     /// Server → client: request acknowledged.
     pub const ACK: u8 = 64;
@@ -61,7 +75,26 @@ pub mod tag {
     pub const STATS_TEXT: u8 = 69;
     /// Server → client: subscription registered; payload is its id.
     pub const SUB_ACK: u8 = 70;
+    /// Server → client: negotiated protocol version (u32).
+    pub const HELLO_ACK: u8 = 71;
+    /// Server → client: telemetry snapshot; payload is a UTF-8 JSON
+    /// object (see `ServiceMetrics::snapshot_json`).
+    pub const METRICS_JSON: u8 = 72;
+    /// Server → client: trace snapshot; payload is a UTF-8 JSON object.
+    pub const TRACE_JSON: u8 = 73;
+    /// Server → client: flight-recorder dump; payload is UTF-8 JSONL.
+    pub const FLIGHT_JSONL: u8 = 74;
 }
+
+/// Highest protocol version this build speaks.
+///
+/// * **v1** — the PR 4/5 wire format: no `HELLO`, `UPDATE` carries
+///   `sub_id | seq | ranked` only.
+/// * **v2** — adds `HELLO`/`METRICS`/`TRACE`/`FLIGHT` and an optional
+///   trace-chain section trailing the `UPDATE` payload. The section is
+///   only sent to connections that negotiated v2, so v1 clients keep
+///   decoding byte-identical frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The time parameter of a subscription or one-shot query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -250,24 +283,69 @@ pub fn decode_ranked(payload: &[u8]) -> io::Result<Vec<(PoiId, f64)>> {
     Ok(out)
 }
 
-/// `UPDATE`: `sub_id u64 | seq u64 | ranked`.
+/// `UPDATE` (v1): `sub_id u64 | seq u64 | ranked`. Byte-identical to
+/// the pre-tracing wire format.
 pub fn encode_update(sub_id: u64, seq: u64, ranked: &[(PoiId, f64)]) -> Vec<u8> {
-    let mut b = Vec::with_capacity(20 + ranked.len() * 12);
+    encode_update_traced(sub_id, seq, ranked, None)
+}
+
+/// `UPDATE` (v2): the v1 payload followed, when `trace` is given, by
+/// `trace_id u64 | hop_count u8 | hop_count × (hop code u8 | at_ns u64)`.
+/// Only sent to connections that negotiated protocol v2.
+pub fn encode_update_traced(
+    sub_id: u64,
+    seq: u64,
+    ranked: &[(PoiId, f64)],
+    trace: Option<&TraceChain>,
+) -> Vec<u8> {
+    let mut b = Vec::with_capacity(20 + ranked.len() * 12 + trace.map_or(0, |_| 9 + 7 * 9));
     b.extend_from_slice(&sub_id.to_le_bytes());
     b.extend_from_slice(&seq.to_le_bytes());
     b.extend_from_slice(&encode_ranked(ranked));
+    if let Some(chain) = trace {
+        b.extend_from_slice(&chain.id.to_le_bytes());
+        b.push(chain.hop_count() as u8);
+        for (hop, at_ns) in chain.hops() {
+            b.push(hop.code());
+            b.extend_from_slice(&at_ns.to_le_bytes());
+        }
+    }
     b
 }
 
-/// Decoded `UPDATE` payload: `(sub_id, seq, ranked)`.
-pub type UpdateParts = (u64, u64, Vec<(PoiId, f64)>);
+/// Decoded `UPDATE` payload: `(sub_id, seq, ranked, trace)`. `trace` is
+/// `None` for v1 frames.
+pub type UpdateParts = (u64, u64, Vec<(PoiId, f64)>, Option<TraceChain>);
 
 pub fn decode_update(payload: &[u8]) -> io::Result<UpdateParts> {
     let mut c = cursor(payload);
     let sub_id = c.u64("sub id").map_err(decode_err)?;
     let seq = c.u64("seq").map_err(decode_err)?;
-    let ranked = decode_ranked(c.rest())?;
-    Ok((sub_id, seq, ranked))
+    let n = c.u32("entry count").map_err(decode_err)? as usize;
+    let mut ranked = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = PoiId(c.u32("poi").map_err(decode_err)?);
+        let f = c.finite_f64("flow").map_err(decode_err)?;
+        ranked.push((p, f));
+    }
+    let trace = if c.is_empty() {
+        None
+    } else {
+        let id = c.u64("trace id").map_err(decode_err)?;
+        let hops = c.u8("hop count").map_err(decode_err)?;
+        let mut chain = TraceChain::new(id);
+        for _ in 0..hops {
+            let code = c.u8("hop code").map_err(decode_err)?;
+            let at_ns = c.u64("hop at_ns").map_err(decode_err)?;
+            // Unknown codes (a newer server) are skipped, not fatal.
+            if let Some(hop) = Hop::from_code(code) {
+                chain.stamp(hop, at_ns);
+            }
+        }
+        Some(chain)
+    };
+    c.done().map_err(decode_err)?;
+    Ok((sub_id, seq, ranked, trace))
 }
 
 /// `ROWS`: `count u32 | count × row (24 B)`.
@@ -304,6 +382,18 @@ pub fn encode_u64(v: u64) -> Vec<u8> {
 pub fn decode_u64(payload: &[u8]) -> io::Result<u64> {
     let mut c = cursor(payload);
     let v = c.u64("id").map_err(decode_err)?;
+    c.done().map_err(decode_err)?;
+    Ok(v)
+}
+
+/// `HELLO` / `HELLO_ACK`: one u32 protocol version.
+pub fn encode_u32(v: u32) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+pub fn decode_u32(payload: &[u8]) -> io::Result<u32> {
+    let mut c = cursor(payload);
+    let v = c.u32("version").map_err(decode_err)?;
     c.done().map_err(decode_err)?;
     Ok(v)
 }
@@ -357,6 +447,40 @@ mod tests {
         assert_eq!(decode_rows(&encode_rows(&rows)).unwrap(), rows);
         let ranked = vec![(PoiId(4), 1.25), (PoiId(0), 0.5)];
         let up = encode_update(9, 3, &ranked);
-        assert_eq!(decode_update(&up).unwrap(), (9, 3, ranked));
+        assert_eq!(decode_update(&up).unwrap(), (9, 3, ranked, None));
+    }
+
+    #[test]
+    fn traced_update_round_trips_and_v1_stays_byte_identical() {
+        let ranked = vec![(PoiId(4), 1.25)];
+        let mut chain = TraceChain::new(42);
+        for (i, &h) in Hop::ALL.iter().enumerate() {
+            chain.stamp(h, 1000 + i as u64);
+        }
+        let v2 = encode_update_traced(9, 3, &ranked, Some(&chain));
+        let (sub, seq, got_ranked, got_trace) = decode_update(&v2).unwrap();
+        assert_eq!((sub, seq), (9, 3));
+        assert_eq!(got_ranked, ranked);
+        assert_eq!(got_trace, Some(chain));
+        // The untraced encoding is exactly the old layout: the traced
+        // payload minus its trailing section.
+        let v1 = encode_update(9, 3, &ranked);
+        assert_eq!(v1.as_slice(), &v2[..v1.len()]);
+    }
+
+    #[test]
+    fn hello_version_round_trips() {
+        assert_eq!(decode_u32(&encode_u32(PROTOCOL_VERSION)).unwrap(), 2);
+        assert!(decode_u32(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn truncated_trace_section_is_rejected() {
+        let ranked = vec![(PoiId(1), 0.5)];
+        let mut chain = TraceChain::new(7);
+        chain.stamp(Hop::Router, 10);
+        let mut b = encode_update_traced(1, 1, &ranked, Some(&chain));
+        b.pop();
+        assert!(decode_update(&b).is_err());
     }
 }

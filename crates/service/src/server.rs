@@ -23,17 +23,17 @@
 
 use crate::engine::{spawn_engine, EngineConfig, EngineMsg};
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{self, tag};
+use crate::protocol::{self, tag, PROTOCOL_VERSION};
 use crate::shard::{spawn_shard, ShardConfig, ShardMsg};
 use crate::sync::lock_or_recover;
-use inflow_obs::Counter;
+use inflow_obs::{Counter, FlightEventKind, FlightRecorder, Hop, TraceChain, TraceClock};
 use inflow_uncertainty::{IndoorContext, UrConfig};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -50,6 +50,16 @@ pub struct ServeConfig {
     pub snapshot_every: Option<u64>,
     pub pool: usize,
     pub port: u16,
+    /// Assign each PUBLISH batch a trace id and carry per-hop timestamp
+    /// chains through the pipeline (on by default; the flight recorder
+    /// is always on regardless).
+    pub trace: bool,
+    /// Completed traces with end-to-end latency at or above this land in
+    /// the slow-request log.
+    pub slow_ms: u64,
+    /// Flight-recorder ring capacity (events; rounded up to a power of
+    /// two).
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
@@ -64,8 +74,47 @@ impl ServeConfig {
             snapshot_every: Some(1024),
             pool: 4,
             port: 0,
+            trace: true,
+            slow_ms: 10,
+            flight_capacity: 4096,
         }
     }
+}
+
+/// One panic-hook registration: the ring to dump and where to write it.
+type PanicDump = (Weak<FlightRecorder>, PathBuf);
+
+/// Flight recorders registered for the process-wide panic hook, with
+/// the postmortem path each should dump to. `Weak` so a stopped server
+/// doesn't pin its ring (a dead entry is skipped).
+static PANIC_DUMPS: OnceLock<Mutex<Vec<PanicDump>>> = OnceLock::new();
+
+/// Chains the flight-recorder dump onto the default panic hook: any
+/// panic anywhere in the process writes each live registered ring to
+/// its `postmortem-panic.jsonl` before the usual backtrace output.
+fn register_panic_dump(flight: &Arc<FlightRecorder>, path: PathBuf) {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    let registry = PANIC_DUMPS.get_or_init(|| Mutex::new(Vec::new()));
+    {
+        let mut reg = lock_or_recover(registry);
+        reg.retain(|(w, _)| w.upgrade().is_some());
+        reg.push((Arc::downgrade(flight), path));
+    }
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(registry) = PANIC_DUMPS.get() {
+                // Copy the entries out so no lock is held while dumping.
+                let entries: Vec<PanicDump> = lock_or_recover(registry).clone();
+                for (weak, path) in entries {
+                    if let Some(flight) = weak.upgrade() {
+                        let _ = std::fs::write(&path, flight.dump_jsonl());
+                    }
+                }
+            }
+            prev(info);
+        }));
+    });
 }
 
 /// One shard's routing endpoint: the sender the router publishes into,
@@ -87,18 +136,43 @@ struct Shared {
     shutdown: AtomicBool,
     next_conn: AtomicU64,
     addr: SocketAddr,
+    /// Server-epoch clock all trace stamps and flight events share.
+    clock: TraceClock,
+    /// The always-on event ring.
+    flight: Arc<FlightRecorder>,
+    /// Router-assigned trace ids (0 reserved for "no trace").
+    next_trace: AtomicU64,
+    /// Per-hop tracing enabled (`ServeConfig::trace`).
+    trace: bool,
 }
 
 impl Shared {
     /// Routes one reading to its owning shard. Per-object ordering holds
     /// because routing is a pure function of the object id.
-    fn route(&self, r: inflow_tracking::RawReading) {
+    fn route(&self, r: inflow_tracking::RawReading, trace: Option<TraceChain>) {
         let shards = lock_or_recover(&self.shards);
         let idx = r.object.0 as usize % shards.len().max(1);
         let Some(shard) = shards.get(idx) else { return };
         shard.queue_depth.fetch_add(1, Ordering::Relaxed);
         self.metrics.add(Counter::ServeReadingsSharded, 1);
-        let _ = shard.tx.send(ShardMsg::Publish(r));
+        let _ = shard.tx.send(ShardMsg::Publish(r, trace));
+    }
+
+    /// A fresh router-stamped trace chain, or `None` when tracing is off.
+    fn new_trace(&self) -> Option<TraceChain> {
+        if !self.trace {
+            return None;
+        }
+        let id = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        let mut chain = TraceChain::new(id);
+        chain.stamp(Hop::Router, self.clock.now_ns());
+        Some(chain)
+    }
+
+    /// Current queue depth of every shard, in shard order.
+    fn shard_depths(&self) -> Vec<u64> {
+        let shards = lock_or_recover(&self.shards);
+        shards.iter().map(|s| s.queue_depth.load(Ordering::Relaxed) as u64).collect()
     }
 
     /// Barrier half one: flush every shard, wait for all acks.
@@ -141,9 +215,16 @@ impl Server {
     /// Builds the full pipeline and starts listening on 127.0.0.1.
     pub fn start(ctx: Arc<IndoorContext>, cfg: ServeConfig) -> io::Result<ServerHandle> {
         let metrics = Arc::new(ServiceMetrics::new());
+        metrics.set_slow_threshold_ns(cfg.slow_ms.saturating_mul(1_000_000));
+        let clock = TraceClock::new();
+        let flight = Arc::new(FlightRecorder::new(clock.clone(), cfg.flight_capacity));
+        register_panic_dump(&flight, cfg.store_dir.join("postmortem-panic.jsonl"));
         let (engine_tx, engine_rx) = channel();
-        let engine =
-            spawn_engine(engine_rx, EngineConfig { ctx, ur: cfg.ur }, Arc::clone(&metrics))?;
+        let engine = spawn_engine(
+            engine_rx,
+            EngineConfig { ctx, ur: cfg.ur, flight: Arc::clone(&flight) },
+            Arc::clone(&metrics),
+        )?;
 
         let shard_cfg = ShardConfig {
             max_gap: cfg.max_gap,
@@ -165,6 +246,7 @@ impl Server {
                 Arc::clone(&queue_depth),
                 engine_tx.clone(),
                 Arc::clone(&metrics),
+                Arc::clone(&flight),
                 shard_cfg.clone(),
             )?;
             shards.push(Shard { tx, rx, queue_depth, dir, worker: Some(worker) });
@@ -179,6 +261,10 @@ impl Server {
             shutdown: AtomicBool::new(false),
             next_conn: AtomicU64::new(1),
             addr,
+            clock,
+            flight,
+            next_trace: AtomicU64::new(1),
+            trace: cfg.trace,
         });
 
         let (conn_tx, conn_rx) = channel::<TcpStream>();
@@ -281,11 +367,19 @@ impl ServerHandle {
             Arc::clone(&s.queue_depth),
             self.shared.engine_tx.clone(),
             self.shared.metrics.clone(),
+            Arc::clone(&self.shared.flight),
             cfg,
         )?;
         s.worker = Some(worker);
         self.shared.metrics.add(Counter::ServeShardRestarts, 1);
+        self.shared.flight.record(FlightEventKind::ShardRestart, 0, i as u64, 0);
         Ok(())
+    }
+
+    /// The server's always-on flight recorder (tests and embedding
+    /// harnesses inspect or dump it directly).
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.flight)
     }
 
     /// Initiates shutdown (also reachable via a `SHUTDOWN` frame).
@@ -347,7 +441,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         .spawn(move || write_loop(write_half, writer_rx));
     let Ok(writer) = writer else { return };
 
+    shared.flight.record(FlightEventKind::ConnOpened, 0, conn_id, 0);
     read_loop(stream, shared, conn_id, &writer_tx);
+    shared.flight.record(FlightEventKind::ConnClosed, 0, conn_id, 0);
 
     // Reader done: detach the engine's handle on this connection, then
     // close the writer channel so the writer thread drains and exits.
@@ -377,6 +473,9 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
     // shutdown flag; `read_tag`/`read_body` never split a frame across a
     // timeout.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    // Until a HELLO arrives the connection speaks v1 (pre-tracing wire
+    // format) so old clients keep working unchanged.
+    let mut conn_version: u32 = 1;
     loop {
         let tag_byte = match protocol::read_tag(&mut stream) {
             Ok(Some(t)) => t,
@@ -401,18 +500,42 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
         match tag_byte {
             tag::PUBLISH => match protocol::decode_publish(&body) {
                 Ok(readings) => {
+                    let trace = shared.new_trace();
+                    shared.flight.record(
+                        FlightEventKind::PublishRouted,
+                        trace.map_or(0, |t| t.id),
+                        conn_id,
+                        readings.len() as u64,
+                    );
                     for r in readings {
-                        shared.route(r);
+                        shared.route(r, trace);
                     }
-                    reply(writer, tag::ACK, &[]);
+                    // v2 connections learn the batch's trace id.
+                    match trace {
+                        Some(chain) if conn_version >= 2 => {
+                            reply(writer, tag::ACK, &protocol::encode_u64(chain.id))
+                        }
+                        _ => reply(writer, tag::ACK, &[]),
+                    }
                 }
                 Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
             },
+            tag::HELLO => match protocol::decode_u32(&body) {
+                Ok(client_version) => {
+                    conn_version = client_version.clamp(1, PROTOCOL_VERSION);
+                    reply(writer, tag::HELLO_ACK, &protocol::encode_u32(conn_version));
+                }
+                Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
+            },
+            tag::METRICS => handle_metrics(shared, conn_id, writer),
+            tag::TRACE => handle_trace(shared, conn_id, writer),
+            tag::FLIGHT => handle_flight(shared, conn_id, writer),
             tag::SUBSCRIBE => match protocol::decode_subspec(&body) {
                 Ok(spec) => {
                     let _ = shared.engine_tx.send(EngineMsg::Subscribe {
                         spec,
                         conn: conn_id,
+                        trace_v2: conn_version >= 2,
                         writer: writer.clone(),
                     });
                 }
@@ -463,4 +586,31 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
             }
         }
     }
+}
+
+/// `METRICS`: counters, histograms with exact bucket bounds, per-shard
+/// queue depths — answered on the connection thread (a snapshot, not a
+/// pipeline-ordered reply, so it never queues behind the engine).
+fn handle_metrics(shared: &Shared, conn_id: u64, writer: &Sender<Vec<u8>>) {
+    shared.metrics.add(Counter::ServeMetricsQueries, 1);
+    shared.flight.record(FlightEventKind::MetricsQuery, 0, conn_id, 0);
+    let depths = shared.shard_depths();
+    let json = shared.metrics.snapshot_json(&depths, shared.clock.now_ns());
+    reply(writer, tag::METRICS_JSON, json.as_bytes());
+}
+
+/// `TRACE`: recent completed notification traces plus the slow-request
+/// log.
+fn handle_trace(shared: &Shared, conn_id: u64, writer: &Sender<Vec<u8>>) {
+    shared.metrics.add(Counter::ServeTraceQueries, 1);
+    shared.flight.record(FlightEventKind::TraceQuery, 0, conn_id, 0);
+    reply(writer, tag::TRACE_JSON, shared.metrics.traces_json().as_bytes());
+}
+
+/// `FLIGHT`: dump the flight recorder — the protocol-triggered
+/// postmortem (the moral equivalent of `SIGUSR1` on a wire protocol).
+fn handle_flight(shared: &Shared, conn_id: u64, writer: &Sender<Vec<u8>>) {
+    shared.metrics.add(Counter::ServeFlightDumps, 1);
+    shared.flight.record(FlightEventKind::FlightDump, 0, conn_id, 0);
+    reply(writer, tag::FLIGHT_JSONL, shared.flight.dump_jsonl().as_bytes());
 }

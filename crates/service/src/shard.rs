@@ -17,11 +17,18 @@
 //! (snapshot + WAL replay), rebuilds its row mirror, and re-emits *full*
 //! deltas (affected start −∞) so the engine reconverges no matter what
 //! the crash interleaved.
+//!
+//! Each routed reading may carry a [`TraceChain`]; the worker stamps
+//! the dequeue, WAL-durable and applied hops and forwards the chain on
+//! the delta batch so the engine can finish the latency decomposition.
+//! On an injected crash the worker dumps the flight recorder to
+//! `postmortem.jsonl` in its store directory before exiting — the
+//! always-on last-N-events window the crash suites assert on.
 
 use crate::engine::EngineMsg;
 use crate::metrics::ServiceMetrics;
 use crate::sync::lock_or_recover;
-use inflow_obs::Counter;
+use inflow_obs::{Counter, FlightEventKind, FlightRecorder, Hop, TraceChain};
 use inflow_tracking::{
     IngestStore, ObjectId, OnlineTracker, OttRow, RawReading, StdFs, StoreError, StoreOptions,
 };
@@ -51,12 +58,16 @@ pub struct ObjectDelta {
 pub struct DeltaBatch {
     pub shard: usize,
     pub deltas: Vec<ObjectDelta>,
+    /// Trace context of the reading that produced this batch (absent
+    /// for recovery re-emissions and trace-off servers).
+    pub trace: Option<TraceChain>,
 }
 
 /// Messages a shard worker consumes.
 pub enum ShardMsg {
-    /// Ingest one reading (already routed to this shard).
-    Publish(RawReading),
+    /// Ingest one reading (already routed to this shard), with its
+    /// router-assigned trace context, if tracing is on.
+    Publish(RawReading, Option<TraceChain>),
     /// Ack once every prior message is applied and its deltas are
     /// enqueued to the engine (the barrier protocol's first half).
     Flush(Sender<()>),
@@ -96,6 +107,7 @@ impl ShardConfig {
 /// Spawns one shard worker thread. `queue_depth` mirrors the channel's
 /// backlog (incremented by the router on send, decremented here on
 /// receive) since `mpsc` exposes no length.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_shard(
     index: usize,
     dir: PathBuf,
@@ -103,11 +115,12 @@ pub fn spawn_shard(
     queue_depth: Arc<AtomicUsize>,
     engine_tx: Sender<EngineMsg>,
     metrics: Arc<ServiceMetrics>,
+    flight: Arc<FlightRecorder>,
     cfg: ShardConfig,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("inflow-shard-{index}"))
-        .spawn(move || run_shard(index, dir, rx, queue_depth, engine_tx, metrics, cfg))
+        .spawn(move || run_shard(index, dir, rx, queue_depth, engine_tx, metrics, flight, cfg))
 }
 
 struct ShardState {
@@ -123,6 +136,7 @@ struct ShardState {
     last_te: HashMap<ObjectId, f64>,
     engine_tx: Sender<EngineMsg>,
     metrics: Arc<ServiceMetrics>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl ShardState {
@@ -147,7 +161,7 @@ impl ShardState {
 
     /// Emits one delta batch for `objects` (deduplicated, first-seen
     /// order). `full` forces `affected_start = −∞` (recovery re-emission).
-    fn emit(&mut self, objects: &[ObjectId], full: bool) {
+    fn emit(&mut self, objects: &[ObjectId], full: bool, trace: Option<TraceChain>) {
         let mut seen = std::collections::HashSet::new();
         let mut deltas = Vec::new();
         for &object in objects {
@@ -170,30 +184,64 @@ impl ShardState {
         self.metrics.add(Counter::ServeDeltasEmitted, 1);
         self.metrics.add(Counter::ServeDeltaObjects, deltas.len() as u64);
         self.metrics.observe_delta_batch(deltas.len() as u64);
+        let trace_id = trace.map_or(0, |t| t.id);
+        self.flight.record(
+            FlightEventKind::DeltaEmitted,
+            trace_id,
+            self.index as u64,
+            deltas.len() as u64,
+        );
         // A closed engine only happens during shutdown; drop silently.
-        let _ = self.engine_tx.send(EngineMsg::Delta(DeltaBatch { shard: self.index, deltas }));
+        let _ =
+            self.engine_tx.send(EngineMsg::Delta(DeltaBatch { shard: self.index, deltas, trace }));
     }
 
-    fn ingest(&mut self, r: RawReading) {
+    fn ingest(&mut self, r: RawReading, mut trace: Option<TraceChain>) {
         let mut applied: Vec<ObjectId> = Vec::new();
-        match self.store.ingest_with(r, &mut |a| applied.push(a.object)) {
+        let clock = self.flight.clock().clone();
+        let result = self.store.ingest_marked(
+            r,
+            &mut || {
+                if let Some(chain) = trace.as_mut() {
+                    chain.stamp(Hop::WalAppended, clock.now_ns());
+                }
+            },
+            &mut |a| applied.push(a.object),
+        );
+        match result {
             Ok(()) => {}
             // Strict-mode rejection: durably logged, deterministically
             // refused — count it and move on, like recovery replay does.
             Err(StoreError::Stream(_)) => {
                 self.metrics.add(Counter::ServeReadingsRejected, 1);
+                self.flight.record(
+                    FlightEventKind::ReadingRejected,
+                    trace.map_or(0, |t| t.id),
+                    self.index as u64,
+                    u64::from(r.object.0),
+                );
             }
             Err(e) => panic!("shard {} store failed: {e}", self.index),
         }
         if applied.is_empty() {
             return;
         }
+        if let Some(chain) = trace.as_mut() {
+            chain.stamp(Hop::Applied, clock.now_ns());
+        }
         self.metrics.add(Counter::ServeReadingsApplied, applied.len() as u64);
+        self.flight.record(
+            FlightEventKind::ReadingApplied,
+            trace.map_or(0, |t| t.id),
+            self.index as u64,
+            u64::from(r.object.0),
+        );
         self.sync_mirror();
-        self.emit(&applied, false);
+        self.emit(&applied, false, trace);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     index: usize,
     dir: PathBuf,
@@ -201,6 +249,7 @@ fn run_shard(
     queue_depth: Arc<AtomicUsize>,
     engine_tx: Sender<EngineMsg>,
     metrics: Arc<ServiceMetrics>,
+    flight: Arc<FlightRecorder>,
     cfg: ShardConfig,
 ) {
     let (store, report) = IngestStore::open(StdFs, &dir, cfg.fresh_tracker(), cfg.store_options())
@@ -213,6 +262,7 @@ fn run_shard(
         last_te: HashMap::new(),
         engine_tx,
         metrics,
+        flight,
     };
     // A restarted (or re-opened) shard rebuilds its mirror from the
     // recovered tracker and re-emits every object's rows as a full delta:
@@ -228,7 +278,7 @@ fn run_shard(
         }
         objects.sort_unstable();
         objects.dedup();
-        state.emit(&objects, true);
+        state.emit(&objects, true, None);
     }
 
     loop {
@@ -242,11 +292,23 @@ fn run_shard(
         let depth = queue_depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
         state.metrics.observe_queue_depth(depth as u64);
         match msg {
-            ShardMsg::Publish(r) => state.ingest(r),
+            ShardMsg::Publish(r, mut trace) => {
+                if let Some(chain) = trace.as_mut() {
+                    chain.stamp(Hop::ShardDequeue, state.flight.clock().now_ns());
+                }
+                state.ingest(r, trace);
+            }
             ShardMsg::Flush(ack) => {
                 let _ = ack.send(());
             }
-            ShardMsg::Crash => return, // no snapshot, no sync: the WAL is the truth
+            // No snapshot, no sync: the WAL is the truth. Dump the
+            // flight recorder first so the postmortem shows what this
+            // worker (and the rest of the pipeline) did right before.
+            ShardMsg::Crash => {
+                state.flight.record(FlightEventKind::ShardCrash, 0, index as u64, 0);
+                let _ = std::fs::write(dir.join("postmortem.jsonl"), state.flight.dump_jsonl());
+                return;
+            }
             ShardMsg::Stop(ack) => {
                 let _ = state.store.snapshot();
                 let _ = ack.send(());

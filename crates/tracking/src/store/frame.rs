@@ -244,6 +244,13 @@ impl<'a> Cursor<'a> {
         s
     }
 
+    /// True when the payload is fully consumed — lets decoders branch
+    /// on an optional trailing section (e.g. version-negotiated protocol
+    /// extensions) without raw length arithmetic at the call site.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
     /// Rejects trailing bytes — a frame must be consumed exactly.
     pub fn done(&self) -> Result<(), StoreError> {
         if self.pos != self.bytes.len() {

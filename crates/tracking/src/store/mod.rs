@@ -414,11 +414,27 @@ impl<F: Fs> IngestStore<F> {
         r: RawReading,
         on_apply: &mut dyn FnMut(RawReading),
     ) -> Result<(), StoreError> {
+        self.ingest_marked(r, &mut || {}, on_apply)
+    }
+
+    /// [`IngestStore::ingest_with`] with the durability boundary also
+    /// exposed: `on_durable` fires once, right after the WAL append (and
+    /// fsync, when configured) succeeds and before the tracker applies
+    /// the reading. The serving layer stamps its per-reading trace
+    /// chain here so "wal" and "apply" show up as separate latency
+    /// segments.
+    pub fn ingest_marked(
+        &mut self,
+        r: RawReading,
+        on_durable: &mut dyn FnMut(),
+        on_apply: &mut dyn FnMut(RawReading),
+    ) -> Result<(), StoreError> {
         // One write call per frame: a torn write can only tear this frame.
         self.wal.write_all(&wal::encode_reading_frame(&r))?;
         if self.opts.sync_each_reading {
             self.fs.sync(&mut self.wal)?;
         }
+        on_durable();
         self.seq += 1;
         self.since_snapshot += 1;
         self.tracker.ingest_with(r, on_apply).map_err(StoreError::Stream)?;

@@ -28,8 +28,12 @@ cargo test -q --test chaos --test robustness --offline
 echo "== crash suite (deterministic failpoint sweep over the ingestion store)"
 cargo test -q --test crash --offline
 
-echo "== serve smoke (serve/watch end-to-end over TCP)"
+echo "== serve smoke (serve/watch/top end-to-end over TCP)"
 bash scripts/serve-smoke.sh
+
+echo "== bench6 (tracing/flight-recorder overhead -> BENCH_6.json)"
+cargo run -q --release -p inflow-bench --bin bench6 --offline -- --smoke --out BENCH_6.json
+cat BENCH_6.json
 
 # Opt-in sanitizer stages. Both need a nightly toolchain with the matching
 # components (rustup component add miri / -Z sanitizer support), so they

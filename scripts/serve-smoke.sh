@@ -59,6 +59,27 @@ grep -q "serve_readings_sharded" "$WORK/watch.log" || {
   exit 1
 }
 
+echo "== telemetry: inflow top --once against the live server"
+# top --once parses the METRICS snapshot strictly (counters, histogram
+# bucket bounds tiling the counts, per-shard queue depths) and exits
+# non-zero on any malformed field — it is the smoke test's canary for
+# broken telemetry.
+"$BIN" top --addr "$ADDR" --once >"$WORK/top.log"
+grep -q "serve_readings_sharded" "$WORK/top.log" || {
+  echo "top --once shows no router counter:" >&2
+  cat "$WORK/top.log" >&2
+  exit 1
+}
+grep -q "shard queues" "$WORK/top.log" || {
+  echo "top --once shows no shard queue depths" >&2
+  exit 1
+}
+grep -qE "e2e +[0-9]" "$WORK/top.log" || {
+  echo "top --once shows no end-to-end latency series (tracing broken?):" >&2
+  cat "$WORK/top.log" >&2
+  exit 1
+}
+
 echo "== shut the server down"
 "$BIN" watch --addr "$ADDR" --shutdown >/dev/null
 wait "$SERVER_PID"

@@ -87,6 +87,8 @@ impl Args {
                         | "no-sync"
                         | "stats"
                         | "shutdown"
+                        | "no-trace"
+                        | "once"
                 ) {
                     switches.push(name.to_string());
                 } else {
@@ -142,6 +144,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "recover" => cmd_recover(&args),
         "serve" => cmd_serve(&args),
         "watch" => cmd_watch(&args),
+        "top" => cmd_top(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -171,11 +174,14 @@ fn usage() -> String {
      \x20                                          replay WAL, print recovery report\n\
      \x20 serve    --plan F --store DIR [--port P] [--shards N] [--pool N]\n\
      \x20          [--max-gap S] [--lateness S] [--vmax V] [--no-sync]\n\
-     \x20          [--snapshot-every N] [--addr-file F]\n\
+     \x20          [--snapshot-every N] [--addr-file F] [--no-trace]\n\
+     \x20          [--slow-ms MS] [--flight-capacity N]\n\
      \x20                                          continuous flow-monitoring server\n\
      \x20 watch    --addr HOST:PORT [--t T | --ts T --te T] [--k K] [--epsilon E]\n\
      \x20          [--pois 1,2,3] [--publish F.csv] [--chunk N] [--stats] [--shutdown]\n\
      \x20                                          subscribe, stream, print updates\n\
+     \x20 top      --addr HOST:PORT [--once] [--interval S] [--count N]\n\
+     \x20                                          live server telemetry dashboard\n\
      \n\
      snapshot and interval accept --threads N with --iterative to fan the\n\
      per-object flow computation across N scoped worker threads; results\n\
@@ -183,7 +189,14 @@ fn usage() -> String {
      \n\
      serve blocks until a client sends --shutdown; it prints the bound\n\
      address on startup (and writes it to --addr-file, for scripts) and\n\
-     its metrics registry on exit.\n\
+     its metrics registry on exit. Pipeline tracing is on by default\n\
+     (--no-trace disables it); notifications slower than --slow-ms land\n\
+     in the slow-request log served by the TRACE protocol verb.\n\
+     \n\
+     top polls the server's METRICS verb and renders counters (with\n\
+     per-second rates), per-stage latency percentiles and per-shard\n\
+     queue depths; --once prints a single machine-checkable snapshot\n\
+     and exits (non-zero if the snapshot is malformed).\n\
      \n\
      ingest is resumable and idempotent: readings already durable in the\n\
      store's WAL are skipped, so rerunning after a crash continues where\n\
@@ -718,6 +731,9 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         snapshot_every: Some(args.get("snapshot-every")?.unwrap_or(1024)),
         pool: args.get("pool")?.unwrap_or(4),
         port: args.get("port")?.unwrap_or(0),
+        trace: !args.switch("no-trace"),
+        slow_ms: args.get("slow-ms")?.unwrap_or(10),
+        flight_capacity: args.get("flight-capacity")?.unwrap_or(4096),
     };
     if cfg.shards == 0 || cfg.pool == 0 {
         return err("--shards and --pool must be at least 1");
@@ -858,6 +874,231 @@ fn cmd_watch(args: &Args) -> Result<String, CliError> {
         return err("watch needs at least one of --t/--ts+--te, --publish, --stats, --shutdown");
     }
     Ok(out)
+}
+
+/// One validated `METRICS` snapshot, reduced to what the dashboard
+/// shows. Parsing is strict on purpose: `top --once` is the smoke
+/// test's canary for malformed telemetry, so any missing or mistyped
+/// field is an error, not a blank cell.
+struct TopSnapshot {
+    uptime_ns: u64,
+    counters: Vec<(String, u64)>,
+    /// (name, unit, count, mean, p50, p99, max)
+    histograms: Vec<(String, String, u64, f64, u64, u64, u64)>,
+    /// (shard index, queue depth)
+    shards: Vec<(u64, u64)>,
+}
+
+fn snapshot_field<'a>(
+    v: &'a crate::obs::Json,
+    key: &str,
+    ctx: &str,
+) -> Result<&'a crate::obs::Json, CliError> {
+    v.get(key).ok_or_else(|| CliError(format!("malformed metrics snapshot: {ctx} missing '{key}'")))
+}
+
+fn snapshot_u64(v: &crate::obs::Json, key: &str, ctx: &str) -> Result<u64, CliError> {
+    snapshot_field(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| CliError(format!("malformed metrics snapshot: {ctx} '{key}' is not a u64")))
+}
+
+/// Parses and validates a `METRICS` reply. Beyond field presence, this
+/// checks the invariants the snapshot format promises: histogram bucket
+/// counts sum to the series count, and every bucket has `lo <= hi`.
+fn parse_top_snapshot(raw: &str) -> Result<TopSnapshot, CliError> {
+    let json = crate::obs::Json::parse(raw)
+        .map_err(|e| CliError(format!("malformed metrics snapshot: {e}")))?;
+    let version = snapshot_u64(&json, "version", "snapshot")?;
+    if version != 1 {
+        return err(format!("unsupported metrics snapshot version {version}"));
+    }
+    let uptime_ns = snapshot_u64(&json, "uptime_ns", "snapshot")?;
+    snapshot_u64(&json, "slow_threshold_ns", "snapshot")?;
+
+    let counters_obj =
+        snapshot_field(&json, "counters", "snapshot")?.as_obj().ok_or_else(|| {
+            CliError("malformed metrics snapshot: 'counters' is not an object".into())
+        })?;
+    let mut counters = Vec::new();
+    for (name, v) in counters_obj {
+        let v = v.as_u64().ok_or_else(|| {
+            CliError(format!("malformed metrics snapshot: counter '{name}' is not a u64"))
+        })?;
+        counters.push((name.clone(), v));
+    }
+
+    let hists = snapshot_field(&json, "histograms", "snapshot")?.as_arr().ok_or_else(|| {
+        CliError("malformed metrics snapshot: 'histograms' is not an array".into())
+    })?;
+    let mut histograms = Vec::new();
+    for h in hists {
+        let name = snapshot_field(h, "name", "histogram")?
+            .as_str()
+            .ok_or_else(|| CliError("malformed metrics snapshot: histogram name".into()))?
+            .to_string();
+        let unit = snapshot_field(h, "unit", "histogram")?
+            .as_str()
+            .ok_or_else(|| {
+                CliError(format!("malformed metrics snapshot: histogram '{name}' unit"))
+            })?
+            .to_string();
+        let count = snapshot_u64(h, "count", &name)?;
+        let mean = snapshot_field(h, "mean", &name)?
+            .as_f64()
+            .ok_or_else(|| CliError(format!("malformed metrics snapshot: '{name}' mean")))?;
+        let p50 = snapshot_u64(h, "p50", &name)?;
+        let p99 = snapshot_u64(h, "p99", &name)?;
+        let max = snapshot_u64(h, "max", &name)?;
+        let buckets = snapshot_field(h, "buckets", &name)?
+            .as_arr()
+            .ok_or_else(|| CliError(format!("malformed metrics snapshot: '{name}' buckets")))?;
+        let mut bucket_total = 0u64;
+        for b in buckets {
+            let lo = snapshot_u64(b, "lo", &name)?;
+            let hi = snapshot_u64(b, "hi", &name)?;
+            let n = snapshot_u64(b, "n", &name)?;
+            if lo > hi {
+                return err(format!(
+                    "malformed metrics snapshot: '{name}' bucket has lo {lo} > hi {hi}"
+                ));
+            }
+            bucket_total = bucket_total.saturating_add(n);
+        }
+        if bucket_total != count {
+            return err(format!(
+                "malformed metrics snapshot: '{name}' buckets sum to {bucket_total}, count is {count}"
+            ));
+        }
+        histograms.push((name, unit, count, mean, p50, p99, max));
+    }
+
+    let shard_arr = snapshot_field(&json, "shards", "snapshot")?
+        .as_arr()
+        .ok_or_else(|| CliError("malformed metrics snapshot: 'shards' is not an array".into()))?;
+    let mut shards = Vec::new();
+    for s in shard_arr {
+        shards
+            .push((snapshot_u64(s, "shard", "shards")?, snapshot_u64(s, "queue_depth", "shards")?));
+    }
+
+    Ok(TopSnapshot { uptime_ns, counters, histograms, shards })
+}
+
+/// Scales nanoseconds into a human unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders one dashboard frame. `prev` (the previous poll's counters
+/// and the seconds elapsed since it) turns monotone counters into
+/// per-second rates.
+fn render_top(
+    addr: &std::net::SocketAddr,
+    snap: &TopSnapshot,
+    prev: Option<(&[(String, u64)], f64)>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "inflow top — {addr}  up {:.1}s", snap.uptime_ns as f64 / 1e9);
+    out.push_str("\ncounters (nonzero):\n");
+    for (name, v) in &snap.counters {
+        if *v == 0 {
+            continue;
+        }
+        let rate = prev.and_then(|(p, dt)| {
+            let old = p.iter().find(|(n, _)| n == name).map(|&(_, v)| v)?;
+            (dt > 0.0).then(|| (v.saturating_sub(old)) as f64 / dt)
+        });
+        match rate {
+            Some(r) => {
+                let _ = writeln!(out, "  {name:<28} {v:>12}  {r:>10.1}/s");
+            }
+            None => {
+                let _ = writeln!(out, "  {name:<28} {v:>12}");
+            }
+        }
+    }
+    out.push_str("\nlatency / value series:\n");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "series", "count", "mean", "p50", "p99", "max"
+    );
+    for (name, unit, count, mean, p50, p99, max) in &snap.histograms {
+        if *count == 0 {
+            continue;
+        }
+        if unit == "ns" {
+            let _ = writeln!(
+                out,
+                "  {name:<24} {count:>8} {:>10} {:>10} {:>10} {:>10}",
+                fmt_ns(*mean as u64),
+                fmt_ns(*p50),
+                fmt_ns(*p99),
+                fmt_ns(*max),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {name:<24} {count:>8} {mean:>10.1} {p50:>10} {p99:>10} {max:>10}  ({unit})"
+            );
+        }
+    }
+    out.push_str("\nshard queues:\n  ");
+    for (i, d) in &snap.shards {
+        let _ = write!(out, "#{i}:{d} ");
+    }
+    out.push('\n');
+    out
+}
+
+fn cmd_top(args: &Args) -> Result<String, CliError> {
+    let addr: std::net::SocketAddr = args.require("addr")?;
+    let once = args.switch("once");
+    let interval: f64 = args.get("interval")?.unwrap_or(1.0);
+    if !(interval > 0.0 && interval.is_finite()) {
+        return err("--interval must be positive and finite");
+    }
+    let count: u64 = match args.get::<u64>("count")? {
+        Some(0) => return err("--count must be at least 1"),
+        Some(n) => n,
+        None if once => 1,
+        None => u64::MAX,
+    };
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+    let mut prev: Option<(Vec<(String, u64)>, std::time::Instant)> = None;
+    let mut frame = 0u64;
+    loop {
+        let raw = client.metrics_json().map_err(|e| CliError(format!("metrics: {e}")))?;
+        let snap = parse_top_snapshot(&raw)?;
+        let now = std::time::Instant::now();
+        let text = render_top(
+            &addr,
+            &snap,
+            prev.as_ref().map(|(c, at)| (c.as_slice(), now.duration_since(*at).as_secs_f64())),
+        );
+        frame += 1;
+        if once || frame >= count {
+            // Final frame rides the return value so `main` prints it —
+            // and so tests and the smoke script capture it.
+            return Ok(text);
+        }
+        // Live mode: clear, redraw, sleep, poll again.
+        print!("\x1b[2J\x1b[H{text}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = Some((snap.counters, now));
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
 }
 
 /// Convenience for tests: runs with string arguments.

@@ -14,7 +14,7 @@ use inflow::service::{Client, ServeConfig, Server, ServerHandle, SubKind, SubSpe
 use inflow::tracking::{ObjectTrackingTable, RawReading};
 use inflow::uncertainty::{IndoorContext, UrConfig};
 use inflow::workload::{generate_synthetic, SyntheticConfig, Workload};
-use inflow::{indoor::PoiId, obs::Counter};
+use inflow::{indoor::PoiId, obs::Counter, obs::Json};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -280,6 +280,198 @@ fn epsilon_gates_notifications() {
     let stats = client.stats().expect("stats");
     assert!(stats.contains("serve_readings_sharded"), "missing router counter:\n{stats}");
     assert!(stats.contains("serve_recompute"), "missing recompute histogram:\n{stats}");
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Every traced update's hop chain must be monotone, complete
+/// (router → shard → WAL → apply → engine → recompute → notify), carry
+/// at least 4 named latency segments, and those segments must sum to
+/// (within 10% of) the chain's end-to-end total — including across a
+/// shard crash/restart, whose queued publishes keep their chains.
+#[test]
+fn trace_chains_decompose_notify_latency() {
+    let w = small_workload();
+    let readings = readings_of(&w);
+    let all_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+
+    let (handle, dir) = start_server(&w, "trace", 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(client.version(), 2, "client must negotiate protocol v2");
+
+    let spec = SubSpec {
+        kind: SubKind::Interval { ts: 0.0, te: 300.0 },
+        k: all_pois.len(),
+        epsilon: 0.0,
+        pois: Vec::new(),
+    };
+    client.subscribe(&spec).expect("subscribe");
+    client.barrier().expect("barrier");
+    client.take_updates(); // drop the untraced initial result
+
+    let mut traced = 0usize;
+    let mut crashed = false;
+    let chunk = readings.len().div_ceil(8).max(1);
+    for (i, batch) in readings.chunks(chunk).enumerate() {
+        let id = client.publish(batch).expect("publish");
+        assert!(id.is_some(), "v2 publish must return the assigned trace id");
+        if i == 2 {
+            handle.crash_shard(0);
+            crashed = true;
+        }
+        if crashed && i == 4 {
+            handle.restart_shard(0).expect("restart shard");
+            crashed = false;
+        }
+        if crashed {
+            continue;
+        }
+        client.barrier().expect("barrier");
+        for u in client.take_updates() {
+            let Some(chain) = u.trace else { continue };
+            traced += 1;
+            assert!(chain.id > 0, "trace id must be assigned");
+            assert!(chain.is_monotone(), "hop chain not monotone: {}", chain.to_json());
+            assert!(chain.is_complete(), "hop chain incomplete: {}", chain.to_json());
+            let segments = chain.segments();
+            assert!(segments.len() >= 4, "expected >= 4 named segments, got {segments:?}");
+            let total = chain.total_ns().expect("complete chain has a total");
+            let sum: u64 = segments.iter().map(|&(_, ns)| ns).sum();
+            let tolerance = total / 10;
+            assert!(
+                sum.abs_diff(total) <= tolerance,
+                "segments sum {sum} differs from total {total} by more than 10%: {segments:?}"
+            );
+        }
+    }
+    assert!(traced > 0, "no update carried a trace chain");
+
+    // The TRACE verb surfaces the same chains server-side.
+    let traces = Json::parse(&client.trace_json().expect("trace_json")).expect("valid trace json");
+    let recent = traces.get("recent").and_then(|r| r.as_arr()).expect("recent array");
+    assert!(!recent.is_empty(), "server recorded no completed traces");
+    let seg = recent[0]
+        .get("trace")
+        .and_then(|t| t.get("segments"))
+        .and_then(|s| s.as_obj())
+        .expect("segments object");
+    assert!(seg.len() >= 4, "server-side trace has too few segments: {seg:?}");
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A crashing shard worker dumps the flight recorder to
+/// `postmortem.jsonl` in its store directory: the dump must parse as
+/// JSONL, contain the `shard_crash` event, and include pipeline events
+/// from *before* the crash (the point of a flight recorder).
+#[test]
+fn shard_crash_writes_flight_postmortem() {
+    let w = small_workload();
+    let readings = readings_of(&w);
+
+    let (handle, dir) = start_server(&w, "postmortem", 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.publish(&readings[..readings.len() / 2]).expect("publish");
+    client.barrier().expect("barrier");
+    handle.crash_shard(0);
+
+    // The worker writes the postmortem before exiting; crash_shard joins
+    // nothing, so poll briefly for the file.
+    let path = dir.join("shard-0").join("postmortem.jsonl");
+    let mut dump = String::new();
+    for _ in 0..100 {
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            dump = s;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(!dump.is_empty(), "no postmortem at {}", path.display());
+
+    let mut kinds = Vec::new();
+    for line in dump.lines() {
+        let event = Json::parse(line).expect("postmortem line is valid JSON");
+        let kind = event.get("event").and_then(|k| k.as_str()).expect("event kind").to_string();
+        assert!(event.get("seq").and_then(|s| s.as_u64()).is_some(), "event seq");
+        assert!(event.get("at_ns").and_then(|s| s.as_u64()).is_some(), "event at_ns");
+        kinds.push(kind);
+    }
+    assert!(kinds.iter().any(|k| k == "shard_crash"), "crash event missing: {kinds:?}");
+    let crash_at = kinds.iter().position(|k| k == "shard_crash").unwrap_or(0);
+    assert!(
+        kinds[..crash_at].iter().any(|k| k == "reading_applied" || k == "publish_routed"),
+        "no pipeline events precede the crash: {kinds:?}"
+    );
+
+    handle.restart_shard(0).expect("restart");
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `METRICS` and `FLIGHT` replies must be machine-readable: valid JSON
+/// with exact histogram bucket bounds that tile the observations, and
+/// valid JSONL respectively.
+#[test]
+fn metrics_snapshot_is_well_formed() {
+    let w = small_workload();
+    let readings = readings_of(&w);
+
+    let (handle, dir) = start_server(&w, "metrics-json", 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let spec =
+        SubSpec { kind: SubKind::Snapshot { t: 150.0 }, k: 5, epsilon: 0.0, pois: Vec::new() };
+    client.subscribe(&spec).expect("subscribe");
+    client.publish(&readings).expect("publish");
+    client.barrier().expect("barrier");
+
+    let snap = Json::parse(&client.metrics_json().expect("metrics_json")).expect("valid json");
+    assert_eq!(snap.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert!(snap.get("uptime_ns").and_then(|v| v.as_u64()).is_some());
+    let counters = snap.get("counters").and_then(|c| c.as_obj()).expect("counters object");
+    assert!(
+        counters.get("serve_readings_sharded").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+        "router counter missing or zero"
+    );
+    let hists = snap.get("histograms").and_then(|h| h.as_arr()).expect("histograms array");
+    let mut saw_e2e = false;
+    for h in hists {
+        let name = h.get("name").and_then(|n| n.as_str()).expect("histogram name");
+        assert!(h.get("unit").and_then(|u| u.as_str()).is_some(), "{name}: unit");
+        let count = h.get("count").and_then(|c| c.as_u64()).expect("count");
+        let buckets = h.get("buckets").and_then(|b| b.as_arr()).expect("buckets");
+        let mut total = 0u64;
+        for b in buckets {
+            let lo = b.get("lo").and_then(|v| v.as_u64()).expect("bucket lo");
+            let hi = b.get("hi").and_then(|v| v.as_u64()).expect("bucket hi");
+            assert!(lo <= hi, "{name}: bucket bound inversion {lo} > {hi}");
+            total += b.get("n").and_then(|v| v.as_u64()).expect("bucket n");
+        }
+        assert_eq!(total, count, "{name}: bucket counts must tile the series count");
+        if name == "e2e" {
+            saw_e2e = true;
+            assert!(count > 0, "traced pipeline recorded no end-to-end latencies");
+        }
+    }
+    assert!(saw_e2e, "e2e histogram missing from snapshot");
+    let shards = snap.get("shards").and_then(|s| s.as_arr()).expect("shards array");
+    assert_eq!(shards.len(), 2, "one queue-depth entry per shard");
+
+    // Flight dump: every line parses, and the query itself is recorded.
+    let dump = client.flight_dump().expect("flight_dump");
+    assert!(!dump.is_empty());
+    for line in dump.lines() {
+        Json::parse(line).expect("flight line is valid JSON");
+    }
+    assert!(
+        handle.metrics().counter(Counter::ServeMetricsQueries) >= 1
+            && handle.metrics().counter(Counter::ServeFlightDumps) >= 1,
+        "telemetry handlers must record into ServiceMetrics"
+    );
 
     client.shutdown_server().expect("shutdown");
     handle.wait();
