@@ -1,0 +1,60 @@
+//! The replay-recorder overhead gate: `BENCH_7.json`.
+//!
+//! Runs the sustained-ingest server benchmark twice — once driven
+//! directly, once routed through the replay recorder (op logging plus
+//! per-barrier state-hash verification points) — and writes one JSON
+//! document with both sides' ingest throughput and notify p99, plus the
+//! computed regression percentage. The acceptance bar is < 5%
+//! ingest-throughput regression while recording.
+//!
+//! ```text
+//! bench7 [--objects N] [--duration S] [--repeats N] [--smoke] [--out PATH]
+//! ```
+//!
+//! Without `--out` the document goes to stdout.
+
+use inflow_bench::{bench7_json, Scale};
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => scale.objects = parse(args.next(), "--objects"),
+            "--duration" => scale.duration = parse(args.next(), "--duration"),
+            "--repeats" => scale.repeats = parse(args.next(), "--repeats"),
+            "--smoke" => scale = Scale::smoke(),
+            "--out" => out = Some(parse(args.next(), "--out")),
+            "--help" | "-h" => {
+                println!(
+                    "bench7 — replay-recorder overhead report (BENCH_7.json)\n\n\
+                     usage: bench7 [--objects N] [--duration S] [--repeats N] [--smoke] [--out PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = bench7_json(&scale);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+                eprintln!("bench7: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("bench7: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}

@@ -1005,6 +1005,116 @@ pub fn bench6_json(scale: &Scale) -> String {
     )
 }
 
+/// One sustained-ingest run for the recorder-overhead comparison. Both
+/// sides run the same workload, chunking and barrier cadence; the
+/// `recorded` side additionally routes every op through the replay
+/// recorder ([`inflow_replay::record_run`]) — per-barrier state-hash
+/// RPCs, op logging and all. Returns (readings/sec, notify p99 ms).
+fn record_overhead_run(scale: &Scale, recorded: bool) -> (f64, f64) {
+    use inflow_replay::{record_run, FaultPlan, RecordOptions};
+    use inflow_service::{Client, ServeConfig, Server, SubKind, SubSpec};
+    use inflow_tracking::RawReading;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const CHUNK: usize = 256;
+    const BARRIER_EVERY: usize = 8;
+
+    static RUN: AtomicUsize = AtomicUsize::new(0);
+    let mut cfg = base_synthetic(scale);
+    cfg.num_objects = scale.objects.max(1);
+    let w = generate_synthetic(&cfg);
+    let mut readings: Vec<RawReading> = Vec::with_capacity(w.ott.len() * 2);
+    for r in w.ott.records() {
+        readings.push(RawReading { object: r.object, device: r.device, t: r.ts });
+        if r.te > r.ts {
+            readings.push(RawReading { object: r.object, device: r.device, t: r.te });
+        }
+    }
+    readings.sort_by(|a, b| a.t.total_cmp(&b.t).then_with(|| a.object.cmp(&b.object)));
+
+    let dir = std::env::temp_dir().join(format!(
+        "inflow-bench-record-{}-{}",
+        std::process::id(),
+        RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let serve_cfg = ServeConfig {
+        shards: 4,
+        ur: UrConfig { vmax: w.vmax, resolution: scale.resolution, ..UrConfig::default() },
+        ..ServeConfig::new(dir.clone())
+    };
+    let handle = Server::start(w.ctx.clone(), serve_cfg).expect("bench server start");
+    let spec = SubSpec {
+        kind: SubKind::Snapshot { t: cfg.duration / 2.0 },
+        k: 10,
+        epsilon: 0.0,
+        pois: Vec::new(),
+    };
+
+    let t0 = Instant::now();
+    if recorded {
+        let opts = RecordOptions {
+            chunk: CHUNK,
+            barrier_every: BARRIER_EVERY,
+            subs: vec![spec],
+            plan: FaultPlan::default(),
+        };
+        let log = record_run(&handle, dir.clone(), &readings, &opts).expect("bench record");
+        std::hint::black_box(log.to_bytes().len());
+    } else {
+        let mut client = Client::connect(handle.addr()).expect("bench client connect");
+        client.subscribe(&spec).expect("bench subscribe");
+        let mut publishes = 0usize;
+        for batch in readings.chunks(CHUNK) {
+            client.publish(batch).expect("bench publish");
+            publishes += 1;
+            if publishes.is_multiple_of(BARRIER_EVERY) {
+                client.barrier().expect("bench barrier");
+            }
+        }
+        client.barrier().expect("bench drain barrier");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let throughput = readings.len() as f64 / elapsed.max(1e-9);
+    let notify_p99_ms = handle.metrics().notify_p99_ns() as f64 / 1e6;
+
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    (throughput, notify_p99_ms)
+}
+
+/// The PR 7 recorder-overhead benchmark: sustained ingest throughput
+/// and notify p99 with the replay recorder off (`baseline`) vs on
+/// (`recorded`), as the JSON document CI writes to `BENCH_7.json`.
+/// Best-of-`scale.repeats` per side, like [`bench6_json`]. The
+/// acceptance bar is < 5% ingest-throughput regression while recording.
+pub fn bench7_json(scale: &Scale) -> String {
+    let repeats = scale.repeats.max(1);
+    let run_best = |recorded: bool| -> (f64, f64) {
+        let mut best = (0.0f64, 0.0f64);
+        for _ in 0..repeats {
+            let (rps, p99) = record_overhead_run(scale, recorded);
+            if rps > best.0 {
+                best = (rps, p99);
+            }
+        }
+        best
+    };
+    let (base_rps, base_p99) = run_best(false);
+    let (rec_rps, rec_p99) = run_best(true);
+    let regression_pct =
+        if base_rps > 0.0 { ((base_rps - rec_rps) / base_rps * 100.0).max(0.0) } else { 0.0 };
+    format!(
+        "{{\"bench\":7,\"experiment\":\"replay-recorder-overhead\",\"objects\":{},\"repeats\":{},\
+         \"baseline\":{{\"ingest_rps\":{:.1},\"notify_p99_ms\":{:.3}}},\
+         \"recorded\":{{\"ingest_rps\":{:.1},\"notify_p99_ms\":{:.3}}},\
+         \"ingest_regression_pct\":{:.2}}}",
+        scale.objects, repeats, base_rps, base_p99, rec_rps, rec_p99, regression_pct
+    )
+}
+
 /// All experiment ids in suite order.
 pub const ALL_EXPERIMENTS: [&str; 21] = [
     "f10a",

@@ -60,10 +60,25 @@ pub enum FlightEventKind {
     ConnOpened,
     /// Connection closed. `a` = connection id.
     ConnClosed,
+    /// PUBLISH refused with an `OVERLOADED` backpressure frame. `a` =
+    /// connection id, `b` = deepest shard queue depth at refusal.
+    Overloaded,
+    /// Connection refused at accept time (server at its connection
+    /// bound). `a` = concurrent connections at refusal.
+    ConnRejected,
+    /// Barrier state digest served (`STATE_HASH`). `a` = connection id,
+    /// `b` = combined engine hash.
+    StateHash,
+    /// Subscription re-registered with a resume section. `a` = new
+    /// subscription id, `b` = resumed-from sequence number.
+    SubResumed,
+    /// Replay harness detected a per-barrier hash divergence. `a` =
+    /// barrier index, `b` = count of mismatched shards.
+    ReplayDivergence,
 }
 
 impl FlightEventKind {
-    pub const ALL: [FlightEventKind; 18] = [
+    pub const ALL: [FlightEventKind; 23] = [
         FlightEventKind::PublishRouted,
         FlightEventKind::ReadingApplied,
         FlightEventKind::ReadingRejected,
@@ -82,6 +97,11 @@ impl FlightEventKind {
         FlightEventKind::FlightDump,
         FlightEventKind::ConnOpened,
         FlightEventKind::ConnClosed,
+        FlightEventKind::Overloaded,
+        FlightEventKind::ConnRejected,
+        FlightEventKind::StateHash,
+        FlightEventKind::SubResumed,
+        FlightEventKind::ReplayDivergence,
     ];
 
     /// Stable snake_case name used in JSONL postmortems.
@@ -105,6 +125,11 @@ impl FlightEventKind {
             FlightEventKind::FlightDump => "flight_dump",
             FlightEventKind::ConnOpened => "conn_opened",
             FlightEventKind::ConnClosed => "conn_closed",
+            FlightEventKind::Overloaded => "overloaded",
+            FlightEventKind::ConnRejected => "conn_rejected",
+            FlightEventKind::StateHash => "state_hash",
+            FlightEventKind::SubResumed => "sub_resumed",
+            FlightEventKind::ReplayDivergence => "replay_divergence",
         }
     }
 

@@ -106,6 +106,18 @@ pub enum Counter {
     /// Notification trace chains completed end-to-end (router →
     /// notified) and folded into the per-stage histograms.
     ServeTracesCompleted,
+    /// `PUBLISH` batches refused with an `OVERLOADED` backpressure frame
+    /// because a shard ingestion queue exceeded its bound.
+    ServeOverloads,
+    /// Connections refused at accept time because the server was at its
+    /// concurrent-connection bound (`OVERLOADED` frame, then close).
+    ServeConnsRejected,
+    /// `STATE_HASH` barrier-digest requests answered by the server (the
+    /// record/replay harness's per-barrier comparison point).
+    ServeStateHashes,
+    /// Subscriptions re-registered with a sequence-numbered resume
+    /// section after a client reconnect.
+    ServeResumedSubscriptions,
     /// Density-grid snapshot queries evaluated.
     DensityQueries,
     /// Inverse visitor queries (likely-visitors / also-visited) evaluated.
@@ -114,7 +126,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 40] = [
+    pub const ALL: [Counter; 44] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -153,6 +165,10 @@ impl Counter {
         Counter::ServeTraceQueries,
         Counter::ServeFlightDumps,
         Counter::ServeTracesCompleted,
+        Counter::ServeOverloads,
+        Counter::ServeConnsRejected,
+        Counter::ServeStateHashes,
+        Counter::ServeResumedSubscriptions,
         Counter::DensityQueries,
         Counter::VisitorQueries,
     ];
@@ -198,6 +214,10 @@ impl Counter {
             Counter::ServeTraceQueries => "serve_trace_queries",
             Counter::ServeFlightDumps => "serve_flight_dumps",
             Counter::ServeTracesCompleted => "serve_traces_completed",
+            Counter::ServeOverloads => "serve_overloads",
+            Counter::ServeConnsRejected => "serve_conns_rejected",
+            Counter::ServeStateHashes => "serve_state_hashes",
+            Counter::ServeResumedSubscriptions => "serve_resumed_subscriptions",
             Counter::DensityQueries => "density_queries",
             Counter::VisitorQueries => "visitor_queries",
         }

@@ -1,0 +1,178 @@
+//! Chaos schedules: deterministic, replayable fault plans.
+//!
+//! A [`FaultPlan`] pins each fault to a position in the op stream
+//! (`at_op` = number of ops executed before it fires), so a recorded
+//! chaos run and its replay inject the *same* fault at the *same*
+//! point. Plans are either hand-written (`parse`) or generated from a
+//! seed (`generate`) — the seed is stored in the log's META frame, so a
+//! failing run's schedule is reproducible from the artifact alone.
+
+use std::fmt;
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill shard `i` abruptly (WAL survives, queue survives).
+    CrashShard(u32),
+    /// Restart shard `i` (WAL recovery + full delta re-emission).
+    RestartShard(u32),
+    /// Torn write: sync, crash shard `i`, shear trailing bytes off its
+    /// WAL mid-frame, restart (recovery must detect and truncate).
+    TornWal(u32),
+    /// Drop the driving connection and re-establish it (subscriptions
+    /// re-registered deterministically).
+    Disconnect,
+}
+
+impl FaultKind {
+    /// Wire encoding: `(kind byte, shard)`.
+    pub fn encode(&self) -> (u8, u32) {
+        match *self {
+            FaultKind::CrashShard(i) => (1, i),
+            FaultKind::RestartShard(i) => (2, i),
+            FaultKind::TornWal(i) => (3, i),
+            FaultKind::Disconnect => (4, 0),
+        }
+    }
+
+    pub fn decode(kind: u8, shard: u32) -> Option<FaultKind> {
+        match kind {
+            1 => Some(FaultKind::CrashShard(shard)),
+            2 => Some(FaultKind::RestartShard(shard)),
+            3 => Some(FaultKind::TornWal(shard)),
+            4 => Some(FaultKind::Disconnect),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultKind::CrashShard(i) => write!(f, "crash:{i}"),
+            FaultKind::RestartShard(i) => write!(f, "restart:{i}"),
+            FaultKind::TornWal(i) => write!(f, "torn:{i}"),
+            FaultKind::Disconnect => write!(f, "disconnect"),
+        }
+    }
+}
+
+/// A fault and the op-stream position it fires at (after `at_op` ops
+/// have executed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at_op: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic chaos schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Generation seed (0 for hand-written plans).
+    pub seed: u64,
+    /// Events sorted by `at_op`.
+    pub events: Vec<FaultEvent>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl FaultPlan {
+    /// Generates `faults` crash-class events across an op stream of
+    /// length `ops` against `shards` shards. Each event is a
+    /// self-healing pair or unit — a `CrashShard` is always followed by
+    /// its `RestartShard` two ops later, a `TornWal` restarts
+    /// internally, a `Disconnect` reconnects internally — so a
+    /// generated plan never leaves the server degraded at the end of
+    /// the run.
+    pub fn generate(seed: u64, ops: u64, shards: u32, faults: usize) -> FaultPlan {
+        let mut state = seed | 1;
+        let mut events = Vec::new();
+        if ops == 0 || shards == 0 {
+            return FaultPlan { seed, events };
+        }
+        for _ in 0..faults {
+            let at_op = xorshift(&mut state) % ops;
+            let shard = (xorshift(&mut state) % shards as u64) as u32;
+            match xorshift(&mut state) % 3 {
+                0 => {
+                    events.push(FaultEvent { at_op, kind: FaultKind::CrashShard(shard) });
+                    events.push(FaultEvent {
+                        at_op: (at_op + 2).min(ops),
+                        kind: FaultKind::RestartShard(shard),
+                    });
+                }
+                1 => events.push(FaultEvent { at_op, kind: FaultKind::TornWal(shard) }),
+                _ => events.push(FaultEvent { at_op, kind: FaultKind::Disconnect }),
+            }
+        }
+        events.sort_by_key(|e| e.at_op);
+        FaultPlan { seed, events }
+    }
+
+    /// Parses a hand-written schedule:
+    /// `"<op>:crash:<shard>,<op>:restart:<shard>,<op>:torn:<shard>,<op>:disconnect"`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut events = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let mut fields = part.split(':');
+            let at_op: u64 = fields
+                .next()
+                .ok_or_else(|| format!("empty fault spec in {part:?}"))?
+                .parse()
+                .map_err(|_| format!("bad op position in {part:?}"))?;
+            let kind_name =
+                fields.next().ok_or_else(|| format!("missing fault kind in {part:?}"))?;
+            let shard = match fields.next() {
+                Some(s) => s.parse::<u32>().map_err(|_| format!("bad shard in {part:?}"))?,
+                None => 0,
+            };
+            let kind = match kind_name {
+                "crash" => FaultKind::CrashShard(shard),
+                "restart" => FaultKind::RestartShard(shard),
+                "torn" => FaultKind::TornWal(shard),
+                "disconnect" => FaultKind::Disconnect,
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            events.push(FaultEvent { at_op, kind });
+        }
+        events.sort_by_key(|e| e.at_op);
+        Ok(FaultPlan { seed: 0, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_sorted() {
+        let a = FaultPlan::generate(42, 100, 2, 5);
+        let b = FaultPlan::generate(42, 100, 2, 5);
+        assert_eq!(a, b);
+        assert!(a.events.windows(2).all(|w| w[0].at_op <= w[1].at_op));
+        assert_ne!(a, FaultPlan::generate(43, 100, 2, 5));
+    }
+
+    #[test]
+    fn parse_round_trips_kinds() {
+        let plan = FaultPlan::parse("5:crash:1, 7:restart:1,9:torn:0,11:disconnect").unwrap();
+        assert_eq!(
+            plan.events,
+            vec![
+                FaultEvent { at_op: 5, kind: FaultKind::CrashShard(1) },
+                FaultEvent { at_op: 7, kind: FaultKind::RestartShard(1) },
+                FaultEvent { at_op: 9, kind: FaultKind::TornWal(0) },
+                FaultEvent { at_op: 11, kind: FaultKind::Disconnect },
+            ]
+        );
+        assert!(FaultPlan::parse("5:melt:1").is_err());
+        assert!(FaultPlan::parse("x:crash:1").is_err());
+    }
+}

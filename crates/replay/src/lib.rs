@@ -1,0 +1,72 @@
+//! `inflow-replay`: deterministic record/replay and chaos-scheduled
+//! fault injection for the flow-monitoring server.
+//!
+//! Three pieces:
+//!
+//! * **Recording** ([`session`]): [`RecordingSession`] taps a serving
+//!   run's op stream — publishes, subscribes, barriers, injected
+//!   faults — into a CRC-framed `IFRPL001` log ([`log`]), stamping a
+//!   deterministic [`StateHash`](inflow_service::protocol::StateHash)
+//!   (per-shard tracker digests + engine digest) at every barrier.
+//! * **Chaos** ([`fault`]): [`FaultPlan`] pins seeded or hand-written
+//!   faults (shard kills, torn WAL writes, connection drops) to op
+//!   positions, making a chaos run a replayable artifact rather than a
+//!   one-off.
+//! * **Replay** ([`replayer`]): [`replay`] drives a fresh server
+//!   through the log and compares hashes at every barrier, producing a
+//!   typed [`DivergenceReport`] (first diverging barrier, per-shard
+//!   diff, flight-recorder dump) on mismatch; [`bisect`] shrinks a
+//!   diverging log to its minimal diverging prefix by binary search
+//!   over barrier-truncated replays.
+//!
+//! Everything is `std` only, like the rest of the workspace.
+
+pub mod fault;
+pub mod log;
+pub mod replayer;
+pub mod session;
+
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use log::{BarrierRecord, Meta, Op, ReplayLog, LOG_VERSION, REPLAY_MAGIC};
+pub use replayer::{bisect, replay, BisectResult, DivergenceReport, ReplayReport};
+pub use session::{record_run, RecordOptions, RecordingSession};
+
+use inflow_service::ServiceError;
+use inflow_tracking::StoreError;
+use std::fmt;
+
+/// What went wrong recording or replaying.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// A protocol exchange with the server failed.
+    Service(ServiceError),
+    /// Filesystem-level failure (fault injection, server restart).
+    Io(std::io::Error),
+    /// The log itself is malformed or corrupt (CRC failures carry the
+    /// exact byte offset).
+    Log(StoreError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Service(e) => write!(f, "service error: {e}"),
+            ReplayError::Io(e) => write!(f, "i/o error: {e}"),
+            ReplayError::Log(e) => write!(f, "replay log error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<ServiceError> for ReplayError {
+    fn from(e: ServiceError) -> ReplayError {
+        ReplayError::Service(e)
+    }
+}
+
+impl From<StoreError> for ReplayError {
+    fn from(e: StoreError) -> ReplayError {
+        ReplayError::Log(e)
+    }
+}

@@ -1,0 +1,227 @@
+//! The `IFRPL001` replay log: a CRC-framed binary record of one
+//! serving session's op stream.
+//!
+//! Layout: the 8-byte magic, then frames in the workspace frame format
+//! (`tag u8 | len u32 LE | payload | crc32 LE`, see
+//! [`inflow_tracking::store::frame`]):
+//!
+//! * `META` — format version, fault seed, shard count (exactly one,
+//!   first).
+//! * `PUBLISH` — one published batch, in the wire `PUBLISH` payload
+//!   encoding (shared with the protocol, so the log and the wire can
+//!   never drift apart).
+//! * `SUBSCRIBE` — one subscription registration, wire `SUBSCRIBE`
+//!   payload (no resume section).
+//! * `BARRIER` — a sync point: 1-based barrier index, then the
+//!   [`StateHash`] observed there (engine digest + per-shard tracker
+//!   digests). Replay recomputes and compares at each one.
+//! * `FAULT` — an injected fault and where in the op stream it fired.
+//! * `END` — op count (commit marker; a log without it is truncated).
+//!
+//! Corruption anywhere surfaces as a typed
+//! [`StoreError::Frame`](inflow_tracking::StoreError) with the exact
+//! byte offset — the same guarantee the WAL gives.
+
+use crate::fault::{FaultEvent, FaultKind};
+use inflow_service::protocol::{self, StateHash, SubSpec};
+use inflow_tracking::store::frame::{self, Cursor, FrameReader};
+use inflow_tracking::{RawReading, StoreError};
+
+/// Magic header of a replay log file.
+pub const REPLAY_MAGIC: &[u8; 8] = b"IFRPL001";
+
+/// Replay-log frame tags.
+pub mod rtag {
+    /// Format version + fault seed + shard count.
+    pub const META: u8 = 1;
+    /// One published batch (wire `PUBLISH` payload).
+    pub const PUBLISH: u8 = 2;
+    /// One subscription (wire `SUBSCRIBE` payload, no resume).
+    pub const SUBSCRIBE: u8 = 3;
+    /// Barrier index + recorded state hashes.
+    pub const BARRIER: u8 = 4;
+    /// One injected fault.
+    pub const FAULT: u8 = 5;
+    /// Commit marker: total op count.
+    pub const END: u8 = 6;
+}
+
+/// Replay-log format version (payload versioning inside `IFRPL001`).
+pub const LOG_VERSION: u32 = 1;
+
+/// Session-level metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Meta {
+    pub version: u32,
+    /// Seed the fault plan was generated from (0 = hand-written).
+    pub seed: u64,
+    /// Shard count the recording server ran with; replay must match or
+    /// the shard hash vectors aren't comparable.
+    pub shards: u32,
+}
+
+/// A barrier sync point and the state digests recorded there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierRecord {
+    /// 1-based barrier number within the session.
+    pub index: u32,
+    pub hash: StateHash,
+}
+
+/// One recorded operation, in stream order.
+#[derive(Debug, Clone)]
+pub enum Op {
+    Publish(Vec<RawReading>),
+    Subscribe(SubSpec),
+    Barrier(BarrierRecord),
+    Fault(FaultEvent),
+}
+
+/// A parsed (or under-construction) replay log.
+#[derive(Debug, Clone)]
+pub struct ReplayLog {
+    pub meta: Meta,
+    pub ops: Vec<Op>,
+}
+
+impl ReplayLog {
+    pub fn new(seed: u64, shards: u32) -> ReplayLog {
+        ReplayLog { meta: Meta { version: LOG_VERSION, seed, shards }, ops: Vec::new() }
+    }
+
+    /// Number of barriers recorded.
+    pub fn barriers(&self) -> u32 {
+        self.ops.iter().filter(|op| matches!(op, Op::Barrier(_))).count() as u32
+    }
+
+    /// Serializes the log, magic through commit marker.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(REPLAY_MAGIC);
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(&self.meta.version.to_le_bytes());
+        meta.extend_from_slice(&self.meta.seed.to_le_bytes());
+        meta.extend_from_slice(&self.meta.shards.to_le_bytes());
+        frame::write_frame(&mut out, rtag::META, &meta);
+        for op in &self.ops {
+            match op {
+                Op::Publish(readings) => {
+                    frame::write_frame(&mut out, rtag::PUBLISH, &protocol::encode_publish(readings))
+                }
+                Op::Subscribe(spec) => {
+                    frame::write_frame(&mut out, rtag::SUBSCRIBE, &protocol::encode_subspec(spec))
+                }
+                Op::Barrier(rec) => {
+                    let mut payload = Vec::new();
+                    payload.extend_from_slice(&rec.index.to_le_bytes());
+                    payload.extend_from_slice(&protocol::encode_state_hash(&rec.hash));
+                    frame::write_frame(&mut out, rtag::BARRIER, &payload);
+                }
+                Op::Fault(ev) => {
+                    let mut payload = Vec::with_capacity(13);
+                    payload.extend_from_slice(&ev.at_op.to_le_bytes());
+                    let (kind, shard) = ev.kind.encode();
+                    payload.push(kind);
+                    payload.extend_from_slice(&shard.to_le_bytes());
+                    frame::write_frame(&mut out, rtag::FAULT, &payload);
+                }
+            }
+        }
+        frame::write_frame(&mut out, rtag::END, &(self.ops.len() as u64).to_le_bytes());
+        out
+    }
+
+    /// Parses a log, validating the magic, every frame CRC (errors carry
+    /// the exact byte offset) and the commit marker.
+    pub fn parse(bytes: &[u8]) -> Result<ReplayLog, StoreError> {
+        if bytes.len() < REPLAY_MAGIC.len() || &bytes[..REPLAY_MAGIC.len()] != REPLAY_MAGIC {
+            return Err(StoreError::BadMagic { what: "replay log" });
+        }
+        let mut reader = FrameReader::new(bytes, REPLAY_MAGIC.len());
+        let mut meta: Option<Meta> = None;
+        let mut ops = Vec::new();
+        let mut committed = false;
+        for item in &mut reader {
+            let f = item?;
+            let mut c = Cursor::new(&f);
+            match f.tag {
+                rtag::META => {
+                    if meta.is_some() {
+                        return Err(c.bad("duplicate META frame".into()));
+                    }
+                    let version = c.u32("version")?;
+                    if version != LOG_VERSION {
+                        return Err(c.bad(format!("unsupported log version {version}")));
+                    }
+                    let seed = c.u64("seed")?;
+                    let shards = c.u32("shards")?;
+                    c.done()?;
+                    meta = Some(Meta { version, seed, shards });
+                }
+                rtag::PUBLISH => {
+                    let readings = protocol::decode_publish(f.payload)
+                        .map_err(|e| c.bad(format!("publish payload: {e}")))?;
+                    ops.push(Op::Publish(readings));
+                }
+                rtag::SUBSCRIBE => {
+                    let spec = protocol::decode_subspec(f.payload)
+                        .map_err(|e| c.bad(format!("subscribe payload: {e}")))?;
+                    ops.push(Op::Subscribe(spec));
+                }
+                rtag::BARRIER => {
+                    let index = c.u32("barrier index")?;
+                    let hash =
+                        protocol::decode_state_hash(c.rest()).map_err(|e| StoreError::Decode {
+                            offset: f.offset,
+                            reason: format!("barrier hashes: {e}"),
+                        })?;
+                    ops.push(Op::Barrier(BarrierRecord { index, hash }));
+                }
+                rtag::FAULT => {
+                    let at_op = c.u64("fault position")?;
+                    let kind_byte = c.u8("fault kind")?;
+                    let shard = c.u32("fault shard")?;
+                    c.done()?;
+                    let kind = FaultKind::decode(kind_byte, shard)
+                        .ok_or_else(|| c.bad(format!("unknown fault kind {kind_byte}")))?;
+                    ops.push(Op::Fault(FaultEvent { at_op, kind }));
+                }
+                rtag::END => {
+                    let count = c.u64("op count")?;
+                    c.done()?;
+                    if count != ops.len() as u64 {
+                        return Err(c.bad(format!(
+                            "op count mismatch: marker says {count}, log holds {}",
+                            ops.len()
+                        )));
+                    }
+                    committed = true;
+                    break;
+                }
+                other => return Err(c.bad(format!("unknown replay frame tag {other}"))),
+            }
+        }
+        let Some(meta) = meta else {
+            return Err(StoreError::InvalidState { reason: "replay log has no META frame".into() });
+        };
+        if !committed {
+            return Err(StoreError::MissingCommit { offset: bytes.len() });
+        }
+        Ok(ReplayLog { meta, ops })
+    }
+
+    /// The prefix of this log up to and including barrier
+    /// `barrier_index` (1-based), re-committed as a standalone log —
+    /// the `--bisect` shrink step.
+    pub fn truncate_to_barrier(&self, barrier_index: u32) -> ReplayLog {
+        let mut ops = Vec::new();
+        for op in &self.ops {
+            let is_target = matches!(op, Op::Barrier(rec) if rec.index == barrier_index);
+            ops.push(op.clone());
+            if is_target {
+                break;
+            }
+        }
+        ReplayLog { meta: self.meta.clone(), ops }
+    }
+}

@@ -1,0 +1,178 @@
+//! Replay a recorded log against a fresh server and verify state
+//! hashes at every barrier.
+//!
+//! The replayer is given a *server factory* rather than a handle: each
+//! replay (and each bisect probe) needs a pristine server — fresh store
+//! directory, same configuration as the recording run. The factory
+//! returns the handle plus its store root (torn-WAL faults reach into
+//! it); the replayer shuts the server down when the run ends.
+
+use crate::log::{Op, ReplayLog};
+use crate::session::Driver;
+use crate::ReplayError;
+use inflow_service::protocol::StateHash;
+use inflow_service::ServerHandle;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Where and how a replay diverged from the recording.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// 1-based index of the first barrier whose hashes mismatched.
+    pub barrier_index: u32,
+    pub expected: StateHash,
+    pub got: StateHash,
+    /// Whether the engine digest (rows + subscription answers) differed.
+    pub engine_mismatch: bool,
+    /// Shards whose tracker digests differed.
+    pub mismatched_shards: Vec<usize>,
+    /// The replaying server's flight-recorder dump at the moment of
+    /// divergence — the postmortem context.
+    pub flight_jsonl: String,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "replay diverged at barrier {}", self.barrier_index)?;
+        writeln!(
+            f,
+            "  engine: expected {:016x}, got {:016x}{}",
+            self.expected.engine,
+            self.got.engine,
+            if self.engine_mismatch { "  <-- MISMATCH" } else { "" }
+        )?;
+        for (i, (e, g)) in self.expected.shards.iter().zip(&self.got.shards).enumerate() {
+            let mark = if self.mismatched_shards.contains(&i) { "  <-- MISMATCH" } else { "" };
+            writeln!(f, "  shard {i}: expected {e:016x}, got {g:016x}{mark}")?;
+        }
+        if self.expected.shards.len() != self.got.shards.len() {
+            writeln!(
+                f,
+                "  shard count: expected {}, got {}",
+                self.expected.shards.len(),
+                self.got.shards.len()
+            )?;
+        }
+        write!(f, "  flight events captured: {}", self.flight_jsonl.lines().count())
+    }
+}
+
+/// The outcome of one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Barriers verified (including the diverging one, if any).
+    pub barriers_checked: u32,
+    /// The digests this replay produced, barrier by barrier.
+    pub hashes: Vec<StateHash>,
+    /// `None` = bit-for-bit deterministic against the recording.
+    pub divergence: Option<DivergenceReport>,
+}
+
+/// Replays `log` against a fresh server from `start_server`, comparing
+/// state hashes at every recorded barrier. Stops at the first
+/// divergence (the report captures the flight recorder there).
+pub fn replay<F>(log: &ReplayLog, mut start_server: F) -> Result<ReplayReport, ReplayError>
+where
+    F: FnMut() -> std::io::Result<(ServerHandle, PathBuf)>,
+{
+    let (handle, store_dir) = start_server().map_err(ReplayError::Io)?;
+    let result = drive(log, &handle, store_dir);
+    // Wind the probe server down even when the drive errored.
+    handle.shutdown();
+    handle.wait();
+    result
+}
+
+fn drive(
+    log: &ReplayLog,
+    handle: &ServerHandle,
+    store_dir: PathBuf,
+) -> Result<ReplayReport, ReplayError> {
+    let mut driver = Driver::new(handle, store_dir)?;
+    let mut report = ReplayReport { barriers_checked: 0, hashes: Vec::new(), divergence: None };
+    for op in &log.ops {
+        match op {
+            Op::Publish(readings) => driver.publish(readings)?,
+            Op::Subscribe(spec) => {
+                driver.subscribe(spec)?;
+            }
+            Op::Fault(ev) => driver.apply_fault(&ev.kind)?,
+            Op::Barrier(rec) => {
+                let got = driver.state_hash()?;
+                report.barriers_checked += 1;
+                report.hashes.push(got.clone());
+                if got != rec.hash {
+                    let engine_mismatch = got.engine != rec.hash.engine;
+                    let mismatched_shards: Vec<usize> = rec
+                        .hash
+                        .shards
+                        .iter()
+                        .zip(&got.shards)
+                        .enumerate()
+                        .filter(|(_, (e, g))| e != g)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let flight_jsonl = driver.flight_dump().unwrap_or_default();
+                    report.divergence = Some(DivergenceReport {
+                        barrier_index: rec.index,
+                        expected: rec.hash.clone(),
+                        got,
+                        engine_mismatch,
+                        mismatched_shards,
+                        flight_jsonl,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// The shrunk artifact `--bisect` produces.
+#[derive(Debug, Clone)]
+pub struct BisectResult {
+    /// Earliest barrier (1-based) at which a truncated prefix of the
+    /// log already diverges.
+    pub first_diverging_barrier: u32,
+    /// The minimal diverging prefix: ops up to and including that
+    /// barrier, re-committed as a standalone log.
+    pub minimal: ReplayLog,
+    /// Whether the prefix one barrier shorter replayed clean (`None`
+    /// when the divergence is already at barrier 1).
+    pub prior_prefix_clean: Option<bool>,
+}
+
+/// Shrinks a diverging log to its minimal diverging prefix by binary
+/// search over barrier-truncated prefixes, each probed with a fresh
+/// replay. Returns `None` when the full log replays clean.
+pub fn bisect<F>(log: &ReplayLog, mut start_server: F) -> Result<Option<BisectResult>, ReplayError>
+where
+    F: FnMut() -> std::io::Result<(ServerHandle, PathBuf)>,
+{
+    let full = replay(log, &mut start_server)?;
+    let Some(div) = full.divergence else { return Ok(None) };
+    // Invariant: the prefix through `hi` diverges; probe shorter ones.
+    let mut lo = 1u32;
+    let mut hi = div.barrier_index;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let probe = replay(&log.truncate_to_barrier(mid), &mut start_server)?;
+        if probe.divergence.is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let prior_prefix_clean = if hi > 1 {
+        let probe = replay(&log.truncate_to_barrier(hi - 1), &mut start_server)?;
+        Some(probe.divergence.is_none())
+    } else {
+        None
+    };
+    Ok(Some(BisectResult {
+        first_diverging_barrier: hi,
+        minimal: log.truncate_to_barrier(hi),
+        prior_prefix_clean,
+    }))
+}

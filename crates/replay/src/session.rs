@@ -1,0 +1,245 @@
+//! Recording sessions: tap a live server's op stream into a replay log.
+//!
+//! The recorder drives the server through **one** connection, so the op
+//! stream has a total order — the precondition for bit-deterministic
+//! replay (two concurrent publishers would interleave differently on
+//! every run). Faults are applied through the same chokepoint, at a
+//! recorded position in the stream.
+//!
+//! Fault semantics (identical under record and replay — both go through
+//! [`Driver::apply_fault`]):
+//!
+//! * `CrashShard` — kill the worker abruptly; its WAL and queue survive.
+//! * `RestartShard` — restart on the same queue; WAL recovery re-emits
+//!   full deltas.
+//! * `TornWal` — barrier (so the WAL's contents are deterministic),
+//!   crash, shear trailing bytes off `wal.bin` mid-frame, restart. The
+//!   recovery path must detect the torn tail via CRC and truncate it.
+//! * `Disconnect` — unsubscribe everything (so the engine's async
+//!   connection cleanup has nothing racy to do), drop the connection,
+//!   reconnect, re-subscribe in the original order. Subscription ids
+//!   advance deterministically.
+
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::log::{BarrierRecord, Op, ReplayLog};
+use crate::ReplayError;
+use inflow_service::protocol::StateHash;
+use inflow_service::{Client, ServerHandle, SubSpec};
+use inflow_tracking::store::WAL_FILE;
+use inflow_tracking::RawReading;
+use std::path::PathBuf;
+
+/// How many trailing bytes a `TornWal` fault shears off the WAL.
+const TORN_BYTES: u64 = 3;
+
+/// A WAL shorter than this is header-only; shearing it would corrupt
+/// the file identity rather than tear a frame, so the fault degrades to
+/// a plain crash/restart (deterministically in both runs).
+const MIN_TORN_LEN: u64 = 64;
+
+/// Drives one server through the recorded op vocabulary. Shared by the
+/// recorder and the replayer so fault semantics can never diverge
+/// between them.
+pub(crate) struct Driver<'a> {
+    handle: &'a ServerHandle,
+    store_dir: PathBuf,
+    client: Client,
+    /// Subscription specs in registration order (for deterministic
+    /// re-registration after a `Disconnect`).
+    specs: Vec<SubSpec>,
+    server_ids: Vec<u64>,
+}
+
+impl<'a> Driver<'a> {
+    pub fn new(handle: &'a ServerHandle, store_dir: PathBuf) -> Result<Driver<'a>, ReplayError> {
+        let client = Client::connect(handle.addr())?;
+        Ok(Driver { handle, store_dir, client, specs: Vec::new(), server_ids: Vec::new() })
+    }
+
+    pub fn publish(&mut self, readings: &[RawReading]) -> Result<(), ReplayError> {
+        self.client.publish(readings)?;
+        Ok(())
+    }
+
+    pub fn subscribe(&mut self, spec: &SubSpec) -> Result<u64, ReplayError> {
+        let id = self.client.subscribe(spec)?;
+        self.specs.push(spec.clone());
+        self.server_ids.push(id);
+        Ok(id)
+    }
+
+    pub fn state_hash(&mut self) -> Result<StateHash, ReplayError> {
+        Ok(self.client.state_hash()?)
+    }
+
+    pub fn flight_dump(&mut self) -> Result<String, ReplayError> {
+        Ok(self.client.flight_dump()?)
+    }
+
+    pub fn apply_fault(&mut self, kind: &FaultKind) -> Result<(), ReplayError> {
+        match *kind {
+            FaultKind::CrashShard(i) => {
+                self.handle.crash_shard(i as usize);
+                Ok(())
+            }
+            FaultKind::RestartShard(i) => {
+                self.handle.restart_shard(i as usize).map_err(ReplayError::Io)
+            }
+            FaultKind::TornWal(i) => {
+                // Sync first: every routed reading is in the WAL, so the
+                // bytes being torn are the same on record and replay.
+                self.client.barrier()?;
+                self.handle.crash_shard(i as usize);
+                let wal = self.store_dir.join(format!("shard-{i}")).join(WAL_FILE);
+                let len = std::fs::metadata(&wal).map_err(ReplayError::Io)?.len();
+                if len >= MIN_TORN_LEN {
+                    let f = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&wal)
+                        .map_err(ReplayError::Io)?;
+                    f.set_len(len - TORN_BYTES).map_err(ReplayError::Io)?;
+                }
+                self.handle.restart_shard(i as usize).map_err(ReplayError::Io)
+            }
+            FaultKind::Disconnect => {
+                // Deterministic teardown: retire the subscriptions
+                // synchronously so the engine's async DropConn cleanup
+                // is a no-op, then reconnect and re-register in order.
+                for &id in &self.server_ids {
+                    self.client.unsubscribe(id)?;
+                }
+                self.client = Client::connect(self.handle.addr())?;
+                self.server_ids.clear();
+                let specs = self.specs.clone();
+                for spec in &specs {
+                    self.server_ids.push(self.client.subscribe(spec)?);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Records one serving session into a [`ReplayLog`].
+pub struct RecordingSession<'a> {
+    driver: Driver<'a>,
+    log: ReplayLog,
+    barriers: u32,
+}
+
+impl<'a> RecordingSession<'a> {
+    /// Attaches a recorder to a freshly started server (`store_dir` is
+    /// the server's store root — torn-WAL faults reach into it).
+    pub fn start(
+        handle: &'a ServerHandle,
+        store_dir: PathBuf,
+        seed: u64,
+        shards: u32,
+    ) -> Result<RecordingSession<'a>, ReplayError> {
+        let driver = Driver::new(handle, store_dir)?;
+        Ok(RecordingSession { driver, log: ReplayLog::new(seed, shards), barriers: 0 })
+    }
+
+    /// Ops recorded so far (fault positions index into this).
+    pub fn op_index(&self) -> u64 {
+        self.log.ops.len() as u64
+    }
+
+    pub fn publish(&mut self, readings: &[RawReading]) -> Result<(), ReplayError> {
+        self.driver.publish(readings)?;
+        self.log.ops.push(Op::Publish(readings.to_vec()));
+        Ok(())
+    }
+
+    pub fn subscribe(&mut self, spec: &SubSpec) -> Result<u64, ReplayError> {
+        let id = self.driver.subscribe(spec)?;
+        self.log.ops.push(Op::Subscribe(spec.clone()));
+        Ok(id)
+    }
+
+    /// Runs a barrier + state digest and records it as a verification
+    /// point. Returns the digest.
+    pub fn barrier_hash(&mut self) -> Result<StateHash, ReplayError> {
+        let hash = self.driver.state_hash()?;
+        self.barriers += 1;
+        self.log.ops.push(Op::Barrier(BarrierRecord { index: self.barriers, hash: hash.clone() }));
+        Ok(hash)
+    }
+
+    /// Injects one fault and records it at the current stream position.
+    pub fn fault(&mut self, kind: FaultKind) -> Result<(), ReplayError> {
+        let at_op = self.op_index();
+        self.driver.apply_fault(&kind)?;
+        self.log.ops.push(Op::Fault(FaultEvent { at_op, kind }));
+        Ok(())
+    }
+
+    /// Finishes recording and yields the log.
+    pub fn finish(self) -> ReplayLog {
+        self.log
+    }
+}
+
+/// Knobs for [`record_run`].
+#[derive(Debug, Clone)]
+pub struct RecordOptions {
+    /// Readings per `PUBLISH` batch.
+    pub chunk: usize,
+    /// A barrier/hash point every this many publishes (and always one
+    /// at the end).
+    pub barrier_every: usize,
+    /// Subscriptions to register up front.
+    pub subs: Vec<SubSpec>,
+    /// Chaos schedule; positions count publishes + barriers executed.
+    pub plan: FaultPlan,
+}
+
+impl Default for RecordOptions {
+    fn default() -> RecordOptions {
+        RecordOptions { chunk: 64, barrier_every: 8, subs: Vec::new(), plan: FaultPlan::default() }
+    }
+}
+
+/// The canonical recording loop: subscribe, stream the readings in
+/// chunks with periodic barrier/hash points, inject the plan's faults
+/// at their scheduled positions, and always close with a final barrier.
+pub fn record_run(
+    handle: &ServerHandle,
+    store_dir: PathBuf,
+    readings: &[RawReading],
+    opts: &RecordOptions,
+) -> Result<ReplayLog, ReplayError> {
+    let shards = 0; // patched below once known via the first hash
+    let mut session = RecordingSession::start(handle, store_dir, opts.plan.seed, shards)?;
+    for spec in &opts.subs {
+        session.subscribe(spec)?;
+    }
+    let mut faults = opts.plan.events.iter().peekable();
+    let mut logical: u64 = 0;
+    let mut publishes: usize = 0;
+    let chunk = opts.chunk.max(1);
+    let barrier_every = opts.barrier_every.max(1);
+    let mut shard_count: Option<u32> = None;
+    for batch in readings.chunks(chunk) {
+        while faults.peek().is_some_and(|e| e.at_op <= logical) {
+            let ev = *faults.next().expect("peeked");
+            session.fault(ev.kind)?;
+        }
+        session.publish(batch)?;
+        publishes += 1;
+        logical += 1;
+        if publishes.is_multiple_of(barrier_every) {
+            let h = session.barrier_hash()?;
+            shard_count.get_or_insert(h.shards.len() as u32);
+            logical += 1;
+        }
+    }
+    for ev in faults {
+        session.fault(ev.kind)?;
+    }
+    let h = session.barrier_hash()?;
+    shard_count.get_or_insert(h.shards.len() as u32);
+    let mut log = session.finish();
+    log.meta.shards = shard_count.unwrap_or(0);
+    Ok(log)
+}

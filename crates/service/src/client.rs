@@ -14,14 +14,27 @@
 //! clients interoperate with old servers (and vice versa: the trace
 //! section a v2 server appends to `UPDATE` is only sent to connections
 //! that negotiated v2).
+//!
+//! Every exchange is bounded by a read/write deadline
+//! ([`DEFAULT_TIMEOUT`] unless overridden via [`Client::connect_with`]);
+//! an elapsed deadline surfaces as the typed [`ServiceError::Timeout`],
+//! and an `OVERLOADED` backpressure frame as
+//! [`ServiceError::Overloaded`] — callers (notably
+//! [`ResilientClient`](crate::ResilientClient)) react to each
+//! differently.
 
-use crate::protocol::{self, tag, SubSpec};
+use crate::error::ServiceError;
+use crate::protocol::{self, tag, Resume, StateHash, SubSpec};
 use inflow_indoor::PoiId;
 use inflow_obs::TraceChain;
 use inflow_tracking::{OttRow, RawReading};
 use std::collections::VecDeque;
-use std::io::{self, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Default read/write deadline for every client exchange.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One pushed subscription notification.
 #[derive(Debug, Clone)]
@@ -46,19 +59,33 @@ pub struct Client {
 }
 
 impl Client {
-    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    /// Connects with the [`DEFAULT_TIMEOUT`] read/write deadline.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ServiceError> {
+        Client::connect_with(addr, Some(DEFAULT_TIMEOUT))
+    }
+
+    /// Connects with an explicit read/write deadline (`None` = block
+    /// forever, the pre-timeout behaviour).
+    pub fn connect_with(
+        addr: SocketAddr,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr).map_err(ServiceError::from)?;
+        stream.set_nodelay(true).map_err(ServiceError::from)?;
+        stream.set_read_timeout(timeout).map_err(ServiceError::from)?;
+        stream.set_write_timeout(timeout).map_err(ServiceError::from)?;
         let mut client = Client { stream, updates: VecDeque::new(), version: 1 };
         // Old servers reply ERROR to the unknown HELLO tag; treat that
-        // as "speaks v1" rather than a failure.
+        // as "speaks v1" rather than a failure. Anything else (timeout,
+        // closed, transport) is a real failure and propagates.
         match client.rpc(
             tag::HELLO,
             &protocol::encode_u32(protocol::PROTOCOL_VERSION),
             tag::HELLO_ACK,
         ) {
             Ok(body) => client.version = protocol::decode_u32(&body)?.max(1),
-            Err(_) => client.version = 1,
+            Err(ServiceError::Remote(_)) => client.version = 1,
+            Err(e) => return Err(e),
         }
         Ok(client)
     }
@@ -70,17 +97,17 @@ impl Client {
 
     /// Sends one request frame and reads frames until a non-`UPDATE`
     /// reply arrives, buffering updates along the way. An `ERROR` reply
-    /// becomes an `io::Error`.
-    fn request(&mut self, tag_byte: u8, payload: &[u8]) -> io::Result<(u8, Vec<u8>)> {
+    /// becomes [`ServiceError::Remote`]; an `OVERLOADED` frame becomes
+    /// [`ServiceError::Overloaded`].
+    fn request(&mut self, tag_byte: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ServiceError> {
         let mut frame = Vec::with_capacity(9 + payload.len());
         inflow_tracking::store::frame::write_frame(&mut frame, tag_byte, payload);
-        self.stream.write_all(&frame)?;
+        self.stream.write_all(&frame).map_err(ServiceError::from)?;
         loop {
-            let Some((reply_tag, body)) = protocol::read_frame(&mut self.stream)? else {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ));
+            let Some((reply_tag, body)) =
+                protocol::read_frame(&mut self.stream).map_err(ServiceError::from)?
+            else {
+                return Err(ServiceError::Closed);
             };
             if reply_tag == tag::UPDATE {
                 let (sub_id, seq, ranked, trace) = protocol::decode_update(&body)?;
@@ -88,18 +115,20 @@ impl Client {
                 continue;
             }
             if reply_tag == tag::ERROR {
-                return Err(io::Error::other(String::from_utf8_lossy(&body).into_owned()));
+                return Err(ServiceError::Remote(String::from_utf8_lossy(&body).into_owned()));
+            }
+            if reply_tag == tag::OVERLOADED {
+                let depth = protocol::decode_u64(&body).unwrap_or(0);
+                return Err(ServiceError::Overloaded { depth });
             }
             return Ok((reply_tag, body));
         }
     }
 
-    fn rpc(&mut self, req: u8, payload: &[u8], want: u8) -> io::Result<Vec<u8>> {
+    fn rpc(&mut self, req: u8, payload: &[u8], want: u8) -> Result<Vec<u8>, ServiceError> {
         let (got, body) = self.request(req, payload)?;
         if got != want {
-            return Err(io::Error::other(format!(
-                "protocol error: expected reply tag {want}, got {got}"
-            )));
+            return Err(ServiceError::Protocol(format!("expected reply tag {want}, got {got}")));
         }
         Ok(body)
     }
@@ -108,7 +137,7 @@ impl Client {
     /// [`Client::barrier`] to wait until applied). On a v2 connection
     /// with tracing on, returns the trace id the router assigned to the
     /// batch — correlate it with [`Client::trace_json`] output.
-    pub fn publish(&mut self, readings: &[RawReading]) -> io::Result<Option<u64>> {
+    pub fn publish(&mut self, readings: &[RawReading]) -> Result<Option<u64>, ServiceError> {
         let body = self.rpc(tag::PUBLISH, &protocol::encode_publish(readings), tag::ACK)?;
         if body.len() == 8 {
             return Ok(Some(protocol::decode_u64(&body)?));
@@ -118,12 +147,27 @@ impl Client {
 
     /// Registers a continuous subscription; returns its id. The initial
     /// result arrives as the subscription's first `UPDATE` (seq 1).
-    pub fn subscribe(&mut self, spec: &SubSpec) -> io::Result<u64> {
+    pub fn subscribe(&mut self, spec: &SubSpec) -> Result<u64, ServiceError> {
         let body = self.rpc(tag::SUBSCRIBE, &protocol::encode_subspec(spec), tag::SUB_ACK)?;
-        protocol::decode_u64(&body)
+        Ok(protocol::decode_u64(&body)?)
     }
 
-    pub fn unsubscribe(&mut self, sub_id: u64) -> io::Result<()> {
+    /// Re-registers a subscription after a reconnect, resuming its
+    /// update sequence from `resume.last_seq`. The server suppresses the
+    /// initial push when the current answer still digests to
+    /// `resume.last_hash`, so the client sees neither a duplicate nor a
+    /// gap. Requires a v3 server.
+    pub fn subscribe_resume(
+        &mut self,
+        spec: &SubSpec,
+        resume: &Resume,
+    ) -> Result<u64, ServiceError> {
+        let payload = protocol::encode_subscribe(spec, Some(resume));
+        let body = self.rpc(tag::SUBSCRIBE, &payload, tag::SUB_ACK)?;
+        Ok(protocol::decode_u64(&body)?)
+    }
+
+    pub fn unsubscribe(&mut self, sub_id: u64) -> Result<(), ServiceError> {
         self.rpc(tag::UNSUBSCRIBE, &protocol::encode_u64(sub_id), tag::ACK)?;
         Ok(())
     }
@@ -131,58 +175,66 @@ impl Client {
     /// Full pipeline sync: every reading this connection published before
     /// the barrier is ingested, its deltas applied, and the resulting
     /// updates are buffered client-side when this returns.
-    pub fn barrier(&mut self) -> io::Result<()> {
+    pub fn barrier(&mut self) -> Result<(), ServiceError> {
         self.rpc(tag::BARRIER, &[], tag::ACK)?;
         Ok(())
     }
 
+    /// Barrier plus deterministic state digest: the engine hash (rows +
+    /// per-subscription answers) and every shard tracker's hash. The
+    /// record/replay machinery compares these across runs.
+    pub fn state_hash(&mut self) -> Result<StateHash, ServiceError> {
+        let body = self.rpc(tag::STATE_HASH, &[], tag::HASH)?;
+        Ok(protocol::decode_state_hash(&body)?)
+    }
+
     /// One-shot query answered by the batch reference path server-side.
-    pub fn query(&mut self, spec: &SubSpec) -> io::Result<Vec<(PoiId, f64)>> {
+    pub fn query(&mut self, spec: &SubSpec) -> Result<Vec<(PoiId, f64)>, ServiceError> {
         let body = self.rpc(tag::QUERY, &protocol::encode_subspec(spec), tag::RESULT)?;
-        protocol::decode_ranked(&body)
+        Ok(protocol::decode_ranked(&body)?)
     }
 
     /// The subscription's current materialized top-k (sent or not).
-    pub fn current(&mut self, sub_id: u64) -> io::Result<Vec<(PoiId, f64)>> {
+    pub fn current(&mut self, sub_id: u64) -> Result<Vec<(PoiId, f64)>, ServiceError> {
         let body = self.rpc(tag::CURRENT, &protocol::encode_u64(sub_id), tag::RESULT)?;
-        protocol::decode_ranked(&body)
+        Ok(protocol::decode_ranked(&body)?)
     }
 
     /// Every row the engine currently holds, sorted by (object, ts, te) —
     /// the exact input a from-scratch batch computation would see.
-    pub fn dump_rows(&mut self) -> io::Result<Vec<OttRow>> {
+    pub fn dump_rows(&mut self) -> Result<Vec<OttRow>, ServiceError> {
         let body = self.rpc(tag::DUMP_ROWS, &[], tag::ROWS)?;
-        protocol::decode_rows(&body)
+        Ok(protocol::decode_rows(&body)?)
     }
 
     /// The server's metrics registry, rendered.
-    pub fn stats(&mut self) -> io::Result<String> {
+    pub fn stats(&mut self) -> Result<String, ServiceError> {
         let body = self.rpc(tag::STATS, &[], tag::STATS_TEXT)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
     /// Machine-readable metrics snapshot (counters, histograms with
     /// exact bucket bounds, per-shard queue depths) as a JSON document.
-    pub fn metrics_json(&mut self) -> io::Result<String> {
+    pub fn metrics_json(&mut self) -> Result<String, ServiceError> {
         let body = self.rpc(tag::METRICS, &[], tag::METRICS_JSON)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
     /// Recent completed notification traces plus the slow-request log,
     /// as a JSON document.
-    pub fn trace_json(&mut self) -> io::Result<String> {
+    pub fn trace_json(&mut self) -> Result<String, ServiceError> {
         let body = self.rpc(tag::TRACE, &[], tag::TRACE_JSON)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
     /// The server's flight recorder contents as JSONL, oldest first.
-    pub fn flight_dump(&mut self) -> io::Result<String> {
+    pub fn flight_dump(&mut self) -> Result<String, ServiceError> {
         let body = self.rpc(tag::FLIGHT, &[], tag::FLIGHT_JSONL)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
     /// Asks the server to stop accepting and wind down.
-    pub fn shutdown_server(&mut self) -> io::Result<()> {
+    pub fn shutdown_server(&mut self) -> Result<(), ServiceError> {
         self.rpc(tag::SHUTDOWN, &[], tag::ACK)?;
         Ok(())
     }

@@ -28,7 +28,7 @@
 //! externally.
 
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{self, tag, SubKind, SubSpec};
+use crate::protocol::{self, hash_ranked, tag, Resume, SubKind, SubSpec};
 use crate::shard::DeltaBatch;
 use inflow_core::{
     object_interval_flows, object_snapshot_flows, rank_topk, FlowAnalytics, IntervalQuery,
@@ -56,6 +56,11 @@ pub enum EngineMsg {
         /// Whether the subscriber negotiated protocol v2 and should
         /// receive the trace-chain section on its `UPDATE` frames.
         trace_v2: bool,
+        /// A v3 reconnecting subscriber's resume point: the sequence
+        /// number and top-k digest of the last update it saw. The engine
+        /// continues the sequence from there and suppresses the initial
+        /// push when the current answer still matches the digest.
+        resume: Option<Resume>,
         writer: Sender<Vec<u8>>,
     },
     Unsubscribe {
@@ -79,6 +84,14 @@ pub enum EngineMsg {
     /// Ack after everything enqueued before it is applied (the barrier
     /// protocol's second half; shards flushed first).
     Barrier {
+        writer: Sender<Vec<u8>>,
+    },
+    /// Reply with a `HASH` frame digesting the engine's deterministic
+    /// state (rows + per-subscription current answers) alongside the
+    /// already-collected per-shard tracker hashes. Ordered after the
+    /// shard flush, so every pre-barrier delta is applied first.
+    StateHash {
+        shard_hashes: Vec<u64>,
         writer: Sender<Vec<u8>>,
     },
     /// A connection closed: drop its subscriptions.
@@ -290,7 +303,14 @@ impl Engine {
         }
     }
 
-    fn subscribe(&mut self, spec: SubSpec, conn: u64, trace_v2: bool, writer: Sender<Vec<u8>>) {
+    fn subscribe(
+        &mut self,
+        spec: SubSpec,
+        conn: u64,
+        trace_v2: bool,
+        resume: Option<Resume>,
+        writer: Sender<Vec<u8>>,
+    ) {
         let (pois, rp) = self.resolve_pois(&spec.pois);
         let id = self.next_sub;
         self.next_sub += 1;
@@ -326,12 +346,54 @@ impl Engine {
                 sub.contrib.insert(object, contrib);
             }
         }
+        if let Some(r) = resume {
+            // Continue the interrupted sequence: the next pushed update
+            // carries `last_seq + 1`. When the current answer still
+            // digests to what the client last saw, pre-seed the ε gate's
+            // reference so the initial refresh suppresses the duplicate;
+            // otherwise the refresh pushes the missed state.
+            sub.seq = r.last_seq;
+            let ranked = sub.rank();
+            if hash_ranked(&ranked) == r.last_hash {
+                sub.last_sent = Some(ranked);
+            }
+            self.metrics.add(Counter::ServeResumedSubscriptions, 1);
+            self.flight.record(FlightEventKind::SubResumed, 0, id, r.last_seq);
+        }
         send_frame(&sub.writer, tag::SUB_ACK, &protocol::encode_u64(id));
         self.metrics.add(Counter::ServeSubscriptions, 1);
         self.flight.record(FlightEventKind::Subscribed, 0, id, conn);
         self.subs.insert(id, sub);
-        // The initial result counts as the first update (seq 1).
+        // The initial result counts as the first update (seq 1); a
+        // resumed subscription either continues its sequence or stays
+        // silent until the answer moves.
         self.refresh(id, None);
+    }
+
+    /// Digests the engine's replay-deterministic state: every object's
+    /// rows (ascending object id, canonical 24-byte row encoding) and
+    /// every subscription's current top-k (ascending id). Sequence
+    /// numbers and ε-gate reference points are deliberately excluded —
+    /// they depend on delta interleaving, which barriers do not fix.
+    fn state_hash(&self) -> u64 {
+        let frame = inflow_tracking::store::frame::encode_row;
+        let mut buf = Vec::new();
+        let mut objects: Vec<ObjectId> = self.rows.keys().copied().collect();
+        objects.sort_unstable();
+        for o in objects {
+            let Some(rows) = self.rows.get(&o) else { continue };
+            for row in rows {
+                buf.extend_from_slice(&frame(row));
+            }
+        }
+        let mut ids: Vec<u64> = self.subs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let Some(sub) = self.subs.get(&id) else { continue };
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.extend_from_slice(&hash_ranked(&sub.current).to_le_bytes());
+        }
+        inflow_tracking::store::frame::fnv1a(&buf)
     }
 
     /// One-shot query: the reference batch path over the union of all
@@ -418,8 +480,8 @@ fn run_engine(rx: Receiver<EngineMsg>, cfg: EngineConfig, metrics: Arc<ServiceMe
                     engine.refresh(id, trace.as_ref());
                 }
             }
-            EngineMsg::Subscribe { spec, conn, trace_v2, writer } => {
-                engine.subscribe(spec, conn, trace_v2, writer)
+            EngineMsg::Subscribe { spec, conn, trace_v2, resume, writer } => {
+                engine.subscribe(spec, conn, trace_v2, resume, writer)
             }
             EngineMsg::Unsubscribe { sub_id, writer } => {
                 engine.subs.remove(&sub_id);
@@ -438,6 +500,11 @@ fn run_engine(rx: Receiver<EngineMsg>, cfg: EngineConfig, metrics: Arc<ServiceMe
                 send_frame(&writer, tag::STATS_TEXT, engine.metrics.render().as_bytes())
             }
             EngineMsg::Barrier { writer } => send_frame(&writer, tag::ACK, &[]),
+            EngineMsg::StateHash { shard_hashes, writer } => {
+                let hash =
+                    protocol::StateHash { engine: engine.state_hash(), shards: shard_hashes };
+                send_frame(&writer, tag::HASH, &protocol::encode_state_hash(&hash));
+            }
             EngineMsg::DropConn(conn) => engine.subs.retain(|_, s| s.conn != conn),
             EngineMsg::Stop => break,
         }

@@ -1,0 +1,83 @@
+//! Typed client-side service errors.
+//!
+//! The client distinguishes failure classes callers react to
+//! differently: a [`ServiceError::Timeout`] or [`ServiceError::Closed`]
+//! means the connection is suspect and a resilient caller should
+//! reconnect; [`ServiceError::Overloaded`] is explicit backpressure —
+//! the server is healthy but refusing work, so back off and retry;
+//! [`ServiceError::Remote`] is the server saying the *request* was bad,
+//! which no retry will fix.
+
+use std::fmt;
+use std::io;
+
+/// What went wrong talking to the flow-monitoring server.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Transport-level failure (connect refused, reset, …).
+    Io(io::Error),
+    /// A configured read/write deadline elapsed.
+    Timeout,
+    /// The server refused the request with an `OVERLOADED` frame;
+    /// `depth` is the queue depth (or connection bound) it reported.
+    Overloaded { depth: u64 },
+    /// The server answered with an `ERROR` frame.
+    Remote(String),
+    /// The reply violated the wire protocol (wrong tag, bad payload).
+    Protocol(String),
+    /// The server closed the connection mid-exchange.
+    Closed,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Timeout => write!(f, "request timed out"),
+            ServiceError::Overloaded { depth } => {
+                write!(f, "server overloaded (reported depth {depth})")
+            }
+            ServiceError::Remote(msg) => write!(f, "server error: {msg}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> ServiceError {
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ServiceError::Timeout,
+            io::ErrorKind::UnexpectedEof => ServiceError::Closed,
+            _ => ServiceError::Io(e),
+        }
+    }
+}
+
+impl From<ServiceError> for io::Error {
+    fn from(e: ServiceError) -> io::Error {
+        match e {
+            ServiceError::Io(inner) => inner,
+            ServiceError::Timeout => io::Error::new(io::ErrorKind::TimedOut, e.to_string()),
+            ServiceError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()),
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
+
+impl ServiceError {
+    /// Whether the connection itself is suspect (reconnect-worthy), as
+    /// opposed to the request being refused or malformed.
+    pub fn is_connection_error(&self) -> bool {
+        matches!(self, ServiceError::Io(_) | ServiceError::Timeout | ServiceError::Closed)
+    }
+}

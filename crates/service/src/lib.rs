@@ -29,14 +29,18 @@
 
 pub mod client;
 mod engine;
+pub mod error;
 pub mod metrics;
 pub mod protocol;
+pub mod resilient;
 mod server;
 mod shard;
 mod sync;
 
-pub use client::{Client, Update};
+pub use client::{Client, Update, DEFAULT_TIMEOUT};
+pub use error::ServiceError;
 pub use metrics::ServiceMetrics;
-pub use protocol::{SubKind, SubSpec};
+pub use protocol::{hash_ranked, Resume, StateHash, SubKind, SubSpec};
+pub use resilient::{BackoffConfig, ResilientClient};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use shard::{DeltaBatch, ObjectDelta, ShardConfig};

@@ -60,6 +60,11 @@ pub mod tag {
     /// Client → server: dump the flight recorder (recent pipeline
     /// events) as JSONL — the protocol-triggered postmortem.
     pub const FLIGHT: u8 = 13;
+    /// Client → server: barrier + deterministic state digest. The server
+    /// flushes every shard, then replies [`HASH`] with the engine digest
+    /// and one per-shard tracker digest — the record/replay harness's
+    /// per-barrier comparison point.
+    pub const STATE_HASH: u8 = 14;
 
     /// Server → client: request acknowledged.
     pub const ACK: u8 = 64;
@@ -84,6 +89,13 @@ pub mod tag {
     pub const TRACE_JSON: u8 = 73;
     /// Server → client: flight-recorder dump; payload is UTF-8 JSONL.
     pub const FLIGHT_JSONL: u8 = 74;
+    /// Server → client: barrier state digest
+    /// (`engine u64 | n u32 | n × shard u64`).
+    pub const HASH: u8 = 75;
+    /// Server → client: request refused under overload; payload is the
+    /// deepest shard queue depth (u64). Backpressure, not failure — the
+    /// client should back off and retry.
+    pub const OVERLOADED: u8 = 76;
 }
 
 /// Highest protocol version this build speaks.
@@ -94,7 +106,13 @@ pub mod tag {
 ///   trace-chain section trailing the `UPDATE` payload. The section is
 ///   only sent to connections that negotiated v2, so v1 clients keep
 ///   decoding byte-identical frames.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// * **v3** — adds `STATE_HASH`/`HASH` (per-barrier state digests for
+///   record/replay), `OVERLOADED` backpressure replies, and an optional
+///   resume section trailing the `SUBSCRIBE` payload
+///   (`last_seq u64 | last_hash u64`) for sequence-numbered
+///   reconnection. All additions are new tags or optional trailing
+///   sections, so v1/v2 frames stay byte-identical.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The time parameter of a subscription or one-shot query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,6 +148,32 @@ pub struct SubSpec {
     pub epsilon: f64,
     /// Query POI set; empty means *all* POIs of the floor plan.
     pub pois: Vec<PoiId>,
+}
+
+/// A `SUBSCRIBE` resume section: re-registers a subscription after a
+/// reconnect without duplicating or losing updates. `last_seq` is the
+/// highest sequence number the client received for the original
+/// subscription; `last_hash` is [`hash_ranked`] of that update's result.
+/// The server continues numbering from `last_seq`, and suppresses the
+/// initial push when the materialized result still hashes to
+/// `last_hash` (the client already has it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resume {
+    pub last_seq: u64,
+    pub last_hash: u64,
+}
+
+/// Order-sensitive 64-bit digest of a ranked result (FNV-1a over each
+/// entry's POI id and the flow's exact bit pattern). Used by the resume
+/// protocol and the replay harness's answer digests; equality means the
+/// two results are bitwise identical.
+pub fn hash_ranked(ranked: &[(PoiId, f64)]) -> u64 {
+    let mut bytes = Vec::with_capacity(ranked.len() * 12);
+    for &(p, f) in ranked {
+        bytes.extend_from_slice(&p.0.to_le_bytes());
+        bytes.extend_from_slice(&f.to_bits().to_le_bytes());
+    }
+    frame::fnv1a(&bytes)
 }
 
 /// Writes one frame to a stream.
@@ -231,6 +275,26 @@ pub fn encode_subspec(spec: &SubSpec) -> Vec<u8> {
 }
 
 pub fn decode_subspec(payload: &[u8]) -> io::Result<SubSpec> {
+    let (spec, resume) = decode_subscribe(payload)?;
+    if resume.is_some() {
+        return Err(bad("unexpected resume section"));
+    }
+    Ok(spec)
+}
+
+/// `SUBSCRIBE` (v3): the subspec payload followed by an optional resume
+/// section `last_seq u64 | last_hash u64`. Absent section decodes as
+/// `None`, so v1/v2 frames parse unchanged.
+pub fn encode_subscribe(spec: &SubSpec, resume: Option<&Resume>) -> Vec<u8> {
+    let mut b = encode_subspec(spec);
+    if let Some(r) = resume {
+        b.extend_from_slice(&r.last_seq.to_le_bytes());
+        b.extend_from_slice(&r.last_hash.to_le_bytes());
+    }
+    b
+}
+
+pub fn decode_subscribe(payload: &[u8]) -> io::Result<(SubSpec, Option<Resume>)> {
     let mut c = cursor(payload);
     let kind_byte = c.u8("kind").map_err(decode_err)?;
     let a = c.finite_f64("t/ts").map_err(decode_err)?;
@@ -242,6 +306,13 @@ pub fn decode_subspec(payload: &[u8]) -> io::Result<SubSpec> {
     for _ in 0..n {
         pois.push(PoiId(c.u32("poi").map_err(decode_err)?));
     }
+    let resume = if c.is_empty() {
+        None
+    } else {
+        let last_seq = c.u64("resume last_seq").map_err(decode_err)?;
+        let last_hash = c.u64("resume last_hash").map_err(decode_err)?;
+        Some(Resume { last_seq, last_hash })
+    };
     c.done().map_err(decode_err)?;
     let kind = match kind_byte {
         0 => SubKind::Snapshot { t: a },
@@ -256,7 +327,7 @@ pub fn decode_subspec(payload: &[u8]) -> io::Result<SubSpec> {
     if !epsilon.is_finite() || epsilon < 0.0 {
         return Err(bad(format!("invalid epsilon {epsilon}")));
     }
-    Ok(SubSpec { kind, k, epsilon, pois })
+    Ok((SubSpec { kind, k, epsilon, pois }, resume))
 }
 
 /// `RESULT`: `count u32 | count × (poi u32 | flow f64)`.
@@ -386,6 +457,38 @@ pub fn decode_u64(payload: &[u8]) -> io::Result<u64> {
     Ok(v)
 }
 
+/// A barrier state digest: the engine's combined digest (rows + every
+/// subscription's materialized answer) plus one tracker digest per
+/// shard, in shard order. A crashed, not-yet-restarted shard reports 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateHash {
+    pub engine: u64,
+    pub shards: Vec<u64>,
+}
+
+/// `HASH`: `engine u64 | n u32 | n × shard u64`.
+pub fn encode_state_hash(h: &StateHash) -> Vec<u8> {
+    let mut b = Vec::with_capacity(12 + h.shards.len() * 8);
+    b.extend_from_slice(&h.engine.to_le_bytes());
+    b.extend_from_slice(&(h.shards.len() as u32).to_le_bytes());
+    for &s in &h.shards {
+        b.extend_from_slice(&s.to_le_bytes());
+    }
+    b
+}
+
+pub fn decode_state_hash(payload: &[u8]) -> io::Result<StateHash> {
+    let mut c = cursor(payload);
+    let engine = c.u64("engine hash").map_err(decode_err)?;
+    let n = c.u32("shard count").map_err(decode_err)? as usize;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(c.u64("shard hash").map_err(decode_err)?);
+    }
+    c.done().map_err(decode_err)?;
+    Ok(StateHash { engine, shards })
+}
+
 /// `HELLO` / `HELLO_ACK`: one u32 protocol version.
 pub fn encode_u32(v: u32) -> Vec<u8> {
     v.to_le_bytes().to_vec()
@@ -470,8 +573,50 @@ mod tests {
 
     #[test]
     fn hello_version_round_trips() {
-        assert_eq!(decode_u32(&encode_u32(PROTOCOL_VERSION)).unwrap(), 2);
+        assert_eq!(decode_u32(&encode_u32(PROTOCOL_VERSION)).unwrap(), 3);
         assert!(decode_u32(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn subscribe_resume_section_round_trips_and_plain_stays_identical() {
+        let spec = SubSpec {
+            kind: SubKind::Snapshot { t: 42.0 },
+            k: 3,
+            epsilon: 0.5,
+            pois: vec![PoiId(2)],
+        };
+        // No resume: byte-identical to the v1/v2 encoding.
+        assert_eq!(encode_subscribe(&spec, None), encode_subspec(&spec));
+        assert_eq!(decode_subscribe(&encode_subspec(&spec)).unwrap(), (spec.clone(), None));
+
+        let resume = Resume { last_seq: 17, last_hash: 0xDEAD_BEEF };
+        let b = encode_subscribe(&spec, Some(&resume));
+        assert_eq!(decode_subscribe(&b).unwrap(), (spec.clone(), Some(resume)));
+        // The strict decoder refuses a resume section (QUERY payloads).
+        assert!(decode_subspec(&b).is_err());
+        // A truncated resume section is rejected, not misparsed.
+        let mut torn = b.clone();
+        torn.pop();
+        assert!(decode_subscribe(&torn).is_err());
+    }
+
+    #[test]
+    fn state_hash_round_trips() {
+        let h = StateHash { engine: 7, shards: vec![1, 2, 3] };
+        assert_eq!(decode_state_hash(&encode_state_hash(&h)).unwrap(), h);
+        assert!(decode_state_hash(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn hash_ranked_is_order_and_bit_sensitive() {
+        let a = vec![(PoiId(1), 0.5), (PoiId(2), 0.25)];
+        let mut b = a.clone();
+        b.swap(0, 1);
+        assert_ne!(hash_ranked(&a), hash_ranked(&b));
+        let mut c = a.clone();
+        c[0].1 = 0.5 + f64::EPSILON;
+        assert_ne!(hash_ranked(&a), hash_ranked(&c));
+        assert_eq!(hash_ranked(&a), hash_ranked(&a.clone()));
     }
 
     #[test]

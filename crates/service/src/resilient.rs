@@ -1,0 +1,307 @@
+//! A self-healing wrapper around [`Client`].
+//!
+//! The plain client reports a typed error and leaves recovery to the
+//! caller. [`ResilientClient`] owns the recovery policy instead: on any
+//! connection-class failure (timeout, reset, server restart) it
+//! reconnects with capped exponential backoff plus deterministic
+//! jitter, re-issues `HELLO`, and re-subscribes every registered
+//! subscription with a [`Resume`] point — the last sequence number and
+//! top-k digest it saw — so the resumed stream carries *exactly* the
+//! updates a never-disconnected client would have received: no
+//! duplicates (the server suppresses the re-initial push when the
+//! answer is unchanged) and no gaps (a changed answer arrives as
+//! `last_seq + 1`).
+//!
+//! Subscriptions are addressed by a stable client-side id: the server
+//! assigns a fresh internal id on every (re)subscribe, and the wrapper
+//! remaps pushed updates back, so callers never observe the churn.
+//!
+//! [`ServiceError::Overloaded`] — explicit backpressure — is retried
+//! with the same backoff schedule *without* reconnecting: the server is
+//! healthy, just refusing work.
+
+use crate::client::{Client, Update, DEFAULT_TIMEOUT};
+use crate::error::ServiceError;
+use crate::protocol::{hash_ranked, Resume, SubSpec};
+use inflow_indoor::PoiId;
+use inflow_tracking::RawReading;
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Reconnect/retry policy. Deterministic given `seed`: the jitter comes
+/// from a seeded xorshift, so chaos tests replay identically.
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// First retry delay.
+    pub base_ms: u64,
+    /// Delay ceiling (the cap in "capped exponential").
+    pub cap_ms: u64,
+    /// Attempts before giving up and surfacing the underlying error.
+    pub max_retries: u32,
+    /// Jitter seed; same seed → same delay schedule.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig { base_ms: 10, cap_ms: 2_000, max_retries: 20, seed: 0x5eed }
+    }
+}
+
+/// One registered subscription's client-side record.
+struct SubState {
+    spec: SubSpec,
+    /// The server's current id for it (changes on every resubscribe).
+    server_id: u64,
+    /// Sequence number of the last update surfaced to the caller.
+    last_seq: u64,
+    /// Digest of that update's ranked answer (the resume handshake's
+    /// duplicate-suppression key).
+    last_hash: u64,
+}
+
+pub struct ResilientClient {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    backoff: BackoffConfig,
+    /// xorshift64 state for jitter.
+    rng: u64,
+    inner: Client,
+    /// Stable external id → subscription record.
+    subs: HashMap<u64, SubState>,
+    /// Current server id → external id (rebuilt on resubscribe).
+    by_server: HashMap<u64, u64>,
+    next_ext: u64,
+    /// Deduplicated, external-id updates awaiting the caller.
+    pending: VecDeque<Update>,
+    reconnects: u64,
+}
+
+impl ResilientClient {
+    pub fn connect(addr: SocketAddr) -> Result<ResilientClient, ServiceError> {
+        ResilientClient::connect_with(addr, Some(DEFAULT_TIMEOUT), BackoffConfig::default())
+    }
+
+    pub fn connect_with(
+        addr: SocketAddr,
+        timeout: Option<Duration>,
+        backoff: BackoffConfig,
+    ) -> Result<ResilientClient, ServiceError> {
+        let inner = Client::connect_with(addr, timeout)?;
+        let rng = backoff.seed | 1; // xorshift must not start at 0
+        Ok(ResilientClient {
+            addr,
+            timeout,
+            backoff,
+            rng,
+            inner,
+            subs: HashMap::new(),
+            by_server: HashMap::new(),
+            next_ext: 1,
+            pending: VecDeque::new(),
+            reconnects: 0,
+        })
+    }
+
+    /// How many times the wrapper has had to reconnect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Capped exponential delay for retry `attempt` (0-based), with
+    /// up-to-50% deterministic jitter.
+    fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self.backoff.base_ms.saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min(self.backoff.cap_ms).max(1);
+        let jitter = self.next_jitter() % (capped / 2 + 1);
+        Duration::from_millis(capped + jitter)
+    }
+
+    /// Re-establishes the connection and the whole subscription set.
+    ///
+    /// Order matters: the barrier first, so a restarted server has
+    /// finished applying its WAL-recovery deltas before the resumed
+    /// subscriptions materialize their initial answers (the shard flush
+    /// queues behind recovery re-emission, and the engine bounce queues
+    /// behind the re-emitted deltas).
+    fn reconnect(&mut self) -> Result<(), ServiceError> {
+        let mut last_err = ServiceError::Closed;
+        for attempt in 0..self.backoff.max_retries {
+            std::thread::sleep(self.delay(attempt));
+            let mut client = match Client::connect_with(self.addr, self.timeout) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match Self::resume_all(&mut client, &mut self.subs, &mut self.by_server) {
+                Ok(()) => {
+                    self.inner = client;
+                    self.reconnects += 1;
+                    self.drain_inner();
+                    return Ok(());
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn resume_all(
+        client: &mut Client,
+        subs: &mut HashMap<u64, SubState>,
+        by_server: &mut HashMap<u64, u64>,
+    ) -> Result<(), ServiceError> {
+        client.barrier()?;
+        by_server.clear();
+        let mut exts: Vec<u64> = subs.keys().copied().collect();
+        exts.sort_unstable();
+        for ext in exts {
+            let Some(state) = subs.get_mut(&ext) else { continue };
+            let resume = Resume { last_seq: state.last_seq, last_hash: state.last_hash };
+            let server_id = client.subscribe_resume(&state.spec, &resume)?;
+            state.server_id = server_id;
+            by_server.insert(server_id, ext);
+        }
+        Ok(())
+    }
+
+    /// Moves the inner client's buffered updates into the external
+    /// queue: remap server ids, drop stale/duplicate sequence numbers,
+    /// advance each subscription's resume point.
+    fn drain_inner(&mut self) {
+        for mut u in self.inner.take_updates() {
+            let Some(&ext) = self.by_server.get(&u.sub_id) else { continue };
+            let Some(state) = self.subs.get_mut(&ext) else { continue };
+            if u.seq <= state.last_seq {
+                continue; // replayed duplicate
+            }
+            state.last_seq = u.seq;
+            state.last_hash = hash_ranked(&u.ranked);
+            u.sub_id = ext;
+            self.pending.push_back(u);
+        }
+    }
+
+    /// Runs one operation, healing the connection (and retrying) on
+    /// connection-class errors, backing off and retrying in place on
+    /// `Overloaded`. Other errors surface immediately.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op(&mut self.inner) {
+                Ok(v) => {
+                    self.drain_inner();
+                    return Ok(v);
+                }
+                Err(e) if e.is_connection_error() => {
+                    self.reconnect()?;
+                }
+                Err(ServiceError::Overloaded { depth }) => {
+                    if attempt >= self.backoff.max_retries {
+                        return Err(ServiceError::Overloaded { depth });
+                    }
+                    let d = self.delay(attempt);
+                    std::thread::sleep(d);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Publishes a batch, transparently reconnecting or backing off as
+    /// needed.
+    ///
+    /// Note the at-least-once caveat every reconnecting publisher has:
+    /// if the connection dies *after* the server routed the batch but
+    /// before the ack arrived, the retry re-publishes it. The tracker's
+    /// duplicate-reading handling makes identical re-publishes
+    /// idempotent at the stream layer.
+    pub fn publish(&mut self, readings: &[RawReading]) -> Result<Option<u64>, ServiceError> {
+        self.with_retry(|c| c.publish(readings))
+    }
+
+    /// Registers a subscription under a stable client-side id (returned)
+    /// that survives reconnects.
+    pub fn subscribe(&mut self, spec: &SubSpec) -> Result<u64, ServiceError> {
+        let spec_clone = spec.clone();
+        let server_id = self.with_retry(|c| c.subscribe(&spec_clone))?;
+        let ext = self.next_ext;
+        self.next_ext += 1;
+        self.subs
+            .insert(ext, SubState { spec: spec.clone(), server_id, last_seq: 0, last_hash: 0 });
+        self.by_server.insert(server_id, ext);
+        // The initial update (seq 1) may already be buffered; drain it
+        // through the dedup path now that the mapping exists.
+        self.drain_inner();
+        Ok(ext)
+    }
+
+    pub fn unsubscribe(&mut self, ext: u64) -> Result<(), ServiceError> {
+        let Some(state) = self.subs.remove(&ext) else {
+            return Err(ServiceError::Protocol(format!("unknown subscription {ext}")));
+        };
+        self.by_server.remove(&state.server_id);
+        let server_id = state.server_id;
+        self.with_retry(|c| c.unsubscribe(server_id))
+    }
+
+    /// Full pipeline sync (see [`Client::barrier`]), surviving restarts.
+    pub fn barrier(&mut self) -> Result<(), ServiceError> {
+        self.with_retry(|c| c.barrier())
+    }
+
+    /// One-shot query, surviving restarts.
+    pub fn query(&mut self, spec: &SubSpec) -> Result<Vec<(PoiId, f64)>, ServiceError> {
+        let spec = spec.clone();
+        self.with_retry(|c| c.query(&spec))
+    }
+
+    /// The subscription's current materialized top-k, by external id.
+    pub fn current(&mut self, ext: u64) -> Result<Vec<(PoiId, f64)>, ServiceError> {
+        let server_id = self
+            .subs
+            .get(&ext)
+            .map(|s| s.server_id)
+            .ok_or_else(|| ServiceError::Protocol(format!("unknown subscription {ext}")))?;
+        // The server id may change under a reconnect inside the retry
+        // loop; re-resolve on each attempt.
+        let mut attempt_id = server_id;
+        loop {
+            let r = self.with_retry(|c| c.current(attempt_id));
+            match r {
+                Err(ServiceError::Remote(_)) => {
+                    let now =
+                        self.subs.get(&ext).map(|s| s.server_id).ok_or(ServiceError::Closed)?;
+                    if now == attempt_id {
+                        return r;
+                    }
+                    attempt_id = now;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Drains every deduplicated update, in arrival order, with
+    /// `sub_id` rewritten to the stable external id.
+    pub fn take_updates(&mut self) -> Vec<Update> {
+        self.drain_inner();
+        self.pending.drain(..).collect()
+    }
+}

@@ -60,6 +60,14 @@ pub struct ServeConfig {
     /// Flight-recorder ring capacity (events; rounded up to a power of
     /// two).
     pub flight_capacity: usize,
+    /// Backpressure bound: a `PUBLISH` arriving while any shard queue is
+    /// at least this deep is refused with an `OVERLOADED` frame instead
+    /// of being routed (0 refuses every publish — tests use that for a
+    /// deterministic overload).
+    pub max_queue: usize,
+    /// Admission bound: connections beyond this many concurrently open
+    /// are sent a single `OVERLOADED` frame and dropped at accept.
+    pub max_conns: usize,
 }
 
 impl ServeConfig {
@@ -77,6 +85,8 @@ impl ServeConfig {
             trace: true,
             slow_ms: 10,
             flight_capacity: 4096,
+            max_queue: 16_384,
+            max_conns: 1024,
         }
     }
 }
@@ -144,6 +154,10 @@ struct Shared {
     next_trace: AtomicU64,
     /// Per-hop tracing enabled (`ServeConfig::trace`).
     trace: bool,
+    /// Shard-queue depth at which publishes are refused (`OVERLOADED`).
+    max_queue: usize,
+    /// Currently open (admitted) connections, for the accept bound.
+    conns: AtomicUsize,
 }
 
 impl Shared {
@@ -265,6 +279,8 @@ impl Server {
             flight,
             next_trace: AtomicU64::new(1),
             trace: cfg.trace,
+            max_queue: cfg.max_queue,
+            conns: AtomicUsize::new(0),
         });
 
         let (conn_tx, conn_rx) = channel::<TcpStream>();
@@ -291,13 +307,35 @@ impl Server {
         }
 
         let accept_shared = Arc::clone(&shared);
+        let max_conns = cfg.max_conns.max(1);
         let accept = std::thread::Builder::new().name("inflow-accept".into()).spawn(move || {
             for stream in listener.incoming() {
                 if accept_shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
-                    Ok(s) => {
+                    Ok(mut s) => {
+                        if accept_shared.conns.load(Ordering::Relaxed) >= max_conns {
+                            // Over the admission bound: tell the client
+                            // explicitly (one OVERLOADED frame) and drop
+                            // the socket rather than queueing it blind.
+                            accept_shared.metrics.add(Counter::ServeConnsRejected, 1);
+                            accept_shared.flight.record(
+                                FlightEventKind::ConnRejected,
+                                0,
+                                max_conns as u64,
+                                0,
+                            );
+                            let mut frame = Vec::new();
+                            inflow_tracking::store::frame::write_frame(
+                                &mut frame,
+                                tag::OVERLOADED,
+                                &protocol::encode_u64(max_conns as u64),
+                            );
+                            let _ = s.write_all(&frame);
+                            continue;
+                        }
+                        accept_shared.conns.fetch_add(1, Ordering::Relaxed);
                         if conn_tx.send(s).is_err() {
                             break;
                         }
@@ -382,6 +420,43 @@ impl ServerHandle {
         Arc::clone(&self.shared.flight)
     }
 
+    /// Abruptly stops the whole server: no shard snapshots, no clean
+    /// drains — every shard exits as if the process died and the WALs
+    /// are the only survivors. Open client connections are severed.
+    /// Restart with [`Server::start`] on the same store directory (and
+    /// an explicit port to come back on the same address); recovery
+    /// replays the WALs. This is the fault-injection primitive the
+    /// reconnect/resume suites drive.
+    pub fn crash(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for p in self.pool.drain(..) {
+            let _ = p.join();
+        }
+        let workers: Vec<Option<JoinHandle<()>>> = {
+            let mut shards = lock_or_recover(&self.shared.shards);
+            shards
+                .iter_mut()
+                .map(|s| {
+                    s.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    let _ = s.tx.send(ShardMsg::Crash);
+                    s.worker.take()
+                })
+                .collect()
+        };
+        for w in workers.into_iter().flatten() {
+            let _ = w.join();
+        }
+        let _ = self.shared.engine_tx.send(EngineMsg::Stop);
+        if let Some(e) = self.engine.take() {
+            let _ = e.join();
+        }
+    }
+
     /// Initiates shutdown (also reachable via a `SHUTDOWN` frame).
     pub fn shutdown(&self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
@@ -434,12 +509,18 @@ impl ServerHandle {
 /// writer thread so they never interleave mid-frame.
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    let Ok(write_half) = stream.try_clone() else { return };
+    let Ok(write_half) = stream.try_clone() else {
+        shared.conns.fetch_sub(1, Ordering::Relaxed);
+        return;
+    };
     let (writer_tx, writer_rx) = channel::<Vec<u8>>();
     let writer = std::thread::Builder::new()
         .name(format!("inflow-writer-{conn_id}"))
         .spawn(move || write_loop(write_half, writer_rx));
-    let Ok(writer) = writer else { return };
+    let Ok(writer) = writer else {
+        shared.conns.fetch_sub(1, Ordering::Relaxed);
+        return;
+    };
 
     shared.flight.record(FlightEventKind::ConnOpened, 0, conn_id, 0);
     read_loop(stream, shared, conn_id, &writer_tx);
@@ -450,6 +531,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = shared.engine_tx.send(EngineMsg::DropConn(conn_id));
     drop(writer_tx);
     let _ = writer.join();
+    shared.conns.fetch_sub(1, Ordering::Relaxed);
 }
 
 fn write_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
@@ -500,6 +582,15 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
         match tag_byte {
             tag::PUBLISH => match protocol::decode_publish(&body) {
                 Ok(readings) => {
+                    let deepest = shared.shard_depths().into_iter().max().unwrap_or(0);
+                    if deepest >= shared.max_queue as u64 {
+                        // Explicit backpressure: refuse the batch rather
+                        // than letting the queues grow without bound.
+                        shared.metrics.add(Counter::ServeOverloads, 1);
+                        shared.flight.record(FlightEventKind::Overloaded, 0, conn_id, deepest);
+                        reply(writer, tag::OVERLOADED, &protocol::encode_u64(deepest));
+                        continue;
+                    }
                     let trace = shared.new_trace();
                     shared.flight.record(
                         FlightEventKind::PublishRouted,
@@ -530,12 +621,13 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
             tag::METRICS => handle_metrics(shared, conn_id, writer),
             tag::TRACE => handle_trace(shared, conn_id, writer),
             tag::FLIGHT => handle_flight(shared, conn_id, writer),
-            tag::SUBSCRIBE => match protocol::decode_subspec(&body) {
-                Ok(spec) => {
+            tag::SUBSCRIBE => match protocol::decode_subscribe(&body) {
+                Ok((spec, resume)) => {
                     let _ = shared.engine_tx.send(EngineMsg::Subscribe {
                         spec,
                         conn: conn_id,
                         trace_v2: conn_version >= 2,
+                        resume,
                         writer: writer.clone(),
                     });
                 }
@@ -568,6 +660,7 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
                 shared.flush_shards();
                 let _ = shared.engine_tx.send(EngineMsg::Barrier { writer: writer.clone() });
             }
+            tag::STATE_HASH => handle_state_hash(shared, conn_id, writer),
             tag::DUMP_ROWS => {
                 let _ = shared.engine_tx.send(EngineMsg::DumpRows { writer: writer.clone() });
             }
@@ -613,4 +706,38 @@ fn handle_flight(shared: &Shared, conn_id: u64, writer: &Sender<Vec<u8>>) {
     shared.metrics.add(Counter::ServeFlightDumps, 1);
     shared.flight.record(FlightEventKind::FlightDump, 0, conn_id, 0);
     reply(writer, tag::FLIGHT_JSONL, shared.flight.dump_jsonl().as_bytes());
+}
+
+/// `STATE_HASH`: a barrier plus a deterministic digest of the whole
+/// pipeline — every shard tracker's canonical checkpoint encoding and
+/// the engine's rows + per-subscription answers. The record/replay
+/// verifier compares these digests at every recorded barrier.
+///
+/// Ordering: the flush guarantees every prior publish's deltas are
+/// *enqueued* to the engine; the shard hash then reflects all of them;
+/// the engine message, FIFO-ordered after those deltas, hashes after
+/// they are *applied*.
+fn handle_state_hash(shared: &Shared, conn_id: u64, writer: &Sender<Vec<u8>>) {
+    shared.metrics.add(Counter::ServeStateHashes, 1);
+    shared.flight.record(FlightEventKind::StateHash, 0, conn_id, 0);
+    shared.flush_shards();
+    let replies: Vec<Receiver<u64>> = {
+        let shards = lock_or_recover(&shared.shards);
+        shards
+            .iter()
+            .map(|s| {
+                let (tx, rx) = channel();
+                s.queue_depth.fetch_add(1, Ordering::Relaxed);
+                let _ = s.tx.send(ShardMsg::StateHash(tx));
+                rx
+            })
+            .collect()
+    };
+    let shard_hashes: Vec<u64> = replies
+        .into_iter()
+        // A crashed (not yet restarted) shard can't answer; 0 is its
+        // deterministic sentinel, identical on record and replay.
+        .map(|rx| rx.recv_timeout(Duration::from_secs(5)).unwrap_or(0))
+        .collect();
+    let _ = shared.engine_tx.send(EngineMsg::StateHash { shard_hashes, writer: writer.clone() });
 }

@@ -71,6 +71,11 @@ pub enum ShardMsg {
     /// Ack once every prior message is applied and its deltas are
     /// enqueued to the engine (the barrier protocol's first half).
     Flush(Sender<()>),
+    /// Reply with the FNV-1a digest of this shard's tracker state (the
+    /// canonical checkpoint encoding) — the replay verifier's per-shard
+    /// hash point. A crashed worker never answers; callers time out and
+    /// record the sentinel 0.
+    StateHash(Sender<u64>),
     /// Simulate a crash: exit immediately without closing the store.
     Crash,
     /// Clean stop: snapshot the store, then ack and exit.
@@ -300,6 +305,9 @@ fn run_shard(
             }
             ShardMsg::Flush(ack) => {
                 let _ = ack.send(());
+            }
+            ShardMsg::StateHash(reply) => {
+                let _ = reply.send(state.store.tracker().state_hash());
             }
             // No snapshot, no sync: the WAL is the truth. Dump the
             // flight recorder first so the postmortem shows what this

@@ -73,6 +73,19 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// FNV-1a 64-bit over a byte slice: the cheap, dependency-free digest
+/// used for engine/shard state hashes in the record/replay harness.
+/// Not error-detecting like [`crc32`] (frames keep their CRC); this is
+/// for *comparing* two deterministic encodings, not validating one.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Appends one frame (`tag | len | payload | crc`) to `out`.
 pub fn write_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     let start = out.len();

@@ -22,7 +22,7 @@
 use crate::io::{content_lines, parse, parse_finite, CsvError};
 use crate::ott::{ObjectId, ObjectTrackingTable, OttError, OttRow};
 use crate::reading::RawReading;
-use crate::store::frame::{self, tag, Cursor, Frame, FrameReader};
+use crate::store::frame::{self, fnv1a, tag, Cursor, Frame, FrameReader};
 use crate::store::StoreError;
 use crate::Timestamp;
 use std::cmp::Ordering;
@@ -487,6 +487,21 @@ impl OnlineTracker {
         let (closed, open, pending) = self.state_counts();
         frame::write_frame(&mut buf, tag::END, &frame::encode_counts(closed, open, pending));
         out.write_all(&buf)
+    }
+
+    /// A 64-bit digest of the tracker's complete state, computed over the
+    /// deterministic binary checkpoint encoding (FNV-1a over the exact
+    /// bytes [`OnlineTracker::checkpoint`] would write). Two trackers
+    /// hash equal iff their config, closed rows, open runs and reorder
+    /// buffers are identical — the per-shard comparison point the
+    /// record/replay harness checks at every barrier.
+    pub fn state_hash(&self) -> u64 {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(CHECKPOINT_MAGIC);
+        self.write_state_frames(&mut buf);
+        let (closed, open, pending) = self.state_counts();
+        frame::write_frame(&mut buf, tag::END, &frame::encode_counts(closed, open, pending));
+        fnv1a(&buf)
     }
 
     /// Serializes the tracker state in the legacy line-oriented text

@@ -31,9 +31,32 @@ cargo test -q --test crash --offline
 echo "== serve smoke (serve/watch/top end-to-end over TCP)"
 bash scripts/serve-smoke.sh
 
+echo "== replay-chaos (deterministic record/replay under seeded fault plans)"
+cargo test -q --test replay --offline
+RPL_WORK=$(mktemp -d "${TMPDIR:-/tmp}/inflow-replay-chaos.XXXXXX")
+trap 'rm -rf "$RPL_WORK"' EXIT
+target/release/inflow generate synthetic \
+    --out-dir "$RPL_WORK/data" --objects 12 --duration 240 --seed 11
+for seed in 1 2 3; do
+    echo "   -- fault seed $seed: record + replay"
+    target/release/inflow record --plan "$RPL_WORK/data/plan.txt" \
+        --store "$RPL_WORK/rec-$seed" --readings "$RPL_WORK/data/readings.csv" \
+        --out "$RPL_WORK/run-$seed.rpl" --shards 2 --chunk 64 --barrier-every 4 \
+        --ts 0 --te 240 --k 5 --fault-seed "$seed" --fault-count 2 >/dev/null
+    # Any barrier-hash divergence exits non-zero and fails the gate.
+    target/release/inflow replay --plan "$RPL_WORK/data/plan.txt" \
+        --store "$RPL_WORK/probe-$seed" --log "$RPL_WORK/run-$seed.rpl" --shards 2
+done
+rm -rf "$RPL_WORK"
+trap - EXIT
+
 echo "== bench6 (tracing/flight-recorder overhead -> BENCH_6.json)"
 cargo run -q --release -p inflow-bench --bin bench6 --offline -- --smoke --out BENCH_6.json
 cat BENCH_6.json
+
+echo "== bench7 (replay-recorder overhead -> BENCH_7.json)"
+cargo run -q --release -p inflow-bench --bin bench7 --offline -- --smoke --out BENCH_7.json
+cat BENCH_7.json
 
 # Opt-in sanitizer stages. Both need a nightly toolchain with the matching
 # components (rustup component add miri / -Z sanitizer support), so they

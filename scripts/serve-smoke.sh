@@ -28,8 +28,14 @@ echo "== start server"
   --shards 2 --no-sync --addr-file "$WORK/addr" >"$WORK/serve.log" 2>&1 &
 SERVER_PID=$!
 
+# The server prints "listening on HOST:PORT" to stdout the moment the
+# ephemeral port is bound; parse the address from there (--addr-file is
+# kept as a fallback) instead of racing a fixed port guess.
+ADDR=""
 for _ in $(seq 1 100); do
-  [[ -s "$WORK/addr" ]] && break
+  ADDR=$(sed -n 's/^listening on //p' "$WORK/serve.log" | head -n 1)
+  [[ -n "$ADDR" ]] && break
+  [[ -s "$WORK/addr" ]] && { ADDR=$(cat "$WORK/addr"); break; }
   if ! kill -0 "$SERVER_PID" 2>/dev/null; then
     echo "server died before binding:" >&2
     cat "$WORK/serve.log" >&2
@@ -37,9 +43,26 @@ for _ in $(seq 1 100); do
   fi
   sleep 0.1
 done
-[[ -s "$WORK/addr" ]] || { echo "server never wrote --addr-file" >&2; exit 1; }
-ADDR=$(cat "$WORK/addr")
+[[ -n "$ADDR" ]] || { echo "server never announced its address" >&2; exit 1; }
 echo "   listening on $ADDR"
+
+# Binding and accepting are separate moments; retry the first contact
+# with exponential backoff rather than failing on a half-started server.
+CONNECTED=0
+DELAY=0.05
+for _ in $(seq 1 20); do
+  if "$BIN" top --addr "$ADDR" --once --timeout-ms 2000 >/dev/null 2>&1; then
+    CONNECTED=1
+    break
+  fi
+  sleep "$DELAY"
+  DELAY=$(awk -v d="$DELAY" 'BEGIN { d = d * 2; printf "%.2f", (d > 1.0) ? 1.0 : d }')
+done
+[[ "$CONNECTED" == 1 ]] || {
+  echo "could not connect to $ADDR:" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
 
 echo "== stream readings under a subscription"
 "$BIN" watch --addr "$ADDR" --ts 0 --te 300 --k 5 \

@@ -18,6 +18,7 @@
 use crate::core::{flow_timeline, snapshot_density, FlowAnalytics, IntervalQuery, SnapshotQuery};
 use crate::geometry::GridResolution;
 use crate::indoor::{read_plan, write_plan, FloorPlan, PoiId};
+use crate::replay::{bisect, record_run, replay, FaultPlan, RecordOptions, ReplayLog};
 use crate::service::{Client, ServeConfig, Server, SubKind, SubSpec};
 use crate::tracking::{
     atomic_write, read_ott_csv, read_quarantine_csv, read_readings_csv, readmit_rows,
@@ -89,6 +90,7 @@ impl Args {
                         | "shutdown"
                         | "no-trace"
                         | "once"
+                        | "bisect"
                 ) {
                     switches.push(name.to_string());
                 } else {
@@ -145,6 +147,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(&args),
         "watch" => cmd_watch(&args),
         "top" => cmd_top(&args),
+        "record" => cmd_record(&args),
+        "replay" => cmd_replay(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -176,12 +180,19 @@ fn usage() -> String {
      \x20          [--max-gap S] [--lateness S] [--vmax V] [--no-sync]\n\
      \x20          [--snapshot-every N] [--addr-file F] [--no-trace]\n\
      \x20          [--slow-ms MS] [--flight-capacity N]\n\
+     \x20          [--max-queue N] [--max-conns N]\n\
      \x20                                          continuous flow-monitoring server\n\
      \x20 watch    --addr HOST:PORT [--t T | --ts T --te T] [--k K] [--epsilon E]\n\
      \x20          [--pois 1,2,3] [--publish F.csv] [--chunk N] [--stats] [--shutdown]\n\
-     \x20                                          subscribe, stream, print updates\n\
+     \x20          [--timeout-ms MS]               subscribe, stream, print updates\n\
      \x20 top      --addr HOST:PORT [--once] [--interval S] [--count N]\n\
-     \x20                                          live server telemetry dashboard\n\
+     \x20          [--timeout-ms MS]               live server telemetry dashboard\n\
+     \x20 record   --plan F --store DIR --readings F.csv --out F.rpl\n\
+     \x20          [--chunk N] [--barrier-every N] [--t T | --ts T --te T]\n\
+     \x20          [--faults 5:crash:0,7:restart:0 | --fault-seed N [--fault-count N]]\n\
+     \x20          [serve flags]                   record a chaos run as a replay log\n\
+     \x20 replay   --plan F --store DIR --log F.rpl [--bisect] [--out F.rpl.min]\n\
+     \x20          [serve flags]                   verify per-barrier state hashes\n\
      \n\
      snapshot and interval accept --threads N with --iterative to fan the\n\
      per-object flow computation across N scoped worker threads; results\n\
@@ -197,6 +208,13 @@ fn usage() -> String {
      per-second rates), per-stage latency percentiles and per-shard\n\
      queue depths; --once prints a single machine-checkable snapshot\n\
      and exits (non-zero if the snapshot is malformed).\n\
+     \n\
+     record drives a fresh server through the readings over a single\n\
+     connection, injecting the fault plan (shard kills, torn WAL writes,\n\
+     connection drops) at recorded stream positions and stamping a state\n\
+     digest at every barrier. replay re-drives the log against a fresh\n\
+     server and exits non-zero at the first digest mismatch; --bisect\n\
+     then shrinks the log to its minimal diverging prefix.\n\
      \n\
      ingest is resumable and idempotent: readings already durable in the\n\
      store's WAL are skipped, so rerunning after a crash continues where\n\
@@ -710,9 +728,10 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
     Ok(append_profile(out, rec.finish().as_ref(), args))
 }
 
-fn cmd_serve(args: &Args) -> Result<String, CliError> {
-    let plan = load_plan(args)?;
-    let store_dir: PathBuf = args.require("store")?;
+/// The server configuration shared by `serve`, `record` and `replay`.
+/// Replays must run under the exact configuration of the recording run,
+/// so all three commands accept the same flags through this one path.
+fn serve_config(args: &Args, store_dir: PathBuf) -> Result<ServeConfig, CliError> {
     let max_gap: f64 = args.get("max-gap")?.unwrap_or(60.0);
     if !(max_gap > 0.0 && max_gap.is_finite()) {
         return err("--max-gap must be positive and finite");
@@ -734,10 +753,22 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         trace: !args.switch("no-trace"),
         slow_ms: args.get("slow-ms")?.unwrap_or(10),
         flight_capacity: args.get("flight-capacity")?.unwrap_or(4096),
+        max_queue: args.get("max-queue")?.unwrap_or(16_384),
+        max_conns: args.get("max-conns")?.unwrap_or(1024),
     };
     if cfg.shards == 0 || cfg.pool == 0 {
         return err("--shards and --pool must be at least 1");
     }
+    if cfg.max_conns == 0 {
+        return err("--max-conns must be at least 1");
+    }
+    Ok(cfg)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let store_dir: PathBuf = args.require("store")?;
+    let cfg = serve_config(args, store_dir)?;
     let handle = Server::start(Arc::new(IndoorContext::new(plan)), cfg)
         .map_err(|e| CliError(format!("starting server: {e}")))?;
     let addr = handle.addr();
@@ -798,10 +829,18 @@ fn format_ranked(ranked: &[(PoiId, f64)]) -> String {
     ranked.iter().map(|&(p, f)| format!("{p}={f:.3}")).collect::<Vec<_>>().join(", ")
 }
 
+/// The client socket timeout from `--timeout-ms` (default 30s, `0` to
+/// disable). A hung or partitioned server then surfaces as a typed
+/// timeout error instead of a read that blocks forever.
+fn client_timeout(args: &Args) -> Result<Option<std::time::Duration>, CliError> {
+    let ms: u64 = args.get("timeout-ms")?.unwrap_or(30_000);
+    Ok((ms > 0).then(|| std::time::Duration::from_millis(ms)))
+}
+
 fn cmd_watch(args: &Args) -> Result<String, CliError> {
     let addr: std::net::SocketAddr = args.require("addr")?;
-    let mut client =
-        Client::connect(addr).map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+    let mut client = Client::connect_with(addr, client_timeout(args)?)
+        .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
     let mut out = String::new();
 
     let sub = match parse_subspec(args)? {
@@ -874,6 +913,167 @@ fn cmd_watch(args: &Args) -> Result<String, CliError> {
         return err("watch needs at least one of --t/--ts+--te, --publish, --stats, --shutdown");
     }
     Ok(out)
+}
+
+/// `inflow record`: drive a fresh server through a readings file — with
+/// an optional chaos schedule — and write the replayable `IFRPL001`
+/// session log with a state digest at every barrier.
+fn cmd_record(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let store_dir: PathBuf = args.require("store")?;
+    // A replay always starts from an empty store; a recording taken over
+    // recovered state would therefore diverge at the very first barrier.
+    if store_dir.exists()
+        && store_dir
+            .read_dir()
+            .map_err(|e| CliError(format!("reading {}: {e}", store_dir.display())))?
+            .next()
+            .is_some()
+    {
+        return err(format!(
+            "--store {} is not empty; record needs a fresh store directory",
+            store_dir.display()
+        ));
+    }
+    let readings_path: PathBuf = args.require("readings")?;
+    let file = File::open(&readings_path)
+        .map_err(|e| CliError(format!("cannot open readings {}: {e}", readings_path.display())))?;
+    let readings = read_readings_csv(&mut BufReader::new(file))
+        .map_err(|e| CliError(format!("bad readings file: {e}")))?;
+    if readings.is_empty() {
+        return err("readings file is empty; nothing to record");
+    }
+    let out_path: PathBuf = args.require("out")?;
+    let cfg = serve_config(args, store_dir.clone())?;
+    let shards = cfg.shards as u32;
+    let chunk: usize = args.get("chunk")?.unwrap_or(64);
+    let barrier_every: usize = args.get("barrier-every")?.unwrap_or(8);
+    if chunk == 0 || barrier_every == 0 {
+        return err("--chunk and --barrier-every must be at least 1");
+    }
+    let publishes = readings.len().div_ceil(chunk) as u64;
+    let logical_ops = publishes + publishes / barrier_every as u64;
+    let fault_plan = if let Some(spec) = args.flags.get("faults") {
+        if args.flags.contains_key("fault-seed") {
+            return err("give either --faults or --fault-seed, not both");
+        }
+        FaultPlan::parse(spec).map_err(|e| CliError(format!("bad --faults: {e}")))?
+    } else if let Some(seed) = args.get::<u64>("fault-seed")? {
+        let count: usize = args.get("fault-count")?.unwrap_or(3);
+        FaultPlan::generate(seed, logical_ops.max(1), shards, count)
+    } else {
+        FaultPlan::default()
+    };
+    let faults = fault_plan.events.len();
+    let subs: Vec<SubSpec> = parse_subspec(args)?.into_iter().collect();
+    let handle = Server::start(Arc::new(IndoorContext::new(plan)), cfg)
+        .map_err(|e| CliError(format!("starting server: {e}")))?;
+    let result = record_run(
+        &handle,
+        store_dir,
+        &readings,
+        &RecordOptions { chunk, barrier_every, subs, plan: fault_plan },
+    );
+    handle.shutdown();
+    handle.wait();
+    let log = result.map_err(|e| CliError(format!("recording: {e}")))?;
+    let bytes = log.to_bytes();
+    write_file_atomic(&out_path, |buf: &mut Vec<u8>| -> Result<(), std::io::Error> {
+        buf.extend_from_slice(&bytes);
+        Ok(())
+    })?;
+    Ok(format!(
+        "recorded {} readings as {} ops ({publishes} publishes, {} barriers, {faults} faults)\n\
+         wrote {} ({} bytes)\n",
+        readings.len(),
+        log.ops.len(),
+        log.barriers(),
+        out_path.display(),
+        bytes.len()
+    ))
+}
+
+/// `inflow replay`: re-drive a recorded log against a fresh server and
+/// verify the state digest at every barrier. Divergence is a non-zero
+/// exit carrying the typed report; `--bisect` additionally shrinks the
+/// log to its minimal diverging prefix and writes it to `--out`.
+fn cmd_replay(args: &Args) -> Result<String, CliError> {
+    let plan = load_plan(args)?;
+    let log_path: PathBuf = args.require("log")?;
+    let bytes = std::fs::read(&log_path)
+        .map_err(|e| CliError(format!("cannot read log {}: {e}", log_path.display())))?;
+    let log = ReplayLog::parse(&bytes)
+        .map_err(|e| CliError(format!("log {}: {e}", log_path.display())))?;
+    let base: PathBuf = args.require("store")?;
+    let cfg = serve_config(args, base.clone())?;
+    if log.meta.shards != 0 && cfg.shards as u32 != log.meta.shards {
+        return err(format!(
+            "log was recorded with {} shards but --shards is {}; a replay must run \
+             the recording's configuration",
+            log.meta.shards, cfg.shards
+        ));
+    }
+    let ctx = Arc::new(IndoorContext::new(plan));
+    // Each probe (the replay itself, then every bisect step) gets a
+    // pristine store under --store; stale probe dirs are cleared so a
+    // rerun cannot recover into yesterday's state.
+    let mut probe = 0u32;
+    let mut start_server = || -> std::io::Result<(crate::service::ServerHandle, PathBuf)> {
+        probe += 1;
+        let dir = base.join(format!("replay-{probe}"));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        std::fs::create_dir_all(&dir)?;
+        let mut probe_cfg = cfg.clone();
+        probe_cfg.store_dir = dir.clone();
+        probe_cfg.port = 0;
+        let handle = Server::start(Arc::clone(&ctx), probe_cfg)?;
+        Ok((handle, dir))
+    };
+    if args.switch("bisect") {
+        match bisect(&log, &mut start_server).map_err(|e| CliError(format!("replay: {e}")))? {
+            None => Ok(format!(
+                "replay clean: {} ops, {} barriers verified, no divergence\n",
+                log.ops.len(),
+                log.barriers()
+            )),
+            Some(found) => {
+                let minimal = found.minimal.to_bytes();
+                let out_path = match args.flags.get("out") {
+                    Some(p) => PathBuf::from(p),
+                    None => PathBuf::from(format!("{}.min", log_path.display())),
+                };
+                write_file_atomic(&out_path, |buf: &mut Vec<u8>| -> Result<(), std::io::Error> {
+                    buf.extend_from_slice(&minimal);
+                    Ok(())
+                })?;
+                err(format!(
+                    "first diverging barrier: {} ({})\n\
+                     minimal diverging prefix: {} ops, wrote {}",
+                    found.first_diverging_barrier,
+                    match found.prior_prefix_clean {
+                        Some(true) => "prefix one barrier shorter replays clean",
+                        Some(false) => "warning: one barrier shorter also diverges",
+                        None => "divergence is at the first barrier",
+                    },
+                    found.minimal.ops.len(),
+                    out_path.display()
+                ))
+            }
+        }
+    } else {
+        let report =
+            replay(&log, &mut start_server).map_err(|e| CliError(format!("replay: {e}")))?;
+        match report.divergence {
+            None => Ok(format!(
+                "replay clean: {} ops, {} barriers verified, no divergence\n",
+                log.ops.len(),
+                report.barriers_checked
+            )),
+            Some(div) => err(format!("{div}\n(rerun with --bisect to shrink the log)")),
+        }
+    }
 }
 
 /// One validated `METRICS` snapshot, reduced to what the dashboard
@@ -1073,8 +1273,8 @@ fn cmd_top(args: &Args) -> Result<String, CliError> {
         None if once => 1,
         None => u64::MAX,
     };
-    let mut client =
-        Client::connect(addr).map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+    let mut client = Client::connect_with(addr, client_timeout(args)?)
+        .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
     let mut prev: Option<(Vec<(String, u64)>, std::time::Instant)> = None;
     let mut frame = 0u64;
     loop {

@@ -23,6 +23,8 @@
 //! * [`service`] — the sharded continuous flow-monitoring server:
 //!   incremental top-k subscriptions with ε-gated notifications over a
 //!   length-prefixed TCP protocol (`inflow serve` / `inflow watch`);
+//! * [`replay`] — deterministic record/replay of serving sessions with
+//!   chaos-scheduled fault injection (`inflow record` / `inflow replay`);
 //! * [`workload`] — synthetic and CPH-airport-style data generators;
 //! * [`viz`] — SVG rendering of plans, regions and trajectories.
 //!
@@ -34,6 +36,7 @@ pub use inflow_core as core;
 pub use inflow_geometry as geometry;
 pub use inflow_indoor as indoor;
 pub use inflow_obs as obs;
+pub use inflow_replay as replay;
 pub use inflow_rtree as rtree;
 pub use inflow_service as service;
 pub use inflow_tracking as tracking;

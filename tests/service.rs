@@ -299,7 +299,7 @@ fn trace_chains_decompose_notify_latency() {
 
     let (handle, dir) = start_server(&w, "trace", 2);
     let mut client = Client::connect(handle.addr()).expect("connect");
-    assert_eq!(client.version(), 2, "client must negotiate protocol v2");
+    assert!(client.version() >= 2, "client must negotiate a traced protocol");
 
     let spec = SubSpec {
         kind: SubKind::Interval { ts: 0.0, te: 300.0 },
@@ -502,4 +502,157 @@ fn one_shot_query_matches_local_batch() {
     client.shutdown_server().expect("shutdown");
     handle.wait();
     let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A server killed abruptly (accept loop, pool, shards, engine — all
+/// torn down, state left only in the WALs) and restarted on the same
+/// port must be transparent to a [`ResilientClient`]: the resumed
+/// subscription sees exactly the update sequence a never-disconnected
+/// client would — consecutive sequence numbers, no duplicates, no gaps
+/// — and its final answer equals the from-scratch batch reference.
+#[test]
+fn resilient_client_resumes_across_server_kill_and_restart() {
+    use inflow::service::ResilientClient;
+
+    let w = small_workload();
+    let readings = readings_of(&w);
+    let all_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+    let (first_half, second_half) = readings.split_at(readings.len() / 2);
+
+    let dir = temp_dir("resume");
+    let cfg = ServeConfig {
+        shards: 2,
+        max_gap: MAX_GAP,
+        ur: ur_config(&w),
+        ..ServeConfig::new(dir.clone())
+    };
+    let handle = Server::start(Arc::clone(&w.ctx), cfg.clone()).expect("server start");
+    let addr = handle.addr();
+
+    let mut client = ResilientClient::connect(addr).expect("connect");
+    let spec = SubSpec {
+        kind: SubKind::Interval { ts: 0.0, te: 300.0 },
+        k: all_pois.len(),
+        epsilon: 0.0,
+        pois: Vec::new(),
+    };
+    let sub = client.subscribe(&spec).expect("subscribe");
+    client.barrier().expect("initial barrier");
+    let mut updates = client.take_updates();
+
+    for batch in first_half.chunks(64) {
+        client.publish(batch).expect("publish");
+        client.barrier().expect("barrier");
+        updates.extend(client.take_updates());
+    }
+
+    // Kill everything; durable state survives only in the shard WALs.
+    handle.crash();
+
+    // Restart from the same store on the same port. The freed port can
+    // linger briefly, so binding retries.
+    let mut restart_cfg = cfg;
+    restart_cfg.port = addr.port();
+    let handle = {
+        let mut tries = 0;
+        loop {
+            match Server::start(Arc::clone(&w.ctx), restart_cfg.clone()) {
+                Ok(h) => break h,
+                Err(e) if tries < 50 => {
+                    tries += 1;
+                    let _ = e;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Err(e) => panic!("restart on {addr}: {e}"),
+            }
+        }
+    };
+
+    for batch in second_half.chunks(64) {
+        client.publish(batch).expect("publish after restart");
+        client.barrier().expect("barrier after restart");
+        updates.extend(client.take_updates());
+    }
+    assert!(client.reconnects() >= 1, "the client must actually have healed a reconnect");
+
+    // Exactly the sequence a never-disconnected client would have seen:
+    // seq 1, 2, 3, ... with no duplicate and no hole across the restart.
+    assert!(!updates.is_empty(), "the subscription must have produced updates");
+    for (i, u) in updates.iter().enumerate() {
+        assert_eq!(u.sub_id, sub, "updates carry the stable external id");
+        assert_eq!(
+            u.seq,
+            (i + 1) as u64,
+            "update stream must be contiguous across the restart: {:?}",
+            updates.iter().map(|u| u.seq).collect::<Vec<_>>()
+        );
+    }
+
+    // And the stream converged to the truth: last update == current ==
+    // from-scratch batch reference over the recovered + new rows.
+    let current = client.current(sub).expect("current");
+    assert_ranked_eq(&updates.last().expect("nonempty").ranked, &current, "last update vs current");
+    let mut probe = Client::connect(addr).expect("probe connect");
+    let rows = probe.dump_rows().expect("rows");
+    let want = batch_reference(&w.ctx, ur_config(&w), rows, &spec.kind, all_pois, spec.k);
+    assert_ranked_eq(&current, &want, "resumed subscription final answer");
+
+    probe.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// With a zero queue budget every publish must be refused with the
+/// typed `OVERLOADED` backpressure error instead of being queued.
+#[test]
+fn zero_queue_budget_surfaces_typed_backpressure() {
+    use inflow::service::ServiceError;
+
+    let w = small_workload();
+    let readings = readings_of(&w);
+    let dir = temp_dir("overload");
+    let cfg = ServeConfig {
+        shards: 1,
+        max_gap: MAX_GAP,
+        ur: ur_config(&w),
+        max_queue: 0,
+        ..ServeConfig::new(dir.clone())
+    };
+    let handle = Server::start(Arc::clone(&w.ctx), cfg).expect("server start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    match client.publish(&readings[..4]) {
+        Err(ServiceError::Overloaded { .. }) => {}
+        other => panic!("want OVERLOADED backpressure, got {other:?}"),
+    }
+    assert!(
+        handle.metrics().counter(Counter::ServeOverloads) >= 1,
+        "refused publishes must be counted"
+    );
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A server that accepts the connection but never answers must surface
+/// as a typed timeout within the configured budget, not a hang.
+#[test]
+fn silent_server_surfaces_typed_timeout() {
+    use inflow::service::ServiceError;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let started = std::time::Instant::now();
+    match Client::connect_with(addr, Some(std::time::Duration::from_millis(200))) {
+        Err(ServiceError::Timeout) => {}
+        Ok(_) => panic!("handshake against a silent server must not succeed"),
+        Err(other) => panic!("want ServiceError::Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "the timeout must fire within the configured budget"
+    );
+    drop(listener);
 }
