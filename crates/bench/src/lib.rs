@@ -800,51 +800,56 @@ pub fn abl_accuracy(scale: &Scale) -> Series {
 /// Ablation: answer quality as input corruption rises. Each level of the
 /// seeded corruption grid (clean → severe) is applied to the synthetic
 /// rows, routed through the repair-all sanitization gate, and the interval
-/// top-k ranking is scored against the simulated ground truth. Column
-/// semantics: `iterative_ms` = precision@5, `join_ms` = precision@10.
+/// top-k ranking is scored against the ranking computed from *clean*
+/// input — so the clean row reads 1.0 by construction and each severity
+/// row reads directly as "how much of the clean answer survives the
+/// corruption + repair round trip". (Scoring against simulated ground
+/// truth instead would fold in the estimator-vs-truth gap that
+/// `abl-accuracy` measures, saturating the columns on dense workloads.)
+/// Column semantics: `iterative_ms` = precision@5, `join_ms` =
+/// precision@10.
 pub fn abl_noise(scale: &Scale) -> Series {
     use inflow_tracking::{sanitize_rows, ObjectTrackingTable, SanitizeConfig};
-    use inflow_workload::{
-        apply_corruption, corruption_grid, ranking_overlap, rows_of, true_interval_ranking,
-    };
+    use inflow_workload::{apply_corruption, corruption_grid, ranking_overlap, rows_of};
     let w = generate_synthetic(&base_synthetic(scale));
     let plan_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
     let device_count = w.ctx.plan().devices().len() as u32;
     let base_rows = rows_of(&w.ott);
     let (ts, te) = (scale.duration * 0.3, scale.duration * 0.3 + defaults::INTERVAL_LEN);
-    let truth: Vec<PoiId> = true_interval_ranking(w.ctx.plan(), &w.ground_truth, ts, te, 5.0)
-        .into_iter()
-        .map(|(p, _)| p)
-        .collect();
     let gate = SanitizeConfig::repair_all().with_vmax(w.vmax);
+
+    let ranking_for = |rows: Vec<inflow_tracking::OttRow>| -> Vec<PoiId> {
+        let outcome = sanitize_rows(rows, &gate, Some(w.ctx.plan()));
+        let ott = ObjectTrackingTable::from_rows(outcome.rows)
+            .expect("sanitized rows satisfy OTT invariants");
+        let cfg = UrConfig {
+            vmax: w.vmax,
+            topology_check: true,
+            resolution: scale.resolution,
+            ..UrConfig::default()
+        };
+        let fa = FlowAnalytics::new(w.ctx.clone(), ott, cfg)
+            .with_sanitize_report(outcome.report, outcome.repaired_objects);
+        let q = IntervalQuery::new(ts, te, plan_pois.clone(), plan_pois.len());
+        fa.interval_topk_iterative(&q).poi_ids()
+    };
+    let clean = ranking_for(base_rows.clone());
 
     let rows = corruption_grid(0xC0FFEE)
         .iter()
         .map(|spec| {
-            let corrupted = apply_corruption(base_rows.clone(), spec, device_count);
-            let outcome = sanitize_rows(corrupted, &gate, Some(w.ctx.plan()));
-            let ott = ObjectTrackingTable::from_rows(outcome.rows)
-                .expect("sanitized rows satisfy OTT invariants");
-            let cfg = UrConfig {
-                vmax: w.vmax,
-                topology_check: true,
-                resolution: scale.resolution,
-                ..UrConfig::default()
-            };
-            let fa = FlowAnalytics::new(w.ctx.clone(), ott, cfg)
-                .with_sanitize_report(outcome.report, outcome.repaired_objects);
-            let q = IntervalQuery::new(ts, te, plan_pois.clone(), plan_pois.len());
-            let est = fa.interval_topk_iterative(&q).poi_ids();
+            let est = ranking_for(apply_corruption(base_rows.clone(), spec, device_count));
             Row::timing(
                 spec.label.clone(),
-                ranking_overlap(&est, &truth, 5),
-                ranking_overlap(&est, &truth, 10),
+                ranking_overlap(&est, &clean, 5),
+                ranking_overlap(&est, &clean, 10),
             )
         })
         .collect();
     Series {
         experiment: "abl-noise".into(),
-        x_label: "corruption level (iterative_ms column = precision@5, join_ms = precision@10)"
+        x_label: "corruption level (iterative_ms column = precision@5 vs clean, \
+                  join_ms = precision@10 vs clean)"
             .into(),
         rows,
     }
@@ -899,6 +904,13 @@ pub fn abl_coldstart(scale: &Scale) -> Series {
 /// toggles pipeline tracing + flight recording — the knob `BENCH_6`
 /// compares. Returns (sustained readings/sec, notify p99 ms).
 pub fn serve_run(scale: &Scale, num_objects: usize, trace: bool) -> (f64, f64) {
+    serve_run_tiered(scale, num_objects, trace, true)
+}
+
+/// [`serve_run`] with the segment tier switchable: `tier` keeps the
+/// server's default compaction/scrub cadence, `!tier` turns both off —
+/// the knob `BENCH_8` compares.
+fn serve_run_tiered(scale: &Scale, num_objects: usize, trace: bool, tier: bool) -> (f64, f64) {
     use inflow_service::{Client, ServeConfig, Server, SubKind, SubSpec};
     use inflow_tracking::RawReading;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -924,11 +936,14 @@ pub fn serve_run(scale: &Scale, num_objects: usize, trace: bool) -> (f64, f64) {
     ));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let defaults = ServeConfig::new(dir.clone());
     let serve_cfg = ServeConfig {
         shards: 4,
         trace,
+        compact_every: if tier { defaults.compact_every } else { None },
+        scrub_every: if tier { defaults.scrub_every } else { None },
         ur: UrConfig { vmax: w.vmax, resolution: scale.resolution, ..UrConfig::default() },
-        ..ServeConfig::new(dir.clone())
+        ..defaults
     };
     let handle = Server::start(w.ctx.clone(), serve_cfg).expect("bench server start");
     let mut client = Client::connect(handle.addr()).expect("bench client connect");
@@ -1115,6 +1130,144 @@ pub fn bench7_json(scale: &Scale) -> String {
     )
 }
 
+/// One direct store-ingest run for the segment-tier comparison: open a
+/// fresh [`inflow_tracking::IngestStore`] under `opts` in a temp dir,
+/// ingest the endpoint-expanded reading stream, snapshot, drop — then
+/// time a cold reopen of the same directory. Returns
+/// (readings/sec, coldstart reopen ms).
+fn tier_ingest_run(
+    readings: &[inflow_tracking::RawReading],
+    opts: inflow_tracking::StoreOptions,
+) -> (f64, f64) {
+    use inflow_tracking::{IngestStore, OnlineTracker, StdFs};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const MAX_GAP: f64 = 60.0;
+    static RUN: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "inflow-bench-tier-{}-{}",
+        std::process::id(),
+        RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    let t0 = Instant::now();
+    let (mut store, _) = IngestStore::open(StdFs, &dir, OnlineTracker::new(MAX_GAP), opts)
+        .expect("bench store open");
+    for r in readings {
+        store.ingest(*r).expect("bench ingest");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    store.snapshot().expect("bench snapshot");
+    drop(store);
+    let throughput = readings.len() as f64 / elapsed.max(1e-9);
+
+    // Cold start = reopen to queryable, the shard-restart path: recover
+    // the snapshot + WAL tail and reconcile the manifest. (The loaded
+    // AR-tree image is what makes the store queryable without a rebuild.)
+    let t1 = Instant::now();
+    let (reopened, report) = IngestStore::open(StdFs, &dir, OnlineTracker::new(MAX_GAP), opts)
+        .expect("bench store reopen");
+    std::hint::black_box((report.segments, reopened.loaded_snapshot().is_some()));
+    let coldstart_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+    (throughput, coldstart_ms)
+}
+
+/// The PR 8 segment-tier benchmark: direct store ingest throughput and
+/// cold-start reopen time with the tier off (`baseline`: WAL + snapshot
+/// reload, the PR 3 path) vs on (`tiered`: background compaction into
+/// immutable segments plus the budgeted scrubber), as the JSON document
+/// CI writes to `BENCH_8.json`. Throughput is best-of-`scale.repeats`,
+/// cold start is the fastest reopen over `scale.repeats` store builds.
+/// The acceptance bars are < 5% ingest regression with the tier on and
+/// a tiered cold start at least as fast as the snapshot-reload baseline
+/// (ratio ≤ 1.0, with headroom for timer noise).
+///
+/// Ingest is measured at the serving layer — the same sustained-publish
+/// harness as `BENCH_6`/`BENCH_7`, with the server's default compaction
+/// and scrub cadence against both turned off — because that is the
+/// configuration the tier actually ships in. Cold start is measured at
+/// the store layer, where the reopen paths differ: snapshot + full WAL
+/// tail (baseline) vs manifest + segments + rebased tail (tiered).
+pub fn bench8_json(scale: &Scale) -> String {
+    use inflow_tracking::{RawReading, StoreOptions};
+
+    // Best-of-2 minimum even at smoke scale: a single ~100 ms serve run
+    // has enough timer noise to swamp a 5% gate.
+    let repeats = scale.repeats.max(2);
+    let serve_best = |tier: bool| -> (f64, f64) {
+        let mut best = (0.0f64, 0.0f64);
+        for _ in 0..repeats {
+            let (rps, p99) = serve_run_tiered(scale, scale.objects, true, tier);
+            if rps > best.0 {
+                best = (rps, p99);
+            }
+        }
+        best
+    };
+    let (base_rps, base_p99) = serve_best(false);
+    let (tier_rps, tier_p99) = serve_best(true);
+    let regression_pct =
+        if base_rps > 0.0 { ((base_rps - tier_rps) / base_rps * 100.0).max(0.0) } else { 0.0 };
+
+    // The cold-start comparison ingests the same endpoint-expanded
+    // stream directly into the two store layouts and times the reopen.
+    let mut cfg = base_synthetic(scale);
+    cfg.num_objects = scale.objects.max(1);
+    let w = generate_synthetic(&cfg);
+    let mut readings: Vec<RawReading> = Vec::with_capacity(w.ott.len() * 2);
+    for r in w.ott.records() {
+        readings.push(RawReading { object: r.object, device: r.device, t: r.ts });
+        if r.te > r.ts {
+            readings.push(RawReading { object: r.object, device: r.device, t: r.te });
+        }
+    }
+    readings.sort_by(|a, b| a.t.total_cmp(&b.t).then_with(|| a.object.cmp(&b.object)));
+    let base_opts = StoreOptions {
+        snapshot_every: Some(4096),
+        sync_each_reading: false,
+        ..StoreOptions::default()
+    };
+    // Same snapshot clock as the baseline: compaction itself never
+    // snapshots (the manifest swap is its commit point), it only rebases
+    // the WAL to the oldest snapshot the regular clock retained.
+    let tier_opts = StoreOptions {
+        compact_every: Some(4096),
+        scrub_every: Some(4096),
+        scrub_budget: 1,
+        ..base_opts
+    };
+    let cold_best = |opts: StoreOptions| -> f64 {
+        (0..repeats).map(|_| tier_ingest_run(&readings, opts).1).fold(f64::INFINITY, f64::min)
+    };
+    let base_cold = cold_best(base_opts);
+    let tier_cold = cold_best(tier_opts);
+    let coldstart_ratio = if base_cold > 0.0 { tier_cold / base_cold } else { 0.0 };
+
+    format!(
+        "{{\"bench\":8,\"experiment\":\"segment-tier-overhead\",\"objects\":{},\"repeats\":{},\
+         \"readings\":{},\
+         \"baseline\":{{\"ingest_rps\":{:.1},\"notify_p99_ms\":{:.3},\"coldstart_ms\":{:.3}}},\
+         \"tiered\":{{\"ingest_rps\":{:.1},\"notify_p99_ms\":{:.3},\"coldstart_ms\":{:.3}}},\
+         \"ingest_regression_pct\":{:.2},\"coldstart_ratio\":{:.3}}}",
+        scale.objects,
+        repeats,
+        readings.len(),
+        base_rps,
+        base_p99,
+        base_cold,
+        tier_rps,
+        tier_p99,
+        tier_cold,
+        regression_pct,
+        coldstart_ratio
+    )
+}
+
 /// All experiment ids in suite order.
 pub const ALL_EXPERIMENTS: [&str; 21] = [
     "f10a",
@@ -1194,6 +1347,10 @@ mod tests {
         let s = run_experiment("abl-noise", &Scale::smoke()).unwrap();
         assert_eq!(s.rows.len(), 4, "one row per corruption level");
         assert_eq!(s.rows[0].x, "clean");
+        // Scored against the clean-input ranking, so the clean row is
+        // exact by construction.
+        assert_eq!(s.rows[0].iterative_ms, 1.0);
+        assert_eq!(s.rows[0].join_ms, 1.0);
         // Precisions are valid fractions. (Monotonicity in corruption is a
         // statistical property that only emerges at real scales, so the
         // smoke test checks well-formedness, not ordering.)

@@ -51,6 +51,10 @@ pub struct FlowAnalytics {
     /// Objects whose chains the sanitizer repaired (including synthetic
     /// ids minted by chain splitting).
     repaired_objects: HashSet<ObjectId>,
+    /// Rows excluded from `ott` because their storage segments are
+    /// quarantined (damaged on disk, awaiting repair). Every answer over
+    /// this table is degraded by exactly these rows.
+    storage_quarantined_rows: u64,
     /// Last interval candidate scan: `(ts, te, distinct objects)`. The OTT
     /// is immutable per instance, so a repeated `[ts, te]` — e.g. a
     /// subscription refresh — reuses the scan instead of re-walking the
@@ -74,6 +78,7 @@ impl FlowAnalytics {
             profiling: false,
             sanitize_report: None,
             repaired_objects: HashSet::new(),
+            storage_quarantined_rows: 0,
             range_memo: Mutex::new(None),
             range_memo_hits: AtomicU64::new(0),
         }
@@ -105,6 +110,21 @@ impl FlowAnalytics {
         self.sanitize_report.as_ref()
     }
 
+    /// Declares that `rows` rows are missing from the table because the
+    /// storage tier quarantined their segments. They count into every
+    /// answer's [`DataQuality::quarantined_rows`] — the answer is served,
+    /// but marked degraded rather than passed off as complete.
+    pub fn with_storage_quarantine(mut self, rows: u64) -> FlowAnalytics {
+        self.storage_quarantined_rows = rows;
+        self
+    }
+
+    /// Rows excluded by storage-tier quarantine (0 when the table came
+    /// from a healthy store or a plain file).
+    pub fn storage_quarantined_rows(&self) -> u64 {
+        self.storage_quarantined_rows
+    }
+
     /// Whether the sanitizer repaired this object's chain.
     pub(crate) fn is_repaired(&self, object: ObjectId) -> bool {
         self.repaired_objects.contains(&object)
@@ -116,7 +136,12 @@ impl FlowAnalytics {
             Some(r) => (r.total_repaired(), r.total_rejected(), r.total_quarantined()),
             None => (0, 0, 0),
         };
-        DataQuality::from_stats(stats, repaired, rejected, quarantined)
+        DataQuality::from_stats(
+            stats,
+            repaired,
+            rejected,
+            quarantined + self.storage_quarantined_rows,
+        )
     }
 
     /// Enables or disables per-query profiling. When enabled, every query
@@ -153,6 +178,10 @@ impl FlowAnalytics {
             rec.add(inflow_obs::Counter::SanitizeRejected, report.total_rejected());
             rec.add(inflow_obs::Counter::SanitizeQuarantined, report.total_quarantined());
             rec.add(inflow_obs::Counter::SanitizeReadmitted, report.readmitted);
+        }
+        if self.storage_quarantined_rows > 0 {
+            // This execution answers despite storage-tier quarantine.
+            rec.add(inflow_obs::Counter::QuarantineDegradedAnswers, 1);
         }
         rec
     }

@@ -321,7 +321,8 @@ fn il003_guard_across_io(f: &SourceFile, out: &mut Vec<Finding>) {
 /// The on-disk/wire magics. This const is itself the shape the lint
 /// demands: magic literals may only appear in a `const … _MAGIC`-style
 /// definition statement.
-const FORMAT_MAGIC: [&str; 4] = ["IFWAL001", "IFSNP001", "IFCKP001", "IFRPL001"];
+const FORMAT_MAGIC: [&str; 6] =
+    ["IFWAL001", "IFSNP001", "IFCKP001", "IFRPL001", "IFSEG001", "IFMAN001"];
 
 /// The single module allowed to call `from_le_bytes`: the bounds-checked
 /// frame accessor layer everything else must go through.

@@ -75,10 +75,19 @@ pub enum FlightEventKind {
     /// Replay harness detected a per-barrier hash divergence. `a` =
     /// barrier index, `b` = count of mismatched shards.
     ReplayDivergence,
+    /// Shard store ran a compaction pass that changed the manifest.
+    /// `a` = shard, `b` = segments sealed in the pass.
+    CompactionRun,
+    /// Shard store completed a background scrub pass. `a` = shard,
+    /// `b` = segments checked.
+    ScrubPass,
+    /// A segment was quarantined (scrub or read-time verification).
+    /// `a` = shard, `b` = rows now excluded from answers.
+    SegmentQuarantined,
 }
 
 impl FlightEventKind {
-    pub const ALL: [FlightEventKind; 23] = [
+    pub const ALL: [FlightEventKind; 26] = [
         FlightEventKind::PublishRouted,
         FlightEventKind::ReadingApplied,
         FlightEventKind::ReadingRejected,
@@ -102,6 +111,9 @@ impl FlightEventKind {
         FlightEventKind::StateHash,
         FlightEventKind::SubResumed,
         FlightEventKind::ReplayDivergence,
+        FlightEventKind::CompactionRun,
+        FlightEventKind::ScrubPass,
+        FlightEventKind::SegmentQuarantined,
     ];
 
     /// Stable snake_case name used in JSONL postmortems.
@@ -130,6 +142,9 @@ impl FlightEventKind {
             FlightEventKind::StateHash => "state_hash",
             FlightEventKind::SubResumed => "sub_resumed",
             FlightEventKind::ReplayDivergence => "replay_divergence",
+            FlightEventKind::CompactionRun => "compaction_run",
+            FlightEventKind::ScrubPass => "scrub_pass",
+            FlightEventKind::SegmentQuarantined => "segment_quarantined",
         }
     }
 

@@ -122,11 +122,29 @@ pub enum Counter {
     DensityQueries,
     /// Inverse visitor queries (likely-visitors / also-visited) evaluated.
     VisitorQueries,
+    /// Compaction passes that changed the segment manifest (sealed or
+    /// merged at least one segment).
+    StoreCompactions,
+    /// Immutable segments sealed from the hot WAL tail.
+    SegmentsSealed,
+    /// Input segments consumed by compaction merges.
+    SegmentsMerged,
+    /// Background scrub passes completed over the segment tier.
+    ScrubPasses,
+    /// Segment files whose bytes a scrub pass (or a read-time check)
+    /// found damaged — checksum, length, decode, or missing-file faults.
+    ScrubCorruptions,
+    /// Segments moved into quarantine (excluded from answers until
+    /// repaired).
+    SegmentsQuarantined,
+    /// Queries answered from an assembled history with quarantined rows
+    /// excluded — correct but `DataQuality`-degraded answers.
+    QuarantineDegradedAnswers,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 44] = [
+    pub const ALL: [Counter; 51] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -171,6 +189,13 @@ impl Counter {
         Counter::ServeResumedSubscriptions,
         Counter::DensityQueries,
         Counter::VisitorQueries,
+        Counter::StoreCompactions,
+        Counter::SegmentsSealed,
+        Counter::SegmentsMerged,
+        Counter::ScrubPasses,
+        Counter::ScrubCorruptions,
+        Counter::SegmentsQuarantined,
+        Counter::QuarantineDegradedAnswers,
     ];
 
     /// Stable snake_case name used in rendered and JSON output.
@@ -220,6 +245,13 @@ impl Counter {
             Counter::ServeResumedSubscriptions => "serve_resumed_subscriptions",
             Counter::DensityQueries => "density_queries",
             Counter::VisitorQueries => "visitor_queries",
+            Counter::StoreCompactions => "store_compactions",
+            Counter::SegmentsSealed => "segments_sealed",
+            Counter::SegmentsMerged => "segments_merged",
+            Counter::ScrubPasses => "scrub_passes",
+            Counter::ScrubCorruptions => "scrub_corruptions",
+            Counter::SegmentsQuarantined => "segments_quarantined",
+            Counter::QuarantineDegradedAnswers => "quarantine_degraded_answers",
         }
     }
 

@@ -48,6 +48,11 @@ pub struct ServeConfig {
     pub store_dir: PathBuf,
     pub sync_each_reading: bool,
     pub snapshot_every: Option<u64>,
+    /// Per-shard segment tier: seal closed rows into immutable segments
+    /// every this many rows (`None` keeps everything in WAL+snapshots).
+    pub compact_every: Option<u64>,
+    /// Per-shard background scrub cadence, in ingested readings.
+    pub scrub_every: Option<u64>,
     pub pool: usize,
     pub port: u16,
     /// Assign each PUBLISH batch a trace id and carry per-hop timestamp
@@ -80,6 +85,8 @@ impl ServeConfig {
             store_dir,
             sync_each_reading: false,
             snapshot_every: Some(1024),
+            compact_every: Some(4096),
+            scrub_every: Some(1024),
             pool: 4,
             port: 0,
             trace: true,
@@ -245,6 +252,8 @@ impl Server {
             lateness: cfg.lateness,
             sync_each_reading: cfg.sync_each_reading,
             snapshot_every: cfg.snapshot_every,
+            compact_every: cfg.compact_every,
+            scrub_every: cfg.scrub_every,
         };
         let mut shards = Vec::with_capacity(cfg.shards.max(1));
         for i in 0..cfg.shards.max(1) {
@@ -397,6 +406,8 @@ impl ServerHandle {
             lateness: self.cfg.lateness,
             sync_each_reading: self.cfg.sync_each_reading,
             snapshot_every: self.cfg.snapshot_every,
+            compact_every: self.cfg.compact_every,
+            scrub_every: self.cfg.scrub_every,
         };
         let worker = spawn_shard(
             i,

@@ -90,6 +90,12 @@ pub struct ShardConfig {
     pub lateness: Option<f64>,
     pub sync_each_reading: bool,
     pub snapshot_every: Option<u64>,
+    /// Seal closed rows into immutable segments every this many rows
+    /// (`None` disables the segment tier for this shard).
+    pub compact_every: Option<u64>,
+    /// Run a budgeted scrub pass every this many ingested readings
+    /// (`None` disables background scrubbing).
+    pub scrub_every: Option<u64>,
 }
 
 impl ShardConfig {
@@ -104,6 +110,8 @@ impl ShardConfig {
         StoreOptions {
             snapshot_every: self.snapshot_every,
             sync_each_reading: self.sync_each_reading,
+            compact_every: self.compact_every,
+            scrub_every: self.scrub_every,
             ..StoreOptions::default()
         }
     }
@@ -201,6 +209,33 @@ impl ShardState {
             self.engine_tx.send(EngineMsg::Delta(DeltaBatch { shard: self.index, deltas, trace }));
     }
 
+    /// Folds segment-tier activity (compactions, scrub passes,
+    /// quarantines the store performed while ingesting) into the service
+    /// counters and the flight recorder.
+    fn drain_tier_events(&mut self) {
+        let ev = self.store.take_tier_events();
+        if ev.is_empty() {
+            return;
+        }
+        self.metrics.add(Counter::StoreCompactions, ev.compactions);
+        self.metrics.add(Counter::SegmentsSealed, ev.segments_sealed);
+        self.metrics.add(Counter::SegmentsMerged, ev.segments_merged);
+        self.metrics.add(Counter::ScrubPasses, ev.scrub_passes);
+        self.metrics.add(Counter::ScrubCorruptions, ev.scrub_corruptions);
+        self.metrics.add(Counter::SegmentsQuarantined, ev.segments_quarantined);
+        let shard = self.index as u64;
+        if ev.compactions > 0 {
+            self.flight.record(FlightEventKind::CompactionRun, 0, shard, ev.segments_sealed);
+        }
+        if ev.scrub_passes > 0 {
+            self.flight.record(FlightEventKind::ScrubPass, 0, shard, ev.segments_scrubbed);
+        }
+        if ev.segments_quarantined > 0 {
+            let rows = self.store.manifest().quarantined_rows();
+            self.flight.record(FlightEventKind::SegmentQuarantined, 0, shard, rows);
+        }
+    }
+
     fn ingest(&mut self, r: RawReading, mut trace: Option<TraceChain>) {
         let mut applied: Vec<ObjectId> = Vec::new();
         let clock = self.flight.clock().clone();
@@ -228,6 +263,7 @@ impl ShardState {
             }
             Err(e) => panic!("shard {} store failed: {e}", self.index),
         }
+        self.drain_tier_events();
         if applied.is_empty() {
             return;
         }

@@ -41,8 +41,9 @@ pub use sanitize::{
     RowSanitizeOutcome, SanitizeConfig, SanitizeReport,
 };
 pub use store::{
-    atomic_write, FailpointFs, FailpointWriter, FrameErrorKind, Fs, IngestStore, RecoveryReport,
-    SnapshotIndex, StdFs, StoreError, StoreOptions,
+    atomic_write, CompactionOutcome, FailpointFs, FailpointWriter, FrameErrorKind, Fs, FsckReport,
+    HistoryView, IngestStore, Manifest, RecoveryReport, ScrubReport, Scrubber, SegmentEntry,
+    SegmentFault, SegmentFaultKind, SnapshotIndex, StdFs, StoreError, StoreOptions, TierEvents,
 };
 pub use stream::{OnlineTracker, RestoreError, StreamError};
 

@@ -46,6 +46,9 @@ pub mod tag {
     /// Commit marker: row counts, proving the file was written to the
     /// end. A file without it is torn by definition.
     pub const END: u8 = 8;
+    /// One sealed-segment entry in a manifest (`base_row, row_count,
+    /// t_min, t_max, file_len, file_crc, flags`).
+    pub const SEGMENT: u8 = 9;
 }
 
 /// CRC-32 (ISO-HDLC / zlib), table-driven, reflected, init and xorout

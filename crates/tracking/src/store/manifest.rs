@@ -1,0 +1,354 @@
+//! The segment manifest: the single source of truth for which sealed
+//! segments exist, what row range each covers, and each file's expected
+//! length and CRC.
+//!
+//! Layout:
+//!
+//! ```text
+//! "IFMAN001" | META (sealed_rows: u64)
+//!            | SEGMENT*  (base_row, row_count, t_min, t_max,
+//!            |            file_len, file_crc, flags)
+//!            | END (segments, quarantined, 0)
+//! ```
+//!
+//! The manifest is tiny (one 45-byte entry per segment) and replaced as
+//! a whole via [`super::atomic_write`]: compaction writes the new
+//! segment files first, then swaps the manifest in one rename — the
+//! commit point of every tier change. A crash before the swap leaves the
+//! old manifest naming the old files (still present); a crash after it
+//! leaves the new manifest naming the new files (already durable).
+//! Recovery removes whatever the surviving manifest does not reference.
+//!
+//! Entries must form a contiguous prefix of the closed-row log, starting
+//! at row 0 — the sealed frontier is `sealed_rows()` and everything past
+//! it lives in the WAL tail. Quarantined entries (flag bit 0) keep their
+//! place in the sequence: their row range is known even though their
+//! bytes are not trusted, which is exactly what degraded answers need.
+
+use super::frame::{self, tag, Cursor, FrameReader};
+use super::{segment, StoreError};
+use std::path::Path;
+
+/// Magic prefix of a manifest file.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"IFMAN001";
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+
+/// One sealed segment as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentEntry {
+    /// Index of the segment's first row in the closed-row log.
+    pub base_row: u64,
+    /// Number of rows the segment seals (always ≥ 1).
+    pub row_count: u64,
+    /// Minimum `ts` across the sealed rows.
+    pub t_min: f64,
+    /// Maximum `te` across the sealed rows.
+    pub t_max: f64,
+    /// Expected byte length of the segment file.
+    pub file_len: u64,
+    /// CRC-32 over the entire segment file.
+    pub file_crc: u32,
+    /// True when the scrubber found the file damaged; its rows are
+    /// excluded from answers (and counted as quarantined) until repair.
+    pub quarantined: bool,
+}
+
+impl SegmentEntry {
+    /// The canonical file name of this segment.
+    pub fn file_name(&self) -> String {
+        segment::file_name(self.base_row, self.row_count)
+    }
+
+    /// One row past the segment's range.
+    pub fn end_row(&self) -> u64 {
+        self.base_row + self.row_count
+    }
+}
+
+const FLAG_QUARANTINED: u8 = 1;
+
+fn encode_entry(e: &SegmentEntry) -> Vec<u8> {
+    let mut b = Vec::with_capacity(45);
+    b.extend_from_slice(&e.base_row.to_le_bytes());
+    b.extend_from_slice(&e.row_count.to_le_bytes());
+    b.extend_from_slice(&e.t_min.to_le_bytes());
+    b.extend_from_slice(&e.t_max.to_le_bytes());
+    b.extend_from_slice(&e.file_len.to_le_bytes());
+    b.extend_from_slice(&e.file_crc.to_le_bytes());
+    b.push(if e.quarantined { FLAG_QUARANTINED } else { 0 });
+    b
+}
+
+fn decode_entry(f: &frame::Frame<'_>) -> Result<SegmentEntry, StoreError> {
+    let mut c = Cursor::new(f);
+    let base_row = c.u64("base row")?;
+    let row_count = c.u64("row count")?;
+    let t_min = c.finite_f64("t_min")?;
+    let t_max = c.finite_f64("t_max")?;
+    let file_len = c.u64("file length")?;
+    let file_crc = c.u32("file crc")?;
+    let flags = c.u8("flags")?;
+    c.done()?;
+    if row_count == 0 {
+        return Err(c.bad("empty segment entry".into()));
+    }
+    if t_max < t_min {
+        return Err(c.bad(format!("reversed time span [{t_min}, {t_max}]")));
+    }
+    if flags & !FLAG_QUARANTINED != 0 {
+        return Err(c.bad(format!("unknown segment flags {flags:#04x}")));
+    }
+    Ok(SegmentEntry {
+        base_row,
+        row_count,
+        t_min,
+        t_max,
+        file_len,
+        file_crc,
+        quarantined: flags & FLAG_QUARANTINED != 0,
+    })
+}
+
+/// The decoded, validated manifest: sealed segments in row order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Segment entries, contiguous from row 0.
+    pub entries: Vec<SegmentEntry>,
+}
+
+impl Manifest {
+    /// One row past the last sealed row (0 when nothing is sealed).
+    pub fn sealed_rows(&self) -> u64 {
+        self.entries.last().map(SegmentEntry::end_row).unwrap_or(0)
+    }
+
+    /// Total rows inside quarantined segments.
+    pub fn quarantined_rows(&self) -> u64 {
+        self.entries.iter().filter(|e| e.quarantined).map(|e| e.row_count).sum()
+    }
+
+    /// Number of quarantined segments.
+    pub fn quarantined_segments(&self) -> usize {
+        self.entries.iter().filter(|e| e.quarantined).count()
+    }
+
+    /// Serializes the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        frame::write_frame(&mut buf, tag::META, &self.sealed_rows().to_le_bytes());
+        for e in &self.entries {
+            frame::write_frame(&mut buf, tag::SEGMENT, &encode_entry(e));
+        }
+        let quarantined = self.quarantined_segments() as u64;
+        frame::write_frame(
+            &mut buf,
+            tag::END,
+            &frame::encode_counts(self.entries.len() as u64, quarantined, 0),
+        );
+        buf
+    }
+
+    /// Decodes and validates a manifest buffer. Strict like a snapshot:
+    /// entries must be contiguous from row 0, the META sealed-row count
+    /// and END counts must match, and nothing may follow the commit
+    /// marker. Any deviation is a typed error — the manifest is either
+    /// whole or rejected (and with it, every segment it would name).
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        if !bytes.starts_with(MANIFEST_MAGIC) {
+            return Err(StoreError::BadMagic { what: "manifest" });
+        }
+        let mut reader = FrameReader::new(bytes, MANIFEST_MAGIC.len());
+
+        let meta = reader.next().ok_or(StoreError::Decode {
+            offset: MANIFEST_MAGIC.len(),
+            reason: "missing meta frame".into(),
+        })??;
+        if meta.tag != tag::META {
+            return Err(StoreError::Decode {
+                offset: meta.offset,
+                reason: format!("expected meta frame, found tag {}", meta.tag),
+            });
+        }
+        let mut c = Cursor::new(&meta);
+        let sealed_rows = c.u64("sealed rows")?;
+        c.done()?;
+
+        let mut entries: Vec<SegmentEntry> = Vec::new();
+        let mut committed = false;
+        for item in reader.by_ref() {
+            let f = item?;
+            if committed {
+                return Err(StoreError::Decode {
+                    offset: f.offset,
+                    reason: "frame after END marker".into(),
+                });
+            }
+            match f.tag {
+                tag::SEGMENT => {
+                    let e = decode_entry(&f)?;
+                    let expected_base = entries.last().map(SegmentEntry::end_row).unwrap_or(0);
+                    if e.base_row != expected_base {
+                        return Err(StoreError::Decode {
+                            offset: f.offset,
+                            reason: format!(
+                                "segment starts at row {} but the sealed prefix ends at {}",
+                                e.base_row, expected_base
+                            ),
+                        });
+                    }
+                    entries.push(e);
+                }
+                tag::END => {
+                    let expected = frame::decode_counts(&f)?;
+                    let quarantined = entries.iter().filter(|e| e.quarantined).count() as u64;
+                    if expected != (entries.len() as u64, quarantined, 0) {
+                        return Err(StoreError::Decode {
+                            offset: f.offset,
+                            reason: format!(
+                                "END counts {expected:?} do not match {} entries ({quarantined} quarantined)",
+                                entries.len()
+                            ),
+                        });
+                    }
+                    committed = true;
+                }
+                other => {
+                    return Err(StoreError::Decode {
+                        offset: f.offset,
+                        reason: format!("unexpected frame tag {other}"),
+                    });
+                }
+            }
+        }
+        let offset = reader.offset();
+        if !committed {
+            return Err(StoreError::MissingCommit { offset });
+        }
+        let manifest = Manifest { entries };
+        if manifest.sealed_rows() != sealed_rows {
+            return Err(StoreError::Decode {
+                offset,
+                reason: format!(
+                    "header claims {sealed_rows} sealed rows, entries cover {}",
+                    manifest.sealed_rows()
+                ),
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// Loads the manifest from `dir`. `Ok(None)` when no manifest exists
+    /// (a pre-segment store); a corrupt manifest is a typed error — the
+    /// caller decides whether to fail or serve WAL-only.
+    pub fn load<F: super::Fs>(fs: &F, dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        if !fs.exists(&path) {
+            return Ok(None);
+        }
+        let bytes = fs.read(&path)?;
+        Manifest::decode(&bytes).map(Some)
+    }
+
+    /// Atomically replaces the manifest on disk — the commit point of
+    /// every segment-tier change.
+    pub fn store<F: super::Fs>(&self, fs: &F, dir: &Path) -> Result<(), StoreError> {
+        super::atomic_write(fs, &dir.join(MANIFEST_FILE), &self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Fs;
+
+    fn entry(base: u64, count: u64, quarantined: bool) -> SegmentEntry {
+        SegmentEntry {
+            base_row: base,
+            row_count: count,
+            t_min: base as f64,
+            t_max: (base + count) as f64,
+            file_len: 100 + count,
+            file_crc: 0xDEAD_0000 | count as u32,
+            quarantined,
+        }
+    }
+
+    fn sample() -> Manifest {
+        Manifest { entries: vec![entry(0, 8, false), entry(8, 8, true), entry(16, 4, false)] }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let bytes = m.encode();
+        let back = Manifest::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.sealed_rows(), 20);
+        assert_eq!(back.quarantined_rows(), 8);
+        assert_eq!(back.quarantined_segments(), 1);
+    }
+
+    #[test]
+    fn empty_manifest_round_trips() {
+        let m = Manifest::default();
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert!(back.entries.is_empty());
+        assert_eq!(back.sealed_rows(), 0);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Manifest::decode(&bytes[..cut]).is_err(),
+                "prefix {cut}/{} accepted",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_rejected_never_wrong() {
+        let m = sample();
+        let bytes = m.encode();
+        for i in 0..bytes.len() {
+            for bit in [0, 5] {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                match Manifest::decode(&bad) {
+                    Err(_) => {}
+                    Ok(back) => {
+                        panic!("flip at byte {i} bit {bit} decoded; equal: {}", back == m);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_between_entries_is_rejected() {
+        let m = Manifest { entries: vec![entry(0, 8, false), entry(10, 8, false)] };
+        // encode() trusts its input; decode must not.
+        assert!(matches!(Manifest::decode(&m.encode()), Err(StoreError::Decode { .. })));
+    }
+
+    #[test]
+    fn load_of_missing_manifest_is_none() {
+        let fs = super::super::FailpointFs::new();
+        assert!(Manifest::load(&fs, Path::new("/store")).unwrap().is_none());
+    }
+
+    #[test]
+    fn store_then_load_round_trips_through_fs() {
+        let fs = super::super::FailpointFs::new();
+        let dir = Path::new("/store");
+        fs.create_dir_all(dir).unwrap();
+        let m = sample();
+        m.store(&fs, dir).unwrap();
+        assert_eq!(Manifest::load(&fs, dir).unwrap(), Some(m));
+    }
+}

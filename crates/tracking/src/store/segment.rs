@@ -1,0 +1,376 @@
+//! Immutable time-partitioned segment files: the frozen tier of the
+//! store.
+//!
+//! A segment seals a fixed, contiguous range of the tracker's closed-row
+//! log — rows `[base_row, base_row + row_count)` in closure order — into
+//! one self-verifying file:
+//!
+//! ```text
+//! "IFSEG001" | META (base_row: u64, row_count: u64, t_min: f64,
+//!            |       t_max: f64)
+//!            | CLOSED_ROW*            (one frame per sealed row)
+//!            | ARTREE                 (flat AR-tree over exactly these rows)
+//!            | END (row counts)
+//! ```
+//!
+//! Segments are written once by compaction ([`super::compact`]) and never
+//! modified; every byte is covered by a frame CRC, the whole file by the
+//! manifest's file-level CRC, and the embedded AR-tree re-validates
+//! structurally on load — so bit rot anywhere surfaces as a typed error,
+//! never a silently different answer. Like snapshots (and unlike the
+//! WAL) there is no partial credit: a segment that fails any check is
+//! rejected whole, and the scrubber quarantines it.
+
+use super::frame::{self, tag, Cursor, FrameReader};
+use super::StoreError;
+use crate::artree::ArTree;
+use crate::ott::{ObjectTrackingTable, OttRow};
+
+/// Magic prefix of a segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"IFSEG001";
+
+/// File-name suffix of segment files (`seg-<base_row>.seg`).
+pub const SEGMENT_SUFFIX: &str = ".seg";
+
+/// The canonical file name of the segment sealing `row_count` rows from
+/// `base_row`. The count is part of the name so a merge — which reuses
+/// the base row of its first input — writes a *new* file and never
+/// clobbers one the current manifest still references.
+pub fn file_name(base_row: u64, row_count: u64) -> String {
+    format!("seg-{base_row:020}-{row_count:010}{SEGMENT_SUFFIX}")
+}
+
+/// Header of a sealed segment: which closed-row range it covers and the
+/// time span of those rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentMeta {
+    /// Index of the first sealed row in the store's closed-row log.
+    pub base_row: u64,
+    /// Number of rows sealed in this segment (always ≥ 1).
+    pub row_count: u64,
+    /// Minimum `ts` across the sealed rows.
+    pub t_min: f64,
+    /// Maximum `te` across the sealed rows.
+    pub t_max: f64,
+}
+
+/// A fully decoded, validated segment.
+#[derive(Debug)]
+pub struct SegmentData {
+    pub meta: SegmentMeta,
+    /// The sealed rows, in closure order (the order they were appended to
+    /// the closed-row log).
+    pub rows: Vec<OttRow>,
+    /// The OTT over exactly the sealed rows.
+    pub ott: ObjectTrackingTable,
+    /// The AR-tree reloaded from its flat serialization.
+    pub artree: ArTree,
+}
+
+fn encode_meta(meta: &SegmentMeta) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    b.extend_from_slice(&meta.base_row.to_le_bytes());
+    b.extend_from_slice(&meta.row_count.to_le_bytes());
+    b.extend_from_slice(&meta.t_min.to_le_bytes());
+    b.extend_from_slice(&meta.t_max.to_le_bytes());
+    b
+}
+
+fn decode_meta(f: &frame::Frame<'_>) -> Result<SegmentMeta, StoreError> {
+    let mut c = Cursor::new(f);
+    let meta = SegmentMeta {
+        base_row: c.u64("base row")?,
+        row_count: c.u64("row count")?,
+        t_min: c.finite_f64("t_min")?,
+        t_max: c.finite_f64("t_max")?,
+    };
+    c.done()?;
+    if meta.row_count == 0 {
+        return Err(StoreError::Decode { offset: f.offset, reason: "empty segment".into() });
+    }
+    if meta.t_max < meta.t_min {
+        return Err(StoreError::Decode {
+            offset: f.offset,
+            reason: format!("reversed time span [{}, {}]", meta.t_min, meta.t_max),
+        });
+    }
+    Ok(meta)
+}
+
+/// Seals `rows` (the closed-log slice starting at `base_row`) into a
+/// segment byte image, returning the header alongside the bytes so the
+/// caller can build the manifest entry without recomputing spans. Fails
+/// on an empty slice or rows that violate the OTT invariants — a sealed
+/// segment must be independently queryable.
+pub fn encode(base_row: u64, rows: &[OttRow]) -> Result<(SegmentMeta, Vec<u8>), StoreError> {
+    if rows.is_empty() {
+        return Err(StoreError::InvalidState { reason: "cannot seal an empty segment".into() });
+    }
+    let ott = ObjectTrackingTable::from_rows(rows.to_vec())
+        .map_err(|e| StoreError::InvalidState { reason: format!("sealing rows: {e}") })?;
+    let artree = ArTree::build(&ott);
+    let t_min = rows.iter().map(|r| r.ts).fold(f64::INFINITY, f64::min);
+    let t_max = rows.iter().map(|r| r.te).fold(f64::NEG_INFINITY, f64::max);
+    let meta = SegmentMeta { base_row, row_count: rows.len() as u64, t_min, t_max };
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SEGMENT_MAGIC);
+    frame::write_frame(&mut buf, tag::META, &encode_meta(&meta));
+    for row in rows {
+        frame::write_frame(&mut buf, tag::CLOSED_ROW, &frame::encode_row(row));
+    }
+    frame::write_frame(&mut buf, tag::ARTREE, &artree.to_flat_bytes(ott.len()));
+    frame::write_frame(&mut buf, tag::END, &frame::encode_counts(rows.len() as u64, 0, 0));
+    Ok((meta, buf))
+}
+
+/// Decodes and validates a segment buffer. Strict like a snapshot: every
+/// frame checksum-clean and in order, the `END` counts matching, the
+/// AR-tree structurally valid and covering exactly the sealed rows, the
+/// header's row count and time span matching the rows. Any deviation is
+/// a typed error — a segment is either whole or rejected.
+pub fn decode(bytes: &[u8]) -> Result<SegmentData, StoreError> {
+    let (meta, rows, artree_bytes, offset) = walk(bytes)?;
+    let ott = ObjectTrackingTable::from_rows(rows.clone())
+        .map_err(|e| StoreError::Decode { offset, reason: format!("inconsistent rows: {e}") })?;
+    let (artree, ott_len) = ArTree::from_flat_bytes(artree_bytes)
+        .map_err(|e| StoreError::Decode { offset, reason: e.to_string() })?;
+    if ott_len != ott.len() || artree.len() != ott.len() {
+        return Err(StoreError::Decode {
+            offset,
+            reason: format!(
+                "AR-tree covers {} records over a {}-record segment ({} entries)",
+                ott_len,
+                ott.len(),
+                artree.len()
+            ),
+        });
+    }
+    Ok(SegmentData { meta, rows, ott, artree })
+}
+
+/// Decodes only the header (meta) frame: magic plus the first frame's
+/// checksum and fields. The cheap identity check the background scrubber
+/// pairs with a whole-file CRC — everything after the header is covered
+/// by that CRC, so re-walking every row frame adds cost, not safety.
+pub fn decode_header(bytes: &[u8]) -> Result<SegmentMeta, StoreError> {
+    if !bytes.starts_with(SEGMENT_MAGIC) {
+        return Err(StoreError::BadMagic { what: "segment" });
+    }
+    let mut reader = FrameReader::new(bytes, SEGMENT_MAGIC.len());
+    let head = reader.next().ok_or(StoreError::Decode {
+        offset: SEGMENT_MAGIC.len(),
+        reason: "missing meta frame".into(),
+    })??;
+    if head.tag != tag::META {
+        return Err(StoreError::Decode {
+            offset: head.offset,
+            reason: format!("expected meta frame, found tag {}", head.tag),
+        });
+    }
+    decode_meta(&head)
+}
+
+/// [`decode`] minus the per-segment OTT materialization: the same strict
+/// structural walk and AR-tree validation, returning the sealed rows
+/// directly. Sealing already proved the OTT invariants over these exact
+/// bytes (the manifest CRC ties them together), so read paths that fold
+/// the rows into a larger table — and the scrubber, which discards them
+/// — need not rebuild a table per segment.
+pub fn decode_rows(bytes: &[u8]) -> Result<(SegmentMeta, Vec<OttRow>), StoreError> {
+    let (meta, rows, artree_bytes, offset) = walk(bytes)?;
+    let (artree, ott_len) = ArTree::from_flat_bytes(artree_bytes)
+        .map_err(|e| StoreError::Decode { offset, reason: e.to_string() })?;
+    if ott_len != rows.len() || artree.len() != rows.len() {
+        return Err(StoreError::Decode {
+            offset,
+            reason: format!(
+                "AR-tree covers {} records over a {}-row segment ({} entries)",
+                ott_len,
+                rows.len(),
+                artree.len()
+            ),
+        });
+    }
+    Ok((meta, rows))
+}
+
+/// The shared structural pass: magic, frame-by-frame CRC, ordering, END
+/// counts, and header-vs-rows consistency. Returns the decoded header,
+/// rows, the raw AR-tree payload and the end offset.
+#[allow(clippy::type_complexity)]
+fn walk(bytes: &[u8]) -> Result<(SegmentMeta, Vec<OttRow>, &[u8], usize), StoreError> {
+    if !bytes.starts_with(SEGMENT_MAGIC) {
+        return Err(StoreError::BadMagic { what: "segment" });
+    }
+    let mut reader = FrameReader::new(bytes, SEGMENT_MAGIC.len());
+
+    let head = reader.next().ok_or(StoreError::Decode {
+        offset: SEGMENT_MAGIC.len(),
+        reason: "missing meta frame".into(),
+    })??;
+    if head.tag != tag::META {
+        return Err(StoreError::Decode {
+            offset: head.offset,
+            reason: format!("expected meta frame, found tag {}", head.tag),
+        });
+    }
+    let meta = decode_meta(&head)?;
+
+    let mut rows: Vec<OttRow> = Vec::new();
+    let mut artree_bytes: Option<&[u8]> = None;
+    let mut committed = false;
+    for item in reader.by_ref() {
+        let f = item?;
+        if committed {
+            return Err(StoreError::Decode {
+                offset: f.offset,
+                reason: "frame after END marker".into(),
+            });
+        }
+        match f.tag {
+            tag::CLOSED_ROW if artree_bytes.is_none() => rows.push(frame::decode_row(&f)?),
+            tag::ARTREE if artree_bytes.is_none() => artree_bytes = Some(f.payload),
+            tag::END if artree_bytes.is_some() => {
+                let expected = frame::decode_counts(&f)?;
+                if expected != (rows.len() as u64, 0, 0) {
+                    return Err(StoreError::Decode {
+                        offset: f.offset,
+                        reason: format!(
+                            "END counts {expected:?} do not match {} decoded rows",
+                            rows.len()
+                        ),
+                    });
+                }
+                committed = true;
+            }
+            other => {
+                return Err(StoreError::Decode {
+                    offset: f.offset,
+                    reason: format!("unexpected frame tag {other}"),
+                });
+            }
+        }
+    }
+    let offset = reader.offset();
+    if !committed {
+        return Err(StoreError::MissingCommit { offset });
+    }
+    if rows.len() as u64 != meta.row_count {
+        return Err(StoreError::Decode {
+            offset,
+            reason: format!("header claims {} rows, file holds {}", meta.row_count, rows.len()),
+        });
+    }
+    let t_min = rows.iter().map(|r| r.ts).fold(f64::INFINITY, f64::min);
+    let t_max = rows.iter().map(|r| r.te).fold(f64::NEG_INFINITY, f64::max);
+    if t_min != meta.t_min || t_max != meta.t_max {
+        return Err(StoreError::Decode {
+            offset,
+            reason: format!(
+                "header time span [{}, {}] does not match rows [{t_min}, {t_max}]",
+                meta.t_min, meta.t_max
+            ),
+        });
+    }
+    let Some(artree_bytes) = artree_bytes else {
+        return Err(StoreError::Decode { offset, reason: "missing AR-tree frame".into() });
+    };
+    Ok((meta, rows, artree_bytes, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ott::ObjectId;
+    use inflow_indoor::DeviceId;
+
+    fn row(o: u32, d: u32, ts: f64, te: f64) -> OttRow {
+        OttRow { object: ObjectId(o), device: DeviceId(d), ts, te }
+    }
+
+    fn sample_rows() -> Vec<OttRow> {
+        vec![
+            row(1, 1, 0.0, 2.0),
+            row(2, 1, 1.0, 3.0),
+            row(1, 2, 4.0, 6.5),
+            row(3, 3, 5.0, 5.0),
+            row(2, 2, 7.0, 9.0),
+        ]
+    }
+
+    #[test]
+    fn segment_round_trips_rows_meta_and_artree() {
+        let rows = sample_rows();
+        let (meta, bytes) = encode(16, &rows).unwrap();
+        let seg = decode(&bytes).unwrap();
+        assert_eq!(seg.meta, meta);
+        assert_eq!(seg.meta.base_row, 16);
+        assert_eq!(seg.meta.row_count, 5);
+        assert_eq!(seg.meta.t_min, 0.0);
+        assert_eq!(seg.meta.t_max, 9.0);
+        assert_eq!(seg.rows, rows);
+        let rebuilt = ArTree::build(&seg.ott);
+        assert_eq!(seg.artree.entries(), rebuilt.entries());
+    }
+
+    #[test]
+    fn empty_segment_is_rejected_at_encode() {
+        assert!(matches!(encode(0, &[]), Err(StoreError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_rejected() {
+        let (_, bytes) = encode(0, &sample_rows()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut}/{} accepted", bytes.len());
+        }
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_rejected_never_wrong() {
+        let rows = sample_rows();
+        let (_, bytes) = encode(0, &rows).unwrap();
+        for i in 0..bytes.len() {
+            for bit in [0, 5] {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                match decode(&bad) {
+                    Err(_) => {}
+                    Ok(seg) => {
+                        panic!(
+                            "flip at byte {i} bit {bit} decoded; rows match: {}",
+                            seg.rows == rows
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_header_count_is_rejected() {
+        // Re-encode with a doctored META frame claiming one more row.
+        let rows = sample_rows();
+        let meta =
+            SegmentMeta { base_row: 0, row_count: rows.len() as u64 + 1, t_min: 0.0, t_max: 9.0 };
+        let ott = ObjectTrackingTable::from_rows(rows.clone()).unwrap();
+        let artree = ArTree::build(&ott);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SEGMENT_MAGIC);
+        frame::write_frame(&mut buf, tag::META, &encode_meta(&meta));
+        for r in &rows {
+            frame::write_frame(&mut buf, tag::CLOSED_ROW, &frame::encode_row(r));
+        }
+        frame::write_frame(&mut buf, tag::ARTREE, &artree.to_flat_bytes(ott.len()));
+        frame::write_frame(&mut buf, tag::END, &frame::encode_counts(rows.len() as u64, 0, 0));
+        assert!(matches!(decode(&buf), Err(StoreError::Decode { .. })));
+    }
+
+    #[test]
+    fn file_names_sort_in_base_row_order_and_differ_by_count() {
+        assert!(file_name(0, 8) < file_name(9, 8));
+        assert!(file_name(9, 8) < file_name(10, 8));
+        assert!(file_name(99, 8) < file_name(1_000_000, 8));
+        assert_ne!(file_name(0, 8), file_name(0, 32));
+    }
+}

@@ -312,6 +312,16 @@ impl OnlineTracker {
         self.open.len()
     }
 
+    /// Every open run as an as-of-now row (see [`Self::open_run_row`]) —
+    /// the live complement of [`Self::closed`] when assembling a
+    /// queryable history from tiered storage.
+    pub fn open_run_rows(&self) -> Vec<OttRow> {
+        self.open
+            .iter()
+            .map(|(&object, run)| OttRow { object, device: run.device, ts: run.ts, te: run.te })
+            .collect()
+    }
+
     /// Number of readings still held in the reorder buffer.
     pub fn pending_readings(&self) -> usize {
         self.pending.len()

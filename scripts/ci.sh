@@ -31,6 +31,9 @@ cargo test -q --test crash --offline
 echo "== serve smoke (serve/watch/top end-to-end over TCP)"
 bash scripts/serve-smoke.sh
 
+echo "== scrub smoke (corrupt a segment; fsck detects, queries degrade, repair heals)"
+bash scripts/scrub-smoke.sh
+
 echo "== replay-chaos (deterministic record/replay under seeded fault plans)"
 cargo test -q --test replay --offline
 RPL_WORK=$(mktemp -d "${TMPDIR:-/tmp}/inflow-replay-chaos.XXXXXX")
@@ -50,6 +53,22 @@ done
 rm -rf "$RPL_WORK"
 trap - EXIT
 
+echo "== replay-perf (canonical recorded workload: determinism + throughput)"
+# The workload is pinned inside record-workload.sh (seed 42, 24 objects,
+# 360 s, tier on). Any barrier-hash divergence exits non-zero; the
+# timing line is the standing perf record for the recorded path.
+bash scripts/record-workload.sh target/workload
+RP_WORK=$(mktemp -d "${TMPDIR:-/tmp}/inflow-replay-perf.XXXXXX")
+trap 'rm -rf "$RP_WORK"' EXIT
+RP_START=$(date +%s%N)
+target/release/inflow replay --plan target/workload/plan.txt \
+    --store "$RP_WORK/probe" --log target/workload/workload.rpl --shards 2 \
+    --compact-every 256 --scrub-every 512 --no-sync
+RP_MS=$(( ($(date +%s%N) - RP_START) / 1000000 ))
+echo "   replay-perf: canonical workload replayed in ${RP_MS} ms"
+rm -rf "$RP_WORK"
+trap - EXIT
+
 echo "== bench6 (tracing/flight-recorder overhead -> BENCH_6.json)"
 cargo run -q --release -p inflow-bench --bin bench6 --offline -- --smoke --out BENCH_6.json
 cat BENCH_6.json
@@ -57,6 +76,10 @@ cat BENCH_6.json
 echo "== bench7 (replay-recorder overhead -> BENCH_7.json)"
 cargo run -q --release -p inflow-bench --bin bench7 --offline -- --smoke --out BENCH_7.json
 cat BENCH_7.json
+
+echo "== bench8 (segment-tier overhead + cold start -> BENCH_8.json)"
+cargo run -q --release -p inflow-bench --bin bench8 --offline -- --smoke --out BENCH_8.json
+cat BENCH_8.json
 
 # Opt-in sanitizer stages. Both need a nightly toolchain with the matching
 # components (rustup component add miri / -Z sanitizer support), so they

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Records the canonical replay-perf workload: a seeded synthetic
+# dataset driven through a fresh fault-free server with the segment
+# tier on, captured as an IFRPL001 replay log. The log and the plan it
+# was recorded against land in OUT_DIR (default target/workload); both
+# are needed to replay. Every input is pinned — dataset seed, shard
+# count, chunking, barrier cadence, compaction/scrub cadence — so two
+# recordings of the same binary are drive-identical and the log is a
+# stable yardstick for `scripts/ci.sh`'s replay-perf stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR=${1:-target/workload}
+BIN=${INFLOW_BIN:-target/release/inflow}
+if [[ ! -x "$BIN" ]]; then
+  cargo build --release --offline
+fi
+
+# Canonical knobs. Changing any of these makes a different workload:
+# bump the comment in ci.sh's replay-perf stage if you do.
+SEED=42
+OBJECTS=24
+DURATION=360
+SHARDS=2
+CHUNK=64
+BARRIER_EVERY=8
+COMPACT_EVERY=256
+SCRUB_EVERY=512
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/inflow-record-workload.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== generate canonical dataset (seed $SEED, $OBJECTS objects, ${DURATION}s)"
+"$BIN" generate synthetic --out-dir "$WORK/data" \
+  --objects "$OBJECTS" --duration "$DURATION" --seed "$SEED" >/dev/null
+
+echo "== record fault-free run (tier on: compact $COMPACT_EVERY / scrub $SCRUB_EVERY)"
+"$BIN" record --plan "$WORK/data/plan.txt" --store "$WORK/store" \
+  --readings "$WORK/data/readings.csv" --out "$WORK/workload.rpl" \
+  --shards "$SHARDS" --chunk "$CHUNK" --barrier-every "$BARRIER_EVERY" \
+  --compact-every "$COMPACT_EVERY" --scrub-every "$SCRUB_EVERY" \
+  --ts 0 --te "$DURATION" --k 5 --no-sync >/dev/null
+
+mkdir -p "$OUT_DIR"
+cp "$WORK/workload.rpl" "$OUT_DIR/workload.rpl"
+cp "$WORK/data/plan.txt" "$OUT_DIR/plan.txt"
+
+SIZE=$(wc -c <"$OUT_DIR/workload.rpl")
+READINGS=$(($(wc -l <"$WORK/data/readings.csv") - 1))
+echo "record-workload: $OUT_DIR/workload.rpl ($SIZE bytes, $READINGS readings)"
+echo "record-workload: replay with: $BIN replay --plan $OUT_DIR/plan.txt \\"
+echo "  --store <fresh-dir> --log $OUT_DIR/workload.rpl --shards $SHARDS \\"
+echo "  --compact-every $COMPACT_EVERY --scrub-every $SCRUB_EVERY --no-sync"

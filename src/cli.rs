@@ -23,8 +23,8 @@ use crate::service::{Client, ServeConfig, Server, SubKind, SubSpec};
 use crate::tracking::{
     atomic_write, read_ott_csv, read_quarantine_csv, read_readings_csv, readmit_rows,
     sanitize_rows, write_quarantine_csv, write_readings_csv, write_table_csv, IngestStore,
-    ObjectId, ObjectTrackingTable, OnlineTracker, OttRow, RawReading, SanitizeConfig, StdFs,
-    StoreError, StoreOptions,
+    ObjectId, ObjectTrackingTable, OnlineTracker, OttRow, RawReading, RecoveryReport,
+    SanitizeConfig, StdFs, StoreError, StoreOptions,
 };
 use crate::uncertainty::{IndoorContext, UrConfig, UrEngine};
 use crate::viz::SceneRenderer;
@@ -91,6 +91,7 @@ impl Args {
                         | "no-trace"
                         | "once"
                         | "bisect"
+                        | "repair"
                 ) {
                     switches.push(name.to_string());
                 } else {
@@ -144,6 +145,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "readmit" => cmd_readmit(&args),
         "ingest" => cmd_ingest(&args),
         "recover" => cmd_recover(&args),
+        "fsck" => cmd_fsck(&args),
+        "scrub" => cmd_scrub(&args),
         "serve" => cmd_serve(&args),
         "watch" => cmd_watch(&args),
         "top" => cmd_top(&args),
@@ -172,13 +175,21 @@ fn usage() -> String {
      \x20          [--quarantine-out F.csv] [--policy P] [--vmax V]\n\
      \x20                                          replay quarantined rows\n\
      \x20 ingest   --store DIR --readings F.csv [--max-gap S] [--lateness S]\n\
-     \x20          [--snapshot-every N] [--no-sync] [--out F.csv]\n\
+     \x20          [--snapshot-every N] [--compact-every N] [--scrub-every N]\n\
+     \x20          [--no-sync] [--out F.csv]\n\
      \x20                                          durable WAL + snapshot ingestion\n\
      \x20 recover  --store DIR [--max-gap S] [--out F.csv] [--profile|--profile-json]\n\
      \x20                                          replay WAL, print recovery report\n\
+     \x20 fsck     --store DIR [--repair] [--max-gap S]\n\
+     \x20                                          offline integrity sweep (manifest,\n\
+     \x20                                          segments, WAL, snapshots); --repair\n\
+     \x20                                          re-seals damaged segments from WAL\n\
+     \x20 scrub    --store DIR [--budget N] [--repair] [--max-gap S]\n\
+     \x20                                          one scrub pass: verify + quarantine\n\
      \x20 serve    --plan F --store DIR [--port P] [--shards N] [--pool N]\n\
      \x20          [--max-gap S] [--lateness S] [--vmax V] [--no-sync]\n\
      \x20          [--snapshot-every N] [--addr-file F] [--no-trace]\n\
+     \x20          [--compact-every N] [--scrub-every N]\n\
      \x20          [--slow-ms MS] [--flight-capacity N]\n\
      \x20          [--max-queue N] [--max-conns N]\n\
      \x20                                          continuous flow-monitoring server\n\
@@ -219,6 +230,18 @@ fn usage() -> String {
      ingest is resumable and idempotent: readings already durable in the\n\
      store's WAL are skipped, so rerunning after a crash continues where\n\
      the log ends. All file outputs are written atomically (temp + rename).\n\
+     \n\
+     serve seals cold rows into immutable, checksummed segments every\n\
+     --compact-every rows (0 disables) and re-verifies them on a budgeted\n\
+     schedule every --scrub-every readings (0 disables). A damaged\n\
+     segment is quarantined, not fatal: queries keep answering with the\n\
+     damaged rows excluded and the degradation counted. fsck exits\n\
+     non-zero when a store needs attention; scrub exits non-zero when\n\
+     segments remain quarantined after the pass (and --repair).\n\
+     snapshot, interval, timeline and density accept --store DIR in\n\
+     place of --ott: the table is assembled from verified segments plus\n\
+     the hot WAL tail, and quarantined rows show up in the answer's\n\
+     quality line instead of failing the query.\n\
      \n\
      snapshot, interval and timeline accept --profile (per-phase span tree\n\
      plus counters) or --profile-json (same data as a JSON document), and\n\
@@ -266,18 +289,40 @@ fn build_analytics(args: &Args) -> Result<(FlowAnalytics, Vec<PoiId>), CliError>
     } else {
         None
     };
+    // With --store (and no --ott) the table is assembled from the tiered
+    // ingestion store: verified segments + hot WAL tail + open runs.
+    // Quarantined segments degrade the answer instead of failing it.
+    let store_view = if sanitized.is_none() && !args.flags.contains_key("ott") {
+        match args.flags.get("store") {
+            Some(_) => {
+                let store_dir: PathBuf = args.require("store")?;
+                let (mut store, _recovery) = open_store_for_maintenance(args, &store_dir, 1)?;
+                let view = store.assemble_history().map_err(|e| {
+                    CliError(format!("assembling history from {}: {e}", store_dir.display()))
+                })?;
+                Some(view)
+            }
+            None => None,
+        }
+    } else {
+        None
+    };
     let cfg = UrConfig {
         vmax,
         topology_check: !args.switch("no-topology"),
         resolution: GridResolution::COARSE,
         ..UrConfig::default()
     };
-    let fa = match sanitized {
-        Some((ott, report, repaired)) => {
+    let fa = match (sanitized, store_view) {
+        (Some((ott, report, repaired)), _) => {
             FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), ott, cfg)
                 .with_sanitize_report(report, repaired)
         }
-        None => FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), load_ott(args)?, cfg),
+        (None, Some(view)) => FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), view.ott, cfg)
+            .with_storage_quarantine(view.quarantined_rows),
+        (None, None) => {
+            FlowAnalytics::new(Arc::new(IndoorContext::new(plan)), load_ott(args)?, cfg)
+        }
     }
     .with_profiling(args.switch("profile") || args.switch("profile-json"));
     Ok((fa, pois))
@@ -651,9 +696,15 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError(format!("cannot open readings {}: {e}", readings_path.display())))?;
     let readings = read_readings_csv(&mut BufReader::new(file))
         .map_err(|e| CliError(format!("bad readings file: {e}")))?;
+    // 0 disables the segment tier / background scrubbing (the default
+    // for one-shot ingestion; serve defaults them on).
+    let compact_every: u64 = args.get("compact-every")?.unwrap_or(0);
+    let scrub_every: u64 = args.get("scrub-every")?.unwrap_or(0);
     let opts = StoreOptions {
         snapshot_every: Some(args.get("snapshot-every")?.unwrap_or(1024)),
         sync_each_reading: !args.switch("no-sync"),
+        compact_every: (compact_every > 0).then_some(compact_every),
+        scrub_every: (scrub_every > 0).then_some(scrub_every),
         ..StoreOptions::default()
     };
     let (mut store, report) = IngestStore::open(StdFs, &store_dir, fresh_tracker(args)?, opts)
@@ -728,6 +779,81 @@ fn cmd_recover(args: &Args) -> Result<String, CliError> {
     Ok(append_profile(out, rec.finish().as_ref(), args))
 }
 
+/// Opens the store for offline maintenance: normal crash recovery plus
+/// a scrub budget wide enough to cover every segment in one pass.
+fn open_store_for_maintenance(
+    args: &Args,
+    store_dir: &Path,
+    budget: usize,
+) -> Result<(IngestStore<StdFs>, RecoveryReport), CliError> {
+    let opts = StoreOptions { scrub_budget: budget.max(1), ..StoreOptions::default() };
+    IngestStore::open(StdFs, store_dir, fresh_tracker(args)?, opts)
+        .map_err(|e| CliError(format!("opening store {}: {e}", store_dir.display())))
+}
+
+fn cmd_fsck(args: &Args) -> Result<String, CliError> {
+    let store_dir: PathBuf = args.require("store")?;
+    let report = crate::tracking::store::scrub::fsck(&StdFs, &store_dir)
+        .map_err(|e| CliError(format!("fsck {}: {e}", store_dir.display())))?;
+    let mut out = report.render();
+    if report.healthy() {
+        return Ok(out);
+    }
+    if !args.switch("repair") {
+        let _ = writeln!(out, "(rerun with --repair to re-seal damaged segments from the WAL)");
+        return Err(CliError(out));
+    }
+    // Repair: crash recovery fixes the WAL tail and a corrupt manifest;
+    // a full-coverage scrub pass quarantines damaged segments; repair
+    // re-seals them from the recovered closed log (byte-identical —
+    // sealing is deterministic); stale snapshots are swept.
+    let (mut store, recovery) = open_store_for_maintenance(args, &store_dir, usize::MAX)?;
+    out.push_str(&recovery.render());
+    let scrub = store.scrub_pass().map_err(|e| CliError(format!("scrub pass: {e}")))?;
+    out.push_str(&scrub.render());
+    let (repaired, unrepairable) =
+        store.repair_segments().map_err(|e| CliError(format!("segment repair: {e}")))?;
+    let snaps_removed =
+        store.remove_invalid_snapshots().map_err(|e| CliError(format!("snapshot sweep: {e}")))?;
+    let _ = writeln!(
+        out,
+        "repaired {repaired} segment(s) ({unrepairable} unrepairable), \
+         removed {snaps_removed} invalid snapshot(s)"
+    );
+    drop(store);
+    let after = crate::tracking::store::scrub::fsck(&StdFs, &store_dir)
+        .map_err(|e| CliError(format!("post-repair fsck {}: {e}", store_dir.display())))?;
+    out.push_str(&after.render());
+    if after.healthy() {
+        Ok(out)
+    } else {
+        Err(CliError(out))
+    }
+}
+
+fn cmd_scrub(args: &Args) -> Result<String, CliError> {
+    let store_dir: PathBuf = args.require("store")?;
+    let budget: usize = args.get("budget")?.unwrap_or(usize::MAX);
+    let (mut store, _recovery) = open_store_for_maintenance(args, &store_dir, budget)?;
+    let report = store.scrub_pass().map_err(|e| CliError(format!("scrub pass: {e}")))?;
+    let mut out = report.render();
+    if args.switch("repair") && store.manifest().quarantined_segments() > 0 {
+        let (repaired, unrepairable) =
+            store.repair_segments().map_err(|e| CliError(format!("segment repair: {e}")))?;
+        let _ = writeln!(out, "repaired {repaired} segment(s), {unrepairable} unrepairable");
+    }
+    let remaining = store.manifest().quarantined_segments();
+    if remaining > 0 {
+        let _ = writeln!(
+            out,
+            "{remaining} segment(s) remain quarantined ({} row(s) excluded from answers)",
+            store.manifest().quarantined_rows()
+        );
+        return Err(CliError(out));
+    }
+    Ok(out)
+}
+
 /// The server configuration shared by `serve`, `record` and `replay`.
 /// Replays must run under the exact configuration of the recording run,
 /// so all three commands accept the same flags through this one path.
@@ -736,6 +862,9 @@ fn serve_config(args: &Args, store_dir: PathBuf) -> Result<ServeConfig, CliError
     if !(max_gap > 0.0 && max_gap.is_finite()) {
         return err("--max-gap must be positive and finite");
     }
+    // 0 disables the segment tier / background scrubbing.
+    let compact_every: u64 = args.get("compact-every")?.unwrap_or(4096);
+    let scrub_every: u64 = args.get("scrub-every")?.unwrap_or(1024);
     let cfg = ServeConfig {
         shards: args.get("shards")?.unwrap_or(2),
         max_gap,
@@ -748,6 +877,8 @@ fn serve_config(args: &Args, store_dir: PathBuf) -> Result<ServeConfig, CliError
         store_dir,
         sync_each_reading: !args.switch("no-sync"),
         snapshot_every: Some(args.get("snapshot-every")?.unwrap_or(1024)),
+        compact_every: (compact_every > 0).then_some(compact_every),
+        scrub_every: (scrub_every > 0).then_some(scrub_every),
         pool: args.get("pool")?.unwrap_or(4),
         port: args.get("port")?.unwrap_or(0),
         trace: !args.switch("no-trace"),
@@ -1252,6 +1383,21 @@ fn render_top(
             );
         }
     }
+    // Always-on tier summary (even all-zero): the one-line health view
+    // of compaction and scrubbing across every shard store.
+    let counter =
+        |name: &str| snap.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "\nsegment tier: {} compaction(s) ({} sealed, {} merged); \
+         {} scrub pass(es), {} corruption(s), {} quarantined",
+        counter("store_compactions"),
+        counter("segments_sealed"),
+        counter("segments_merged"),
+        counter("scrub_passes"),
+        counter("scrub_corruptions"),
+        counter("segments_quarantined"),
+    );
     out.push_str("\nshard queues:\n  ");
     for (i, d) in &snap.shards {
         let _ = write!(out, "#{i}:{d} ");

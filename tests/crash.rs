@@ -13,7 +13,7 @@
 use inflow::core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
 use inflow::geometry::GridResolution;
 use inflow::indoor::PoiId;
-use inflow::tracking::store::{IngestStore, StoreError, StoreOptions, WAL_FILE};
+use inflow::tracking::store::{IngestStore, Manifest, StoreError, StoreOptions, WAL_FILE};
 use inflow::tracking::{
     write_table_csv, FailpointFs, ObjectTrackingTable, OnlineTracker, RawReading,
 };
@@ -52,7 +52,25 @@ fn derive_readings(w: &Workload) -> Vec<RawReading> {
 }
 
 fn opts() -> StoreOptions {
-    StoreOptions { snapshot_every: Some(16), sync_each_reading: true, keep_snapshots: 2 }
+    StoreOptions {
+        snapshot_every: Some(16),
+        sync_each_reading: true,
+        keep_snapshots: 2,
+        ..StoreOptions::default()
+    }
+}
+
+/// Options with the segment tier switched on: seal small segments
+/// aggressively and merge pairs, so short workloads exercise seal,
+/// merge, WAL rebase and scrubbing many times over.
+fn tier_opts() -> StoreOptions {
+    StoreOptions {
+        compact_every: Some(8),
+        merge_factor: 2,
+        scrub_every: Some(32),
+        scrub_budget: 2,
+        ..opts()
+    }
 }
 
 fn store_dir() -> &'static Path {
@@ -295,6 +313,171 @@ fn recovered_snapshot_index_matches_rebuild() {
     let rebuilt = inflow::tracking::ArTree::build(&loaded.ott);
     assert_eq!(loaded.artree.entries(), rebuilt.entries());
     assert_eq!(loaded.ott.records(), store.tracker().snapshot().expect("ott").records());
+}
+
+/// Runs the full workload through a segment-tier store (compaction,
+/// merging, WAL rebasing and scrubbing all active), returning the final
+/// OTT CSV, the manifest, and the assembled-history CSV.
+fn run_tier(
+    fs: FailpointFs,
+    readings: &[RawReading],
+) -> Result<(Vec<u8>, Manifest, Vec<u8>), StoreError> {
+    let (mut store, _) =
+        IngestStore::open(fs, store_dir(), OnlineTracker::new(MAX_GAP), tier_opts())?;
+    for &r in readings {
+        store.ingest(r)?;
+    }
+    let history = store.assemble_history()?;
+    let history_csv = ott_csv(&history.ott);
+    assert_eq!(history.quarantined_rows, 0, "clean tier run must not quarantine");
+    let manifest = store.manifest().clone();
+    Ok((ott_csv(&store.finish()?), manifest, history_csv))
+}
+
+#[test]
+fn compaction_crash_sweep_recovers_identically_at_every_failpoint() {
+    // The tentpole guarantee: with sealing, merging, manifest swaps, WAL
+    // rebasing and scrub passes interleaved into ingestion, killing the
+    // process at *every* mutating I/O operation and resuming still
+    // converges to the uninterrupted run — same OTT, same manifest
+    // (sealed layout included), same assembled history.
+    let w = workload();
+    let readings = derive_readings(&w);
+
+    let fs = FailpointFs::new();
+    let (reference_csv, reference_manifest, reference_history) =
+        run_tier(fs.clone(), &readings).expect("clean tier run");
+    assert!(
+        reference_manifest.entries.len() >= 2,
+        "workload too small to seal several segments (got {})",
+        reference_manifest.entries.len()
+    );
+    assert!(
+        reference_manifest.entries.iter().any(|e| e.row_count > 8),
+        "workload too small to exercise merging"
+    );
+    let total_ops = fs.ops();
+
+    for kill_at in 1..=total_ops {
+        let fs = FailpointFs::new();
+        fs.arm(kill_at);
+        assert!(
+            run_tier(fs.clone(), &readings).is_err(),
+            "failpoint {kill_at} of {total_ops} did not fire"
+        );
+        fs.disarm();
+
+        let (mut store, report) =
+            IngestStore::open(fs, store_dir(), OnlineTracker::new(MAX_GAP), tier_opts())
+                .expect("recovery must always succeed");
+        let resume = report.wal_records as usize;
+        assert!(resume <= readings.len());
+        for &r in &readings[resume..] {
+            store.ingest(r).expect("resumed ingestion must succeed");
+        }
+        let history = store.assemble_history().expect("assemble after recovery");
+        assert_eq!(
+            ott_csv(&history.ott),
+            reference_history,
+            "assembled history diverged after crash at operation {kill_at}"
+        );
+        assert_eq!(history.quarantined_rows, 0, "crash at {kill_at} quarantined rows");
+        assert_eq!(
+            store.manifest(),
+            &reference_manifest,
+            "manifest diverged after crash at operation {kill_at}"
+        );
+        let ott = store.finish().expect("finish after recovery");
+        assert_eq!(ott_csv(&ott), reference_csv, "OTT diverged after crash at operation {kill_at}");
+    }
+}
+
+#[test]
+fn segment_bit_flips_quarantine_and_degrade_never_panic_or_lie() {
+    // Property sweep over the sealed tier: flipping any byte of any
+    // segment file must either leave answers identical (the flip is in
+    // a file recovery replaces) or degrade them with the quarantine
+    // counted — never a panic, never a silently different table.
+    let w = workload();
+    let readings = derive_readings(&w);
+    let fs = FailpointFs::new();
+    let (_, manifest, reference_history) = run_tier(fs.clone(), &readings).expect("clean run");
+
+    for entry in &manifest.entries {
+        let path = store_dir().join(entry.file_name());
+        let bytes = fs.dump(&path).expect("segment file exists");
+        for i in (0..bytes.len()).step_by(7) {
+            let fs2 = FailpointFs::new();
+            for (p, b) in snapshot_files(&fs) {
+                fs2.store_raw(&p, b);
+            }
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            fs2.store_raw(&path, bad);
+
+            let (mut store, _) =
+                IngestStore::open(fs2, store_dir(), OnlineTracker::new(MAX_GAP), tier_opts())
+                    .expect("recovery with a corrupt segment");
+            let history = store.assemble_history().expect("assembly never fails hard");
+            let lines = |csv: &[u8]| csv.iter().filter(|&&b| b == b'\n').count();
+            if history.quarantined_rows == 0 {
+                assert_eq!(
+                    ott_csv(&history.ott),
+                    reference_history,
+                    "segment {} byte {i}: undetected flip changed the answer",
+                    entry.base_row
+                );
+            } else {
+                assert_eq!(history.quarantined_rows, entry.row_count);
+                assert_eq!(history.quarantined_segments, 1);
+                assert!(
+                    lines(&ott_csv(&history.ott)) < lines(&reference_history),
+                    "degraded view must exclude the quarantined rows"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn manifest_corruption_resets_the_tier_but_never_the_data() {
+    // Truncate and bit-flip the manifest at every stride: recovery must
+    // either keep a valid manifest or reset the segment tier, and the
+    // final OTT must match the reference either way (snapshots + WAL
+    // carry the state; segments are a redundant verified tier).
+    let w = workload();
+    let readings = derive_readings(&w);
+    let fs = FailpointFs::new();
+    let (reference_csv, _, _) = run_tier(fs.clone(), &readings).expect("clean run");
+    let manifest_path = store_dir().join("manifest.bin");
+    let manifest_bytes = fs.dump(&manifest_path).expect("manifest exists");
+
+    let mut variants: Vec<Vec<u8>> = Vec::new();
+    for cut in (0..manifest_bytes.len()).step_by(5) {
+        variants.push(manifest_bytes[..cut].to_vec());
+    }
+    for i in (0..manifest_bytes.len()).step_by(3) {
+        let mut bad = manifest_bytes.clone();
+        bad[i] ^= 1 << (i % 8);
+        variants.push(bad);
+    }
+    for (v, bad) in variants.into_iter().enumerate() {
+        let fs2 = FailpointFs::new();
+        for (p, b) in snapshot_files(&fs) {
+            fs2.store_raw(&p, b);
+        }
+        fs2.store_raw(&manifest_path, bad);
+        let (mut store, report) =
+            IngestStore::open(fs2, store_dir(), OnlineTracker::new(MAX_GAP), tier_opts())
+                .expect("recovery with a corrupt manifest");
+        if report.manifest_rejected {
+            assert_eq!(store.manifest().entries.len(), 0, "variant {v}: rejected tier not reset");
+        }
+        let history = store.assemble_history().expect("assembly succeeds");
+        assert_eq!(history.quarantined_rows, 0, "variant {v}");
+        let ott = store.finish().expect("finish");
+        assert_eq!(ott_csv(&ott), reference_csv, "variant {v}: data diverged");
+    }
 }
 
 /// All files currently in the store directory, with contents.

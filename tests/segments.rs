@@ -1,0 +1,273 @@
+//! Integration tests of the tiered immutable segment store on a real
+//! filesystem: cold-start reopen, scrub → quarantine → repair round
+//! trips, quarantine-degraded store-backed queries, and the `fsck` /
+//! `scrub` CLI commands.
+
+use inflow::cli::run_str;
+use inflow::tracking::store::segment::SEGMENT_SUFFIX;
+use inflow::tracking::{
+    write_table_csv, IngestStore, OnlineTracker, RawReading, StdFs, StoreOptions,
+};
+use inflow::workload::{generate_synthetic, rows_of, SyntheticConfig, Workload};
+use std::path::{Path, PathBuf};
+
+const MAX_GAP: f64 = 5.0;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("inflow-segments-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn workload() -> Workload {
+    generate_synthetic(&SyntheticConfig {
+        num_objects: 8,
+        duration: 120.0,
+        ..SyntheticConfig::tiny()
+    })
+}
+
+fn derive_readings(w: &Workload) -> Vec<RawReading> {
+    let mut out = Vec::new();
+    for row in rows_of(&w.ott) {
+        out.push(RawReading { object: row.object, device: row.device, t: row.ts });
+        if row.te > row.ts {
+            out.push(RawReading { object: row.object, device: row.device, t: row.te });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.t.total_cmp(&b.t)
+            .then_with(|| a.object.cmp(&b.object))
+            .then_with(|| a.device.0.cmp(&b.device.0))
+    });
+    out
+}
+
+fn tier_opts() -> StoreOptions {
+    StoreOptions {
+        snapshot_every: Some(16),
+        sync_each_reading: false,
+        compact_every: Some(8),
+        merge_factor: 2,
+        scrub_every: Some(32),
+        scrub_budget: 2,
+        ..StoreOptions::default()
+    }
+}
+
+/// Builds a tiered store in `dir` from the standard workload; returns
+/// the assembled-history CSV (the reference every variant must match).
+fn build_store(dir: &Path) -> String {
+    let (mut store, report) =
+        IngestStore::open(StdFs, dir, OnlineTracker::new(MAX_GAP), tier_opts()).unwrap();
+    assert!(report.created);
+    for r in derive_readings(&workload()) {
+        store.ingest(r).unwrap();
+    }
+    let view = store.assemble_history().unwrap();
+    assert_eq!(view.quarantined_rows, 0);
+    assert!(view.sealed_rows >= 16, "workload must seal segments, got {}", view.sealed_rows);
+    let mut csv = Vec::new();
+    write_table_csv(&mut csv, &view.ott).unwrap();
+    // Clean close still keeps segments + manifest on disk.
+    store.snapshot().unwrap();
+    String::from_utf8(csv).unwrap()
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_str().is_some_and(|s| s.ends_with(SEGMENT_SUFFIX)))
+        .collect();
+    segs.sort();
+    segs
+}
+
+fn history_csv(store: &mut IngestStore<StdFs>) -> String {
+    let view = store.assemble_history().unwrap();
+    let mut csv = Vec::new();
+    write_table_csv(&mut csv, &view.ott).unwrap();
+    String::from_utf8(csv).unwrap()
+}
+
+#[test]
+fn cold_start_reopens_segments_and_serves_identical_history() {
+    let dir = temp_dir("coldstart");
+    let reference = build_store(&dir);
+    assert!(!segment_files(&dir).is_empty());
+
+    let (mut store, report) =
+        IngestStore::open(StdFs, &dir, OnlineTracker::new(MAX_GAP), tier_opts()).unwrap();
+    assert!(!report.created);
+    assert!(report.segments >= 2, "manifest reloaded with {} segments", report.segments);
+    assert_eq!(report.segments_dropped, 0);
+    assert!(!report.manifest_rejected);
+    assert_eq!(report.orphan_segments_removed, 0);
+    assert_eq!(history_csv(&mut store), reference);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn scrub_quarantines_and_repair_restores_byte_identical_segments() {
+    let dir = temp_dir("repair");
+    let reference = build_store(&dir);
+    let victim = segment_files(&dir).into_iter().next().unwrap();
+    let pristine = std::fs::read(&victim).unwrap();
+    let mut damaged = pristine.clone();
+    damaged[pristine.len() / 2] ^= 0x40;
+    std::fs::write(&victim, &damaged).unwrap();
+
+    let (mut store, _) = IngestStore::open(
+        StdFs,
+        &dir,
+        OnlineTracker::new(MAX_GAP),
+        StoreOptions { scrub_budget: usize::MAX, ..tier_opts() },
+    )
+    .unwrap();
+    let scrub = store.scrub_pass().unwrap();
+    assert!(scrub.complete);
+    assert_eq!(scrub.quarantined_new, 1, "exactly the damaged segment quarantines");
+    assert_eq!(scrub.faults.len(), 1);
+
+    // Degraded, not wrong: the assembled view excludes the quarantined
+    // rows and says so.
+    let view = store.assemble_history().unwrap();
+    assert!(view.quarantined_rows > 0);
+    assert_eq!(view.quarantined_segments, 1);
+
+    // Repair re-seals from the recovered log, byte-identical.
+    let (repaired, unrepairable) = store.repair_segments().unwrap();
+    assert_eq!((repaired, unrepairable), (1, 0));
+    assert_eq!(std::fs::read(&victim).unwrap(), pristine);
+    assert_eq!(store.manifest().quarantined_segments(), 0);
+    assert_eq!(history_csv(&mut store), reference);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn read_time_verification_quarantines_on_the_spot() {
+    let dir = temp_dir("readtime");
+    let reference = build_store(&dir);
+    let victim = segment_files(&dir).into_iter().last().unwrap();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // No scrub pass — the first assembled read finds the damage itself.
+    let (mut store, _) =
+        IngestStore::open(StdFs, &dir, OnlineTracker::new(MAX_GAP), tier_opts()).unwrap();
+    let view = store.assemble_history().unwrap();
+    assert_eq!(view.quarantined_segments, 1);
+    assert!(view.quarantined_rows > 0);
+    let degraded = {
+        let mut csv = Vec::new();
+        write_table_csv(&mut csv, &view.ott).unwrap();
+        String::from_utf8(csv).unwrap()
+    };
+    assert!(
+        degraded.lines().count() < reference.lines().count(),
+        "degraded answer holds strictly fewer rows"
+    );
+    // The quarantine is durable: a reopen still sees it.
+    drop(store);
+    let (store2, _) =
+        IngestStore::open(StdFs, &dir, OnlineTracker::new(MAX_GAP), tier_opts()).unwrap();
+    assert_eq!(store2.manifest().quarantined_segments(), 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Generates a CLI dataset and ingests its readings into a tiered store,
+/// returning (plan path, store dir, dataset dir).
+fn cli_store(name: &str) -> (String, String, PathBuf) {
+    let dir = temp_dir(name);
+    run_str(&[
+        "generate",
+        "synthetic",
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--objects",
+        "25",
+        "--duration",
+        "300",
+    ])
+    .expect("generate succeeds");
+    let store = dir.join("store");
+    let out = run_str(&[
+        "ingest",
+        "--store",
+        store.to_str().unwrap(),
+        "--readings",
+        dir.join("readings.csv").to_str().unwrap(),
+        "--compact-every",
+        "64",
+        "--scrub-every",
+        "128",
+        "--no-sync",
+    ])
+    .expect("ingest succeeds");
+    assert!(out.contains("ingested"), "{out}");
+    assert!(!segment_files(&store).is_empty(), "tiered ingest seals segments on disk: {out}");
+    (dir.join("plan.txt").to_str().unwrap().to_string(), store.to_str().unwrap().to_string(), dir)
+}
+
+#[test]
+fn fsck_cli_detects_damage_and_repairs_it() {
+    let (_plan, store, dir) = cli_store("fsck");
+    let clean = run_str(&["fsck", "--store", &store]).expect("clean store passes fsck");
+    assert!(clean.contains("store is healthy"), "{clean}");
+
+    let victim = segment_files(Path::new(&store)).into_iter().next().unwrap();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let err = run_str(&["fsck", "--store", &store]).expect_err("damaged store fails fsck");
+    assert!(err.to_string().contains("DAMAGED"), "{err}");
+
+    let repaired = run_str(&["fsck", "--store", &store, "--repair", "--max-gap", "60"])
+        .expect("repair brings the store back");
+    assert!(repaired.contains("repaired 1 segment(s)"), "{repaired}");
+    assert!(repaired.contains("store is healthy"), "{repaired}");
+
+    let again = run_str(&["fsck", "--store", &store]).expect("store healthy after repair");
+    assert!(again.contains("store is healthy"), "{again}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn store_backed_queries_answer_degraded_over_quarantine() {
+    let (plan, store, dir) = cli_store("degraded");
+
+    // Healthy store: snapshot answers straight from the tier, clean.
+    let clean = run_str(&["snapshot", "--plan", &plan, "--store", &store, "--t", "150"])
+        .expect("store-backed snapshot succeeds");
+    assert!(clean.contains("quality: clean"), "{clean}");
+
+    // Corrupt one segment; scrub quarantines it (non-zero exit because
+    // damage remains), and the same query still answers — degraded.
+    let victim = segment_files(Path::new(&store)).into_iter().next().unwrap();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[10] ^= 0x20;
+    std::fs::write(&victim, &bytes).unwrap();
+    let err = run_str(&["scrub", "--store", &store, "--max-gap", "60"])
+        .expect_err("scrub exits non-zero while segments stay quarantined");
+    assert!(err.to_string().contains("quarantined"), "{err}");
+
+    let degraded = run_str(&["snapshot", "--plan", &plan, "--store", &store, "--t", "150"])
+        .expect("query answers despite quarantine");
+    assert!(degraded.contains("quarantined"), "quality must flag quarantine: {degraded}");
+
+    // scrub --repair heals it; the query is clean again.
+    let healed = run_str(&["scrub", "--store", &store, "--repair", "--max-gap", "60"])
+        .expect("scrub --repair clears the quarantine");
+    assert!(healed.contains("repaired 1 segment(s)"), "{healed}");
+    let clean_again = run_str(&["snapshot", "--plan", &plan, "--store", &store, "--t", "150"])
+        .expect("store-backed snapshot succeeds after repair");
+    assert!(clean_again.contains("quality: clean"), "{clean_again}");
+    let _ = std::fs::remove_dir_all(dir);
+}

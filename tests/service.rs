@@ -478,6 +478,75 @@ fn metrics_snapshot_is_well_formed() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// With an aggressive segment tier (tiny compact/scrub cadences), the
+/// serving pipeline seals and scrubs under load, shard crash/restart
+/// reopens the segmented stores and reconverges, and the tier's
+/// activity is visible in `ServiceMetrics`, the `METRICS` payload and
+/// the flight recorder.
+#[test]
+fn segment_tier_runs_under_serving_load() {
+    let w = small_workload();
+    let readings = readings_of(&w);
+    let all_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+    let dir = temp_dir("segment-tier");
+    let cfg = ServeConfig {
+        shards: 2,
+        max_gap: MAX_GAP,
+        ur: ur_config(&w),
+        compact_every: Some(16),
+        scrub_every: Some(32),
+        ..ServeConfig::new(dir.clone())
+    };
+    let handle = Server::start(Arc::clone(&w.ctx), cfg).expect("server start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let half = readings.len() / 2;
+    client.publish(&readings[..half]).expect("publish first half");
+    client.barrier().expect("barrier");
+    // Crash + restart shard 0 mid-stream: reopening a segmented store
+    // must reconverge exactly like the WAL-only path always has.
+    handle.crash_shard(0);
+    handle.restart_shard(0).expect("restart shard");
+    client.publish(&readings[half..]).expect("publish second half");
+    client.barrier().expect("final barrier");
+
+    let spec =
+        SubSpec { kind: SubKind::Snapshot { t: 150.0 }, k: 5, epsilon: 0.0, pois: Vec::new() };
+    let got = client.query(&spec).expect("query");
+    let rows = client.dump_rows().expect("rows");
+    let want = batch_reference(&w.ctx, ur_config(&w), rows, &spec.kind, all_pois, 5);
+    assert_ranked_eq(&got, &want, "one-shot snapshot over the tiered stores");
+
+    let m = handle.metrics();
+    assert!(m.counter(Counter::StoreCompactions) > 0, "no compaction ran");
+    assert!(m.counter(Counter::SegmentsSealed) > 0, "no segments sealed");
+    assert!(m.counter(Counter::ScrubPasses) > 0, "no scrub pass ran");
+    assert_eq!(m.counter(Counter::ScrubCorruptions), 0, "clean run found corruption");
+    assert_eq!(m.counter(Counter::SegmentsQuarantined), 0);
+
+    let snap = Json::parse(&client.metrics_json().expect("metrics_json")).expect("valid json");
+    let counters = snap.get("counters").and_then(|c| c.as_obj()).expect("counters object");
+    assert!(
+        counters.get("store_compactions").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+        "tier counters must ride the METRICS payload"
+    );
+    let dump = client.flight_dump().expect("flight dump");
+    assert!(dump.contains("compaction_run"), "flight dump lacks compaction events");
+    assert!(dump.contains("scrub_pass"), "flight dump lacks scrub events");
+
+    // Segments are really on disk under the shard stores.
+    let seg_count = |shard: usize| {
+        std::fs::read_dir(dir.join(format!("shard-{shard}")))
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().to_str().is_some_and(|s| s.ends_with(".seg")))
+            .count()
+    };
+    assert!(seg_count(0) + seg_count(1) > 0, "no segment files on disk");
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 /// One-shot queries answered server-side must match a local batch run
 /// over the dumped rows.
 #[test]
