@@ -1,0 +1,81 @@
+//! The distribution-subscription overhead gate: `BENCH_9.json`.
+//!
+//! Runs the sustained serving-ingest benchmark three times — once with
+//! the expected-flow snapshot subscription (the baseline every earlier
+//! bench uses), once with a probabilistic count-distribution
+//! subscription, once with a long-visit subscription — and writes one
+//! JSON document with each side's ingest throughput and notify p99,
+//! plus the computed regression percentages. The acceptance bar is
+//! < 5% ingest regression for the distrib subscription vs the
+//! expected-flow baseline; the binary exits non-zero when the bar is
+//! missed, which is how `scripts/ci.sh` gates it.
+//!
+//! ```text
+//! bench9 [--objects N] [--duration S] [--repeats N] [--smoke] [--out PATH]
+//! ```
+//!
+//! Without `--out` the document goes to stdout.
+
+use inflow_bench::{bench9_json, Scale};
+
+/// The acceptance bar: distrib-subscription serving-ingest overhead.
+const MAX_REGRESSION_PCT: f64 = 5.0;
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => scale.objects = parse(args.next(), "--objects"),
+            "--duration" => scale.duration = parse(args.next(), "--duration"),
+            "--repeats" => scale.repeats = parse(args.next(), "--repeats"),
+            "--smoke" => scale = Scale::smoke(),
+            "--out" => out = Some(parse(args.next(), "--out")),
+            "--help" | "-h" => {
+                println!(
+                    "bench9 — distrib-subscription overhead report (BENCH_9.json)\n\n\
+                     usage: bench9 [--objects N] [--duration S] [--repeats N] [--smoke] [--out PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = bench9_json(&scale);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("bench9: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("bench9: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    // Gate on the regression figure the document itself reports, so the
+    // committed JSON and the exit code can never disagree.
+    let regression = json
+        .split("\"ingest_regression_pct\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(f64::INFINITY);
+    if regression >= MAX_REGRESSION_PCT {
+        eprintln!(
+            "bench9: distrib-subscription ingest regression {regression:.2}% exceeds the \
+             {MAX_REGRESSION_PCT}% bar"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}

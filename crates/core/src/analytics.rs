@@ -280,6 +280,21 @@ impl FlowAnalytics {
         iterative::interval_threads(self, q, threads)
     }
 
+    /// Top-k POIs by `P(count ≥ kq)` — the Poisson-binomial count
+    /// distribution over per-object presences (see [`crate::distrib`]).
+    pub fn distrib_topk(&self, q: &crate::distrib::DistribQuery) -> crate::distrib::DistribResult {
+        crate::distrib::count_distributions(self, q)
+    }
+
+    /// Top-k POIs by the number of objects whose expected dwell reaches
+    /// the query threshold (see [`crate::longvisit`]).
+    pub fn longvisit_topk(
+        &self,
+        q: &crate::longvisit::LongVisitQuery,
+    ) -> crate::longvisit::LongVisitResult {
+        crate::longvisit::longvisit_counts(self, q)
+    }
+
     /// All snapshot flows (unranked), mainly for tests and inspection.
     pub fn snapshot_flows(&self, q: &SnapshotQuery) -> Vec<(PoiId, f64)> {
         iterative::snapshot_flows(self, q)

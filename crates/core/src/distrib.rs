@@ -1,0 +1,463 @@
+//! Probabilistic count distributions per POI (Poisson binomial).
+//!
+//! The paper's flow Φ is the *expected* number of objects in a POI:
+//! `Φ(p) = Σ_o presence_o(p)`. Because the per-object presences are
+//! independent inclusion probabilities, the full probabilistic *count*
+//! distribution is the Poisson binomial over those presences (Züfle,
+//! arXiv 2112.06344): `P(count = k)` is the coefficient of `z^k` in the
+//! generating-function product `Π_o (1 − p_o + p_o·z)`.
+//!
+//! [`CountDistribution`] maintains that product by convolution, one
+//! object at a time — `new[i] = old[i]·(1−p) + old[i−1]·p` — truncated
+//! at a `kmax` tail bound, which makes the whole computation `O(n·kmax)`
+//! per POI instead of `O(n²)`. Mass beyond `kmax` is never lost: it is
+//! recovered as [`CountDistribution::tail_mass`], so `P(count ≥ k)` is
+//! *exact* for every `k ≤ kmax + 1` (and a tight upper bound above).
+//!
+//! The distribution's expectation is, by the generating-function
+//! identity, exactly `Σ_o p_o` — the flow Φ the four batch algorithms
+//! compute. [`CountDistribution::expectation`] accumulates that sum
+//! alongside the convolution; the property suite asserts it matches all
+//! four algorithm outputs within 1e-9 and, for untruncated
+//! distributions, matches `Σ k·pmf(k)` as well.
+//!
+//! Determinism contract: [`count_distributions`] convolves candidates in
+//! ascending object-id order — the same order the incremental serving
+//! engine uses — so a streamed distribution subscription and a batch
+//! recomputation over the same rows produce bit-identical probabilities.
+
+use crate::analytics::FlowAnalytics;
+use crate::contrib;
+use crate::query::{rank_topk, DataQuality, QueryStats};
+use inflow_indoor::PoiId;
+use inflow_obs::Counter;
+use inflow_tracking::{ArTree, ObjectId, ObjectState, Timestamp};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The Poisson-binomial count distribution of one POI, truncated at a
+/// `kmax` tail bound.
+///
+/// `probs[i] = P(count = i)` for `i ≤ kmax`; probability mass for counts
+/// above `kmax` is truncated out of the vector and recovered exactly as
+/// [`CountDistribution::tail_mass`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountDistribution {
+    probs: Vec<f64>,
+    /// Running `Σ p_o` — the exact expectation (= flow Φ), independent
+    /// of truncation.
+    mean: f64,
+}
+
+impl CountDistribution {
+    /// The empty-product distribution: `P(count = 0) = 1`. `kmax` is
+    /// clamped to at least 1.
+    pub fn new(kmax: usize) -> CountDistribution {
+        let kmax = kmax.max(1);
+        let mut probs = vec![0.0; kmax + 1];
+        if let Some(p0) = probs.first_mut() {
+            *p0 = 1.0;
+        }
+        CountDistribution { probs, mean: 0.0 }
+    }
+
+    /// Convolves one more object's presence probability `p` into the
+    /// distribution (`p` is clamped to `[0, 1]`).
+    pub fn push(&mut self, p: f64) {
+        let p = p.clamp(0.0, 1.0);
+        self.mean += p;
+        let q = 1.0 - p;
+        for i in (1..self.probs.len()).rev() {
+            self.probs[i] = self.probs[i] * q + self.probs[i - 1] * p;
+        }
+        if let Some(p0) = self.probs.first_mut() {
+            *p0 *= q;
+        }
+    }
+
+    /// Builds the distribution of a presence sequence (convolved in
+    /// iteration order).
+    pub fn from_presences(ps: impl IntoIterator<Item = f64>, kmax: usize) -> CountDistribution {
+        let mut d = CountDistribution::new(kmax);
+        for p in ps {
+            d.push(p);
+        }
+        d
+    }
+
+    /// The truncation bound: `pmf(k)` is held exactly for `k ≤ kmax`.
+    pub fn kmax(&self) -> usize {
+        self.probs.len() - 1
+    }
+
+    /// `P(count = k)`; 0 for `k > kmax` (that mass lives in the tail).
+    pub fn pmf(&self, k: usize) -> f64 {
+        self.probs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Probability mass truncated past `kmax`: `P(count > kmax)`,
+    /// recovered as `1 − Σ pmf` (clamped at 0 against rounding).
+    pub fn tail_mass(&self) -> f64 {
+        (1.0 - self.probs.iter().sum::<f64>()).max(0.0)
+    }
+
+    /// `P(count ≥ k)` — exact for `k ≤ kmax + 1`; for larger `k` the
+    /// truncated tail makes this an upper bound (`P(count > kmax)`).
+    pub fn p_ge(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        let above: f64 = self.probs.iter().skip(k).sum();
+        (above + self.tail_mass()).clamp(0.0, 1.0)
+    }
+
+    /// `P(count ≤ k)`.
+    pub fn cdf(&self, k: usize) -> f64 {
+        self.probs.iter().take(k + 1).sum::<f64>().clamp(0.0, 1.0)
+    }
+
+    /// Smallest `k` with `CDF(k) ≥ q`; `kmax + 1` when the quantile
+    /// falls into the truncated tail.
+    pub fn quantile(&self, q: f64) -> usize {
+        let q = q.clamp(0.0, 1.0);
+        let mut cum = 0.0;
+        for (k, &p) in self.probs.iter().enumerate() {
+            cum += p;
+            if cum >= q {
+                return k;
+            }
+        }
+        self.probs.len()
+    }
+
+    /// The exact expectation `E[count] = Σ p_o` — by the
+    /// generating-function identity, exactly the paper's flow Φ. Kept as
+    /// a running sum so truncation never degrades it.
+    pub fn expectation(&self) -> f64 {
+        self.mean
+    }
+
+    /// `Σ k·pmf(k)` over the held mass — equals [`expectation`] within
+    /// rounding when nothing was truncated (`tail_mass = 0`). The
+    /// property suite uses the pair as the truncation-soundness oracle.
+    ///
+    /// [`expectation`]: CountDistribution::expectation
+    pub fn expectation_from_pmf(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(k, &p)| k as f64 * p).sum()
+    }
+}
+
+/// The query time parameter of a count-distribution query.
+/// Incremental per-POI score maintenance for distrib subscriptions in
+/// the serving engine — the count-distribution twin of
+/// [`crate::DwellState`].
+///
+/// Rebuilding every POI's Poisson binomial from the contribution map on
+/// each refresh costs O(|P| · n · kmax), which dwarfs the O(total
+/// presences) fold a snapshot subscription pays and shows up directly
+/// as serving-ingest overhead. But a delta only ever changes *one*
+/// object's presences, so only the POIs that object touches (before or
+/// after) can change their distribution. This state inverts presences
+/// by POI — keyed by object in a `BTreeMap`, so refolds walk ascending
+/// object id, the exact candidate order of the batch paths — caches
+/// each POI's `P(count ≥ kq)`, and refolds only the POIs marked stale
+/// by [`update`](DistribState::update) calls since the last
+/// [`scores`](DistribState::scores).
+///
+/// Bit-identity with a from-scratch fold holds because an unchanged
+/// POI's presence multiset and fold order are unchanged, and a stale
+/// POI is refolded exactly the way the batch path folds it.
+#[derive(Debug, Clone)]
+pub struct DistribState {
+    kq: usize,
+    kmax: usize,
+    /// Presences inverted by POI, keyed by object id (ascending walk).
+    per_poi: HashMap<PoiId, BTreeMap<ObjectId, f64>>,
+    /// Cached `P(count ≥ kq)` for POIs with at least one presence.
+    scores: HashMap<PoiId, f64>,
+    /// POIs whose cached score must be refolded.
+    stale: HashSet<PoiId>,
+    /// The score of a POI no object contributes to.
+    empty_score: f64,
+}
+
+impl DistribState {
+    pub fn new(kq: usize, kmax: usize) -> DistribState {
+        DistribState {
+            kq,
+            kmax,
+            per_poi: HashMap::new(),
+            scores: HashMap::new(),
+            stale: HashSet::new(),
+            empty_score: CountDistribution::new(kmax).p_ge(kq),
+        }
+    }
+
+    /// Records one object's contribution change: every POI it
+    /// contributed to before or contributes to now becomes stale.
+    pub fn update(&mut self, object: ObjectId, old: &[(PoiId, f64)], new: &[(PoiId, f64)]) {
+        for &(poi, _) in old {
+            if let Some(m) = self.per_poi.get_mut(&poi) {
+                m.remove(&object);
+                if m.is_empty() {
+                    self.per_poi.remove(&poi);
+                }
+            }
+            self.stale.insert(poi);
+        }
+        for &(poi, p) in new {
+            self.per_poi.entry(poi).or_default().insert(object, p);
+            self.stale.insert(poi);
+        }
+    }
+
+    /// `P(count ≥ kq)` for every requested POI, in input order,
+    /// refolding only the POIs whose presences changed since the last
+    /// call — bit-identical to folding every POI from scratch in
+    /// ascending object-id order.
+    pub fn scores(&mut self, pois: &[PoiId]) -> Vec<(PoiId, f64)> {
+        for poi in self.stale.drain() {
+            match self.per_poi.get(&poi) {
+                Some(m) => {
+                    let d = CountDistribution::from_presences(m.values().copied(), self.kmax);
+                    self.scores.insert(poi, d.p_ge(self.kq));
+                }
+                None => {
+                    self.scores.remove(&poi);
+                }
+            }
+        }
+        pois.iter()
+            .map(|&p| (p, self.scores.get(&p).copied().unwrap_or(self.empty_score)))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistribTime {
+    /// Distribution of the snapshot count at time `t`.
+    At(Timestamp),
+    /// Distribution of the interval count over `[ts, te]`.
+    Over(Timestamp, Timestamp),
+}
+
+/// A top-k count-distribution query: rank POIs by `P(count ≥ kq)`.
+#[derive(Debug, Clone)]
+pub struct DistribQuery {
+    pub time: DistribTime,
+    /// The query POI set `P`.
+    pub pois: Vec<PoiId>,
+    /// The count threshold the ranking scores: `P(count ≥ kq)`.
+    pub kq: usize,
+    /// Convolution truncation bound (exact `P(count ≥ k)` for
+    /// `k ≤ kmax + 1`).
+    pub kmax: usize,
+    /// Result size `k` (`0 < k ≤ |P|`).
+    pub k: usize,
+}
+
+impl DistribQuery {
+    /// Snapshot-count distribution query at time `t`.
+    pub fn at(t: Timestamp, pois: Vec<PoiId>, kq: usize, kmax: usize, k: usize) -> DistribQuery {
+        assert!(!pois.is_empty(), "query POI set must be non-empty");
+        let k = k.clamp(1, pois.len());
+        DistribQuery { time: DistribTime::At(t), pois, kq, kmax: kmax.max(1), k }
+    }
+
+    /// Interval-count distribution query over `[ts, te]`.
+    pub fn over(
+        ts: Timestamp,
+        te: Timestamp,
+        pois: Vec<PoiId>,
+        kq: usize,
+        kmax: usize,
+        k: usize,
+    ) -> DistribQuery {
+        assert!(!pois.is_empty(), "query POI set must be non-empty");
+        assert!(ts <= te, "query interval must be ordered");
+        let k = k.clamp(1, pois.len());
+        DistribQuery { time: DistribTime::Over(ts, te), pois, kq, kmax: kmax.max(1), k }
+    }
+}
+
+/// A count-distribution query answer.
+#[derive(Debug, Clone)]
+pub struct DistribResult {
+    /// Top-k POIs by `P(count ≥ kq)`, descending (ties by ascending id).
+    pub ranked: Vec<(PoiId, f64)>,
+    /// Every query POI's full distribution, in query POI-set order.
+    pub distributions: Vec<(PoiId, CountDistribution)>,
+    pub stats: QueryStats,
+    pub quality: DataQuality,
+}
+
+/// Computes the exact Poisson-binomial count distribution of every query
+/// POI by convolving per-object presence probabilities in ascending
+/// object-id order (the serving engine's order), then ranks POIs by
+/// `P(count ≥ kq)`.
+pub fn count_distributions(fa: &FlowAnalytics, q: &DistribQuery) -> DistribResult {
+    let mut rec = fa.recorder();
+    rec.add(Counter::DistribQueries, 1);
+    let root = rec.enter("distrib");
+    let span = rec.enter("build_poi_rtree");
+    let rp = fa.build_poi_rtree(&q.pois);
+    rec.exit(span);
+    let mut stats = QueryStats::default();
+    let mut dists: HashMap<PoiId, CountDistribution> =
+        q.pois.iter().map(|&p| (p, CountDistribution::new(q.kmax))).collect();
+
+    // Candidate retrieval, then an ascending object-id sort: the
+    // convolution order must match the incremental engine's rank order
+    // so streamed and batch distributions are bit-identical.
+    let span = rec.enter("candidate_retrieval");
+    let mut candidates: Vec<(ObjectId, Option<ObjectState>)> = match q.time {
+        DistribTime::At(t) => fa
+            .artree()
+            .point_query(t)
+            .into_iter()
+            .filter_map(|e| ArTree::resolve_state(fa.ott(), e, t).map(|s| (e.object, Some(s))))
+            .collect(),
+        DistribTime::Over(ts, te) => {
+            fa.interval_candidates(ts, te).into_iter().map(|o| (o, None)).collect()
+        }
+    };
+    candidates.sort_by_key(|&(o, _)| o);
+    candidates.dedup_by_key(|&mut (o, _)| o);
+    rec.exit(span);
+
+    let span = rec.enter("convolve");
+    for (object, state) in candidates {
+        stats.objects_considered += 1;
+        let contribs = match (q.time, state) {
+            (DistribTime::At(t), Some(state)) => Some(contrib::snapshot_object_contrib(
+                fa.engine(),
+                fa.ott(),
+                state,
+                t,
+                &rp,
+                &mut rec,
+                &mut stats,
+            )),
+            (DistribTime::Over(ts, te), _) => contrib::interval_object_contrib(
+                fa.engine(),
+                fa.ott(),
+                object,
+                ts,
+                te,
+                &rp,
+                &mut rec,
+                &mut stats,
+            ),
+            (DistribTime::At(_), None) => None,
+        };
+        let Some(contribs) = contribs else { continue };
+        for (poi, presence) in contribs {
+            stats.accumulated_flow_mass += presence;
+            if fa.is_repaired(object) {
+                stats.repaired_flow_mass += presence;
+            }
+            if let Some(dist) = dists.get_mut(&poi) {
+                dist.push(presence);
+            }
+        }
+    }
+    rec.exit(span);
+
+    let span = rec.enter("rank");
+    let scores: Vec<(PoiId, f64)> =
+        q.pois.iter().map(|&p| (p, score_of(&dists, p, q.kq))).collect();
+    let ranked = rank_topk(scores, q.k);
+    let distributions: Vec<(PoiId, CountDistribution)> = q
+        .pois
+        .iter()
+        .map(|&p| (p, dists.get(&p).cloned().unwrap_or_else(|| CountDistribution::new(q.kmax))))
+        .collect();
+    rec.exit(span);
+    rec.exit(root);
+    let quality = fa.quality(&stats);
+    DistribResult { ranked, distributions, stats, quality }
+}
+
+fn score_of(dists: &HashMap<PoiId, CountDistribution>, poi: PoiId, kq: usize) -> f64 {
+    dists.get(&poi).map(|d| d.p_ge(kq)).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force Poisson-binomial pmf by enumerating all subsets.
+    fn brute_pmf(ps: &[f64]) -> Vec<f64> {
+        let mut pmf = vec![0.0; ps.len() + 1];
+        for mask in 0..(1u32 << ps.len()) {
+            let mut prob = 1.0;
+            let mut count = 0usize;
+            for (i, &p) in ps.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    prob *= p;
+                    count += 1;
+                } else {
+                    prob *= 1.0 - p;
+                }
+            }
+            pmf[count] += prob;
+        }
+        pmf
+    }
+
+    #[test]
+    fn convolution_matches_subset_enumeration() {
+        let ps = [0.3, 0.75, 0.1, 0.9, 0.5];
+        let d = CountDistribution::from_presences(ps.iter().copied(), ps.len());
+        let brute = brute_pmf(&ps);
+        for (k, &want) in brute.iter().enumerate() {
+            assert!((d.pmf(k) - want).abs() < 1e-12, "pmf({k}): {} vs {want}", d.pmf(k));
+        }
+        assert!(d.tail_mass() < 1e-12);
+        assert!((d.expectation() - ps.iter().sum::<f64>()).abs() < 1e-12);
+        assert!((d.expectation_from_pmf() - d.expectation()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_tail_keeps_p_ge_exact_up_to_kmax_plus_one() {
+        let ps = [0.6, 0.7, 0.8, 0.9, 0.5, 0.4];
+        let full = CountDistribution::from_presences(ps.iter().copied(), ps.len());
+        let cut = CountDistribution::from_presences(ps.iter().copied(), 2);
+        for k in 0..=3 {
+            assert!(
+                (full.p_ge(k) - cut.p_ge(k)).abs() < 1e-12,
+                "p_ge({k}): {} vs {}",
+                full.p_ge(k),
+                cut.p_ge(k)
+            );
+        }
+        // Beyond kmax + 1 the truncated value is an upper bound.
+        assert!(cut.p_ge(5) >= full.p_ge(5) - 1e-12);
+        // The exact expectation survives truncation untouched.
+        assert!((cut.expectation() - full.expectation()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_ge_is_monotone_and_pmf_sums_to_one() {
+        let ps = [0.25, 0.5, 0.125, 0.99, 0.01, 0.66];
+        let d = CountDistribution::from_presences(ps.iter().copied(), ps.len());
+        let total: f64 = (0..=d.kmax()).map(|k| d.pmf(k)).sum::<f64>() + d.tail_mass();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 0..d.kmax() + 2 {
+            assert!(d.p_ge(k) + 1e-12 >= d.p_ge(k + 1), "p_ge not monotone at {k}");
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_cdf() {
+        let d = CountDistribution::from_presences([0.5, 0.5], 2);
+        // pmf = [0.25, 0.5, 0.25]
+        assert_eq!(d.quantile(0.0), 0);
+        assert_eq!(d.quantile(0.25), 0);
+        assert_eq!(d.quantile(0.5), 1);
+        assert_eq!(d.quantile(0.75), 1);
+        assert_eq!(d.quantile(1.0), 2);
+        let cut = CountDistribution::from_presences([1.0, 1.0, 1.0], 1);
+        // All mass is past kmax: the quantile lands in the tail.
+        assert_eq!(cut.quantile(0.5), 2);
+    }
+}

@@ -28,8 +28,10 @@
 pub mod analytics;
 pub mod contrib;
 pub mod density;
+pub mod distrib;
 pub mod iterative;
 pub mod join;
+pub mod longvisit;
 mod profiling;
 pub mod query;
 pub mod timeline;
@@ -38,7 +40,13 @@ pub mod visitors;
 pub use analytics::FlowAnalytics;
 pub use contrib::{object_interval_flows, object_snapshot_flows};
 pub use density::{snapshot_density, DensityGrid};
+pub use distrib::{
+    count_distributions, CountDistribution, DistribQuery, DistribResult, DistribState, DistribTime,
+};
 pub use join::JoinConfig;
+pub use longvisit::{
+    longvisit_counts, object_dwell, DwellState, LongVisitQuery, LongVisitResult, DWELL_SAMPLES,
+};
 pub use query::{rank_topk, DataQuality, IntervalQuery, QueryResult, QueryStats, SnapshotQuery};
 pub use timeline::{
     flow_timeline, ContinuousSnapshotMonitor, FlowTimeline, TimelineBucket, TopKUpdate,

@@ -58,6 +58,7 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
     }
     il005_obs_coverage(files, &mut out);
     il005_service_coverage(files, &mut out);
+    il005_subkind_counter_coverage(files, &mut out);
     out.sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
     out
 }
@@ -532,6 +533,99 @@ fn il005_service_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
                 hint: "count the request (metrics.add(Counter::…)) or observe a \
                        histogram/flight event so telemetry and postmortems see this verb",
             });
+        }
+    }
+}
+
+/// The variant names of `enum SubKind` as declared in a service source
+/// file, with the declaration line: identifiers at brace depth 1 of the
+/// enum body that start an arm (the previous depth-1 token is `{` or
+/// `,`), skipping `#[...]` attribute contents.
+fn il005_subkind_variants(f: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &f.toks;
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_ident("enum") && toks[i + 1].is_ident("SubKind") && !toks[i].in_test) {
+            i += 1;
+            continue;
+        }
+        // Walk to the body's `{`, then collect arm-initial idents.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct("{") {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut arm_start = true;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        depth += 1;
+                        arm_start = depth == 1;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        // A field-block close ends the arm body; the next
+                        // depth-1 ident only starts an arm after a comma.
+                        arm_start = false;
+                    }
+                    "," if depth == 1 => arm_start = true,
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident && depth == 1 {
+                if arm_start {
+                    variants.push((t.text.clone(), t.line));
+                }
+                arm_start = false;
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    variants
+}
+
+/// IL005, per-kind serving telemetry: every variant of the service
+/// protocol's `enum SubKind` must have a per-kind subscription counter —
+/// an identifier spelled `Serve<Variant>Subscriptions` (variant casing
+/// is free, e.g. `LongVisit` → `ServeLongvisitSubscriptions`) —
+/// referenced somewhere in `crates/service/src`. A subscription kind
+/// without its counter is invisible in `METRICS` and `inflow top`, so
+/// a serving-load shift toward that kind cannot be seen or alerted on.
+fn il005_subkind_counter_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let service: Vec<&SourceFile> =
+        files.iter().filter(|f| f.rel.starts_with("crates/service/src/")).collect();
+    if service.is_empty() {
+        return;
+    }
+    let idents_lower: HashSet<String> = service
+        .iter()
+        .flat_map(|f| f.toks.iter())
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.to_lowercase())
+        .collect();
+    for f in &service {
+        for (variant, line) in il005_subkind_variants(f) {
+            let want = format!("serve{}subscriptions", variant.to_lowercase());
+            if !idents_lower.contains(&want) {
+                out.push(Finding {
+                    lint: "IL005",
+                    path: f.rel.clone(),
+                    line,
+                    message: format!(
+                        "subscription kind `{variant}` has no per-kind counter \
+                         `Serve{variant}Subscriptions` referenced in the service crate"
+                    ),
+                    hint: "add the Counter variant in inflow-obs and bump it where the \
+                           subscription registers, so METRICS/`inflow top` break load \
+                           out by kind",
+                });
+            }
         }
     }
 }

@@ -1,0 +1,21 @@
+//! IL005 fixture, subscription-kind telemetry: `Ghost` has no
+//! `ServeGhostSubscriptions` counter anywhere in the crate, while
+//! `Snapshot` and `Interval` are covered by the Counter variants below.
+
+pub enum SubKind {
+    Snapshot { t: f64 },
+    Interval { ts: f64, te: f64 },
+    Ghost { t: f64 },
+}
+
+pub enum Counter {
+    ServeSnapshotSubscriptions,
+    ServeIntervalSubscriptions,
+}
+
+pub fn kind_counter(kind: &SubKind) -> Counter {
+    match kind {
+        SubKind::Snapshot { .. } | SubKind::Ghost { .. } => Counter::ServeSnapshotSubscriptions,
+        SubKind::Interval { .. } => Counter::ServeIntervalSubscriptions,
+    }
+}

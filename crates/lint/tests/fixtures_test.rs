@@ -206,6 +206,46 @@ fn il005_unrecorded_service_handler_is_diagnosed() {
 }
 
 #[test]
+fn il005_subkind_without_counter_is_diagnosed() {
+    let repo = TempRepo::new("il005-subkind");
+    repo.write("crates/service/src/il005_subkind.rs", &fixture("il005_subkind.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/service/src/il005_subkind.rs:8: IL005: subscription kind `Ghost` has no \
+             per-kind counter `ServeGhostSubscriptions` referenced in the service crate"
+        ),
+        "missing IL005 subkind diagnostic:\n{}",
+        r.stdout
+    );
+    // Snapshot and Interval are covered: exactly one finding.
+    assert!(r.stdout.contains("inflow-lint: 1 finding(s),"), "stdout:\n{}", r.stdout);
+}
+
+#[test]
+fn il005_subkind_counter_casing_is_free() {
+    // `LongVisit` is covered by `ServeLongvisitSubscriptions`: the
+    // variant-to-counter match is case-insensitive, mirroring the
+    // workspace's snake_case-derived counter names.
+    let repo = TempRepo::new("il005-subkind-ok");
+    repo.write(
+        "crates/service/src/kinds.rs",
+        "pub enum SubKind {\n\
+             LongVisit { ts: f64, te: f64, d: f64 },\n\
+         }\n\
+         pub enum Counter {\n\
+             ServeLongvisitSubscriptions,\n\
+         }\n\
+         pub fn kind_counter(_kind: &SubKind) -> Counter {\n\
+             Counter::ServeLongvisitSubscriptions\n\
+         }\n",
+    );
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+}
+
+#[test]
 fn il005_handlers_outside_service_crate_are_exempt() {
     let repo = TempRepo::new("il005-service-scope");
     repo.write("crates/core/src/il005_service.rs", &fixture("il005_service.rs"));

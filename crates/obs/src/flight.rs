@@ -84,10 +84,14 @@ pub enum FlightEventKind {
     /// A segment was quarantined (scrub or read-time verification).
     /// `a` = shard, `b` = rows now excluded from answers.
     SegmentQuarantined,
+    /// A one-shot DISTRIB request was answered. `b` = connection id.
+    /// Appended after the storage kinds so earlier postmortem codes stay
+    /// stable (codes are positional).
+    DistribQuery,
 }
 
 impl FlightEventKind {
-    pub const ALL: [FlightEventKind; 26] = [
+    pub const ALL: [FlightEventKind; 27] = [
         FlightEventKind::PublishRouted,
         FlightEventKind::ReadingApplied,
         FlightEventKind::ReadingRejected,
@@ -114,6 +118,7 @@ impl FlightEventKind {
         FlightEventKind::CompactionRun,
         FlightEventKind::ScrubPass,
         FlightEventKind::SegmentQuarantined,
+        FlightEventKind::DistribQuery,
     ];
 
     /// Stable snake_case name used in JSONL postmortems.
@@ -145,6 +150,7 @@ impl FlightEventKind {
             FlightEventKind::CompactionRun => "compaction_run",
             FlightEventKind::ScrubPass => "scrub_pass",
             FlightEventKind::SegmentQuarantined => "segment_quarantined",
+            FlightEventKind::DistribQuery => "distrib_query",
         }
     }
 

@@ -122,6 +122,21 @@ pub enum Counter {
     DensityQueries,
     /// Inverse visitor queries (likely-visitors / also-visited) evaluated.
     VisitorQueries,
+    /// Poisson-binomial count-distribution queries evaluated.
+    DistribQueries,
+    /// Duration-threshold long-visit queries evaluated.
+    LongVisitQueries,
+    /// Snapshot-flow (`--t`) subscriptions registered.
+    ServeSnapshotSubscriptions,
+    /// Interval-flow (`--ts --te`) subscriptions registered.
+    ServeIntervalSubscriptions,
+    /// Count-distribution subscriptions registered.
+    ServeDistribSubscriptions,
+    /// Long-visit subscriptions registered.
+    ServeLongvisitSubscriptions,
+    /// One-shot DISTRIB protocol requests answered (full per-POI
+    /// distribution detail).
+    ServeDistribQueries,
     /// Compaction passes that changed the segment manifest (sealed or
     /// merged at least one segment).
     StoreCompactions,
@@ -144,7 +159,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 51] = [
+    pub const ALL: [Counter; 58] = [
         Counter::ObjectsConsidered,
         Counter::UrsBuilt,
         Counter::PresenceEvaluations,
@@ -189,6 +204,13 @@ impl Counter {
         Counter::ServeResumedSubscriptions,
         Counter::DensityQueries,
         Counter::VisitorQueries,
+        Counter::DistribQueries,
+        Counter::LongVisitQueries,
+        Counter::ServeSnapshotSubscriptions,
+        Counter::ServeIntervalSubscriptions,
+        Counter::ServeDistribSubscriptions,
+        Counter::ServeLongvisitSubscriptions,
+        Counter::ServeDistribQueries,
         Counter::StoreCompactions,
         Counter::SegmentsSealed,
         Counter::SegmentsMerged,
@@ -245,6 +267,13 @@ impl Counter {
             Counter::ServeResumedSubscriptions => "serve_resumed_subscriptions",
             Counter::DensityQueries => "density_queries",
             Counter::VisitorQueries => "visitor_queries",
+            Counter::DistribQueries => "distrib_queries",
+            Counter::LongVisitQueries => "longvisit_queries",
+            Counter::ServeSnapshotSubscriptions => "serve_snapshot_subscriptions",
+            Counter::ServeIntervalSubscriptions => "serve_interval_subscriptions",
+            Counter::ServeDistribSubscriptions => "serve_distrib_subscriptions",
+            Counter::ServeLongvisitSubscriptions => "serve_longvisit_subscriptions",
+            Counter::ServeDistribQueries => "serve_distrib_queries",
             Counter::StoreCompactions => "store_compactions",
             Counter::SegmentsSealed => "segments_sealed",
             Counter::SegmentsMerged => "segments_merged",

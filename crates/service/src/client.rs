@@ -220,6 +220,14 @@ impl Client {
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
+    /// Full count-distribution detail for a `Distrib` spec: per-POI pmf,
+    /// tail mass, `P(count ≥ kq)`, expectation and median, as a JSON
+    /// document (the plain [`Client::query`] answers the ranked top-k).
+    pub fn distrib_json(&mut self, spec: &SubSpec) -> Result<String, ServiceError> {
+        let body = self.rpc(tag::DISTRIB, &protocol::encode_subspec(spec), tag::DISTRIB_JSON)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
     /// Recent completed notification traces plus the slow-request log,
     /// as a JSON document.
     pub fn trace_json(&mut self) -> Result<String, ServiceError> {

@@ -65,6 +65,11 @@ pub mod tag {
     /// and one per-shard tracker digest — the record/replay harness's
     /// per-barrier comparison point.
     pub const STATE_HASH: u8 = 14;
+    /// Client → server: one-shot count-distribution query; payload is a
+    /// subspec with a `Distrib` kind. Unlike `QUERY` (which answers any
+    /// kind with its ranked top-k), this returns the full per-POI
+    /// Poisson-binomial detail as [`DISTRIB_JSON`].
+    pub const DISTRIB: u8 = 15;
 
     /// Server → client: request acknowledged.
     pub const ACK: u8 = 64;
@@ -96,6 +101,10 @@ pub mod tag {
     /// deepest shard queue depth (u64). Backpressure, not failure — the
     /// client should back off and retry.
     pub const OVERLOADED: u8 = 76;
+    /// Server → client: full count-distribution detail; payload is a
+    /// UTF-8 JSON object (per-POI pmf, tail mass, `P(count ≥ kq)`,
+    /// expectation, median).
+    pub const DISTRIB_JSON: u8 = 77;
 }
 
 /// Highest protocol version this build speaks.
@@ -112,7 +121,12 @@ pub mod tag {
 ///   (`last_seq u64 | last_hash u64`) for sequence-numbered
 ///   reconnection. All additions are new tags or optional trailing
 ///   sections, so v1/v2 frames stay byte-identical.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// * **v4** — adds the `Distrib`/`LongVisit` subscription kinds (wire
+///   kind bytes 2/3 with kind-specific parameter sections) and the
+///   `DISTRIB`/`DISTRIB_JSON` one-shot distribution-detail verb. Kinds
+///   0/1 keep their exact v1 byte layout, so older clients and recorded
+///   replay logs parse unchanged.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// The time parameter of a subscription or one-shot query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +135,13 @@ pub enum SubKind {
     Snapshot { t: f64 },
     /// Continuous interval top-k over `[ts, te]`.
     Interval { ts: f64, te: f64 },
+    /// Continuous count-distribution top-k at time `t`: POIs ranked by
+    /// `P(count ≥ kq)` under the Poisson-binomial distribution of the
+    /// snapshot count, convolved with tail bound `kmax` (v4).
+    Distrib { t: f64, kq: u32, kmax: u32 },
+    /// Continuous long-visit top-k over `[ts, te]`: POIs ranked by the
+    /// number of objects whose expected dwell reaches `d` (v4).
+    LongVisit { ts: f64, te: f64, d: f64 },
 }
 
 impl SubKind {
@@ -132,6 +153,8 @@ impl SubKind {
         match *self {
             SubKind::Snapshot { t } => t,
             SubKind::Interval { te, .. } => te,
+            SubKind::Distrib { t, .. } => t,
+            SubKind::LongVisit { te, .. } => te,
         }
     }
 }
@@ -255,16 +278,41 @@ pub fn decode_publish(payload: &[u8]) -> io::Result<Vec<RawReading>> {
 }
 
 /// `SUBSCRIBE` / `QUERY`:
-/// `kind u8 | t/ts f64 | te f64 | k u32 | epsilon f64 | n u32 | n × poi u32`.
+/// `kind u8 | kind params | k u32 | epsilon f64 | n u32 | n × poi u32`.
+///
+/// Kind parameter sections (everything after them — the common trailer —
+/// is shared):
+///
+/// * kind 0, `Snapshot`: `t f64 | 0.0 f64` (byte-identical to v1);
+/// * kind 1, `Interval`: `ts f64 | te f64` (byte-identical to v1);
+/// * kind 2, `Distrib` (v4): `t f64 | kq u32 | kmax u32`;
+/// * kind 3, `LongVisit` (v4): `ts f64 | te f64 | d f64`.
 pub fn encode_subspec(spec: &SubSpec) -> Vec<u8> {
-    let (kind, a, b2) = match spec.kind {
-        SubKind::Snapshot { t } => (0u8, t, 0.0),
-        SubKind::Interval { ts, te } => (1u8, ts, te),
-    };
-    let mut b = Vec::with_capacity(29 + spec.pois.len() * 4);
-    b.push(kind);
-    b.extend_from_slice(&a.to_le_bytes());
-    b.extend_from_slice(&b2.to_le_bytes());
+    let mut b = Vec::with_capacity(41 + spec.pois.len() * 4);
+    match spec.kind {
+        SubKind::Snapshot { t } => {
+            b.push(0u8);
+            b.extend_from_slice(&t.to_le_bytes());
+            b.extend_from_slice(&0.0f64.to_le_bytes());
+        }
+        SubKind::Interval { ts, te } => {
+            b.push(1u8);
+            b.extend_from_slice(&ts.to_le_bytes());
+            b.extend_from_slice(&te.to_le_bytes());
+        }
+        SubKind::Distrib { t, kq, kmax } => {
+            b.push(2u8);
+            b.extend_from_slice(&t.to_le_bytes());
+            b.extend_from_slice(&kq.to_le_bytes());
+            b.extend_from_slice(&kmax.to_le_bytes());
+        }
+        SubKind::LongVisit { ts, te, d } => {
+            b.push(3u8);
+            b.extend_from_slice(&ts.to_le_bytes());
+            b.extend_from_slice(&te.to_le_bytes());
+            b.extend_from_slice(&d.to_le_bytes());
+        }
+    }
     b.extend_from_slice(&(spec.k as u32).to_le_bytes());
     b.extend_from_slice(&spec.epsilon.to_le_bytes());
     b.extend_from_slice(&(spec.pois.len() as u32).to_le_bytes());
@@ -297,8 +345,43 @@ pub fn encode_subscribe(spec: &SubSpec, resume: Option<&Resume>) -> Vec<u8> {
 pub fn decode_subscribe(payload: &[u8]) -> io::Result<(SubSpec, Option<Resume>)> {
     let mut c = cursor(payload);
     let kind_byte = c.u8("kind").map_err(decode_err)?;
-    let a = c.finite_f64("t/ts").map_err(decode_err)?;
-    let b = c.f64("te").map_err(decode_err)?;
+    let kind = match kind_byte {
+        0 => {
+            let t = c.finite_f64("t").map_err(decode_err)?;
+            c.f64("pad").map_err(decode_err)?;
+            SubKind::Snapshot { t }
+        }
+        1 => {
+            let ts = c.finite_f64("ts").map_err(decode_err)?;
+            let te = c.f64("te").map_err(decode_err)?;
+            if !te.is_finite() || te < ts {
+                return Err(bad(format!("invalid interval [{ts}, {te}]")));
+            }
+            SubKind::Interval { ts, te }
+        }
+        2 => {
+            let t = c.finite_f64("t").map_err(decode_err)?;
+            let kq = c.u32("kq").map_err(decode_err)?;
+            let kmax = c.u32("kmax").map_err(decode_err)?;
+            if kmax == 0 {
+                return Err(bad("kmax must be at least 1"));
+            }
+            SubKind::Distrib { t, kq, kmax }
+        }
+        3 => {
+            let ts = c.finite_f64("ts").map_err(decode_err)?;
+            let te = c.f64("te").map_err(decode_err)?;
+            if !te.is_finite() || te < ts {
+                return Err(bad(format!("invalid interval [{ts}, {te}]")));
+            }
+            let d = c.f64("d").map_err(decode_err)?;
+            if !d.is_finite() || d < 0.0 {
+                return Err(bad(format!("invalid dwell threshold {d}")));
+            }
+            SubKind::LongVisit { ts, te, d }
+        }
+        other => return Err(bad(format!("unknown query kind {other}"))),
+    };
     let k = c.u32("k").map_err(decode_err)? as usize;
     let epsilon = c.f64("epsilon").map_err(decode_err)?;
     let n = c.u32("poi count").map_err(decode_err)? as usize;
@@ -314,16 +397,6 @@ pub fn decode_subscribe(payload: &[u8]) -> io::Result<(SubSpec, Option<Resume>)>
         Some(Resume { last_seq, last_hash })
     };
     c.done().map_err(decode_err)?;
-    let kind = match kind_byte {
-        0 => SubKind::Snapshot { t: a },
-        1 => {
-            if !b.is_finite() || b < a {
-                return Err(bad(format!("invalid interval [{a}, {b}]")));
-            }
-            SubKind::Interval { ts: a, te: b }
-        }
-        other => return Err(bad(format!("unknown query kind {other}"))),
-    };
     if !epsilon.is_finite() || epsilon < 0.0 {
         return Err(bad(format!("invalid epsilon {epsilon}")));
     }
@@ -573,8 +646,71 @@ mod tests {
 
     #[test]
     fn hello_version_round_trips() {
-        assert_eq!(decode_u32(&encode_u32(PROTOCOL_VERSION)).unwrap(), 3);
+        assert_eq!(decode_u32(&encode_u32(PROTOCOL_VERSION)).unwrap(), 4);
         assert!(decode_u32(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn v4_kinds_round_trip() {
+        for kind in [
+            SubKind::Distrib { t: 120.0, kq: 3, kmax: 16 },
+            SubKind::LongVisit { ts: 10.0, te: 90.0, d: 12.5 },
+        ] {
+            let spec =
+                SubSpec { kind, k: 4, epsilon: 0.125, pois: vec![PoiId(5), PoiId(0), PoiId(2)] };
+            assert_eq!(decode_subspec(&encode_subspec(&spec)).unwrap(), spec);
+            let resume = Resume { last_seq: 9, last_hash: 0xF00D };
+            let b = encode_subscribe(&spec, Some(&resume));
+            assert_eq!(decode_subscribe(&b).unwrap(), (spec.clone(), Some(resume)));
+        }
+        // Invalid v4 parameters are typed errors, not misparses.
+        let mut bad_kmax = encode_subspec(&SubSpec {
+            kind: SubKind::Distrib { t: 1.0, kq: 1, kmax: 1 },
+            k: 1,
+            epsilon: 0.0,
+            pois: vec![],
+        });
+        // kmax u32 sits at offset 1 (kind) + 8 (t) + 4 (kq).
+        bad_kmax[13..17].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_subspec(&bad_kmax).is_err());
+        let bad_d = SubSpec {
+            kind: SubKind::LongVisit { ts: 0.0, te: 1.0, d: -1.0 },
+            k: 1,
+            epsilon: 0.0,
+            pois: vec![],
+        };
+        assert!(decode_subspec(&encode_subspec(&bad_d)).is_err());
+    }
+
+    #[test]
+    fn v1_kinds_keep_their_exact_byte_layout() {
+        // The pre-v4 encoder wrote `kind u8 | t/ts f64 | te f64 | trailer`
+        // for every kind. Kinds 0/1 must still produce those exact bytes
+        // so recorded replay logs and old clients stay compatible.
+        let spec = SubSpec {
+            kind: SubKind::Interval { ts: 10.0, te: 90.0 },
+            k: 5,
+            epsilon: 0.25,
+            pois: vec![PoiId(3)],
+        };
+        let mut legacy = vec![1u8];
+        legacy.extend_from_slice(&10.0f64.to_le_bytes());
+        legacy.extend_from_slice(&90.0f64.to_le_bytes());
+        legacy.extend_from_slice(&5u32.to_le_bytes());
+        legacy.extend_from_slice(&0.25f64.to_le_bytes());
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.extend_from_slice(&3u32.to_le_bytes());
+        assert_eq!(encode_subspec(&spec), legacy);
+
+        let snap =
+            SubSpec { kind: SubKind::Snapshot { t: 42.0 }, k: 1, epsilon: 0.0, pois: vec![] };
+        let mut legacy = vec![0u8];
+        legacy.extend_from_slice(&42.0f64.to_le_bytes());
+        legacy.extend_from_slice(&0.0f64.to_le_bytes());
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.extend_from_slice(&0.0f64.to_le_bytes());
+        legacy.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(encode_subspec(&snap), legacy);
     }
 
     #[test]

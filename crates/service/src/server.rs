@@ -168,15 +168,31 @@ struct Shared {
 }
 
 impl Shared {
-    /// Routes one reading to its owning shard. Per-object ordering holds
-    /// because routing is a pure function of the object id.
-    fn route(&self, r: inflow_tracking::RawReading, trace: Option<TraceChain>) {
+    /// Routes one `PUBLISH` batch: partitions the readings by owning
+    /// shard (a pure function of the object id, so per-object ordering
+    /// holds) and hands each shard its whole slice as one message. Each
+    /// slice yields one delta batch, so subscription refresh cost scales
+    /// with publishes rather than readings — and the slicing follows
+    /// client publish boundaries, keeping the cadence deterministic
+    /// under record/replay.
+    fn route_batch(&self, readings: Vec<inflow_tracking::RawReading>, trace: Option<TraceChain>) {
         let shards = lock_or_recover(&self.shards);
-        let idx = r.object.0 as usize % shards.len().max(1);
-        let Some(shard) = shards.get(idx) else { return };
-        shard.queue_depth.fetch_add(1, Ordering::Relaxed);
-        self.metrics.add(Counter::ServeReadingsSharded, 1);
-        let _ = shard.tx.send(ShardMsg::Publish(r, trace));
+        let n = shards.len().max(1);
+        let mut slices: Vec<Vec<inflow_tracking::RawReading>> = vec![Vec::new(); n];
+        for r in readings {
+            if let Some(slice) = slices.get_mut(r.object.0 as usize % n) {
+                slice.push(r);
+            }
+        }
+        for (idx, slice) in slices.into_iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let Some(shard) = shards.get(idx) else { continue };
+            shard.queue_depth.fetch_add(slice.len(), Ordering::Relaxed);
+            self.metrics.add(Counter::ServeReadingsSharded, slice.len() as u64);
+            let _ = shard.tx.send(ShardMsg::Publish(slice, trace));
+        }
     }
 
     /// A fresh router-stamped trace chain, or `None` when tracing is off.
@@ -609,9 +625,7 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
                         conn_id,
                         readings.len() as u64,
                     );
-                    for r in readings {
-                        shared.route(r, trace);
-                    }
+                    shared.route_batch(readings, trace);
                     // v2 connections learn the batch's trace id.
                     match trace {
                         Some(chain) if conn_version >= 2 => {
@@ -667,6 +681,7 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
                 }
                 Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
             },
+            tag::DISTRIB => handle_distrib(shared, conn_id, &body, writer),
             tag::BARRIER => {
                 shared.flush_shards();
                 let _ = shared.engine_tx.send(EngineMsg::Barrier { writer: writer.clone() });
@@ -689,6 +704,20 @@ fn read_loop(mut stream: TcpStream, shared: &Shared, conn_id: u64, writer: &Send
                 reply(writer, tag::ERROR, format!("unknown request tag {other}").as_bytes());
             }
         }
+    }
+}
+
+/// `DISTRIB`: one-shot count-distribution detail. Decoded on the
+/// connection thread, answered by the engine (the reply needs the
+/// pipeline-ordered row state).
+fn handle_distrib(shared: &Shared, conn_id: u64, body: &[u8], writer: &Sender<Vec<u8>>) {
+    shared.metrics.add(Counter::ServeDistribQueries, 1);
+    shared.flight.record(FlightEventKind::DistribQuery, 0, conn_id, 0);
+    match protocol::decode_subspec(body) {
+        Ok(spec) => {
+            let _ = shared.engine_tx.send(EngineMsg::Distrib { spec, writer: writer.clone() });
+        }
+        Err(e) => reply(writer, tag::ERROR, e.to_string().as_bytes()),
     }
 }
 

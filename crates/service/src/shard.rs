@@ -65,9 +65,14 @@ pub struct DeltaBatch {
 
 /// Messages a shard worker consumes.
 pub enum ShardMsg {
-    /// Ingest one reading (already routed to this shard), with its
-    /// router-assigned trace context, if tracing is on.
-    Publish(RawReading, Option<TraceChain>),
+    /// Ingest this shard's slice of one client `PUBLISH` batch (already
+    /// routed here), with the batch's router-assigned trace context, if
+    /// tracing is on. The whole slice is applied before a single delta
+    /// batch is emitted, so the engine refreshes subscriptions once per
+    /// publish rather than once per reading — and because the slicing
+    /// follows client publish boundaries, the batching (and therefore
+    /// the notification cadence) is deterministic under record/replay.
+    Publish(Vec<RawReading>, Option<TraceChain>),
     /// Ack once every prior message is applied and its deltas are
     /// enqueued to the engine (the barrier protocol's first half).
     Flush(Sender<()>),
@@ -236,8 +241,30 @@ impl ShardState {
         }
     }
 
-    fn ingest(&mut self, r: RawReading, mut trace: Option<TraceChain>) {
+    /// Ingests one publish slice: applies every reading, then emits one
+    /// delta batch covering all objects the slice touched.
+    fn ingest(&mut self, batch: Vec<RawReading>, mut trace: Option<TraceChain>) {
         let mut applied: Vec<ObjectId> = Vec::new();
+        for r in batch {
+            self.ingest_one(r, &mut trace, &mut applied);
+        }
+        if applied.is_empty() {
+            return;
+        }
+        self.sync_mirror();
+        self.emit(&applied, false, trace);
+    }
+
+    /// Applies a single reading to the store, pushing the objects it
+    /// changed onto `applied` (emission is the caller's job, once per
+    /// publish slice).
+    fn ingest_one(
+        &mut self,
+        r: RawReading,
+        trace: &mut Option<TraceChain>,
+        applied: &mut Vec<ObjectId>,
+    ) {
+        let before = applied.len();
         let clock = self.flight.clock().clone();
         let result = self.store.ingest_marked(
             r,
@@ -256,7 +283,7 @@ impl ShardState {
                 self.metrics.add(Counter::ServeReadingsRejected, 1);
                 self.flight.record(
                     FlightEventKind::ReadingRejected,
-                    trace.map_or(0, |t| t.id),
+                    trace.as_ref().map_or(0, |t| t.id),
                     self.index as u64,
                     u64::from(r.object.0),
                 );
@@ -264,21 +291,19 @@ impl ShardState {
             Err(e) => panic!("shard {} store failed: {e}", self.index),
         }
         self.drain_tier_events();
-        if applied.is_empty() {
+        if applied.len() == before {
             return;
         }
         if let Some(chain) = trace.as_mut() {
             chain.stamp(Hop::Applied, clock.now_ns());
         }
-        self.metrics.add(Counter::ServeReadingsApplied, applied.len() as u64);
+        self.metrics.add(Counter::ServeReadingsApplied, (applied.len() - before) as u64);
         self.flight.record(
             FlightEventKind::ReadingApplied,
-            trace.map_or(0, |t| t.id),
+            trace.as_ref().map_or(0, |t| t.id),
             self.index as u64,
             u64::from(r.object.0),
         );
-        self.sync_mirror();
-        self.emit(&applied, false, trace);
     }
 }
 
@@ -330,14 +355,20 @@ fn run_shard(
                 Err(_) => break, // server dropped the sender: shut down
             }
         };
-        let depth = queue_depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        // Queue depth is measured in readings, not messages, so the
+        // backpressure bound keeps its meaning under batched publishes.
+        let weight = match &msg {
+            ShardMsg::Publish(batch, _) => batch.len().max(1),
+            _ => 1,
+        };
+        let depth = queue_depth.fetch_sub(weight, Ordering::Relaxed).saturating_sub(weight);
         state.metrics.observe_queue_depth(depth as u64);
         match msg {
-            ShardMsg::Publish(r, mut trace) => {
+            ShardMsg::Publish(batch, mut trace) => {
                 if let Some(chain) = trace.as_mut() {
                     chain.stamp(Hop::ShardDequeue, state.flight.clock().now_ns());
                 }
-                state.ingest(r, trace);
+                state.ingest(batch, trace);
             }
             ShardMsg::Flush(ack) => {
                 let _ = ack.send(());

@@ -55,8 +55,9 @@ trap - EXIT
 
 echo "== replay-perf (canonical recorded workload: determinism + throughput)"
 # The workload is pinned inside record-workload.sh (seed 42, 24 objects,
-# 360 s, tier on). Any barrier-hash divergence exits non-zero; the
-# timing line is the standing perf record for the recorded path.
+# 360 s, tier on, interval + distrib + longvisit subscriptions). Any
+# barrier-hash divergence exits non-zero; the timing line is the
+# standing perf record for the recorded path.
 bash scripts/record-workload.sh target/workload
 RP_WORK=$(mktemp -d "${TMPDIR:-/tmp}/inflow-replay-perf.XXXXXX")
 trap 'rm -rf "$RP_WORK"' EXIT
@@ -80,6 +81,10 @@ cat BENCH_7.json
 echo "== bench8 (segment-tier overhead + cold start -> BENCH_8.json)"
 cargo run -q --release -p inflow-bench --bin bench8 --offline -- --smoke --out BENCH_8.json
 cat BENCH_8.json
+
+echo "== bench9 (distrib-subscription overhead -> BENCH_9.json)"
+cargo run -q --release -p inflow-bench --bin bench9 --offline -- --objects 120 --duration 900 --repeats 3 --out BENCH_9.json
+cat BENCH_9.json
 
 # Opt-in sanitizer stages. Both need a nightly toolchain with the matching
 # components (rustup component add miri / -Z sanitizer support), so they

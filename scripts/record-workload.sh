@@ -39,7 +39,9 @@ echo "== record fault-free run (tier on: compact $COMPACT_EVERY / scrub $SCRUB_E
   --readings "$WORK/data/readings.csv" --out "$WORK/workload.rpl" \
   --shards "$SHARDS" --chunk "$CHUNK" --barrier-every "$BARRIER_EVERY" \
   --compact-every "$COMPACT_EVERY" --scrub-every "$SCRUB_EVERY" \
-  --ts 0 --te "$DURATION" --k 5 --no-sync >/dev/null
+  --ts 0 --te "$DURATION" --k 5 \
+  --subs "distrib:t=180,kq=2,kmax=32,k=5;longvisit:ts=0,te=$DURATION,d=30,k=5" \
+  --no-sync >/dev/null
 
 mkdir -p "$OUT_DIR"
 cp "$WORK/workload.rpl" "$OUT_DIR/workload.rpl"

@@ -15,7 +15,10 @@
 //! All commands are pure functions over files; [`run`] returns the text
 //! that `main` prints, which keeps the CLI fully unit-testable.
 
-use crate::core::{flow_timeline, snapshot_density, FlowAnalytics, IntervalQuery, SnapshotQuery};
+use crate::core::{
+    flow_timeline, snapshot_density, DistribQuery, FlowAnalytics, IntervalQuery, LongVisitQuery,
+    SnapshotQuery,
+};
 use crate::geometry::GridResolution;
 use crate::indoor::{read_plan, write_plan, FloorPlan, PoiId};
 use crate::replay::{bisect, record_run, replay, FaultPlan, RecordOptions, ReplayLog};
@@ -92,6 +95,7 @@ impl Args {
                         | "once"
                         | "bisect"
                         | "repair"
+                        | "detail"
                 ) {
                     switches.push(name.to_string());
                 } else {
@@ -138,6 +142,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "generate" => cmd_generate(&args),
         "snapshot" => cmd_snapshot(&args),
         "interval" => cmd_interval(&args),
+        "query" => cmd_query(&args),
         "timeline" => cmd_timeline(&args),
         "density" => cmd_density(&args),
         "render" => cmd_render(&args),
@@ -165,6 +170,10 @@ fn usage() -> String {
      \x20          [--duration S] [--seed N]       write plan.txt + ott.csv\n\
      \x20 snapshot --plan F --ott F --t T [--k K] [--iterative] [--no-topology]\n\
      \x20 interval --plan F --ott F --ts T --te T [--k K] [--iterative]\n\
+     \x20 query distrib --plan F --ott F (--t T | --ts T --te T)\n\
+     \x20          [--kq K] [--kmax N] [--k K]    rank POIs by P(count >= kq)\n\
+     \x20 query longvisit --plan F --ott F --ts T --te T --min-dwell D [--k K]\n\
+     \x20                                          count objects dwelling >= D\n\
      \x20 timeline --plan F --ott F --start T --end T --bucket S [--k K]\n\
      \x20 density  --plan F --ott F --t T [--cell-size M]\n\
      \x20 render   --plan F --out F.svg [--ott F --object ID --t T] [--labels]\n\
@@ -194,12 +203,14 @@ fn usage() -> String {
      \x20          [--max-queue N] [--max-conns N]\n\
      \x20                                          continuous flow-monitoring server\n\
      \x20 watch    --addr HOST:PORT [--t T | --ts T --te T] [--k K] [--epsilon E]\n\
+     \x20          [--kq K [--kmax N]] [--min-dwell D] [--detail]\n\
      \x20          [--pois 1,2,3] [--publish F.csv] [--chunk N] [--stats] [--shutdown]\n\
      \x20          [--timeout-ms MS]               subscribe, stream, print updates\n\
      \x20 top      --addr HOST:PORT [--once] [--interval S] [--count N]\n\
      \x20          [--timeout-ms MS]               live server telemetry dashboard\n\
      \x20 record   --plan F --store DIR --readings F.csv --out F.rpl\n\
      \x20          [--chunk N] [--barrier-every N] [--t T | --ts T --te T]\n\
+     \x20          [--subs 'kind:key=v,key=v;...']\n\
      \x20          [--faults 5:crash:0,7:restart:0 | --fault-seed N [--fault-count N]]\n\
      \x20          [serve flags]                   record a chaos run as a replay log\n\
      \x20 replay   --plan F --store DIR --log F.rpl [--bisect] [--out F.rpl.min]\n\
@@ -214,6 +225,17 @@ fn usage() -> String {
      its metrics registry on exit. Pipeline tracing is on by default\n\
      (--no-trace disables it); notifications slower than --slow-ms land\n\
      in the slow-request log served by the TRACE protocol verb.\n\
+     \n\
+     watch and record pick the subscription kind from their flags: --t\n\
+     alone is the expected-flow snapshot; --ts/--te the interval flow;\n\
+     --t with --kq the probabilistic count P(count >= --kq) (convolution\n\
+     truncated at --kmax, default 32); --ts/--te with --min-dwell the\n\
+     long-visit head count. watch --detail additionally fetches the full\n\
+     per-POI distribution (pmf, tail mass, expectation, median) for a\n\
+     --kq subscription. record --subs adds extra subscriptions as a\n\
+     semicolon-separated list: kind:key=value,... where kind is\n\
+     snapshot|interval|distrib|longvisit (keys t, ts, te, kq, kmax, d,\n\
+     k, epsilon).\n\
      \n\
      top polls the server's METRICS verb and renders counters (with\n\
      per-second rates), per-stage latency percentiles and per-shard\n\
@@ -430,10 +452,21 @@ fn format_result(
     stats: &crate::core::QueryStats,
     quality: &crate::core::DataQuality,
 ) -> String {
+    format_result_as(fa, ranked, header, "flow", stats, quality)
+}
+
+fn format_result_as(
+    fa: &FlowAnalytics,
+    ranked: &[(PoiId, f64)],
+    header: &str,
+    value_label: &str,
+    stats: &crate::core::QueryStats,
+    quality: &crate::core::DataQuality,
+) -> String {
     let plan = fa.engine().context().plan();
     let mut out = String::new();
     let _ = writeln!(out, "{header}");
-    let _ = writeln!(out, "{:<6} {:<20} {:>10}", "rank", "poi", "flow");
+    let _ = writeln!(out, "{:<6} {:<20} {:>10}", "rank", "poi", value_label);
     for (rank, &(poi, flow)) in ranked.iter().enumerate() {
         let _ = writeln!(out, "{:<6} {:<20} {:>10.3}", rank + 1, plan.poi(poi).name, flow);
     }
@@ -504,6 +537,105 @@ fn cmd_interval(args: &Args) -> Result<String, CliError> {
         &result.quality,
     );
     Ok(append_profile(out, result.profile.as_deref(), args))
+}
+
+/// `inflow query distrib|longvisit`: the probabilistic batch verbs.
+/// `distrib` ranks POIs by `P(count ≥ --kq)` from the exact
+/// Poisson-binomial count distribution (convolution truncated at
+/// `--kmax`); `longvisit` counts the objects whose expected dwell
+/// within `[--ts, --te]` reaches `--min-dwell`.
+fn cmd_query(args: &Args) -> Result<String, CliError> {
+    let family = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError("query needs 'distrib' or 'longvisit'".into()))?;
+    let (fa, pois) = build_analytics(args)?;
+    let k: usize = args.get("k")?.unwrap_or(10);
+    match family {
+        "distrib" => {
+            let kq: usize = args.get("kq")?.unwrap_or(1);
+            if kq == 0 {
+                return err("--kq must be at least 1");
+            }
+            let kmax = parse_kmax(args)? as usize;
+            let q = match (args.get::<f64>("t")?, args.get::<f64>("ts")?, args.get::<f64>("te")?) {
+                (Some(t), None, None) => DistribQuery::at(t, pois, kq, kmax, k),
+                (None, Some(ts), Some(te)) => {
+                    if te < ts {
+                        return err("--te must not precede --ts");
+                    }
+                    DistribQuery::over(ts, te, pois, kq, kmax, k)
+                }
+                _ => return err("query distrib needs --t, or both --ts and --te"),
+            };
+            let result = fa.distrib_topk(&q);
+            let header = match q.time {
+                crate::core::DistribTime::At(t) => {
+                    format!("top-{} POIs by P(count >= {kq}) at t = {t}", q.k)
+                }
+                crate::core::DistribTime::Over(ts, te) => {
+                    format!("top-{} POIs by P(count >= {kq}) over [{ts}, {te}]", q.k)
+                }
+            };
+            let by_poi: HashMap<_, _> = result.distributions.iter().map(|(p, d)| (*p, d)).collect();
+            let plan = fa.engine().context().plan();
+            let mut out = String::new();
+            let _ = writeln!(out, "{header}");
+            let _ = writeln!(
+                out,
+                "{:<6} {:<20} {:>12} {:>10} {:>8} {:>10}",
+                "rank", "poi", "P(>=kq)", "E[count]", "median", "tail"
+            );
+            for (rank, &(poi, p)) in result.ranked.iter().enumerate() {
+                let d = by_poi[&poi];
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<20} {:>12.4} {:>10.3} {:>8} {:>10.2e}",
+                    rank + 1,
+                    plan.poi(poi).name,
+                    p,
+                    d.expectation(),
+                    d.quantile(0.5),
+                    d.tail_mass()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "({} objects considered, {} URs, {} presence integrations, kmax {kmax})",
+                result.stats.objects_considered,
+                result.stats.urs_built,
+                result.stats.presence_evaluations
+            );
+            let _ = writeln!(out, "{}", result.quality.render());
+            Ok(out)
+        }
+        "longvisit" => {
+            let ts: f64 = args.require("ts")?;
+            let te: f64 = args.require("te")?;
+            if te < ts {
+                return err("--te must not precede --ts");
+            }
+            let d: f64 = match args.get("min-dwell")? {
+                Some(d) => d,
+                None => args.require("d")?,
+            };
+            if !(d >= 0.0 && d.is_finite()) {
+                return err("--min-dwell must be finite and non-negative");
+            }
+            let q = LongVisitQuery::new(ts, te, d, pois, k);
+            let result = fa.longvisit_topk(&q);
+            Ok(format_result_as(
+                &fa,
+                &result.ranked,
+                &format!("top-{} POIs by objects dwelling >= {d} over [{ts}, {te}]", q.k),
+                "objects",
+                &result.stats,
+                &result.quality,
+            ))
+        }
+        other => err(format!("unknown query family '{other}' (use distrib|longvisit)")),
+    }
 }
 
 fn cmd_timeline(args: &Args) -> Result<String, CliError> {
@@ -933,24 +1065,110 @@ fn parse_pois(args: &Args) -> Result<Vec<PoiId>, CliError> {
         .collect()
 }
 
-/// The subscription/query spec from `--t` or `--ts`/`--te`.
+/// The subscription/query spec from `--t` or `--ts`/`--te`, modulated
+/// into the probabilistic kinds by `--kq` (count distribution) and
+/// `--min-dwell` (long visit).
 fn parse_subspec(args: &Args) -> Result<Option<SubSpec>, CliError> {
+    let kq: Option<u32> = args.get("kq")?;
+    let dwell: Option<f64> = args.get("min-dwell")?;
     let kind = match (args.get::<f64>("t")?, args.get::<f64>("ts")?, args.get::<f64>("te")?) {
-        (Some(t), None, None) => SubKind::Snapshot { t },
+        (Some(t), None, None) => match kq {
+            Some(kq) => {
+                if kq == 0 {
+                    return err("--kq must be at least 1");
+                }
+                SubKind::Distrib { t, kq, kmax: parse_kmax(args)? }
+            }
+            None => SubKind::Snapshot { t },
+        },
         (None, Some(ts), Some(te)) => {
             if te < ts {
                 return err("--te must not precede --ts");
             }
-            SubKind::Interval { ts, te }
+            match dwell {
+                Some(d) => {
+                    if !(d >= 0.0 && d.is_finite()) {
+                        return err("--min-dwell must be finite and non-negative");
+                    }
+                    SubKind::LongVisit { ts, te, d }
+                }
+                None => SubKind::Interval { ts, te },
+            }
         }
         (None, None, None) => return Ok(None),
         _ => return err("give either --t, or both --ts and --te"),
     };
+    if kq.is_some() && !matches!(kind, SubKind::Distrib { .. }) {
+        return err("--kq needs --t (count distributions are snapshot-time queries)");
+    }
+    if dwell.is_some() && !matches!(kind, SubKind::LongVisit { .. }) {
+        return err("--min-dwell needs --ts and --te");
+    }
     let epsilon: f64 = args.get("epsilon")?.unwrap_or(0.0);
     if !(epsilon >= 0.0 && epsilon.is_finite()) {
         return err("--epsilon must be finite and non-negative");
     }
     Ok(Some(SubSpec { kind, k: args.get("k")?.unwrap_or(10), epsilon, pois: parse_pois(args)? }))
+}
+
+/// The `--kmax` convolution truncation bound (default 32).
+fn parse_kmax(args: &Args) -> Result<u32, CliError> {
+    let kmax: u32 = args.get("kmax")?.unwrap_or(32);
+    if kmax == 0 {
+        return err("--kmax must be at least 1");
+    }
+    Ok(kmax)
+}
+
+/// One `kind:key=value,...` item of the `--subs` list (see usage). The
+/// compact form lets `inflow record` register several subscriptions of
+/// different kinds in one run, so a recorded workload can exercise every
+/// answer family through the replay machinery.
+fn parse_sub_compact(item: &str, pois: &[PoiId]) -> Result<SubSpec, CliError> {
+    let item = item.trim();
+    let (kind_name, rest) = item.split_once(':').unwrap_or((item, ""));
+    let mut kv: HashMap<&str, f64> = HashMap::new();
+    for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
+        let Some((key, value)) = pair.split_once('=') else {
+            return err(format!("--subs item '{item}': expected key=value, got '{pair}'"));
+        };
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("--subs item '{item}': bad value in '{pair}'")))?;
+        kv.insert(key.trim(), value);
+    }
+    fn need(kv: &mut HashMap<&str, f64>, item: &str, key: &str) -> Result<f64, CliError> {
+        kv.remove(key).ok_or_else(|| CliError(format!("--subs item '{item}' needs {key}=")))
+    }
+    let kind = match kind_name {
+        "snapshot" => SubKind::Snapshot { t: need(&mut kv, item, "t")? },
+        "interval" => {
+            SubKind::Interval { ts: need(&mut kv, item, "ts")?, te: need(&mut kv, item, "te")? }
+        }
+        "distrib" => SubKind::Distrib {
+            t: need(&mut kv, item, "t")?,
+            kq: need(&mut kv, item, "kq")?.max(1.0) as u32,
+            kmax: kv.remove("kmax").unwrap_or(32.0).max(1.0) as u32,
+        },
+        "longvisit" => SubKind::LongVisit {
+            ts: need(&mut kv, item, "ts")?,
+            te: need(&mut kv, item, "te")?,
+            d: need(&mut kv, item, "d")?,
+        },
+        other => {
+            return err(format!(
+                "--subs item '{item}': unknown kind '{other}' \
+                 (use snapshot|interval|distrib|longvisit)"
+            ))
+        }
+    };
+    let k = kv.remove("k").unwrap_or(10.0) as usize;
+    let epsilon = kv.remove("epsilon").unwrap_or(0.0);
+    if let Some(extra) = kv.keys().next() {
+        return err(format!("--subs item '{item}': unknown key '{extra}'"));
+    }
+    Ok(SubSpec { kind, k, epsilon, pois: pois.to_vec() })
 }
 
 fn format_ranked(ranked: &[(PoiId, f64)]) -> String {
@@ -982,7 +1200,7 @@ fn cmd_watch(args: &Args) -> Result<String, CliError> {
                 "subscribed #{id}: {:?} k={} epsilon={}",
                 spec.kind, spec.k, spec.epsilon
             );
-            Some(id)
+            Some((id, spec))
         }
         None => None,
     };
@@ -1025,9 +1243,16 @@ fn cmd_watch(args: &Args) -> Result<String, CliError> {
         }
     }
 
-    if let Some(id) = sub {
-        let current = client.current(id).map_err(|e| CliError(format!("current: {e}")))?;
+    if let Some((id, spec)) = &sub {
+        let current = client.current(*id).map_err(|e| CliError(format!("current: {e}")))?;
         let _ = writeln!(out, "current sub=#{id}: {}", format_ranked(&current));
+        if args.switch("detail") {
+            if !matches!(spec.kind, SubKind::Distrib { .. }) {
+                return err("--detail needs a count-distribution subscription (--t with --kq)");
+            }
+            let json = client.distrib_json(spec).map_err(|e| CliError(format!("distrib: {e}")))?;
+            let _ = writeln!(out, "{json}");
+        }
     }
     if args.switch("stats") {
         out.push_str(&client.stats().map_err(|e| CliError(format!("stats: {e}")))?);
@@ -1096,7 +1321,13 @@ fn cmd_record(args: &Args) -> Result<String, CliError> {
         FaultPlan::default()
     };
     let faults = fault_plan.events.len();
-    let subs: Vec<SubSpec> = parse_subspec(args)?.into_iter().collect();
+    let mut subs: Vec<SubSpec> = parse_subspec(args)?.into_iter().collect();
+    if let Some(list) = args.flags.get("subs") {
+        let pois = parse_pois(args)?;
+        for item in list.split(';').filter(|s| !s.trim().is_empty()) {
+            subs.push(parse_sub_compact(item, &pois)?);
+        }
+    }
     let handle = Server::start(Arc::new(IndoorContext::new(plan)), cfg)
         .map_err(|e| CliError(format!("starting server: {e}")))?;
     let result = record_run(
@@ -1397,6 +1628,18 @@ fn render_top(
         counter("scrub_passes"),
         counter("scrub_corruptions"),
         counter("segments_quarantined"),
+    );
+    // Subscriptions by answer kind: how the serving load splits across
+    // the expected-flow and probabilistic families.
+    let _ = writeln!(
+        out,
+        "subscriptions by kind: {} snapshot, {} interval, {} distrib, {} longvisit \
+         ({} distrib detail queries)",
+        counter("serve_snapshot_subscriptions"),
+        counter("serve_interval_subscriptions"),
+        counter("serve_distrib_subscriptions"),
+        counter("serve_longvisit_subscriptions"),
+        counter("serve_distrib_queries"),
     );
     out.push_str("\nshard queues:\n  ");
     for (i, d) in &snap.shards {

@@ -418,3 +418,70 @@ fn serve_validates_flags_before_binding() {
     assert!(e.0.contains("at least 1"), "{e}");
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn query_distrib_and_longvisit_verbs() {
+    let (plan, ott, dir) = generate("probverbs");
+
+    let out = run_str(&[
+        "query", "distrib", "--plan", &plan, "--ott", &ott, "--t", "150", "--kq", "2", "--kmax",
+        "16", "--k", "3",
+    ])
+    .expect("query distrib succeeds");
+    assert!(out.contains("top-3 POIs by P(count >= 2) at t = 150"), "{out}");
+    assert!(out.contains("E[count]"), "{out}");
+
+    let over = run_str(&[
+        "query", "distrib", "--plan", &plan, "--ott", &ott, "--ts", "50", "--te", "150", "--kq",
+        "1", "--k", "3",
+    ])
+    .expect("interval-form distrib succeeds");
+    assert!(over.contains("P(count >= 1) over [50, 150]"), "{over}");
+
+    let lv = run_str(&[
+        "query",
+        "longvisit",
+        "--plan",
+        &plan,
+        "--ott",
+        &ott,
+        "--ts",
+        "50",
+        "--te",
+        "250",
+        "--min-dwell",
+        "10",
+        "--k",
+        "3",
+    ])
+    .expect("query longvisit succeeds");
+    assert!(lv.contains("top-3 POIs by objects dwelling >= 10 over [50, 250]"), "{lv}");
+    // The value column is a head count: every printed value is integral.
+    for line in lv.lines().skip(2).take(3) {
+        let value: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+        assert_eq!(value.fract(), 0.0, "non-integral head count in {line}");
+    }
+
+    let e =
+        run_str(&["query", "distrib", "--plan", &plan, "--ott", &ott, "--t", "150", "--kq", "0"])
+            .unwrap_err();
+    assert!(e.0.contains("--kq"), "{e}");
+    let e = run_str(&["query", "psychic", "--plan", &plan, "--ott", &ott]).unwrap_err();
+    assert!(e.0.contains("unknown query family"), "{e}");
+    let e = run_str(&[
+        "query",
+        "longvisit",
+        "--plan",
+        &plan,
+        "--ott",
+        &ott,
+        "--ts",
+        "0",
+        "--te",
+        "100",
+    ])
+    .unwrap_err();
+    assert!(e.0.contains("min-dwell") || e.0.contains("--d"), "{e}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}

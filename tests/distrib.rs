@@ -1,0 +1,226 @@
+//! Property suite for the probabilistic count-distribution and
+//! long-visit query subsystem (std-only, seeded — no external proptest).
+//!
+//! Pinned invariants:
+//!
+//! * `P(count ≥ k)` is monotone non-increasing in `k`, the pmf plus tail
+//!   mass sums to 1 within 1e-9, and the stored expectation equals both
+//!   `Σ p_i` and (untruncated) `Σ k·pmf(k)` — on random presence
+//!   sequences across truncation levels.
+//! * The distribution's expectation equals the paper's flow Φ within
+//!   1e-9 against **all four** batch algorithms (snapshot/interval ×
+//!   iterative/join), across the chaos corruption grid.
+//! * Expected dwell is bounded by the query window, and long-visit
+//!   counts are integral and monotone non-increasing in the threshold.
+
+use inflow::core::{
+    CountDistribution, DistribQuery, FlowAnalytics, IntervalQuery, LongVisitQuery, SnapshotQuery,
+};
+use inflow::geometry::GridResolution;
+use inflow::indoor::PoiId;
+use inflow::tracking::{sanitize_rows, ObjectTrackingTable, SanitizeConfig};
+use inflow::uncertainty::UrConfig;
+use inflow::workload::rng::StdRng;
+use inflow::workload::{
+    apply_corruption, corruption_grid, generate_synthetic, rows_of, SyntheticConfig, Workload,
+};
+use std::collections::HashMap;
+
+const TOL: f64 = 1e-9;
+
+#[test]
+fn ccdf_monotone_and_mass_conserved_on_random_sequences() {
+    let mut rng = StdRng::seed_from_u64(0xD157);
+    for case in 0..200 {
+        let n = 1 + (rng.next_u64() % 40) as usize;
+        let ps: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        // Sweep truncation from aggressive to lossless.
+        let kmax = 1 + (rng.next_u64() % (n as u64 + 4)) as usize;
+        let d = CountDistribution::from_presences(ps.iter().copied(), kmax);
+        let label = format!("case {case} (n={n}, kmax={kmax})");
+
+        assert!((d.p_ge(0) - 1.0).abs() <= TOL, "{label}: P(count >= 0) must be 1");
+        for k in 0..d.kmax() + 3 {
+            assert!(
+                d.p_ge(k) + TOL >= d.p_ge(k + 1),
+                "{label}: P(count >= k) not monotone at k={k}: {} < {}",
+                d.p_ge(k),
+                d.p_ge(k + 1)
+            );
+            assert!((0.0..=1.0 + TOL).contains(&d.p_ge(k)), "{label}: p_ge out of range");
+        }
+        let mass: f64 = (0..=d.kmax()).map(|k| d.pmf(k)).sum::<f64>() + d.tail_mass();
+        assert!((mass - 1.0).abs() <= TOL, "{label}: mass {mass} != 1");
+
+        // The expectation is the presence sum regardless of truncation…
+        let want: f64 = ps.iter().sum();
+        assert!(
+            (d.expectation() - want).abs() <= TOL,
+            "{label}: E[count] {} != Σp {want}",
+            d.expectation()
+        );
+        // …and matches the pmf-weighted sum exactly when nothing was cut.
+        if kmax >= n {
+            assert!(
+                (d.expectation_from_pmf() - want).abs() <= TOL,
+                "{label}: Σ k·pmf(k) {} != Σp {want}",
+                d.expectation_from_pmf()
+            );
+            assert!(d.tail_mass() <= TOL, "{label}: untruncated tail {}", d.tail_mass());
+        }
+
+        // CDF/CCDF complement and quantile coherence on the held mass.
+        for k in 0..=d.kmax() {
+            let total = d.cdf(k) + d.p_ge(k + 1);
+            assert!((total - 1.0).abs() <= TOL, "{label}: CDF+CCDF at {k} is {total}");
+        }
+        let median = d.quantile(0.5);
+        if median > 0 {
+            assert!(d.cdf(median - 1) < 0.5 + TOL, "{label}: median {median} too high");
+        }
+        if median <= d.kmax() {
+            assert!(d.cdf(median) + TOL >= 0.5, "{label}: median {median} too low");
+        }
+    }
+}
+
+fn workload() -> Workload {
+    generate_synthetic(&SyntheticConfig {
+        num_objects: 25,
+        duration: 500.0,
+        ..SyntheticConfig::tiny()
+    })
+}
+
+/// Corrupt → repair-all sanitize → façade, exactly like the chaos suite.
+fn sanitized_analytics(w: &Workload, spec: &inflow::workload::CorruptionSpec) -> FlowAnalytics {
+    let devices = w.ctx.plan().devices().len() as u32;
+    let corrupted = apply_corruption(rows_of(&w.ott), spec, devices);
+    let gate = SanitizeConfig::repair_all().with_vmax(w.vmax);
+    let outcome = sanitize_rows(corrupted, &gate, Some(w.ctx.plan()));
+    let ott = ObjectTrackingTable::from_rows(outcome.rows)
+        .expect("sanitized rows must satisfy OTT invariants");
+    FlowAnalytics::new(
+        w.ctx.clone(),
+        ott,
+        UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
+    )
+    .with_sanitize_report(outcome.report, outcome.repaired_objects)
+}
+
+fn flows_of(ranked: &[(PoiId, f64)]) -> HashMap<PoiId, f64> {
+    ranked.iter().copied().collect()
+}
+
+/// E[count] = Φ on every POI, against all four algorithms, across the
+/// chaos corruption grid. `k = |P|` makes the join algorithms resolve
+/// every exact flow, so the comparison covers the full POI set.
+#[test]
+fn expectation_equals_flow_on_all_four_algorithms_across_chaos_grid() {
+    let w = workload();
+    for spec in corruption_grid(0xDECAF) {
+        let fa = sanitized_analytics(&w, &spec);
+        let pois: Vec<PoiId> = fa.engine().context().plan().pois().iter().map(|p| p.id).collect();
+        let k = pois.len();
+        let label = format!("chaos {}", spec.label);
+
+        // Snapshot: distribution at t vs Algorithms 1 and 2/3.
+        let dq = DistribQuery::at(200.0, pois.clone(), 2, 64, k);
+        let dist = fa.distrib_topk(&dq);
+        let snap_it = flows_of(
+            &fa.snapshot_topk_iterative(&SnapshotQuery::new(200.0, pois.clone(), k)).ranked,
+        );
+        let snap_jn =
+            flows_of(&fa.snapshot_topk_join(&SnapshotQuery::new(200.0, pois.clone(), k)).ranked);
+        for (poi, d) in &dist.distributions {
+            let e = d.expectation();
+            for (alg, flows) in [("snapshot iterative", &snap_it), ("snapshot join", &snap_jn)] {
+                let phi = flows.get(poi).copied().unwrap_or(0.0);
+                assert!(
+                    (e - phi).abs() <= TOL,
+                    "{label}: E[count] at {poi:?} is {e}, {alg} flow is {phi}"
+                );
+            }
+            let mass: f64 = (0..=d.kmax()).map(|j| d.pmf(j)).sum::<f64>() + d.tail_mass();
+            assert!((mass - 1.0).abs() <= TOL, "{label}: mass at {poi:?} is {mass}");
+        }
+
+        // Interval: distribution over [ts, te] vs Algorithms 4 and 5.
+        let dq = DistribQuery::over(150.0, 250.0, pois.clone(), 2, 64, k);
+        let dist = fa.distrib_topk(&dq);
+        let int_it = flows_of(
+            &fa.interval_topk_iterative(&IntervalQuery::new(150.0, 250.0, pois.clone(), k)).ranked,
+        );
+        let int_jn = flows_of(
+            &fa.interval_topk_join(&IntervalQuery::new(150.0, 250.0, pois.clone(), k)).ranked,
+        );
+        for (poi, d) in &dist.distributions {
+            let e = d.expectation();
+            for (alg, flows) in [("interval iterative", &int_it), ("interval join", &int_jn)] {
+                let phi = flows.get(poi).copied().unwrap_or(0.0);
+                assert!(
+                    (e - phi).abs() <= TOL,
+                    "{label}: E[count] at {poi:?} is {e}, {alg} flow is {phi}"
+                );
+            }
+        }
+
+        // The ranking scores are the distributions' own CCDF values.
+        let by_poi: HashMap<PoiId, &CountDistribution> =
+            dist.distributions.iter().map(|(p, d)| (*p, d)).collect();
+        for &(poi, score) in &dist.ranked {
+            let want = by_poi.get(&poi).map(|d| d.p_ge(2)).unwrap_or(0.0);
+            assert!(
+                (score - want).abs() <= TOL,
+                "{label}: rank score {score} at {poi:?} != p_ge {want}"
+            );
+        }
+    }
+}
+
+/// Long-visit sanity on the clean workload: per-POI expected dwell never
+/// exceeds the window, counts are integral, bounded by the candidate
+/// population, and monotone non-increasing in the dwell threshold.
+#[test]
+fn longvisit_counts_are_integral_bounded_and_monotone_in_threshold() {
+    let w = workload();
+    let fa = FlowAnalytics::new(
+        w.ctx.clone(),
+        ObjectTrackingTable::from_rows(rows_of(&w.ott)).expect("clean rows"),
+        UrConfig { vmax: w.vmax, resolution: GridResolution::COARSE, ..UrConfig::default() },
+    );
+    let pois: Vec<PoiId> = fa.engine().context().plan().pois().iter().map(|p| p.id).collect();
+    let (ts, te) = (100.0, 300.0);
+    let window = te - ts;
+    let num_objects = 25.0;
+
+    let mut prev: Option<HashMap<PoiId, f64>> = None;
+    for d in [0.0, 1.0, 5.0, 20.0, window + 1.0] {
+        let res = fa.longvisit_topk(&LongVisitQuery::new(ts, te, d, pois.clone(), pois.len()));
+        let counts = flows_of(&res.counts);
+        for (&poi, &count) in &counts {
+            assert!(
+                count.fract() == 0.0 && (0.0..=num_objects).contains(&count),
+                "d={d}: count {count} at {poi:?} not an integral head count"
+            );
+            if let Some(prev) = &prev {
+                let before = prev.get(&poi).copied().unwrap_or(0.0);
+                assert!(
+                    count <= before,
+                    "d={d}: count at {poi:?} grew from {before} to {count} as d increased"
+                );
+            }
+        }
+        if d > window {
+            // Expected dwell is bounded by the window (presence ≤ 1), so
+            // an impossible threshold must count nobody.
+            assert!(counts.values().all(|&c| c == 0.0), "d={d}: impossible dwell satisfied");
+        }
+        if d == 0.0 {
+            // Threshold 0 admits every candidate that ever shows any
+            // presence — at least one POI must see someone.
+            assert!(counts.values().any(|&c| c > 0.0), "nobody dwells anywhere at d=0");
+        }
+        prev = Some(counts);
+    }
+}

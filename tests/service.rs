@@ -8,7 +8,7 @@
 //! returns, every prior publish is ingested, its deltas applied, and all
 //! triggered updates are already buffered client-side.
 
-use inflow::core::{FlowAnalytics, IntervalQuery, SnapshotQuery};
+use inflow::core::{DistribQuery, FlowAnalytics, IntervalQuery, LongVisitQuery, SnapshotQuery};
 use inflow::geometry::GridResolution;
 use inflow::service::{Client, ServeConfig, Server, ServerHandle, SubKind, SubSpec};
 use inflow::tracking::{ObjectTrackingTable, RawReading};
@@ -93,12 +93,22 @@ fn batch_reference(
     let ott = ObjectTrackingTable::from_rows(rows).expect("dumped rows are consistent");
     let fa = FlowAnalytics::new(Arc::clone(ctx), ott, cfg);
     match *kind {
-        SubKind::Snapshot { t } => fa.snapshot_topk_iterative(&SnapshotQuery::new(t, pois, k)),
+        SubKind::Snapshot { t } => {
+            fa.snapshot_topk_iterative(&SnapshotQuery::new(t, pois, k)).ranked
+        }
         SubKind::Interval { ts, te } => {
-            fa.interval_topk_iterative(&IntervalQuery::new(ts, te, pois, k))
+            fa.interval_topk_iterative(&IntervalQuery::new(ts, te, pois, k)).ranked
+        }
+        // The zero-row shortcut above scores every POI 0.0, which for a
+        // distrib kind presumes kq >= 1 (an empty Poisson binomial has
+        // P(count >= 0) = 1); the subscriptions under test honor that.
+        SubKind::Distrib { t, kq, kmax } => {
+            fa.distrib_topk(&DistribQuery::at(t, pois, kq as usize, kmax as usize, k)).ranked
+        }
+        SubKind::LongVisit { ts, te, d } => {
+            fa.longvisit_topk(&LongVisitQuery::new(ts, te, d, pois, k)).ranked
         }
     }
-    .ranked
 }
 
 /// Positional comparison within `TOL`, tolerant of rank swaps between
@@ -126,11 +136,12 @@ fn assert_ranked_eq(got: &[(PoiId, f64)], want: &[(PoiId, f64)], what: &str) {
     }
 }
 
-/// Streams the workload in chunks through the server with a snapshot and
-/// an interval subscription (ε = 0, k = all POIs) registered up front;
-/// at every barrier, both subscriptions' materialized results must match
-/// the batch reference over the engine's rows. `crash_at`, if set,
-/// crashes shard 0 after that chunk and restarts it two chunks later.
+/// Streams the workload in chunks through the server with one
+/// subscription of every kind — snapshot, interval, count-distribution
+/// and long-visit (ε = 0, k = all POIs) — registered up front; at every
+/// barrier, each subscription's materialized result must match the batch
+/// reference over the engine's rows. `crash_at`, if set, crashes shard 0
+/// after that chunk and restarts it two chunks later.
 fn run_stream_and_verify(name: &str, crash_at: Option<usize>) {
     let w = small_workload();
     let readings = readings_of(&w);
@@ -151,15 +162,33 @@ fn run_stream_and_verify(name: &str, crash_at: Option<usize>) {
     };
     let int_spec =
         SubSpec { kind: SubKind::Interval { ts, te }, k, epsilon: 0.0, pois: Vec::new() };
+    let distrib_spec = SubSpec {
+        kind: SubKind::Distrib { t: t_mid, kq: 2, kmax: 16 },
+        k,
+        epsilon: 0.0,
+        pois: Vec::new(),
+    };
+    let longvisit_spec =
+        SubSpec { kind: SubKind::LongVisit { ts, te, d: 5.0 }, k, epsilon: 0.0, pois: Vec::new() };
     let snap_id = client.subscribe(&snap_spec).expect("subscribe snapshot");
     let int_id = client.subscribe(&int_spec).expect("subscribe interval");
+    let distrib_id = client.subscribe(&distrib_spec).expect("subscribe distrib");
+    let longvisit_id = client.subscribe(&longvisit_spec).expect("subscribe longvisit");
+    let subs = [
+        (snap_id, &snap_spec, "snapshot"),
+        (int_id, &int_spec, "interval"),
+        (distrib_id, &distrib_spec, "distrib"),
+        (longvisit_id, &longvisit_spec, "longvisit"),
+    ];
     client.barrier().expect("initial barrier");
     // Initial results (seq 1) over an empty engine.
     let initial = client.take_updates();
-    assert!(
-        initial.iter().any(|u| u.sub_id == snap_id) && initial.iter().any(|u| u.sub_id == int_id),
-        "both subscriptions must push their initial result"
-    );
+    for (sub_id, _, label) in subs {
+        assert!(
+            initial.iter().any(|u| u.sub_id == sub_id),
+            "{label} subscription must push its initial result"
+        );
+    }
 
     let ur = ur_config(&w);
     let chunk = readings.len().div_ceil(12).max(1);
@@ -182,9 +211,7 @@ fn run_stream_and_verify(name: &str, crash_at: Option<usize>) {
         client.barrier().expect("barrier");
 
         let rows = client.dump_rows().expect("dump rows");
-        for (sub_id, spec, label) in
-            [(snap_id, &snap_spec, "snapshot"), (int_id, &int_spec, "interval")]
-        {
+        for (sub_id, spec, label) in subs {
             let want =
                 batch_reference(&w.ctx, ur, rows.clone(), &spec.kind, all_pois.clone(), spec.k);
             let current = client.current(sub_id).expect("current");
@@ -194,7 +221,7 @@ fn run_stream_and_verify(name: &str, crash_at: Option<usize>) {
         // materialized state at the barrier where it was drained, or be a
         // superseded intermediate — the last one per sub must match.
         let updates = client.take_updates();
-        for (sub_id, label) in [(snap_id, "snapshot"), (int_id, "interval")] {
+        for (sub_id, _, label) in subs {
             if let Some(last) = updates.iter().rev().find(|u| u.sub_id == sub_id) {
                 let current = client.current(sub_id).expect("current after drain");
                 assert_ranked_eq(
@@ -567,6 +594,102 @@ fn one_shot_query_matches_local_batch() {
     let want = batch_reference(&w.ctx, ur_config(&w), rows, &spec.kind, all_pois, 5);
     assert_ranked_eq(&got, &want, "one-shot snapshot");
     assert!(handle.metrics().counter(Counter::ServeOneShotQueries) >= 1);
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The `DISTRIB` verb returns the full per-POI Poisson-binomial detail:
+/// valid JSON whose per-POI expectation equals the batch snapshot flow Φ
+/// within 1e-9 (the generating-function identity, verified end-to-end
+/// over the wire), whose pmf sums to 1, and whose `P(count ≥ kq)` agrees
+/// with the ranked score of the same spec through `QUERY`. Registering
+/// one subscription per kind must also surface the per-kind counters.
+#[test]
+fn distrib_detail_matches_batch_flow_and_kind_counters_surface() {
+    let w = small_workload();
+    let readings = readings_of(&w);
+    let all_pois: Vec<PoiId> = w.ctx.plan().pois().iter().map(|p| p.id).collect();
+
+    let (handle, dir) = start_server(&w, "distrib-json", 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for spec_kind in [
+        SubKind::Snapshot { t: 150.0 },
+        SubKind::Interval { ts: 0.0, te: 300.0 },
+        SubKind::Distrib { t: 150.0, kq: 1, kmax: 16 },
+        SubKind::LongVisit { ts: 0.0, te: 300.0, d: 10.0 },
+    ] {
+        let spec = SubSpec { kind: spec_kind, k: 3, epsilon: 0.0, pois: Vec::new() };
+        client.subscribe(&spec).expect("subscribe");
+    }
+    client.publish(&readings).expect("publish");
+    client.barrier().expect("barrier");
+
+    let spec = SubSpec {
+        kind: SubKind::Distrib { t: 150.0, kq: 1, kmax: 24 },
+        k: all_pois.len(),
+        epsilon: 0.0,
+        pois: Vec::new(),
+    };
+    let detail = Json::parse(&client.distrib_json(&spec).expect("distrib_json")).expect("json");
+    assert_eq!(detail.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(detail.get("kq").and_then(|v| v.as_u64()), Some(1));
+
+    // Batch Φ over the engine's rows: the expectation oracle.
+    let rows = client.dump_rows().expect("rows");
+    let ott = ObjectTrackingTable::from_rows(rows).expect("rows consistent");
+    let fa = FlowAnalytics::new(Arc::clone(&w.ctx), ott, ur_config(&w));
+    let flows: HashMap<PoiId, f64> = fa
+        .snapshot_flows(&SnapshotQuery::new(150.0, all_pois.clone(), all_pois.len()))
+        .into_iter()
+        .collect();
+
+    let pois = detail.get("pois").and_then(|p| p.as_arr()).expect("pois array");
+    assert_eq!(pois.len(), all_pois.len(), "one distribution per query POI");
+    let mut p_ge: HashMap<PoiId, f64> = HashMap::new();
+    for entry in pois {
+        let poi = PoiId(entry.get("poi").and_then(|v| v.as_u64()).expect("poi id") as u32);
+        let expectation = entry.get("expectation").and_then(|v| v.as_f64()).expect("expectation");
+        let phi = flows.get(&poi).copied().unwrap_or(0.0);
+        assert!(
+            (expectation - phi).abs() <= TOL,
+            "E[count] at {poi:?} is {expectation}, batch flow is {phi}"
+        );
+        let pmf = entry.get("pmf").and_then(|v| v.as_arr()).expect("pmf array");
+        let tail = entry.get("tail").and_then(|v| v.as_f64()).expect("tail");
+        let total: f64 = pmf.iter().filter_map(|v| v.as_f64()).sum::<f64>() + tail;
+        assert!((total - 1.0).abs() <= TOL, "pmf at {poi:?} sums to {total}");
+        p_ge.insert(poi, entry.get("p_ge").and_then(|v| v.as_f64()).expect("p_ge"));
+    }
+    // The ranked QUERY answer of the same spec scores exactly these p_ge.
+    let ranked = client.query(&spec).expect("query distrib kind");
+    for &(poi, score) in &ranked {
+        let detail_score = p_ge.get(&poi).copied().expect("ranked POI in detail");
+        assert!(
+            (score - detail_score).abs() <= TOL,
+            "QUERY scores {score} at {poi:?}, DISTRIB details {detail_score}"
+        );
+    }
+
+    let m = handle.metrics();
+    assert!(m.counter(Counter::ServeDistribQueries) >= 1, "DISTRIB handler must count");
+    for (c, label) in [
+        (Counter::ServeSnapshotSubscriptions, "snapshot"),
+        (Counter::ServeIntervalSubscriptions, "interval"),
+        (Counter::ServeDistribSubscriptions, "distrib"),
+        (Counter::ServeLongvisitSubscriptions, "longvisit"),
+    ] {
+        assert_eq!(m.counter(c), 1, "{label} subscription-kind counter");
+    }
+    // The per-kind counters ride the METRICS payload too.
+    let snap = Json::parse(&client.metrics_json().expect("metrics_json")).expect("valid json");
+    let counters = snap.get("counters").and_then(|c| c.as_obj()).expect("counters object");
+    assert_eq!(
+        counters.get("serve_distrib_subscriptions").and_then(|v| v.as_u64()),
+        Some(1),
+        "serve_distrib_subscriptions missing from METRICS"
+    );
 
     client.shutdown_server().expect("shutdown");
     handle.wait();
