@@ -213,7 +213,9 @@ impl FlowAnalytics {
     /// ranges (continuous-monitoring refreshes) skip the AR-tree scan.
     pub(crate) fn interval_candidates(&self, ts: Timestamp, te: Timestamp) -> Vec<ObjectId> {
         {
-            let memo = self.range_memo.lock().expect("range memo poisoned");
+            // A cache of plain data: recovering from a poisoned memo is
+            // always safe, so no panic on the query path.
+            let memo = self.range_memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some((mts, mte, objects)) = memo.as_ref() {
                 if *mts == ts && *mte == te {
                     self.range_memo_hits.fetch_add(1, Ordering::Relaxed);
@@ -225,7 +227,8 @@ impl FlowAnalytics {
             self.artree.range_query(ts, te).iter().map(|e| e.object).collect();
         objects.sort_unstable();
         objects.dedup();
-        *self.range_memo.lock().expect("range memo poisoned") = Some((ts, te, objects.clone()));
+        *self.range_memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some((ts, te, objects.clone()));
         objects
     }
 

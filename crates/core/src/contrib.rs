@@ -113,7 +113,10 @@ pub(crate) fn fold_contrib(
     repaired: bool,
 ) {
     for &(poi, presence) in contribs {
-        *flows.get_mut(&poi).expect("query POI") += presence;
+        // Contributions only name query POIs; an unknown id would be a
+        // bug upstream, and skipping it beats crashing the query.
+        let Some(flow) = flows.get_mut(&poi) else { continue };
+        *flow += presence;
         stats.accumulated_flow_mass += presence;
         if repaired {
             stats.repaired_flow_mass += presence;

@@ -214,9 +214,13 @@ where
             })
             .collect();
         for h in handles {
-            let (out, local) = h.join().expect("query worker panicked");
-            results.extend(out);
-            stats.merge(&local);
+            // A panicked worker already logged its own failure; degrade
+            // to the surviving workers' results rather than tearing down
+            // the serving thread with it.
+            if let Ok((out, local)) = h.join() {
+                results.extend(out);
+                stats.merge(&local);
+            }
         }
     });
     results

@@ -172,7 +172,9 @@ pub fn snapshot(fa: &FlowAnalytics, q: &SnapshotQuery, cfg: &JoinConfig) -> Quer
                 urs_built += 1;
             }
             let h = h_u.borrow();
-            let ur = h[slot].as_ref().expect("just built");
+            // Built two lines up when absent; contribute nothing rather
+            // than panic inside the join loop if that ever changes.
+            let Some(ur) = h[slot].as_ref() else { return 0.0 };
             let poi = plan.poi(poi_id);
             // Cheap MBR reject mirrors the iterative algorithm's R_P
             // filtering; only genuine integrations are counted.
@@ -386,7 +388,10 @@ fn run_join(
             if item.exact {
                 // The exact flow dominates every remaining upper bound:
                 // emit (lines 22–25).
-                result.push((item.poi.expect("exact items carry their POI"), item.ub));
+                // Exact items carry their POI by construction; a bare
+                // one is dropped, not panicked on.
+                let Some(poi) = item.poi else { continue };
+                result.push((poi, item.ub));
                 if result.len() == k {
                     break;
                 }

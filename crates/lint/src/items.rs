@@ -50,7 +50,9 @@ pub fn index_fns(toks: &[Tok]) -> Vec<FnItem> {
             }
         } else if t.is_ident("fn") {
             if let Some(item) = parse_fn(toks, i, &impl_stack) {
-                let next = item.body.map(|(open, _)| open).unwrap_or(item.sig.1);
+                // `sig.1` is the body's `{` (or the `;` of a bodyless
+                // declaration); `body.0` is already *inside* the braces.
+                let next = item.sig.1;
                 fns.push(item);
                 // Continue *inside* the body so nested fns are indexed too.
                 i = next + 1;
@@ -212,6 +214,10 @@ mod tests {
         assert_eq!(by_name("method").impl_type.as_deref(), Some("Facade"));
         assert!(by_name("method").is_pub);
         assert!(!by_name("internal").is_pub, "pub(crate) is not pub");
+        // A sibling method after one whose body contains nested braces
+        // must keep its impl type (the index once popped the impl at the
+        // first body's closing brace).
+        assert_eq!(by_name("internal").impl_type.as_deref(), Some("Facade"));
         assert_eq!(by_name("cmp").impl_type.as_deref(), Some("Item"));
         assert!(!by_name("cmp").is_pub);
     }

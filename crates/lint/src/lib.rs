@@ -10,16 +10,29 @@
 //! dependencies — same discipline as `crates/obs`) and enforces those as
 //! typed, stably-numbered lints with a reasoned `lint.allow` baseline.
 //!
+//! On top of the token-level catalog sit the *interprocedural* rules:
+//! [`ast`] parses items and extracts per-`fn` facts (calls, lock sites,
+//! I/O sites, panic sites), [`callgraph`] resolves a workspace call
+//! graph over them, [`interproc`] implements lock-order cycles (IL006),
+//! delta-loop purity (IL009) and the call-chain deepenings of
+//! IL002/IL003, and [`wire`] checks every protocol codec pair against a
+//! declared layout table (IL007) plus unchecked wire arithmetic (IL008).
+//!
 //! Library layout: [`lexer`] turns source text into a token stream with
 //! test-scope flags, [`items`] indexes `fn` items for the call-graph
-//! lint, [`rules`] implements IL001–IL005 over those, and [`allow`]
-//! handles the baseline file. [`collect_sources`] + [`analyze`] is the
-//! whole pipeline; the binary in `main.rs` adds flags and exit codes.
+//! lint, [`rules`] implements IL001–IL005 over those and drives the
+//! whole catalog, and [`allow`] handles the baseline file.
+//! [`collect_sources`] + [`analyze`] is the whole pipeline; the binary
+//! in `main.rs` adds flags and exit codes.
 
 pub mod allow;
+pub mod ast;
+pub mod callgraph;
+pub mod interproc;
 pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod wire;
 
 pub use allow::Allowlist;
 pub use rules::{analyze, Finding, SourceFile};

@@ -59,6 +59,16 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
     il005_obs_coverage(files, &mut out);
     il005_service_coverage(files, &mut out);
     il005_subkind_counter_coverage(files, &mut out);
+    // The interprocedural catalog: a shared call graph, then the
+    // reachability rules (deepened IL002/IL003, IL006, IL009) and the
+    // wire-contract rules (IL007/IL008).
+    let graph = crate::callgraph::CallGraph::build(files);
+    crate::interproc::il002_reachable_panics(&graph, &mut out);
+    crate::interproc::il003_guard_into_io(&graph, &mut out);
+    crate::interproc::il006_lock_order(&graph, &mut out);
+    crate::interproc::il009_delta_purity(&graph, &mut out);
+    crate::wire::il007_wire_symmetry(files, &mut out);
+    crate::wire::il008_wire_arithmetic(files, &mut out);
     out.sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
     out
 }
@@ -67,7 +77,7 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
 /// (scan back to the nearest `;`, `{` or `}`). Bracket/paren nesting is
 /// tracked so the `;` inside an array type like `[&str; 3]` or `[u8; 8]`
 /// does not cut the statement short.
-fn stmt_start(toks: &[Tok], i: usize) -> usize {
+pub(crate) fn stmt_start(toks: &[Tok], i: usize) -> usize {
     let mut j = i;
     let mut nest = 0usize;
     while j > 0 {
@@ -117,11 +127,11 @@ fn il001_float_total_order(f: &SourceFile, out: &mut Vec<Finding>) {
 /// Paths whose non-test code must be panic-free: the serving layer and
 /// the durable store. A panic here poisons locks, kills shard threads,
 /// or aborts mid-write — exactly the failures PR 3/PR 4 hardened against.
-fn il002_in_scope(rel: &str) -> bool {
+pub(crate) fn il002_in_scope(rel: &str) -> bool {
     rel.starts_with("crates/service/src/") || rel.starts_with("crates/tracking/src/store/")
 }
 
-const IL002_PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const IL002_PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// Identifiers that legitimately precede a `[` without it being an
 /// index expression (slice *types* and patterns, not element access).
@@ -218,11 +228,11 @@ const IL002_HINT_ERR: &str = "propagate a typed error (StoreError / io::Error) o
 /// Files where holding a mutex guard across blocking I/O stalls every
 /// peer of the lock: the connection fan-out in `server.rs` and the shard
 /// queue in `shard.rs`.
-fn il003_in_scope(rel: &str) -> bool {
+pub(crate) fn il003_in_scope(rel: &str) -> bool {
     rel.ends_with("/server.rs") || rel.ends_with("/shard.rs")
 }
 
-const IL003_IO_CALLS: [&str; 11] = [
+pub(crate) const IL003_IO_CALLS: [&str; 11] = [
     "write_all",
     "write_fmt",
     "flush",
@@ -322,7 +332,7 @@ fn il003_guard_across_io(f: &SourceFile, out: &mut Vec<Finding>) {
 /// The on-disk/wire magics. This const is itself the shape the lint
 /// demands: magic literals may only appear in a `const … _MAGIC`-style
 /// definition statement.
-const FORMAT_MAGIC: [&str; 6] =
+pub(crate) const FORMAT_MAGIC: [&str; 6] =
     ["IFWAL001", "IFSNP001", "IFCKP001", "IFRPL001", "IFSEG001", "IFMAN001"];
 
 /// The single module allowed to call `from_le_bytes`: the bounds-checked

@@ -1,0 +1,9 @@
+//! IL002 multi-hop helpers: the panic lives at the bottom of the chain.
+
+pub fn fold_all(rows: &[u64]) -> u64 {
+    pick_first(rows)
+}
+
+fn pick_first(rows: &[u64]) -> u64 {
+    *rows.first().unwrap()
+}

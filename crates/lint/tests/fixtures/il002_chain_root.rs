@@ -1,0 +1,6 @@
+//! IL002 multi-hop root: a public store entry point whose panic is two
+//! calls away, in another crate's helper file.
+
+pub fn rollup(rows: &[u64]) -> u64 {
+    fold_all(rows)
+}

@@ -1,0 +1,10 @@
+//! IL003 multi-hop helpers: the blocking write at the end of the chain.
+
+pub fn relay(data: &[u8]) {
+    disk(data);
+}
+
+fn disk(data: &[u8]) {
+    let mut out = std::io::stdout();
+    out.write_all(data);
+}

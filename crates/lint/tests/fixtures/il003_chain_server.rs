@@ -1,0 +1,7 @@
+//! IL003 multi-hop root: a server handler that holds a guard while the
+//! I/O happens two calls away in another file.
+
+pub fn flush(s: &Shared) {
+    let g = s.state.lock();
+    relay(&g);
+}

@@ -1,0 +1,27 @@
+//! IL006 violation: two code paths acquire the same pair of locks in
+//! opposite orders, with one acquisition hidden behind a call.
+
+pub struct Registry {
+    names: std::sync::Mutex<Vec<String>>,
+    stats: std::sync::Mutex<Vec<u64>>,
+}
+
+pub fn record(r: &Registry) {
+    let g = r.names.lock();
+    bump(r);
+}
+
+fn bump(r: &Registry) {
+    let g = r.stats.lock();
+    g.push(1);
+}
+
+pub fn report(r: &Registry) {
+    let g = r.stats.lock();
+    label(r);
+}
+
+fn label(r: &Registry) {
+    let g = r.names.lock();
+    g.push(String::new());
+}

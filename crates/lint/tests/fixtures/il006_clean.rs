@@ -1,0 +1,27 @@
+//! IL006 clean twin: both paths acquire `names` before `stats`, so the
+//! acquisition-order graph is acyclic.
+
+pub struct Registry {
+    names: std::sync::Mutex<Vec<String>>,
+    stats: std::sync::Mutex<Vec<u64>>,
+}
+
+pub fn record(r: &Registry) {
+    let g = r.names.lock();
+    bump(r);
+}
+
+fn bump(r: &Registry) {
+    let g = r.stats.lock();
+    g.push(1);
+}
+
+pub fn report(r: &Registry) {
+    let g = r.names.lock();
+    count(r);
+}
+
+fn count(r: &Registry) {
+    let g = r.stats.lock();
+    g.push(0);
+}

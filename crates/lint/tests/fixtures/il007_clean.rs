@@ -1,0 +1,25 @@
+//! IL007 clean twin: encoder and decoder agree with the declared
+//! `ranked` layout field-for-field.
+
+pub fn encode_ranked(ranked: &[(PoiId, f64)]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + ranked.len() * 12);
+    b.extend_from_slice(&(ranked.len() as u32).to_le_bytes());
+    for &(p, f) in ranked {
+        b.extend_from_slice(&p.0.to_le_bytes());
+        b.extend_from_slice(&f.to_le_bytes());
+    }
+    b
+}
+
+pub fn decode_ranked(payload: &[u8]) -> io::Result<Vec<(PoiId, f64)>> {
+    let mut c = cursor(payload);
+    let n = c.count("entry count", 12).map_err(decode_err)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = PoiId(c.u32("poi").map_err(decode_err)?);
+        let f = c.finite_f64("flow").map_err(decode_err)?;
+        out.push((p, f));
+    }
+    c.done().map_err(decode_err)?;
+    Ok(out)
+}

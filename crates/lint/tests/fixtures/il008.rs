@@ -1,0 +1,11 @@
+//! IL008 violation: wire-derived lengths used in unchecked arithmetic —
+//! a cast in the read statement and a tainted allocation.
+
+pub fn decode_batch(c: &mut Cursor) -> Result<Batch, StoreError> {
+    let n = c.u32("record count")? as usize;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(c.u64("record")?);
+    }
+    Ok(Batch { records })
+}

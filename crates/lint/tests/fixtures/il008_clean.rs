@@ -1,0 +1,11 @@
+//! IL008 clean twin: the count goes through the validating accessor, so
+//! the allocation is bounded by the payload that actually arrived.
+
+pub fn decode_batch(c: &mut Cursor) -> Result<Batch, StoreError> {
+    let n = c.count("record count", 8)?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(c.u64("record")?);
+    }
+    Ok(Batch { records })
+}

@@ -1,0 +1,25 @@
+//! IL009 violation: the per-delta recompute path acquires a lock,
+//! reaches blocking I/O through a helper, and recurses.
+
+pub struct Engine {
+    cache: std::sync::Mutex<Vec<u64>>,
+    sink: std::net::TcpStream,
+}
+
+impl Engine {
+    pub fn apply_delta(&mut self, delta: u64) {
+        let g = self.cache.lock();
+        self.spill(delta);
+        self.walk(delta);
+    }
+
+    fn spill(&mut self, delta: u64) {
+        self.sink.write_all(&delta.to_le_bytes());
+    }
+
+    fn walk(&mut self, delta: u64) {
+        if delta > 0 {
+            self.walk(delta - 1);
+        }
+    }
+}

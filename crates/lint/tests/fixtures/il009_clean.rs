@@ -1,0 +1,23 @@
+//! IL009 clean twin: the recompute path is pure — it reads its own
+//! state, computes, and hands output to a channel the writers drain.
+
+pub struct Engine {
+    totals: Vec<u64>,
+    out: std::sync::mpsc::Sender<u64>,
+}
+
+impl Engine {
+    pub fn apply_delta(&mut self, delta: u64) {
+        let next = self.fold(delta);
+        self.totals.push(next);
+        let _ = self.out.send(next);
+    }
+
+    fn fold(&self, delta: u64) -> u64 {
+        let mut acc = delta;
+        for t in &self.totals {
+            acc = acc.wrapping_add(*t);
+        }
+        acc
+    }
+}

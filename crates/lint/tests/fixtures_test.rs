@@ -78,7 +78,9 @@ fn il001_partial_cmp_is_diagnosed() {
         r.stdout
     );
     assert!(r.stdout.contains("fix: use f64::total_cmp"), "missing hint:\n{}", r.stdout);
-    assert!(r.stdout.contains("inflow-lint: 1 finding(s), 0 suppressed, 1 files scanned"));
+    assert!(r
+        .stdout
+        .contains("inflow-lint: 1 finding(s), 0 suppressed, 0 baselined, 1 files scanned"));
 }
 
 #[test]
@@ -263,7 +265,9 @@ fn allowlist_suppresses_and_reports() {
     );
     let r = lint(&repo.root, &[]);
     assert_eq!(r.code, 0, "stdout:\n{}\nstderr:\n{}", r.stdout, r.stderr);
-    assert!(r.stdout.contains("inflow-lint: 0 finding(s), 1 suppressed, 1 files scanned"));
+    assert!(r
+        .stdout
+        .contains("inflow-lint: 0 finding(s), 1 suppressed, 0 baselined, 1 files scanned"));
 }
 
 #[test]
@@ -303,7 +307,7 @@ fn json_output_carries_the_finding() {
     let r = lint(&repo.root, &["--json"]);
     assert_eq!(r.code, 1);
     for needle in [
-        "{\"findings\":[",
+        "{\"schema\":2,\"findings\":[",
         "\"lint\":\"IL001\"",
         "\"path\":\"crates/core/src/il001.rs\"",
         "\"line\":4",
@@ -321,7 +325,200 @@ fn clean_workspace_exits_zero() {
     repo.write("src/main.rs", "fn main() {}\n");
     let r = lint(&repo.root, &[]);
     assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
-    assert!(r.stdout.contains("inflow-lint: 0 finding(s), 0 suppressed, 2 files scanned"));
+    assert!(r
+        .stdout
+        .contains("inflow-lint: 0 finding(s), 0 suppressed, 0 baselined, 2 files scanned"));
+}
+
+#[test]
+fn il002_multi_hop_chain_is_witnessed() {
+    let repo = TempRepo::new("il002-chain");
+    repo.write("crates/tracking/src/store/depth.rs", &fixture("il002_chain_root.rs"));
+    repo.write("crates/core/src/fold.rs", &fixture("il002_chain_helpers.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/core/src/fold.rs:8: IL002: possible panic: `.unwrap()` reachable from a \
+             durable/serving path via rollup -> fold_all -> pick_first \
+             (rooted at crates/tracking/src/store/depth.rs:4)"
+        ),
+        "missing multi-hop IL002 chain:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il003_multi_hop_chain_is_witnessed() {
+    let repo = TempRepo::new("il003-chain");
+    repo.write("crates/service/src/server.rs", &fixture("il003_chain_server.rs"));
+    repo.write("crates/service/src/relay.rs", &fixture("il003_chain_io.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "crates/service/src/server.rs:6: IL003: blocking I/O `write_all()` reachable \
+             while mutex guard `state` is live, via flush -> relay -> disk"
+        ),
+        "missing multi-hop IL003 chain:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il006_lock_order_cycle_is_diagnosed() {
+    let repo = TempRepo::new("il006");
+    repo.write("crates/service/src/locks.rs", &fixture("il006.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(r.stdout.contains("IL006: lock-order cycle"), "missing IL006:\n{}", r.stdout);
+    // Both opposing edges are witnessed, each with its cross-call chain.
+    assert!(
+        r.stdout.contains("via record -> bump") && r.stdout.contains("via report -> label"),
+        "missing per-edge witnesses:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il006_consistent_lock_order_passes() {
+    let repo = TempRepo::new("il006-ok");
+    repo.write("crates/service/src/locks.rs", &fixture("il006_clean.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+}
+
+#[test]
+fn il007_desynced_decoder_names_the_field() {
+    let repo = TempRepo::new("il007");
+    repo.write("crates/service/src/protocol.rs", &fixture("il007_desync.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "IL007: codec pair `ranked`: decoder reads `flow` as U32 where the layout \
+             declares field `flow` as F64"
+        ),
+        "missing IL007 field diagnostic:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il007_symmetric_pair_passes() {
+    let repo = TempRepo::new("il007-ok");
+    repo.write("crates/service/src/protocol.rs", &fixture("il007_clean.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+}
+
+#[test]
+fn il008_unchecked_wire_cast_is_diagnosed() {
+    let repo = TempRepo::new("il008");
+    repo.write("crates/tracking/src/store/decode.rs", &fixture("il008.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains(
+            "IL008: unchecked arithmetic/cast on wire-derived `record count` in the same \
+             statement as the raw read"
+        ),
+        "missing IL008 diagnostic:\n{}",
+        r.stdout
+    );
+    assert!(r.stdout.contains("fix: read counts via Cursor::count"), "missing hint:\n{}", r.stdout);
+}
+
+#[test]
+fn il008_count_accessor_passes() {
+    let repo = TempRepo::new("il008-ok");
+    repo.write("crates/tracking/src/store/decode.rs", &fixture("il008_clean.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+}
+
+#[test]
+fn il009_impure_delta_loop_is_diagnosed() {
+    let repo = TempRepo::new("il009");
+    repo.write("crates/service/src/engine.rs", &fixture("il009.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(
+        r.stdout.contains("IL009: delta-loop impurity: lock acquisition reachable"),
+        "missing lock impurity:\n{}",
+        r.stdout
+    );
+    assert!(
+        r.stdout.contains("IL009: delta-loop impurity: blocking I/O reachable")
+            && r.stdout.contains("Engine::spill"),
+        "missing I/O impurity with chain:\n{}",
+        r.stdout
+    );
+    assert!(
+        r.stdout.contains("IL009: delta-loop impurity: recursion cycle")
+            && r.stdout.contains("Engine::walk"),
+        "missing recursion cycle:\n{}",
+        r.stdout
+    );
+}
+
+#[test]
+fn il009_pure_delta_loop_passes() {
+    let repo = TempRepo::new("il009-ok");
+    repo.write("crates/service/src/engine.rs", &fixture("il009_clean.rs"));
+    let r = lint(&repo.root, &[]);
+    assert_eq!(r.code, 0, "stdout:\n{}", r.stdout);
+}
+
+#[test]
+fn baseline_suppresses_known_findings() {
+    let repo = TempRepo::new("baseline");
+    repo.write("crates/core/src/il001.rs", &fixture("il001.rs"));
+    let first = lint(&repo.root, &["--json"]);
+    assert_eq!(first.code, 1);
+    repo.write("lint-baseline.json", &first.stdout);
+    let second = lint(&repo.root, &["--baseline"]);
+    // --baseline requires a file argument.
+    assert_eq!(second.code, 2, "stderr:\n{}", second.stderr);
+    let p = repo.root.join("lint-baseline.json");
+    let third = lint(&repo.root, &["--baseline", p.to_str().unwrap()]);
+    assert_eq!(third.code, 0, "stdout:\n{}\nstderr:\n{}", third.stdout, third.stderr);
+    assert!(
+        third
+            .stdout
+            .contains("inflow-lint: 0 finding(s), 0 suppressed, 1 baselined, 1 files scanned"),
+        "stdout:\n{}",
+        third.stdout
+    );
+}
+
+#[test]
+fn baseline_does_not_mask_new_findings() {
+    let repo = TempRepo::new("baseline-new");
+    repo.write("crates/core/src/il001.rs", &fixture("il001.rs"));
+    let first = lint(&repo.root, &["--json"]);
+    repo.write("lint-baseline.json", &first.stdout);
+    // A new violation in a second file is NOT in the baseline.
+    repo.write("crates/core/src/il004.rs", &fixture("il004.rs"));
+    let p = repo.root.join("lint-baseline.json");
+    let r = lint(&repo.root, &["--baseline", p.to_str().unwrap()]);
+    assert_eq!(r.code, 1, "stdout:\n{}", r.stdout);
+    assert!(r.stdout.contains("IL004"), "new finding masked:\n{}", r.stdout);
+    assert!(!r.stdout.contains("IL001:"), "baselined finding re-reported:\n{}", r.stdout);
+}
+
+#[test]
+fn strict_unused_turns_stale_entries_into_errors() {
+    let repo = TempRepo::new("strict-unused");
+    repo.write("crates/core/src/clean.rs", "pub fn ok() {}\n");
+    repo.write("lint.allow", "IL001 crates/core/src/gone.rs reason=\"file was deleted\"\n");
+    let r = lint(&repo.root, &["--strict-unused"]);
+    assert_eq!(r.code, 1, "stdout:\n{}\nstderr:\n{}", r.stdout, r.stderr);
+    assert!(
+        r.stderr.contains("error: unused lint.allow entry"),
+        "stale entry not escalated:\n{}",
+        r.stderr
+    );
 }
 
 #[test]

@@ -1,0 +1,45 @@
+//! Span-parity property test: the AST layer (`ast::parse_fns`) and the
+//! token-stream indexer (`items::index_fns`) are two independent walks
+//! over the same token stream, and every interprocedural rule assumes
+//! they agree. This test runs both over every file in the *real*
+//! workspace and compares them function-by-function on every shared
+//! field. A disagreement here means one of the two parsers mis-tracks
+//! brace depth or signature extent on live code — exactly the kind of
+//! drift that silently truncates call graphs.
+
+use std::path::Path;
+
+use inflow_lint::{ast, collect_sources};
+
+#[test]
+fn ast_and_items_agree_on_every_workspace_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = collect_sources(&root).expect("collecting workspace sources");
+    assert!(files.len() > 50, "workspace walk looks truncated: {} files", files.len());
+
+    let mut total_fns = 0usize;
+    for file in &files {
+        let from_ast = ast::parse_fns(&file.toks);
+        assert_eq!(
+            from_ast.len(),
+            file.fns.len(),
+            "{}: ast sees {} fns, items sees {}\nast: {:?}\nitems: {:?}",
+            file.rel,
+            from_ast.len(),
+            file.fns.len(),
+            from_ast.iter().map(|f| (&f.name, f.line)).collect::<Vec<_>>(),
+            file.fns.iter().map(|f| (&f.name, f.line)).collect::<Vec<_>>(),
+        );
+        for (a, i) in from_ast.iter().zip(&file.fns) {
+            let ctx = format!("{}:{} fn {}", file.rel, i.line, i.name);
+            assert_eq!(a.name, i.name, "{ctx}: name");
+            assert_eq!(a.impl_type, i.impl_type, "{ctx}: impl type");
+            assert_eq!(a.line, i.line, "{ctx}: line");
+            assert_eq!(a.in_test, i.in_test, "{ctx}: in_test");
+            assert_eq!(a.sig, i.sig, "{ctx}: signature token span");
+            assert_eq!(a.body, i.body, "{ctx}: body token span");
+        }
+        total_fns += from_ast.len();
+    }
+    assert!(total_fns > 500, "only {total_fns} fns parsed — parser regression?");
+}

@@ -128,6 +128,12 @@ pub mod tag {
 ///   replay logs parse unchanged.
 pub const PROTOCOL_VERSION: u32 = 4;
 
+/// Upper bound a decoded subscription `k` (top-k size) is clamped to.
+/// `k` is the one wire-derived quantity that sizes work without sizing
+/// payload, so the decoder bounds it instead of trusting the peer; no
+/// legitimate query asks for more ranked POIs than this.
+pub const MAX_SUB_K: u32 = 4096;
+
 /// The time parameter of a subscription or one-shot query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SubKind {
@@ -265,7 +271,7 @@ pub fn encode_publish(readings: &[RawReading]) -> Vec<u8> {
 
 pub fn decode_publish(payload: &[u8]) -> io::Result<Vec<RawReading>> {
     let mut c = cursor(payload);
-    let n = c.u32("reading count").map_err(decode_err)? as usize;
+    let n = c.count("reading count", 16).map_err(decode_err)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let object = ObjectId(c.u32("object").map_err(decode_err)?);
@@ -382,9 +388,9 @@ pub fn decode_subscribe(payload: &[u8]) -> io::Result<(SubSpec, Option<Resume>)>
         }
         other => return Err(bad(format!("unknown query kind {other}"))),
     };
-    let k = c.u32("k").map_err(decode_err)? as usize;
+    let k = c.u32("k").map_err(decode_err)?.min(MAX_SUB_K) as usize;
     let epsilon = c.f64("epsilon").map_err(decode_err)?;
-    let n = c.u32("poi count").map_err(decode_err)? as usize;
+    let n = c.count("poi count", 4).map_err(decode_err)?;
     let mut pois = Vec::with_capacity(n);
     for _ in 0..n {
         pois.push(PoiId(c.u32("poi").map_err(decode_err)?));
@@ -416,7 +422,7 @@ pub fn encode_ranked(ranked: &[(PoiId, f64)]) -> Vec<u8> {
 
 pub fn decode_ranked(payload: &[u8]) -> io::Result<Vec<(PoiId, f64)>> {
     let mut c = cursor(payload);
-    let n = c.u32("entry count").map_err(decode_err)? as usize;
+    let n = c.count("entry count", 12).map_err(decode_err)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let p = PoiId(c.u32("poi").map_err(decode_err)?);
@@ -465,7 +471,7 @@ pub fn decode_update(payload: &[u8]) -> io::Result<UpdateParts> {
     let mut c = cursor(payload);
     let sub_id = c.u64("sub id").map_err(decode_err)?;
     let seq = c.u64("seq").map_err(decode_err)?;
-    let n = c.u32("entry count").map_err(decode_err)? as usize;
+    let n = c.count("entry count", 12).map_err(decode_err)?;
     let mut ranked = Vec::with_capacity(n);
     for _ in 0..n {
         let p = PoiId(c.u32("poi").map_err(decode_err)?);
@@ -504,7 +510,7 @@ pub fn encode_rows(rows: &[OttRow]) -> Vec<u8> {
 
 pub fn decode_rows(payload: &[u8]) -> io::Result<Vec<OttRow>> {
     let mut c = cursor(payload);
-    let n = c.u32("row count").map_err(decode_err)? as usize;
+    let n = c.count("row count", 24).map_err(decode_err)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(OttRow {
@@ -553,7 +559,7 @@ pub fn encode_state_hash(h: &StateHash) -> Vec<u8> {
 pub fn decode_state_hash(payload: &[u8]) -> io::Result<StateHash> {
     let mut c = cursor(payload);
     let engine = c.u64("engine hash").map_err(decode_err)?;
-    let n = c.u32("shard count").map_err(decode_err)? as usize;
+    let n = c.count("shard count", 8).map_err(decode_err)?;
     let mut shards = Vec::with_capacity(n);
     for _ in 0..n {
         shards.push(c.u64("shard hash").map_err(decode_err)?);

@@ -406,15 +406,26 @@ impl ServerHandle {
     /// worker recovers from the WAL and re-emits full deltas before
     /// draining whatever queued up during the outage.
     pub fn restart_shard(&self, i: usize) -> io::Result<()> {
-        let mut shards = lock_or_recover(&self.shared.shards);
-        let Some(s) = shards.get_mut(i) else {
-            return Err(io::Error::new(io::ErrorKind::InvalidInput, format!("no shard {i}")));
+        // Take what the respawn needs under the lock, then release it:
+        // joining the old worker and reopening the store both block, and
+        // the router locks `shards` on every batch (same discipline as
+        // `crash_shard`). Concurrent restarts of the *same* shard are the
+        // caller's responsibility, as before.
+        let (old_worker, dir, rx, queue_depth) = {
+            let mut shards = lock_or_recover(&self.shared.shards);
+            let Some(s) = shards.get_mut(i) else {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, format!("no shard {i}")));
+            };
+            let w = s.worker.take();
+            if w.is_some() {
+                // A still-running worker would race the new one on the
+                // store; crash it first.
+                s.queue_depth.fetch_add(1, Ordering::Relaxed);
+                let _ = s.tx.send(ShardMsg::Crash);
+            }
+            (w, s.dir.clone(), Arc::clone(&s.rx), Arc::clone(&s.queue_depth))
         };
-        if let Some(w) = s.worker.take() {
-            // A still-running worker would race the new one on the store;
-            // crash it first.
-            s.queue_depth.fetch_add(1, Ordering::Relaxed);
-            let _ = s.tx.send(ShardMsg::Crash);
+        if let Some(w) = old_worker {
             let _ = w.join();
         }
         let cfg = ShardConfig {
@@ -427,15 +438,19 @@ impl ServerHandle {
         };
         let worker = spawn_shard(
             i,
-            s.dir.clone(),
-            Arc::clone(&s.rx),
-            Arc::clone(&s.queue_depth),
+            dir,
+            rx,
+            queue_depth,
             self.shared.engine_tx.clone(),
             self.shared.metrics.clone(),
             Arc::clone(&self.shared.flight),
             cfg,
         )?;
-        s.worker = Some(worker);
+        let mut shards = lock_or_recover(&self.shared.shards);
+        if let Some(s) = shards.get_mut(i) {
+            s.worker = Some(worker);
+        }
+        drop(shards);
         self.shared.metrics.add(Counter::ServeShardRestarts, 1);
         self.shared.flight.record(FlightEventKind::ShardRestart, 0, i as u64, 0);
         Ok(())

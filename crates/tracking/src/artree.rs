@@ -278,7 +278,11 @@ impl ArTree {
         if bytes.len() < 16 {
             return fail("blob shorter than header");
         }
-        let word = |i: usize| u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4"));
+        let word = |i: usize| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[i * 4..i * 4 + 4]);
+            u32::from_le_bytes(b)
+        };
         let (ott_len, entry_count, node_count, root) =
             (word(0) as usize, word(1) as usize, word(2) as usize, word(3) as usize);
         let expect = 16usize
@@ -299,8 +303,16 @@ impl ArTree {
             return fail("empty tree must have exactly the sentinel node");
         }
 
-        let f64_at = |p: usize| f64::from_le_bytes(bytes[p..p + 8].try_into().expect("8"));
-        let u32_at = |p: usize| u32::from_le_bytes(bytes[p..p + 4].try_into().expect("4"));
+        let f64_at = |p: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[p..p + 8]);
+            f64::from_le_bytes(b)
+        };
+        let u32_at = |p: usize| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[p..p + 4]);
+            u32::from_le_bytes(b)
+        };
         let mut entries = Vec::with_capacity(entry_count);
         let mut p = 16;
         let mut prev_t1 = f64::NEG_INFINITY;

@@ -239,6 +239,18 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
     }
 
+    /// A `u32` element count validated against the remaining payload:
+    /// `n * elem_width` must fit in the unconsumed bytes (`elem_width`
+    /// is the minimum encoded size of one element), so a corrupt length
+    /// cannot drive `Vec::with_capacity` or a read loop past the frame.
+    pub fn count(&mut self, what: &str, elem_width: usize) -> Result<usize, StoreError> {
+        let n = self.u32(what)? as usize;
+        match n.checked_mul(elem_width) {
+            Some(need) if need <= self.bytes.len() - self.pos => Ok(n),
+            _ => Err(self.bad(format!("{what} {n} exceeds remaining payload"))),
+        }
+    }
+
     pub fn f64(&mut self, what: &str) -> Result<f64, StoreError> {
         Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
     }

@@ -234,7 +234,10 @@ impl OnlineTracker {
             }
             self.pending.pop();
             self.applied_to = self.applied_to.max(head.t);
-            self.apply(head).expect("drained readings are in timestamp order");
+            // Drained readings are in timestamp order, so this cannot hit
+            // the out-of-order branch; propagating keeps the serving path
+            // panic-free either way.
+            self.apply(head)?;
             on_apply(head);
         }
         Ok(())

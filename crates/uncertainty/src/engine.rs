@@ -394,10 +394,13 @@ impl UrEngine {
             if mbr.is_empty() {
                 continue;
             }
-            let part: BoxedRegion = if clips.len() == 1 {
-                clips.pop().expect("one clip")
-            } else {
-                Box::new(RegionIntersection::new(clips))
+            let part: BoxedRegion = match clips.pop() {
+                Some(only) if clips.is_empty() => only,
+                Some(more) => {
+                    clips.push(more);
+                    Box::new(RegionIntersection::new(clips))
+                }
+                None => continue,
             };
             parts.push((mbr, part));
         }

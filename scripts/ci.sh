@@ -7,8 +7,21 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== inflow-lint (workspace invariants IL001-IL005; baseline: lint.allow)"
-cargo run -q -p inflow-lint --offline
+echo "== inflow-lint (workspace invariants IL001-IL009; baseline: lint.allow)"
+# Stale lint.allow entries are a hard error (--strict-unused); findings
+# already acknowledged in lint-baseline.json are reported but don't gate.
+# The analysis itself carries a wall-time budget: the interprocedural
+# passes must stay interactive or people stop running them.
+cargo build -q -p inflow-lint --offline
+LINT_START=$(date +%s%N)
+target/debug/inflow-lint --strict-unused --baseline lint-baseline.json
+LINT_MS=$(( ($(date +%s%N) - LINT_START) / 1000000 ))
+LINT_BUDGET_MS=5000
+echo "   inflow-lint: analyzed workspace in ${LINT_MS} ms (budget ${LINT_BUDGET_MS} ms)"
+if (( LINT_MS > LINT_BUDGET_MS )); then
+    echo "   inflow-lint: wall time ${LINT_MS} ms exceeds budget ${LINT_BUDGET_MS} ms" >&2
+    exit 1
+fi
 
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -95,9 +108,20 @@ if [[ "${MIRI:-0}" == "1" ]]; then
 fi
 
 if [[ "${TSAN:-0}" == "1" ]]; then
-    echo "== thread sanitizer (service crate tests)"
-    RUSTFLAGS="-Z sanitizer=thread" \
-        cargo +nightly test -q -p inflow-service --offline \
+    echo "== thread sanitizer (service crate tests + end-to-end service suite)"
+    # std is not rebuilt with the sanitizer (rust-src is unavailable
+    # offline), so the ABI mismatch is silenced and known false positives
+    # from uninstrumented std internals are suppressed (scripts/tsan.supp).
+    TSAN_RUSTFLAGS="-Z sanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer"
+    # --all-targets skips doctests: rustdoc does not forward the
+    # sanitizer flags and cannot link the instrumented rlibs.
+    TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+        RUSTFLAGS="$TSAN_RUSTFLAGS" \
+        cargo +nightly test -q -p inflow-service --all-targets --offline \
+        --target "$(rustc -vV | sed -n 's/^host: //p')"
+    TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+        RUSTFLAGS="$TSAN_RUSTFLAGS" \
+        cargo +nightly test -q -p inflow --test service --offline \
         --target "$(rustc -vV | sed -n 's/^host: //p')"
 fi
 
